@@ -1,0 +1,60 @@
+// Shared helpers for the table/figure bench binaries.
+
+#ifndef SOLDIST_BENCH_BENCH_COMMON_H_
+#define SOLDIST_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "exp/experiment.h"
+#include "exp/table_writer.h"
+#include "util/args.h"
+#include "util/timer.h"
+
+namespace soldist {
+
+/// Parses argv; returns true when the program should exit immediately
+/// (help or bad flags), storing the exit code in *exit_code.
+inline bool ShouldExitAfterParse(ArgParser* args, int argc,
+                                 const char* const* argv, int* exit_code) {
+  Status status = args->Parse(argc, argv);
+  if (status.ok()) return false;
+  *exit_code = status.message() == "help requested" ? 0 : 1;
+  if (*exit_code != 0) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  }
+  return true;
+}
+
+/// Prints the standard bench banner with the scaled-grid disclaimer.
+inline void PrintBanner(const std::string& title,
+                        const ExperimentOptions& options) {
+  std::printf("# %s\n", title.c_str());
+  std::printf(
+      "(soldist reproduction; T=%llu trials [star: %llu], oracle=%llu RR "
+      "sets, seed=%llu%s. The paper used T=1,000, a 10^7-RR-set oracle and "
+      "grids up to 2^16/2^24 on a 500 GB server; pass --full --trials 1000 "
+      "to approach that. See EXPERIMENTS.md.)\n",
+      static_cast<unsigned long long>(options.trials),
+      static_cast<unsigned long long>(options.star_trials),
+      static_cast<unsigned long long>(options.oracle_rr),
+      static_cast<unsigned long long>(options.seed),
+      options.full ? ", FULL grid" : "");
+  std::fflush(stdout);
+}
+
+/// Oneshot/Snapshot sweeps get slower as k grows (each Estimate simulates
+/// from the whole seed set): trim the max exponent accordingly so default
+/// runs stay within the harness budget. RIS is unaffected.
+inline int TrimExpForK(int max_exp, int k, Approach approach) {
+  if (approach == Approach::kRis) return max_exp;
+  int trim = 0;
+  if (k >= 4) trim = 2;
+  if (k >= 16) trim = approach == Approach::kOneshot ? 6 : 4;
+  if (k >= 64) trim = 8;
+  return max_exp > trim ? max_exp - trim : 0;
+}
+
+}  // namespace soldist
+
+#endif  // SOLDIST_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,189 @@
+// Kernel microbenchmarks (google-benchmark): the sampling primitives the
+// traversal-cost model abstracts over. Useful to calibrate the
+// "proportionality constant" between traversal cost and wall time that
+// the paper's methodology deliberately leaves machine-dependent.
+
+#include <benchmark/benchmark.h>
+
+#include "core/greedy.h"
+#include "core/oneshot.h"
+#include "core/ris.h"
+#include "core/snapshot.h"
+#include "gen/datasets.h"
+#include "graph/builder.h"
+#include "graph/reach_sketch.h"
+#include "graph/traversal.h"
+#include "model/probability.h"
+#include "oracle/rr_oracle.h"
+#include "random/xoshiro256pp.h"
+#include "sim/forward_sim.h"
+#include "sim/rr_sampler.h"
+#include "sim/snapshot_sampler.h"
+
+namespace soldist {
+namespace {
+
+const InfluenceGraph& KarateIg() {
+  static const InfluenceGraph* ig = new InfluenceGraph(MakeInfluenceGraph(
+      GraphBuilder::FromEdgeList(Datasets::Karate()),
+      ProbabilityModel::kUc01));
+  return *ig;
+}
+
+const InfluenceGraph& BaDenseIg(ProbabilityModel model) {
+  static std::map<ProbabilityModel, const InfluenceGraph*> cache;
+  auto it = cache.find(model);
+  if (it == cache.end()) {
+    auto* ig = new InfluenceGraph(MakeInfluenceGraph(
+        GraphBuilder::FromEdgeList(Datasets::BaDense(42)), model));
+    it = cache.emplace(model, ig).first;
+  }
+  return *it->second;
+}
+
+void BM_GraphBuildKarate(benchmark::State& state) {
+  EdgeList edges = Datasets::Karate();
+  for (auto _ : state) {
+    Graph g = GraphBuilder::FromEdgeList(edges);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_GraphBuildKarate);
+
+void BM_ForwardSimulation(benchmark::State& state) {
+  const InfluenceGraph& ig =
+      BaDenseIg(static_cast<ProbabilityModel>(state.range(0)));
+  ForwardSimulator sim(&ig);
+  Rng rng(1);
+  TraversalCounters counters;
+  const VertexId seeds[1] = {0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.Simulate(seeds, &rng, &counters));
+  }
+  state.SetLabel(ProbabilityModelName(
+      static_cast<ProbabilityModel>(state.range(0))));
+}
+BENCHMARK(BM_ForwardSimulation)
+    ->Arg(static_cast<int>(ProbabilityModel::kUc01))
+    ->Arg(static_cast<int>(ProbabilityModel::kUc001))
+    ->Arg(static_cast<int>(ProbabilityModel::kIwc))
+    ->Arg(static_cast<int>(ProbabilityModel::kOwc));
+
+void BM_SnapshotSample(benchmark::State& state) {
+  const InfluenceGraph& ig =
+      BaDenseIg(static_cast<ProbabilityModel>(state.range(0)));
+  SnapshotSampler sampler(&ig);
+  Rng rng(2);
+  TraversalCounters counters;
+  for (auto _ : state) {
+    Snapshot snap = sampler.Sample(&rng, &counters);
+    benchmark::DoNotOptimize(snap.num_live_edges());
+  }
+  state.SetLabel(ProbabilityModelName(
+      static_cast<ProbabilityModel>(state.range(0))));
+}
+BENCHMARK(BM_SnapshotSample)
+    ->Arg(static_cast<int>(ProbabilityModel::kUc01))
+    ->Arg(static_cast<int>(ProbabilityModel::kIwc));
+
+void BM_SnapshotBfs(benchmark::State& state) {
+  const InfluenceGraph& ig = BaDenseIg(ProbabilityModel::kIwc);
+  SnapshotSampler sampler(&ig);
+  Rng rng(3);
+  TraversalCounters counters;
+  Snapshot snap = sampler.Sample(&rng, &counters);
+  VertexId v = 0;
+  for (auto _ : state) {
+    const VertexId seeds[1] = {v};
+    benchmark::DoNotOptimize(sampler.CountReachable(snap, seeds, &counters));
+    v = (v + 1) % ig.num_vertices();
+  }
+}
+BENCHMARK(BM_SnapshotBfs);
+
+void BM_RrSetGeneration(benchmark::State& state) {
+  const InfluenceGraph& ig =
+      BaDenseIg(static_cast<ProbabilityModel>(state.range(0)));
+  RrSampler sampler(&ig);
+  Rng target_rng(4), coin_rng(5);
+  TraversalCounters counters;
+  std::vector<VertexId> rr_set;
+  for (auto _ : state) {
+    sampler.Sample(&target_rng, &coin_rng, &rr_set, &counters);
+    benchmark::DoNotOptimize(rr_set.size());
+  }
+  state.SetLabel(ProbabilityModelName(
+      static_cast<ProbabilityModel>(state.range(0))));
+}
+BENCHMARK(BM_RrSetGeneration)
+    ->Arg(static_cast<int>(ProbabilityModel::kUc01))
+    ->Arg(static_cast<int>(ProbabilityModel::kIwc));
+
+void BM_OracleEvaluate(benchmark::State& state) {
+  const InfluenceGraph& ig = BaDenseIg(ProbabilityModel::kIwc);
+  static const RrOracle* oracle = new RrOracle(&ig, 50000, 6);
+  std::vector<VertexId> seeds{1, 17, 33, 99};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle->EstimateInfluence(seeds));
+  }
+}
+BENCHMARK(BM_OracleEvaluate);
+
+void BM_GreedyRis(benchmark::State& state) {
+  const InfluenceGraph& ig = KarateIg();
+  std::uint64_t theta = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    RisEstimator estimator(&ig, theta, ++seed);
+    Rng tie_rng(seed);
+    auto result = RunGreedy(&estimator, ig.num_vertices(), 4, &tie_rng);
+    benchmark::DoNotOptimize(result.seeds.data());
+  }
+}
+BENCHMARK(BM_GreedyRis)->Arg(256)->Arg(4096);
+
+void BM_ReachSketchBuild(benchmark::State& state) {
+  // Bottom-k sketches vs n BFS runs: the descendant-counting bottleneck
+  // of Snapshot's first iteration (paper Section 3.4.3).
+  const InfluenceGraph& ig = BaDenseIg(ProbabilityModel::kIwc);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(++seed);
+    ReachabilitySketches sketches(&ig.graph(), 64, &rng);
+    benchmark::DoNotOptimize(sketches.EstimateReachable(0));
+  }
+}
+BENCHMARK(BM_ReachSketchBuild);
+
+void BM_AllVerticesBfsReachability(benchmark::State& state) {
+  const InfluenceGraph& ig = BaDenseIg(ProbabilityModel::kIwc);
+  BfsReachability bfs(&ig.graph());
+  for (auto _ : state) {
+    std::uint64_t total = 0;
+    for (VertexId v = 0; v < ig.num_vertices(); ++v) {
+      const VertexId source[1] = {v};
+      total += bfs.CountReachable(source);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_AllVerticesBfsReachability);
+
+void BM_Mt19937UnitReal(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.UnitReal());
+  }
+}
+BENCHMARK(BM_Mt19937UnitReal);
+
+void BM_Xoshiro256ppNext(benchmark::State& state) {
+  Xoshiro256pp rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Next());
+  }
+}
+BENCHMARK(BM_Xoshiro256ppNext);
+
+}  // namespace
+}  // namespace soldist

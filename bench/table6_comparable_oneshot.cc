@@ -1,0 +1,113 @@
+// Table 6 + Figure 7 (paper Section 5.2.3): the comparable number ratio
+// of Oneshot to Snapshot — the least β whose mean influence matches
+// Snapshot's at each τ, reported per τ (Figure 7) and as the median
+// (Table 6). Expected shape: ratios mostly in [1, 32], stable in τ, and
+// growing with the seed size k (up to 96 in the paper).
+
+#include <algorithm>
+
+#include "bench_common.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace soldist {
+namespace {
+
+struct Table6Instance {
+  std::string network;
+  int k;
+};
+
+int Run(int argc, const char* const* argv) {
+  ArgParser args("table6_comparable_oneshot",
+                 "Reproduces paper Table 6/Figure 7: comparable number "
+                 "ratio of Oneshot to Snapshot.");
+  AddExperimentFlags(&args);
+  args.AddString("networks", "Karate,Physicians,BA_s,BA_d",
+                 "networks to run (paper also includes ca-GrQc/Wiki-Vote; "
+                 "add them with --full time budgets)");
+  args.AddString("k-list", "1,4,16", "seed sizes");
+  int exit_code = 0;
+  if (ShouldExitAfterParse(&args, argc, argv, &exit_code)) return exit_code;
+  ExperimentOptions options = ReadExperimentFlags(args);
+  if (!args.Provided("trials")) options.trials = 25;
+  PrintBanner("Table 6 / Figure 7: Oneshot vs Snapshot comparable ratio",
+              options);
+
+  ExperimentContext context(options);
+  CsvWriter csv({"network", "setting", "k", "tau", "comparable_beta",
+                 "number_ratio"});
+  TextTable table({"network", "k", "uc0.1", "uc0.01", "iwc", "owc"});
+
+  std::vector<int> k_values;
+  for (const std::string& field : Split(args.GetString("k-list"), ',')) {
+    std::int64_t k = 0;
+    SOLDIST_CHECK(ParseInt64(field, &k)) << "bad k: " << field;
+    k_values.push_back(static_cast<int>(k));
+  }
+
+  for (const std::string& network : Split(args.GetString("networks"), ',')) {
+    GridCaps caps = ScaledGridCaps(network, options.full);
+    for (int k : k_values) {
+      std::vector<std::string> row{network, std::to_string(k)};
+      for (ProbabilityModel model : PaperProbabilityModels()) {
+        const InfluenceGraph& ig = context.Instance(network, model);
+        const RrOracle& oracle = context.Oracle(network, model);
+        std::uint64_t trials = context.TrialsFor(network);
+
+        // Comparable ratios are stable in τ (Figure 7), so shallow grids
+        // suffice: two fewer exponents than the per-network caps keeps
+        // Oneshot tractable on giant-component instances (BA_d uc0.1 has
+        // Inf ≈ 0.37·n, making every simulation scan a third of the
+        // graph).
+        SweepConfig snap_config;
+        snap_config.approach = Approach::kSnapshot;
+        snap_config.k = k;
+        snap_config.trials = trials;
+        snap_config.master_seed = options.seed + k * 17;
+        snap_config.max_exponent = std::max(
+            0, TrimExpForK(caps.snapshot_max_exp, k, Approach::kSnapshot) -
+                   2);
+
+        SweepConfig one_config = snap_config;
+        one_config.approach = Approach::kOneshot;
+        one_config.master_seed = options.seed + k * 17 + 7;
+        one_config.max_exponent = std::max(
+            0,
+            TrimExpForK(caps.oneshot_max_exp, k, Approach::kOneshot) - 2);
+
+        WallTimer timer;
+        auto snap_cells = RunSweep(ig, oracle, snap_config, context.pool());
+        auto one_cells = RunSweep(ig, oracle, one_config, context.pool());
+        SOLDIST_LOG(Info) << network << " " << ProbabilityModelName(model)
+                          << " k=" << k << " in " << timer.HumanElapsed();
+
+        auto pairs =
+            ComputeComparablePairs(CurveOf(snap_cells), CurveOf(one_cells));
+        for (const ComparablePair& pair : pairs) {
+          csv.Row()
+              .Str(network)
+              .Str(ProbabilityModelName(model))
+              .Int(k)
+              .UInt(pair.s1)
+              .UInt(pair.s2)
+              .Real(pair.number_ratio, 4)
+              .Done();
+        }
+        auto median = MedianNumberRatio(pairs);
+        row.push_back(median ? FormatDouble(*median, 2) : "-");
+      }
+      table.AddRow(std::move(row));
+    }
+  }
+  PrintTable(
+      "Table 6: median comparable number ratio β/τ of Oneshot to Snapshot",
+      table);
+  MaybeWriteCsv(csv, options.out_csv);
+  return 0;
+}
+
+}  // namespace
+}  // namespace soldist
+
+int main(int argc, char** argv) { return soldist::Run(argc, argv); }

@@ -1,0 +1,100 @@
+// Viral marketing scenario (the paper's motivating application): a brand
+// wants to gift k products so that word-of-mouth reaches as many users as
+// possible. Compares the three algorithmic approaches plus cheap
+// heuristics on a scale-free social-network proxy, reporting oracle
+// influence and traversal cost for each — a miniature of the paper's
+// efficiency-vs-quality trade-off.
+//
+//   ./viral_marketing [--n 20000] [--k 8] [--budget-exp 10]
+
+#include <cstdio>
+
+#include "core/baselines.h"
+#include "core/greedy.h"
+#include "exp/trial_runner.h"
+#include "gen/datasets.h"
+#include "graph/builder.h"
+#include "model/probability.h"
+#include "oracle/rr_oracle.h"
+#include "util/args.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace soldist {
+namespace {
+
+int Run(int argc, const char* const* argv) {
+  ArgParser args("viral_marketing",
+                 "Compare Oneshot/Snapshot/RIS and heuristics for a "
+                 "viral-marketing seed selection.");
+  args.AddInt64("n", 20000, "social-network size (com-Youtube-style proxy)");
+  args.AddInt64("k", 8, "marketing budget (number of seeded users)");
+  args.AddInt64("budget-exp", 10,
+                "sample-number exponent: Snapshot/RIS use 2^e, Oneshot "
+                "2^(e-4) (Oneshot resimulates per estimate)");
+  args.AddInt64("seed", 42, "PRNG seed");
+  if (!args.Parse(argc, argv).ok()) return 1;
+
+  auto n = static_cast<VertexId>(args.GetInt64("n"));
+  auto k = static_cast<int>(args.GetInt64("k"));
+  auto exp = static_cast<int>(args.GetInt64("budget-exp"));
+  auto seed = static_cast<std::uint64_t>(args.GetInt64("seed"));
+
+  std::printf("building a %u-user social-network proxy...\n", n);
+  Graph graph =
+      GraphBuilder::FromEdgeList(Datasets::ComYoutube(seed, n));
+  InfluenceGraph ig =
+      MakeInfluenceGraph(std::move(graph), ProbabilityModel::kIwc);
+  RrOracle oracle(&ig, 200000, seed + 1);
+
+  TextTable table({"strategy", "sample number", "oracle influence",
+                   "vertex traversals", "edge traversals"});
+
+  // The three principled approaches through the greedy framework.
+  struct Strategy {
+    Approach approach;
+    std::uint64_t sample_number;
+  };
+  for (const Strategy& s :
+       {Strategy{Approach::kOneshot, 1ULL << std::max(0, exp - 4)},
+        Strategy{Approach::kSnapshot, 1ULL << exp},
+        Strategy{Approach::kRis, 1ULL << exp}}) {
+    auto estimator = MakeEstimator(&ig, s.approach, s.sample_number, seed);
+    Rng tie_rng(seed + 9);
+    GreedyRunResult result =
+        RunGreedy(estimator.get(), ig.num_vertices(), k, &tie_rng);
+    table.AddRow({ApproachName(s.approach),
+                  WithThousands(s.sample_number),
+                  FormatDouble(oracle.EstimateInfluence(result.seeds), 1),
+                  WithThousands(estimator->counters().vertices),
+                  WithThousands(estimator->counters().edges)});
+    std::printf("  %s done\n", ApproachName(s.approach).c_str());
+  }
+
+  // Cheap heuristics (paper Section 3.6: fast but less influential).
+  auto max_degree = MaxDegreeSeeds(ig.graph(), k);
+  table.AddRow({"MaxDegree heuristic", "-",
+                FormatDouble(oracle.EstimateInfluence(max_degree), 1), "-",
+                "-"});
+  auto discount = DegreeDiscountSeeds(ig.graph(), k, 0.01);
+  table.AddRow({"DegreeDiscount heuristic", "-",
+                FormatDouble(oracle.EstimateInfluence(discount), 1), "-",
+                "-"});
+  Rng random_rng(seed + 2);
+  auto random = RandomSeeds(ig.num_vertices(), k, &random_rng);
+  table.AddRow({"Random seeds", "-",
+                FormatDouble(oracle.EstimateInfluence(random), 1), "-",
+                "-"});
+
+  std::printf("\n%s\n", table.ToMarkdown().c_str());
+  std::printf("Reading guide: the three principled approaches land within "
+              "a few percent of each other (same greedy, different "
+              "estimators) and beat the heuristics; their traversal costs "
+              "differ by orders of magnitude — the paper's trade-off.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace soldist
+
+int main(int argc, char** argv) { return soldist::Run(argc, argv); }

@@ -1,0 +1,68 @@
+#include "core/adaptive.h"
+
+#include "core/factory.h"
+#include "core/greedy.h"
+#include "random/splitmix64.h"
+
+namespace soldist {
+
+AdaptiveResult SelectSampleNumber(const InfluenceGraph& ig,
+                                  const AdaptiveParams& params,
+                                  std::uint64_t seed) {
+  SOLDIST_CHECK(params.repetitions >= 2);
+  SOLDIST_CHECK(params.stable_rounds >= 1);
+  SOLDIST_CHECK(params.k >= 1);
+
+  AdaptiveResult result;
+  int streak = 0;
+  std::vector<VertexId> streak_set;
+  std::uint64_t streak_start_sample = 0;
+
+  for (int exponent = 0; exponent <= params.max_exponent; ++exponent) {
+    const std::uint64_t s = 1ULL << exponent;
+    ++result.rounds;
+    bool unanimous = true;
+    std::vector<VertexId> first_set;
+    for (int rep = 0; rep < params.repetitions; ++rep) {
+      std::uint64_t run_seed =
+          DeriveSeed(seed, static_cast<std::uint64_t>(exponent) * 1000 +
+                               static_cast<std::uint64_t>(rep));
+      auto estimator = MakeEstimator(&ig, params.approach, s, run_seed);
+      Rng tie_rng(DeriveSeed(run_seed, 1));
+      GreedyRunResult run =
+          RunGreedy(estimator.get(), ig.num_vertices(), params.k, &tie_rng);
+      result.counters += estimator->counters();
+      std::vector<VertexId> sorted = run.SortedSeedSet();
+      if (rep == 0) {
+        first_set = std::move(sorted);
+      } else if (sorted != first_set) {
+        unanimous = false;
+        // Keep running the remaining repetitions? No information gained:
+        // the round already failed.
+        break;
+      }
+    }
+    result.sample_number = s;
+    if (unanimous && (streak == 0 || first_set == streak_set)) {
+      if (streak == 0) {
+        streak_set = first_set;
+        streak_start_sample = s;
+      }
+      ++streak;
+      if (streak >= params.stable_rounds) {
+        result.converged = true;
+        result.sample_number = streak_start_sample;
+        result.seeds = std::move(streak_set);
+        return result;
+      }
+    } else {
+      streak = unanimous ? 1 : 0;
+      streak_set = unanimous ? first_set : std::vector<VertexId>{};
+      streak_start_sample = unanimous ? s : 0;
+    }
+    result.seeds = std::move(first_set);  // best-effort latest set
+  }
+  return result;
+}
+
+}  // namespace soldist

@@ -1,0 +1,59 @@
+// Adaptive sample-number selection: the paper's concluding open problem
+// (Section 7) asks for a practical way to pick β/τ for Oneshot and
+// Snapshot, which — unlike RIS — ship no stopping rule. This module
+// operationalizes the paper's own empirical finding ("for a sufficiently
+// large sample number we obtain a unique solution"): double the sample
+// number until independent repetitions agree on one seed set for several
+// consecutive rounds.
+
+#ifndef SOLDIST_CORE_ADAPTIVE_H_
+#define SOLDIST_CORE_ADAPTIVE_H_
+
+#include <vector>
+
+#include "core/estimator.h"
+#include "model/influence_graph.h"
+#include "sim/counters.h"
+
+namespace soldist {
+
+/// Tuning of the doubling search.
+struct AdaptiveParams {
+  Approach approach = Approach::kSnapshot;
+  int k = 1;
+  /// Independent greedy runs per candidate sample number.
+  int repetitions = 5;
+  /// Consecutive unanimous rounds (with the same set) required to stop.
+  int stable_rounds = 2;
+  /// Search range: sample numbers 2^0 .. 2^max_exponent.
+  int max_exponent = 20;
+};
+
+/// Output of SelectSampleNumber.
+struct AdaptiveResult {
+  /// Chosen sample number (the first of the stable streak), or the last
+  /// candidate tried when not converged.
+  std::uint64_t sample_number = 0;
+  /// The unanimous seed set (modal set of the last round otherwise).
+  std::vector<VertexId> seeds;
+  bool converged = false;
+  /// Candidate sample numbers tried.
+  int rounds = 0;
+  /// Total traversal cost spent across all runs (the price of selection).
+  TraversalCounters counters;
+};
+
+/// \brief Runs the doubling search.
+///
+/// Round j runs `repetitions` independent greedy selections at sample
+/// number 2^j. A round is *unanimous* when all repetitions return the
+/// same seed set; after `stable_rounds` consecutive unanimous rounds with
+/// the same set the search stops and reports the FIRST sample number of
+/// the streak.
+AdaptiveResult SelectSampleNumber(const InfluenceGraph& ig,
+                                  const AdaptiveParams& params,
+                                  std::uint64_t seed);
+
+}  // namespace soldist
+
+#endif  // SOLDIST_CORE_ADAPTIVE_H_

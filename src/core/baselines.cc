@@ -1,0 +1,70 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+
+namespace soldist {
+
+std::vector<VertexId> MaxDegreeSeeds(const Graph& graph, int k) {
+  SOLDIST_CHECK(k >= 1);
+  SOLDIST_CHECK(static_cast<VertexId>(k) <= graph.num_vertices());
+  std::vector<VertexId> order(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) order[v] = v;
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&graph](VertexId a, VertexId b) {
+                      VertexId da = graph.OutDegree(a);
+                      VertexId db = graph.OutDegree(b);
+                      return da != db ? da > db : a < b;
+                    });
+  order.resize(k);
+  return order;
+}
+
+std::vector<VertexId> RandomSeeds(VertexId num_vertices, int k, Rng* rng) {
+  SOLDIST_CHECK(k >= 1);
+  SOLDIST_CHECK(static_cast<VertexId>(k) <= num_vertices);
+  std::vector<std::uint8_t> taken(num_vertices, 0);
+  std::vector<VertexId> seeds;
+  seeds.reserve(k);
+  while (seeds.size() < static_cast<std::size_t>(k)) {
+    auto v = static_cast<VertexId>(rng->UniformInt(num_vertices));
+    if (taken[v]) continue;
+    taken[v] = 1;
+    seeds.push_back(v);
+  }
+  return seeds;
+}
+
+std::vector<VertexId> DegreeDiscountSeeds(const Graph& graph, int k,
+                                          double p) {
+  SOLDIST_CHECK(k >= 1);
+  SOLDIST_CHECK(static_cast<VertexId>(k) <= graph.num_vertices());
+  const VertexId n = graph.num_vertices();
+  std::vector<double> dd(n);
+  std::vector<std::uint32_t> t(n, 0);
+  std::vector<std::uint8_t> selected(n, 0);
+  for (VertexId v = 0; v < n; ++v) dd[v] = graph.OutDegree(v);
+
+  std::vector<VertexId> seeds;
+  seeds.reserve(k);
+  for (int round = 0; round < k; ++round) {
+    VertexId best = kInvalidVertex;
+    for (VertexId v = 0; v < n; ++v) {
+      if (selected[v]) continue;
+      if (best == kInvalidVertex || dd[v] > dd[best]) best = v;
+    }
+    SOLDIST_CHECK(best != kInvalidVertex);
+    selected[best] = 1;
+    seeds.push_back(best);
+    // Discount the out-neighbors of the chosen seed.
+    for (VertexId w : graph.OutNeighbors(best)) {
+      if (selected[w]) continue;
+      ++t[w];
+      double d = graph.OutDegree(w);
+      double tw = t[w];
+      dd[w] = d - 2.0 * tw - (d - tw) * tw * p;
+    }
+  }
+  return seeds;
+}
+
+}  // namespace soldist

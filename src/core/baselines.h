@@ -1,0 +1,30 @@
+// Cheap heuristic baselines (paper Section 3.6: quick guesses that trade
+// accuracy for speed). Useful as sanity anchors in examples and tests:
+// greedy with any reasonable sample number should beat them.
+
+#ifndef SOLDIST_CORE_BASELINES_H_
+#define SOLDIST_CORE_BASELINES_H_
+
+#include <vector>
+
+#include "model/influence_graph.h"
+#include "random/rng.h"
+
+namespace soldist {
+
+/// Top-k vertices by out-degree (ties by lower id).
+std::vector<VertexId> MaxDegreeSeeds(const Graph& graph, int k);
+
+/// k distinct uniform-random vertices.
+std::vector<VertexId> RandomSeeds(VertexId num_vertices, int k, Rng* rng);
+
+/// Degree-discount heuristic (Chen et al. 2009) specialized to uniform
+/// probability p: repeatedly picks the vertex maximizing the discounted
+/// degree dd(v) = d(v) − 2 t(v) − (d(v) − t(v)) t(v) p, where t(v) counts
+/// already-selected in-neighbors.
+std::vector<VertexId> DegreeDiscountSeeds(const Graph& graph, int k,
+                                          double p);
+
+}  // namespace soldist
+
+#endif  // SOLDIST_CORE_BASELINES_H_

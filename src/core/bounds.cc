@@ -1,0 +1,46 @@
+#include "core/bounds.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace soldist {
+
+double LogBinomial(std::uint64_t n, std::uint64_t k) {
+  SOLDIST_CHECK(k <= n);
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double OneshotSampleBound(const BoundParams& p) {
+  SOLDIST_CHECK(p.opt_k > 0.0);
+  double k = static_cast<double>(p.k);
+  double n = static_cast<double>(p.n);
+  return (k * k * n * (std::log(1.0 / p.delta) + std::log(std::max(k, 1.0)))) /
+         (p.epsilon * p.epsilon * p.opt_k);
+}
+
+double SnapshotSampleBound(const BoundParams& p) {
+  double n = static_cast<double>(p.n);
+  double k = static_cast<double>(p.k);
+  return n * n * (k * std::log(n) + std::log(1.0 / p.delta)) /
+         (2.0 * p.epsilon * p.epsilon);
+}
+
+double RisSampleBound(const BoundParams& p) {
+  SOLDIST_CHECK(p.opt_k > 0.0);
+  double n = static_cast<double>(p.n);
+  return (8.0 + 2.0 * p.epsilon) * n *
+         (std::log(1.0 / p.delta) + LogBinomial(p.n, p.k)) /
+         (p.opt_k * p.epsilon * p.epsilon);
+}
+
+double BorgsWeightThreshold(const BoundParams& p) {
+  double k = static_cast<double>(p.k);
+  double mn = static_cast<double>(p.m + p.n);
+  return k * mn * std::log2(static_cast<double>(p.n)) /
+         (p.epsilon * p.epsilon);
+}
+
+}  // namespace soldist

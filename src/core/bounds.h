@@ -1,0 +1,50 @@
+// Worst-case sample-number bounds from the literature, as referenced in
+// paper Sections 3.3.3, 3.4.3, 3.5.3 and compared against empirical least
+// sample numbers in Section 5.2.1. These are *illustrative calculators*:
+// the paper's point is precisely that they exceed the empirical
+// requirements by orders of magnitude (e.g. 1.0e8 vs 256 on Wiki-Vote).
+
+#ifndef SOLDIST_CORE_BOUNDS_H_
+#define SOLDIST_CORE_BOUNDS_H_
+
+#include <cstdint>
+
+#include "graph/types.h"
+
+namespace soldist {
+
+/// Inputs common to the bound formulas.
+struct BoundParams {
+  std::uint64_t n = 0;     ///< number of vertices
+  std::uint64_t m = 0;     ///< number of edges
+  std::uint64_t k = 1;     ///< seed size
+  double epsilon = 0.05;   ///< accuracy parameter
+  double delta = 0.01;     ///< failure probability
+  double opt_k = 1.0;      ///< OPT_k (or a lower bound on it)
+};
+
+/// Oneshot bound (Tang et al. 2014, Lemma 10, as cited in Section 3.3.3):
+/// β = ε⁻² k² n (ln(1/δ) + ln k) / OPT_k simulations per estimate give a
+/// (1 − 1/e − ε)-approximation w.p. 1 − δ.
+double OneshotSampleBound(const BoundParams& p);
+
+/// Snapshot bound (Karimi et al. 2017, Prop. 3, as cited in Section
+/// 3.4.3): τ = n² ε⁻² (k ln n + ln(1/δ)) / 2 random graphs give influence
+/// at least (1 − 1/e)·OPT_k − ε·n with probability 1 − δ.
+/// (ε here is relative to n, matching the additive form in the paper.)
+double SnapshotSampleBound(const BoundParams& p);
+
+/// RIS bound (Tang et al. 2014, TIM+, as cited in Section 3.5.3):
+/// θ = (8 + 2ε) n (ln(1/δ) + ln C(n,k)) / (OPT_k ε²).
+double RisSampleBound(const BoundParams& p);
+
+/// Borgs et al. total-weight stopping threshold: RR-set generation may
+/// stop once Σ w(R) ≥ ε⁻² k (m + n) log₂ n.
+double BorgsWeightThreshold(const BoundParams& p);
+
+/// ln C(n, k) computed stably via lgamma.
+double LogBinomial(std::uint64_t n, std::uint64_t k);
+
+}  // namespace soldist
+
+#endif  // SOLDIST_CORE_BOUNDS_H_

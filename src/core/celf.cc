@@ -1,0 +1,65 @@
+#include "core/celf.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace soldist {
+namespace {
+
+struct HeapEntry {
+  double bound;          // stale marginal (upper bound by submodularity)
+  std::uint64_t shuffle_rank;  // larger rank wins ties (last-max semantics)
+  VertexId vertex;
+  int last_updated_round;
+
+  bool operator<(const HeapEntry& other) const {
+    if (bound != other.bound) return bound < other.bound;
+    return shuffle_rank < other.shuffle_rank;
+  }
+};
+
+}  // namespace
+
+CelfRunResult RunCelfGreedy(InfluenceEstimator* estimator,
+                            VertexId num_vertices, int k, Rng* tie_rng) {
+  SOLDIST_CHECK(k >= 1);
+  SOLDIST_CHECK(static_cast<VertexId>(k) <= num_vertices);
+  SOLDIST_CHECK(estimator->EstimatesAreMarginal())
+      << "CELF requires a submodular (marginal) estimator; Oneshot's "
+         "independent estimates are not lazily reusable";
+
+  estimator->Build();
+
+  std::vector<VertexId> order(num_vertices);
+  for (VertexId v = 0; v < num_vertices; ++v) order[v] = v;
+  std::shuffle(order.begin(), order.end(), tie_rng->engine());
+
+  CelfRunResult result;
+  std::priority_queue<HeapEntry> heap;
+  for (std::uint64_t rank = 0; rank < order.size(); ++rank) {
+    VertexId v = order[rank];
+    double estimate = estimator->Estimate(v);
+    ++result.estimate_calls;
+    heap.push({estimate, rank, v, 0});
+  }
+
+  for (int round = 0; round < k; ++round) {
+    while (true) {
+      HeapEntry top = heap.top();
+      heap.pop();
+      if (top.last_updated_round == round) {
+        estimator->Update(top.vertex);
+        result.greedy.seeds.push_back(top.vertex);
+        result.greedy.estimates.push_back(top.bound);
+        break;
+      }
+      top.bound = estimator->Estimate(top.vertex);
+      ++result.estimate_calls;
+      top.last_updated_round = round;
+      heap.push(top);
+    }
+  }
+  return result;
+}
+
+}  // namespace soldist

@@ -1,0 +1,17 @@
+#include "core/estimator.h"
+
+namespace soldist {
+
+std::string ApproachName(Approach approach) {
+  switch (approach) {
+    case Approach::kOneshot:
+      return "Oneshot";
+    case Approach::kSnapshot:
+      return "Snapshot";
+    case Approach::kRis:
+      return "RIS";
+  }
+  return "?";
+}
+
+}  // namespace soldist

@@ -1,0 +1,60 @@
+// The Build / Estimate / Update interface of the paper's simple greedy
+// framework (Algorithm 3.1). Oneshot, Snapshot, and RIS are the three
+// implementations (Algorithms 3.2-3.4).
+
+#ifndef SOLDIST_CORE_ESTIMATOR_H_
+#define SOLDIST_CORE_ESTIMATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "sim/counters.h"
+
+namespace soldist {
+
+/// \brief An influence estimator pluggable into the greedy framework.
+///
+/// Lifecycle: Build() once, then k rounds of { Estimate(v) for candidate
+/// vertices; Update(chosen) }. Implementations track the current seed set
+/// internally through Update.
+class InfluenceEstimator {
+ public:
+  virtual ~InfluenceEstimator() = default;
+
+  /// Builds the estimator state (samples snapshots / RR sets; a no-op for
+  /// Oneshot). Must be called exactly once before Estimate/Update.
+  virtual void Build() = 0;
+
+  /// Score used by greedy to rank v as the next seed given the current
+  /// seed set S. Snapshot and RIS return the estimated *marginal* gain
+  /// Inf(S+v) − Inf(S); Oneshot returns the estimated Inf(S+v) (paper
+  /// Algorithm 3.2) — "the results will be the same regardless" for
+  /// selection purposes (Section 3.2).
+  virtual double Estimate(VertexId v) = 0;
+
+  /// Commits v as the next seed and refreshes internal state.
+  virtual void Update(VertexId v) = 0;
+
+  /// True when Estimate returns marginal gains (enables lazy/CELF greedy).
+  virtual bool EstimatesAreMarginal() const = 0;
+
+  /// The sample number (β, τ, or θ).
+  virtual std::uint64_t sample_number() const = 0;
+
+  /// Work counters accumulated across Build/Estimate/Update.
+  virtual const TraversalCounters& counters() const = 0;
+
+  /// Approach name: "Oneshot", "Snapshot", or "RIS".
+  virtual std::string name() const = 0;
+};
+
+/// The three approaches, in the paper's column order.
+enum class Approach { kOneshot, kSnapshot, kRis };
+
+/// Canonical display name ("Oneshot" / "Snapshot" / "RIS").
+std::string ApproachName(Approach approach);
+
+}  // namespace soldist
+
+#endif  // SOLDIST_CORE_ESTIMATOR_H_

@@ -1,0 +1,24 @@
+#include "core/factory.h"
+
+#include "core/oneshot.h"
+#include "core/ris.h"
+
+namespace soldist {
+
+std::unique_ptr<InfluenceEstimator> MakeEstimator(
+    const InfluenceGraph* ig, Approach approach, std::uint64_t sample_number,
+    std::uint64_t seed, SnapshotEstimator::Mode snapshot_mode) {
+  switch (approach) {
+    case Approach::kOneshot:
+      return std::make_unique<OneshotEstimator>(ig, sample_number, seed);
+    case Approach::kSnapshot:
+      return std::make_unique<SnapshotEstimator>(ig, sample_number, seed,
+                                                 snapshot_mode);
+    case Approach::kRis:
+      return std::make_unique<RisEstimator>(ig, sample_number, seed);
+  }
+  SOLDIST_CHECK(false) << "unreachable";
+  return nullptr;
+}
+
+}  // namespace soldist

@@ -1,0 +1,25 @@
+// Estimator factory: one call site for "give me approach X at sample
+// number s" used by the experiment harness, the adaptive selector, and
+// the examples.
+
+#ifndef SOLDIST_CORE_FACTORY_H_
+#define SOLDIST_CORE_FACTORY_H_
+
+#include <memory>
+
+#include "core/estimator.h"
+#include "core/snapshot.h"
+#include "model/influence_graph.h"
+
+namespace soldist {
+
+/// Creates the estimator for one run.
+std::unique_ptr<InfluenceEstimator> MakeEstimator(
+    const InfluenceGraph* ig, Approach approach, std::uint64_t sample_number,
+    std::uint64_t seed,
+    SnapshotEstimator::Mode snapshot_mode =
+        SnapshotEstimator::Mode::kResidual);
+
+}  // namespace soldist
+
+#endif  // SOLDIST_CORE_FACTORY_H_

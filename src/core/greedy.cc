@@ -1,0 +1,50 @@
+#include "core/greedy.h"
+
+#include <algorithm>
+
+namespace soldist {
+
+std::vector<VertexId> GreedyRunResult::SortedSeedSet() const {
+  std::vector<VertexId> sorted = seeds;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+GreedyRunResult RunGreedy(InfluenceEstimator* estimator,
+                          VertexId num_vertices, int k, Rng* tie_rng) {
+  SOLDIST_CHECK(k >= 1);
+  SOLDIST_CHECK(static_cast<VertexId>(k) <= num_vertices);
+
+  estimator->Build();
+
+  std::vector<VertexId> order(num_vertices);
+  for (VertexId v = 0; v < num_vertices; ++v) order[v] = v;
+  std::shuffle(order.begin(), order.end(), tie_rng->engine());
+
+  std::vector<std::uint8_t> selected(num_vertices, 0);
+  GreedyRunResult result;
+  result.seeds.reserve(k);
+  result.estimates.reserve(k);
+  for (int round = 0; round < k; ++round) {
+    VertexId best = kInvalidVertex;
+    double best_estimate = -1.0;
+    for (VertexId v : order) {
+      if (selected[v]) continue;
+      double estimate = estimator->Estimate(v);
+      // ">=": the LAST maximum in shuffled order wins (Algorithm 3.1
+      // line 5), which breaks ties uniformly at random.
+      if (estimate >= best_estimate) {
+        best_estimate = estimate;
+        best = v;
+      }
+    }
+    SOLDIST_CHECK(best != kInvalidVertex);
+    estimator->Update(best);
+    selected[best] = 1;
+    result.seeds.push_back(best);
+    result.estimates.push_back(best_estimate);
+  }
+  return result;
+}
+
+}  // namespace soldist

@@ -1,0 +1,120 @@
+#include "core/lt_estimators.h"
+
+#include "random/splitmix64.h"
+
+namespace soldist {
+
+LtOneshotEstimator::LtOneshotEstimator(const LtWeights* weights,
+                                       std::uint64_t beta,
+                                       std::uint64_t seed)
+    : beta_(beta), rng_(seed), simulator_(&weights->influence_graph()) {
+  SOLDIST_CHECK(beta_ >= 1);
+}
+
+double LtOneshotEstimator::Estimate(VertexId v) {
+  scratch_.assign(seeds_.begin(), seeds_.end());
+  scratch_.push_back(v);
+  return simulator_.EstimateInfluence(scratch_, beta_, &rng_, &counters_);
+}
+
+LtSnapshotEstimator::LtSnapshotEstimator(const LtWeights* weights,
+                                         std::uint64_t tau,
+                                         std::uint64_t seed)
+    : weights_(weights), tau_(tau), rng_(seed), sampler_(weights) {
+  SOLDIST_CHECK(tau_ >= 1);
+}
+
+void LtSnapshotEstimator::Build() {
+  SOLDIST_CHECK(!built_) << "Build() must be called exactly once";
+  built_ = true;
+  snapshots_.reserve(tau_);
+  for (std::uint64_t i = 0; i < tau_; ++i) {
+    snapshots_.push_back(sampler_.Sample(&rng_, &counters_));
+  }
+  base_reach_.assign(tau_, 0);
+}
+
+double LtSnapshotEstimator::Estimate(VertexId v) {
+  SOLDIST_CHECK(built_);
+  scratch_.assign(seeds_.begin(), seeds_.end());
+  scratch_.push_back(v);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < snapshots_.size(); ++i) {
+    total += sampler_.CountReachable(snapshots_[i], scratch_, &counters_) -
+             base_reach_[i];
+  }
+  return static_cast<double>(total) / static_cast<double>(tau_);
+}
+
+void LtSnapshotEstimator::Update(VertexId v) {
+  SOLDIST_CHECK(built_);
+  seeds_.push_back(v);
+  for (std::size_t i = 0; i < snapshots_.size(); ++i) {
+    base_reach_[i] = sampler_.CountReachable(snapshots_[i], seeds_,
+                                             &counters_);
+  }
+}
+
+LtRisEstimator::LtRisEstimator(const LtWeights* weights, std::uint64_t theta,
+                               std::uint64_t seed)
+    : weights_(weights),
+      theta_(theta),
+      target_rng_(DeriveSeed(seed, 1)),
+      coin_rng_(DeriveSeed(seed, 2)),
+      sampler_(weights),
+      collection_(weights->influence_graph().num_vertices()) {
+  SOLDIST_CHECK(theta_ >= 1);
+}
+
+void LtRisEstimator::Build() {
+  SOLDIST_CHECK(!built_) << "Build() must be called exactly once";
+  built_ = true;
+  std::vector<VertexId> rr_set;
+  for (std::uint64_t i = 0; i < theta_; ++i) {
+    sampler_.Sample(&target_rng_, &coin_rng_, &rr_set, &counters_);
+    collection_.Add(rr_set);
+  }
+  collection_.BuildIndex();
+  cover_count_.assign(weights_->influence_graph().num_vertices(), 0);
+  for (std::uint64_t set_id = 0; set_id < collection_.size(); ++set_id) {
+    for (VertexId v : collection_.Set(set_id)) ++cover_count_[v];
+  }
+  set_active_.assign(collection_.size(), 1);
+}
+
+double LtRisEstimator::Estimate(VertexId v) {
+  SOLDIST_CHECK(built_);
+  return static_cast<double>(weights_->influence_graph().num_vertices()) *
+         static_cast<double>(cover_count_[v]) / static_cast<double>(theta_);
+}
+
+void LtRisEstimator::Update(VertexId v) {
+  SOLDIST_CHECK(built_);
+  for (std::uint64_t set_id : collection_.InvertedList(v)) {
+    if (!set_active_[set_id]) continue;
+    set_active_[set_id] = 0;
+    for (VertexId w : collection_.Set(set_id)) {
+      SOLDIST_DCHECK(cover_count_[w] > 0);
+      --cover_count_[w];
+    }
+  }
+}
+
+std::unique_ptr<InfluenceEstimator> MakeLtEstimator(
+    const LtWeights* weights, Approach approach, std::uint64_t sample_number,
+    std::uint64_t seed) {
+  switch (approach) {
+    case Approach::kOneshot:
+      return std::make_unique<LtOneshotEstimator>(weights, sample_number,
+                                                  seed);
+    case Approach::kSnapshot:
+      return std::make_unique<LtSnapshotEstimator>(weights, sample_number,
+                                                   seed);
+    case Approach::kRis:
+      return std::make_unique<LtRisEstimator>(weights, sample_number, seed);
+  }
+  SOLDIST_CHECK(false) << "unreachable";
+  return nullptr;
+}
+
+}  // namespace soldist

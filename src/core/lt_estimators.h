@@ -1,0 +1,105 @@
+// The three algorithmic approaches under the LINEAR THRESHOLD model:
+// LT counterparts of OneshotEstimator / SnapshotEstimator / RisEstimator,
+// plugging into the same greedy framework (library extension; the paper's
+// experiments use IC).
+
+#ifndef SOLDIST_CORE_LT_ESTIMATORS_H_
+#define SOLDIST_CORE_LT_ESTIMATORS_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/estimator.h"
+#include "model/lt.h"
+#include "sim/lt_forward_sim.h"
+#include "sim/lt_samplers.h"
+#include "sim/rr_sampler.h"
+
+namespace soldist {
+
+/// \brief Oneshot under LT: β fresh threshold simulations per estimate.
+class LtOneshotEstimator : public InfluenceEstimator {
+ public:
+  LtOneshotEstimator(const LtWeights* weights, std::uint64_t beta,
+                     std::uint64_t seed);
+
+  void Build() override {}
+  double Estimate(VertexId v) override;
+  void Update(VertexId v) override { seeds_.push_back(v); }
+  bool EstimatesAreMarginal() const override { return false; }
+  std::uint64_t sample_number() const override { return beta_; }
+  const TraversalCounters& counters() const override { return counters_; }
+  std::string name() const override { return "LT-Oneshot"; }
+
+ private:
+  std::uint64_t beta_;
+  Rng rng_;
+  LtForwardSimulator simulator_;
+  std::vector<VertexId> seeds_;
+  std::vector<VertexId> scratch_;
+  TraversalCounters counters_;
+};
+
+/// \brief Snapshot under LT: τ live-edge graphs (<= n edges each), naive
+/// marginal estimates with the base reach cached per greedy round.
+class LtSnapshotEstimator : public InfluenceEstimator {
+ public:
+  LtSnapshotEstimator(const LtWeights* weights, std::uint64_t tau,
+                      std::uint64_t seed);
+
+  void Build() override;
+  double Estimate(VertexId v) override;
+  void Update(VertexId v) override;
+  bool EstimatesAreMarginal() const override { return true; }
+  std::uint64_t sample_number() const override { return tau_; }
+  const TraversalCounters& counters() const override { return counters_; }
+  std::string name() const override { return "LT-Snapshot"; }
+
+ private:
+  const LtWeights* weights_;
+  std::uint64_t tau_;
+  Rng rng_;
+  LtSnapshotSampler sampler_;
+  std::vector<Snapshot> snapshots_;
+  std::vector<std::uint32_t> base_reach_;
+  std::vector<VertexId> seeds_;
+  std::vector<VertexId> scratch_;
+  TraversalCounters counters_;
+  bool built_ = false;
+};
+
+/// \brief RIS under LT: θ backward-walk RR sets, coverage as under IC.
+class LtRisEstimator : public InfluenceEstimator {
+ public:
+  LtRisEstimator(const LtWeights* weights, std::uint64_t theta,
+                 std::uint64_t seed);
+
+  void Build() override;
+  double Estimate(VertexId v) override;
+  void Update(VertexId v) override;
+  bool EstimatesAreMarginal() const override { return true; }
+  std::uint64_t sample_number() const override { return theta_; }
+  const TraversalCounters& counters() const override { return counters_; }
+  std::string name() const override { return "LT-RIS"; }
+
+ private:
+  const LtWeights* weights_;
+  std::uint64_t theta_;
+  Rng target_rng_;
+  Rng coin_rng_;
+  LtRrSampler sampler_;
+  RrCollection collection_;
+  std::vector<std::uint32_t> cover_count_;
+  std::vector<std::uint8_t> set_active_;
+  TraversalCounters counters_;
+  bool built_ = false;
+};
+
+/// Factory mirroring MakeEstimator for the LT model.
+std::unique_ptr<InfluenceEstimator> MakeLtEstimator(
+    const LtWeights* weights, Approach approach, std::uint64_t sample_number,
+    std::uint64_t seed);
+
+}  // namespace soldist
+
+#endif  // SOLDIST_CORE_LT_ESTIMATORS_H_

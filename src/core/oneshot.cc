@@ -1,0 +1,17 @@
+#include "core/oneshot.h"
+
+namespace soldist {
+
+OneshotEstimator::OneshotEstimator(const InfluenceGraph* ig,
+                                   std::uint64_t beta, std::uint64_t seed)
+    : ig_(ig), beta_(beta), rng_(seed), simulator_(ig) {
+  SOLDIST_CHECK(beta_ >= 1);
+}
+
+double OneshotEstimator::Estimate(VertexId v) {
+  scratch_.assign(seeds_.begin(), seeds_.end());
+  scratch_.push_back(v);
+  return simulator_.EstimateInfluence(scratch_, beta_, &rng_, &counters_);
+}
+
+}  // namespace soldist

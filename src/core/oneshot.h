@@ -1,0 +1,49 @@
+// Oneshot (paper Algorithm 3.2): Monte-Carlo simulation on the spot.
+// Sample number β = simulations per Estimate call. Estimates are unbiased
+// but mutually independent, so neither monotonicity nor submodularity of
+// the estimated function is guaranteed (Section 3.3.1).
+
+#ifndef SOLDIST_CORE_ONESHOT_H_
+#define SOLDIST_CORE_ONESHOT_H_
+
+#include <vector>
+
+#include "core/estimator.h"
+#include "model/influence_graph.h"
+#include "sim/forward_sim.h"
+
+namespace soldist {
+
+/// \brief The Oneshot estimator.
+class OneshotEstimator : public InfluenceEstimator {
+ public:
+  /// \param beta simulations per estimate (must be >= 1)
+  /// \param seed PRNG seed for this run
+  OneshotEstimator(const InfluenceGraph* ig, std::uint64_t beta,
+                   std::uint64_t seed);
+
+  void Build() override {}  // Oneshot builds nothing.
+
+  /// Mean activated count over β fresh simulations from S ∪ {v}.
+  double Estimate(VertexId v) override;
+
+  void Update(VertexId v) override { seeds_.push_back(v); }
+
+  bool EstimatesAreMarginal() const override { return false; }
+  std::uint64_t sample_number() const override { return beta_; }
+  const TraversalCounters& counters() const override { return counters_; }
+  std::string name() const override { return "Oneshot"; }
+
+ private:
+  const InfluenceGraph* ig_;
+  std::uint64_t beta_;
+  Rng rng_;
+  ForwardSimulator simulator_;
+  std::vector<VertexId> seeds_;
+  std::vector<VertexId> scratch_;
+  TraversalCounters counters_;
+};
+
+}  // namespace soldist
+
+#endif  // SOLDIST_CORE_ONESHOT_H_

@@ -1,0 +1,52 @@
+#include "core/ris.h"
+
+#include "random/splitmix64.h"
+
+namespace soldist {
+
+RisEstimator::RisEstimator(const InfluenceGraph* ig, std::uint64_t theta,
+                           std::uint64_t seed)
+    : ig_(ig),
+      theta_(theta),
+      target_rng_(DeriveSeed(seed, 1)),
+      coin_rng_(DeriveSeed(seed, 2)),
+      sampler_(ig),
+      collection_(ig->num_vertices()) {
+  SOLDIST_CHECK(theta_ >= 1);
+}
+
+void RisEstimator::Build() {
+  SOLDIST_CHECK(!built_) << "Build() must be called exactly once";
+  built_ = true;
+  std::vector<VertexId> rr_set;
+  for (std::uint64_t i = 0; i < theta_; ++i) {
+    sampler_.Sample(&target_rng_, &coin_rng_, &rr_set, &counters_);
+    collection_.Add(rr_set);
+  }
+  collection_.BuildIndex();
+  cover_count_.assign(ig_->num_vertices(), 0);
+  for (std::uint64_t set_id = 0; set_id < collection_.size(); ++set_id) {
+    for (VertexId v : collection_.Set(set_id)) ++cover_count_[v];
+  }
+  set_active_.assign(collection_.size(), 1);
+}
+
+double RisEstimator::Estimate(VertexId v) {
+  SOLDIST_CHECK(built_);
+  return static_cast<double>(ig_->num_vertices()) *
+         static_cast<double>(cover_count_[v]) / static_cast<double>(theta_);
+}
+
+void RisEstimator::Update(VertexId v) {
+  SOLDIST_CHECK(built_);
+  for (std::uint64_t set_id : collection_.InvertedList(v)) {
+    if (!set_active_[set_id]) continue;
+    set_active_[set_id] = 0;
+    for (VertexId w : collection_.Set(set_id)) {
+      SOLDIST_DCHECK(cover_count_[w] > 0);
+      --cover_count_[w];
+    }
+  }
+}
+
+}  // namespace soldist

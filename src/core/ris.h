@@ -1,0 +1,59 @@
+// RIS — Reverse Influence Sampling (paper Algorithm 3.4, Borgs et al.):
+// θ RR sets drawn in Build turn influence maximization into maximum
+// coverage. Estimate(v) is the marginal coverage n·F_R(v); Update removes
+// the RR sets covered by the new seed.
+
+#ifndef SOLDIST_CORE_RIS_H_
+#define SOLDIST_CORE_RIS_H_
+
+#include <vector>
+
+#include "core/estimator.h"
+#include "model/influence_graph.h"
+#include "sim/rr_sampler.h"
+
+namespace soldist {
+
+/// \brief The RIS estimator.
+class RisEstimator : public InfluenceEstimator {
+ public:
+  /// \param theta number of RR sets (must be >= 1)
+  RisEstimator(const InfluenceGraph* ig, std::uint64_t theta,
+               std::uint64_t seed);
+
+  /// Draws the θ RR sets (two PRNG streams: targets and edge coins, as in
+  /// paper Section 4.1) and builds coverage counts.
+  void Build() override;
+
+  /// n · (# uncovered RR sets containing v) / θ — the unbiased estimate of
+  /// the marginal influence of v w.r.t. the current seed set.
+  double Estimate(VertexId v) override;
+
+  /// Deactivates all RR sets containing v and decrements the coverage
+  /// counts of their members.
+  void Update(VertexId v) override;
+
+  bool EstimatesAreMarginal() const override { return true; }
+  std::uint64_t sample_number() const override { return theta_; }
+  const TraversalCounters& counters() const override { return counters_; }
+  std::string name() const override { return "RIS"; }
+
+  /// Empirical mean RR-set size (EPT); valid after Build.
+  double EmpiricalEpt() const { return collection_.MeanSize(); }
+
+ private:
+  const InfluenceGraph* ig_;
+  std::uint64_t theta_;
+  Rng target_rng_;
+  Rng coin_rng_;
+  RrSampler sampler_;
+  RrCollection collection_;
+  std::vector<std::uint32_t> cover_count_;  // per vertex, active sets only
+  std::vector<std::uint8_t> set_active_;
+  TraversalCounters counters_;
+  bool built_ = false;
+};
+
+}  // namespace soldist
+
+#endif  // SOLDIST_CORE_RIS_H_

@@ -1,0 +1,102 @@
+#include "core/snapshot.h"
+
+namespace soldist {
+
+SnapshotEstimator::SnapshotEstimator(const InfluenceGraph* ig,
+                                     std::uint64_t tau, std::uint64_t seed,
+                                     Mode mode)
+    : ig_(ig),
+      tau_(tau),
+      seed_(seed),
+      mode_(mode),
+      rng_(seed),
+      sampler_(ig),
+      visited_(ig->num_vertices()) {
+  SOLDIST_CHECK(tau_ >= 1);
+  queue_.reserve(ig->num_vertices());
+}
+
+void SnapshotEstimator::Build() {
+  SOLDIST_CHECK(!built_) << "Build() must be called exactly once";
+  built_ = true;
+  snapshots_.reserve(tau_);
+  for (std::uint64_t i = 0; i < tau_; ++i) {
+    snapshots_.push_back(sampler_.Sample(&rng_, &counters_));
+  }
+  if (mode_ == Mode::kNaive) {
+    base_reach_.assign(tau_, 0);  // r_i(∅) = 0
+  } else {
+    removed_.assign(tau_ * static_cast<std::uint64_t>(ig_->num_vertices()),
+                    0);
+  }
+}
+
+std::uint32_t SnapshotEstimator::ResidualReach(
+    std::size_t i, std::span<const VertexId> sources, bool mark_removed) {
+  const Snapshot& snap = snapshots_[i];
+  const std::uint8_t* removed =
+      removed_.data() + i * static_cast<std::uint64_t>(ig_->num_vertices());
+  visited_.NextEpoch();
+  queue_.clear();
+  for (VertexId s : sources) {
+    if (removed[s]) continue;
+    if (visited_.Mark(s)) queue_.push_back(s);
+  }
+  std::size_t head = 0;
+  while (head < queue_.size()) {
+    VertexId u = queue_[head++];
+    counters_.vertices += 1;
+    const EdgeId begin = snap.out_offsets[u];
+    const EdgeId end = snap.out_offsets[u + 1];
+    counters_.edges += end - begin;
+    for (EdgeId e = begin; e < end; ++e) {
+      VertexId w = snap.out_targets[e];
+      if (removed[w] || visited_.IsMarked(w)) continue;
+      visited_.Mark(w);
+      queue_.push_back(w);
+    }
+  }
+  if (mark_removed) {
+    auto* removed_mut = removed_.data() +
+                        i * static_cast<std::uint64_t>(ig_->num_vertices());
+    for (VertexId u : queue_) removed_mut[u] = 1;
+  }
+  return static_cast<std::uint32_t>(queue_.size());
+}
+
+double SnapshotEstimator::Estimate(VertexId v) {
+  SOLDIST_CHECK(built_);
+  std::uint64_t total = 0;
+  if (mode_ == Mode::kNaive) {
+    scratch_.assign(seeds_.begin(), seeds_.end());
+    scratch_.push_back(v);
+    for (std::size_t i = 0; i < snapshots_.size(); ++i) {
+      total += sampler_.CountReachable(snapshots_[i], scratch_, &counters_) -
+               base_reach_[i];
+    }
+  } else {
+    const VertexId source[1] = {v};
+    for (std::size_t i = 0; i < snapshots_.size(); ++i) {
+      total += ResidualReach(i, source, /*mark_removed=*/false);
+    }
+  }
+  return static_cast<double>(total) / static_cast<double>(tau_);
+}
+
+void SnapshotEstimator::Update(VertexId v) {
+  SOLDIST_CHECK(built_);
+  seeds_.push_back(v);
+  if (mode_ == Mode::kNaive) {
+    for (std::size_t i = 0; i < snapshots_.size(); ++i) {
+      base_reach_[i] = static_cast<std::uint32_t>(
+          sampler_.CountReachable(snapshots_[i], seeds_, &counters_));
+    }
+  } else {
+    const VertexId source[1] = {v};
+    for (std::size_t i = 0; i < snapshots_.size(); ++i) {
+      ResidualReach(i, source, /*mark_removed=*/true);
+    }
+  }
+}
+
+}  // namespace soldist

@@ -1,0 +1,82 @@
+#include "core/tim.h"
+
+#include <cmath>
+
+#include "core/bounds.h"
+#include "core/ris.h"
+#include "random/splitmix64.h"
+#include "sim/rr_sampler.h"
+
+namespace soldist {
+
+double EstimateKpt(const InfluenceGraph& ig, const TimParams& params,
+                   std::uint64_t seed, std::uint64_t* rr_sets_used,
+                   TraversalCounters* counters) {
+  const auto n = static_cast<double>(ig.num_vertices());
+  const auto m = static_cast<double>(ig.num_edges());
+  SOLDIST_CHECK(ig.num_edges() > 0);
+
+  RrSampler sampler(&ig);
+  Rng target_rng(DeriveSeed(seed, 21));
+  Rng coin_rng(DeriveSeed(seed, 22));
+  std::vector<VertexId> rr_set;
+  std::uint64_t used = 0;
+
+  const double log_n = std::log(n);
+  const double log2_n = std::log2(n);
+  const int max_rounds = std::max(1, static_cast<int>(log2_n) - 1);
+  double kpt = 1.0;
+  for (int i = 1; i <= max_rounds; ++i) {
+    const auto c_i = static_cast<std::uint64_t>(
+        std::ceil((6.0 * params.ell * log_n + 6.0 * std::log(log2_n)) *
+                  std::pow(2.0, i)));
+    double kappa_sum = 0.0;
+    for (std::uint64_t j = 0; j < c_i; ++j) {
+      sampler.Sample(&target_rng, &coin_rng, &rr_set, counters);
+      ++used;
+      // w(R) = Σ_{v∈R} d−(v).
+      double width = 0.0;
+      for (VertexId v : rr_set) {
+        width += static_cast<double>(ig.graph().InDegree(v));
+      }
+      kappa_sum += 1.0 - std::pow(1.0 - width / m,
+                                  static_cast<double>(params.k));
+    }
+    double mean_kappa = kappa_sum / static_cast<double>(c_i);
+    if (mean_kappa > 1.0 / std::pow(2.0, i)) {
+      kpt = n * mean_kappa / 2.0;
+      break;
+    }
+  }
+  if (rr_sets_used != nullptr) *rr_sets_used = used;
+  return std::max(kpt, 1.0);  // OPT_k >= 1: a seed activates itself
+}
+
+double TimLambda(const InfluenceGraph& ig, const TimParams& params) {
+  const auto n = static_cast<double>(ig.num_vertices());
+  return (8.0 + 2.0 * params.epsilon) * n *
+         (params.ell * std::log(n) +
+          LogBinomial(ig.num_vertices(), params.k) + std::log(2.0)) /
+         (params.epsilon * params.epsilon);
+}
+
+TimResult RunTimPlus(const InfluenceGraph& ig, const TimParams& params,
+                     std::uint64_t seed) {
+  SOLDIST_CHECK(params.k >= 1);
+  SOLDIST_CHECK(params.epsilon > 0.0 && params.epsilon < 1.0);
+  TimResult result;
+  result.kpt = EstimateKpt(ig, params, seed, &result.kpt_rr_sets,
+                           &result.counters);
+  double theta_real = TimLambda(ig, params) / result.kpt;
+  result.theta =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(theta_real));
+
+  RisEstimator estimator(&ig, result.theta, DeriveSeed(seed, 23));
+  Rng tie_rng(DeriveSeed(seed, 24));
+  result.greedy =
+      RunGreedy(&estimator, ig.num_vertices(), params.k, &tie_rng);
+  result.counters += estimator.counters();
+  return result;
+}
+
+}  // namespace soldist

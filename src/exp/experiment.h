@@ -1,0 +1,93 @@
+// Shared bench scaffolding: common flags, the per-instance oracle cache,
+// and the scaled-down default sweep grids (the paper's full grids — T =
+// 1,000 trials, β,τ up to 2^16, θ up to 2^24, 10^7-RR-set oracle — ran for
+// weeks on a 500 GB server; see DESIGN.md Section 5).
+
+#ifndef SOLDIST_EXP_EXPERIMENT_H_
+#define SOLDIST_EXP_EXPERIMENT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "exp/instance_registry.h"
+#include "exp/sweep.h"
+#include "oracle/rr_oracle.h"
+#include "util/args.h"
+#include "util/thread_pool.h"
+
+namespace soldist {
+
+/// Options common to every table/figure bench.
+struct ExperimentOptions {
+  std::uint64_t trials = 200;       ///< T for normal instances
+  std::uint64_t star_trials = 20;   ///< T for ⋆ instances (paper: 20)
+  std::uint64_t seed = 42;          ///< master seed
+  std::uint64_t oracle_rr = 100000; ///< RR sets per instance oracle
+  VertexId star_n = 0;              ///< ⋆ vertex-count override (0=default)
+  bool full = false;                ///< paper-scale grids (slow!)
+  std::string out_csv;              ///< optional CSV output path
+  std::int64_t threads = 0;         ///< worker threads (0 = hardware)
+};
+
+/// Registers the shared flags on `args`.
+void AddExperimentFlags(ArgParser* args);
+
+/// Reads the shared flags back after Parse().
+ExperimentOptions ReadExperimentFlags(const ArgParser& args);
+
+/// Per-network sweep caps: max sample-number exponents per approach,
+/// scaled to this harness's budget (or the paper's grid with --full).
+struct GridCaps {
+  int oneshot_max_exp = 8;
+  int snapshot_max_exp = 8;
+  int ris_max_exp = 12;
+
+  int MaxExp(Approach approach) const {
+    switch (approach) {
+      case Approach::kOneshot:
+        return oneshot_max_exp;
+      case Approach::kSnapshot:
+        return snapshot_max_exp;
+      case Approach::kRis:
+        return ris_max_exp;
+    }
+    return 0;
+  }
+};
+
+/// Default caps for `network` ("--full" restores the paper's 16/16/24).
+GridCaps ScaledGridCaps(const std::string& network, bool full);
+
+/// \brief Owns the registry, thread pool, and per-instance oracles for one
+/// bench run.
+class ExperimentContext {
+ public:
+  explicit ExperimentContext(const ExperimentOptions& options);
+
+  /// Influence graph of (network, prob); CHECK-fails on unknown names
+  /// (bench instance lists are static, so failure is a programmer error).
+  const InfluenceGraph& Instance(const std::string& network,
+                                 ProbabilityModel prob);
+
+  /// The instance's shared oracle (built on first use, then reused across
+  /// all algorithms and sample numbers — paper Section 5.2).
+  const RrOracle& Oracle(const std::string& network, ProbabilityModel prob);
+
+  /// T for this network: options.star_trials for ⋆ networks.
+  std::uint64_t TrialsFor(const std::string& network) const;
+
+  ThreadPool* pool() { return pool_.get(); }
+  const ExperimentOptions& options() const { return options_; }
+  InstanceRegistry* registry() { return &registry_; }
+
+ private:
+  ExperimentOptions options_;
+  InstanceRegistry registry_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::map<std::string, std::unique_ptr<RrOracle>> oracles_;
+};
+
+}  // namespace soldist
+
+#endif  // SOLDIST_EXP_EXPERIMENT_H_

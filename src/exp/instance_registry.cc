@@ -1,0 +1,52 @@
+#include "exp/instance_registry.h"
+
+#include "random/splitmix64.h"
+
+namespace soldist {
+
+InstanceRegistry::InstanceRegistry(std::uint64_t dataset_seed,
+                                   VertexId star_n)
+    : dataset_seed_(dataset_seed), star_n_(star_n) {}
+
+StatusOr<const Graph*> InstanceRegistry::GetGraph(const std::string& network) {
+  auto it = graphs_.find(network);
+  if (it != graphs_.end()) return it->second.get();
+  StatusOr<EdgeList> edges = Datasets::ByName(network, dataset_seed_, star_n_);
+  if (!edges.ok()) return edges.status();
+  auto graph =
+      std::make_unique<Graph>(GraphBuilder::FromEdgeList(edges.value()));
+  const Graph* ptr = graph.get();
+  graphs_[network] = std::move(graph);
+  return ptr;
+}
+
+StatusOr<const InfluenceGraph*> InstanceRegistry::GetInstance(
+    const std::string& network, ProbabilityModel prob) {
+  std::string key = network + "/" + ProbabilityModelName(prob);
+  auto it = instances_.find(key);
+  if (it != instances_.end()) return it->second.get();
+  StatusOr<const Graph*> graph = GetGraph(network);
+  if (!graph.ok()) return graph.status();
+  // Trivalency needs randomness; derive a stable per-instance stream.
+  Rng rng(DeriveSeed(dataset_seed_, std::hash<std::string>{}(key)));
+  auto instance = std::make_unique<InfluenceGraph>(
+      MakeInfluenceGraph(*graph.value(), prob, &rng));
+  const InfluenceGraph* ptr = instance.get();
+  instances_[key] = std::move(instance);
+  return ptr;
+}
+
+void InstanceRegistry::RegisterGraph(const std::string& network,
+                                     Graph graph) {
+  graphs_[network] = std::make_unique<Graph>(std::move(graph));
+  // Invalidate cached influence graphs of this network.
+  for (auto it = instances_.begin(); it != instances_.end();) {
+    if (it->first.rfind(network + "/", 0) == 0) {
+      it = instances_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace soldist

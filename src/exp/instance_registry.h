@@ -1,0 +1,51 @@
+// InstanceRegistry: builds and caches (network, probability-setting)
+// influence graphs so each bench constructs a dataset exactly once.
+
+#ifndef SOLDIST_EXP_INSTANCE_REGISTRY_H_
+#define SOLDIST_EXP_INSTANCE_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "gen/datasets.h"
+#include "graph/builder.h"
+#include "model/probability.h"
+#include "util/status.h"
+
+namespace soldist {
+
+/// \brief Cache of built graphs and influence graphs.
+///
+/// Datasets are deterministic in `dataset_seed`; the registry hands out
+/// stable pointers owned by itself. Not thread-safe for concurrent
+/// building (benches build up front, then run).
+class InstanceRegistry {
+ public:
+  /// \param dataset_seed seed for the synthetic dataset generators
+  /// \param star_n vertex-count override for the ⋆ networks (0 = default)
+  explicit InstanceRegistry(std::uint64_t dataset_seed, VertexId star_n = 0);
+
+  /// The structural graph of `network` (built on first use).
+  StatusOr<const Graph*> GetGraph(const std::string& network);
+
+  /// The influence graph of (network, prob) (built on first use).
+  StatusOr<const InfluenceGraph*> GetInstance(const std::string& network,
+                                              ProbabilityModel prob);
+
+  /// Registers an externally loaded graph (e.g. a real SNAP edge list)
+  /// under `network`, replacing the synthetic builder for that name.
+  void RegisterGraph(const std::string& network, Graph graph);
+
+  std::uint64_t dataset_seed() const { return dataset_seed_; }
+
+ private:
+  std::uint64_t dataset_seed_;
+  VertexId star_n_;
+  std::map<std::string, std::unique_ptr<Graph>> graphs_;
+  std::map<std::string, std::unique_ptr<InfluenceGraph>> instances_;
+};
+
+}  // namespace soldist
+
+#endif  // SOLDIST_EXP_INSTANCE_REGISTRY_H_

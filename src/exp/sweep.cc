@@ -1,0 +1,56 @@
+#include "exp/sweep.h"
+
+#include "random/splitmix64.h"
+
+namespace soldist {
+
+std::vector<SweepCell> RunSweep(const InfluenceGraph& ig,
+                                const RrOracle& oracle,
+                                const SweepConfig& config, ThreadPool* pool) {
+  SOLDIST_CHECK(config.min_exponent >= 0);
+  SOLDIST_CHECK(config.max_exponent >= config.min_exponent);
+  SOLDIST_CHECK(config.max_exponent < 63);
+  std::vector<SweepCell> cells;
+  cells.reserve(config.max_exponent - config.min_exponent + 1);
+  for (int exp = config.min_exponent; exp <= config.max_exponent; ++exp) {
+    TrialConfig cell_config;
+    cell_config.approach = config.approach;
+    cell_config.sample_number = 1ULL << exp;
+    cell_config.k = config.k;
+    cell_config.trials = config.trials;
+    cell_config.master_seed =
+        DeriveSeed(config.master_seed, static_cast<std::uint64_t>(exp));
+    cell_config.snapshot_mode = config.snapshot_mode;
+
+    SweepCell cell;
+    cell.sample_number = cell_config.sample_number;
+    cell.result = RunTrials(ig, cell_config, pool);
+    EvaluateInfluence(oracle, &cell.result);
+    cell.entropy = cell.result.distribution.Entropy();
+    cell.summary.sample_number = cell.sample_number;
+    cell.summary.mean_influence = cell.result.influence.Mean();
+    cell.summary.mean_sample_size =
+        cell.result.MeanSampleSize(config.trials);
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+std::vector<SweepPoint> CurveOf(const std::vector<SweepCell>& cells) {
+  std::vector<SweepPoint> curve;
+  curve.reserve(cells.size());
+  for (const auto& cell : cells) curve.push_back(cell.summary);
+  return curve;
+}
+
+int FindLeastSufficientCell(const std::vector<SweepCell>& cells,
+                            double threshold, double probability) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (cells[i].result.influence.FractionAtLeast(threshold) >= probability) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace soldist

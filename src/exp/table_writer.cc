@@ -1,0 +1,40 @@
+#include "exp/table_writer.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace soldist {
+
+std::string FormatPowerOfTwo(std::uint64_t v) {
+  if (v != 0 && (v & (v - 1)) == 0) {
+    int exp = 0;
+    while ((1ULL << exp) < v) ++exp;
+    return "2^" + std::to_string(exp);
+  }
+  return std::to_string(v);
+}
+
+std::string FormatLog2(std::uint64_t v) {
+  SOLDIST_CHECK(v != 0 && (v & (v - 1)) == 0) << v << " is not a power of 2";
+  int exp = 0;
+  while ((1ULL << exp) < v) ++exp;
+  return std::to_string(exp);
+}
+
+void PrintTable(const std::string& title, const TextTable& table) {
+  std::printf("\n## %s\n\n%s\n", title.c_str(), table.ToMarkdown().c_str());
+  std::fflush(stdout);
+}
+
+void MaybeWriteCsv(const CsvWriter& csv, const std::string& path) {
+  if (path.empty()) return;
+  Status s = csv.WriteFile(path);
+  if (s.ok()) {
+    SOLDIST_LOG(Info) << "wrote " << path;
+  } else {
+    SOLDIST_LOG(Error) << "failed writing " << path << ": " << s.ToString();
+  }
+}
+
+}  // namespace soldist

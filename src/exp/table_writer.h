@@ -1,0 +1,28 @@
+// Small formatting helpers shared by the table/figure bench binaries.
+
+#ifndef SOLDIST_EXP_TABLE_WRITER_H_
+#define SOLDIST_EXP_TABLE_WRITER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace soldist {
+
+/// "2^e" when v is a power of two, otherwise plain digits.
+std::string FormatPowerOfTwo(std::uint64_t v);
+
+/// log2(v) as an integer string; CHECKs that v is a power of two.
+std::string FormatLog2(std::uint64_t v);
+
+/// Prints a titled markdown table to stdout.
+void PrintTable(const std::string& title, const TextTable& table);
+
+/// Writes `csv` to `path` if path is non-empty, logging the outcome.
+void MaybeWriteCsv(const CsvWriter& csv, const std::string& path);
+
+}  // namespace soldist
+
+#endif  // SOLDIST_EXP_TABLE_WRITER_H_

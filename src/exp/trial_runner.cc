@@ -1,0 +1,54 @@
+#include "exp/trial_runner.h"
+
+#include <mutex>
+
+#include "core/greedy.h"
+#include "random/splitmix64.h"
+
+namespace soldist {
+
+TrialResult RunTrials(const InfluenceGraph& ig, const TrialConfig& config,
+                      ThreadPool* pool) {
+  SOLDIST_CHECK(config.trials >= 1);
+  TrialResult result;
+  result.seed_sets.resize(config.trials);
+  std::vector<TraversalCounters> counters(config.trials);
+
+  auto run_one = [&](std::uint64_t t) {
+    // Two independent streams per trial: the estimator's randomness and
+    // the greedy tie-breaking shuffle (paper Section 4.1: fresh PRNG
+    // state per run).
+    std::uint64_t estimator_seed =
+        DeriveSeed(config.master_seed, 2 * t);
+    std::uint64_t shuffle_seed =
+        DeriveSeed(config.master_seed, 2 * t + 1);
+    auto estimator =
+        MakeEstimator(&ig, config.approach, config.sample_number,
+                      estimator_seed, config.snapshot_mode);
+    Rng tie_rng(shuffle_seed);
+    GreedyRunResult run =
+        RunGreedy(estimator.get(), ig.num_vertices(), config.k, &tie_rng);
+    result.seed_sets[t] = run.SortedSeedSet();
+    counters[t] = estimator->counters();
+  };
+
+  if (pool != nullptr && pool->num_threads() > 1 && config.trials > 1) {
+    ParallelFor(pool, config.trials, run_one);
+  } else {
+    for (std::uint64_t t = 0; t < config.trials; ++t) run_one(t);
+  }
+
+  for (std::uint64_t t = 0; t < config.trials; ++t) {
+    result.distribution.Add(result.seed_sets[t]);
+    result.total_counters += counters[t];
+  }
+  return result;
+}
+
+void EvaluateInfluence(const RrOracle& oracle, TrialResult* result) {
+  for (const auto& seeds : result->seed_sets) {
+    result->influence.Add(oracle.EstimateInfluence(seeds));
+  }
+}
+
+}  // namespace soldist

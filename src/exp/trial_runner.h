@@ -1,0 +1,72 @@
+// TrialRunner: the paper's core methodology (Section 4) — run algorithm
+// `alg` with sample number `s` T times with fresh PRNG states, record
+// every seed set, and evaluate each against the shared influence oracle.
+
+#ifndef SOLDIST_EXP_TRIAL_RUNNER_H_
+#define SOLDIST_EXP_TRIAL_RUNNER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/factory.h"
+#include "core/oneshot.h"
+#include "core/ris.h"
+#include "core/snapshot.h"
+#include "oracle/rr_oracle.h"
+#include "stats/influence_distribution.h"
+#include "stats/seed_set_distribution.h"
+#include "util/thread_pool.h"
+
+namespace soldist {
+
+/// Configuration of one (algorithm, sample number, k, T) cell.
+struct TrialConfig {
+  Approach approach = Approach::kOneshot;
+  std::uint64_t sample_number = 1;
+  int k = 1;
+  std::uint64_t trials = 1;
+  /// Master seed; trial t uses streams derived from (master_seed, t).
+  std::uint64_t master_seed = 1;
+  SnapshotEstimator::Mode snapshot_mode = SnapshotEstimator::Mode::kResidual;
+};
+
+/// Everything recorded across the T trials of one cell.
+struct TrialResult {
+  /// Raw seed sets, one per trial (sorted).
+  std::vector<std::vector<VertexId>> seed_sets;
+  /// The empirical seed-set distribution S(s).
+  SeedSetDistribution distribution;
+  /// The influence distribution I(s) (filled by EvaluateInfluence).
+  InfluenceDistribution influence;
+  /// Work summed over all trials.
+  TraversalCounters total_counters;
+
+  double MeanVertexCost(std::uint64_t trials) const {
+    return static_cast<double>(total_counters.vertices) /
+           static_cast<double>(trials);
+  }
+  double MeanEdgeCost(std::uint64_t trials) const {
+    return static_cast<double>(total_counters.edges) /
+           static_cast<double>(trials);
+  }
+  double MeanSampleSize(std::uint64_t trials) const {
+    return static_cast<double>(total_counters.TotalSampleSize()) /
+           static_cast<double>(trials);
+  }
+};
+
+/// Runs the T trials (in parallel over `pool` when given) and collects
+/// seed sets + counters. Influence is NOT evaluated here — call
+/// EvaluateInfluence with the instance's shared oracle.
+TrialResult RunTrials(const InfluenceGraph& ig, const TrialConfig& config,
+                      ThreadPool* pool);
+
+/// Evaluates every recorded seed set against `oracle`, filling
+/// result->influence. The same oracle must be reused for all algorithms
+/// and sample numbers of an instance (paper Section 5.2).
+void EvaluateInfluence(const RrOracle& oracle, TrialResult* result);
+
+}  // namespace soldist
+
+#endif  // SOLDIST_EXP_TRIAL_RUNNER_H_

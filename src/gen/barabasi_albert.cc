@@ -1,0 +1,59 @@
+#include "gen/barabasi_albert.h"
+
+#include "gen/direction.h"
+
+namespace soldist {
+
+EdgeList BarabasiAlbert(VertexId n, VertexId m_attach, Rng* rng) {
+  SOLDIST_CHECK(m_attach >= 1);
+  SOLDIST_CHECK(n > m_attach);
+  EdgeList edges;
+  edges.num_vertices = n;
+  edges.arcs.reserve(static_cast<std::size_t>(m_attach) * (n - m_attach));
+
+  // Each existing edge contributes both endpoints: sampling uniformly from
+  // the pool is exact degree-proportional sampling.
+  std::vector<VertexId> endpoint_pool;
+  endpoint_pool.reserve(edges.arcs.capacity() * 2);
+
+  std::vector<VertexId> chosen;
+  chosen.reserve(m_attach);
+  for (VertexId v = m_attach; v < n; ++v) {
+    chosen.clear();
+    while (chosen.size() < m_attach) {
+      VertexId target;
+      if (endpoint_pool.empty()) {
+        // No edges yet (first attached vertex): uniform over the seeds.
+        target = static_cast<VertexId>(rng->UniformInt(v));
+      } else {
+        target = endpoint_pool[rng->UniformInt(endpoint_pool.size())];
+      }
+      bool duplicate = false;
+      for (VertexId c : chosen) {
+        if (c == target) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) chosen.push_back(target);
+    }
+    for (VertexId target : chosen) {
+      edges.Add(v, target);
+      endpoint_pool.push_back(v);
+      endpoint_pool.push_back(target);
+    }
+  }
+  return edges;
+}
+
+EdgeList PaperBaSparse(Rng* rng) {
+  EdgeList undirected = BarabasiAlbert(1000, 1, rng);
+  return AssignRandomDirections(undirected, rng);
+}
+
+EdgeList PaperBaDense(Rng* rng) {
+  EdgeList undirected = BarabasiAlbert(1000, 11, rng);
+  return AssignRandomDirections(undirected, rng);
+}
+
+}  // namespace soldist

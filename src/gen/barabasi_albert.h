@@ -1,0 +1,35 @@
+// Barabási–Albert preferential attachment (paper Section 4.2.2): scale-free
+// undirected graphs; every new vertex attaches to M existing vertices with
+// probability proportional to degree. The paper's BA_s (M=1) and BA_d
+// (M=11) assign a random direction to each edge afterwards.
+
+#ifndef SOLDIST_GEN_BARABASI_ALBERT_H_
+#define SOLDIST_GEN_BARABASI_ALBERT_H_
+
+#include "graph/edge_list.h"
+#include "random/rng.h"
+
+namespace soldist {
+
+/// \brief Generates a BA graph as an *undirected* edge list (one arc per
+/// edge, src < dst not guaranteed).
+///
+/// Seed graph: M vertices connected in a path (so attachment degrees are
+/// positive); vertices M..n-1 each attach to M distinct existing vertices
+/// via the repeated-endpoint list (exact linear preferential attachment).
+/// Edge count: (M-1) + M*(n-M) for n > M.
+///
+/// \param n total vertices; must be > M
+/// \param m_attach edges per new vertex (the BA "M"); must be >= 1
+EdgeList BarabasiAlbert(VertexId n, VertexId m_attach, Rng* rng);
+
+/// The paper's BA_s: n=1,000, M=1, random directions (999 arcs).
+EdgeList PaperBaSparse(Rng* rng);
+
+/// The paper's BA_d: n=1,000, M=11, random directions (10,879 arcs:
+/// 10 seed-path edges + 11*989 attachments).
+EdgeList PaperBaDense(Rng* rng);
+
+}  // namespace soldist
+
+#endif  // SOLDIST_GEN_BARABASI_ALBERT_H_

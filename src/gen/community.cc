@@ -1,0 +1,78 @@
+#include "gen/community.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace soldist {
+namespace {
+
+std::uint32_t SampleCommunitySize(const CommunityGraphSpec& spec, Rng* rng) {
+  double a = spec.min_size;
+  double b = spec.max_size + 1.0;
+  double g1 = 1.0 - spec.size_gamma;
+  double u = rng->UnitReal();
+  double x = std::pow(std::pow(a, g1) + u * (std::pow(b, g1) - std::pow(a, g1)),
+                      1.0 / g1);
+  return std::clamp(static_cast<std::uint32_t>(x), spec.min_size,
+                    spec.max_size);
+}
+
+}  // namespace
+
+EdgeList CommunityOverlapGraph(const CommunityGraphSpec& spec, Rng* rng) {
+  SOLDIST_CHECK(spec.num_vertices >= 4);
+  SOLDIST_CHECK(spec.core_fraction > 0.0 && spec.core_fraction <= 1.0);
+  const VertexId n = spec.num_vertices;
+  const auto core_n = std::max<VertexId>(
+      spec.min_size,
+      static_cast<VertexId>(static_cast<double>(n) * spec.core_fraction));
+
+  EdgeList edges;
+  edges.num_vertices = n;
+
+  // --- Core: overlapping cliques ("papers" over "authors"). ---
+  // membership_pool holds one entry per (vertex, membership): drawing from
+  // it is preferential attachment on membership count.
+  std::vector<VertexId> membership_pool;
+  std::vector<VertexId> members;
+  for (std::uint32_t c = 0; c < spec.num_communities; ++c) {
+    std::uint32_t size = std::min<std::uint32_t>(SampleCommunitySize(spec, rng),
+                                                 core_n);
+    members.clear();
+    while (members.size() < size) {
+      VertexId v;
+      if (!membership_pool.empty() && rng->Bernoulli(spec.membership_bias)) {
+        v = membership_pool[rng->UniformInt(membership_pool.size())];
+      } else {
+        v = static_cast<VertexId>(rng->UniformInt(core_n));
+      }
+      if (std::find(members.begin(), members.end(), v) == members.end()) {
+        members.push_back(v);
+      }
+    }
+    for (VertexId v : members) membership_pool.push_back(v);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        edges.Add(std::min(members[i], members[j]),
+                  std::max(members[i], members[j]));
+      }
+    }
+  }
+
+  // --- Whiskers: tree-like appendages off the core. ---
+  for (VertexId v = core_n; v < n; ++v) {
+    VertexId parent;
+    if (v == core_n || rng->Bernoulli(0.5)) {
+      parent = static_cast<VertexId>(rng->UniformInt(core_n));
+    } else {
+      // Attach to an earlier whisker vertex: grows short trees.
+      parent = core_n + static_cast<VertexId>(rng->UniformInt(v - core_n));
+    }
+    edges.Add(std::min(v, parent), std::max(v, parent));
+  }
+
+  edges.RemoveDuplicates();
+  return edges;
+}
+
+}  // namespace soldist

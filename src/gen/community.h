@@ -1,0 +1,40 @@
+// Community-overlap ("co-authorship") generator: proxy for collaboration
+// networks such as ca-GrQc. Produces the core–whisker structure the
+// paper's Section 5.2.2/5.3 analysis relies on: a dense clique-overlap
+// core plus tree-like whiskers, with high clustering.
+
+#ifndef SOLDIST_GEN_COMMUNITY_H_
+#define SOLDIST_GEN_COMMUNITY_H_
+
+#include "graph/edge_list.h"
+#include "random/rng.h"
+
+namespace soldist {
+
+/// Parameters of the community-overlap generator.
+struct CommunityGraphSpec {
+  VertexId num_vertices = 5242;
+  /// Fraction of vertices placed in the clique-overlap core; the rest form
+  /// whiskers (trees hanging off core vertices).
+  double core_fraction = 0.65;
+  /// Number of communities ("papers"); each induces a clique.
+  std::uint32_t num_communities = 1800;
+  /// Community sizes ~ truncated power law in [min_size, max_size].
+  double size_gamma = 2.4;
+  std::uint32_t min_size = 2;
+  std::uint32_t max_size = 30;
+  /// Memberships per core vertex concentrate on few active members:
+  /// community members are drawn by preferential attachment on the number
+  /// of prior memberships.
+  double membership_bias = 0.75;
+};
+
+/// \brief Generates the undirected collaboration proxy (one arc per edge).
+///
+/// All communities become cliques; whisker vertices attach in short random
+/// trees to random core vertices. Duplicate edges are merged.
+EdgeList CommunityOverlapGraph(const CommunityGraphSpec& spec, Rng* rng);
+
+}  // namespace soldist
+
+#endif  // SOLDIST_GEN_COMMUNITY_H_

@@ -1,0 +1,89 @@
+#include "gen/config_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace soldist {
+namespace {
+
+/// Draws one degree from the truncated power law via inverse-CDF on the
+/// continuous approximation, then rounds down (standard discrete recipe).
+VertexId SampleOneDegree(const PowerLawSpec& spec, Rng* rng) {
+  double a = static_cast<double>(spec.min_degree);
+  double b = static_cast<double>(spec.max_degree) + 1.0;
+  double g1 = 1.0 - spec.gamma;  // gamma != 1 assumed (spec.gamma > 1)
+  double u = rng->UnitReal();
+  double x = std::pow(std::pow(a, g1) + u * (std::pow(b, g1) - std::pow(a, g1)),
+                      1.0 / g1);
+  auto d = static_cast<VertexId>(x);
+  return std::clamp(d, spec.min_degree, spec.max_degree);
+}
+
+/// Adjusts `degrees` until its sum equals `target` by bumping random
+/// entries up/down within [spec.min_degree, spec.max_degree].
+void RebalanceSum(std::vector<VertexId>* degrees, EdgeId target,
+                  const PowerLawSpec& spec, Rng* rng) {
+  EdgeId sum = 0;
+  for (VertexId d : *degrees) sum += d;
+  while (sum != target) {
+    auto i = static_cast<std::size_t>(rng->UniformInt(degrees->size()));
+    if (sum < target && (*degrees)[i] < spec.max_degree) {
+      ++(*degrees)[i];
+      ++sum;
+    } else if (sum > target && (*degrees)[i] > spec.min_degree) {
+      --(*degrees)[i];
+      --sum;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<VertexId> SamplePowerLawDegrees(VertexId n,
+                                            const PowerLawSpec& spec,
+                                            Rng* rng) {
+  SOLDIST_CHECK(spec.gamma > 1.0);
+  SOLDIST_CHECK(spec.min_degree >= 1);
+  SOLDIST_CHECK(spec.max_degree >= spec.min_degree);
+  std::vector<VertexId> degrees(n);
+  for (auto& d : degrees) d = SampleOneDegree(spec, rng);
+  return degrees;
+}
+
+EdgeList DirectedConfigModel(VertexId n, EdgeId target_arcs,
+                             const PowerLawSpec& out_spec,
+                             const PowerLawSpec& in_spec, Rng* rng) {
+  SOLDIST_CHECK(n >= 2);
+  std::vector<VertexId> out_deg = SamplePowerLawDegrees(n, out_spec, rng);
+  std::vector<VertexId> in_deg = SamplePowerLawDegrees(n, in_spec, rng);
+  RebalanceSum(&out_deg, target_arcs, out_spec, rng);
+  RebalanceSum(&in_deg, target_arcs, in_spec, rng);
+
+  // Build stub arrays and shuffle the in-stubs; pairing position-wise is a
+  // uniform matching.
+  std::vector<VertexId> out_stubs, in_stubs;
+  out_stubs.reserve(target_arcs);
+  in_stubs.reserve(target_arcs);
+  for (VertexId v = 0; v < n; ++v) {
+    out_stubs.insert(out_stubs.end(), out_deg[v], v);
+    in_stubs.insert(in_stubs.end(), in_deg[v], v);
+  }
+  std::shuffle(in_stubs.begin(), in_stubs.end(), rng->engine());
+
+  EdgeList edges;
+  edges.num_vertices = n;
+  edges.arcs.reserve(target_arcs);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(target_arcs * 2);
+  for (std::size_t i = 0; i < out_stubs.size(); ++i) {
+    VertexId u = out_stubs[i], v = in_stubs[i];
+    if (u == v) continue;  // erased configuration model
+    std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+    if (!seen.insert(key).second) continue;
+    edges.Add(u, v);
+  }
+  return edges;
+}
+
+}  // namespace soldist

@@ -1,0 +1,41 @@
+// Directed configuration model with power-law degree sequences: the proxy
+// generator for directed social networks with heavy-tailed in/out degrees
+// (Wiki-Vote, soc-Pokec stand-ins; see DESIGN.md Section 4).
+
+#ifndef SOLDIST_GEN_CONFIG_MODEL_H_
+#define SOLDIST_GEN_CONFIG_MODEL_H_
+
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "random/rng.h"
+
+namespace soldist {
+
+/// Parameters of a truncated discrete power law Pr[d = x] ∝ x^-gamma for
+/// x in [min_degree, max_degree].
+struct PowerLawSpec {
+  double gamma = 2.5;
+  VertexId min_degree = 1;
+  VertexId max_degree = 1000;
+};
+
+/// Samples `n` degrees from the truncated power law.
+std::vector<VertexId> SamplePowerLawDegrees(VertexId n,
+                                            const PowerLawSpec& spec,
+                                            Rng* rng);
+
+/// \brief Directed configuration model.
+///
+/// Out- and in-degree sequences are drawn from `out_spec` / `in_spec`,
+/// rebalanced to equal sums near `target_arcs`, then stubs are matched
+/// uniformly at random; self-loops and duplicate arcs are dropped (the
+/// usual "erased" configuration model), so the realized arc count is
+/// slightly below the target on dense instances.
+EdgeList DirectedConfigModel(VertexId n, EdgeId target_arcs,
+                             const PowerLawSpec& out_spec,
+                             const PowerLawSpec& in_spec, Rng* rng);
+
+}  // namespace soldist
+
+#endif  // SOLDIST_GEN_CONFIG_MODEL_H_

@@ -1,0 +1,19 @@
+#include "gen/direction.h"
+
+namespace soldist {
+
+EdgeList AssignRandomDirections(const EdgeList& undirected, Rng* rng) {
+  EdgeList directed;
+  directed.num_vertices = undirected.num_vertices;
+  directed.arcs.reserve(undirected.arcs.size());
+  for (const Arc& a : undirected.arcs) {
+    if (rng->Bernoulli(0.5)) {
+      directed.Add(a.src, a.dst);
+    } else {
+      directed.Add(a.dst, a.src);
+    }
+  }
+  return directed;
+}
+
+}  // namespace soldist

@@ -1,0 +1,18 @@
+// Random edge orientation: the paper's synthetic networks are generated
+// undirected and then "assigned random directions for each edge".
+
+#ifndef SOLDIST_GEN_DIRECTION_H_
+#define SOLDIST_GEN_DIRECTION_H_
+
+#include "graph/edge_list.h"
+#include "random/rng.h"
+
+namespace soldist {
+
+/// Flips a fair coin per arc: keeps (src,dst) or swaps to (dst,src).
+/// The arc count is unchanged (each undirected edge yields ONE arc).
+EdgeList AssignRandomDirections(const EdgeList& undirected, Rng* rng);
+
+}  // namespace soldist
+
+#endif  // SOLDIST_GEN_DIRECTION_H_

@@ -1,0 +1,62 @@
+#include "gen/erdos_renyi.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace soldist {
+
+EdgeList ErdosRenyiGnm(VertexId n, EdgeId m, Rng* rng) {
+  SOLDIST_CHECK(n >= 2);
+  EdgeId max_arcs = static_cast<EdgeId>(n) * (n - 1);
+  SOLDIST_CHECK(m <= max_arcs) << "G(n,m): too many arcs requested";
+  EdgeList edges;
+  edges.num_vertices = n;
+  edges.arcs.reserve(m);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(m * 2);
+  while (edges.arcs.size() < m) {
+    auto u = static_cast<VertexId>(rng->UniformInt(n));
+    auto v = static_cast<VertexId>(rng->UniformInt(n));
+    if (u == v) continue;
+    std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+    if (!seen.insert(key).second) continue;
+    edges.Add(u, v);
+  }
+  return edges;
+}
+
+EdgeList ErdosRenyiGnp(VertexId n, double p, Rng* rng) {
+  SOLDIST_CHECK(p >= 0.0 && p <= 1.0);
+  EdgeList edges;
+  edges.num_vertices = n;
+  if (p <= 0.0) return edges;
+  if (p >= 1.0) {
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v = 0; v < n; ++v) {
+        if (u != v) edges.Add(u, v);
+      }
+    }
+    return edges;
+  }
+  // Geometric skipping over the n*(n-1) candidate slots.
+  const double log_q = std::log1p(-p);
+  const std::uint64_t slots = static_cast<std::uint64_t>(n) * (n - 1);
+  std::uint64_t index = 0;
+  while (true) {
+    double r = rng->UnitReal();
+    // Skip ~ Geometric(p); floor(log(1-r)/log(1-p)) failures before success.
+    auto skip = static_cast<std::uint64_t>(std::log1p(-r) / log_q);
+    if (slots - index <= skip) break;
+    index += skip;
+    // Decode slot -> ordered pair, skipping the diagonal.
+    VertexId u = static_cast<VertexId>(index / (n - 1));
+    VertexId rem = static_cast<VertexId>(index % (n - 1));
+    VertexId v = rem < u ? rem : rem + 1;
+    edges.Add(u, v);
+    ++index;
+    if (index >= slots) break;
+  }
+  return edges;
+}
+
+}  // namespace soldist

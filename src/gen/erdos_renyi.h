@@ -1,0 +1,21 @@
+// Erdős–Rényi random graphs: the classical baseline generator; used in
+// tests (known component thresholds) and available to library users.
+
+#ifndef SOLDIST_GEN_ERDOS_RENYI_H_
+#define SOLDIST_GEN_ERDOS_RENYI_H_
+
+#include "graph/edge_list.h"
+#include "random/rng.h"
+
+namespace soldist {
+
+/// G(n, m) with exactly `m` distinct directed arcs (no self-loops).
+EdgeList ErdosRenyiGnm(VertexId n, EdgeId m, Rng* rng);
+
+/// G(n, p): each ordered pair (u, v), u != v, is an arc independently with
+/// probability p. Uses geometric skipping, O(n + m) expected time.
+EdgeList ErdosRenyiGnp(VertexId n, double p, Rng* rng);
+
+}  // namespace soldist
+
+#endif  // SOLDIST_GEN_ERDOS_RENYI_H_

@@ -1,0 +1,21 @@
+// Zachary's karate club (1977): the one real-world dataset small enough to
+// embed verbatim. 34 vertices, 78 undirected edges -> 156 arcs, matching
+// the paper's Table 3 (n=34, m=156).
+
+#ifndef SOLDIST_GEN_KARATE_H_
+#define SOLDIST_GEN_KARATE_H_
+
+#include "graph/edge_list.h"
+
+namespace soldist {
+
+/// The karate club as a bidirected edge list (both arc directions per
+/// undirected edge), vertex ids 0..33.
+EdgeList KarateClub();
+
+/// Number of undirected edges in the dataset (78).
+constexpr std::size_t kKarateUndirectedEdges = 78;
+
+}  // namespace soldist
+
+#endif  // SOLDIST_GEN_KARATE_H_

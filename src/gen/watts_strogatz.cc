@@ -1,0 +1,48 @@
+#include "gen/watts_strogatz.h"
+
+#include <unordered_set>
+
+namespace soldist {
+
+EdgeList WattsStrogatz(VertexId n, VertexId k, double beta, Rng* rng) {
+  SOLDIST_CHECK(k % 2 == 0) << "Watts-Strogatz k must be even";
+  SOLDIST_CHECK(k < n);
+  SOLDIST_CHECK(beta >= 0.0 && beta <= 1.0);
+
+  // Track undirected edges as canonical (min,max) keys to keep the graph
+  // simple while rewiring.
+  auto key = [](VertexId a, VertexId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  };
+  std::unordered_set<std::uint64_t> present;
+  std::vector<Arc> arcs;
+  arcs.reserve(static_cast<std::size_t>(n) * k / 2);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId j = 1; j <= k / 2; ++j) {
+      VertexId v = static_cast<VertexId>((u + j) % n);
+      arcs.push_back({u, v});
+      present.insert(key(u, v));
+    }
+  }
+  for (Arc& arc : arcs) {
+    if (!rng->Bernoulli(beta)) continue;
+    // Rewire the far endpoint to a uniform non-self, non-duplicate vertex.
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      auto w = static_cast<VertexId>(rng->UniformInt(n));
+      if (w == arc.src || present.contains(key(arc.src, w))) continue;
+      present.erase(key(arc.src, arc.dst));
+      present.insert(key(arc.src, w));
+      arc.dst = w;
+      break;
+    }
+    // If 64 attempts all collided (dense corner case) the edge stays.
+  }
+
+  EdgeList edges;
+  edges.num_vertices = n;
+  edges.arcs = std::move(arcs);
+  return edges;
+}
+
+}  // namespace soldist

@@ -1,0 +1,21 @@
+// Watts–Strogatz small-world graphs (paper Section 4.2.1 cites the model's
+// small-world/clustering properties): ring lattice + random rewiring.
+
+#ifndef SOLDIST_GEN_WATTS_STROGATZ_H_
+#define SOLDIST_GEN_WATTS_STROGATZ_H_
+
+#include "graph/edge_list.h"
+#include "random/rng.h"
+
+namespace soldist {
+
+/// \brief Undirected Watts–Strogatz graph as an edge list (one arc per
+/// edge).
+///
+/// \param n vertices; \param k each vertex connects to its k nearest ring
+/// neighbors (k even, k < n); \param beta rewiring probability in [0,1].
+EdgeList WattsStrogatz(VertexId n, VertexId k, double beta, Rng* rng);
+
+}  // namespace soldist
+
+#endif  // SOLDIST_GEN_WATTS_STROGATZ_H_

@@ -1,0 +1,64 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace soldist {
+
+Graph GraphBuilder::FromEdgeList(const EdgeList& edges) {
+  SOLDIST_CHECK(edges.Validate()) << "edge list has out-of-range endpoints";
+  const VertexId n = edges.num_vertices;
+  const std::size_t m = edges.arcs.size();
+
+  Graph g;
+  g.num_vertices_ = n;
+
+  // Out-CSR via counting sort on src (stable in dst order after the
+  // per-bucket sort below).
+  g.out_offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const Arc& a : edges.arcs) {
+    ++g.out_offsets_[static_cast<std::size_t>(a.src) + 1];
+  }
+  std::partial_sum(g.out_offsets_.begin(), g.out_offsets_.end(),
+                   g.out_offsets_.begin());
+  g.out_targets_.resize(m);
+  {
+    std::vector<EdgeId> cursor(g.out_offsets_.begin(),
+                               g.out_offsets_.end() - 1);
+    for (const Arc& a : edges.arcs) {
+      g.out_targets_[cursor[a.src]++] = a.dst;
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    std::sort(g.out_targets_.begin() +
+                  static_cast<std::ptrdiff_t>(g.out_offsets_[v]),
+              g.out_targets_.begin() +
+                  static_cast<std::ptrdiff_t>(g.out_offsets_[v + 1]));
+  }
+
+  // In-CSR; record for every in-position the out-edge id of the same arc
+  // so payloads stored in out order are addressable from reverse scans.
+  g.in_offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (VertexId t : g.out_targets_) {
+    ++g.in_offsets_[static_cast<std::size_t>(t) + 1];
+  }
+  std::partial_sum(g.in_offsets_.begin(), g.in_offsets_.end(),
+                   g.in_offsets_.begin());
+  g.in_sources_.resize(m);
+  g.in_to_out_.resize(m);
+  {
+    std::vector<EdgeId> cursor(g.in_offsets_.begin(),
+                               g.in_offsets_.end() - 1);
+    for (VertexId src = 0; src < n; ++src) {
+      for (EdgeId e = g.out_offsets_[src]; e < g.out_offsets_[src + 1]; ++e) {
+        VertexId dst = g.out_targets_[e];
+        EdgeId pos = cursor[dst]++;
+        g.in_sources_[pos] = src;
+        g.in_to_out_[pos] = e;
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace soldist

@@ -1,0 +1,21 @@
+// GraphBuilder: edge list -> CSR Graph.
+
+#ifndef SOLDIST_GRAPH_BUILDER_H_
+#define SOLDIST_GRAPH_BUILDER_H_
+
+#include "graph/graph.h"
+
+namespace soldist {
+
+/// \brief Constructs CSR graphs from edge lists.
+class GraphBuilder {
+ public:
+  /// Builds the CSR representation. The edge list must Validate(); arcs
+  /// are taken as-is (parallel arcs preserved, self-loops preserved --
+  /// clean the list first if undesired).
+  static Graph FromEdgeList(const EdgeList& edges);
+};
+
+}  // namespace soldist
+
+#endif  // SOLDIST_GRAPH_BUILDER_H_

@@ -1,0 +1,135 @@
+#include "graph/components.h"
+
+#include <algorithm>
+
+namespace soldist {
+
+std::uint32_t ComponentDecomposition::LargestSize() const {
+  if (size.empty()) return 0;
+  return *std::max_element(size.begin(), size.end());
+}
+
+ComponentDecomposition WeaklyConnectedComponents(const Graph& graph) {
+  const VertexId n = graph.num_vertices();
+  ComponentDecomposition out;
+  out.component.assign(n, ~0u);
+  std::vector<VertexId> queue;
+  queue.reserve(n);
+  for (VertexId start = 0; start < n; ++start) {
+    if (out.component[start] != ~0u) continue;
+    auto c = static_cast<std::uint32_t>(out.size.size());
+    out.size.push_back(0);
+    queue.clear();
+    queue.push_back(start);
+    out.component[start] = c;
+    std::size_t head = 0;
+    while (head < queue.size()) {
+      VertexId u = queue[head++];
+      ++out.size[c];
+      for (VertexId w : graph.OutNeighbors(u)) {
+        if (out.component[w] == ~0u) {
+          out.component[w] = c;
+          queue.push_back(w);
+        }
+      }
+      for (VertexId w : graph.InNeighbors(u)) {
+        if (out.component[w] == ~0u) {
+          out.component[w] = c;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Iterative Tarjan SCC; recursion would overflow on long paths
+/// (e.g. BA_s is essentially a 1,000-vertex tree).
+class TarjanScc {
+ public:
+  explicit TarjanScc(const Graph& graph) : graph_(graph) {
+    const VertexId n = graph.num_vertices();
+    index_.assign(n, kUnvisited);
+    lowlink_.assign(n, 0);
+    on_stack_.assign(n, false);
+    result_.component.assign(n, 0);
+  }
+
+  ComponentDecomposition Run() {
+    for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+      if (index_[v] == kUnvisited) Visit(v);
+    }
+    return std::move(result_);
+  }
+
+ private:
+  static constexpr std::uint32_t kUnvisited = ~0u;
+
+  struct Frame {
+    VertexId v;
+    std::size_t next_neighbor;
+  };
+
+  void Visit(VertexId root) {
+    frames_.push_back({root, 0});
+    StartVertex(root);
+    while (!frames_.empty()) {
+      Frame& frame = frames_.back();
+      VertexId v = frame.v;
+      auto neighbors = graph_.OutNeighbors(v);
+      if (frame.next_neighbor < neighbors.size()) {
+        VertexId w = neighbors[frame.next_neighbor++];
+        if (index_[w] == kUnvisited) {
+          frames_.push_back({w, 0});
+          StartVertex(w);
+        } else if (on_stack_[w]) {
+          lowlink_[v] = std::min(lowlink_[v], index_[w]);
+        }
+        continue;
+      }
+      // All neighbors processed: close v.
+      if (lowlink_[v] == index_[v]) {
+        auto c = static_cast<std::uint32_t>(result_.size.size());
+        result_.size.push_back(0);
+        while (true) {
+          VertexId w = stack_.back();
+          stack_.pop_back();
+          on_stack_[w] = false;
+          result_.component[w] = c;
+          ++result_.size[c];
+          if (w == v) break;
+        }
+      }
+      frames_.pop_back();
+      if (!frames_.empty()) {
+        VertexId parent = frames_.back().v;
+        lowlink_[parent] = std::min(lowlink_[parent], lowlink_[v]);
+      }
+    }
+  }
+
+  void StartVertex(VertexId v) {
+    index_[v] = lowlink_[v] = next_index_++;
+    stack_.push_back(v);
+    on_stack_[v] = true;
+  }
+
+  const Graph& graph_;
+  std::uint32_t next_index_ = 0;
+  std::vector<std::uint32_t> index_;
+  std::vector<std::uint32_t> lowlink_;
+  std::vector<bool> on_stack_;
+  std::vector<VertexId> stack_;
+  std::vector<Frame> frames_;
+  ComponentDecomposition result_;
+};
+
+}  // namespace
+
+ComponentDecomposition StronglyConnectedComponents(const Graph& graph) {
+  return TarjanScc(graph).Run();
+}
+
+}  // namespace soldist

@@ -1,0 +1,37 @@
+// Connected-component analysis. The paper's traversal-cost discussion
+// (Sections 5.3, 6) hinges on when a giant component emerges in the
+// live-edge random graph; these helpers quantify that.
+
+#ifndef SOLDIST_GRAPH_COMPONENTS_H_
+#define SOLDIST_GRAPH_COMPONENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace soldist {
+
+/// \brief Result of a weakly-connected-component decomposition.
+struct ComponentDecomposition {
+  /// component[v] is the component index of v, in [0, num_components).
+  std::vector<std::uint32_t> component;
+  /// size[c] is the number of vertices in component c.
+  std::vector<std::uint32_t> size;
+
+  std::uint32_t num_components() const {
+    return static_cast<std::uint32_t>(size.size());
+  }
+  /// Size of the largest component (0 for the empty graph).
+  std::uint32_t LargestSize() const;
+};
+
+/// Weakly connected components (arcs treated as undirected).
+ComponentDecomposition WeaklyConnectedComponents(const Graph& graph);
+
+/// Strongly connected components (Tarjan, iterative).
+ComponentDecomposition StronglyConnectedComponents(const Graph& graph);
+
+}  // namespace soldist
+
+#endif  // SOLDIST_GRAPH_COMPONENTS_H_

@@ -1,0 +1,41 @@
+// Degree-distribution analysis: histogram and power-law tail estimation
+// for verifying that generated proxies share the scale-free property the
+// paper's Section 4.2.1 demands of its datasets.
+
+#ifndef SOLDIST_GRAPH_DEGREE_STATS_H_
+#define SOLDIST_GRAPH_DEGREE_STATS_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace soldist {
+
+/// Which degree to analyze.
+enum class DegreeKind { kOut, kIn };
+
+/// degrees[v] for all v.
+std::vector<VertexId> DegreeSequence(const Graph& graph, DegreeKind kind);
+
+/// histogram[d] = number of vertices with degree d (dense up to max).
+std::vector<std::uint64_t> DegreeHistogram(const Graph& graph,
+                                           DegreeKind kind);
+
+/// \brief Hill maximum-likelihood estimate of the power-law exponent γ
+/// for the tail d >= d_min: γ̂ = 1 + n_tail / Σ ln(d / (d_min − 0.5)).
+///
+/// Returns nullopt when fewer than 10 vertices lie in the tail. Scale-free
+/// networks typically give γ ∈ [2, 3] (paper Section 4.2.1).
+std::optional<double> PowerLawExponentMle(const Graph& graph,
+                                          DegreeKind kind,
+                                          VertexId min_degree);
+
+/// Gini coefficient of the degree sequence (0 = all equal, → 1 = extreme
+/// concentration): a scale-free-ness smell test robust to small samples.
+double DegreeGiniCoefficient(const Graph& graph, DegreeKind kind);
+
+}  // namespace soldist
+
+#endif  // SOLDIST_GRAPH_DEGREE_STATS_H_

@@ -1,0 +1,37 @@
+#include "graph/edge_list.h"
+
+#include <algorithm>
+
+namespace soldist {
+
+bool EdgeList::Validate() const {
+  for (const Arc& a : arcs) {
+    if (a.src >= num_vertices || a.dst >= num_vertices) return false;
+  }
+  return true;
+}
+
+void EdgeList::Sort() {
+  std::sort(arcs.begin(), arcs.end());
+}
+
+void EdgeList::RemoveDuplicates() {
+  Sort();
+  arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+}
+
+void EdgeList::RemoveSelfLoops() {
+  arcs.erase(std::remove_if(arcs.begin(), arcs.end(),
+                            [](const Arc& a) { return a.src == a.dst; }),
+             arcs.end());
+}
+
+void EdgeList::MakeBidirected() {
+  std::size_t original = arcs.size();
+  arcs.reserve(original * 2);
+  for (std::size_t i = 0; i < original; ++i) {
+    arcs.push_back({arcs[i].dst, arcs[i].src});
+  }
+}
+
+}  // namespace soldist

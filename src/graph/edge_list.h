@@ -1,0 +1,53 @@
+// EdgeList: the interchange format between generators / file loaders and
+// the CSR graph builder.
+
+#ifndef SOLDIST_GRAPH_EDGE_LIST_H_
+#define SOLDIST_GRAPH_EDGE_LIST_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace soldist {
+
+/// A directed arc u -> v.
+struct Arc {
+  VertexId src;
+  VertexId dst;
+
+  friend bool operator==(const Arc&, const Arc&) = default;
+  friend auto operator<=>(const Arc&, const Arc&) = default;
+};
+
+/// \brief Directed edge list with an explicit vertex count.
+///
+/// Vertex ids must lie in [0, num_vertices); Validate() checks.
+struct EdgeList {
+  VertexId num_vertices = 0;
+  std::vector<Arc> arcs;
+
+  void Add(VertexId src, VertexId dst) { arcs.push_back({src, dst}); }
+
+  /// True iff all endpoints are within range.
+  bool Validate() const;
+
+  /// Sorts arcs by (src, dst).
+  void Sort();
+
+  /// Removes exact duplicate arcs (keeps one copy); sorts as a side effect.
+  void RemoveDuplicates();
+
+  /// Removes arcs u -> u. Self-loops are inert under the IC model (the
+  /// source is already active), so generators and loaders drop them.
+  void RemoveSelfLoops();
+
+  /// Appends the reverse arc of every arc: turns an undirected edge set
+  /// (stored one direction per edge) into the bidirected form the paper
+  /// uses for Karate / collaboration networks.
+  void MakeBidirected();
+};
+
+}  // namespace soldist
+
+#endif  // SOLDIST_GRAPH_EDGE_LIST_H_

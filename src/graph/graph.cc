@@ -1,0 +1,31 @@
+#include "graph/graph.h"
+
+#include "graph/builder.h"
+
+namespace soldist {
+
+Graph Graph::Transposed() const {
+  EdgeList reversed;
+  reversed.num_vertices = num_vertices_;
+  reversed.arcs.reserve(out_targets_.size());
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    for (EdgeId e = out_offsets_[v]; e < out_offsets_[v + 1]; ++e) {
+      reversed.Add(out_targets_[e], v);
+    }
+  }
+  return GraphBuilder::FromEdgeList(reversed);
+}
+
+EdgeList Graph::ToEdgeList() const {
+  EdgeList edges;
+  edges.num_vertices = num_vertices_;
+  edges.arcs.reserve(out_targets_.size());
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    for (EdgeId e = out_offsets_[v]; e < out_offsets_[v + 1]; ++e) {
+      edges.Add(v, out_targets_[e]);
+    }
+  }
+  return edges;
+}
+
+}  // namespace soldist

@@ -1,0 +1,83 @@
+// Graph: immutable directed graph in compressed-sparse-row form, with both
+// out- and in-adjacency so forward simulation (Oneshot/Snapshot) and
+// reverse sampling (RIS) are each a contiguous scan.
+
+#ifndef SOLDIST_GRAPH_GRAPH_H_
+#define SOLDIST_GRAPH_GRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "graph/types.h"
+#include "util/logging.h"
+
+namespace soldist {
+
+/// \brief Immutable CSR directed graph.
+///
+/// Build with GraphBuilder (graph/builder.h). Arc order within a vertex's
+/// neighbor span is sorted by target (out) / source (in); parallel arcs
+/// are preserved.
+class Graph {
+ public:
+  Graph() = default;
+
+  VertexId num_vertices() const { return num_vertices_; }
+  EdgeId num_edges() const { return static_cast<EdgeId>(out_targets_.size()); }
+
+  /// Out-neighbors of v (targets of arcs v -> *).
+  std::span<const VertexId> OutNeighbors(VertexId v) const {
+    SOLDIST_DCHECK(v < num_vertices_);
+    return {out_targets_.data() + out_offsets_[v],
+            out_targets_.data() + out_offsets_[v + 1]};
+  }
+
+  /// In-neighbors of v (sources of arcs * -> v).
+  std::span<const VertexId> InNeighbors(VertexId v) const {
+    SOLDIST_DCHECK(v < num_vertices_);
+    return {in_sources_.data() + in_offsets_[v],
+            in_sources_.data() + in_offsets_[v + 1]};
+  }
+
+  VertexId OutDegree(VertexId v) const {
+    SOLDIST_DCHECK(v < num_vertices_);
+    return static_cast<VertexId>(out_offsets_[v + 1] - out_offsets_[v]);
+  }
+
+  VertexId InDegree(VertexId v) const {
+    SOLDIST_DCHECK(v < num_vertices_);
+    return static_cast<VertexId>(in_offsets_[v + 1] - in_offsets_[v]);
+  }
+
+  /// CSR arrays. The position of a target in out_targets() is the arc's
+  /// *out-edge id*; aligned payloads (edge probabilities) index by it.
+  const std::vector<EdgeId>& out_offsets() const { return out_offsets_; }
+  const std::vector<VertexId>& out_targets() const { return out_targets_; }
+  const std::vector<EdgeId>& in_offsets() const { return in_offsets_; }
+  const std::vector<VertexId>& in_sources() const { return in_sources_; }
+
+  /// For the in-CSR position i, in_to_out_edge()[i] is the out-edge id of
+  /// the same arc: lets reverse scans read payloads stored in out order.
+  const std::vector<EdgeId>& in_to_out_edge() const { return in_to_out_; }
+
+  /// Returns the transposed graph (every arc reversed).
+  Graph Transposed() const;
+
+  /// Rebuilds the defining edge list (arcs in out-CSR order).
+  EdgeList ToEdgeList() const;
+
+ private:
+  friend class GraphBuilder;
+
+  VertexId num_vertices_ = 0;
+  std::vector<EdgeId> out_offsets_;    // size n+1
+  std::vector<VertexId> out_targets_;  // size m
+  std::vector<EdgeId> in_offsets_;     // size n+1
+  std::vector<VertexId> in_sources_;   // size m
+  std::vector<EdgeId> in_to_out_;      // size m
+};
+
+}  // namespace soldist
+
+#endif  // SOLDIST_GRAPH_GRAPH_H_

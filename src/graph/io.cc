@@ -1,0 +1,72 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace soldist {
+
+StatusOr<EdgeList> GraphIo::ParseEdgeList(const std::string& text) {
+  EdgeList edges;
+  std::unordered_map<std::uint64_t, VertexId> remap;
+  auto intern = [&remap, &edges](std::uint64_t raw) {
+    auto [it, inserted] = remap.try_emplace(raw, edges.num_vertices);
+    if (inserted) ++edges.num_vertices;
+    return it->second;
+  };
+
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#' || trimmed[0] == '%') continue;
+    auto fields = SplitWhitespace(trimmed);
+    if (fields.size() < 2) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": expected 'src dst', got: " + line);
+    }
+    std::uint64_t src = 0, dst = 0;
+    if (!ParseUint64(fields[0], &src) || !ParseUint64(fields[1], &dst)) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": non-numeric vertex id: " + line);
+    }
+    // Sequence the interning explicitly: argument evaluation order is
+    // unspecified, and interning must follow textual order for the dense
+    // remap to be deterministic.
+    VertexId s = intern(src);
+    VertexId d = intern(dst);
+    edges.Add(s, d);
+  }
+  return edges;
+}
+
+StatusOr<EdgeList> GraphIo::LoadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  return ParseEdgeList(buffer.str());
+}
+
+Status GraphIo::SaveEdgeList(const EdgeList& edges, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot open for writing: " + path);
+  std::fprintf(f, "# soldist edge list: %u vertices, %zu arcs\n",
+               edges.num_vertices, edges.arcs.size());
+  for (const Arc& a : edges.arcs) {
+    if (std::fprintf(f, "%u %u\n", a.src, a.dst) < 0) {
+      std::fclose(f);
+      return Status::IoError("write failed: " + path);
+    }
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+}  // namespace soldist

@@ -1,0 +1,34 @@
+// Edge-list file I/O in the SNAP text format, so users with the paper's
+// original datasets (ca-GrQc, Wiki-Vote, com-Youtube, soc-Pokec) can load
+// them directly instead of the bundled synthetic proxies.
+
+#ifndef SOLDIST_GRAPH_IO_H_
+#define SOLDIST_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/edge_list.h"
+#include "util/status.h"
+
+namespace soldist {
+
+/// \brief Text edge-list reader/writer.
+///
+/// Format: one "src dst" pair per line (any whitespace); lines starting
+/// with '#' or '%' are comments (SNAP and KONECT conventions). Vertex ids
+/// are remapped to a dense [0, n) range in first-appearance order.
+class GraphIo {
+ public:
+  /// Loads `path`; returns the densely-remapped edge list.
+  static StatusOr<EdgeList> LoadEdgeList(const std::string& path);
+
+  /// Parses edge-list text (same format as LoadEdgeList).
+  static StatusOr<EdgeList> ParseEdgeList(const std::string& text);
+
+  /// Writes "src dst" lines.
+  static Status SaveEdgeList(const EdgeList& edges, const std::string& path);
+};
+
+}  // namespace soldist
+
+#endif  // SOLDIST_GRAPH_IO_H_

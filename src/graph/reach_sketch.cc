@@ -1,0 +1,90 @@
+#include "graph/reach_sketch.h"
+
+#include <algorithm>
+
+#include "graph/components.h"
+
+namespace soldist {
+namespace {
+
+/// Merges `ranks` into `sketch`, keeping the k smallest, both sorted.
+void MergeBottomK(std::vector<double>* sketch,
+                  const std::vector<double>& ranks, int k) {
+  std::vector<double> merged;
+  merged.reserve(
+      std::min<std::size_t>(sketch->size() + ranks.size(),
+                            static_cast<std::size_t>(k)));
+  std::size_t i = 0, j = 0;
+  while (merged.size() < static_cast<std::size_t>(k) &&
+         (i < sketch->size() || j < ranks.size())) {
+    double next;
+    if (i < sketch->size() &&
+        (j >= ranks.size() || (*sketch)[i] <= ranks[j])) {
+      next = (*sketch)[i++];
+    } else {
+      next = ranks[j++];
+    }
+    // Skip duplicates (a rank reached via two paths counts once).
+    if (merged.empty() || merged.back() != next) merged.push_back(next);
+  }
+  *sketch = std::move(merged);
+}
+
+}  // namespace
+
+ReachabilitySketches::ReachabilitySketches(const Graph* graph, int k,
+                                           Rng* rng)
+    : k_(k) {
+  SOLDIST_CHECK(k_ >= 2);
+  const VertexId n = graph->num_vertices();
+  std::vector<double> rank(n);
+  for (VertexId v = 0; v < n; ++v) rank[v] = rng->UnitReal();
+
+  ComponentDecomposition scc = StronglyConnectedComponents(*graph);
+  component_of_ = scc.component;
+  const std::uint32_t num_components = scc.num_components();
+  component_sketch_.assign(num_components, {});
+
+  // Group member ranks per component (sorted for the merge).
+  std::vector<std::vector<double>> member_ranks(num_components);
+  for (VertexId v = 0; v < n; ++v) {
+    member_ranks[scc.component[v]].push_back(rank[v]);
+  }
+  for (auto& ranks : member_ranks) std::sort(ranks.begin(), ranks.end());
+
+  // Condensation successors, deduplicated per component.
+  std::vector<std::vector<std::uint32_t>> successors(num_components);
+  for (VertexId v = 0; v < n; ++v) {
+    std::uint32_t cv = scc.component[v];
+    for (VertexId w : graph->OutNeighbors(v)) {
+      std::uint32_t cw = scc.component[w];
+      if (cw != cv) successors[cv].push_back(cw);
+    }
+  }
+  for (auto& list : successors) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+
+  // Tarjan numbers components in reverse topological order: successors of
+  // c always carry SMALLER ids, so ascending order processes them first.
+  for (std::uint32_t c = 0; c < num_components; ++c) {
+    std::vector<double>& sketch = component_sketch_[c];
+    MergeBottomK(&sketch, member_ranks[c], k_);
+    for (std::uint32_t successor : successors[c]) {
+      SOLDIST_DCHECK(successor < c);
+      MergeBottomK(&sketch, component_sketch_[successor], k_);
+    }
+  }
+}
+
+double ReachabilitySketches::EstimateReachable(VertexId v) const {
+  const std::vector<double>& sketch = component_sketch_[component_of_[v]];
+  if (sketch.size() < static_cast<std::size_t>(k_)) {
+    // Fewer than k reachable vertices: the sketch is the exact rank set.
+    return static_cast<double>(sketch.size());
+  }
+  return static_cast<double>(k_ - 1) / sketch.back();
+}
+
+}  // namespace soldist

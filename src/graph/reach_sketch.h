@@ -1,0 +1,43 @@
+// Bottom-k min-hash reachability sketches (Cohen 1997), the technique the
+// paper's Section 3.4.3 cites for Snapshot's expensive first iteration:
+// estimating r_G(v) for EVERY vertex is the descendant counting problem
+// (no truly-subquadratic exact algorithm under SETH), but bottom-k
+// sketches approximate all n counts in near-linear time.
+
+#ifndef SOLDIST_GRAPH_REACH_SKETCH_H_
+#define SOLDIST_GRAPH_REACH_SKETCH_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "random/rng.h"
+
+namespace soldist {
+
+/// \brief Bottom-k sketches of every vertex's reachability set.
+///
+/// Construction: draw a uniform rank per vertex, condense SCCs (Tarjan
+/// emits them in reverse topological order), and merge each component's
+/// member ranks with its successors' sketches, keeping the k smallest.
+/// Estimate: |R(v)| ≈ (k−1)/x_k where x_k is the k-th smallest rank in
+/// v's sketch; exact when the sketch holds fewer than k ranks.
+class ReachabilitySketches {
+ public:
+  /// \param k sketch size; larger k = lower variance (SD ≈ |R|/√(k−2))
+  ReachabilitySketches(const Graph* graph, int k, Rng* rng);
+
+  /// Estimated number of vertices reachable from v (including v).
+  double EstimateReachable(VertexId v) const;
+
+  int k() const { return k_; }
+
+ private:
+  int k_;
+  /// Per component: sorted ascending bottom-k ranks.
+  std::vector<std::vector<double>> component_sketch_;
+  std::vector<std::uint32_t> component_of_;
+};
+
+}  // namespace soldist
+
+#endif  // SOLDIST_GRAPH_REACH_SKETCH_H_

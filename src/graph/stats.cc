@@ -1,0 +1,118 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+
+#include "graph/builder.h"
+#include "graph/traversal.h"
+
+namespace soldist {
+namespace {
+
+/// Undirected simple version: one arc per unordered pair, both directions.
+Graph UndirectedSimple(const Graph& graph) {
+  EdgeList undirected;
+  undirected.num_vertices = graph.num_vertices();
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    for (VertexId w : graph.OutNeighbors(v)) {
+      if (v == w) continue;
+      undirected.Add(v, w);
+      undirected.Add(w, v);
+    }
+  }
+  undirected.RemoveDuplicates();
+  return GraphBuilder::FromEdgeList(undirected);
+}
+
+}  // namespace
+
+double GlobalClusteringCoefficient(const Graph& graph) {
+  Graph u = UndirectedSimple(graph);
+  const VertexId n = u.num_vertices();
+
+  // Count triangles with the forward-degree orientation trick: orient each
+  // undirected edge toward the higher-(degree, id) endpoint; every triangle
+  // has exactly one vertex with two out-arcs in this orientation.
+  auto rank_less = [&u](VertexId a, VertexId b) {
+    VertexId da = u.OutDegree(a), db = u.OutDegree(b);
+    return da != db ? da < db : a < b;
+  };
+  std::vector<std::vector<VertexId>> forward(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId w : u.OutNeighbors(v)) {
+      if (rank_less(v, w)) forward[v].push_back(w);
+    }
+  }
+  for (auto& adj : forward) std::sort(adj.begin(), adj.end());
+
+  std::uint64_t triangles = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const auto& fv = forward[v];
+    for (std::size_t i = 0; i < fv.size(); ++i) {
+      for (std::size_t j = i + 1; j < fv.size(); ++j) {
+        VertexId a = fv[i], b = fv[j];
+        // Is there an undirected edge {a,b}? Check the forward list of the
+        // lower-ranked endpoint.
+        VertexId lo = rank_less(a, b) ? a : b;
+        VertexId hi = rank_less(a, b) ? b : a;
+        if (std::binary_search(forward[lo].begin(), forward[lo].end(), hi)) {
+          ++triangles;
+        }
+      }
+    }
+  }
+
+  std::uint64_t triples = 0;  // connected triples = sum_v C(deg(v), 2)
+  for (VertexId v = 0; v < n; ++v) {
+    std::uint64_t d = u.OutDegree(v);
+    triples += d * (d - 1) / 2;
+  }
+  if (triples == 0) return 0.0;
+  return 3.0 * static_cast<double>(triangles) / static_cast<double>(triples);
+}
+
+std::optional<double> AverageDistance(const Graph& graph,
+                                      std::uint32_t sample_pairs, Rng* rng) {
+  if (sample_pairs == 0 || graph.num_vertices() < 2) return std::nullopt;
+  SOLDIST_CHECK(rng != nullptr);
+  Graph u = UndirectedSimple(graph);
+  BfsReachability bfs(&u);
+
+  std::uint64_t total = 0;
+  std::uint64_t reachable_pairs = 0;
+  // One BFS serves many pairs: sample sqrt-ish many sources.
+  std::uint32_t sources =
+      std::max<std::uint32_t>(1, std::min<std::uint32_t>(
+          u.num_vertices(), sample_pairs / 16 + 1));
+  std::uint32_t pairs_per_source = (sample_pairs + sources - 1) / sources;
+  for (std::uint32_t i = 0; i < sources; ++i) {
+    auto s = static_cast<VertexId>(rng->UniformInt(u.num_vertices()));
+    auto dist = bfs.Distances(s);
+    for (std::uint32_t j = 0; j < pairs_per_source; ++j) {
+      auto t = static_cast<VertexId>(rng->UniformInt(u.num_vertices()));
+      if (t == s) continue;
+      if (dist[t] != BfsReachability::kUnreachableDistance) {
+        total += dist[t];
+        ++reachable_pairs;
+      }
+    }
+  }
+  if (reachable_pairs == 0) return std::nullopt;
+  return static_cast<double>(total) / static_cast<double>(reachable_pairs);
+}
+
+NetworkStats ComputeNetworkStats(const Graph& graph,
+                                 std::uint32_t distance_sample_pairs,
+                                 Rng* rng) {
+  NetworkStats stats;
+  stats.num_vertices = graph.num_vertices();
+  stats.num_edges = graph.num_edges();
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    stats.max_out_degree = std::max(stats.max_out_degree, graph.OutDegree(v));
+    stats.max_in_degree = std::max(stats.max_in_degree, graph.InDegree(v));
+  }
+  stats.clustering_coefficient = GlobalClusteringCoefficient(graph);
+  stats.average_distance = AverageDistance(graph, distance_sample_pairs, rng);
+  return stats;
+}
+
+}  // namespace soldist

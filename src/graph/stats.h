@@ -1,0 +1,49 @@
+// Network statistics for the paper's Table 3: degree extremes, global
+// clustering coefficient, average distance.
+
+#ifndef SOLDIST_GRAPH_STATS_H_
+#define SOLDIST_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "graph/graph.h"
+#include "random/rng.h"
+
+namespace soldist {
+
+/// Statistics reported in the paper's Table 3.
+struct NetworkStats {
+  VertexId num_vertices = 0;
+  EdgeId num_edges = 0;
+  VertexId max_out_degree = 0;  ///< Δ+
+  VertexId max_in_degree = 0;   ///< Δ−
+  double clustering_coefficient = 0.0;
+  /// Mean BFS distance between reachable random pairs on the undirected
+  /// version; unset when not computed (large graphs).
+  std::optional<double> average_distance;
+};
+
+/// \brief Computes Table-3 statistics.
+///
+/// \param graph input (directed; clustering/distance use the undirected
+///        simple version, matching how KONECT/SNAP report them)
+/// \param distance_sample_pairs pairs sampled for the average distance;
+///        0 skips it (paper leaves "-" for larger graphs)
+/// \param rng randomness for pair sampling (may be null when skipping)
+NetworkStats ComputeNetworkStats(const Graph& graph,
+                                 std::uint32_t distance_sample_pairs,
+                                 Rng* rng);
+
+/// Global clustering coefficient: 3 * triangles / connected triples, on
+/// the undirected simple version of `graph`.
+double GlobalClusteringCoefficient(const Graph& graph);
+
+/// Mean BFS distance between `sample_pairs` random reachable pairs on the
+/// undirected simple version. Returns nullopt if no pair was reachable.
+std::optional<double> AverageDistance(const Graph& graph,
+                                      std::uint32_t sample_pairs, Rng* rng);
+
+}  // namespace soldist
+
+#endif  // SOLDIST_GRAPH_STATS_H_

@@ -1,0 +1,54 @@
+#include "graph/traversal.h"
+
+namespace soldist {
+
+BfsReachability::BfsReachability(const Graph* graph)
+    : graph_(graph), visited_(graph->num_vertices()) {
+  queue_.reserve(graph->num_vertices());
+}
+
+std::uint64_t BfsReachability::CountReachable(
+    std::span<const VertexId> sources) {
+  visited_.NextEpoch();
+  queue_.clear();
+  for (VertexId s : sources) {
+    if (visited_.Mark(s)) queue_.push_back(s);
+  }
+  std::size_t head = 0;
+  while (head < queue_.size()) {
+    VertexId u = queue_[head++];
+    for (VertexId w : graph_->OutNeighbors(u)) {
+      if (visited_.Mark(w)) queue_.push_back(w);
+    }
+  }
+  return queue_.size();
+}
+
+std::vector<VertexId> BfsReachability::ReachableSet(
+    std::span<const VertexId> sources) {
+  CountReachable(sources);
+  return queue_;
+}
+
+std::vector<std::uint32_t> BfsReachability::Distances(VertexId source) {
+  std::vector<std::uint32_t> dist(graph_->num_vertices(),
+                                  kUnreachableDistance);
+  visited_.NextEpoch();
+  queue_.clear();
+  visited_.Mark(source);
+  queue_.push_back(source);
+  dist[source] = 0;
+  std::size_t head = 0;
+  while (head < queue_.size()) {
+    VertexId u = queue_[head++];
+    for (VertexId w : graph_->OutNeighbors(u)) {
+      if (visited_.Mark(w)) {
+        dist[w] = dist[u] + 1;
+        queue_.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace soldist

@@ -1,0 +1,24 @@
+// Fundamental identifier types for the graph substrate.
+
+#ifndef SOLDIST_GRAPH_TYPES_H_
+#define SOLDIST_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace soldist {
+
+/// Vertex identifier: dense ids in [0, n).
+using VertexId = std::uint32_t;
+
+/// Edge identifier / edge count type (graphs may exceed 2^32 arcs at
+/// paper-full scale).
+using EdgeId = std::uint64_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+}  // namespace soldist
+
+#endif  // SOLDIST_GRAPH_TYPES_H_

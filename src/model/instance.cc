@@ -1,0 +1,10 @@
+#include "model/instance.h"
+
+namespace soldist {
+
+std::string InstanceSpec::Label() const {
+  return network + " (" + ProbabilityModelName(prob) + ", k=" +
+         std::to_string(k) + ")";
+}
+
+}  // namespace soldist

@@ -1,0 +1,28 @@
+// InstanceSpec: a problem instance in the paper's sense — a network, an
+// edge-probability setting, and a seed-set size k, e.g. "Karate (uc0.1,
+// k=4)".
+
+#ifndef SOLDIST_MODEL_INSTANCE_H_
+#define SOLDIST_MODEL_INSTANCE_H_
+
+#include <string>
+
+#include "model/probability.h"
+
+namespace soldist {
+
+/// \brief Identifies one experimental instance.
+struct InstanceSpec {
+  std::string network;
+  ProbabilityModel prob = ProbabilityModel::kUc01;
+  int k = 1;
+
+  /// Paper-style label: "Karate (uc0.1, k=4)".
+  std::string Label() const;
+
+  friend bool operator==(const InstanceSpec&, const InstanceSpec&) = default;
+};
+
+}  // namespace soldist
+
+#endif  // SOLDIST_MODEL_INSTANCE_H_

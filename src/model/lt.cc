@@ -1,0 +1,50 @@
+#include "model/lt.h"
+
+#include <algorithm>
+
+namespace soldist {
+
+bool IsValidLtGraph(const InfluenceGraph& ig, double tolerance) {
+  const Graph& g = ig.graph();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    double sum = 0.0;
+    for (EdgeId pos = g.in_offsets()[v]; pos < g.in_offsets()[v + 1]; ++pos) {
+      sum += ig.InProbability(pos);
+    }
+    if (sum > 1.0 + tolerance) return false;
+  }
+  return true;
+}
+
+LtWeights::LtWeights(const InfluenceGraph* ig) : ig_(ig) {
+  SOLDIST_CHECK(IsValidLtGraph(*ig))
+      << "LT needs per-vertex in-weights summing to <= 1 (use iwc)";
+  const Graph& g = ig->graph();
+  prefix_.resize(g.num_edges());
+  total_.resize(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    double acc = 0.0;
+    for (EdgeId pos = g.in_offsets()[v]; pos < g.in_offsets()[v + 1]; ++pos) {
+      acc += ig->InProbability(pos);
+      prefix_[pos] = acc;
+    }
+    total_[v] = acc;
+  }
+}
+
+EdgeId LtWeights::SampleLiveInEdge(VertexId v, Rng* rng) const {
+  const Graph& g = ig_->graph();
+  const EdgeId begin = g.in_offsets()[v];
+  const EdgeId end = g.in_offsets()[v + 1];
+  if (begin == end) return kNoInEdge;
+  double x = rng->UnitReal();
+  if (x >= total_[v]) return kNoInEdge;  // keeps no in-edge
+  // Binary search the cumulative table within v's in-range.
+  const double* lo = prefix_.data() + begin;
+  const double* hi = prefix_.data() + end;
+  const double* it = std::upper_bound(lo, hi, x);
+  SOLDIST_DCHECK(it != hi);
+  return begin + static_cast<EdgeId>(it - lo);
+}
+
+}  // namespace soldist

@@ -1,0 +1,83 @@
+#include "model/probability.h"
+
+namespace soldist {
+
+std::vector<ProbabilityModel> PaperProbabilityModels() {
+  return {ProbabilityModel::kUc01, ProbabilityModel::kUc001,
+          ProbabilityModel::kIwc, ProbabilityModel::kOwc};
+}
+
+std::string ProbabilityModelName(ProbabilityModel model) {
+  switch (model) {
+    case ProbabilityModel::kUc01:
+      return "uc0.1";
+    case ProbabilityModel::kUc001:
+      return "uc0.01";
+    case ProbabilityModel::kIwc:
+      return "iwc";
+    case ProbabilityModel::kOwc:
+      return "owc";
+    case ProbabilityModel::kTrivalency:
+      return "tv";
+  }
+  return "?";
+}
+
+StatusOr<ProbabilityModel> ParseProbabilityModel(const std::string& name) {
+  if (name == "uc0.1") return ProbabilityModel::kUc01;
+  if (name == "uc0.01") return ProbabilityModel::kUc001;
+  if (name == "iwc") return ProbabilityModel::kIwc;
+  if (name == "owc") return ProbabilityModel::kOwc;
+  if (name == "tv") return ProbabilityModel::kTrivalency;
+  return Status::NotFound("unknown probability model: " + name);
+}
+
+std::vector<double> AssignProbabilities(const Graph& graph,
+                                        ProbabilityModel model, Rng* rng) {
+  std::vector<double> prob(graph.num_edges());
+  switch (model) {
+    case ProbabilityModel::kUc01:
+      std::fill(prob.begin(), prob.end(), 0.1);
+      break;
+    case ProbabilityModel::kUc001:
+      std::fill(prob.begin(), prob.end(), 0.01);
+      break;
+    case ProbabilityModel::kIwc:
+      // p(u,v) = 1/d−(v): Σ_{u∈Γ−(v)} p(u,v) = 1 for every v.
+      for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+        for (EdgeId e = graph.out_offsets()[u]; e < graph.out_offsets()[u + 1];
+             ++e) {
+          VertexId v = graph.out_targets()[e];
+          prob[e] = 1.0 / static_cast<double>(graph.InDegree(v));
+        }
+      }
+      break;
+    case ProbabilityModel::kOwc:
+      // p(u,v) = 1/d+(u): each vertex spreads one unit of influence.
+      for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+        double p = graph.OutDegree(u) > 0
+                       ? 1.0 / static_cast<double>(graph.OutDegree(u))
+                       : 1.0;
+        for (EdgeId e = graph.out_offsets()[u]; e < graph.out_offsets()[u + 1];
+             ++e) {
+          prob[e] = p;
+        }
+      }
+      break;
+    case ProbabilityModel::kTrivalency: {
+      SOLDIST_CHECK(rng != nullptr) << "trivalency needs randomness";
+      constexpr double kLevels[3] = {0.1, 0.01, 0.001};
+      for (auto& p : prob) p = kLevels[rng->UniformInt(3)];
+      break;
+    }
+  }
+  return prob;
+}
+
+InfluenceGraph MakeInfluenceGraph(Graph graph, ProbabilityModel model,
+                                  Rng* rng) {
+  std::vector<double> prob = AssignProbabilities(graph, model, rng);
+  return InfluenceGraph(std::move(graph), std::move(prob));
+}
+
+}  // namespace soldist

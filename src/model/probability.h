@@ -1,0 +1,48 @@
+// Edge-probability settings (paper Section 4.3): public network data has no
+// influence probabilities, so they are assigned by well-established
+// strategies: uniform cascade, in-/out-degree weighted cascade, and (as a
+// library extension) trivalency.
+
+#ifndef SOLDIST_MODEL_PROBABILITY_H_
+#define SOLDIST_MODEL_PROBABILITY_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "model/influence_graph.h"
+#include "random/rng.h"
+#include "util/status.h"
+
+namespace soldist {
+
+/// The paper's probability settings plus the trivalency extension.
+enum class ProbabilityModel {
+  kUc01,        ///< uniform cascade, p(e) = 0.1          ("uc0.1")
+  kUc001,       ///< uniform cascade, p(e) = 0.01         ("uc0.01")
+  kIwc,         ///< in-degree weighted, p(u,v) = 1/d−(v) ("iwc")
+  kOwc,         ///< out-degree weighted, p(u,v) = 1/d+(u)("owc")
+  kTrivalency,  ///< p(e) uniform from {0.1, 0.01, 0.001} ("tv")
+};
+
+/// The four settings the paper evaluates, in its column order.
+std::vector<ProbabilityModel> PaperProbabilityModels();
+
+/// Canonical short name, e.g. "uc0.1", "iwc".
+std::string ProbabilityModelName(ProbabilityModel model);
+
+/// Inverse of ProbabilityModelName.
+StatusOr<ProbabilityModel> ParseProbabilityModel(const std::string& name);
+
+/// Edge probabilities for `graph` in out-CSR order.
+/// \param rng required only for kTrivalency; may be null otherwise.
+std::vector<double> AssignProbabilities(const Graph& graph,
+                                        ProbabilityModel model, Rng* rng);
+
+/// Convenience: builds the influence graph for (graph, model).
+InfluenceGraph MakeInfluenceGraph(Graph graph, ProbabilityModel model,
+                                  Rng* rng = nullptr);
+
+}  // namespace soldist
+
+#endif  // SOLDIST_MODEL_PROBABILITY_H_

@@ -1,0 +1,123 @@
+#include "oracle/exact_oracle.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/builder.h"
+#include "graph/traversal.h"
+
+namespace soldist {
+namespace {
+
+constexpr EdgeId kMaxEdgesForEnumeration = 25;
+
+/// Calls fn(probability, live_graph) for every live-edge subset.
+template <typename Fn>
+void ForEachLiveGraph(const InfluenceGraph& ig, Fn&& fn) {
+  const Graph& g = ig.graph();
+  const EdgeId m = g.num_edges();
+  SOLDIST_CHECK(m <= kMaxEdgesForEnumeration)
+      << "exact enumeration limited to " << kMaxEdgesForEnumeration
+      << " edges, got " << m;
+  // Materialize the arc list once in out-CSR edge-id order.
+  EdgeList arcs = g.ToEdgeList();
+
+  for (std::uint64_t mask = 0; mask < (1ULL << m); ++mask) {
+    double probability = 1.0;
+    EdgeList live;
+    live.num_vertices = g.num_vertices();
+    for (EdgeId e = 0; e < m; ++e) {
+      double pe = ig.OutProbability(e);
+      if (mask & (1ULL << e)) {
+        probability *= pe;
+        live.Add(arcs.arcs[e].src, arcs.arcs[e].dst);
+      } else {
+        probability *= (1.0 - pe);
+      }
+    }
+    if (probability == 0.0) continue;
+    fn(probability, GraphBuilder::FromEdgeList(live));
+  }
+}
+
+}  // namespace
+
+double ExactInfluence(const InfluenceGraph& ig,
+                      std::span<const VertexId> seeds) {
+  double influence = 0.0;
+  ForEachLiveGraph(ig, [&](double probability, const Graph& live) {
+    BfsReachability bfs(&live);
+    influence += probability * static_cast<double>(bfs.CountReachable(seeds));
+  });
+  return influence;
+}
+
+double ExactLtInfluence(const InfluenceGraph& ig,
+                        std::span<const VertexId> seeds) {
+  const Graph& g = ig.graph();
+  const VertexId n = g.num_vertices();
+  double total_options = 1.0;
+  for (VertexId v = 0; v < n; ++v) {
+    total_options *= static_cast<double>(g.InDegree(v)) + 1.0;
+  }
+  SOLDIST_CHECK(total_options <= 4194304.0)
+      << "LT enumeration too large: " << total_options << " configurations";
+
+  // choice[v] in [0, InDegree(v)]: index of the kept in-edge, or
+  // InDegree(v) for "none". Iterate mixed-radix, weighting each
+  // configuration by its probability.
+  std::vector<std::uint32_t> choice(n, 0);
+  double influence = 0.0;
+  while (true) {
+    double probability = 1.0;
+    EdgeList live;
+    live.num_vertices = n;
+    for (VertexId v = 0; v < n; ++v) {
+      const EdgeId begin = g.in_offsets()[v];
+      const auto degree = static_cast<std::uint32_t>(g.InDegree(v));
+      double sum = 0.0;
+      for (EdgeId pos = begin; pos < begin + degree; ++pos) {
+        sum += ig.InProbability(pos);
+      }
+      if (choice[v] < degree) {
+        EdgeId pos = begin + choice[v];
+        probability *= ig.InProbability(pos);
+        live.Add(g.in_sources()[pos], v);
+      } else {
+        probability *= std::max(0.0, 1.0 - sum);
+      }
+    }
+    if (probability > 0.0) {
+      Graph live_graph = GraphBuilder::FromEdgeList(live);
+      BfsReachability bfs(&live_graph);
+      influence +=
+          probability * static_cast<double>(bfs.CountReachable(seeds));
+    }
+    // Next mixed-radix configuration.
+    VertexId v = 0;
+    while (v < n) {
+      if (++choice[v] <= g.InDegree(v)) break;
+      choice[v] = 0;
+      ++v;
+    }
+    if (v == n) break;
+  }
+  return influence;
+}
+
+double ExactRrHitProbability(const InfluenceGraph& ig,
+                             std::span<const VertexId> seeds) {
+  // Pr_R[R ∩ S != ∅] for a uniform target z: the fraction of (live graph,
+  // z) pairs where S reaches z, weighted by the live-graph probability.
+  const VertexId n = ig.num_vertices();
+  double hit = 0.0;
+  ForEachLiveGraph(ig, [&](double probability, const Graph& live) {
+    BfsReachability bfs(&live);
+    std::uint64_t reached = bfs.CountReachable(seeds);
+    hit += probability * static_cast<double>(reached) /
+           static_cast<double>(n);
+  });
+  return hit;
+}
+
+}  // namespace soldist

@@ -1,0 +1,34 @@
+// Exact influence computation by live-edge enumeration (paper Section 3.6
+// discusses exact computation; Maehara et al.'s BDD algorithm handles ~100
+// edges — this plain enumerator handles ~25 and exists so the statistical
+// tests can compare every estimator against ground truth).
+
+#ifndef SOLDIST_ORACLE_EXACT_ORACLE_H_
+#define SOLDIST_ORACLE_EXACT_ORACLE_H_
+
+#include <span>
+
+#include "model/influence_graph.h"
+
+namespace soldist {
+
+/// \brief Exact Inf(S) = Σ_{E' ⊆ E} Pr[E'] · r_{(V,E')}(S) over all 2^m
+/// live-edge subsets. Requires m <= 25 (CHECKed).
+double ExactInfluence(const InfluenceGraph& ig,
+                      std::span<const VertexId> seeds);
+
+/// Exact probability that a uniformly random RR set intersects S; equals
+/// Inf(S)/n (Borgs et al., Observation 3.2). Requires m <= 25.
+double ExactRrHitProbability(const InfluenceGraph& ig,
+                             std::span<const VertexId> seeds);
+
+/// \brief Exact influence under the LINEAR THRESHOLD model by enumerating
+/// every vertex's live-in-edge choice (each vertex keeps one in-edge with
+/// its weight, or none). Requires the product of (in-degree + 1) over all
+/// vertices to stay below ~2^22 (CHECKed).
+double ExactLtInfluence(const InfluenceGraph& ig,
+                        std::span<const VertexId> seeds);
+
+}  // namespace soldist
+
+#endif  // SOLDIST_ORACLE_EXACT_ORACLE_H_

@@ -1,0 +1,13 @@
+#include "oracle/mc_oracle.h"
+
+namespace soldist {
+
+McOracle::McOracle(const InfluenceGraph* ig) : simulator_(ig) {}
+
+double McOracle::EstimateInfluence(std::span<const VertexId> seeds,
+                                   std::uint64_t runs, Rng* rng) {
+  TraversalCounters scratch;
+  return simulator_.EstimateInfluence(seeds, runs, rng, &scratch);
+}
+
+}  // namespace soldist

@@ -1,0 +1,27 @@
+// Monte-Carlo influence evaluator: the straightforward alternative oracle
+// (forward simulations), used to cross-validate the RR oracle in tests.
+
+#ifndef SOLDIST_ORACLE_MC_ORACLE_H_
+#define SOLDIST_ORACLE_MC_ORACLE_H_
+
+#include "model/influence_graph.h"
+#include "sim/forward_sim.h"
+
+namespace soldist {
+
+/// \brief Influence estimation by repeated forward simulation.
+class McOracle {
+ public:
+  explicit McOracle(const InfluenceGraph* ig);
+
+  /// Mean activated count over `runs` simulations.
+  double EstimateInfluence(std::span<const VertexId> seeds,
+                           std::uint64_t runs, Rng* rng);
+
+ private:
+  ForwardSimulator simulator_;
+};
+
+}  // namespace soldist
+
+#endif  // SOLDIST_ORACLE_MC_ORACLE_H_

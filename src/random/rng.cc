@@ -1,0 +1,3 @@
+#include "random/rng.h"
+
+// Rng is header-only; this translation unit anchors the library target.

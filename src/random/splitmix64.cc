@@ -1,0 +1,14 @@
+#include "random/splitmix64.h"
+
+namespace soldist {
+
+std::uint64_t DeriveSeed(std::uint64_t master, std::uint64_t index) {
+  // Jump the SplitMix state to `master + index * gamma` and emit once; this
+  // is exactly the "split" operation of the original design.
+  SplitMix64 mixer(master ^ (index * 0xd1342543de82ef95ULL));
+  std::uint64_t s = mixer.Next();
+  // One extra round decorrelates adjacent indexes further.
+  return SplitMix64(s).Next();
+}
+
+}  // namespace soldist

@@ -1,0 +1,41 @@
+// SplitMix64: the standard seed-stretcher (Steele, Lea & Flood 2014;
+// public-domain reference by Vigna). Used to derive independent per-trial
+// seeds from one master seed so parallel trials never share a stream.
+
+#ifndef SOLDIST_RANDOM_SPLITMIX64_H_
+#define SOLDIST_RANDOM_SPLITMIX64_H_
+
+#include <cstdint>
+
+namespace soldist {
+
+/// \brief 64-bit SplitMix generator; also a UniformRandomBitGenerator.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64 random bits.
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t operator()() { return Next(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Derives the `index`-th child seed of `master`: deterministic, and
+/// distinct indexes give statistically independent seeds.
+std::uint64_t DeriveSeed(std::uint64_t master, std::uint64_t index);
+
+}  // namespace soldist
+
+#endif  // SOLDIST_RANDOM_SPLITMIX64_H_

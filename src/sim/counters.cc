@@ -1,0 +1,3 @@
+#include "sim/counters.h"
+
+// Header-only; anchors the library target.

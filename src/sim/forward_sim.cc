@@ -1,0 +1,56 @@
+#include "sim/forward_sim.h"
+
+namespace soldist {
+
+ForwardSimulator::ForwardSimulator(const InfluenceGraph* ig)
+    : ig_(ig), active_(ig->num_vertices()) {
+  queue_.reserve(ig->num_vertices());
+}
+
+std::uint32_t ForwardSimulator::Simulate(std::span<const VertexId> seeds,
+                                         Rng* rng,
+                                         TraversalCounters* counters) {
+  const Graph& g = ig_->graph();
+  active_.NextEpoch();
+  queue_.clear();
+  for (VertexId s : seeds) {
+    if (active_.Mark(s)) queue_.push_back(s);
+  }
+  std::size_t head = 0;
+  while (head < queue_.size()) {
+    VertexId u = queue_[head++];
+    // Scan u: one vertex examination plus all of its out-edges.
+    counters->vertices += 1;
+    const EdgeId begin = g.out_offsets()[u];
+    const EdgeId end = g.out_offsets()[u + 1];
+    counters->edges += end - begin;
+    for (EdgeId e = begin; e < end; ++e) {
+      VertexId v = g.out_targets()[e];
+      if (active_.IsMarked(v)) continue;  // already active: coin is moot
+      if (rng->Bernoulli(ig_->OutProbability(e))) {
+        active_.Mark(v);
+        queue_.push_back(v);
+      }
+    }
+  }
+  return static_cast<std::uint32_t>(queue_.size());
+}
+
+std::vector<VertexId> ForwardSimulator::SimulateSet(
+    std::span<const VertexId> seeds, Rng* rng, TraversalCounters* counters) {
+  Simulate(seeds, rng, counters);
+  return queue_;
+}
+
+double ForwardSimulator::EstimateInfluence(std::span<const VertexId> seeds,
+                                           std::uint64_t runs, Rng* rng,
+                                           TraversalCounters* counters) {
+  SOLDIST_CHECK(runs > 0);
+  std::uint64_t total = 0;
+  for (std::uint64_t i = 0; i < runs; ++i) {
+    total += Simulate(seeds, rng, counters);
+  }
+  return static_cast<double>(total) / static_cast<double>(runs);
+}
+
+}  // namespace soldist

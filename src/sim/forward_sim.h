@@ -1,0 +1,54 @@
+// Forward Monte-Carlo simulation of the independent cascade model (paper
+// Section 2.2): the sampling primitive behind Oneshot.
+
+#ifndef SOLDIST_SIM_FORWARD_SIM_H_
+#define SOLDIST_SIM_FORWARD_SIM_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/traversal.h"
+#include "model/influence_graph.h"
+#include "random/rng.h"
+#include "sim/counters.h"
+
+namespace soldist {
+
+/// \brief Simulates IC diffusions on one influence graph.
+///
+/// Reusable across simulations (epoch-marked visited array, persistent
+/// queue); not thread-safe — use one simulator per thread.
+class ForwardSimulator {
+ public:
+  explicit ForwardSimulator(const InfluenceGraph* ig);
+
+  /// Runs one diffusion from `seeds`; returns |A_<=n|, the number of
+  /// activated vertices (seeds included).
+  ///
+  /// Traversal accounting (paper Appendix): every activated vertex is
+  /// scanned once (+1 vertex); scanning examines all its out-edges
+  /// (+d+(u) edges), including edges to already-active targets.
+  std::uint32_t Simulate(std::span<const VertexId> seeds, Rng* rng,
+                         TraversalCounters* counters);
+
+  /// Like Simulate but also returns the activated set (visit order).
+  std::vector<VertexId> SimulateSet(std::span<const VertexId> seeds, Rng* rng,
+                                    TraversalCounters* counters);
+
+  /// Mean activated count over `runs` simulations: the Oneshot estimator's
+  /// core loop (Algorithm 3.2).
+  double EstimateInfluence(std::span<const VertexId> seeds,
+                           std::uint64_t runs, Rng* rng,
+                           TraversalCounters* counters);
+
+  const InfluenceGraph& influence_graph() const { return *ig_; }
+
+ private:
+  const InfluenceGraph* ig_;
+  VisitedMarker active_;
+  std::vector<VertexId> queue_;
+};
+
+}  // namespace soldist
+
+#endif  // SOLDIST_SIM_FORWARD_SIM_H_

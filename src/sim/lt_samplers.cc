@@ -1,0 +1,74 @@
+#include "sim/lt_samplers.h"
+
+#include <algorithm>
+
+namespace soldist {
+
+LtSnapshotSampler::LtSnapshotSampler(const LtWeights* weights)
+    : weights_(weights), bfs_(&weights->influence_graph()) {}
+
+Snapshot LtSnapshotSampler::Sample(Rng* rng, TraversalCounters* counters) {
+  const InfluenceGraph& ig = weights_->influence_graph();
+  const Graph& g = ig.graph();
+  const VertexId n = g.num_vertices();
+
+  scratch_arcs_.clear();
+  for (VertexId v = 0; v < n; ++v) {
+    EdgeId pos = weights_->SampleLiveInEdge(v, rng);
+    if (pos == LtWeights::kNoInEdge) continue;
+    scratch_arcs_.push_back({g.in_sources()[pos], v});
+  }
+  // Counting sort by source into the out-CSR snapshot.
+  Snapshot snap;
+  snap.out_offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const Arc& a : scratch_arcs_) {
+    ++snap.out_offsets[static_cast<std::size_t>(a.src) + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    snap.out_offsets[v + 1] += snap.out_offsets[v];
+  }
+  snap.out_targets.resize(scratch_arcs_.size());
+  std::vector<EdgeId> cursor(snap.out_offsets.begin(),
+                             snap.out_offsets.end() - 1);
+  for (const Arc& a : scratch_arcs_) {
+    snap.out_targets[cursor[a.src]++] = a.dst;
+  }
+  counters->sample_edges += snap.num_live_edges();
+  return snap;
+}
+
+LtRrSampler::LtRrSampler(const LtWeights* weights)
+    : weights_(weights),
+      visited_(weights->influence_graph().num_vertices()) {}
+
+void LtRrSampler::Sample(Rng* target_rng, Rng* coin_rng,
+                         std::vector<VertexId>* out,
+                         TraversalCounters* counters) {
+  auto target = static_cast<VertexId>(target_rng->UniformInt(
+      weights_->influence_graph().num_vertices()));
+  SampleForTarget(target, coin_rng, out, counters);
+}
+
+void LtRrSampler::SampleForTarget(VertexId target, Rng* coin_rng,
+                                  std::vector<VertexId>* out,
+                                  TraversalCounters* counters) {
+  const Graph& g = weights_->influence_graph().graph();
+  out->clear();
+  visited_.NextEpoch();
+  visited_.Mark(target);
+  out->push_back(target);
+  VertexId current = target;
+  while (true) {
+    counters->vertices += 1;
+    EdgeId pos = weights_->SampleLiveInEdge(current, coin_rng);
+    if (pos == LtWeights::kNoInEdge) break;
+    counters->edges += 1;
+    VertexId u = g.in_sources()[pos];
+    if (!visited_.Mark(u)) break;  // walked into a cycle: stop
+    out->push_back(u);
+    current = u;
+  }
+  counters->sample_vertices += out->size();
+}
+
+}  // namespace soldist

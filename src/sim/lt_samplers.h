@@ -1,0 +1,65 @@
+// LT counterparts of the snapshot and RR-set samplers, built on the
+// live-edge interpretation: every vertex keeps at most one in-edge.
+//
+// Consequences exploited here:
+//  * an LT snapshot has at most n live edges (in-degree <= 1);
+//  * an LT RR set is a backward *walk* (each vertex has one candidate
+//    live in-edge), so generation is a chain, not a BFS tree.
+
+#ifndef SOLDIST_SIM_LT_SAMPLERS_H_
+#define SOLDIST_SIM_LT_SAMPLERS_H_
+
+#include <vector>
+
+#include "model/lt.h"
+#include "sim/snapshot_sampler.h"
+
+namespace soldist {
+
+/// \brief Samples LT live-edge snapshots (reusing the Snapshot struct and
+/// the IC sampler's reachability BFS, which is model-agnostic).
+class LtSnapshotSampler {
+ public:
+  explicit LtSnapshotSampler(const LtWeights* weights);
+
+  /// Draws one LT snapshot: per vertex, at most one live in-edge.
+  /// Stored live edges count toward counters->sample_edges.
+  Snapshot Sample(Rng* rng, TraversalCounters* counters);
+
+  /// Reachability on a sampled snapshot (delegates to the shared BFS).
+  std::uint32_t CountReachable(const Snapshot& snapshot,
+                               std::span<const VertexId> seeds,
+                               TraversalCounters* counters) {
+    return bfs_.CountReachable(snapshot, seeds, counters);
+  }
+
+ private:
+  const LtWeights* weights_;
+  SnapshotSampler bfs_;  // used only for its model-agnostic BFS
+  std::vector<Arc> scratch_arcs_;
+};
+
+/// \brief Samples LT RR sets by a backward random walk.
+class LtRrSampler {
+ public:
+  explicit LtRrSampler(const LtWeights* weights);
+
+  /// Samples one RR set for a uniform random target into `*out`.
+  /// Accounting: one vertex and one examined edge per walk step (the
+  /// cumulative-table lookup is O(log d) but touches one live edge).
+  void Sample(Rng* target_rng, Rng* coin_rng, std::vector<VertexId>* out,
+              TraversalCounters* counters);
+
+  /// Walks backward from a fixed target.
+  void SampleForTarget(VertexId target, Rng* coin_rng,
+                       std::vector<VertexId>* out,
+                       TraversalCounters* counters);
+
+ private:
+  const LtWeights* weights_;
+  VisitedMarker visited_;
+};
+
+}  // namespace soldist
+
+#endif  // SOLDIST_SIM_LT_SAMPLERS_H_

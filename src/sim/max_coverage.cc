@@ -1,0 +1,54 @@
+#include "sim/max_coverage.h"
+
+#include <queue>
+
+namespace soldist {
+
+MaxCoverageResult GreedyMaxCoverage(const RrCollection& collection, int k) {
+  SOLDIST_CHECK(k >= 1);
+  const VertexId n = collection.num_vertices();
+  SOLDIST_CHECK(static_cast<VertexId>(k) <= n);
+
+  std::vector<std::uint32_t> cover_count(n, 0);
+  for (std::uint64_t set_id = 0; set_id < collection.size(); ++set_id) {
+    for (VertexId v : collection.Set(set_id)) ++cover_count[v];
+  }
+  std::vector<std::uint8_t> set_active(collection.size(), 1);
+
+  struct Entry {
+    std::uint32_t gain;
+    VertexId vertex;
+    int round;
+    bool operator<(const Entry& other) const {
+      if (gain != other.gain) return gain < other.gain;
+      return vertex > other.vertex;  // smaller id wins ties
+    }
+  };
+  std::priority_queue<Entry> heap;
+  for (VertexId v = 0; v < n; ++v) heap.push({cover_count[v], v, 0});
+
+  MaxCoverageResult result;
+  result.seeds.reserve(k);
+  for (int round = 0; round < k; ++round) {
+    while (true) {
+      Entry top = heap.top();
+      heap.pop();
+      if (top.round == round) {
+        for (std::uint64_t set_id : collection.InvertedList(top.vertex)) {
+          if (!set_active[set_id]) continue;
+          set_active[set_id] = 0;
+          ++result.covered;
+          for (VertexId w : collection.Set(set_id)) --cover_count[w];
+        }
+        result.seeds.push_back(top.vertex);
+        break;
+      }
+      top.gain = cover_count[top.vertex];
+      top.round = round;
+      heap.push(top);
+    }
+  }
+  return result;
+}
+
+}  // namespace soldist

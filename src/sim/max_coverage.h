@@ -1,0 +1,39 @@
+// Lazy-greedy maximum coverage over an RR-set collection: the common core
+// of RIS seed selection (paper Section 3.5.1 — "influence maximization is
+// therefore equivalent to a maximum coverage problem"), the oracle-greedy
+// reference, and IMM's node-selection phase.
+
+#ifndef SOLDIST_SIM_MAX_COVERAGE_H_
+#define SOLDIST_SIM_MAX_COVERAGE_H_
+
+#include <vector>
+
+#include "sim/rr_sampler.h"
+
+namespace soldist {
+
+/// Result of a max-coverage run.
+struct MaxCoverageResult {
+  /// Selected vertices in greedy order.
+  std::vector<VertexId> seeds;
+  /// Number of RR sets covered by the full selection.
+  std::uint64_t covered = 0;
+
+  /// Fraction of the collection covered: F_R(seeds).
+  double Fraction(std::uint64_t collection_size) const {
+    return collection_size == 0
+               ? 0.0
+               : static_cast<double>(covered) /
+                     static_cast<double>(collection_size);
+  }
+};
+
+/// \brief Greedy max coverage with CELF-style lazy evaluation.
+///
+/// Deterministic: ties break toward the smaller vertex id. Requires
+/// collection.BuildIndex() to have been called.
+MaxCoverageResult GreedyMaxCoverage(const RrCollection& collection, int k);
+
+}  // namespace soldist
+
+#endif  // SOLDIST_SIM_MAX_COVERAGE_H_

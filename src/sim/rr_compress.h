@@ -1,0 +1,78 @@
+// Compressed RR-set storage: the paper's concluding remarks (Section 7)
+// ask whether Snapshot/RIS memory can be cut "e.g., by compressing
+// reverse-reachable sets" — this module answers with a delta+varint
+// encoded collection exposing the same query API as RrCollection.
+//
+// Layout: each RR set is sorted, delta-encoded, and LEB128-varint packed;
+// the inverted index (vertex -> ids of containing sets) is stored the
+// same way. Small RR sets over dense ids compress to 1-2 bytes/entry vs
+// 4 (sets) + 8 (index) in the uncompressed collection.
+
+#ifndef SOLDIST_SIM_RR_COMPRESS_H_
+#define SOLDIST_SIM_RR_COMPRESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "sim/rr_sampler.h"
+
+namespace soldist {
+
+/// Appends v as LEB128 to `out`.
+void VarintEncode(std::uint64_t v, std::vector<std::uint8_t>* out);
+
+/// Decodes one LEB128 value from data[*pos], advancing *pos.
+std::uint64_t VarintDecode(const std::uint8_t* data, std::size_t* pos);
+
+/// \brief RR-set collection with compressed sets and compressed inverted
+/// index. Query-compatible with RrCollection (decode on the fly).
+class CompressedRrCollection {
+ public:
+  explicit CompressedRrCollection(VertexId num_vertices);
+
+  /// Appends one RR set (copied, sorted, delta+varint encoded).
+  void Add(const std::vector<VertexId>& rr_set);
+
+  /// Builds the compressed inverted index; call after the last Add.
+  void BuildIndex();
+
+  std::uint64_t size() const {
+    return static_cast<std::uint64_t>(set_offsets_.size()) - 1;
+  }
+  std::uint64_t total_entries() const { return total_entries_; }
+  VertexId num_vertices() const { return num_vertices_; }
+
+  /// Decodes set i into *out (sorted ascending).
+  void DecodeSet(std::uint64_t i, std::vector<VertexId>* out) const;
+
+  /// Decodes the ids of sets containing v into *out (ascending).
+  /// Requires BuildIndex().
+  void DecodeInvertedList(VertexId v, std::vector<std::uint64_t>* out) const;
+
+  /// Number of RR sets intersecting `seeds` (requires BuildIndex()).
+  std::uint64_t CountCovered(std::span<const VertexId> seeds) const;
+
+  /// Heap bytes used by the compressed payloads (sets + index + offsets).
+  std::uint64_t MemoryBytes() const;
+
+  /// Bytes an uncompressed RrCollection needs for the same content
+  /// (4 B/set entry + 8 B/index entry + offset arrays), for comparison.
+  std::uint64_t UncompressedBytes() const;
+
+ private:
+  VertexId num_vertices_;
+  std::uint64_t total_entries_ = 0;
+  std::vector<std::uint8_t> set_bytes_;
+  std::vector<std::uint64_t> set_offsets_;  // into set_bytes_
+  std::vector<std::uint8_t> index_bytes_;
+  std::vector<std::uint64_t> index_offsets_;  // per vertex, into index_bytes_
+  bool index_built_ = false;
+  mutable std::vector<std::uint32_t> covered_stamp_;
+  mutable std::uint32_t covered_epoch_ = 0;
+  mutable std::vector<std::uint64_t> scratch_ids_;
+};
+
+}  // namespace soldist
+
+#endif  // SOLDIST_SIM_RR_COMPRESS_H_

@@ -1,0 +1,107 @@
+#include "sim/rr_sampler.h"
+
+#include <numeric>
+
+namespace soldist {
+
+RrSampler::RrSampler(const InfluenceGraph* ig)
+    : ig_(ig), visited_(ig->num_vertices()) {}
+
+void RrSampler::Sample(Rng* target_rng, Rng* coin_rng,
+                       std::vector<VertexId>* out,
+                       TraversalCounters* counters) {
+  auto target =
+      static_cast<VertexId>(target_rng->UniformInt(ig_->num_vertices()));
+  SampleForTarget(target, coin_rng, out, counters);
+}
+
+void RrSampler::SampleForTarget(VertexId target, Rng* coin_rng,
+                                std::vector<VertexId>* out,
+                                TraversalCounters* counters) {
+  const Graph& g = ig_->graph();
+  out->clear();
+  visited_.NextEpoch();
+  visited_.Mark(target);
+  out->push_back(target);
+  std::size_t head = 0;
+  while (head < out->size()) {
+    VertexId v = (*out)[head++];
+    counters->vertices += 1;
+    const EdgeId begin = g.in_offsets()[v];
+    const EdgeId end = g.in_offsets()[v + 1];
+    counters->edges += end - begin;
+    for (EdgeId pos = begin; pos < end; ++pos) {
+      VertexId w = g.in_sources()[pos];
+      if (visited_.IsMarked(w)) continue;
+      if (coin_rng->Bernoulli(ig_->InProbability(pos))) {
+        visited_.Mark(w);
+        out->push_back(w);
+      }
+    }
+  }
+  counters->sample_vertices += out->size();
+}
+
+RrCollection::RrCollection(VertexId num_vertices)
+    : num_vertices_(num_vertices) {
+  offsets_.push_back(0);
+}
+
+void RrCollection::Add(const std::vector<VertexId>& rr_set) {
+  flat_.insert(flat_.end(), rr_set.begin(), rr_set.end());
+  offsets_.push_back(static_cast<std::uint64_t>(flat_.size()));
+  index_built_ = false;
+}
+
+void RrCollection::BuildIndex() {
+  index_offsets_.assign(static_cast<std::size_t>(num_vertices_) + 1, 0);
+  for (VertexId v : flat_) {
+    ++index_offsets_[static_cast<std::size_t>(v) + 1];
+  }
+  std::partial_sum(index_offsets_.begin(), index_offsets_.end(),
+                   index_offsets_.begin());
+  index_flat_.resize(flat_.size());
+  std::vector<std::uint64_t> cursor(index_offsets_.begin(),
+                                    index_offsets_.end() - 1);
+  for (std::uint64_t set_id = 0; set_id < size(); ++set_id) {
+    for (VertexId v : Set(set_id)) {
+      index_flat_[cursor[v]++] = set_id;
+    }
+  }
+  covered_stamp_.assign(size(), 0);
+  covered_epoch_ = 0;
+  index_built_ = true;
+}
+
+std::span<const std::uint64_t> RrCollection::InvertedList(VertexId v) const {
+  SOLDIST_CHECK(index_built_) << "call BuildIndex() first";
+  SOLDIST_DCHECK(v < num_vertices_);
+  return {index_flat_.data() + index_offsets_[v],
+          index_flat_.data() + index_offsets_[v + 1]};
+}
+
+std::uint64_t RrCollection::CountCovered(
+    std::span<const VertexId> seeds) const {
+  SOLDIST_CHECK(index_built_) << "call BuildIndex() first";
+  if (++covered_epoch_ == 0) {
+    std::fill(covered_stamp_.begin(), covered_stamp_.end(), 0);
+    covered_epoch_ = 1;
+  }
+  std::uint64_t covered = 0;
+  for (VertexId v : seeds) {
+    for (std::uint64_t set_id : InvertedList(v)) {
+      if (covered_stamp_[set_id] != covered_epoch_) {
+        covered_stamp_[set_id] = covered_epoch_;
+        ++covered;
+      }
+    }
+  }
+  return covered;
+}
+
+double RrCollection::MeanSize() const {
+  if (size() == 0) return 0.0;
+  return static_cast<double>(total_entries()) / static_cast<double>(size());
+}
+
+}  // namespace soldist

@@ -1,0 +1,99 @@
+// Reverse-reachable (RR) set sampling (paper Definition 3.1): the
+// primitive behind RIS and behind the shared influence oracle.
+//
+// An RR set for target z is the set of vertices that can reach z in a
+// live-edge random graph; for a uniformly random z,
+// Pr[R ∩ S != ∅] = Inf(S)/n (Borgs et al., Observation 3.2).
+
+#ifndef SOLDIST_SIM_RR_SAMPLER_H_
+#define SOLDIST_SIM_RR_SAMPLER_H_
+
+#include <vector>
+
+#include "graph/traversal.h"
+#include "model/influence_graph.h"
+#include "random/rng.h"
+#include "sim/counters.h"
+
+namespace soldist {
+
+/// \brief Generates RR sets by reverse BFS with per-in-edge coin flips.
+///
+/// Matches the paper's PRNG discipline (Section 4.1): one stream picks the
+/// random target, a second stream drives the edge coins.
+class RrSampler {
+ public:
+  explicit RrSampler(const InfluenceGraph* ig);
+
+  /// Samples one RR set for a uniformly random target into `*out`
+  /// (cleared first; target is out->front()).
+  ///
+  /// Accounting (paper Section 3.5.2): every vertex added to R is scanned
+  /// (+1 vertex) and all its in-edges are examined (+d−(v) edges); the RR
+  /// set's weight w(R) = Σ_{v∈R} d−(v) is exactly the edge count. Stored
+  /// entries are sample size (counters->sample_vertices += |R|).
+  void Sample(Rng* target_rng, Rng* coin_rng, std::vector<VertexId>* out,
+              TraversalCounters* counters);
+
+  /// Samples an RR set for a *fixed* target (tests; oracle stratification).
+  void SampleForTarget(VertexId target, Rng* coin_rng,
+                       std::vector<VertexId>* out,
+                       TraversalCounters* counters);
+
+  const InfluenceGraph& influence_graph() const { return *ig_; }
+
+ private:
+  const InfluenceGraph* ig_;
+  VisitedMarker visited_;
+};
+
+/// \brief A flattened collection of RR sets with an inverted index.
+///
+/// Storage: entries of set i are flat()[offsets()[i] .. offsets()[i+1]).
+/// The inverted index maps vertex v to the ids of the RR sets containing
+/// v, enabling O(Σ_v |index(v)|) coverage queries.
+class RrCollection {
+ public:
+  explicit RrCollection(VertexId num_vertices);
+
+  /// Appends one RR set (entries need not be sorted).
+  void Add(const std::vector<VertexId>& rr_set);
+
+  std::uint64_t size() const { return static_cast<std::uint64_t>(offsets_.size()) - 1; }
+  std::uint64_t total_entries() const {
+    return static_cast<std::uint64_t>(flat_.size());
+  }
+  VertexId num_vertices() const { return num_vertices_; }
+
+  std::span<const VertexId> Set(std::uint64_t i) const {
+    return {flat_.data() + offsets_[i], flat_.data() + offsets_[i + 1]};
+  }
+
+  /// Builds (or rebuilds) the vertex -> set-ids index; call after the last
+  /// Add and before InvertedList/CountCovered.
+  void BuildIndex();
+
+  /// Ids of the RR sets containing v. Requires BuildIndex().
+  std::span<const std::uint64_t> InvertedList(VertexId v) const;
+
+  /// Number of RR sets intersecting `seeds` (requires BuildIndex()).
+  std::uint64_t CountCovered(std::span<const VertexId> seeds) const;
+
+  /// Mean RR-set size: the empirical EPT of Section 3.5.2.
+  double MeanSize() const;
+
+ private:
+  VertexId num_vertices_;
+  std::vector<VertexId> flat_;
+  std::vector<std::uint64_t> offsets_;  // size() + 1 entries
+  std::vector<std::uint64_t> index_flat_;
+  std::vector<std::uint64_t> index_offsets_;  // n + 1 entries once built
+  bool index_built_ = false;
+  // Scratch for CountCovered (mutable: queries are logically const).
+  mutable std::vector<std::uint32_t> covered_stamp_;
+  mutable std::uint32_t covered_epoch_ = 0;
+};
+
+}  // namespace soldist
+
+#endif  // SOLDIST_SIM_RR_SAMPLER_H_

@@ -1,0 +1,61 @@
+// Snapshot sampling (paper Section 3.4): live-edge random graphs G(i) ~ G
+// generated once in Build and shared across the greedy selection.
+
+#ifndef SOLDIST_SIM_SNAPSHOT_SAMPLER_H_
+#define SOLDIST_SIM_SNAPSHOT_SAMPLER_H_
+
+#include <vector>
+
+#include "graph/traversal.h"
+#include "model/influence_graph.h"
+#include "random/rng.h"
+#include "sim/counters.h"
+
+namespace soldist {
+
+/// \brief One live-edge random graph in CSR form.
+struct Snapshot {
+  std::vector<EdgeId> out_offsets;    // size n+1
+  std::vector<VertexId> out_targets;  // live edges only
+
+  EdgeId num_live_edges() const {
+    return static_cast<EdgeId>(out_targets.size());
+  }
+};
+
+/// \brief Samples snapshots and answers reachability on them.
+class SnapshotSampler {
+ public:
+  explicit SnapshotSampler(const InfluenceGraph* ig);
+
+  /// Draws one snapshot: every edge e kept independently with p(e).
+  ///
+  /// Accounting: stored live edges are *sample size* (counters->
+  /// sample_edges); the coin flip per edge is Build work the paper
+  /// excludes from the traversal cost ("Build touches each edge only τ
+  /// times, which does not dominate", Section 3.4.2).
+  Snapshot Sample(Rng* rng, TraversalCounters* counters);
+
+  /// r_G(i)(seeds): vertices reachable from `seeds` in `snapshot`.
+  ///
+  /// Accounting: each reached vertex is scanned (+1 vertex) and its *live*
+  /// out-edges are examined (+live-degree edges) — the m̃/m edge-cost
+  /// factor of Section 5.3.2 comes from scanning live edges only.
+  std::uint32_t CountReachable(const Snapshot& snapshot,
+                               std::span<const VertexId> seeds,
+                               TraversalCounters* counters);
+
+  /// Like CountReachable but returns the reached set (visit order).
+  std::vector<VertexId> ReachableSet(const Snapshot& snapshot,
+                                     std::span<const VertexId> seeds,
+                                     TraversalCounters* counters);
+
+ private:
+  const InfluenceGraph* ig_;
+  VisitedMarker visited_;
+  std::vector<VertexId> queue_;
+};
+
+}  // namespace soldist
+
+#endif  // SOLDIST_SIM_SNAPSHOT_SAMPLER_H_

@@ -1,0 +1,24 @@
+#include "stats/box_stats.h"
+
+#include <cmath>
+
+namespace soldist {
+
+NotchedBoxStats ComputeBoxStats(const InfluenceDistribution& dist) {
+  NotchedBoxStats stats;
+  stats.num_samples = dist.size();
+  stats.mean = dist.Mean();
+  stats.median = dist.Median();
+  stats.q1 = dist.Percentile(25.0);
+  stats.q3 = dist.Percentile(75.0);
+  stats.p1 = dist.Percentile(1.0);
+  stats.p99 = dist.Percentile(99.0);
+  double iqr = stats.q3 - stats.q1;
+  double half_notch =
+      1.57 * iqr / std::sqrt(static_cast<double>(dist.size()));
+  stats.notch_low = stats.median - half_notch;
+  stats.notch_high = stats.median + half_notch;
+  return stats;
+}
+
+}  // namespace soldist

@@ -1,0 +1,32 @@
+// Notched-box-plot statistics (paper Figure 4's legend): median with its
+// 95% confidence notch, quartiles, mean, and the 1st/99th percentile
+// whiskers with 1% outliers beyond.
+
+#ifndef SOLDIST_STATS_BOX_STATS_H_
+#define SOLDIST_STATS_BOX_STATS_H_
+
+#include "stats/influence_distribution.h"
+
+namespace soldist {
+
+/// \brief Everything needed to draw one notched box.
+struct NotchedBoxStats {
+  double mean = 0.0;
+  double median = 0.0;
+  double q1 = 0.0;   ///< 25th percentile
+  double q3 = 0.0;   ///< 75th percentile
+  double p1 = 0.0;   ///< 1st percentile (lower whisker)
+  double p99 = 0.0;  ///< 99th percentile (upper whisker)
+  /// 95% confidence interval of the median: median ± 1.57·IQR/√n
+  /// (McGill, Tukey & Larsen 1978 — matplotlib's notch convention).
+  double notch_low = 0.0;
+  double notch_high = 0.0;
+  std::uint64_t num_samples = 0;
+};
+
+/// Computes the box statistics of `dist` (requires at least one sample).
+NotchedBoxStats ComputeBoxStats(const InfluenceDistribution& dist);
+
+}  // namespace soldist
+
+#endif  // SOLDIST_STATS_BOX_STATS_H_

@@ -1,0 +1,72 @@
+#include "stats/comparable_ratio.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace soldist {
+namespace {
+
+std::optional<double> MedianOf(std::vector<double> values) {
+  if (values.empty()) return std::nullopt;
+  std::sort(values.begin(), values.end());
+  std::size_t n = values.size();
+  if (n % 2 == 1) return values[n / 2];
+  return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+}  // namespace
+
+std::vector<ComparablePair> ComputeComparablePairs(
+    const std::vector<SweepPoint>& curve1,
+    const std::vector<SweepPoint>& curve2) {
+  for (std::size_t i = 1; i < curve1.size(); ++i) {
+    SOLDIST_CHECK(curve1[i].sample_number > curve1[i - 1].sample_number);
+  }
+  for (std::size_t i = 1; i < curve2.size(); ++i) {
+    SOLDIST_CHECK(curve2[i].sample_number > curve2[i - 1].sample_number);
+  }
+  std::vector<ComparablePair> pairs;
+  for (const SweepPoint& p1 : curve1) {
+    // Least s2 whose mean reaches mean1(s1). Curves can be noisy, so scan
+    // in increasing order and stop at the first match.
+    const SweepPoint* match = nullptr;
+    for (const SweepPoint& p2 : curve2) {
+      if (p2.mean_influence >= p1.mean_influence) {
+        match = &p2;
+        break;
+      }
+    }
+    if (match == nullptr) continue;  // curve2 never reaches this level
+    ComparablePair pair;
+    pair.s1 = p1.sample_number;
+    pair.s2 = match->sample_number;
+    pair.number_ratio = static_cast<double>(match->sample_number) /
+                        static_cast<double>(p1.sample_number);
+    pair.size_ratio = p1.mean_sample_size > 0.0
+                          ? match->mean_sample_size / p1.mean_sample_size
+                          : std::nan("");
+    pairs.push_back(pair);
+  }
+  return pairs;
+}
+
+std::optional<double> MedianNumberRatio(
+    const std::vector<ComparablePair>& pairs) {
+  std::vector<double> ratios;
+  ratios.reserve(pairs.size());
+  for (const auto& p : pairs) ratios.push_back(p.number_ratio);
+  return MedianOf(std::move(ratios));
+}
+
+std::optional<double> MedianSizeRatio(
+    const std::vector<ComparablePair>& pairs) {
+  std::vector<double> ratios;
+  for (const auto& p : pairs) {
+    if (!std::isnan(p.size_ratio)) ratios.push_back(p.size_ratio);
+  }
+  return MedianOf(std::move(ratios));
+}
+
+}  // namespace soldist

@@ -1,0 +1,54 @@
+// Comparable number/size ratios (paper Section 5.2.3): sample number s2 of
+// algorithm 2 is *comparable* to s1 of algorithm 1 when s2 is the least
+// sample number whose influence distribution is better (higher mean) than
+// algorithm 1's at s1. The ratio s2/s1 measures how many more samples
+// algorithm 2 needs for the same accuracy.
+
+#ifndef SOLDIST_STATS_COMPARABLE_RATIO_H_
+#define SOLDIST_STATS_COMPARABLE_RATIO_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace soldist {
+
+/// One (sample number, mean influence, mean sample size) point of an
+/// algorithm's sweep curve. Sample numbers must be strictly increasing
+/// and means are expected to be (noisily) increasing.
+struct SweepPoint {
+  std::uint64_t sample_number = 0;
+  double mean_influence = 0.0;
+  /// Mean stored sample size at this sample number (vertices + edges);
+  /// 0 for Oneshot which stores nothing.
+  double mean_sample_size = 0.0;
+};
+
+/// One comparable pairing: alg2 at `s2` first matches alg1 at `s1`.
+struct ComparablePair {
+  std::uint64_t s1 = 0;
+  std::uint64_t s2 = 0;          ///< least s2 with mean2(s2) >= mean1(s1)
+  double number_ratio = 0.0;     ///< s2 / s1
+  double size_ratio = 0.0;       ///< size2(s2) / size1(s1); NaN if size1=0
+};
+
+/// \brief Computes comparable pairs of curve2 against curve1.
+///
+/// For each point of `curve1`, finds the least sample number in `curve2`
+/// whose mean influence is >= that point's mean. Points of curve1 that no
+/// point of curve2 reaches are skipped (the paper's "-" cells).
+std::vector<ComparablePair> ComputeComparablePairs(
+    const std::vector<SweepPoint>& curve1,
+    const std::vector<SweepPoint>& curve2);
+
+/// Median of the number ratios of `pairs`; nullopt when empty.
+std::optional<double> MedianNumberRatio(
+    const std::vector<ComparablePair>& pairs);
+
+/// Median of the finite size ratios of `pairs`; nullopt when empty.
+std::optional<double> MedianSizeRatio(
+    const std::vector<ComparablePair>& pairs);
+
+}  // namespace soldist
+
+#endif  // SOLDIST_STATS_COMPARABLE_RATIO_H_

@@ -1,0 +1,27 @@
+#include "stats/entropy.h"
+
+#include <cmath>
+
+namespace soldist {
+
+double ShannonEntropy(std::span<const std::uint64_t> counts) {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (std::uint64_t c : counts) {
+    if (c == 0) continue;
+    double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  // Clamp the tiny negative values floating-point can produce for
+  // degenerate distributions.
+  return h < 0.0 ? 0.0 : h;
+}
+
+double MaxEmpiricalEntropy(std::uint64_t trials) {
+  if (trials == 0) return 0.0;
+  return std::log2(static_cast<double>(trials));
+}
+
+}  // namespace soldist

@@ -1,0 +1,22 @@
+// Shannon entropy over empirical counts (paper Section 5.1): the diversity
+// measure for seed-set distributions, H = −Σ p_S log2 p_S.
+
+#ifndef SOLDIST_STATS_ENTROPY_H_
+#define SOLDIST_STATS_ENTROPY_H_
+
+#include <cstdint>
+#include <span>
+
+namespace soldist {
+
+/// Entropy in bits of the empirical distribution given by `counts`
+/// (zeros allowed and ignored). Returns 0 for empty/degenerate input.
+double ShannonEntropy(std::span<const std::uint64_t> counts);
+
+/// Maximum possible entropy of an empirical distribution built from
+/// `trials` observations: log2(trials) (paper: ~9.97 bits for T=1,000).
+double MaxEmpiricalEntropy(std::uint64_t trials);
+
+}  // namespace soldist
+
+#endif  // SOLDIST_STATS_ENTROPY_H_

@@ -1,0 +1,72 @@
+#include "stats/influence_distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace soldist {
+
+void InfluenceDistribution::Add(double value) {
+  values_.push_back(value);
+  sorted_valid_ = false;
+}
+
+void InfluenceDistribution::AddAll(const std::vector<double>& values) {
+  values_.insert(values_.end(), values.begin(), values.end());
+  sorted_valid_ = false;
+}
+
+double InfluenceDistribution::Mean() const {
+  SOLDIST_CHECK(!values_.empty());
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double InfluenceDistribution::StdDev() const {
+  if (values_.size() < 2) return 0.0;
+  double mean = Mean();
+  double ss = 0.0;
+  for (double v : values_) ss += (v - mean) * (v - mean);
+  return std::sqrt(ss / static_cast<double>(values_.size() - 1));
+}
+
+double InfluenceDistribution::Min() const {
+  SOLDIST_CHECK(!values_.empty());
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double InfluenceDistribution::Max() const {
+  SOLDIST_CHECK(!values_.empty());
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+void InfluenceDistribution::EnsureSorted() const {
+  if (sorted_valid_) return;
+  sorted_ = values_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double InfluenceDistribution::Percentile(double p) const {
+  SOLDIST_CHECK(!values_.empty());
+  SOLDIST_CHECK(p >= 0.0 && p <= 100.0);
+  EnsureSorted();
+  if (sorted_.size() == 1) return sorted_[0];
+  double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  auto lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double InfluenceDistribution::FractionAtLeast(double threshold) const {
+  if (values_.empty()) return 0.0;
+  EnsureSorted();
+  auto it = std::lower_bound(sorted_.begin(), sorted_.end(), threshold);
+  return static_cast<double>(sorted_.end() - it) /
+         static_cast<double>(sorted_.size());
+}
+
+}  // namespace soldist

@@ -1,0 +1,51 @@
+// The empirical influence distribution I(s) (paper Section 4): the
+// influence-spread values of the T random solutions of one (algorithm,
+// sample number) configuration, with the summary statistics used in
+// Sections 5.2 and 6.
+
+#ifndef SOLDIST_STATS_INFLUENCE_DISTRIBUTION_H_
+#define SOLDIST_STATS_INFLUENCE_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace soldist {
+
+/// \brief Accumulates influence samples and answers summary queries.
+class InfluenceDistribution {
+ public:
+  void Add(double value);
+  void AddAll(const std::vector<double>& values);
+
+  std::uint64_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double Mean() const;
+  /// Sample standard deviation (n−1 denominator); 0 for size < 2.
+  double StdDev() const;
+  double Min() const;
+  double Max() const;
+
+  /// p-th percentile, p in [0, 100], by linear interpolation between
+  /// order statistics (the convention of numpy/matplotlib, which the
+  /// paper's box plots use).
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  /// Fraction of samples >= threshold: Pr[influence >= t] empirically.
+  /// Used for the "near-optimal with probability 99%" criterion.
+  double FractionAtLeast(double threshold) const;
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace soldist
+
+#endif  // SOLDIST_STATS_INFLUENCE_DISTRIBUTION_H_

@@ -1,0 +1,51 @@
+#include "stats/seed_set_distribution.h"
+
+#include <algorithm>
+
+#include "stats/entropy.h"
+#include "util/logging.h"
+
+namespace soldist {
+
+void SeedSetDistribution::Add(std::vector<VertexId> seeds) {
+  std::sort(seeds.begin(), seeds.end());
+  ++counts_[std::move(seeds)];
+  ++num_trials_;
+}
+
+double SeedSetDistribution::Entropy() const {
+  std::vector<std::uint64_t> counts;
+  counts.reserve(counts_.size());
+  for (const auto& [set, count] : counts_) counts.push_back(count);
+  return ShannonEntropy(counts);
+}
+
+const std::vector<VertexId>& SeedSetDistribution::ModalSet() const {
+  SOLDIST_CHECK(num_trials_ > 0);
+  const std::vector<VertexId>* best = nullptr;
+  std::uint64_t best_count = 0;
+  for (const auto& [set, count] : counts_) {
+    if (count > best_count) {  // first (lexicographically smallest) wins ties
+      best_count = count;
+      best = &set;
+    }
+  }
+  return *best;
+}
+
+std::uint64_t SeedSetDistribution::ModalCount() const {
+  SOLDIST_CHECK(num_trials_ > 0);
+  std::uint64_t best = 0;
+  for (const auto& [set, count] : counts_) best = std::max(best, count);
+  return best;
+}
+
+double SeedSetDistribution::Probability(std::vector<VertexId> seeds) const {
+  if (num_trials_ == 0) return 0.0;
+  std::sort(seeds.begin(), seeds.end());
+  auto it = counts_.find(seeds);
+  if (it == counts_.end()) return 0.0;
+  return static_cast<double>(it->second) / static_cast<double>(num_trials_);
+}
+
+}  // namespace soldist

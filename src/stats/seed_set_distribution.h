@@ -1,0 +1,54 @@
+// The empirical seed-set distribution S(s) (paper Section 4): counts of
+// each distinct seed *set* across T trials of one (algorithm, sample
+// number) configuration.
+
+#ifndef SOLDIST_STATS_SEED_SET_DISTRIBUTION_H_
+#define SOLDIST_STATS_SEED_SET_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace soldist {
+
+/// \brief Empirical distribution over seed sets.
+///
+/// Sets are identified by their sorted vertex vector; selection order is
+/// irrelevant (a set, not a sequence).
+class SeedSetDistribution {
+ public:
+  /// Records one observed seed set. `seeds` need not be sorted.
+  void Add(std::vector<VertexId> seeds);
+
+  std::uint64_t num_trials() const { return num_trials_; }
+  std::uint64_t num_distinct_sets() const { return counts_.size(); }
+
+  /// Shannon entropy in bits (paper Section 5.1); 0 for degenerate.
+  double Entropy() const;
+
+  /// True when every trial produced the same set.
+  bool IsDegenerate() const { return counts_.size() <= 1; }
+
+  /// The most frequent set (ties: lexicographically smallest) and its
+  /// count. Requires num_trials() > 0.
+  const std::vector<VertexId>& ModalSet() const;
+  std::uint64_t ModalCount() const;
+
+  /// Empirical probability of `seeds` (sorted or not).
+  double Probability(std::vector<VertexId> seeds) const;
+
+  /// Access to the raw (set -> count) map, sorted lexicographically.
+  const std::map<std::vector<VertexId>, std::uint64_t>& counts() const {
+    return counts_;
+  }
+
+ private:
+  std::map<std::vector<VertexId>, std::uint64_t> counts_;
+  std::uint64_t num_trials_ = 0;
+};
+
+}  // namespace soldist
+
+#endif  // SOLDIST_STATS_SEED_SET_DISTRIBUTION_H_

@@ -1,0 +1,89 @@
+#include "stats/set_metrics.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace soldist {
+
+double JaccardSimilarity(std::span<const VertexId> a,
+                         std::span<const VertexId> b) {
+  std::vector<VertexId> sa(a.begin(), a.end());
+  std::vector<VertexId> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  std::size_t i = 0, j = 0, intersection = 0;
+  while (i < sa.size() && j < sb.size()) {
+    if (sa[i] == sb[j]) {
+      ++intersection;
+      ++i;
+      ++j;
+    } else if (sa[i] < sb[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  std::size_t union_size = sa.size() + sb.size() - intersection;
+  if (union_size == 0) return 1.0;
+  return static_cast<double>(intersection) /
+         static_cast<double>(union_size);
+}
+
+double TotalVariationDistance(const SeedSetDistribution& p,
+                              const SeedSetDistribution& q) {
+  SOLDIST_CHECK(p.num_trials() > 0 && q.num_trials() > 0);
+  double distance = 0.0;
+  auto it_p = p.counts().begin();
+  auto it_q = q.counts().begin();
+  const double np = static_cast<double>(p.num_trials());
+  const double nq = static_cast<double>(q.num_trials());
+  while (it_p != p.counts().end() || it_q != q.counts().end()) {
+    if (it_q == q.counts().end() ||
+        (it_p != p.counts().end() && it_p->first < it_q->first)) {
+      distance += static_cast<double>(it_p->second) / np;
+      ++it_p;
+    } else if (it_p == p.counts().end() || it_q->first < it_p->first) {
+      distance += static_cast<double>(it_q->second) / nq;
+      ++it_q;
+    } else {
+      distance += std::abs(static_cast<double>(it_p->second) / np -
+                           static_cast<double>(it_q->second) / nq);
+      ++it_p;
+      ++it_q;
+    }
+  }
+  return distance / 2.0;
+}
+
+std::vector<double> InclusionFrequencies(const SeedSetDistribution& dist,
+                                         VertexId num_vertices) {
+  std::vector<double> freq(num_vertices, 0.0);
+  if (dist.num_trials() == 0) return freq;
+  for (const auto& [set, count] : dist.counts()) {
+    for (VertexId v : set) {
+      SOLDIST_DCHECK(v < num_vertices);
+      freq[v] += static_cast<double>(count);
+    }
+  }
+  for (double& f : freq) f /= static_cast<double>(dist.num_trials());
+  return freq;
+}
+
+double ExpectedPairwiseJaccard(const SeedSetDistribution& dist) {
+  SOLDIST_CHECK(dist.num_trials() > 0);
+  const double n = static_cast<double>(dist.num_trials());
+  double expected = 0.0;
+  for (const auto& [set_a, count_a] : dist.counts()) {
+    for (const auto& [set_b, count_b] : dist.counts()) {
+      double weight = (static_cast<double>(count_a) / n) *
+                      (static_cast<double>(count_b) / n);
+      double similarity =
+          &set_a == &set_b ? 1.0 : JaccardSimilarity(set_a, set_b);
+      expected += weight * similarity;
+    }
+  }
+  return expected;
+}
+
+}  // namespace soldist

@@ -1,0 +1,41 @@
+// Seed-set similarity and distribution-distance metrics: quantitative
+// companions to the paper's qualitative convergence claims. The paper
+// verifies that the three approaches share one limit solution; these
+// metrics measure *how close* two solution distributions are before the
+// limit (total variation) and how similar individual solutions are
+// (Jaccard), plus per-vertex inclusion frequencies for diagnosing which
+// vertices the distribution is still undecided about.
+
+#ifndef SOLDIST_STATS_SET_METRICS_H_
+#define SOLDIST_STATS_SET_METRICS_H_
+
+#include <span>
+#include <vector>
+
+#include "stats/seed_set_distribution.h"
+
+namespace soldist {
+
+/// Jaccard similarity |A ∩ B| / |A ∪ B| of two vertex sets (sorted or
+/// not); 1.0 for two empty sets.
+double JaccardSimilarity(std::span<const VertexId> a,
+                         std::span<const VertexId> b);
+
+/// Total variation distance between two empirical seed-set distributions:
+/// (1/2) Σ_S |p(S) − q(S)|, in [0, 1]. Both must be non-empty.
+double TotalVariationDistance(const SeedSetDistribution& p,
+                              const SeedSetDistribution& q);
+
+/// Per-vertex inclusion frequency: out[v] = fraction of trials whose seed
+/// set contains v. Σ_v out[v] = k for k-seed distributions.
+std::vector<double> InclusionFrequencies(const SeedSetDistribution& dist,
+                                         VertexId num_vertices);
+
+/// Mean pairwise Jaccard similarity between the distribution's distinct
+/// sets weighted by their probabilities (including identical pairs):
+/// 1.0 iff degenerate. A diversity companion to Shannon entropy.
+double ExpectedPairwiseJaccard(const SeedSetDistribution& dist);
+
+}  // namespace soldist
+
+#endif  // SOLDIST_STATS_SET_METRICS_H_

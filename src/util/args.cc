@@ -1,0 +1,172 @@
+#include "util/args.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace soldist {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::AddInt64(const std::string& name, std::int64_t def,
+                         const std::string& help) {
+  Flag f;
+  f.type = Type::kInt64;
+  f.help = help;
+  f.int_value = def;
+  f.default_text = std::to_string(def);
+  flags_[name] = std::move(f);
+}
+
+void ArgParser::AddDouble(const std::string& name, double def,
+                          const std::string& help) {
+  Flag f;
+  f.type = Type::kDouble;
+  f.help = help;
+  f.double_value = def;
+  f.default_text = FormatDouble(def, 6);
+  flags_[name] = std::move(f);
+}
+
+void ArgParser::AddBool(const std::string& name, bool def,
+                        const std::string& help) {
+  Flag f;
+  f.type = Type::kBool;
+  f.help = help;
+  f.bool_value = def;
+  f.default_text = def ? "true" : "false";
+  flags_[name] = std::move(f);
+}
+
+void ArgParser::AddString(const std::string& name, const std::string& def,
+                          const std::string& help) {
+  Flag f;
+  f.type = Type::kString;
+  f.help = help;
+  f.string_value = def;
+  f.default_text = def.empty() ? "\"\"" : def;
+  flags_[name] = std::move(f);
+}
+
+Status ArgParser::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(Usage().c_str(), stderr);
+      return Status::InvalidArgument("help requested");
+    }
+    if (!StartsWith(arg, "--")) {
+      return Status::InvalidArgument("unexpected positional argument: " +
+                                     std::string(arg));
+    }
+    arg.remove_prefix(2);
+    std::string name;
+    std::string value;
+    bool have_value = false;
+    std::size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+      have_value = true;
+    } else {
+      name = std::string(arg);
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      std::fputs(Usage().c_str(), stderr);
+      return Status::InvalidArgument("unknown flag: --" + name);
+    }
+    Flag& flag = it->second;
+    if (!have_value) {
+      if (flag.type == Type::kBool) {
+        flag.bool_value = true;
+        flag.provided = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag --" + name + " needs a value");
+      }
+      value = argv[++i];
+    }
+    switch (flag.type) {
+      case Type::kInt64: {
+        std::int64_t v = 0;
+        if (!ParseInt64(value, &v)) {
+          return Status::InvalidArgument("flag --" + name +
+                                         ": not an integer: " + value);
+        }
+        flag.int_value = v;
+        break;
+      }
+      case Type::kDouble: {
+        double v = 0.0;
+        if (!ParseDouble(value, &v)) {
+          return Status::InvalidArgument("flag --" + name +
+                                         ": not a number: " + value);
+        }
+        flag.double_value = v;
+        break;
+      }
+      case Type::kBool: {
+        if (value == "true" || value == "1") {
+          flag.bool_value = true;
+        } else if (value == "false" || value == "0") {
+          flag.bool_value = false;
+        } else {
+          return Status::InvalidArgument("flag --" + name +
+                                         ": not a bool: " + value);
+        }
+        break;
+      }
+      case Type::kString:
+        flag.string_value = value;
+        break;
+    }
+    flag.provided = true;
+  }
+  return Status::OK();
+}
+
+const ArgParser::Flag& ArgParser::Get(const std::string& name,
+                                      Type type) const {
+  auto it = flags_.find(name);
+  SOLDIST_CHECK(it != flags_.end()) << "undeclared flag: --" << name;
+  SOLDIST_CHECK(it->second.type == type) << "flag type mismatch: --" << name;
+  return it->second;
+}
+
+std::int64_t ArgParser::GetInt64(const std::string& name) const {
+  return Get(name, Type::kInt64).int_value;
+}
+
+double ArgParser::GetDouble(const std::string& name) const {
+  return Get(name, Type::kDouble).double_value;
+}
+
+bool ArgParser::GetBool(const std::string& name) const {
+  return Get(name, Type::kBool).bool_value;
+}
+
+const std::string& ArgParser::GetString(const std::string& name) const {
+  return Get(name, Type::kString).string_value;
+}
+
+bool ArgParser::Provided(const std::string& name) const {
+  auto it = flags_.find(name);
+  SOLDIST_CHECK(it != flags_.end()) << "undeclared flag: --" << name;
+  return it->second.provided;
+}
+
+std::string ArgParser::Usage() const {
+  std::ostringstream out;
+  out << program_ << ": " << description_ << "\n\nflags:\n";
+  for (const auto& [name, flag] : flags_) {
+    out << "  --" << name << " (default " << flag.default_text << ")\n"
+        << "      " << flag.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace soldist

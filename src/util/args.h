@@ -1,0 +1,76 @@
+// Tiny command-line flag parser used by benches and examples.
+//
+// Supported syntax: --name value, --name=value, and bare --flag for bools.
+// Unknown flags are an error so typos do not silently run the wrong
+// experiment grid.
+
+#ifndef SOLDIST_UTIL_ARGS_H_
+#define SOLDIST_UTIL_ARGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace soldist {
+
+/// \brief Declarative flag set: define flags, parse argv, read values.
+///
+/// \code
+///   ArgParser args("figure1", "Entropy of seed-set distributions");
+///   args.AddInt64("trials", 200, "trials per (alg, sample number)");
+///   args.AddBool("full", false, "run the paper-scale grid");
+///   SOLDIST_CHECK(args.Parse(argc, argv).ok());
+///   int64_t trials = args.GetInt64("trials");
+/// \endcode
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  void AddInt64(const std::string& name, std::int64_t def,
+                const std::string& help);
+  void AddDouble(const std::string& name, double def, const std::string& help);
+  void AddBool(const std::string& name, bool def, const std::string& help);
+  void AddString(const std::string& name, const std::string& def,
+                 const std::string& help);
+
+  /// Parses argv; prints usage and returns non-OK on --help or bad input.
+  Status Parse(int argc, const char* const* argv);
+
+  std::int64_t GetInt64(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+
+  /// True if the flag was set explicitly on the command line.
+  bool Provided(const std::string& name) const;
+
+  /// Usage text listing all flags with defaults.
+  std::string Usage() const;
+
+ private:
+  enum class Type { kInt64, kDouble, kBool, kString };
+
+  struct Flag {
+    Type type;
+    std::string help;
+    std::string default_text;
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    bool bool_value = false;
+    std::string string_value;
+    bool provided = false;
+  };
+
+  const Flag& Get(const std::string& name, Type type) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace soldist
+
+#endif  // SOLDIST_UTIL_ARGS_H_

@@ -1,0 +1,96 @@
+#include "util/csv.h"
+
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace soldist {
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void AppendField(const std::string& field, std::string* out) {
+  if (!NeedsQuoting(field)) {
+    out->append(field);
+    return;
+  }
+  out->push_back('"');
+  for (char c : field) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  SOLDIST_CHECK(!header_.empty());
+}
+
+void CsvWriter::AddRow(std::vector<std::string> row) {
+  SOLDIST_CHECK_EQ(row.size(), header_.size())
+      << "row width " << row.size() << " != header width " << header_.size();
+  rows_.push_back(std::move(row));
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::Str(std::string v) {
+  fields_.push_back(std::move(v));
+  return *this;
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::Int(std::int64_t v) {
+  fields_.push_back(std::to_string(v));
+  return *this;
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::UInt(std::uint64_t v) {
+  fields_.push_back(std::to_string(v));
+  return *this;
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::Real(double v, int digits) {
+  fields_.push_back(FormatDouble(v, digits));
+  return *this;
+}
+
+void CsvWriter::RowBuilder::Done() { writer_->AddRow(std::move(fields_)); }
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendField(header_[i], &out);
+  }
+  out.push_back('\n');
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      AppendField(row[i], &out);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status CsvWriter::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  std::string body = ToString();
+  std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  if (written != body.size()) {
+    return Status::IoError("short write: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace soldist

@@ -1,0 +1,59 @@
+// CSV emission for experiment results so figures can be re-plotted outside
+// the harness (gnuplot / pandas).
+
+#ifndef SOLDIST_UTIL_CSV_H_
+#define SOLDIST_UTIL_CSV_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace soldist {
+
+/// \brief Accumulates rows and writes RFC-4180-style CSV.
+///
+/// Fields containing commas, quotes, or newlines are quoted and inner
+/// quotes doubled.
+class CsvWriter {
+ public:
+  /// \param header column names; every appended row must match its size.
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends one row of preformatted fields.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience for mixed numeric rows.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(CsvWriter* writer) : writer_(writer) {}
+    RowBuilder& Str(std::string v);
+    RowBuilder& Int(std::int64_t v);
+    RowBuilder& UInt(std::uint64_t v);
+    RowBuilder& Real(double v, int digits = 6);
+    /// Commits the row to the writer.
+    void Done();
+
+   private:
+    CsvWriter* writer_;
+    std::vector<std::string> fields_;
+  };
+  RowBuilder Row() { return RowBuilder(this); }
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Serializes header + rows.
+  std::string ToString() const;
+
+  /// Writes to `path`, truncating. Fails with IoError if unwritable.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace soldist
+
+#endif  // SOLDIST_UTIL_CSV_H_

@@ -1,0 +1,102 @@
+// Minimal leveled logging and CHECK macros. CHECK failures indicate
+// programmer errors and abort; recoverable errors use Status instead.
+
+#ifndef SOLDIST_UTIL_LOGGING_H_
+#define SOLDIST_UTIL_LOGGING_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace soldist {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Default kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style message collector that emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process in the destructor.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* condition_;
+  std::ostringstream stream_;
+};
+
+/// Turns a streamed FatalLogMessage expression into void so it can sit in
+/// the false branch of the CHECK ternary. `&` binds looser than `<<`.
+struct Voidify {
+  void operator&(const FatalLogMessage&) {}
+};
+
+}  // namespace internal
+
+#define SOLDIST_LOG(level)                                              \
+  ::soldist::internal::LogMessage(::soldist::LogLevel::k##level,        \
+                                  __FILE__, __LINE__)
+
+/// Aborts with a message when `cond` is false. Enabled in all builds: the
+/// experiment harness must never silently continue from a broken invariant.
+/// Supports streaming extra context: SOLDIST_CHECK(x > 0) << "x=" << x;
+#define SOLDIST_CHECK(cond)                                             \
+  (cond) ? (void)0                                                      \
+         : ::soldist::internal::Voidify() &                             \
+           ::soldist::internal::FatalLogMessage(__FILE__, __LINE__, #cond)
+
+#define SOLDIST_CHECK_EQ(a, b) SOLDIST_CHECK((a) == (b))
+#define SOLDIST_CHECK_NE(a, b) SOLDIST_CHECK((a) != (b))
+#define SOLDIST_CHECK_LT(a, b) SOLDIST_CHECK((a) < (b))
+#define SOLDIST_CHECK_LE(a, b) SOLDIST_CHECK((a) <= (b))
+#define SOLDIST_CHECK_GT(a, b) SOLDIST_CHECK((a) > (b))
+#define SOLDIST_CHECK_GE(a, b) SOLDIST_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define SOLDIST_DCHECK(cond) SOLDIST_CHECK(cond)
+#else
+// `true || (cond)` keeps the expression compiled (and streamable) without
+// evaluating `cond` at runtime.
+#define SOLDIST_DCHECK(cond) SOLDIST_CHECK(true || (cond))
+#endif
+
+}  // namespace soldist
+
+#endif  // SOLDIST_UTIL_LOGGING_H_

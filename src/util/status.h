@@ -1,0 +1,118 @@
+// Status / StatusOr: LevelDB-style error propagation for fallible operations
+// (I/O, parsing, user input). Programmer errors use SOLDIST_CHECK instead.
+
+#ifndef SOLDIST_UTIL_STATUS_H_
+#define SOLDIST_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace soldist {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// \brief Result of a fallible operation: either OK or a code plus message.
+///
+/// Cheap to copy when OK (no allocation). Typical use:
+/// \code
+///   Status s = GraphIo::LoadEdgeList(path, &edges);
+///   if (!s.ok()) return s;
+/// \endcode
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" string, "OK" for success.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Holds either a value of type T or an error Status.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value: allows `return value;` in StatusOr functions.
+  StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  /// Implicit from error status; must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    SOLDIST_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Value access; aborts if not ok().
+  const T& value() const& {
+    SOLDIST_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return value_;
+  }
+  T& value() & {
+    SOLDIST_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return value_;
+  }
+  T&& value() && {
+    SOLDIST_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+/// Propagates a non-OK status to the caller.
+#define SOLDIST_RETURN_IF_ERROR(expr)              \
+  do {                                             \
+    ::soldist::Status _s = (expr);                 \
+    if (!_s.ok()) return _s;                       \
+  } while (0)
+
+}  // namespace soldist
+
+#endif  // SOLDIST_UTIL_STATUS_H_

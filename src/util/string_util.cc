@@ -1,0 +1,149 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace soldist {
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view s) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+    std::size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  std::size_t b = 0;
+  while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  std::size_t e = s.size();
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool ParseUint64(std::string_view s, std::uint64_t* out) {
+  s = Trim(s);
+  if (s.empty()) return false;
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  if (!buf.empty() && buf[0] == '-') return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool ParseInt64(std::string_view s, std::int64_t* out) {
+  s = Trim(s);
+  if (s.empty()) return false;
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  *out = static_cast<std::int64_t>(v);
+  return true;
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  s = Trim(s);
+  if (s.empty()) return false;
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  *out = v;
+  return true;
+}
+
+std::string WithThousands(std::uint64_t v) {
+  char digits[32];
+  int len = std::snprintf(digits, sizeof(digits), "%" PRIu64, v);
+  std::string out;
+  out.reserve(static_cast<std::size_t>(len) + static_cast<std::size_t>(len) / 3);
+  for (int i = 0; i < len; ++i) {
+    if (i > 0 && (len - i) % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string FormatDouble(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  std::string out(buf);
+  if (out.find('.') != std::string::npos) {
+    std::size_t last = out.find_last_not_of('0');
+    if (out[last] == '.') --last;
+    out.erase(last + 1);
+  }
+  return out;
+}
+
+std::string FormatCost(double v) {
+  if (!std::isfinite(v)) return "-";
+  if (v < 0.001 && v > 0.0) return FormatDouble(v, 6);
+  if (v < 1.0) return FormatDouble(v, 5);
+  double rounded = std::round(v * 10.0) / 10.0;
+  auto whole = static_cast<std::uint64_t>(rounded);
+  int tenth = static_cast<int>(std::llround((rounded - static_cast<double>(whole)) * 10.0));
+  if (tenth >= 10) {  // carry from rounding, e.g. 9.96 -> whole 9, tenth 10
+    whole += 1;
+    tenth = 0;
+  }
+  std::string out = WithThousands(whole);
+  out.push_back('.');
+  out.push_back(static_cast<char>('0' + tenth));
+  return out;
+}
+
+}  // namespace soldist

@@ -1,0 +1,48 @@
+// Small string helpers shared across modules (parsing, table formatting).
+
+#ifndef SOLDIST_UTIL_STRING_UTIL_H_
+#define SOLDIST_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace soldist {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits on any amount of ASCII whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Parses a non-negative integer; returns false on garbage or overflow.
+bool ParseUint64(std::string_view s, std::uint64_t* out);
+/// Parses a signed integer; returns false on garbage or overflow.
+bool ParseInt64(std::string_view s, std::int64_t* out);
+/// Parses a floating-point number; returns false on garbage.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Formats `v` with thousands separators: 1234567 -> "1,234,567".
+std::string WithThousands(std::uint64_t v);
+
+/// Formats a double with `digits` significant decimal places, trimming
+/// trailing zeros ("3.1400" -> "3.14", "2.000" -> "2").
+std::string FormatDouble(double v, int digits);
+
+/// Formats like the paper's tables: large values with one decimal and
+/// thousands separators (e.g. "1,247,121.3"), tiny values with more digits.
+std::string FormatCost(double v);
+
+}  // namespace soldist
+
+#endif  // SOLDIST_UTIL_STRING_UTIL_H_

@@ -1,0 +1,52 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace soldist {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  SOLDIST_CHECK(!header_.empty());
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  SOLDIST_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::ToMarkdown() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row, std::string* out) {
+    out->push_back('|');
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out->push_back(' ');
+      out->append(row[c]);
+      out->append(width[c] - row[c].size(), ' ');
+      out->append(" |");
+    }
+    out->push_back('\n');
+  };
+  std::string out;
+  emit_row(header_, &out);
+  out.push_back('|');
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out.push_back(' ');
+    out.append(width[c], '-');
+    out.append(" |");
+  }
+  out.push_back('\n');
+  for (const auto& row : rows_) emit_row(row, &out);
+  return out;
+}
+
+}  // namespace soldist

@@ -1,0 +1,37 @@
+// Aligned plain-text / markdown table printer: the bench binaries print the
+// paper's tables with it.
+
+#ifndef SOLDIST_UTIL_TABLE_H_
+#define SOLDIST_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace soldist {
+
+/// \brief Builds a column-aligned table and renders it as markdown.
+///
+/// All cells are strings; numeric formatting is the caller's job (keeps the
+/// table layer independent of experiment semantics).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders as a GitHub-flavored markdown table with padded columns.
+  std::string ToMarkdown() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace soldist
+
+#endif  // SOLDIST_UTIL_TABLE_H_

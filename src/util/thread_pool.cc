@@ -1,0 +1,91 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace soldist {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    SOLDIST_CHECK(!shutting_down_);
+    queue_.push_back(std::move(fn));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool* pool, std::uint64_t count,
+                 const std::function<void(std::uint64_t)>& fn) {
+  if (count == 0) return;
+  std::size_t workers = pool->num_threads();
+  if (workers <= 1 || count == 1) {
+    for (std::uint64_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  // ~4 chunks per worker balances load without flooding the queue.
+  std::uint64_t num_chunks = std::min<std::uint64_t>(count, workers * 4);
+  std::uint64_t chunk = (count + num_chunks - 1) / num_chunks;
+  for (std::uint64_t begin = 0; begin < count; begin += chunk) {
+    std::uint64_t end = std::min(begin + chunk, count);
+    pool->Submit([begin, end, &fn] {
+      for (std::uint64_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+  pool->Wait();
+}
+
+ThreadPool* DefaultThreadPool() {
+  static ThreadPool* pool = new ThreadPool();
+  return pool;
+}
+
+}  // namespace soldist

@@ -1,0 +1,57 @@
+// Fixed-size thread pool + ParallelFor: experiment trials are independent,
+// so the harness fans them out across cores.
+
+#ifndef SOLDIST_UTIL_THREAD_POOL_H_
+#define SOLDIST_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace soldist {
+
+/// \brief Fixed pool of worker threads executing queued closures.
+class ThreadPool {
+ public:
+  /// \param num_threads worker count; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` for execution on some worker.
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until every submitted closure has finished.
+  void Wait();
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs fn(i) for i in [0, count) across `pool`; blocks until done.
+/// Iterations are distributed in contiguous chunks to limit queue traffic.
+void ParallelFor(ThreadPool* pool, std::uint64_t count,
+                 const std::function<void(std::uint64_t)>& fn);
+
+/// Process-wide default pool (created on first use, sized to the hardware).
+ThreadPool* DefaultThreadPool();
+
+}  // namespace soldist
+
+#endif  // SOLDIST_UTIL_THREAD_POOL_H_

@@ -1,0 +1,20 @@
+#include "util/timer.h"
+
+#include <cstdio>
+
+namespace soldist {
+
+std::string WallTimer::HumanElapsed() const {
+  double s = Seconds();
+  char buf[32];
+  if (s < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.0fms", s * 1e3);
+  } else if (s < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", s);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fmin", s / 60.0);
+  }
+  return buf;
+}
+
+}  // namespace soldist

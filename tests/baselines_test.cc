@@ -1,0 +1,86 @@
+// Tests for the heuristic baselines.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/baselines.h"
+#include "gen/datasets.h"
+#include "graph/builder.h"
+
+namespace soldist {
+namespace {
+
+Graph StarPlusEdge() {
+  // 0 -> {1,2,3}, 4 -> 5: out-degrees 3,0,0,0,1,0.
+  EdgeList edges;
+  edges.num_vertices = 6;
+  edges.Add(0, 1);
+  edges.Add(0, 2);
+  edges.Add(0, 3);
+  edges.Add(4, 5);
+  return GraphBuilder::FromEdgeList(edges);
+}
+
+TEST(MaxDegreeTest, OrdersByOutDegree) {
+  Graph g = StarPlusEdge();
+  auto seeds = MaxDegreeSeeds(g, 2);
+  EXPECT_EQ(seeds, (std::vector<VertexId>{0, 4}));
+}
+
+TEST(MaxDegreeTest, TiesByLowerId) {
+  EdgeList edges;
+  edges.num_vertices = 4;
+  edges.Add(1, 0);
+  edges.Add(3, 0);
+  Graph g = GraphBuilder::FromEdgeList(edges);
+  auto seeds = MaxDegreeSeeds(g, 2);
+  EXPECT_EQ(seeds, (std::vector<VertexId>{1, 3}));
+}
+
+TEST(RandomSeedsTest, DistinctAndInRange) {
+  Rng rng(1);
+  auto seeds = RandomSeeds(100, 20, &rng);
+  std::set<VertexId> unique(seeds.begin(), seeds.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (VertexId v : seeds) EXPECT_LT(v, 100u);
+}
+
+TEST(RandomSeedsTest, FullSelection) {
+  Rng rng(2);
+  auto seeds = RandomSeeds(5, 5, &rng);
+  std::set<VertexId> unique(seeds.begin(), seeds.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(DegreeDiscountTest, FirstPickIsMaxDegree) {
+  Graph g = StarPlusEdge();
+  auto seeds = DegreeDiscountSeeds(g, 1, 0.1);
+  EXPECT_EQ(seeds[0], 0u);
+}
+
+TEST(DegreeDiscountTest, DiscountsNeighborsOfSeeds) {
+  // Path 0 -> 1 -> 2 plus isolated hub 3 -> {4,5}:
+  // degrees: 0:1, 1:1, 2:0, 3:2. First pick 3. Second pick: 0 or 1 tie at
+  // degree 1 (4,5 got discounted from 0 out-degree anyway) -> picks 0.
+  EdgeList edges;
+  edges.num_vertices = 6;
+  edges.Add(0, 1);
+  edges.Add(1, 2);
+  edges.Add(3, 4);
+  edges.Add(3, 5);
+  Graph g = GraphBuilder::FromEdgeList(edges);
+  auto seeds = DegreeDiscountSeeds(g, 2, 0.1);
+  EXPECT_EQ(seeds[0], 3u);
+  EXPECT_EQ(seeds[1], 0u);
+}
+
+TEST(DegreeDiscountTest, ProducesKDistinctSeeds) {
+  Graph g = GraphBuilder::FromEdgeList(Datasets::Karate());
+  auto seeds = DegreeDiscountSeeds(g, 8, 0.1);
+  std::set<VertexId> unique(seeds.begin(), seeds.end());
+  EXPECT_EQ(unique.size(), 8u);
+}
+
+}  // namespace
+}  // namespace soldist

@@ -1,0 +1,77 @@
+// Tests for the worst-case sample-number bound calculators.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bounds.h"
+
+namespace soldist {
+namespace {
+
+TEST(LogBinomialTest, SmallCasesExact) {
+  EXPECT_NEAR(LogBinomial(5, 2), std::log(10.0), 1e-9);
+  EXPECT_NEAR(LogBinomial(10, 0), 0.0, 1e-9);
+  EXPECT_NEAR(LogBinomial(10, 10), 0.0, 1e-9);
+  EXPECT_NEAR(LogBinomial(34, 1), std::log(34.0), 1e-9);
+}
+
+TEST(BoundsTest, AllPositive) {
+  BoundParams p{.n = 1000, .m = 10000, .k = 4, .epsilon = 0.05,
+                .delta = 0.01, .opt_k = 20.0};
+  EXPECT_GT(OneshotSampleBound(p), 0.0);
+  EXPECT_GT(SnapshotSampleBound(p), 0.0);
+  EXPECT_GT(RisSampleBound(p), 0.0);
+  EXPECT_GT(BorgsWeightThreshold(p), 0.0);
+}
+
+TEST(BoundsTest, MonotoneInAccuracy) {
+  BoundParams loose{.n = 1000, .m = 5000, .k = 2, .epsilon = 0.2,
+                    .delta = 0.1, .opt_k = 10.0};
+  BoundParams tight = loose;
+  tight.epsilon = 0.05;
+  EXPECT_GT(OneshotSampleBound(tight), OneshotSampleBound(loose));
+  EXPECT_GT(SnapshotSampleBound(tight), SnapshotSampleBound(loose));
+  EXPECT_GT(RisSampleBound(tight), RisSampleBound(loose));
+  EXPECT_GT(BorgsWeightThreshold(tight), BorgsWeightThreshold(loose));
+}
+
+TEST(BoundsTest, MonotoneInSeedSize) {
+  BoundParams small{.n = 1000, .m = 5000, .k = 1, .epsilon = 0.1,
+                    .delta = 0.05, .opt_k = 10.0};
+  BoundParams large = small;
+  large.k = 16;
+  EXPECT_GT(OneshotSampleBound(large), OneshotSampleBound(small));
+  EXPECT_GT(SnapshotSampleBound(large), SnapshotSampleBound(small));
+  EXPECT_GT(RisSampleBound(large), RisSampleBound(small));
+}
+
+TEST(BoundsTest, PaperScaleGapReproduced) {
+  // Section 5.2.1: on Wiki-Vote (uc0.01, k=4) the Oneshot bound with
+  // ε=0.05, δ=0.01 is ~1.0e8 while the empirical requirement is 256; the
+  // RIS bound is ~1.6e7 vs 131,072 empirical. Check our calculators land
+  // in those magnitudes (OPT_k on that instance is a few vertices).
+  BoundParams p{.n = 7115, .m = 103689, .k = 4, .epsilon = 0.05,
+                .delta = 0.01, .opt_k = 7.0};
+  double oneshot = OneshotSampleBound(p);
+  EXPECT_GT(oneshot, 1e7);
+  EXPECT_LT(oneshot, 1e9);
+  double ris = RisSampleBound(p);
+  EXPECT_GT(ris, 1e6);
+  EXPECT_LT(ris, 1e9);
+  // The paper's observation: bounds exceed empirical requirements by
+  // orders of magnitude.
+  EXPECT_GT(oneshot / 256.0, 1e4);
+}
+
+TEST(BoundsTest, RisBoundBelowOneshotBoundForLargeK) {
+  // Borgs et al.'s θ is ~k times smaller than Oneshot's β bound (Section
+  // 3.5.3): Oneshot grows with k² while RIS grows with k·ln n, so RIS
+  // wins once k is large.
+  BoundParams p{.n = 10000, .m = 50000, .k = 64, .epsilon = 0.1,
+                .delta = 0.01, .opt_k = 50.0};
+  EXPECT_LT(RisSampleBound(p), OneshotSampleBound(p));
+}
+
+}  // namespace
+}  // namespace soldist

@@ -1,0 +1,95 @@
+// Tests for comparable number/size ratio computation (Section 5.2.3).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/comparable_ratio.h"
+
+namespace soldist {
+namespace {
+
+std::vector<SweepPoint> Curve(
+    std::initializer_list<std::tuple<std::uint64_t, double, double>> points) {
+  std::vector<SweepPoint> curve;
+  for (const auto& [s, mean, size] : points) {
+    curve.push_back({s, mean, size});
+  }
+  return curve;
+}
+
+TEST(ComparableRatioTest, BasicPairing) {
+  // alg2 needs 4x the samples of alg1 at every level.
+  auto curve1 = Curve({{1, 10.0, 5.0}, {2, 20.0, 10.0}, {4, 30.0, 20.0}});
+  auto curve2 = Curve({{1, 2.0, 1.0},
+                       {2, 6.0, 2.0},
+                       {4, 10.0, 4.0},
+                       {8, 20.0, 8.0},
+                       {16, 30.0, 16.0}});
+  auto pairs = ComputeComparablePairs(curve1, curve2);
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0].s1, 1u);
+  EXPECT_EQ(pairs[0].s2, 4u);
+  EXPECT_DOUBLE_EQ(pairs[0].number_ratio, 4.0);
+  EXPECT_DOUBLE_EQ(pairs[1].number_ratio, 4.0);
+  EXPECT_DOUBLE_EQ(pairs[2].number_ratio, 4.0);
+  auto median = MedianNumberRatio(pairs);
+  ASSERT_TRUE(median.has_value());
+  EXPECT_DOUBLE_EQ(*median, 4.0);
+}
+
+TEST(ComparableRatioTest, UnreachableLevelsSkipped) {
+  auto curve1 = Curve({{1, 10.0, 1.0}, {2, 1000.0, 2.0}});
+  auto curve2 = Curve({{1, 10.0, 1.0}, {2, 20.0, 2.0}});
+  auto pairs = ComputeComparablePairs(curve1, curve2);
+  ASSERT_EQ(pairs.size(), 1u);  // the 1000.0 level is unreachable
+  EXPECT_EQ(pairs[0].s1, 1u);
+  EXPECT_EQ(pairs[0].s2, 1u);
+}
+
+TEST(ComparableRatioTest, SizeRatioComputed) {
+  auto curve1 = Curve({{4, 10.0, 100.0}});
+  auto curve2 = Curve({{8, 12.0, 10.0}});
+  auto pairs = ComputeComparablePairs(curve1, curve2);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_DOUBLE_EQ(pairs[0].number_ratio, 2.0);
+  EXPECT_DOUBLE_EQ(pairs[0].size_ratio, 0.1);
+}
+
+TEST(ComparableRatioTest, ZeroSizeGivesNanRatio) {
+  // Oneshot stores nothing: size ratio undefined (paper footnote 3).
+  auto curve1 = Curve({{4, 10.0, 0.0}});
+  auto curve2 = Curve({{4, 11.0, 5.0}});
+  auto pairs = ComputeComparablePairs(curve1, curve2);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_TRUE(std::isnan(pairs[0].size_ratio));
+  EXPECT_FALSE(MedianSizeRatio(pairs).has_value());
+}
+
+TEST(ComparableRatioTest, MedianEvenCount) {
+  std::vector<ComparablePair> pairs;
+  pairs.push_back({1, 2, 2.0, 1.0});
+  pairs.push_back({2, 8, 4.0, 2.0});
+  auto median = MedianNumberRatio(pairs);
+  ASSERT_TRUE(median.has_value());
+  EXPECT_DOUBLE_EQ(*median, 3.0);
+}
+
+TEST(ComparableRatioTest, EmptyInputs) {
+  auto pairs = ComputeComparablePairs({}, {});
+  EXPECT_TRUE(pairs.empty());
+  EXPECT_FALSE(MedianNumberRatio(pairs).has_value());
+  EXPECT_FALSE(MedianSizeRatio(pairs).has_value());
+}
+
+TEST(ComparableRatioTest, RatioBelowOnePossible) {
+  // alg2 can be *more* sample-efficient: ratio < 1.
+  auto curve1 = Curve({{8, 10.0, 8.0}});
+  auto curve2 = Curve({{1, 15.0, 1.0}});
+  auto pairs = ComputeComparablePairs(curve1, curve2);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_DOUBLE_EQ(pairs[0].number_ratio, 1.0 / 8.0);
+}
+
+}  // namespace
+}  // namespace soldist

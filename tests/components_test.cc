@@ -1,0 +1,84 @@
+// Unit tests for weakly/strongly connected components.
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/components.h"
+
+namespace soldist {
+namespace {
+
+Graph FromArcs(VertexId n, std::vector<Arc> arcs) {
+  EdgeList edges;
+  edges.num_vertices = n;
+  edges.arcs = std::move(arcs);
+  return GraphBuilder::FromEdgeList(edges);
+}
+
+TEST(WccTest, TwoIslands) {
+  Graph g = FromArcs(5, {{0, 1}, {1, 2}, {3, 4}});
+  auto wcc = WeaklyConnectedComponents(g);
+  EXPECT_EQ(wcc.num_components(), 2u);
+  EXPECT_EQ(wcc.LargestSize(), 3u);
+  EXPECT_EQ(wcc.component[0], wcc.component[2]);
+  EXPECT_NE(wcc.component[0], wcc.component[3]);
+}
+
+TEST(WccTest, DirectionIgnored) {
+  // 0 -> 1 <- 2: weakly one component despite no directed path 0 -> 2.
+  Graph g = FromArcs(3, {{0, 1}, {2, 1}});
+  auto wcc = WeaklyConnectedComponents(g);
+  EXPECT_EQ(wcc.num_components(), 1u);
+}
+
+TEST(WccTest, IsolatedVerticesAreSingletons) {
+  Graph g = FromArcs(4, {{0, 1}});
+  auto wcc = WeaklyConnectedComponents(g);
+  EXPECT_EQ(wcc.num_components(), 3u);
+  EXPECT_EQ(wcc.LargestSize(), 2u);
+}
+
+TEST(SccTest, DirectedCycleIsOneScc) {
+  Graph g = FromArcs(3, {{0, 1}, {1, 2}, {2, 0}});
+  auto scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components(), 1u);
+  EXPECT_EQ(scc.LargestSize(), 3u);
+}
+
+TEST(SccTest, DagIsAllSingletons) {
+  Graph g = FromArcs(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  auto scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components(), 4u);
+  EXPECT_EQ(scc.LargestSize(), 1u);
+}
+
+TEST(SccTest, TwoCyclesLinked) {
+  // Cycle {0,1} -> cycle {2,3}: two SCCs of size 2.
+  Graph g = FromArcs(4, {{0, 1}, {1, 0}, {1, 2}, {2, 3}, {3, 2}});
+  auto scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components(), 2u);
+  EXPECT_EQ(scc.size[scc.component[0]], 2u);
+  EXPECT_EQ(scc.size[scc.component[2]], 2u);
+  EXPECT_NE(scc.component[0], scc.component[2]);
+}
+
+TEST(SccTest, LongPathNoStackOverflow) {
+  // 100k-vertex path: a recursive Tarjan would overflow the stack.
+  constexpr VertexId kN = 100000;
+  EdgeList edges;
+  edges.num_vertices = kN;
+  for (VertexId v = 0; v + 1 < kN; ++v) edges.Add(v, v + 1);
+  Graph g = GraphBuilder::FromEdgeList(edges);
+  auto scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components(), kN);
+}
+
+TEST(SccTest, EmptyGraph) {
+  Graph g = FromArcs(0, {});
+  auto scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components(), 0u);
+  EXPECT_EQ(scc.LargestSize(), 0u);
+}
+
+}  // namespace
+}  // namespace soldist

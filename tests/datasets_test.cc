@@ -1,0 +1,116 @@
+// Unit tests for the dataset catalog: exact sizes for embedded/recipe
+// datasets, tolerance bands for the synthetic proxies (DESIGN.md §4).
+
+#include <gtest/gtest.h>
+
+#include "gen/datasets.h"
+#include "graph/builder.h"
+#include "graph/stats.h"
+
+namespace soldist {
+namespace {
+
+TEST(DatasetsTest, KarateMatchesPaperExactly) {
+  EdgeList edges = Datasets::Karate();
+  EXPECT_EQ(edges.num_vertices, 34u);
+  EXPECT_EQ(edges.arcs.size(), 156u);  // paper Table 3
+  Graph g = GraphBuilder::FromEdgeList(edges);
+  // Paper Table 3: Δ+ = Δ− = 17 (vertex 34, the instructor).
+  VertexId max_out = 0, max_in = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    max_out = std::max(max_out, g.OutDegree(v));
+    max_in = std::max(max_in, g.InDegree(v));
+  }
+  EXPECT_EQ(max_out, 17u);
+  EXPECT_EQ(max_in, 17u);
+}
+
+TEST(DatasetsTest, KarateClusteringNearPaper) {
+  Graph g = GraphBuilder::FromEdgeList(Datasets::Karate());
+  // Paper Table 3 reports 0.26 (global transitivity 0.2557).
+  EXPECT_NEAR(GlobalClusteringCoefficient(g), 0.26, 0.01);
+}
+
+TEST(DatasetsTest, PhysiciansProxySizes) {
+  EdgeList edges = Datasets::Physicians(42);
+  EXPECT_EQ(edges.num_vertices, 241u);
+  EXPECT_EQ(edges.arcs.size(), 1098u);  // paper Table 3
+  Graph g = GraphBuilder::FromEdgeList(edges);
+  VertexId max_out = 0, max_in = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    max_out = std::max(max_out, g.OutDegree(v));
+    max_in = std::max(max_in, g.InDegree(v));
+  }
+  EXPECT_LE(max_out, 9u);   // survey cap (paper: Δ+ = 9)
+  EXPECT_GE(max_in, 12u);   // skewed popularity (paper: Δ− = 26)
+}
+
+TEST(DatasetsTest, CaGrQcProxySizes) {
+  EdgeList edges = Datasets::CaGrQc(42);
+  EXPECT_EQ(edges.num_vertices, 5242u);  // paper: 5,242
+  // Arcs within 15% of the paper's 28,968.
+  EXPECT_GT(edges.arcs.size(), 24600u);
+  EXPECT_LT(edges.arcs.size(), 33300u);
+}
+
+TEST(DatasetsTest, CaGrQcProxyHighClustering) {
+  Graph g = GraphBuilder::FromEdgeList(Datasets::CaGrQc(42));
+  // Paper Table 3: 0.63. The clique-overlap proxy must be far above the
+  // ~0.001 a random graph of this density would give.
+  EXPECT_GT(GlobalClusteringCoefficient(g), 0.35);
+}
+
+TEST(DatasetsTest, WikiVoteProxySizes) {
+  EdgeList edges = Datasets::WikiVote(42);
+  EXPECT_EQ(edges.num_vertices, 7115u);
+  EXPECT_GT(edges.arcs.size(), 88000u);   // within ~15% of 103,689
+  EXPECT_LT(edges.arcs.size(), 119000u);
+}
+
+TEST(DatasetsTest, ComYoutubeProxyScaledAndBidirected) {
+  EdgeList edges = Datasets::ComYoutube(42, 5000);
+  EXPECT_EQ(edges.num_vertices, 5000u);
+  Graph g = GraphBuilder::FromEdgeList(edges);
+  // Bidirected social network: in-degree equals out-degree everywhere.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(g.OutDegree(v), g.InDegree(v));
+  }
+}
+
+TEST(DatasetsTest, SocPokecProxyDensity) {
+  EdgeList edges = Datasets::SocPokec(42, 5000);
+  EXPECT_EQ(edges.num_vertices, 5000u);
+  double arcs_per_vertex =
+      static_cast<double>(edges.arcs.size()) / 5000.0;
+  // Paper: 30.6M / 1.63M ≈ 18.8 arcs per vertex.
+  EXPECT_GT(arcs_per_vertex, 14.0);
+  EXPECT_LE(arcs_per_vertex, 18.8);
+}
+
+TEST(DatasetsTest, ByNameCoversCatalog) {
+  for (const std::string& name : Datasets::Names()) {
+    VertexId star_n = Datasets::IsStarNetwork(name) ? 2000 : 0;
+    auto result = Datasets::ByName(name, 42, star_n);
+    ASSERT_TRUE(result.ok()) << name;
+    EXPECT_GT(result.value().num_vertices, 0u) << name;
+  }
+  EXPECT_FALSE(Datasets::ByName("nope", 42).ok());
+}
+
+TEST(DatasetsTest, DeterministicInSeed) {
+  EdgeList a = Datasets::Physicians(7);
+  EdgeList b = Datasets::Physicians(7);
+  EdgeList c = Datasets::Physicians(8);
+  EXPECT_EQ(a.arcs, b.arcs);
+  EXPECT_NE(a.arcs, c.arcs);
+}
+
+TEST(DatasetsTest, StarNetworkFlags) {
+  EXPECT_TRUE(Datasets::IsStarNetwork("com-Youtube"));
+  EXPECT_TRUE(Datasets::IsStarNetwork("soc-Pokec"));
+  EXPECT_FALSE(Datasets::IsStarNetwork("Karate"));
+  EXPECT_FALSE(Datasets::IsStarNetwork("BA_s"));
+}
+
+}  // namespace
+}  // namespace soldist

@@ -1,0 +1,84 @@
+// Tests for degree-distribution analysis.
+
+#include <gtest/gtest.h>
+
+#include "gen/barabasi_albert.h"
+#include "gen/erdos_renyi.h"
+#include "graph/builder.h"
+#include "graph/degree_stats.h"
+
+namespace soldist {
+namespace {
+
+Graph StarOut(VertexId leaves) {
+  EdgeList edges;
+  edges.num_vertices = leaves + 1;
+  for (VertexId i = 1; i <= leaves; ++i) edges.Add(0, i);
+  return GraphBuilder::FromEdgeList(edges);
+}
+
+TEST(DegreeStatsTest, SequenceAndHistogram) {
+  Graph g = StarOut(4);
+  auto out = DegreeSequence(g, DegreeKind::kOut);
+  EXPECT_EQ(out, (std::vector<VertexId>{4, 0, 0, 0, 0}));
+  auto in = DegreeSequence(g, DegreeKind::kIn);
+  EXPECT_EQ(in, (std::vector<VertexId>{0, 1, 1, 1, 1}));
+
+  auto hist = DegreeHistogram(g, DegreeKind::kOut);
+  ASSERT_EQ(hist.size(), 5u);
+  EXPECT_EQ(hist[0], 4u);
+  EXPECT_EQ(hist[4], 1u);
+}
+
+TEST(DegreeStatsTest, MleNeedsEnoughTail) {
+  Graph g = StarOut(4);
+  EXPECT_FALSE(PowerLawExponentMle(g, DegreeKind::kOut, 1).has_value());
+}
+
+TEST(DegreeStatsTest, BaGraphLooksScaleFree) {
+  Rng rng(1);
+  EdgeList edges = BarabasiAlbert(20000, 3, &rng);
+  edges.MakeBidirected();
+  Graph g = GraphBuilder::FromEdgeList(edges);
+  auto gamma = PowerLawExponentMle(g, DegreeKind::kOut, 5);
+  ASSERT_TRUE(gamma.has_value());
+  // BA's theoretical exponent is 3 (paper Section 4.2.1: γ ∈ [2,3]).
+  EXPECT_GT(*gamma, 2.0);
+  EXPECT_LT(*gamma, 3.8);
+}
+
+TEST(DegreeStatsTest, ErGraphHasLowerGiniThanBa) {
+  Rng rng(2);
+  EdgeList er = ErdosRenyiGnm(5000, 15000, &rng);
+  EdgeList ba = BarabasiAlbert(5000, 3, &rng);
+  ba.MakeBidirected();
+  double gini_er =
+      DegreeGiniCoefficient(GraphBuilder::FromEdgeList(er), DegreeKind::kOut);
+  double gini_ba =
+      DegreeGiniCoefficient(GraphBuilder::FromEdgeList(ba), DegreeKind::kOut);
+  // Poissonian degrees are far more equal than preferential attachment.
+  EXPECT_LT(gini_er, gini_ba);
+}
+
+TEST(DegreeStatsTest, GiniExtremes) {
+  // All-equal degrees -> Gini 0.
+  EdgeList cycle;
+  cycle.num_vertices = 10;
+  for (VertexId v = 0; v < 10; ++v) cycle.Add(v, (v + 1) % 10);
+  EXPECT_NEAR(DegreeGiniCoefficient(GraphBuilder::FromEdgeList(cycle),
+                                    DegreeKind::kOut),
+              0.0, 1e-12);
+  // One hub owns every edge -> Gini near 1.
+  Graph star = StarOut(50);
+  EXPECT_GT(DegreeGiniCoefficient(star, DegreeKind::kOut), 0.9);
+}
+
+TEST(DegreeStatsTest, EmptyGraph) {
+  EdgeList edges;
+  edges.num_vertices = 0;
+  Graph g = GraphBuilder::FromEdgeList(edges);
+  EXPECT_DOUBLE_EQ(DegreeGiniCoefficient(g, DegreeKind::kOut), 0.0);
+}
+
+}  // namespace
+}  // namespace soldist

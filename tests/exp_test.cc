@@ -1,0 +1,202 @@
+// Tests for the experiment harness: registry, trial runner, sweeps.
+
+#include <gtest/gtest.h>
+
+#include "exp/experiment.h"
+#include "exp/instance_registry.h"
+#include "exp/sweep.h"
+#include "exp/table_writer.h"
+#include "exp/trial_runner.h"
+
+namespace soldist {
+namespace {
+
+TEST(InstanceRegistryTest, CachesGraphs) {
+  InstanceRegistry registry(42);
+  auto a = registry.GetGraph("Karate");
+  auto b = registry.GetGraph("Karate");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());  // same pointer: cached
+}
+
+TEST(InstanceRegistryTest, CachesInstances) {
+  InstanceRegistry registry(42);
+  auto a = registry.GetInstance("Karate", ProbabilityModel::kUc01);
+  auto b = registry.GetInstance("Karate", ProbabilityModel::kUc01);
+  auto c = registry.GetInstance("Karate", ProbabilityModel::kIwc);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_NE(a.value(), c.value());
+}
+
+TEST(InstanceRegistryTest, UnknownNetworkFails) {
+  InstanceRegistry registry(42);
+  EXPECT_FALSE(registry.GetGraph("NoSuchNetwork").ok());
+}
+
+TEST(InstanceRegistryTest, RegisterGraphOverrides) {
+  InstanceRegistry registry(42);
+  EdgeList tiny;
+  tiny.num_vertices = 2;
+  tiny.Add(0, 1);
+  registry.RegisterGraph("Karate", GraphBuilder::FromEdgeList(tiny));
+  auto g = registry.GetGraph("Karate");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value()->num_vertices(), 2u);
+}
+
+TEST(TrialRunnerTest, DeterministicInMasterSeed) {
+  InstanceRegistry registry(42);
+  auto ig = registry.GetInstance("Karate", ProbabilityModel::kUc01);
+  ASSERT_TRUE(ig.ok());
+  TrialConfig config;
+  config.approach = Approach::kRis;
+  config.sample_number = 64;
+  config.k = 2;
+  config.trials = 10;
+  config.master_seed = 77;
+  TrialResult a = RunTrials(*ig.value(), config, nullptr);
+  TrialResult b = RunTrials(*ig.value(), config, nullptr);
+  EXPECT_EQ(a.seed_sets, b.seed_sets);
+  EXPECT_EQ(a.total_counters.vertices, b.total_counters.vertices);
+
+  config.master_seed = 78;
+  TrialResult c = RunTrials(*ig.value(), config, nullptr);
+  EXPECT_NE(a.seed_sets, c.seed_sets);  // overwhelmingly likely
+}
+
+TEST(TrialRunnerTest, ParallelMatchesSerial) {
+  InstanceRegistry registry(42);
+  auto ig = registry.GetInstance("Karate", ProbabilityModel::kUc01);
+  ASSERT_TRUE(ig.ok());
+  TrialConfig config;
+  config.approach = Approach::kSnapshot;
+  config.sample_number = 16;
+  config.k = 2;
+  config.trials = 12;
+  config.master_seed = 5;
+  ThreadPool pool(4);
+  TrialResult serial = RunTrials(*ig.value(), config, nullptr);
+  TrialResult parallel = RunTrials(*ig.value(), config, &pool);
+  EXPECT_EQ(serial.seed_sets, parallel.seed_sets);
+  EXPECT_EQ(serial.total_counters.vertices,
+            parallel.total_counters.vertices);
+  EXPECT_EQ(serial.total_counters.edges, parallel.total_counters.edges);
+}
+
+TEST(TrialRunnerTest, SeedSetsHaveSizeK) {
+  InstanceRegistry registry(42);
+  auto ig = registry.GetInstance("Karate", ProbabilityModel::kUc01);
+  ASSERT_TRUE(ig.ok());
+  TrialConfig config;
+  config.approach = Approach::kOneshot;
+  config.sample_number = 4;
+  config.k = 3;
+  config.trials = 5;
+  config.master_seed = 9;
+  TrialResult result = RunTrials(*ig.value(), config, nullptr);
+  ASSERT_EQ(result.seed_sets.size(), 5u);
+  for (const auto& set : result.seed_sets) {
+    EXPECT_EQ(set.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(set.begin(), set.end()));
+  }
+  EXPECT_EQ(result.distribution.num_trials(), 5u);
+}
+
+TEST(TrialRunnerTest, EvaluateInfluenceFillsDistribution) {
+  InstanceRegistry registry(42);
+  auto ig = registry.GetInstance("Karate", ProbabilityModel::kUc01);
+  ASSERT_TRUE(ig.ok());
+  RrOracle oracle(ig.value(), 20000, 1);
+  TrialConfig config;
+  config.approach = Approach::kRis;
+  config.sample_number = 256;
+  config.k = 1;
+  config.trials = 8;
+  config.master_seed = 10;
+  TrialResult result = RunTrials(*ig.value(), config, nullptr);
+  EvaluateInfluence(oracle, &result);
+  ASSERT_EQ(result.influence.size(), 8u);
+  for (double v : result.influence.values()) {
+    EXPECT_GE(v, 1.0);   // a seed always activates itself
+    EXPECT_LE(v, 34.0);  // bounded by n
+  }
+}
+
+TEST(SweepTest, RunsAllCellsAndSummaries) {
+  InstanceRegistry registry(42);
+  auto ig = registry.GetInstance("Karate", ProbabilityModel::kUc01);
+  ASSERT_TRUE(ig.ok());
+  RrOracle oracle(ig.value(), 20000, 2);
+  SweepConfig config;
+  config.approach = Approach::kRis;
+  config.k = 1;
+  config.trials = 10;
+  config.master_seed = 3;
+  config.min_exponent = 0;
+  config.max_exponent = 6;
+  auto cells = RunSweep(*ig.value(), oracle, config, nullptr);
+  ASSERT_EQ(cells.size(), 7u);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].sample_number, 1ULL << i);
+    EXPECT_EQ(cells[i].result.influence.size(), 10u);
+    EXPECT_GE(cells[i].entropy, 0.0);
+  }
+  // Mean influence at the largest sample number should dominate the
+  // smallest (convergence upward; Section 5.2.1).
+  EXPECT_GE(cells.back().summary.mean_influence,
+            cells.front().summary.mean_influence - 0.2);
+  auto curve = CurveOf(cells);
+  EXPECT_EQ(curve.size(), 7u);
+}
+
+TEST(SweepTest, FindLeastSufficientCell) {
+  std::vector<SweepCell> cells(3);
+  for (int i = 0; i < 3; ++i) {
+    cells[i].sample_number = 1ULL << i;
+  }
+  // Cell 0: all below threshold; cell 1: 50%; cell 2: all above.
+  cells[0].result.influence.AddAll({1.0, 1.0});
+  cells[1].result.influence.AddAll({1.0, 5.0});
+  cells[2].result.influence.AddAll({5.0, 5.0});
+  EXPECT_EQ(FindLeastSufficientCell(cells, 4.0, 0.99), 2);
+  EXPECT_EQ(FindLeastSufficientCell(cells, 4.0, 0.5), 1);
+  EXPECT_EQ(FindLeastSufficientCell(cells, 10.0, 0.5), -1);
+}
+
+TEST(TableWriterTest, PowerOfTwoFormatting) {
+  EXPECT_EQ(FormatPowerOfTwo(1), "2^0");
+  EXPECT_EQ(FormatPowerOfTwo(4096), "2^12");
+  EXPECT_EQ(FormatPowerOfTwo(12), "12");
+  EXPECT_EQ(FormatLog2(1024), "10");
+}
+
+TEST(ExperimentTest, GridCapsScaledVsFull) {
+  GridCaps scaled = ScaledGridCaps("Karate", false);
+  GridCaps full = ScaledGridCaps("Karate", true);
+  EXPECT_LT(scaled.oneshot_max_exp, full.oneshot_max_exp);
+  EXPECT_EQ(full.oneshot_max_exp, 16);
+  EXPECT_EQ(full.ris_max_exp, 24);
+  EXPECT_EQ(scaled.MaxExp(Approach::kRis), scaled.ris_max_exp);
+}
+
+TEST(ExperimentTest, ContextBuildsInstancesAndOracles) {
+  ExperimentOptions options;
+  options.trials = 5;
+  options.oracle_rr = 1000;
+  options.seed = 1;
+  ExperimentContext context(options);
+  const InfluenceGraph& ig =
+      context.Instance("Karate", ProbabilityModel::kUc01);
+  EXPECT_EQ(ig.num_vertices(), 34u);
+  const RrOracle& oracle = context.Oracle("Karate", ProbabilityModel::kUc01);
+  EXPECT_EQ(oracle.num_rr_sets(), 1000u);
+  // Cached on second access.
+  EXPECT_EQ(&context.Oracle("Karate", ProbabilityModel::kUc01), &oracle);
+  EXPECT_EQ(context.TrialsFor("Karate"), 5u);
+  EXPECT_EQ(context.TrialsFor("com-Youtube"), options.star_trials);
+}
+
+}  // namespace
+}  // namespace soldist

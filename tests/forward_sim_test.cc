@@ -1,0 +1,158 @@
+// Statistical and accounting tests for the forward IC simulator, checked
+// against closed-form influence values on tiny graphs.
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "model/influence_graph.h"
+#include "sim/forward_sim.h"
+
+namespace soldist {
+namespace {
+
+InfluenceGraph SingleEdge(double p) {
+  EdgeList edges;
+  edges.num_vertices = 2;
+  edges.Add(0, 1);
+  Graph g = GraphBuilder::FromEdgeList(edges);
+  return InfluenceGraph(std::move(g), {p});
+}
+
+InfluenceGraph Chain3(double p) {
+  EdgeList edges;
+  edges.num_vertices = 3;
+  edges.Add(0, 1);
+  edges.Add(1, 2);
+  Graph g = GraphBuilder::FromEdgeList(edges);
+  return InfluenceGraph(std::move(g), {p, p});
+}
+
+InfluenceGraph Star(VertexId leaves, double p) {
+  EdgeList edges;
+  edges.num_vertices = leaves + 1;
+  for (VertexId i = 1; i <= leaves; ++i) edges.Add(0, i);
+  Graph g = GraphBuilder::FromEdgeList(edges);
+  return InfluenceGraph(std::move(g), std::vector<double>(leaves, p));
+}
+
+TEST(ForwardSimTest, SeedsAlwaysActivated) {
+  InfluenceGraph ig = SingleEdge(0.5);
+  Rng rng(1);
+  TraversalCounters counters;
+  ForwardSimulator sim(&ig);
+  const VertexId seeds[1] = {1};  // sink vertex: nothing to influence
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(sim.Simulate(seeds, &rng, &counters), 1u);
+  }
+}
+
+TEST(ForwardSimTest, SingleEdgeInfluenceIsOnePlusP) {
+  // Inf({0}) = 1 + p exactly.
+  for (double p : {0.1, 0.5, 0.9}) {
+    InfluenceGraph ig = SingleEdge(p);
+    ForwardSimulator sim(&ig);
+    Rng rng(2);
+    TraversalCounters counters;
+    const VertexId seeds[1] = {0};
+    double estimate = sim.EstimateInfluence(seeds, 200000, &rng, &counters);
+    // sigma = sqrt(p(1-p)/200000) <= 0.0012; 5-sigma tolerance.
+    EXPECT_NEAR(estimate, 1.0 + p, 0.006) << "p=" << p;
+  }
+}
+
+TEST(ForwardSimTest, Chain3InfluenceIsGeometric) {
+  // Inf({0}) = 1 + p + p^2.
+  const double p = 0.5;
+  InfluenceGraph ig = Chain3(p);
+  ForwardSimulator sim(&ig);
+  Rng rng(3);
+  TraversalCounters counters;
+  const VertexId seeds[1] = {0};
+  double estimate = sim.EstimateInfluence(seeds, 200000, &rng, &counters);
+  EXPECT_NEAR(estimate, 1.0 + p + p * p, 0.008);
+}
+
+TEST(ForwardSimTest, StarInfluenceIsOnePlusKp) {
+  const double p = 0.3;
+  InfluenceGraph ig = Star(10, p);
+  ForwardSimulator sim(&ig);
+  Rng rng(4);
+  TraversalCounters counters;
+  const VertexId seeds[1] = {0};
+  double estimate = sim.EstimateInfluence(seeds, 100000, &rng, &counters);
+  EXPECT_NEAR(estimate, 1.0 + 10 * p, 0.03);
+}
+
+TEST(ForwardSimTest, MultiSeedNoDoubleCount) {
+  // Seeding both endpoints of the edge: exactly 2 activated always.
+  InfluenceGraph ig = SingleEdge(0.7);
+  ForwardSimulator sim(&ig);
+  Rng rng(5);
+  TraversalCounters counters;
+  const VertexId seeds[2] = {0, 1};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(sim.Simulate(seeds, &rng, &counters), 2u);
+  }
+}
+
+TEST(ForwardSimTest, TraversalAccountingPerAppendix) {
+  // Deterministic p=1 chain: every simulation activates all 3 vertices,
+  // scans 3 vertices, and examines d+(0)+d+(1)+d+(2) = 2 edges.
+  InfluenceGraph ig = Chain3(1.0);
+  ForwardSimulator sim(&ig);
+  Rng rng(6);
+  TraversalCounters counters;
+  const VertexId seeds[1] = {0};
+  sim.Simulate(seeds, &rng, &counters);
+  EXPECT_EQ(counters.vertices, 3u);
+  EXPECT_EQ(counters.edges, 2u);
+  EXPECT_EQ(counters.sample_vertices, 0u);  // Oneshot stores nothing
+  EXPECT_EQ(counters.sample_edges, 0u);
+}
+
+TEST(ForwardSimTest, ExpectedVertexCostIsInfluence) {
+  // E[vertex traversal per simulation] = Inf(S) (paper Appendix).
+  const double p = 0.4;
+  InfluenceGraph ig = SingleEdge(p);
+  ForwardSimulator sim(&ig);
+  Rng rng(7);
+  TraversalCounters counters;
+  const VertexId seeds[1] = {0};
+  constexpr std::uint64_t kRuns = 100000;
+  sim.EstimateInfluence(seeds, kRuns, &rng, &counters);
+  double mean_vertex_cost =
+      static_cast<double>(counters.vertices) / static_cast<double>(kRuns);
+  EXPECT_NEAR(mean_vertex_cost, 1.0 + p, 0.01);
+}
+
+TEST(ForwardSimTest, SimulateSetReturnsActivatedVertices) {
+  InfluenceGraph ig = Chain3(1.0);
+  ForwardSimulator sim(&ig);
+  Rng rng(8);
+  TraversalCounters counters;
+  const VertexId seeds[1] = {0};
+  auto activated = sim.SimulateSet(seeds, &rng, &counters);
+  std::sort(activated.begin(), activated.end());
+  EXPECT_EQ(activated, (std::vector<VertexId>{0, 1, 2}));
+}
+
+TEST(ForwardSimTest, ZeroIndependenceAcrossRuns) {
+  // Two simulators with the same seed produce identical streams;
+  // different seeds diverge. Guards accidental shared state.
+  InfluenceGraph ig = Star(20, 0.5);
+  ForwardSimulator sim1(&ig), sim2(&ig);
+  Rng rng1(9), rng2(9), rng3(10);
+  TraversalCounters c;
+  const VertexId seeds[1] = {0};
+  bool diverged = false;
+  for (int i = 0; i < 20; ++i) {
+    auto a = sim1.Simulate(seeds, &rng1, &c);
+    auto b = sim2.Simulate(seeds, &rng2, &c);
+    EXPECT_EQ(a, b);
+    if (sim2.Simulate(seeds, &rng3, &c) != a) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+}  // namespace
+}  // namespace soldist

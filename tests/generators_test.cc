@@ -1,0 +1,199 @@
+// Unit tests for the graph generators.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gen/barabasi_albert.h"
+#include "gen/community.h"
+#include "gen/config_model.h"
+#include "gen/direction.h"
+#include "gen/erdos_renyi.h"
+#include "gen/watts_strogatz.h"
+#include "graph/builder.h"
+#include "graph/components.h"
+#include "graph/stats.h"
+
+namespace soldist {
+namespace {
+
+TEST(BarabasiAlbertTest, EdgeCountMatchesFormula) {
+  Rng rng(1);
+  // M * (n - M) edges: the paper's BA_s (999) and BA_d (10,879) counts.
+  EXPECT_EQ(BarabasiAlbert(1000, 1, &rng).arcs.size(), 999u);
+  EXPECT_EQ(BarabasiAlbert(1000, 11, &rng).arcs.size(), 10879u);
+  EXPECT_EQ(BarabasiAlbert(50, 3, &rng).arcs.size(), 3u * 47u);
+}
+
+TEST(BarabasiAlbertTest, NoSelfLoopsNoDuplicatePerVertex) {
+  Rng rng(2);
+  EdgeList edges = BarabasiAlbert(500, 5, &rng);
+  EXPECT_TRUE(edges.Validate());
+  for (const Arc& a : edges.arcs) EXPECT_NE(a.src, a.dst);
+  // Each new vertex's M attachments are distinct.
+  std::size_t before = edges.arcs.size();
+  edges.RemoveDuplicates();
+  EXPECT_EQ(edges.arcs.size(), before);
+}
+
+TEST(BarabasiAlbertTest, ConnectedUndirected) {
+  Rng rng(3);
+  EdgeList edges = BarabasiAlbert(300, 2, &rng);
+  edges.MakeBidirected();
+  Graph g = GraphBuilder::FromEdgeList(edges);
+  EXPECT_EQ(WeaklyConnectedComponents(g).num_components(), 1u);
+}
+
+TEST(BarabasiAlbertTest, HubsEmerge) {
+  Rng rng(4);
+  EdgeList edges = BarabasiAlbert(2000, 2, &rng);
+  edges.MakeBidirected();
+  Graph g = GraphBuilder::FromEdgeList(edges);
+  VertexId max_deg = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    max_deg = std::max(max_deg, g.OutDegree(v));
+  }
+  // Preferential attachment: the largest hub far exceeds the mean (4).
+  EXPECT_GE(max_deg, 30u);
+}
+
+TEST(PaperBaTest, MatchesTable3) {
+  Rng rng1(5), rng2(6);
+  EdgeList ba_s = PaperBaSparse(&rng1);
+  EXPECT_EQ(ba_s.num_vertices, 1000u);
+  EXPECT_EQ(ba_s.arcs.size(), 999u);
+  EdgeList ba_d = PaperBaDense(&rng2);
+  EXPECT_EQ(ba_d.num_vertices, 1000u);
+  EXPECT_EQ(ba_d.arcs.size(), 10879u);
+}
+
+TEST(DirectionTest, PreservesCountAndEndpoints) {
+  EdgeList undirected;
+  undirected.num_vertices = 4;
+  undirected.Add(0, 1);
+  undirected.Add(2, 3);
+  Rng rng(7);
+  EdgeList directed = AssignRandomDirections(undirected, &rng);
+  ASSERT_EQ(directed.arcs.size(), 2u);
+  EXPECT_TRUE(directed.arcs[0] == (Arc{0, 1}) ||
+              directed.arcs[0] == (Arc{1, 0}));
+  EXPECT_TRUE(directed.arcs[1] == (Arc{2, 3}) ||
+              directed.arcs[1] == (Arc{3, 2}));
+}
+
+TEST(DirectionTest, BothOrientationsOccur) {
+  EdgeList undirected;
+  undirected.num_vertices = 2;
+  for (int i = 0; i < 200; ++i) undirected.Add(0, 1);
+  Rng rng(8);
+  EdgeList directed = AssignRandomDirections(undirected, &rng);
+  int forward = 0;
+  for (const Arc& a : directed.arcs) {
+    if (a == Arc{0, 1}) ++forward;
+  }
+  EXPECT_GT(forward, 60);
+  EXPECT_LT(forward, 140);
+}
+
+TEST(ErdosRenyiGnmTest, ExactArcCountNoDupes) {
+  Rng rng(9);
+  EdgeList edges = ErdosRenyiGnm(50, 200, &rng);
+  EXPECT_EQ(edges.arcs.size(), 200u);
+  for (const Arc& a : edges.arcs) EXPECT_NE(a.src, a.dst);
+  std::size_t before = edges.arcs.size();
+  edges.RemoveDuplicates();
+  EXPECT_EQ(edges.arcs.size(), before);
+}
+
+TEST(ErdosRenyiGnpTest, ExpectedDensity) {
+  Rng rng(10);
+  EdgeList edges = ErdosRenyiGnp(200, 0.05, &rng);
+  double expected = 0.05 * 200 * 199;
+  // 5-sigma band around the binomial mean (sigma ≈ 43.5).
+  EXPECT_NEAR(static_cast<double>(edges.arcs.size()), expected, 220.0);
+  EXPECT_TRUE(edges.Validate());
+}
+
+TEST(ErdosRenyiGnpTest, ExtremeProbabilities) {
+  Rng rng(11);
+  EXPECT_TRUE(ErdosRenyiGnp(10, 0.0, &rng).arcs.empty());
+  EXPECT_EQ(ErdosRenyiGnp(10, 1.0, &rng).arcs.size(), 90u);
+}
+
+TEST(WattsStrogatzTest, NoRewireIsRingLattice) {
+  Rng rng(12);
+  EdgeList edges = WattsStrogatz(20, 4, 0.0, &rng);
+  EXPECT_EQ(edges.arcs.size(), 20u * 2u);  // n*k/2
+  Graph g = GraphBuilder::FromEdgeList([&] {
+    EdgeList bi = edges;
+    bi.MakeBidirected();
+    return bi;
+  }());
+  for (VertexId v = 0; v < 20; ++v) EXPECT_EQ(g.OutDegree(v), 4u);
+}
+
+TEST(WattsStrogatzTest, RewiringKeepsEdgeCount) {
+  Rng rng(13);
+  EdgeList edges = WattsStrogatz(100, 6, 0.3, &rng);
+  EXPECT_EQ(edges.arcs.size(), 300u);
+  EXPECT_TRUE(edges.Validate());
+  for (const Arc& a : edges.arcs) EXPECT_NE(a.src, a.dst);
+}
+
+TEST(PowerLawDegreesTest, RespectsBounds) {
+  Rng rng(14);
+  PowerLawSpec spec{.gamma = 2.3, .min_degree = 2, .max_degree = 50};
+  auto degrees = SamplePowerLawDegrees(5000, spec, &rng);
+  for (VertexId d : degrees) {
+    EXPECT_GE(d, 2u);
+    EXPECT_LE(d, 50u);
+  }
+  // Heavy tail: some vertex should exceed 4x the minimum.
+  EXPECT_GT(*std::max_element(degrees.begin(), degrees.end()), 8u);
+}
+
+TEST(ConfigModelTest, NearTargetArcCount) {
+  Rng rng(15);
+  PowerLawSpec out_spec{.gamma = 2.2, .min_degree = 1, .max_degree = 100};
+  PowerLawSpec in_spec{.gamma = 2.2, .min_degree = 1, .max_degree = 100};
+  EdgeList edges = DirectedConfigModel(2000, 10000, out_spec, in_spec, &rng);
+  EXPECT_TRUE(edges.Validate());
+  // Erased model: slight loss to self-loops/duplicates only.
+  EXPECT_GT(edges.arcs.size(), 9000u);
+  EXPECT_LE(edges.arcs.size(), 10000u);
+  for (const Arc& a : edges.arcs) EXPECT_NE(a.src, a.dst);
+  std::size_t before = edges.arcs.size();
+  edges.RemoveDuplicates();
+  EXPECT_EQ(edges.arcs.size(), before);
+}
+
+TEST(CommunityGraphTest, BuildsCoreWhiskerStructure) {
+  CommunityGraphSpec spec;
+  spec.num_vertices = 1000;
+  spec.core_fraction = 0.6;
+  spec.num_communities = 300;
+  Rng rng(16);
+  EdgeList edges = CommunityOverlapGraph(spec, &rng);
+  EXPECT_TRUE(edges.Validate());
+  // Whisker vertices (ids >= core) each have at least their tree edge.
+  EdgeList bi = edges;
+  bi.MakeBidirected();
+  Graph g = GraphBuilder::FromEdgeList(bi);
+  for (VertexId v = 600; v < 1000; ++v) EXPECT_GE(g.OutDegree(v), 1u);
+}
+
+TEST(CommunityGraphTest, HighClustering) {
+  CommunityGraphSpec spec;
+  spec.num_vertices = 800;
+  spec.num_communities = 260;
+  Rng rng(17);
+  EdgeList edges = CommunityOverlapGraph(spec, &rng);
+  edges.MakeBidirected();
+  Graph g = GraphBuilder::FromEdgeList(edges);
+  // Cliques guarantee a clustering coefficient far above random graphs.
+  double cc = GlobalClusteringCoefficient(g);
+  EXPECT_GT(cc, 0.2);
+}
+
+}  // namespace
+}  // namespace soldist

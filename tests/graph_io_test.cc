@@ -1,0 +1,79 @@
+// Unit tests for edge-list parsing, loading, and saving.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "graph/io.h"
+
+namespace soldist {
+namespace {
+
+TEST(GraphIoTest, ParsesSnapFormat) {
+  auto result = GraphIo::ParseEdgeList(
+      "# comment line\n"
+      "% konect comment\n"
+      "10 20\n"
+      "20 30\n"
+      "\n"
+      "10 30\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const EdgeList& edges = result.value();
+  // Dense remap in first-appearance order: 10->0, 20->1, 30->2.
+  EXPECT_EQ(edges.num_vertices, 3u);
+  ASSERT_EQ(edges.arcs.size(), 3u);
+  EXPECT_EQ(edges.arcs[0], (Arc{0, 1}));
+  EXPECT_EQ(edges.arcs[1], (Arc{1, 2}));
+  EXPECT_EQ(edges.arcs[2], (Arc{0, 2}));
+}
+
+TEST(GraphIoTest, TabsAndExtraColumnsTolerated) {
+  auto result = GraphIo::ParseEdgeList("1\t2\textra\n3  4\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().arcs.size(), 2u);
+}
+
+TEST(GraphIoTest, RejectsMalformedLine) {
+  EXPECT_FALSE(GraphIo::ParseEdgeList("1\n").ok());
+  EXPECT_FALSE(GraphIo::ParseEdgeList("a b\n").ok());
+}
+
+TEST(GraphIoTest, EmptyTextIsEmptyGraph) {
+  auto result = GraphIo::ParseEdgeList("");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_vertices, 0u);
+  EXPECT_TRUE(result.value().arcs.empty());
+}
+
+TEST(GraphIoTest, LoadMissingFileFails) {
+  auto result = GraphIo::LoadEdgeList("/nonexistent/path/graph.txt");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(GraphIoTest, SaveLoadRoundTrip) {
+  EdgeList edges;
+  edges.num_vertices = 4;
+  edges.Add(0, 1);
+  edges.Add(1, 2);
+  edges.Add(3, 0);
+
+  std::string path = testing::TempDir() + "/soldist_io_test.txt";
+  ASSERT_TRUE(GraphIo::SaveEdgeList(edges, path).ok());
+  auto loaded = GraphIo::LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  // Remap preserves first-appearance order which matches the save order.
+  EXPECT_EQ(loaded.value().num_vertices, 4u);
+  EXPECT_EQ(loaded.value().arcs.size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, SaveToBadPathFails) {
+  EdgeList edges;
+  edges.num_vertices = 1;
+  EXPECT_FALSE(GraphIo::SaveEdgeList(edges, "/nonexistent/dir/x.txt").ok());
+}
+
+}  // namespace
+}  // namespace soldist

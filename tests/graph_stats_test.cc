@@ -1,0 +1,86 @@
+// Unit tests for network statistics (clustering coefficient, distances).
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/stats.h"
+
+namespace soldist {
+namespace {
+
+Graph FromArcs(VertexId n, std::vector<Arc> arcs) {
+  EdgeList edges;
+  edges.num_vertices = n;
+  edges.arcs = std::move(arcs);
+  return GraphBuilder::FromEdgeList(edges);
+}
+
+TEST(ClusteringTest, TriangleIsOne) {
+  Graph g = FromArcs(3, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(g), 1.0);
+}
+
+TEST(ClusteringTest, PathIsZero) {
+  Graph g = FromArcs(3, {{0, 1}, {1, 2}});
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(g), 0.0);
+}
+
+TEST(ClusteringTest, TriangleWithPendant) {
+  // Triangle {0,1,2} plus pendant 3 attached to 0.
+  // Undirected: triangles=1, triples: deg(0)=3 -> 3, deg(1)=deg(2)=2 -> 1
+  // each, deg(3)=1 -> 0. Total triples 5, coefficient 3/5.
+  Graph g = FromArcs(4, {{0, 1}, {1, 2}, {2, 0}, {0, 3}});
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(g), 3.0 / 5.0);
+}
+
+TEST(ClusteringTest, CompleteGraphIsOne) {
+  std::vector<Arc> arcs;
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = 0; v < 5; ++v) {
+      if (u != v) arcs.push_back({u, v});
+    }
+  }
+  Graph g = FromArcs(5, std::move(arcs));
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(g), 1.0);
+}
+
+TEST(ClusteringTest, DirectionAndMultiplicityIgnored) {
+  // Same undirected triangle expressed with both arc directions and a
+  // duplicate: coefficient must still be 1.
+  Graph g = FromArcs(3, {{0, 1}, {1, 0}, {1, 2}, {2, 1}, {2, 0}, {0, 2},
+                         {0, 1}});
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(g), 1.0);
+}
+
+TEST(AverageDistanceTest, PairOnEdge) {
+  Graph g = FromArcs(2, {{0, 1}});
+  Rng rng(1);
+  auto avg = AverageDistance(g, 100, &rng);
+  ASSERT_TRUE(avg.has_value());
+  EXPECT_DOUBLE_EQ(*avg, 1.0);  // both directions distance 1 (undirected)
+}
+
+TEST(AverageDistanceTest, NoEdgesNoValue) {
+  Graph g = FromArcs(3, {});
+  Rng rng(1);
+  EXPECT_FALSE(AverageDistance(g, 100, &rng).has_value());
+}
+
+TEST(AverageDistanceTest, SkippedWhenZeroPairs) {
+  Graph g = FromArcs(2, {{0, 1}});
+  EXPECT_FALSE(AverageDistance(g, 0, nullptr).has_value());
+}
+
+TEST(NetworkStatsTest, DegreesAndSizes) {
+  Graph g = FromArcs(4, {{0, 1}, {0, 2}, {0, 3}, {1, 0}, {2, 0}});
+  Rng rng(1);
+  NetworkStats stats = ComputeNetworkStats(g, 0, &rng);
+  EXPECT_EQ(stats.num_vertices, 4u);
+  EXPECT_EQ(stats.num_edges, 5u);
+  EXPECT_EQ(stats.max_out_degree, 3u);
+  EXPECT_EQ(stats.max_in_degree, 2u);
+  EXPECT_FALSE(stats.average_distance.has_value());
+}
+
+}  // namespace
+}  // namespace soldist

@@ -1,0 +1,153 @@
+// Unit tests for EdgeList, GraphBuilder, and the CSR Graph.
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/edge_list.h"
+#include "graph/graph.h"
+
+namespace soldist {
+namespace {
+
+EdgeList Diamond() {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+  EdgeList edges;
+  edges.num_vertices = 4;
+  edges.Add(0, 1);
+  edges.Add(0, 2);
+  edges.Add(1, 3);
+  edges.Add(2, 3);
+  return edges;
+}
+
+TEST(EdgeListTest, ValidateCatchesOutOfRange) {
+  EdgeList edges;
+  edges.num_vertices = 2;
+  edges.Add(0, 1);
+  EXPECT_TRUE(edges.Validate());
+  edges.Add(0, 2);
+  EXPECT_FALSE(edges.Validate());
+}
+
+TEST(EdgeListTest, RemoveDuplicates) {
+  EdgeList edges;
+  edges.num_vertices = 3;
+  edges.Add(0, 1);
+  edges.Add(0, 1);
+  edges.Add(1, 2);
+  edges.RemoveDuplicates();
+  EXPECT_EQ(edges.arcs.size(), 2u);
+}
+
+TEST(EdgeListTest, RemoveSelfLoops) {
+  EdgeList edges;
+  edges.num_vertices = 3;
+  edges.Add(0, 0);
+  edges.Add(0, 1);
+  edges.Add(2, 2);
+  edges.RemoveSelfLoops();
+  ASSERT_EQ(edges.arcs.size(), 1u);
+  EXPECT_EQ(edges.arcs[0], (Arc{0, 1}));
+}
+
+TEST(EdgeListTest, MakeBidirectedDoubles) {
+  EdgeList edges;
+  edges.num_vertices = 3;
+  edges.Add(0, 1);
+  edges.Add(1, 2);
+  edges.MakeBidirected();
+  edges.Sort();
+  ASSERT_EQ(edges.arcs.size(), 4u);
+  EXPECT_EQ(edges.arcs[0], (Arc{0, 1}));
+  EXPECT_EQ(edges.arcs[1], (Arc{1, 0}));
+  EXPECT_EQ(edges.arcs[2], (Arc{1, 2}));
+  EXPECT_EQ(edges.arcs[3], (Arc{2, 1}));
+}
+
+TEST(GraphBuilderTest, BuildsDiamondCsr) {
+  Graph g = GraphBuilder::FromEdgeList(Diamond());
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.OutDegree(3), 0u);
+  EXPECT_EQ(g.InDegree(0), 0u);
+  EXPECT_EQ(g.InDegree(3), 2u);
+  auto out0 = g.OutNeighbors(0);
+  EXPECT_EQ(std::vector<VertexId>(out0.begin(), out0.end()),
+            (std::vector<VertexId>{1, 2}));
+  auto in3 = g.InNeighbors(3);
+  EXPECT_EQ(std::vector<VertexId>(in3.begin(), in3.end()),
+            (std::vector<VertexId>{1, 2}));
+}
+
+TEST(GraphBuilderTest, EmptyGraph) {
+  EdgeList edges;
+  edges.num_vertices = 5;
+  Graph g = GraphBuilder::FromEdgeList(edges);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_EQ(g.OutDegree(v), 0u);
+    EXPECT_EQ(g.InDegree(v), 0u);
+  }
+}
+
+TEST(GraphBuilderTest, ParallelArcsPreserved) {
+  EdgeList edges;
+  edges.num_vertices = 2;
+  edges.Add(0, 1);
+  edges.Add(0, 1);
+  Graph g = GraphBuilder::FromEdgeList(edges);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(1), 2u);
+}
+
+TEST(GraphTest, InToOutEdgeCrossIndex) {
+  Graph g = GraphBuilder::FromEdgeList(Diamond());
+  // For every in-CSR position, the referenced out-edge must be the same arc.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (EdgeId pos = g.in_offsets()[v]; pos < g.in_offsets()[v + 1]; ++pos) {
+      VertexId src = g.in_sources()[pos];
+      EdgeId out_edge = g.in_to_out_edge()[pos];
+      EXPECT_EQ(g.out_targets()[out_edge], v);
+      EXPECT_GE(out_edge, g.out_offsets()[src]);
+      EXPECT_LT(out_edge, g.out_offsets()[src + 1]);
+    }
+  }
+}
+
+TEST(GraphTest, TransposeReversesAllArcs) {
+  Graph g = GraphBuilder::FromEdgeList(Diamond());
+  Graph t = g.Transposed();
+  EXPECT_EQ(t.num_edges(), g.num_edges());
+  EXPECT_EQ(t.OutDegree(3), 2u);
+  EXPECT_EQ(t.InDegree(0), 2u);
+  auto out3 = t.OutNeighbors(3);
+  EXPECT_EQ(std::vector<VertexId>(out3.begin(), out3.end()),
+            (std::vector<VertexId>{1, 2}));
+}
+
+TEST(GraphTest, ToEdgeListRoundTrips) {
+  EdgeList original = Diamond();
+  Graph g = GraphBuilder::FromEdgeList(original);
+  EdgeList rebuilt = g.ToEdgeList();
+  original.Sort();
+  rebuilt.Sort();
+  EXPECT_EQ(original.arcs, rebuilt.arcs);
+  EXPECT_EQ(original.num_vertices, rebuilt.num_vertices);
+}
+
+TEST(GraphTest, DegreesSumToEdgeCount) {
+  Graph g = GraphBuilder::FromEdgeList(Diamond());
+  EdgeId out_sum = 0, in_sum = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    out_sum += g.OutDegree(v);
+    in_sum += g.InDegree(v);
+  }
+  EXPECT_EQ(out_sum, g.num_edges());
+  EXPECT_EQ(in_sum, g.num_edges());
+}
+
+}  // namespace
+}  // namespace soldist

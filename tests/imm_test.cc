@@ -1,0 +1,72 @@
+// Tests for the IMM algorithm.
+
+#include <gtest/gtest.h>
+
+#include "core/imm.h"
+#include "gen/datasets.h"
+#include "graph/builder.h"
+#include "model/probability.h"
+#include "oracle/rr_oracle.h"
+
+namespace soldist {
+namespace {
+
+InfluenceGraph KarateUc01() {
+  Graph g = GraphBuilder::FromEdgeList(Datasets::Karate());
+  return MakeInfluenceGraph(std::move(g), ProbabilityModel::kUc01);
+}
+
+TEST(ImmTest, FindsNearOptimalSeedsOnKarate) {
+  InfluenceGraph ig = KarateUc01();
+  ImmParams params{.k = 2, .epsilon = 0.3, .ell = 1.0};
+  ImmResult result = RunImm(ig, params, 7);
+  ASSERT_EQ(result.seeds.size(), 2u);
+  EXPECT_GE(result.theta, 1u);
+  EXPECT_GE(result.guessing_rounds, 1);
+
+  RrOracle oracle(&ig, 100000, 8);
+  double got = oracle.EstimateInfluence(result.seeds);
+  double reference = oracle.EstimateInfluence(oracle.OracleGreedySeeds(2));
+  // IMM's guarantee is (1−1/e−ε) ≈ 0.33 here; empirically it lands much
+  // closer — require 90%.
+  EXPECT_GE(got, 0.9 * reference);
+}
+
+TEST(ImmTest, LowerBoundBelowOptAboveOne) {
+  InfluenceGraph ig = KarateUc01();
+  ImmParams params{.k = 1, .epsilon = 0.2, .ell = 1.0};
+  ImmResult result = RunImm(ig, params, 9);
+  RrOracle oracle(&ig, 100000, 10);
+  double opt = oracle.EstimateInfluence(oracle.OracleGreedySeeds(1));
+  EXPECT_GE(result.opt_lower_bound, 1.0);
+  // The sampling phase certifies LB <= OPT up to estimation noise.
+  EXPECT_LE(result.opt_lower_bound, 1.3 * opt);
+}
+
+TEST(ImmTest, TighterEpsilonUsesMoreRrSets) {
+  InfluenceGraph ig = KarateUc01();
+  ImmResult loose = RunImm(ig, {.k = 1, .epsilon = 0.5, .ell = 1.0}, 11);
+  ImmResult tight = RunImm(ig, {.k = 1, .epsilon = 0.2, .ell = 1.0}, 11);
+  EXPECT_GT(tight.theta, loose.theta);
+}
+
+TEST(ImmTest, DeterministicInSeed) {
+  InfluenceGraph ig = KarateUc01();
+  ImmParams params{.k = 2, .epsilon = 0.4, .ell = 1.0};
+  ImmResult a = RunImm(ig, params, 13);
+  ImmResult b = RunImm(ig, params, 13);
+  EXPECT_EQ(a.theta, b.theta);
+  EXPECT_EQ(a.seeds, b.seeds);
+  EXPECT_DOUBLE_EQ(a.opt_lower_bound, b.opt_lower_bound);
+}
+
+TEST(ImmTest, CountsTraversalWork) {
+  InfluenceGraph ig = KarateUc01();
+  ImmResult result = RunImm(ig, {.k = 1, .epsilon = 0.4, .ell = 1.0}, 15);
+  EXPECT_GT(result.counters.vertices, 0u);
+  EXPECT_GT(result.counters.sample_vertices, 0u);
+  EXPECT_GT(result.estimated_influence, 1.0);
+}
+
+}  // namespace
+}  // namespace soldist

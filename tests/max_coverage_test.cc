@@ -1,0 +1,73 @@
+// Tests for the lazy-greedy max-coverage solver.
+
+#include <gtest/gtest.h>
+
+#include "sim/max_coverage.h"
+
+namespace soldist {
+namespace {
+
+RrCollection MakeCollection(VertexId n,
+                            std::vector<std::vector<VertexId>> sets) {
+  RrCollection collection(n);
+  for (const auto& set : sets) collection.Add(set);
+  collection.BuildIndex();
+  return collection;
+}
+
+TEST(MaxCoverageTest, SingleBestVertex) {
+  auto collection = MakeCollection(4, {{0, 1}, {0, 2}, {0, 3}, {1}});
+  auto result = GreedyMaxCoverage(collection, 1);
+  EXPECT_EQ(result.seeds, (std::vector<VertexId>{0}));
+  EXPECT_EQ(result.covered, 3u);
+  EXPECT_DOUBLE_EQ(result.Fraction(collection.size()), 0.75);
+}
+
+TEST(MaxCoverageTest, GreedyTakesComplementarySecond) {
+  // Vertex 0 covers {A,B}; vertex 1 covers {B,C}; vertex 2 covers {D}.
+  // After 0, the best marginal is 2 (covers D) vs 1 (only C)... both 1;
+  // tie goes to smaller id = 1.
+  auto collection = MakeCollection(3, {{0}, {0, 1}, {1}, {2}});
+  auto result = GreedyMaxCoverage(collection, 2);
+  ASSERT_EQ(result.seeds.size(), 2u);
+  EXPECT_EQ(result.seeds[0], 0u);   // covers sets 0,1 (2 sets)
+  EXPECT_EQ(result.seeds[1], 1u);   // marginal 1 (set 2), ties with 2
+  EXPECT_EQ(result.covered, 3u);
+}
+
+TEST(MaxCoverageTest, FullCoverageStopsGaining) {
+  auto collection = MakeCollection(3, {{0}, {0}});
+  auto result = GreedyMaxCoverage(collection, 3);
+  EXPECT_EQ(result.covered, 2u);
+  EXPECT_EQ(result.seeds.size(), 3u);  // still returns k seeds
+  EXPECT_EQ(result.seeds[0], 0u);
+}
+
+TEST(MaxCoverageTest, DeterministicTieBreakSmallerId) {
+  auto collection = MakeCollection(5, {{2}, {4}});
+  auto result = GreedyMaxCoverage(collection, 1);
+  EXPECT_EQ(result.seeds[0], 2u);  // 2 and 4 tie at gain 1
+}
+
+TEST(MaxCoverageTest, EmptyCollection) {
+  RrCollection collection(3);
+  collection.BuildIndex();
+  auto result = GreedyMaxCoverage(collection, 2);
+  EXPECT_EQ(result.covered, 0u);
+  EXPECT_EQ(result.seeds.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.Fraction(0), 0.0);
+}
+
+TEST(MaxCoverageTest, MatchesBruteForceOnSmallInstances) {
+  // Greedy is (1−1/e)-optimal; on this instance it is exactly optimal.
+  auto collection =
+      MakeCollection(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {1}, {3}});
+  auto result = GreedyMaxCoverage(collection, 2);
+  EXPECT_EQ(result.covered, 6u);  // {1,3} covers all six sets
+  std::vector<VertexId> sorted = result.seeds;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<VertexId>{1, 3}));
+}
+
+}  // namespace
+}  // namespace soldist

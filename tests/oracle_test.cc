@@ -1,0 +1,143 @@
+// Tests for the influence oracles: RR oracle vs exact vs Monte Carlo.
+
+#include <gtest/gtest.h>
+
+#include "gen/datasets.h"
+#include "graph/builder.h"
+#include "model/probability.h"
+#include "oracle/exact_oracle.h"
+#include "oracle/mc_oracle.h"
+#include "oracle/rr_oracle.h"
+
+namespace soldist {
+namespace {
+
+InfluenceGraph Diamond(double p) {
+  EdgeList edges;
+  edges.num_vertices = 4;
+  edges.Add(0, 1);
+  edges.Add(0, 2);
+  edges.Add(1, 3);
+  edges.Add(2, 3);
+  Graph g = GraphBuilder::FromEdgeList(edges);
+  return InfluenceGraph(std::move(g), std::vector<double>(4, p));
+}
+
+TEST(ExactOracleTest, ClosedFormsOnDiamond) {
+  InfluenceGraph ig = Diamond(0.5);
+  // Inf({0}) = 1 + 0.5 + 0.5 + Pr[3 reached]
+  //          = 2 + (1 - (1 - 0.25)^2) = 2 + 0.4375 = 2.4375.
+  EXPECT_NEAR(ExactInfluence(ig, std::vector<VertexId>{0}), 2.4375, 1e-12);
+  // Inf({3}) = 1 (sink).
+  EXPECT_NEAR(ExactInfluence(ig, std::vector<VertexId>{3}), 1.0, 1e-12);
+  // Inf({1}) = 1 + 0.5 = 1.5.
+  EXPECT_NEAR(ExactInfluence(ig, std::vector<VertexId>{1}), 1.5, 1e-12);
+}
+
+TEST(ExactOracleTest, MonotoneInSeeds) {
+  InfluenceGraph ig = Diamond(0.3);
+  double one = ExactInfluence(ig, std::vector<VertexId>{0});
+  double two = ExactInfluence(ig, std::vector<VertexId>{0, 3});
+  EXPECT_GT(two, one);
+}
+
+TEST(ExactOracleTest, HitProbabilityIdentity) {
+  InfluenceGraph ig = Diamond(0.5);
+  double inf = ExactInfluence(ig, std::vector<VertexId>{0});
+  double hit = ExactRrHitProbability(ig, std::vector<VertexId>{0});
+  EXPECT_NEAR(hit, inf / 4.0, 1e-12);
+}
+
+TEST(RrOracleTest, MatchesExactOnDiamond) {
+  InfluenceGraph ig = Diamond(0.5);
+  RrOracle oracle(&ig, 200000, /*seed=*/1);
+  for (VertexId v = 0; v < 4; ++v) {
+    double exact = ExactInfluence(ig, std::vector<VertexId>{v});
+    EXPECT_NEAR(oracle.EstimateInfluence(std::vector<VertexId>{v}), exact,
+                0.03)
+        << "vertex " << v;
+  }
+}
+
+TEST(RrOracleTest, MatchesMcOracleOnKarate) {
+  Graph g = GraphBuilder::FromEdgeList(Datasets::Karate());
+  InfluenceGraph ig =
+      MakeInfluenceGraph(std::move(g), ProbabilityModel::kUc01);
+  RrOracle rr(&ig, 100000, /*seed=*/2);
+  McOracle mc(&ig);
+  Rng rng(3);
+  std::vector<VertexId> seeds{0, 33};
+  double rr_estimate = rr.EstimateInfluence(seeds);
+  double mc_estimate = mc.EstimateInfluence(seeds, 100000, &rng);
+  EXPECT_NEAR(rr_estimate, mc_estimate, 0.15);
+}
+
+TEST(RrOracleTest, ConfidenceIntervalFormula) {
+  InfluenceGraph ig = Diamond(0.5);
+  RrOracle oracle(&ig, 10000, /*seed=*/4);
+  // 1.29 * n / sqrt(N) = 1.29 * 4 / 100.
+  EXPECT_NEAR(oracle.ConfidenceInterval99(), 1.29 * 4.0 / 100.0, 1e-12);
+}
+
+TEST(RrOracleTest, EmptySeedSetHasZeroInfluence) {
+  InfluenceGraph ig = Diamond(0.5);
+  RrOracle oracle(&ig, 1000, /*seed=*/5);
+  EXPECT_DOUBLE_EQ(oracle.EstimateInfluence(std::vector<VertexId>{}), 0.0);
+}
+
+TEST(RrOracleTest, FullSeedSetCoversEverything) {
+  InfluenceGraph ig = Diamond(0.5);
+  RrOracle oracle(&ig, 1000, /*seed=*/6);
+  std::vector<VertexId> all{0, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(oracle.EstimateInfluence(all), 4.0);
+}
+
+TEST(RrOracleTest, DeterministicInSeed) {
+  InfluenceGraph ig = Diamond(0.5);
+  RrOracle a(&ig, 5000, /*seed=*/7);
+  RrOracle b(&ig, 5000, /*seed=*/7);
+  std::vector<VertexId> seeds{0};
+  EXPECT_DOUBLE_EQ(a.EstimateInfluence(seeds), b.EstimateInfluence(seeds));
+}
+
+TEST(RrOracleTest, OracleGreedyPicksStarCenter) {
+  EdgeList edges;
+  edges.num_vertices = 6;
+  for (VertexId i = 1; i < 6; ++i) edges.Add(0, i);
+  Graph g = GraphBuilder::FromEdgeList(edges);
+  InfluenceGraph ig(std::move(g), std::vector<double>(5, 1.0));
+  RrOracle oracle(&ig, 2000, /*seed=*/8);
+  auto seeds = oracle.OracleGreedySeeds(2);
+  EXPECT_EQ(seeds[0], 0u);
+  EXPECT_EQ(seeds.size(), 2u);
+}
+
+TEST(RrOracleTest, OracleGreedyCoversDisjointComponents) {
+  // Two disjoint p=1 stars: greedy k=2 must take both centers.
+  EdgeList edges;
+  edges.num_vertices = 8;
+  edges.Add(0, 1);
+  edges.Add(0, 2);
+  edges.Add(0, 3);
+  edges.Add(4, 5);
+  edges.Add(4, 6);
+  edges.Add(4, 7);
+  Graph g = GraphBuilder::FromEdgeList(edges);
+  InfluenceGraph ig(std::move(g), std::vector<double>(6, 1.0));
+  RrOracle oracle(&ig, 4000, /*seed=*/9);
+  auto seeds = oracle.OracleGreedySeeds(2);
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(seeds, (std::vector<VertexId>{0, 4}));
+}
+
+TEST(McOracleTest, MatchesExactOnDiamond) {
+  InfluenceGraph ig = Diamond(0.5);
+  McOracle mc(&ig);
+  Rng rng(10);
+  double exact = ExactInfluence(ig, std::vector<VertexId>{0});
+  EXPECT_NEAR(mc.EstimateInfluence(std::vector<VertexId>{0}, 200000, &rng),
+              exact, 0.02);
+}
+
+}  // namespace
+}  // namespace soldist

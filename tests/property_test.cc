@@ -1,0 +1,182 @@
+// Parameterized property tests: invariants that must hold for EVERY
+// (approach × probability setting) combination.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "exp/instance_registry.h"
+#include "exp/trial_runner.h"
+#include "oracle/rr_oracle.h"
+#include "sim/rr_sampler.h"
+#include "stats/entropy.h"
+
+namespace soldist {
+namespace {
+
+using PropertyParam = std::tuple<Approach, ProbabilityModel>;
+
+class ApproachModelTest : public testing::TestWithParam<PropertyParam> {
+ protected:
+  void SetUp() override {
+    registry_ = std::make_unique<InstanceRegistry>(7);
+    auto ig = registry_->GetInstance("Karate", std::get<1>(GetParam()));
+    ASSERT_TRUE(ig.ok());
+    ig_ = ig.value();
+  }
+
+  std::unique_ptr<InstanceRegistry> registry_;
+  const InfluenceGraph* ig_ = nullptr;
+};
+
+TEST_P(ApproachModelTest, EstimatesBoundedByN) {
+  auto estimator = MakeEstimator(ig_, std::get<0>(GetParam()), 32, 11);
+  estimator->Build();
+  for (VertexId v = 0; v < ig_->num_vertices(); ++v) {
+    double estimate = estimator->Estimate(v);
+    EXPECT_GE(estimate, 0.0) << "vertex " << v;
+    EXPECT_LE(estimate, static_cast<double>(ig_->num_vertices()))
+        << "vertex " << v;
+  }
+}
+
+TEST_P(ApproachModelTest, SingleVertexEstimateAtLeastOneBeforeUpdates) {
+  // Inf(v) >= 1 (the seed itself); the estimators must respect this for
+  // the FIRST greedy iteration. (RIS estimates can dip below 1 only by
+  // sampling noise; with enough samples they cannot.)
+  auto estimator = MakeEstimator(ig_, std::get<0>(GetParam()), 4096, 13);
+  estimator->Build();
+  double total = 0.0;
+  for (VertexId v = 0; v < ig_->num_vertices(); ++v) {
+    total += estimator->Estimate(v);
+  }
+  EXPECT_GE(total / ig_->num_vertices(), 0.9);
+}
+
+TEST_P(ApproachModelTest, GreedyTrialsProduceValidSeedSets) {
+  TrialConfig config;
+  config.approach = std::get<0>(GetParam());
+  config.sample_number = 16;
+  config.k = 4;
+  config.trials = 6;
+  config.master_seed = 3;
+  TrialResult result = RunTrials(*ig_, config, nullptr);
+  for (const auto& set : result.seed_sets) {
+    ASSERT_EQ(set.size(), 4u);
+    for (VertexId v : set) EXPECT_LT(v, ig_->num_vertices());
+    EXPECT_TRUE(std::is_sorted(set.begin(), set.end()));
+    EXPECT_EQ(std::adjacent_find(set.begin(), set.end()), set.end());
+  }
+}
+
+TEST_P(ApproachModelTest, CountersArePopulatedCorrectly) {
+  auto [approach, model] = GetParam();
+  TrialConfig config;
+  config.approach = approach;
+  config.sample_number = 8;
+  config.k = 1;
+  config.trials = 4;
+  config.master_seed = 5;
+  TrialResult result = RunTrials(*ig_, config, nullptr);
+  const TraversalCounters& c = result.total_counters;
+  EXPECT_GT(c.vertices, 0u);
+  EXPECT_GT(c.edges, 0u);
+  switch (approach) {
+    case Approach::kOneshot:
+      EXPECT_EQ(c.TotalSampleSize(), 0u);  // stores nothing
+      break;
+    case Approach::kSnapshot:
+      EXPECT_GT(c.sample_edges, 0u);       // live edges stored
+      EXPECT_EQ(c.sample_vertices, 0u);
+      break;
+    case Approach::kRis:
+      EXPECT_GT(c.sample_vertices, 0u);    // RR entries stored
+      EXPECT_EQ(c.sample_edges, 0u);
+      break;
+  }
+}
+
+TEST_P(ApproachModelTest, EntropyWithinTheoreticalBounds) {
+  TrialConfig config;
+  config.approach = std::get<0>(GetParam());
+  config.sample_number = 2;
+  config.k = 1;
+  config.trials = 32;
+  config.master_seed = 8;
+  TrialResult result = RunTrials(*ig_, config, nullptr);
+  double entropy = result.distribution.Entropy();
+  EXPECT_GE(entropy, 0.0);
+  EXPECT_LE(entropy, MaxEmpiricalEntropy(32) + 1e-9);
+}
+
+std::string ParamName(const testing::TestParamInfo<PropertyParam>& info) {
+  std::string name = ApproachName(std::get<0>(info.param)) + "_" +
+                     ProbabilityModelName(std::get<1>(info.param));
+  for (char& c : name) {
+    if (c == '.') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApproachesAllModels, ApproachModelTest,
+    testing::Combine(testing::Values(Approach::kOneshot, Approach::kSnapshot,
+                                     Approach::kRis),
+                     testing::Values(ProbabilityModel::kUc01,
+                                     ProbabilityModel::kUc001,
+                                     ProbabilityModel::kIwc,
+                                     ProbabilityModel::kOwc)),
+    ParamName);
+
+// --- Dataset-wide property sweep: every catalog network builds a valid
+// influence graph under iwc. ---
+
+class DatasetPropertyTest : public testing::TestWithParam<std::string> {};
+
+TEST_P(DatasetPropertyTest, BuildsValidInfluenceGraph) {
+  const std::string& name = GetParam();
+  // Keep ⋆ proxies tiny for test speed.
+  VertexId star_n = Datasets::IsStarNetwork(name) ? 2000 : 0;
+  InstanceRegistry registry(13, star_n);
+  auto ig = registry.GetInstance(name, ProbabilityModel::kIwc);
+  ASSERT_TRUE(ig.ok()) << ig.status().ToString();
+  EXPECT_GT(ig.value()->num_vertices(), 0u);
+  EXPECT_GT(ig.value()->num_edges(), 0u);
+  EXPECT_GT(ig.value()->SumProbabilities(), 0.0);
+  // All probabilities in (0, 1].
+  for (double p : ig.value()->out_probabilities()) {
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST_P(DatasetPropertyTest, RrSamplingWorksEverywhere) {
+  const std::string& name = GetParam();
+  VertexId star_n = Datasets::IsStarNetwork(name) ? 2000 : 0;
+  InstanceRegistry registry(13, star_n);
+  auto ig = registry.GetInstance(name, ProbabilityModel::kIwc);
+  ASSERT_TRUE(ig.ok());
+  RrSampler sampler(ig.value());
+  Rng target_rng(1), coin_rng(2);
+  TraversalCounters counters;
+  std::vector<VertexId> rr_set;
+  for (int i = 0; i < 50; ++i) {
+    sampler.Sample(&target_rng, &coin_rng, &rr_set, &counters);
+    ASSERT_GE(rr_set.size(), 1u);
+    for (VertexId v : rr_set) EXPECT_LT(v, ig.value()->num_vertices());
+  }
+}
+
+std::string DatasetName(const testing::TestParamInfo<std::string>& info) {
+  std::string name = info.param;
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetPropertyTest,
+                         testing::ValuesIn(Datasets::Names()), DatasetName);
+
+}  // namespace
+}  // namespace soldist

@@ -1,0 +1,144 @@
+// Unit tests for the PRNG substrate: determinism, ranges, rough
+// uniformity, and stream independence.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "random/rng.h"
+#include "random/splitmix64.h"
+#include "random/xoshiro256pp.h"
+
+namespace soldist {
+namespace {
+
+TEST(SplitMix64Test, DeterministicForSameSeed) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(SplitMix64Test, KnownReferenceValue) {
+  // Reference: first output of SplitMix64 for seed 0 per Vigna's code.
+  SplitMix64 g(0);
+  EXPECT_EQ(g.Next(), 0xe220a8397b1dcdafULL);
+}
+
+TEST(DeriveSeedTest, DistinctIndexesGiveDistinctSeeds) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    seeds.insert(DeriveSeed(42, i));
+  }
+  EXPECT_EQ(seeds.size(), 10000u);
+}
+
+TEST(DeriveSeedTest, Deterministic) {
+  EXPECT_EQ(DeriveSeed(7, 3), DeriveSeed(7, 3));
+  EXPECT_NE(DeriveSeed(7, 3), DeriveSeed(8, 3));
+  EXPECT_NE(DeriveSeed(7, 3), DeriveSeed(7, 4));
+}
+
+TEST(Xoshiro256ppTest, DeterministicForSameSeed) {
+  Xoshiro256pp a(9), b(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Xoshiro256ppTest, JumpChangesStream) {
+  Xoshiro256pp a(9), b(9);
+  b.Jump();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UnitRealInHalfOpenInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.UnitReal();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UnitRealMeanNearHalf) {
+  Rng rng(2);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.UnitReal();
+  // SD of the mean is ~1/sqrt(12*kSamples) ≈ 0.0009; 5 sigma tolerance.
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.005);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 100ULL, 1000003ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.UniformInt(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformIntRoughlyUniform) {
+  Rng rng(4);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> buckets(kBound, 0);
+  for (int i = 0; i < kSamples; ++i) ++buckets[rng.UniformInt(kBound)];
+  // Chi-squared with 9 dof: 99.9% quantile ≈ 27.9.
+  double expected = static_cast<double>(kSamples) / kBound;
+  double chi2 = 0.0;
+  for (int b : buckets) {
+    chi2 += (b - expected) * (b - expected) / expected;
+  }
+  EXPECT_LT(chi2, 35.0);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(5);
+  constexpr int kSamples = 200000;
+  for (double p : {0.1, 0.5, 0.9}) {
+    int hits = 0;
+    for (int i = 0; i < kSamples; ++i) {
+      if (rng.Bernoulli(p)) ++hits;
+    }
+    double rate = static_cast<double>(hits) / kSamples;
+    // 5-sigma band: sigma = sqrt(p(1-p)/kSamples) <= 0.0011.
+    EXPECT_NEAR(rate, p, 0.006) << "p=" << p;
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));  // UnitReal() < 0 never holds
+  }
+  int hits = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (rng.Bernoulli(1.0)) ++hits;
+  }
+  EXPECT_EQ(hits, 100);  // UnitReal() < 1 always holds
+}
+
+TEST(RngTest, EngineUsableWithStdShuffle) {
+  Rng rng(7);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  std::shuffle(v.begin(), v.end(), rng.engine());
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+}  // namespace
+}  // namespace soldist

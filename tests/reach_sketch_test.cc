@@ -1,0 +1,102 @@
+// Tests for bottom-k reachability sketches (Section 3.4.3's technique for
+// the descendant-counting bottleneck).
+
+#include <gtest/gtest.h>
+
+#include "gen/barabasi_albert.h"
+#include "graph/builder.h"
+#include "graph/reach_sketch.h"
+#include "graph/traversal.h"
+
+namespace soldist {
+namespace {
+
+Graph Chain(VertexId n) {
+  EdgeList edges;
+  edges.num_vertices = n;
+  for (VertexId v = 0; v + 1 < n; ++v) edges.Add(v, v + 1);
+  return GraphBuilder::FromEdgeList(edges);
+}
+
+TEST(ReachSketchTest, ExactWhenKExceedsReachability) {
+  // k = 64 > n = 10: sketches hold every reachable rank -> exact counts.
+  Graph g = Chain(10);
+  Rng rng(1);
+  ReachabilitySketches sketches(&g, 64, &rng);
+  for (VertexId v = 0; v < 10; ++v) {
+    EXPECT_DOUBLE_EQ(sketches.EstimateReachable(v), 10.0 - v);
+  }
+}
+
+TEST(ReachSketchTest, CycleCountsWholeScc) {
+  EdgeList edges;
+  edges.num_vertices = 5;
+  for (VertexId v = 0; v < 5; ++v) edges.Add(v, (v + 1) % 5);
+  Graph g = GraphBuilder::FromEdgeList(edges);
+  Rng rng(2);
+  ReachabilitySketches sketches(&g, 16, &rng);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_DOUBLE_EQ(sketches.EstimateReachable(v), 5.0);
+  }
+}
+
+TEST(ReachSketchTest, DiamondWithSharedSink) {
+  // 0 -> {1,2} -> 3: reach(0)=4 even though 3 is reachable twice.
+  EdgeList edges;
+  edges.num_vertices = 4;
+  edges.Add(0, 1);
+  edges.Add(0, 2);
+  edges.Add(1, 3);
+  edges.Add(2, 3);
+  Graph g = GraphBuilder::FromEdgeList(edges);
+  Rng rng(3);
+  ReachabilitySketches sketches(&g, 16, &rng);
+  EXPECT_DOUBLE_EQ(sketches.EstimateReachable(0), 4.0);
+  EXPECT_DOUBLE_EQ(sketches.EstimateReachable(1), 2.0);
+  EXPECT_DOUBLE_EQ(sketches.EstimateReachable(3), 1.0);
+}
+
+TEST(ReachSketchTest, ApproximatesLargeReachabilities) {
+  // BA graph, all edges kept directed from new to old: every vertex
+  // reaches the seed region; ground truth via BFS.
+  Rng gen_rng(4);
+  EdgeList edges = BarabasiAlbert(2000, 3, &gen_rng);
+  Graph g = GraphBuilder::FromEdgeList(edges);
+  BfsReachability bfs(&g);
+
+  Rng sketch_rng(5);
+  ReachabilitySketches sketches(&g, 128, &sketch_rng);
+  // Spot-check a sample of vertices: bottom-128 relative error is
+  // ~1/sqrt(126) ≈ 9%; allow 4 sigma.
+  for (VertexId v = 0; v < 2000; v += 97) {
+    const VertexId source[1] = {v};
+    double exact = static_cast<double>(bfs.CountReachable(source));
+    double estimate = sketches.EstimateReachable(v);
+    EXPECT_NEAR(estimate, exact, std::max(2.0, 0.36 * exact))
+        << "vertex " << v;
+  }
+}
+
+TEST(ReachSketchTest, DeterministicGivenRng) {
+  Graph g = Chain(50);
+  Rng rng1(6), rng2(6);
+  ReachabilitySketches a(&g, 8, &rng1);
+  ReachabilitySketches b(&g, 8, &rng2);
+  for (VertexId v = 0; v < 50; ++v) {
+    EXPECT_DOUBLE_EQ(a.EstimateReachable(v), b.EstimateReachable(v));
+  }
+}
+
+TEST(ReachSketchTest, IsolatedVertices) {
+  EdgeList edges;
+  edges.num_vertices = 3;
+  Graph g = GraphBuilder::FromEdgeList(edges);
+  Rng rng(7);
+  ReachabilitySketches sketches(&g, 4, &rng);
+  for (VertexId v = 0; v < 3; ++v) {
+    EXPECT_DOUBLE_EQ(sketches.EstimateReachable(v), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace soldist

@@ -1,0 +1,168 @@
+// Tests for RR-set sampling: the Borgs et al. identity
+// Pr[R ∩ S != ∅] = Inf(S)/n, EPT accounting, and the collection/index.
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "model/influence_graph.h"
+#include "oracle/exact_oracle.h"
+#include "sim/rr_sampler.h"
+
+namespace soldist {
+namespace {
+
+InfluenceGraph SingleEdge(double p) {
+  EdgeList edges;
+  edges.num_vertices = 2;
+  edges.Add(0, 1);
+  Graph g = GraphBuilder::FromEdgeList(edges);
+  return InfluenceGraph(std::move(g), {p});
+}
+
+InfluenceGraph Diamond(double p) {
+  EdgeList edges;
+  edges.num_vertices = 4;
+  edges.Add(0, 1);
+  edges.Add(0, 2);
+  edges.Add(1, 3);
+  edges.Add(2, 3);
+  Graph g = GraphBuilder::FromEdgeList(edges);
+  return InfluenceGraph(std::move(g), std::vector<double>(4, p));
+}
+
+TEST(RrSamplerTest, TargetAlwaysInSet) {
+  InfluenceGraph ig = Diamond(0.5);
+  RrSampler sampler(&ig);
+  Rng target_rng(1), coin_rng(2);
+  TraversalCounters counters;
+  std::vector<VertexId> rr_set;
+  for (int i = 0; i < 200; ++i) {
+    sampler.Sample(&target_rng, &coin_rng, &rr_set, &counters);
+    ASSERT_FALSE(rr_set.empty());
+    // The target is the first entry by construction.
+    EXPECT_LT(rr_set.front(), 4u);
+  }
+}
+
+TEST(RrSamplerTest, HitProbabilityEqualsInfluenceOverN) {
+  // Borgs et al. Observation 3.2 on the diamond with p = 0.5, S = {0}.
+  InfluenceGraph ig = Diamond(0.5);
+  double expected = ExactInfluence(ig, std::vector<VertexId>{0}) / 4.0;
+  RrSampler sampler(&ig);
+  Rng target_rng(3), coin_rng(4);
+  TraversalCounters counters;
+  std::vector<VertexId> rr_set;
+  constexpr int kSamples = 200000;
+  int hits = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    sampler.Sample(&target_rng, &coin_rng, &rr_set, &counters);
+    for (VertexId v : rr_set) {
+      if (v == 0) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  double rate = static_cast<double>(hits) / kSamples;
+  EXPECT_NEAR(rate, expected, 0.006);
+}
+
+TEST(RrSamplerTest, MeanSizeIsEpt) {
+  // EPT = Σ_v Inf(v) / n. Single edge p=0.4: Inf(0)=1.4, Inf(1)=1,
+  // EPT = 1.2.
+  InfluenceGraph ig = SingleEdge(0.4);
+  RrSampler sampler(&ig);
+  Rng target_rng(5), coin_rng(6);
+  TraversalCounters counters;
+  std::vector<VertexId> rr_set;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    sampler.Sample(&target_rng, &coin_rng, &rr_set, &counters);
+  }
+  double mean_size =
+      static_cast<double>(counters.sample_vertices) / kSamples;
+  EXPECT_NEAR(mean_size, 1.2, 0.01);
+}
+
+TEST(RrSamplerTest, EptBoundedByOnePlusMTilde) {
+  // Paper appendix: EPT <= 1 + m̃ — check the empirical mean obeys it.
+  InfluenceGraph ig = Diamond(0.6);
+  RrSampler sampler(&ig);
+  Rng target_rng(7), coin_rng(8);
+  TraversalCounters counters;
+  std::vector<VertexId> rr_set;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    sampler.Sample(&target_rng, &coin_rng, &rr_set, &counters);
+  }
+  double mean_size =
+      static_cast<double>(counters.sample_vertices) / kSamples;
+  EXPECT_LE(mean_size, 1.0 + ig.SumProbabilities() + 0.05);
+}
+
+TEST(RrSamplerTest, WeightAccountingIsSumOfInDegrees) {
+  // p = 1 on the diamond: an RR set for target 3 is {3,1,2,0}; its weight
+  // Σ d−(v) = 2 + 1 + 1 + 0 = 4 edges examined.
+  InfluenceGraph ig = Diamond(1.0);
+  RrSampler sampler(&ig);
+  Rng coin_rng(9);
+  TraversalCounters counters;
+  std::vector<VertexId> rr_set;
+  sampler.SampleForTarget(3, &coin_rng, &rr_set, &counters);
+  EXPECT_EQ(rr_set.size(), 4u);
+  EXPECT_EQ(counters.vertices, 4u);
+  EXPECT_EQ(counters.edges, 4u);
+  EXPECT_EQ(counters.sample_vertices, 4u);
+}
+
+TEST(RrSamplerTest, FixedTargetSourceVertex) {
+  // Target 0 in the diamond has no in-edges: RR set is always {0}.
+  InfluenceGraph ig = Diamond(1.0);
+  RrSampler sampler(&ig);
+  Rng coin_rng(10);
+  TraversalCounters counters;
+  std::vector<VertexId> rr_set;
+  sampler.SampleForTarget(0, &coin_rng, &rr_set, &counters);
+  EXPECT_EQ(rr_set, (std::vector<VertexId>{0}));
+}
+
+TEST(RrCollectionTest, IndexAndCoverage) {
+  RrCollection collection(4);
+  collection.Add({0, 1});
+  collection.Add({2});
+  collection.Add({1, 2, 3});
+  collection.BuildIndex();
+  EXPECT_EQ(collection.size(), 3u);
+  EXPECT_EQ(collection.total_entries(), 6u);
+  EXPECT_NEAR(collection.MeanSize(), 2.0, 1e-12);
+
+  auto list1 = collection.InvertedList(1);
+  EXPECT_EQ(std::vector<std::uint64_t>(list1.begin(), list1.end()),
+            (std::vector<std::uint64_t>{0, 2}));
+
+  EXPECT_EQ(collection.CountCovered(std::vector<VertexId>{0}), 1u);
+  EXPECT_EQ(collection.CountCovered(std::vector<VertexId>{1}), 2u);
+  EXPECT_EQ(collection.CountCovered(std::vector<VertexId>{1, 2}), 3u);
+  EXPECT_EQ(collection.CountCovered(std::vector<VertexId>{}), 0u);
+}
+
+TEST(RrCollectionTest, CoverageCountsSetOnce) {
+  RrCollection collection(3);
+  collection.Add({0, 1, 2});
+  collection.BuildIndex();
+  // All three seeds hit the same single set: covered = 1, not 3.
+  EXPECT_EQ(collection.CountCovered(std::vector<VertexId>{0, 1, 2}), 1u);
+}
+
+TEST(RrCollectionTest, RepeatedQueriesConsistent) {
+  RrCollection collection(2);
+  collection.Add({0});
+  collection.Add({1});
+  collection.BuildIndex();
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(collection.CountCovered(std::vector<VertexId>{0}), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace soldist

@@ -1,0 +1,111 @@
+// Tests for seed-set similarity and distribution-distance metrics.
+
+#include <gtest/gtest.h>
+
+#include "stats/set_metrics.h"
+
+namespace soldist {
+namespace {
+
+TEST(JaccardTest, BasicCases) {
+  EXPECT_DOUBLE_EQ(
+      JaccardSimilarity(std::vector<VertexId>{1, 2, 3},
+                        std::vector<VertexId>{2, 3, 4}),
+      0.5);  // |{2,3}| / |{1,2,3,4}|
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(std::vector<VertexId>{1},
+                                     std::vector<VertexId>{1}),
+                   1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(std::vector<VertexId>{1},
+                                     std::vector<VertexId>{2}),
+                   0.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(std::vector<VertexId>{},
+                                     std::vector<VertexId>{}),
+                   1.0);
+}
+
+TEST(JaccardTest, OrderInsensitive) {
+  EXPECT_DOUBLE_EQ(
+      JaccardSimilarity(std::vector<VertexId>{3, 1, 2},
+                        std::vector<VertexId>{2, 4, 3}),
+      0.5);
+}
+
+TEST(TotalVariationTest, IdenticalIsZero) {
+  SeedSetDistribution p, q;
+  p.Add({1});
+  p.Add({2});
+  q.Add({1});
+  q.Add({2});
+  EXPECT_NEAR(TotalVariationDistance(p, q), 0.0, 1e-12);
+}
+
+TEST(TotalVariationTest, DisjointIsOne) {
+  SeedSetDistribution p, q;
+  p.Add({1});
+  q.Add({2});
+  EXPECT_NEAR(TotalVariationDistance(p, q), 1.0, 1e-12);
+}
+
+TEST(TotalVariationTest, PartialOverlap) {
+  SeedSetDistribution p, q;
+  p.Add({1});
+  p.Add({1});  // p: {1} w.p. 1
+  q.Add({1});
+  q.Add({2});  // q: {1} 0.5, {2} 0.5
+  // TV = (|1 − 0.5| + |0 − 0.5|)/2 = 0.5.
+  EXPECT_NEAR(TotalVariationDistance(p, q), 0.5, 1e-12);
+}
+
+TEST(TotalVariationTest, Symmetric) {
+  SeedSetDistribution p, q;
+  p.Add({1});
+  p.Add({3});
+  q.Add({1});
+  q.Add({2});
+  q.Add({2});
+  EXPECT_DOUBLE_EQ(TotalVariationDistance(p, q),
+                   TotalVariationDistance(q, p));
+}
+
+TEST(InclusionFrequenciesTest, SumsToK) {
+  SeedSetDistribution dist;
+  dist.Add({0, 1});
+  dist.Add({0, 2});
+  dist.Add({1, 2});
+  dist.Add({0, 1});
+  auto freq = InclusionFrequencies(dist, 4);
+  EXPECT_DOUBLE_EQ(freq[0], 0.75);
+  EXPECT_DOUBLE_EQ(freq[1], 0.75);
+  EXPECT_DOUBLE_EQ(freq[2], 0.5);
+  EXPECT_DOUBLE_EQ(freq[3], 0.0);
+  double total = freq[0] + freq[1] + freq[2] + freq[3];
+  EXPECT_NEAR(total, 2.0, 1e-12);  // k = 2
+}
+
+TEST(ExpectedPairwiseJaccardTest, DegenerateIsOne) {
+  SeedSetDistribution dist;
+  for (int i = 0; i < 5; ++i) dist.Add({7, 9});
+  EXPECT_DOUBLE_EQ(ExpectedPairwiseJaccard(dist), 1.0);
+}
+
+TEST(ExpectedPairwiseJaccardTest, DisjointUniform) {
+  SeedSetDistribution dist;
+  dist.Add({1});
+  dist.Add({2});
+  // Pairs: (1,1) 0.25·1, (2,2) 0.25·1, cross 0.5·0 = 0.5.
+  EXPECT_DOUBLE_EQ(ExpectedPairwiseJaccard(dist), 0.5);
+}
+
+TEST(ExpectedPairwiseJaccardTest, RisesAsDistributionConcentrates) {
+  SeedSetDistribution spread, tight;
+  spread.Add({1});
+  spread.Add({2});
+  spread.Add({3});
+  tight.Add({1});
+  tight.Add({1});
+  tight.Add({2});
+  EXPECT_GT(ExpectedPairwiseJaccard(tight), ExpectedPairwiseJaccard(spread));
+}
+
+}  // namespace
+}  // namespace soldist

@@ -1,0 +1,146 @@
+// Tests for entropy, seed-set distributions, influence distributions, and
+// box statistics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/box_stats.h"
+#include "stats/entropy.h"
+#include "stats/influence_distribution.h"
+#include "stats/seed_set_distribution.h"
+
+namespace soldist {
+namespace {
+
+TEST(EntropyTest, DegenerateIsZero) {
+  std::vector<std::uint64_t> counts{100};
+  EXPECT_DOUBLE_EQ(ShannonEntropy(counts), 0.0);
+}
+
+TEST(EntropyTest, UniformIsLogK) {
+  std::vector<std::uint64_t> counts{25, 25, 25, 25};
+  EXPECT_NEAR(ShannonEntropy(counts), 2.0, 1e-12);
+}
+
+TEST(EntropyTest, ZerosIgnored) {
+  std::vector<std::uint64_t> counts{50, 0, 50, 0};
+  EXPECT_NEAR(ShannonEntropy(counts), 1.0, 1e-12);
+}
+
+TEST(EntropyTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(ShannonEntropy(std::vector<std::uint64_t>{}), 0.0);
+}
+
+TEST(EntropyTest, SkewedBelowUniform) {
+  std::vector<std::uint64_t> uniform{50, 50};
+  std::vector<std::uint64_t> skewed{90, 10};
+  EXPECT_LT(ShannonEntropy(skewed), ShannonEntropy(uniform));
+}
+
+TEST(EntropyTest, MaxEmpiricalEntropyMatchesPaper) {
+  // Paper Section 5.1: T = 1,000 caps entropy at log2(1000) ≈ 9.97.
+  EXPECT_NEAR(MaxEmpiricalEntropy(1000), 9.9658, 1e-3);
+}
+
+TEST(SeedSetDistributionTest, CountsAndOrderInsensitivity) {
+  SeedSetDistribution dist;
+  dist.Add({3, 1});
+  dist.Add({1, 3});  // same set, different order
+  dist.Add({2, 4});
+  EXPECT_EQ(dist.num_trials(), 3u);
+  EXPECT_EQ(dist.num_distinct_sets(), 2u);
+  EXPECT_NEAR(dist.Probability({1, 3}), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(dist.Probability({4, 2}), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(dist.Probability({9}), 0.0);
+}
+
+TEST(SeedSetDistributionTest, EntropyAndDegeneracy) {
+  SeedSetDistribution dist;
+  for (int i = 0; i < 10; ++i) dist.Add({7});
+  EXPECT_TRUE(dist.IsDegenerate());
+  EXPECT_DOUBLE_EQ(dist.Entropy(), 0.0);
+  dist.Add({8});
+  EXPECT_FALSE(dist.IsDegenerate());
+  EXPECT_GT(dist.Entropy(), 0.0);
+}
+
+TEST(SeedSetDistributionTest, ModalSet) {
+  SeedSetDistribution dist;
+  dist.Add({1});
+  dist.Add({2});
+  dist.Add({2});
+  EXPECT_EQ(dist.ModalSet(), (std::vector<VertexId>{2}));
+  EXPECT_EQ(dist.ModalCount(), 2u);
+}
+
+TEST(InfluenceDistributionTest, MeanStdDev) {
+  InfluenceDistribution dist;
+  dist.AddAll({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(dist.Mean(), 5.0);
+  // Sample SD with n-1: sqrt(32/7).
+  EXPECT_NEAR(dist.StdDev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(dist.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(dist.Max(), 9.0);
+}
+
+TEST(InfluenceDistributionTest, PercentileInterpolation) {
+  InfluenceDistribution dist;
+  dist.AddAll({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(dist.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(dist.Percentile(100.0), 4.0);
+  EXPECT_DOUBLE_EQ(dist.Median(), 2.5);
+  EXPECT_DOUBLE_EQ(dist.Percentile(25.0), 1.75);
+}
+
+TEST(InfluenceDistributionTest, SingleSample) {
+  InfluenceDistribution dist;
+  dist.Add(3.5);
+  EXPECT_DOUBLE_EQ(dist.Median(), 3.5);
+  EXPECT_DOUBLE_EQ(dist.StdDev(), 0.0);
+  EXPECT_DOUBLE_EQ(dist.Percentile(99.0), 3.5);
+}
+
+TEST(InfluenceDistributionTest, FractionAtLeast) {
+  InfluenceDistribution dist;
+  dist.AddAll({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(dist.FractionAtLeast(3.0), 0.6);
+  EXPECT_DOUBLE_EQ(dist.FractionAtLeast(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(dist.FractionAtLeast(6.0), 0.0);
+  EXPECT_DOUBLE_EQ(dist.FractionAtLeast(3.5), 0.4);
+}
+
+TEST(InfluenceDistributionTest, AddAfterQueryInvalidatesCache) {
+  InfluenceDistribution dist;
+  dist.AddAll({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(dist.Median(), 1.5);
+  dist.Add(10.0);
+  EXPECT_DOUBLE_EQ(dist.Median(), 2.0);
+}
+
+TEST(BoxStatsTest, QuartilesAndNotch) {
+  InfluenceDistribution dist;
+  for (int i = 1; i <= 101; ++i) dist.Add(static_cast<double>(i));
+  NotchedBoxStats box = ComputeBoxStats(dist);
+  EXPECT_DOUBLE_EQ(box.median, 51.0);
+  EXPECT_DOUBLE_EQ(box.q1, 26.0);
+  EXPECT_DOUBLE_EQ(box.q3, 76.0);
+  EXPECT_DOUBLE_EQ(box.p1, 2.0);
+  EXPECT_DOUBLE_EQ(box.p99, 100.0);
+  double half_notch = 1.57 * 50.0 / std::sqrt(101.0);
+  EXPECT_NEAR(box.notch_low, 51.0 - half_notch, 1e-9);
+  EXPECT_NEAR(box.notch_high, 51.0 + half_notch, 1e-9);
+  EXPECT_EQ(box.num_samples, 101u);
+}
+
+TEST(BoxStatsTest, NotchShrinksWithSamples) {
+  InfluenceDistribution small, large;
+  for (int i = 0; i < 10; ++i) small.Add(i % 5);
+  for (int i = 0; i < 1000; ++i) large.Add(i % 5);
+  NotchedBoxStats a = ComputeBoxStats(small);
+  NotchedBoxStats b = ComputeBoxStats(large);
+  EXPECT_GT(a.notch_high - a.notch_low, b.notch_high - b.notch_low);
+}
+
+}  // namespace
+}  // namespace soldist

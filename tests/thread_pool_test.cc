@@ -1,0 +1,80 @@
+// Unit tests for the thread pool and ParallelFor.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace soldist {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(&pool, 1000, [&hits](std::uint64_t i) {
+    hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  ParallelFor(&pool, 0, [&ran](std::uint64_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelForTest, SingleThreadFallback) {
+  ThreadPool pool(1);
+  std::vector<int> hits(50, 0);
+  ParallelFor(&pool, 50, [&hits](std::uint64_t i) { ++hits[i]; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 50);
+}
+
+TEST(ParallelForTest, MoreItemsThanChunks) {
+  ThreadPool pool(2);
+  std::atomic<std::uint64_t> sum{0};
+  ParallelFor(&pool, 10000, [&sum](std::uint64_t i) {
+    sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 10000ull * 9999 / 2);
+}
+
+TEST(DefaultThreadPoolTest, IsSingletonAndAlive) {
+  ThreadPool* a = DefaultThreadPool();
+  ThreadPool* b = DefaultThreadPool();
+  EXPECT_EQ(a, b);
+  EXPECT_GE(a->num_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace soldist

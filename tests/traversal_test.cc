@@ -1,0 +1,90 @@
+// Unit tests for VisitedMarker and BfsReachability.
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/traversal.h"
+
+namespace soldist {
+namespace {
+
+Graph Chain(VertexId n) {
+  EdgeList edges;
+  edges.num_vertices = n;
+  for (VertexId v = 0; v + 1 < n; ++v) edges.Add(v, v + 1);
+  return GraphBuilder::FromEdgeList(edges);
+}
+
+TEST(VisitedMarkerTest, MarkAndEpochReset) {
+  VisitedMarker marker(4);
+  EXPECT_TRUE(marker.Mark(2));
+  EXPECT_TRUE(marker.IsMarked(2));
+  EXPECT_FALSE(marker.Mark(2));  // second mark reports already-marked
+  marker.NextEpoch();
+  EXPECT_FALSE(marker.IsMarked(2));
+  EXPECT_TRUE(marker.Mark(2));
+}
+
+TEST(VisitedMarkerTest, SurvivesManyEpochs) {
+  VisitedMarker marker(2);
+  for (int i = 0; i < 100000; ++i) {
+    marker.NextEpoch();
+    EXPECT_FALSE(marker.IsMarked(0));
+    marker.Mark(0);
+  }
+}
+
+TEST(BfsReachabilityTest, ChainCountsSuffix) {
+  Graph g = Chain(10);
+  BfsReachability bfs(&g);
+  for (VertexId s = 0; s < 10; ++s) {
+    const VertexId source[1] = {s};
+    EXPECT_EQ(bfs.CountReachable(source), 10u - s);
+  }
+}
+
+TEST(BfsReachabilityTest, MultiSourceUnion) {
+  Graph g = Chain(10);
+  BfsReachability bfs(&g);
+  const VertexId sources[2] = {7, 3};
+  EXPECT_EQ(bfs.CountReachable(sources), 7u);  // {3..9}
+}
+
+TEST(BfsReachabilityTest, ReachableSetContents) {
+  Graph g = Chain(5);
+  BfsReachability bfs(&g);
+  const VertexId source[1] = {2};
+  auto set = bfs.ReachableSet(source);
+  std::sort(set.begin(), set.end());
+  EXPECT_EQ(set, (std::vector<VertexId>{2, 3, 4}));
+}
+
+TEST(BfsReachabilityTest, DistancesOnChain) {
+  Graph g = Chain(6);
+  BfsReachability bfs(&g);
+  auto dist = bfs.Distances(1);
+  EXPECT_EQ(dist[0], BfsReachability::kUnreachableDistance);
+  EXPECT_EQ(dist[1], 0u);
+  EXPECT_EQ(dist[3], 2u);
+  EXPECT_EQ(dist[5], 4u);
+}
+
+TEST(BfsReachabilityTest, RepeatedQueriesIndependent) {
+  Graph g = Chain(8);
+  BfsReachability bfs(&g);
+  const VertexId a[1] = {0};
+  const VertexId b[1] = {7};
+  EXPECT_EQ(bfs.CountReachable(a), 8u);
+  EXPECT_EQ(bfs.CountReachable(b), 1u);
+  EXPECT_EQ(bfs.CountReachable(a), 8u);
+}
+
+TEST(BfsReachabilityTest, DuplicateSourcesCountedOnce) {
+  Graph g = Chain(4);
+  BfsReachability bfs(&g);
+  const VertexId sources[3] = {1, 1, 1};
+  EXPECT_EQ(bfs.CountReachable(sources), 3u);
+}
+
+}  // namespace
+}  // namespace soldist
