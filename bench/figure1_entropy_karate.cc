@@ -47,6 +47,7 @@ int Run(int argc, const char* const* argv) {
     for (Approach approach :
          {Approach::kOneshot, Approach::kSnapshot, Approach::kRis}) {
       SweepConfig config;
+      config.sampling = context.sampling();
       config.approach = approach;
       config.k = k;
       config.trials = context.TrialsFor("Karate");

@@ -49,6 +49,7 @@ int Run(int argc, const char* const* argv) {
     for (Approach approach :
          {Approach::kOneshot, Approach::kSnapshot, Approach::kRis}) {
       SweepConfig config;
+      config.sampling = context.sampling();
       config.approach = approach;
       config.k = inst.k;
       config.trials = context.TrialsFor(inst.network);

@@ -33,6 +33,7 @@ int Run(int argc, const char* const* argv) {
       const InfluenceGraph& ig = context.Instance(network, model);
       const RrOracle& oracle = context.Oracle(network, model);
       SweepConfig config;
+      config.sampling = context.sampling();
       config.approach = Approach::kRis;
       config.k = 1;
       config.trials = context.TrialsFor(network);

@@ -34,6 +34,7 @@ int Run(int argc, const char* const* argv) {
     const InfluenceGraph& ig = context.Instance("ca-GrQc", model);
     const RrOracle& oracle = context.Oracle("ca-GrQc", model);
     SweepConfig config;
+    config.sampling = context.sampling();
     config.approach = Approach::kRis;
     config.k = 1;
     config.trials = context.TrialsFor("ca-GrQc");

@@ -61,6 +61,7 @@ int Run(int argc, const char* const* argv) {
         // Inf ≈ 0.37·n, making every simulation scan a third of the
         // graph).
         SweepConfig snap_config;
+        snap_config.sampling = context.sampling();
         snap_config.approach = Approach::kSnapshot;
         snap_config.k = k;
         snap_config.trials = trials;

@@ -70,6 +70,7 @@ int Run(int argc, const char* const* argv) {
         // across the sweep (Figure 8), and full-depth Snapshot sweeps on
         // giant-component instances are the harness's priciest cells.
         SweepConfig snap_config;
+        snap_config.sampling = context.sampling();
         snap_config.approach = Approach::kSnapshot;
         snap_config.k = k;
         snap_config.trials = trials;

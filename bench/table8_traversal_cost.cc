@@ -56,6 +56,7 @@ int Run(int argc, const char* const* argv) {
         }
         const InfluenceGraph& ig = context.Instance(network, model);
         TrialConfig config;
+        config.sampling = context.sampling();
         config.approach = approach;
         config.sample_number = 1;
         config.k = 1;

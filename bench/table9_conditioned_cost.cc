@@ -60,6 +60,7 @@ int Run(int argc, const char* const* argv) {
       // Per-sample traversal cost (vertex + edge) at sample number 1.
       auto per_sample_cost = [&](Approach approach) {
         TrialConfig config;
+        config.sampling = context.sampling();
         config.approach = approach;
         config.sample_number = 1;
         config.k = 1;

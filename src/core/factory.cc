@@ -7,15 +7,18 @@ namespace soldist {
 
 std::unique_ptr<InfluenceEstimator> MakeEstimator(
     const InfluenceGraph* ig, Approach approach, std::uint64_t sample_number,
-    std::uint64_t seed, SnapshotEstimator::Mode snapshot_mode) {
+    std::uint64_t seed, SnapshotEstimator::Mode snapshot_mode,
+    const SamplingOptions& sampling) {
   switch (approach) {
     case Approach::kOneshot:
-      return std::make_unique<OneshotEstimator>(ig, sample_number, seed);
+      return std::make_unique<OneshotEstimator>(ig, sample_number, seed,
+                                                sampling);
     case Approach::kSnapshot:
       return std::make_unique<SnapshotEstimator>(ig, sample_number, seed,
-                                                 snapshot_mode);
+                                                 snapshot_mode, sampling);
     case Approach::kRis:
-      return std::make_unique<RisEstimator>(ig, sample_number, seed);
+      return std::make_unique<RisEstimator>(ig, sample_number, seed,
+                                            sampling);
   }
   SOLDIST_CHECK(false) << "unreachable";
   return nullptr;

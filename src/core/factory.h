@@ -10,15 +10,17 @@
 #include "core/estimator.h"
 #include "core/snapshot.h"
 #include "model/influence_graph.h"
+#include "sim/sampling_engine.h"
 
 namespace soldist {
 
-/// Creates the estimator for one run.
+/// Creates the estimator for one run. `sampling` selects the sampling
+/// parallelism (default: the legacy sequential path; see SamplingOptions).
 std::unique_ptr<InfluenceEstimator> MakeEstimator(
     const InfluenceGraph* ig, Approach approach, std::uint64_t sample_number,
     std::uint64_t seed,
-    SnapshotEstimator::Mode snapshot_mode =
-        SnapshotEstimator::Mode::kResidual);
+    SnapshotEstimator::Mode snapshot_mode = SnapshotEstimator::Mode::kResidual,
+    const SamplingOptions& sampling = {});
 
 }  // namespace soldist
 

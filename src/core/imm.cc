@@ -1,6 +1,8 @@
 #include "core/imm.h"
 
 #include <cmath>
+#include <memory>
+#include <optional>
 
 #include "core/bounds.h"
 #include "random/rng.h"
@@ -33,7 +35,7 @@ double LambdaStar(double n, double ell, double epsilon, double log_binom) {
 }  // namespace
 
 ImmResult RunImm(const InfluenceGraph& ig, const ImmParams& params,
-                 std::uint64_t seed) {
+                 std::uint64_t seed, const SamplingOptions& sampling) {
   SOLDIST_CHECK(params.k >= 1);
   SOLDIST_CHECK(static_cast<VertexId>(params.k) <= ig.num_vertices());
   SOLDIST_CHECK(params.epsilon > 0.0 && params.epsilon < 1.0);
@@ -42,16 +44,38 @@ ImmResult RunImm(const InfluenceGraph& ig, const ImmParams& params,
   const double log_binom = LogBinomial(ig.num_vertices(), params.k);
   const double eps_prime = std::sqrt(2.0) * params.epsilon;
 
-  RrSampler sampler(&ig);
-  Rng target_rng(DeriveSeed(seed, 31));
-  Rng coin_rng(DeriveSeed(seed, 32));
   RrCollection collection(ig.num_vertices());
   std::vector<VertexId> rr_set;
 
   ImmResult result;
+  // Exactly one of the two sampling paths gets its state constructed.
+  std::unique_ptr<SamplingEngine> engine;
+  std::optional<RrSampler> sampler;
+  std::optional<Rng> target_rng;
+  std::optional<Rng> coin_rng;
+  if (sampling.UseEngine()) {
+    engine = std::make_unique<SamplingEngine>(sampling);
+  } else {
+    sampler.emplace(&ig);
+    target_rng.emplace(DeriveSeed(seed, 31));
+    coin_rng.emplace(DeriveSeed(seed, 32));
+  }
+  // Each sample_until call is one engine batch with a fresh master seed:
+  // the call sequence is data-dependent but deterministic, so chunk
+  // streams — and thus the whole run — stay worker-count-independent.
+  std::uint64_t batch = 0;
   auto sample_until = [&](std::uint64_t count) {
+    if (engine != nullptr) {
+      if (count <= collection.size()) return;
+      std::vector<RrShard> shards =
+          SampleRrShards(ig, DeriveSeed(seed, 33 + batch++),
+                         count - collection.size(), engine.get());
+      collection.Merge(shards);
+      for (const RrShard& shard : shards) result.counters += shard.counters;
+      return;
+    }
     while (collection.size() < count) {
-      sampler.Sample(&target_rng, &coin_rng, &rr_set, &result.counters);
+      sampler->Sample(&*target_rng, &*coin_rng, &rr_set, &result.counters);
       collection.Add(rr_set);
     }
   };

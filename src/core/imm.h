@@ -13,6 +13,7 @@
 #include "sim/max_coverage.h"
 #include "model/influence_graph.h"
 #include "sim/counters.h"
+#include "sim/sampling_engine.h"
 
 namespace soldist {
 
@@ -44,8 +45,13 @@ struct ImmResult {
 /// The collection is grown incrementally across the guessing rounds and
 /// reused for the final selection, as in the original ("IMM reuses the RR
 /// sets generated in the sampling phase").
+///
+/// With SamplingOptions::UseEngine() each round's RR-set delta is drawn
+/// through SamplingEngine's chunked deterministic streams (one fresh
+/// master per round), so results are worker-count-independent; the
+/// default keeps the legacy sequential two-stream loop.
 ImmResult RunImm(const InfluenceGraph& ig, const ImmParams& params,
-                 std::uint64_t seed);
+                 std::uint64_t seed, const SamplingOptions& sampling = {});
 
 }  // namespace soldist
 

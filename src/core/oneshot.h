@@ -6,11 +6,13 @@
 #ifndef SOLDIST_CORE_ONESHOT_H_
 #define SOLDIST_CORE_ONESHOT_H_
 
+#include <memory>
 #include <vector>
 
 #include "core/estimator.h"
 #include "model/influence_graph.h"
 #include "sim/forward_sim.h"
+#include "sim/sampling_engine.h"
 
 namespace soldist {
 
@@ -20,11 +22,17 @@ class OneshotEstimator : public InfluenceEstimator {
   /// \param beta simulations per estimate (must be >= 1)
   /// \param seed PRNG seed for this run
   OneshotEstimator(const InfluenceGraph* ig, std::uint64_t beta,
-                   std::uint64_t seed);
+                   std::uint64_t seed, const SamplingOptions& sampling = {});
 
   void Build() override {}  // Oneshot builds nothing.
 
   /// Mean activated count over β fresh simulations from S ∪ {v}.
+  ///
+  /// With SamplingOptions::UseEngine() the β runs of each call fan out
+  /// through the engine: call j uses per-chunk streams derived from
+  /// (seed, call index j), so the sequence of estimates is deterministic
+  /// for any worker count. The default keeps the legacy single-stream
+  /// loop, bit-identical to the pre-engine code.
   double Estimate(VertexId v) override;
 
   void Update(VertexId v) override { seeds_.push_back(v); }
@@ -39,6 +47,11 @@ class OneshotEstimator : public InfluenceEstimator {
   std::uint64_t beta_;
   Rng rng_;
   ForwardSimulator simulator_;
+  /// Engine path only: reused across Estimate calls (it may own a pool).
+  std::unique_ptr<SamplingEngine> engine_;
+  ForwardSimulatorCache sim_cache_;  ///< per-slot simulators, engine path
+  std::uint64_t call_master_ = 0;  ///< DeriveSeed(seed, 3)
+  std::uint64_t calls_ = 0;
   std::vector<VertexId> seeds_;
   std::vector<VertexId> scratch_;
   TraversalCounters counters_;

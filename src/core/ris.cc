@@ -5,12 +5,12 @@
 namespace soldist {
 
 RisEstimator::RisEstimator(const InfluenceGraph* ig, std::uint64_t theta,
-                           std::uint64_t seed)
+                           std::uint64_t seed,
+                           const SamplingOptions& sampling)
     : ig_(ig),
       theta_(theta),
-      target_rng_(DeriveSeed(seed, 1)),
-      coin_rng_(DeriveSeed(seed, 2)),
-      sampler_(ig),
+      seed_(seed),
+      sampling_(sampling),
       collection_(ig->num_vertices()) {
   SOLDIST_CHECK(theta_ >= 1);
 }
@@ -18,10 +18,23 @@ RisEstimator::RisEstimator(const InfluenceGraph* ig, std::uint64_t theta,
 void RisEstimator::Build() {
   SOLDIST_CHECK(!built_) << "Build() must be called exactly once";
   built_ = true;
-  std::vector<VertexId> rr_set;
-  for (std::uint64_t i = 0; i < theta_; ++i) {
-    sampler_.Sample(&target_rng_, &coin_rng_, &rr_set, &counters_);
-    collection_.Add(rr_set);
+  if (sampling_.UseEngine()) {
+    SamplingEngine engine(sampling_);
+    std::vector<RrShard> shards =
+        SampleRrShards(*ig_, seed_, theta_, &engine);
+    collection_.Merge(shards);
+    for (const RrShard& shard : shards) counters_ += shard.counters;
+  } else {
+    // Legacy sequential path: the paper's two-stream discipline, sampler
+    // state alive only for the duration of the build.
+    RrSampler sampler(ig_);
+    Rng target_rng(DeriveSeed(seed_, 1));
+    Rng coin_rng(DeriveSeed(seed_, 2));
+    std::vector<VertexId> rr_set;
+    for (std::uint64_t i = 0; i < theta_; ++i) {
+      sampler.Sample(&target_rng, &coin_rng, &rr_set, &counters_);
+      collection_.Add(rr_set);
+    }
   }
   collection_.BuildIndex();
   cover_count_.assign(ig_->num_vertices(), 0);
@@ -29,16 +42,21 @@ void RisEstimator::Build() {
     for (VertexId v : collection_.Set(set_id)) ++cover_count_[v];
   }
   set_active_.assign(collection_.size(), 1);
+  chosen_.assign(ig_->num_vertices(), 0);
 }
 
 double RisEstimator::Estimate(VertexId v) {
   SOLDIST_CHECK(built_);
+  SOLDIST_DCHECK(!chosen_[v] || cover_count_[v] == 0)
+      << "stale score: chosen seed " << v
+      << " still covers active sets — Update must decrement eagerly";
   return static_cast<double>(ig_->num_vertices()) *
          static_cast<double>(cover_count_[v]) / static_cast<double>(theta_);
 }
 
 void RisEstimator::Update(VertexId v) {
   SOLDIST_CHECK(built_);
+  chosen_[v] = 1;
   for (std::uint64_t set_id : collection_.InvertedList(v)) {
     if (!set_active_[set_id]) continue;
     set_active_[set_id] = 0;

@@ -2,6 +2,12 @@
 // θ RR sets drawn in Build turn influence maximization into maximum
 // coverage. Estimate(v) is the marginal coverage n·F_R(v); Update removes
 // the RR sets covered by the new seed.
+//
+// Build parallelism: with SamplingOptions::UseEngine() the θ RR sets are
+// drawn through SamplingEngine's deterministic chunked streams and merged
+// shard-by-shard into the collection; the default (num_threads = 1) keeps
+// the legacy two-stream sequential loop, bit-identical to the pre-engine
+// code.
 
 #ifndef SOLDIST_CORE_RIS_H_
 #define SOLDIST_CORE_RIS_H_
@@ -11,6 +17,7 @@
 #include "core/estimator.h"
 #include "model/influence_graph.h"
 #include "sim/rr_sampler.h"
+#include "sim/sampling_engine.h"
 
 namespace soldist {
 
@@ -19,7 +26,7 @@ class RisEstimator : public InfluenceEstimator {
  public:
   /// \param theta number of RR sets (must be >= 1)
   RisEstimator(const InfluenceGraph* ig, std::uint64_t theta,
-               std::uint64_t seed);
+               std::uint64_t seed, const SamplingOptions& sampling = {});
 
   /// Draws the θ RR sets (two PRNG streams: targets and edge coins, as in
   /// paper Section 4.1) and builds coverage counts.
@@ -27,6 +34,10 @@ class RisEstimator : public InfluenceEstimator {
 
   /// n · (# uncovered RR sets containing v) / θ — the unbiased estimate of
   /// the marginal influence of v w.r.t. the current seed set.
+  ///
+  /// A chosen seed's score is 0 (not its stale pre-selection coverage):
+  /// Update eagerly decrements cover_count_ for every member of every
+  /// set it deactivates, v included. DCHECK-guarded here.
   double Estimate(VertexId v) override;
 
   /// Deactivates all RR sets containing v and decrements the coverage
@@ -44,12 +55,12 @@ class RisEstimator : public InfluenceEstimator {
  private:
   const InfluenceGraph* ig_;
   std::uint64_t theta_;
-  Rng target_rng_;
-  Rng coin_rng_;
-  RrSampler sampler_;
+  std::uint64_t seed_;
+  SamplingOptions sampling_;
   RrCollection collection_;
   std::vector<std::uint32_t> cover_count_;  // per vertex, active sets only
   std::vector<std::uint8_t> set_active_;
+  std::vector<std::uint8_t> chosen_;  // seeds committed via Update
   TraversalCounters counters_;
   bool built_ = false;
 };

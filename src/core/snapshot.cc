@@ -4,12 +4,13 @@ namespace soldist {
 
 SnapshotEstimator::SnapshotEstimator(const InfluenceGraph* ig,
                                      std::uint64_t tau, std::uint64_t seed,
-                                     Mode mode)
+                                     Mode mode,
+                                     const SamplingOptions& sampling)
     : ig_(ig),
       tau_(tau),
       seed_(seed),
       mode_(mode),
-      rng_(seed),
+      sampling_(sampling),
       sampler_(ig),
       visited_(ig->num_vertices()) {
   SOLDIST_CHECK(tau_ >= 1);
@@ -20,8 +21,21 @@ void SnapshotEstimator::Build() {
   SOLDIST_CHECK(!built_) << "Build() must be called exactly once";
   built_ = true;
   snapshots_.reserve(tau_);
-  for (std::uint64_t i = 0; i < tau_; ++i) {
-    snapshots_.push_back(sampler_.Sample(&rng_, &counters_));
+  if (sampling_.UseEngine()) {
+    SamplingEngine engine(sampling_);
+    std::vector<SnapshotShard> shards =
+        SampleSnapshotShards(*ig_, seed_, tau_, &engine);
+    for (SnapshotShard& shard : shards) {
+      counters_ += shard.counters;
+      for (Snapshot& snap : shard.snapshots) {
+        snapshots_.push_back(std::move(snap));
+      }
+    }
+  } else {
+    Rng rng(seed_);  // legacy single-stream path
+    for (std::uint64_t i = 0; i < tau_; ++i) {
+      snapshots_.push_back(sampler_.Sample(&rng, &counters_));
+    }
   }
   if (mode_ == Mode::kNaive) {
     base_reach_.assign(tau_, 0);  // r_i(∅) = 0

@@ -17,6 +17,7 @@
 
 #include "core/estimator.h"
 #include "model/influence_graph.h"
+#include "sim/sampling_engine.h"
 #include "sim/snapshot_sampler.h"
 
 namespace soldist {
@@ -28,9 +29,12 @@ class SnapshotEstimator : public InfluenceEstimator {
 
   /// \param tau number of snapshots (must be >= 1)
   SnapshotEstimator(const InfluenceGraph* ig, std::uint64_t tau,
-                    std::uint64_t seed, Mode mode = Mode::kResidual);
+                    std::uint64_t seed, Mode mode = Mode::kResidual,
+                    const SamplingOptions& sampling = {});
 
-  /// Samples the τ snapshots.
+  /// Samples the τ snapshots — through SamplingEngine's deterministic
+  /// chunked streams when SamplingOptions::UseEngine(), else through the
+  /// legacy sequential loop (bit-identical to the pre-engine code).
   void Build() override;
 
   /// Estimated marginal gain: (1/τ) Σ_i [r_i(S+v) − r_i(S)].
@@ -57,7 +61,7 @@ class SnapshotEstimator : public InfluenceEstimator {
   std::uint64_t tau_;
   std::uint64_t seed_;
   Mode mode_;
-  Rng rng_;
+  SamplingOptions sampling_;
   SnapshotSampler sampler_;
   std::vector<Snapshot> snapshots_;
   /// Naive mode: r_i(S) for the current seed set S.

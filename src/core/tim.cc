@@ -1,6 +1,9 @@
 #include "core/tim.h"
 
 #include <cmath>
+#include <memory>
+#include <optional>
+#include <span>
 
 #include "core/bounds.h"
 #include "core/ris.h"
@@ -11,16 +14,39 @@ namespace soldist {
 
 double EstimateKpt(const InfluenceGraph& ig, const TimParams& params,
                    std::uint64_t seed, std::uint64_t* rr_sets_used,
-                   TraversalCounters* counters) {
+                   TraversalCounters* counters,
+                   const SamplingOptions& sampling) {
   const auto n = static_cast<double>(ig.num_vertices());
   const auto m = static_cast<double>(ig.num_edges());
   SOLDIST_CHECK(ig.num_edges() > 0);
 
-  RrSampler sampler(&ig);
-  Rng target_rng(DeriveSeed(seed, 21));
-  Rng coin_rng(DeriveSeed(seed, 22));
-  std::vector<VertexId> rr_set;
   std::uint64_t used = 0;
+  // Both paths accumulate here so a null `counters` is safe on either.
+  TraversalCounters local_counters;
+
+  // Exactly one of the two sampling paths gets its state constructed:
+  // the engine, or the legacy sequential sampler + stream pair.
+  std::unique_ptr<SamplingEngine> engine;
+  std::optional<RrSampler> sampler;
+  std::optional<Rng> target_rng;
+  std::optional<Rng> coin_rng;
+  std::vector<VertexId> rr_set;
+  if (sampling.UseEngine()) {
+    engine = std::make_unique<SamplingEngine>(sampling);
+  } else {
+    sampler.emplace(&ig);
+    target_rng.emplace(DeriveSeed(seed, 21));
+    coin_rng.emplace(DeriveSeed(seed, 22));
+  }
+
+  // κ(R) = 1 − (1 − w(R)/m)^k with w(R) = Σ_{v∈R} d−(v).
+  auto kappa = [&](std::span<const VertexId> set) {
+    double width = 0.0;
+    for (VertexId v : set) {
+      width += static_cast<double>(ig.graph().InDegree(v));
+    }
+    return 1.0 - std::pow(1.0 - width / m, static_cast<double>(params.k));
+  };
 
   const double log_n = std::log(n);
   const double log2_n = std::log2(n);
@@ -31,16 +57,30 @@ double EstimateKpt(const InfluenceGraph& ig, const TimParams& params,
         std::ceil((6.0 * params.ell * log_n + 6.0 * std::log(log2_n)) *
                   std::pow(2.0, i)));
     double kappa_sum = 0.0;
-    for (std::uint64_t j = 0; j < c_i; ++j) {
-      sampler.Sample(&target_rng, &coin_rng, &rr_set, counters);
-      ++used;
-      // w(R) = Σ_{v∈R} d−(v).
-      double width = 0.0;
-      for (VertexId v : rr_set) {
-        width += static_cast<double>(ig.graph().InDegree(v));
+    if (engine != nullptr) {
+      // One engine batch per round; κ terms are reduced shard-by-shard in
+      // chunk order, keeping the float sum worker-count-independent.
+      // Per-round chunk masters start at index 25: 21/22 are the legacy
+      // KPT streams, 23/24 the RIS build and tie-breaking seeds of
+      // RunTimPlus — every derived index must stay distinct.
+      std::vector<RrShard> shards = SampleRrShards(
+          ig, DeriveSeed(seed, 25 + static_cast<std::uint64_t>(i)), c_i,
+          engine.get());
+      for (const RrShard& shard : shards) {
+        local_counters += shard.counters;
+        for (std::uint64_t s = 0; s < shard.num_sets(); ++s) {
+          kappa_sum += kappa(std::span<const VertexId>(
+              shard.flat.data() + shard.offsets[s],
+              shard.flat.data() + shard.offsets[s + 1]));
+        }
       }
-      kappa_sum += 1.0 - std::pow(1.0 - width / m,
-                                  static_cast<double>(params.k));
+      used += c_i;
+    } else {
+      for (std::uint64_t j = 0; j < c_i; ++j) {
+        sampler->Sample(&*target_rng, &*coin_rng, &rr_set, &local_counters);
+        ++used;
+        kappa_sum += kappa(rr_set);
+      }
     }
     double mean_kappa = kappa_sum / static_cast<double>(c_i);
     if (mean_kappa > 1.0 / std::pow(2.0, i)) {
@@ -49,6 +89,7 @@ double EstimateKpt(const InfluenceGraph& ig, const TimParams& params,
     }
   }
   if (rr_sets_used != nullptr) *rr_sets_used = used;
+  if (counters != nullptr) *counters += local_counters;
   return std::max(kpt, 1.0);  // OPT_k >= 1: a seed activates itself
 }
 
@@ -61,17 +102,17 @@ double TimLambda(const InfluenceGraph& ig, const TimParams& params) {
 }
 
 TimResult RunTimPlus(const InfluenceGraph& ig, const TimParams& params,
-                     std::uint64_t seed) {
+                     std::uint64_t seed, const SamplingOptions& sampling) {
   SOLDIST_CHECK(params.k >= 1);
   SOLDIST_CHECK(params.epsilon > 0.0 && params.epsilon < 1.0);
   TimResult result;
   result.kpt = EstimateKpt(ig, params, seed, &result.kpt_rr_sets,
-                           &result.counters);
+                           &result.counters, sampling);
   double theta_real = TimLambda(ig, params) / result.kpt;
   result.theta =
       std::max<std::uint64_t>(1, static_cast<std::uint64_t>(theta_real));
 
-  RisEstimator estimator(&ig, result.theta, DeriveSeed(seed, 23));
+  RisEstimator estimator(&ig, result.theta, DeriveSeed(seed, 23), sampling);
   Rng tie_rng(DeriveSeed(seed, 24));
   result.greedy =
       RunGreedy(&estimator, ig.num_vertices(), params.k, &tie_rng);

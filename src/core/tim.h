@@ -12,6 +12,7 @@
 #include "core/greedy.h"
 #include "model/influence_graph.h"
 #include "sim/counters.h"
+#include "sim/sampling_engine.h"
 
 namespace soldist {
 
@@ -43,9 +44,13 @@ struct TimResult {
 /// in-degree weight; it stops when the mean exceeds 2^−i and returns
 /// KPT* = n · mean / 2. Returns 1.0 when all rounds fail (KPT >= 1
 /// always: a seed activates itself).
+/// With SamplingOptions::UseEngine() each round's c_i RR sets are drawn
+/// through the engine's chunked deterministic streams; κ(R) terms are
+/// summed in sample order, so KPT* is worker-count-independent.
 double EstimateKpt(const InfluenceGraph& ig, const TimParams& params,
                    std::uint64_t seed, std::uint64_t* rr_sets_used,
-                   TraversalCounters* counters);
+                   TraversalCounters* counters,
+                   const SamplingOptions& sampling = {});
 
 /// λ(ε, k, ℓ, n) = (8 + 2ε) n (ℓ ln n + ln C(n,k) + ln 2) ε^−2: the TIM+
 /// numerator; θ = λ / KPT.
@@ -54,7 +59,8 @@ double TimLambda(const InfluenceGraph& ig, const TimParams& params);
 /// \brief End-to-end TIM+: estimate KPT, derive θ, select seeds with the
 /// RIS estimator through the standard greedy framework.
 TimResult RunTimPlus(const InfluenceGraph& ig, const TimParams& params,
-                     std::uint64_t seed);
+                     std::uint64_t seed,
+                     const SamplingOptions& sampling = {});
 
 }  // namespace soldist
 

@@ -17,6 +17,14 @@ void AddExperimentFlags(ArgParser* args) {
                 "run the paper-scale sample-number grids (very slow)");
   args->AddString("out", "", "also write results as CSV to this path");
   args->AddInt64("threads", 0, "worker threads (0 = hardware concurrency)");
+  args->AddInt64("sample-threads", 1,
+                 "sample-level parallelism: 1 = sequential sampling with "
+                 "parallel trials; 0/N = deterministic chunked sampling on "
+                 "the shared pool, trials sequential");
+  args->AddInt64("chunk-size", 256,
+                 "samples per deterministic RNG chunk (affects which "
+                 "streams produce which samples, NOT the results' "
+                 "dependence on thread count)");
 }
 
 ExperimentOptions ReadExperimentFlags(const ArgParser& args) {
@@ -30,9 +38,13 @@ ExperimentOptions ReadExperimentFlags(const ArgParser& args) {
   options.full = args.GetBool("full");
   options.out_csv = args.GetString("out");
   options.threads = args.GetInt64("threads");
+  options.sample_threads = args.GetInt64("sample-threads");
+  options.chunk_size = args.GetInt64("chunk-size");
   SOLDIST_CHECK(options.trials >= 1);
   SOLDIST_CHECK(options.star_trials >= 1);
   SOLDIST_CHECK(options.oracle_rr >= 1);
+  SOLDIST_CHECK(options.sample_threads >= 0);
+  SOLDIST_CHECK(options.chunk_size >= 1);
   return options;
 }
 
@@ -87,6 +99,25 @@ const RrOracle& ExperimentContext::Oracle(const std::string& network,
 std::uint64_t ExperimentContext::TrialsFor(const std::string& network) const {
   return Datasets::IsStarNetwork(network) ? options_.star_trials
                                           : options_.trials;
+}
+
+SamplingOptions ExperimentContext::sampling() {
+  SamplingOptions sampling;
+  sampling.num_threads = static_cast<int>(options_.sample_threads);
+  sampling.chunk_size = static_cast<std::uint64_t>(options_.chunk_size);
+  if (options_.sample_threads == 0) {
+    sampling.pool = pool_.get();  // share the trial pool, full width
+  } else if (options_.sample_threads >= 2) {
+    // A pool's width caps the engine's parallelism, so honor the exact
+    // requested count with a dedicated pool instead of the trial pool
+    // (whose width is set independently via --threads).
+    if (sample_pool_ == nullptr) {
+      sample_pool_ = std::make_unique<ThreadPool>(
+          static_cast<std::size_t>(options_.sample_threads));
+    }
+    sampling.pool = sample_pool_.get();
+  }
+  return sampling;
 }
 
 }  // namespace soldist

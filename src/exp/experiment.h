@@ -13,6 +13,7 @@
 #include "exp/instance_registry.h"
 #include "exp/sweep.h"
 #include "oracle/rr_oracle.h"
+#include "sim/sampling_engine.h"
 #include "util/args.h"
 #include "util/thread_pool.h"
 
@@ -28,6 +29,11 @@ struct ExperimentOptions {
   bool full = false;                ///< paper-scale grids (slow!)
   std::string out_csv;              ///< optional CSV output path
   std::int64_t threads = 0;         ///< worker threads (0 = hardware)
+  /// Sample-level parallelism: 1 = legacy sequential sampling with
+  /// trial-level fan-out (default); 0 / N>1 = chunked deterministic
+  /// sampling on the shared pool, trials sequential.
+  std::int64_t sample_threads = 1;
+  std::int64_t chunk_size = 256;    ///< samples per deterministic chunk
 };
 
 /// Registers the shared flags on `args`.
@@ -77,6 +83,13 @@ class ExperimentContext {
   /// T for this network: options.star_trials for ⋆ networks.
   std::uint64_t TrialsFor(const std::string& network) const;
 
+  /// SamplingOptions for TrialConfig/SweepConfig. --sample-threads 0
+  /// attaches the context's shared pool (sample- and trial-level
+  /// parallelism share one set of workers); --sample-threads N >= 2
+  /// attaches a dedicated lazily-created N-worker pool, so the requested
+  /// width is honored even when --threads sized the main pool differently.
+  SamplingOptions sampling();
+
   ThreadPool* pool() { return pool_.get(); }
   const ExperimentOptions& options() const { return options_; }
   InstanceRegistry* registry() { return &registry_; }
@@ -85,6 +98,7 @@ class ExperimentContext {
   ExperimentOptions options_;
   InstanceRegistry registry_;
   std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ThreadPool> sample_pool_;  // only for --sample-threads N>=2
   std::map<std::string, std::unique_ptr<RrOracle>> oracles_;
 };
 

@@ -21,6 +21,7 @@ std::vector<SweepCell> RunSweep(const InfluenceGraph& ig,
     cell_config.master_seed =
         DeriveSeed(config.master_seed, static_cast<std::uint64_t>(exp));
     cell_config.snapshot_mode = config.snapshot_mode;
+    cell_config.sampling = config.sampling;
 
     SweepCell cell;
     cell.sample_number = cell_config.sample_number;

@@ -21,6 +21,8 @@ struct SweepConfig {
   int min_exponent = 0;  ///< first sample number 2^min_exponent
   int max_exponent = 8;  ///< last sample number 2^max_exponent
   SnapshotEstimator::Mode snapshot_mode = SnapshotEstimator::Mode::kResidual;
+  /// Sample-level parallelism, forwarded to every cell's TrialConfig.
+  SamplingOptions sampling;
 };
 
 /// One sweep point: the cell's full results plus curve summaries.

@@ -1,5 +1,6 @@
 #include "exp/trial_runner.h"
 
+#include <memory>
 #include <mutex>
 
 #include "core/greedy.h"
@@ -14,6 +15,24 @@ TrialResult RunTrials(const InfluenceGraph& ig, const TrialConfig& config,
   result.seed_sets.resize(config.trials);
   std::vector<TraversalCounters> counters(config.trials);
 
+  // One shared pool serves both parallelism levels, never simultaneously:
+  // sample-level parallelism runs the trials sequentially and hands the
+  // pool to each trial's SamplingEngine; otherwise the trials themselves
+  // fan out across the pool and sampling stays sequential per trial.
+  // With no pool at all, one is created here for the whole call — never a
+  // private pool per trial.
+  const bool sample_parallel = config.sampling.UseEngine();
+  SamplingOptions sampling = config.sampling;
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (sample_parallel && sampling.pool == nullptr) {
+    if (pool == nullptr) {
+      owned_pool = std::make_unique<ThreadPool>(
+          static_cast<std::size_t>(sampling.num_threads));
+      pool = owned_pool.get();
+    }
+    sampling.pool = pool;
+  }
+
   auto run_one = [&](std::uint64_t t) {
     // Two independent streams per trial: the estimator's randomness and
     // the greedy tie-breaking shuffle (paper Section 4.1: fresh PRNG
@@ -24,7 +43,7 @@ TrialResult RunTrials(const InfluenceGraph& ig, const TrialConfig& config,
         DeriveSeed(config.master_seed, 2 * t + 1);
     auto estimator =
         MakeEstimator(&ig, config.approach, config.sample_number,
-                      estimator_seed, config.snapshot_mode);
+                      estimator_seed, config.snapshot_mode, sampling);
     Rng tie_rng(shuffle_seed);
     GreedyRunResult run =
         RunGreedy(estimator.get(), ig.num_vertices(), config.k, &tie_rng);
@@ -32,7 +51,8 @@ TrialResult RunTrials(const InfluenceGraph& ig, const TrialConfig& config,
     counters[t] = estimator->counters();
   };
 
-  if (pool != nullptr && pool->num_threads() > 1 && config.trials > 1) {
+  if (!sample_parallel && pool != nullptr && pool->num_threads() > 1 &&
+      config.trials > 1) {
     ParallelFor(pool, config.trials, run_one);
   } else {
     for (std::uint64_t t = 0; t < config.trials; ++t) run_one(t);

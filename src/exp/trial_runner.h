@@ -14,6 +14,7 @@
 #include "core/ris.h"
 #include "core/snapshot.h"
 #include "oracle/rr_oracle.h"
+#include "sim/sampling_engine.h"
 #include "stats/influence_distribution.h"
 #include "stats/seed_set_distribution.h"
 #include "util/thread_pool.h"
@@ -29,6 +30,12 @@ struct TrialConfig {
   /// Master seed; trial t uses streams derived from (master_seed, t).
   std::uint64_t master_seed = 1;
   SnapshotEstimator::Mode snapshot_mode = SnapshotEstimator::Mode::kResidual;
+  /// Sample-level parallelism for each trial's estimator. The default
+  /// (sequential) lets RunTrials parallelize at the *trial* level instead;
+  /// when UseEngine(), trials run sequentially and the estimators fan
+  /// their sampling chunks out onto the one shared pool — never both
+  /// levels at once, and never a private per-trial pool.
+  SamplingOptions sampling;
 };
 
 /// Everything recorded across the T trials of one cell.
@@ -56,8 +63,14 @@ struct TrialResult {
   }
 };
 
-/// Runs the T trials (in parallel over `pool` when given) and collects
-/// seed sets + counters. Influence is NOT evaluated here — call
+/// Runs the T trials and collects seed sets + counters. `pool` (optional)
+/// is the one shared worker pool: with sequential `config.sampling` the
+/// trials fan out across it; with an engine-enabled `config.sampling` the
+/// trials run in order and the pool serves each trial's sampling chunks.
+/// Either way the worker count never affects the result — but note the
+/// two sampling modes are distinct stream families: engine-path results
+/// match other engine runs with the same chunk_size, not the legacy
+/// sequential default. Influence is NOT evaluated here — call
 /// EvaluateInfluence with the instance's shared oracle.
 TrialResult RunTrials(const InfluenceGraph& ig, const TrialConfig& config,
                       ThreadPool* pool);

@@ -5,6 +5,11 @@
 // one Rng per trial, seeded via DeriveSeed(master, trial). RIS uses two
 // logical streams (vertex choice, edge coins), realized as two Rng
 // instances with distinct derived seeds.
+//
+// Parallel sampling keeps the same discipline one level down: the
+// SamplingEngine (sim/sampling_engine.h) gives chunk c of a build its own
+// stream family rooted at DeriveSeed(master, c), so results never depend
+// on the thread schedule.
 
 #ifndef SOLDIST_RANDOM_RNG_H_
 #define SOLDIST_RANDOM_RNG_H_

@@ -1,3 +1,11 @@
 #include "sim/counters.h"
 
-// Header-only; anchors the library target.
+namespace soldist {
+
+TraversalCounters MergeCounters(std::span<const TraversalCounters> parts) {
+  TraversalCounters total;
+  for (const TraversalCounters& part : parts) total += part;
+  return total;
+}
+
+}  // namespace soldist

@@ -9,6 +9,7 @@
 #define SOLDIST_SIM_COUNTERS_H_
 
 #include <cstdint>
+#include <span>
 
 namespace soldist {
 
@@ -41,6 +42,10 @@ struct TraversalCounters {
     return *this;
   }
 };
+
+/// Sum of per-thread/per-chunk counter shards (integer fields, so the
+/// merge is order-independent and thread-count-independent).
+TraversalCounters MergeCounters(std::span<const TraversalCounters> parts);
 
 }  // namespace soldist
 

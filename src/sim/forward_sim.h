@@ -4,6 +4,7 @@
 #ifndef SOLDIST_SIM_FORWARD_SIM_H_
 #define SOLDIST_SIM_FORWARD_SIM_H_
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "model/influence_graph.h"
 #include "random/rng.h"
 #include "sim/counters.h"
+#include "sim/sampling_engine.h"
 
 namespace soldist {
 
@@ -48,6 +50,27 @@ class ForwardSimulator {
   VisitedMarker active_;
   std::vector<VertexId> queue_;
 };
+
+/// Per-worker-slot simulator cache for EstimateInfluenceSharded: pass the
+/// same cache across calls (Oneshot calls once per candidate vertex per
+/// greedy round) so each slot's O(n) simulator is built once, not per
+/// chunk. Scratch reuse never affects results — all randomness comes from
+/// the per-chunk streams.
+using ForwardSimulatorCache = std::vector<std::unique_ptr<ForwardSimulator>>;
+
+/// Mean activated count over `runs` diffusions from `seeds`, fanned out
+/// through `engine` with per-chunk PRNG streams (chunk c draws from
+/// DeriveSeed(DeriveSeed(master_seed, c), 1)). Activated counts are
+/// integers accumulated per chunk and merged in chunk order, so the result
+/// is byte-identical for any worker count. `cache` (optional) amortizes
+/// simulator construction across calls; it must not be shared between
+/// concurrently running calls.
+double EstimateInfluenceSharded(const InfluenceGraph& ig,
+                                std::span<const VertexId> seeds,
+                                std::uint64_t runs, std::uint64_t master_seed,
+                                SamplingEngine* engine,
+                                TraversalCounters* counters,
+                                ForwardSimulatorCache* cache = nullptr);
 
 }  // namespace soldist
 

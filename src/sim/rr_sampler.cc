@@ -1,6 +1,9 @@
 #include "sim/rr_sampler.h"
 
+#include <memory>
 #include <numeric>
+
+#include "random/splitmix64.h"
 
 namespace soldist {
 
@@ -42,6 +45,36 @@ void RrSampler::SampleForTarget(VertexId target, Rng* coin_rng,
   counters->sample_vertices += out->size();
 }
 
+std::vector<RrShard> SampleRrShards(const InfluenceGraph& ig,
+                                    std::uint64_t master_seed,
+                                    std::uint64_t count,
+                                    SamplingEngine* engine) {
+  std::vector<RrShard> shards(engine->NumChunks(count));
+  // Per-worker-slot samplers: the O(n) scratch is built at most once per
+  // slot and reused across chunks; sampler scratch never affects output
+  // (every chunk's randomness comes from its own derived streams).
+  std::vector<std::unique_ptr<RrSampler>> samplers(engine->num_workers());
+  engine->Run(master_seed, count,
+              [&](const SamplingEngine::Chunk& chunk, std::size_t slot) {
+    if (samplers[slot] == nullptr) {
+      samplers[slot] = std::make_unique<RrSampler>(&ig);
+    }
+    Rng target_rng(DeriveSeed(chunk.seed, 1));
+    Rng coin_rng(DeriveSeed(chunk.seed, 2));
+    RrShard& shard = shards[chunk.index];
+    shard.offsets.reserve(chunk.end - chunk.begin + 1);
+    shard.offsets.push_back(0);
+    std::vector<VertexId> rr_set;
+    for (std::uint64_t i = chunk.begin; i < chunk.end; ++i) {
+      samplers[slot]->Sample(&target_rng, &coin_rng, &rr_set,
+                             &shard.counters);
+      shard.flat.insert(shard.flat.end(), rr_set.begin(), rr_set.end());
+      shard.offsets.push_back(static_cast<std::uint64_t>(shard.flat.size()));
+    }
+  });
+  return shards;
+}
+
 RrCollection::RrCollection(VertexId num_vertices)
     : num_vertices_(num_vertices) {
   offsets_.push_back(0);
@@ -50,6 +83,25 @@ RrCollection::RrCollection(VertexId num_vertices)
 void RrCollection::Add(const std::vector<VertexId>& rr_set) {
   flat_.insert(flat_.end(), rr_set.begin(), rr_set.end());
   offsets_.push_back(static_cast<std::uint64_t>(flat_.size()));
+  index_built_ = false;
+}
+
+void RrCollection::Merge(std::span<const RrShard> shards) {
+  std::uint64_t extra_entries = 0;
+  std::uint64_t extra_sets = 0;
+  for (const RrShard& shard : shards) {
+    extra_entries += shard.flat.size();
+    extra_sets += shard.num_sets();
+  }
+  flat_.reserve(flat_.size() + extra_entries);
+  offsets_.reserve(offsets_.size() + extra_sets);
+  for (const RrShard& shard : shards) {
+    const std::uint64_t base = static_cast<std::uint64_t>(flat_.size());
+    flat_.insert(flat_.end(), shard.flat.begin(), shard.flat.end());
+    for (std::uint64_t j = 1; j < shard.offsets.size(); ++j) {
+      offsets_.push_back(base + shard.offsets[j]);
+    }
+  }
   index_built_ = false;
 }
 

@@ -8,12 +8,14 @@
 #ifndef SOLDIST_SIM_RR_SAMPLER_H_
 #define SOLDIST_SIM_RR_SAMPLER_H_
 
+#include <span>
 #include <vector>
 
 #include "graph/traversal.h"
 #include "model/influence_graph.h"
 #include "random/rng.h"
 #include "sim/counters.h"
+#include "sim/sampling_engine.h"
 
 namespace soldist {
 
@@ -47,6 +49,29 @@ class RrSampler {
   VisitedMarker visited_;
 };
 
+/// \brief One chunk's worth of RR sets in flat+offsets (CSR) form, ready
+/// for a bulk RrCollection::Merge. Produced by SampleRrShards.
+struct RrShard {
+  std::vector<VertexId> flat;
+  std::vector<std::uint64_t> offsets;  ///< local: offsets[0] = 0
+  TraversalCounters counters;
+
+  std::uint64_t num_sets() const {
+    return offsets.empty() ? 0
+                           : static_cast<std::uint64_t>(offsets.size()) - 1;
+  }
+};
+
+/// Samples `count` RR sets through `engine`, one shard per chunk.
+///
+/// Chunk c derives its (target, coin) stream pair from the chunk seed
+/// DeriveSeed(master_seed, c), so the shard sequence — and therefore the
+/// merged collection — is byte-identical for any worker count.
+std::vector<RrShard> SampleRrShards(const InfluenceGraph& ig,
+                                    std::uint64_t master_seed,
+                                    std::uint64_t count,
+                                    SamplingEngine* engine);
+
 /// \brief A flattened collection of RR sets with an inverted index.
 ///
 /// Storage: entries of set i are flat()[offsets()[i] .. offsets()[i+1]).
@@ -58,6 +83,11 @@ class RrCollection {
 
   /// Appends one RR set (entries need not be sorted).
   void Add(const std::vector<VertexId>& rr_set);
+
+  /// Bulk-appends shards in shard order: one flat+offsets (CSR-style)
+  /// splice per shard instead of a per-set Add loop. Call BuildIndex()
+  /// once afterwards.
+  void Merge(std::span<const RrShard> shards);
 
   std::uint64_t size() const { return static_cast<std::uint64_t>(offsets_.size()) - 1; }
   std::uint64_t total_entries() const {

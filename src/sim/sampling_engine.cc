@@ -1,0 +1,84 @@
+#include "sim/sampling_engine.h"
+
+#include <condition_variable>
+#include <mutex>
+
+#include "random/splitmix64.h"
+#include "util/logging.h"
+
+namespace soldist {
+
+SamplingEngine::SamplingEngine(const SamplingOptions& options)
+    : chunk_size_(options.chunk_size) {
+  SOLDIST_CHECK(chunk_size_ >= 1);
+  SOLDIST_CHECK(options.num_threads >= 0);
+  if (options.pool != nullptr) {
+    pool_ = options.pool;
+  } else if (options.num_threads == 1) {
+    pool_ = nullptr;  // inline execution on the calling thread
+  } else {
+    owned_pool_ = std::make_unique<ThreadPool>(
+        static_cast<std::size_t>(options.num_threads));
+    pool_ = owned_pool_.get();
+  }
+}
+
+std::uint64_t SamplingEngine::NumChunks(std::uint64_t count) const {
+  return (count + chunk_size_ - 1) / chunk_size_;
+}
+
+SamplingEngine::Chunk SamplingEngine::MakeChunk(std::uint64_t master_seed,
+                                                std::uint64_t index,
+                                                std::uint64_t count) const {
+  Chunk chunk;
+  chunk.index = index;
+  chunk.begin = index * chunk_size_;
+  chunk.end = std::min(chunk.begin + chunk_size_, count);
+  chunk.seed = DeriveSeed(master_seed, index);
+  return chunk;
+}
+
+void SamplingEngine::Run(std::uint64_t master_seed, std::uint64_t count,
+                         const ChunkFn& fn) {
+  const std::uint64_t num_chunks = NumChunks(count);
+  if (num_chunks == 0) return;
+  // Inline when there is nothing to fan out (or when executing on a pool
+  // worker already: submitting and latching here would idle that worker).
+  if (pool_ == nullptr || pool_->num_threads() <= 1 || num_chunks == 1 ||
+      pool_->InWorkerThread()) {
+    for (std::uint64_t c = 0; c < num_chunks; ++c) {
+      fn(MakeChunk(master_seed, c, count), /*worker_slot=*/0);
+    }
+    return;
+  }
+  // Per-Run completion latch: the pool's Wait() drains *all* in-flight
+  // work and allows only a single waiter, whereas this Run must be able
+  // to coexist with other users of a shared pool. The same mutex guards
+  // the worker-slot freelist: at most pool-width chunks run concurrently,
+  // so a slot popped before fn and pushed after is exclusive for the call.
+  std::mutex mutex;
+  std::condition_variable done;
+  std::uint64_t remaining = num_chunks;
+  std::vector<std::size_t> free_slots(pool_->num_threads());
+  for (std::size_t s = 0; s < free_slots.size(); ++s) free_slots[s] = s;
+  for (std::uint64_t c = 0; c < num_chunks; ++c) {
+    Chunk chunk = MakeChunk(master_seed, c, count);
+    pool_->Submit([&, chunk] {
+      std::size_t slot;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        SOLDIST_CHECK(!free_slots.empty());
+        slot = free_slots.back();
+        free_slots.pop_back();
+      }
+      fn(chunk, slot);
+      std::unique_lock<std::mutex> lock(mutex);
+      free_slots.push_back(slot);
+      if (--remaining == 0) done.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mutex);
+  done.wait(lock, [&] { return remaining == 0; });
+}
+
+}  // namespace soldist

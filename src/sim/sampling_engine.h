@@ -1,0 +1,116 @@
+// SamplingEngine: deterministic chunked parallel sampling.
+//
+// The paper's methodology runs every estimator T times with fresh PRNG
+// states and compares the resulting solution distributions, so a parallel
+// sampler must not silently change the experiment (cf. Lu et al.,
+// "Refutations on 'Debunking the Myths of Influence Maximization'"). The
+// engine therefore decouples the *randomness schedule* from the *thread
+// schedule*:
+//
+//   * Work of `count` samples is split into fixed-size chunks;
+//     chunk c covers sample indices [c*chunk_size, min((c+1)*chunk_size,
+//     count)).
+//   * Chunk c always draws from PRNG streams seeded with
+//     DeriveSeed(master, c) — regardless of which worker executes it or
+//     how many workers exist.
+//   * Per-chunk outputs land in per-chunk shards, merged in chunk order.
+//
+// Consequently the output of any engine-routed build is a pure function
+// of (master seed, count, chunk_size): byte-identical for 1 or N threads.
+// Chunk results are accumulated per chunk and merged in chunk-index order,
+// so even floating-point reductions stay bit-reproducible.
+//
+// The engine either borrows a shared ThreadPool (SamplingOptions::pool —
+// the experiment harness passes its trial pool) or owns a private one.
+// Completion uses a per-Run latch rather than ThreadPool::Wait(), keeping
+// the pool's single-waiter contract available to the caller.
+
+#ifndef SOLDIST_SIM_SAMPLING_ENGINE_H_
+#define SOLDIST_SIM_SAMPLING_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "util/thread_pool.h"
+
+namespace soldist {
+
+/// \brief Sampling parallelism knob threaded through the estimator factory.
+struct SamplingOptions {
+  /// 1 (default): sampling stays on the calling thread through the legacy
+  /// single-stream loops — bit-identical to the pre-engine code. Any other
+  /// value routes sampling through SamplingEngine's chunked deterministic
+  /// streams: 0 = hardware concurrency, N >= 2 = N workers. A non-null
+  /// `pool` also selects the engine path (its width then caps parallelism).
+  int num_threads = 1;
+
+  /// Samples per deterministic chunk. Smaller chunks balance load better;
+  /// larger chunks amortize per-chunk sampler setup. The *value* changes
+  /// which PRNG stream produces which sample, so hold it fixed when
+  /// comparing runs (the thread count never matters).
+  std::uint64_t chunk_size = 256;
+
+  /// Optional shared pool (not owned). When null and the engine path is
+  /// selected, each SamplingEngine owns a private pool of `num_threads`.
+  ThreadPool* pool = nullptr;
+
+  /// True when sampling should route through SamplingEngine.
+  bool UseEngine() const { return num_threads != 1 || pool != nullptr; }
+};
+
+/// \brief Fans chunked sampling work out across a thread pool.
+class SamplingEngine {
+ public:
+  /// One deterministic unit of work: sample indices [begin, end) driven by
+  /// PRNG streams derived from `seed` = DeriveSeed(master, index).
+  struct Chunk {
+    std::uint64_t index;
+    std::uint64_t begin;
+    std::uint64_t end;
+    std::uint64_t seed;
+  };
+
+  /// Chunk callback. `worker_slot` < num_workers() identifies a slot held
+  /// exclusively for the duration of the call: chunks running concurrently
+  /// always see distinct slots, so callers may keep per-slot scratch
+  /// (samplers, visited markers) and reuse it across chunks without locks.
+  /// Slot assignment is schedule-dependent — results must never depend on
+  /// it; all determinism flows from the Chunk alone.
+  using ChunkFn = std::function<void(const Chunk&, std::size_t worker_slot)>;
+
+  explicit SamplingEngine(const SamplingOptions& options = {});
+
+  SamplingEngine(const SamplingEngine&) = delete;
+  SamplingEngine& operator=(const SamplingEngine&) = delete;
+
+  /// Invokes fn once per chunk of [0, count), possibly concurrently, and
+  /// blocks until all chunks are done. fn must write only to state owned
+  /// by its chunk (e.g. shards[chunk.index]) or its worker slot. Chunk
+  /// seeds depend only on `master_seed` and the chunk index, never on the
+  /// worker count.
+  void Run(std::uint64_t master_seed, std::uint64_t count,
+           const ChunkFn& fn);
+
+  /// Number of chunks Run() will produce for `count` samples.
+  std::uint64_t NumChunks(std::uint64_t count) const;
+
+  std::uint64_t chunk_size() const { return chunk_size_; }
+
+  /// Worker count of the underlying pool (1 when running inline).
+  std::size_t num_workers() const {
+    return pool_ != nullptr ? pool_->num_threads() : 1;
+  }
+
+ private:
+  Chunk MakeChunk(std::uint64_t master_seed, std::uint64_t index,
+                  std::uint64_t count) const;
+
+  std::uint64_t chunk_size_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_;  // borrowed or owned_pool_.get(); null = inline
+};
+
+}  // namespace soldist
+
+#endif  // SOLDIST_SIM_SAMPLING_ENGINE_H_

@@ -1,5 +1,9 @@
 #include "sim/snapshot_sampler.h"
 
+#include <memory>
+
+#include "random/splitmix64.h"
+
 namespace soldist {
 
 SnapshotSampler::SnapshotSampler(const InfluenceGraph* ig)
@@ -57,6 +61,29 @@ std::vector<VertexId> SnapshotSampler::ReachableSet(
     TraversalCounters* counters) {
   CountReachable(snapshot, seeds, counters);
   return queue_;
+}
+
+std::vector<SnapshotShard> SampleSnapshotShards(const InfluenceGraph& ig,
+                                                std::uint64_t master_seed,
+                                                std::uint64_t count,
+                                                SamplingEngine* engine) {
+  std::vector<SnapshotShard> shards(engine->NumChunks(count));
+  std::vector<std::unique_ptr<SnapshotSampler>> samplers(
+      engine->num_workers());
+  engine->Run(master_seed, count,
+              [&](const SamplingEngine::Chunk& chunk, std::size_t slot) {
+    if (samplers[slot] == nullptr) {
+      samplers[slot] = std::make_unique<SnapshotSampler>(&ig);
+    }
+    Rng rng(DeriveSeed(chunk.seed, 1));
+    SnapshotShard& shard = shards[chunk.index];
+    shard.snapshots.reserve(chunk.end - chunk.begin);
+    for (std::uint64_t i = chunk.begin; i < chunk.end; ++i) {
+      shard.snapshots.push_back(
+          samplers[slot]->Sample(&rng, &shard.counters));
+    }
+  });
+  return shards;
 }
 
 }  // namespace soldist

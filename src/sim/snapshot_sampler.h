@@ -10,6 +10,7 @@
 #include "model/influence_graph.h"
 #include "random/rng.h"
 #include "sim/counters.h"
+#include "sim/sampling_engine.h"
 
 namespace soldist {
 
@@ -55,6 +56,20 @@ class SnapshotSampler {
   VisitedMarker visited_;
   std::vector<VertexId> queue_;
 };
+
+/// \brief One chunk's worth of snapshots, produced by SampleSnapshotShards.
+struct SnapshotShard {
+  std::vector<Snapshot> snapshots;
+  TraversalCounters counters;
+};
+
+/// Samples `count` snapshots through `engine`, one shard per chunk; chunk
+/// c draws from a stream seeded with DeriveSeed(DeriveSeed(master_seed, c),
+/// 1), so the concatenation in shard order is worker-count-independent.
+std::vector<SnapshotShard> SampleSnapshotShards(const InfluenceGraph& ig,
+                                                std::uint64_t master_seed,
+                                                std::uint64_t count,
+                                                SamplingEngine* engine);
 
 }  // namespace soldist
 

@@ -5,6 +5,12 @@
 #include "util/logging.h"
 
 namespace soldist {
+namespace {
+
+/// The pool whose WorkerLoop the current thread is running, if any.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -20,15 +26,20 @@ ThreadPool::~ThreadPool() {
   {
     std::unique_lock<std::mutex> lock(mutex_);
     shutting_down_ = true;
+    alive_canary_ = 0;
   }
   work_available_.notify_all();
   for (auto& t : threads_) t.join();
 }
 
+bool ThreadPool::InWorkerThread() const { return tls_worker_pool == this; }
+
 void ThreadPool::Submit(std::function<void()> fn) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    SOLDIST_CHECK(!shutting_down_);
+    SOLDIST_CHECK(alive_canary_ == kAliveCanary)
+        << "Submit() on a destroyed ThreadPool";
+    SOLDIST_CHECK(!shutting_down_) << "Submit() on a shutting-down ThreadPool";
     queue_.push_back(std::move(fn));
     ++in_flight_;
   }
@@ -36,11 +47,18 @@ void ThreadPool::Submit(std::function<void()> fn) {
 }
 
 void ThreadPool::Wait() {
+  SOLDIST_CHECK(!InWorkerThread())
+      << "re-entrant Wait() from a pool worker would deadlock";
   std::unique_lock<std::mutex> lock(mutex_);
+  SOLDIST_CHECK(!has_waiter_)
+      << "single-waiter contract: another thread is already in Wait()";
+  has_waiter_ = true;
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  has_waiter_ = false;
 }
 
 void ThreadPool::WorkerLoop() {
+  tls_worker_pool = this;
   while (true) {
     std::function<void()> task;
     {

@@ -1,5 +1,19 @@
 // Fixed-size thread pool + ParallelFor: experiment trials are independent,
-// so the harness fans them out across cores.
+// so the harness fans them out across cores. The SamplingEngine (sim/)
+// borrows the same pool for sample-level parallelism, so one pool serves
+// both levels of the experiment harness.
+//
+// Contracts (CHECK-enforced):
+//  * Single waiter: at most one thread may block in Wait() at a time.
+//    Wait() drains *everything* in flight, so two concurrent waiters would
+//    each observe the other's work — a race, not a feature.
+//  * No re-entrant Wait(): a task running on a pool worker must never call
+//    Wait() on its own pool (the worker would wait for itself: deadlock).
+//    Nested parallelism must instead use its own completion latch, as
+//    SamplingEngine does.
+//  * No Submit() after destruction: enforced best-effort with a liveness
+//    canary (use-after-free is UB, but the canary turns the common
+//    dangling-pointer mistake into a crisp CHECK failure).
 
 #ifndef SOLDIST_UTIL_THREAD_POOL_H_
 #define SOLDIST_UTIL_THREAD_POOL_H_
@@ -24,16 +38,26 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues `fn` for execution on some worker.
+  /// Enqueues `fn` for execution on some worker. CHECK-fails on a
+  /// destroyed or shutting-down pool.
   void Submit(std::function<void()> fn);
 
-  /// Blocks until every submitted closure has finished.
+  /// Blocks until every submitted closure has finished. Single-waiter
+  /// contract: CHECK-fails if another thread is already waiting, or if
+  /// called from one of this pool's own workers.
   void Wait();
+
+  /// True when the calling thread is one of this pool's workers (used by
+  /// the Wait() re-entrancy CHECK; exposed for callers that must choose
+  /// between inline execution and Submit).
+  bool InWorkerThread() const;
 
   std::size_t num_threads() const { return threads_.size(); }
 
  private:
   void WorkerLoop();
+
+  static constexpr std::uint32_t kAliveCanary = 0x50554c4cu;  // "PULL"
 
   std::vector<std::thread> threads_;
   std::deque<std::function<void()>> queue_;
@@ -42,10 +66,13 @@ class ThreadPool {
   std::condition_variable all_done_;
   std::size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  bool has_waiter_ = false;
+  std::uint32_t alive_canary_ = kAliveCanary;
 };
 
 /// Runs fn(i) for i in [0, count) across `pool`; blocks until done.
 /// Iterations are distributed in contiguous chunks to limit queue traffic.
+/// Inherits the pool's single-waiter contract: never call from a worker.
 void ParallelFor(ThreadPool* pool, std::uint64_t count,
                  const std::function<void(std::uint64_t)>& fn);
 

@@ -69,6 +69,32 @@ TEST(ParallelForTest, MoreItemsThanChunks) {
   EXPECT_EQ(sum.load(), 10000ull * 9999 / 2);
 }
 
+TEST(ThreadPoolTest, InWorkerThreadDistinguishesPools) {
+  ThreadPool pool(2);
+  ThreadPool other(1);
+  EXPECT_FALSE(pool.InWorkerThread());
+  std::atomic<int> in_this{-1};
+  std::atomic<int> in_other{-1};
+  pool.Submit([&] {
+    in_this.store(pool.InWorkerThread() ? 1 : 0);
+    in_other.store(other.InWorkerThread() ? 1 : 0);
+  });
+  pool.Wait();
+  EXPECT_EQ(in_this.load(), 1);
+  EXPECT_EQ(in_other.load(), 0);
+}
+
+TEST(ThreadPoolDeathTest, ReentrantWaitFromWorkerAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(2);
+        pool.Submit([&pool] { pool.Wait(); });
+        pool.Wait();
+      },
+      "re-entrant Wait");
+}
+
 TEST(DefaultThreadPoolTest, IsSingletonAndAlive) {
   ThreadPool* a = DefaultThreadPool();
   ThreadPool* b = DefaultThreadPool();
