@@ -23,6 +23,7 @@ int Run(int argc, const char* const* argv) {
   int exit_code = 0;
   if (ShouldExitAfterParse(&args, argc, argv, &exit_code)) return exit_code;
   ExperimentOptions options = ReadExperimentFlags(args);
+  RequireIcModel(options, "ablation_memory");
   PrintBanner("RR-set compression ablation", options);
 
   ExperimentContext context(options);

@@ -31,16 +31,29 @@ inline void PrintBanner(const std::string& title,
                         const ExperimentOptions& options) {
   std::printf("# %s\n", title.c_str());
   std::printf(
-      "(soldist reproduction; T=%llu trials [star: %llu], oracle=%llu RR "
-      "sets, seed=%llu%s. The paper used T=1,000, a 10^7-RR-set oracle and "
-      "grids up to 2^16/2^24 on a 500 GB server; pass --full --trials 1000 "
-      "to approach that. See EXPERIMENTS.md.)\n",
+      "(soldist reproduction; model=%s, T=%llu trials [star: %llu], "
+      "oracle=%llu RR sets, seed=%llu%s. The paper used T=1,000, a "
+      "10^7-RR-set oracle and grids up to 2^16/2^24 on a 500 GB server; "
+      "pass --full --trials 1000 to approach that. See EXPERIMENTS.md.)\n",
+      DiffusionModelName(options.model).c_str(),
       static_cast<unsigned long long>(options.trials),
       static_cast<unsigned long long>(options.star_trials),
       static_cast<unsigned long long>(options.oracle_rr),
       static_cast<unsigned long long>(options.seed),
       options.full ? ", FULL grid" : "");
   std::fflush(stdout);
+}
+
+/// For IC-only benches: fail loudly when --model lt was requested, so the
+/// flag never silently changes (or skips) the experiment. Model-aware
+/// binaries (soldist_experiment, the LT entropy figure) honor the flag
+/// instead of calling this.
+inline void RequireIcModel(const ExperimentOptions& options,
+                           const std::string& bench) {
+  SOLDIST_CHECK(options.model == DiffusionModel::kIc)
+      << bench << " reproduces an IC-only table/figure; run "
+      << "soldist_experiment --model lt or bench_figure7_entropy_lt "
+      << "for the LT counterpart";
 }
 
 /// Oneshot/Snapshot sweeps get slower as k grows (each Estimate simulates

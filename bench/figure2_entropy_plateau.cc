@@ -26,6 +26,7 @@ int Run(int argc, const char* const* argv) {
   int exit_code = 0;
   if (ShouldExitAfterParse(&args, argc, argv, &exit_code)) return exit_code;
   ExperimentOptions options = ReadExperimentFlags(args);
+  RequireIcModel(options, "figure2_entropy_plateau");
   if (!args.Provided("trials")) options.trials = 120;
   PrintBanner("Figure 2: entropy plateaus on iwc instances", options);
 

@@ -18,6 +18,7 @@ int Run(int argc, const char* const* argv) {
   int exit_code = 0;
   if (ShouldExitAfterParse(&args, argc, argv, &exit_code)) return exit_code;
   ExperimentOptions options = ReadExperimentFlags(args);
+  RequireIcModel(options, "figure3_entropy_ba");
   if (!args.Provided("trials")) options.trials = 120;
   PrintBanner("Figure 3: entropy decay by edge-probability setting", options);
 

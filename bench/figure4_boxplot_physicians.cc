@@ -20,6 +20,7 @@ int Run(int argc, const char* const* argv) {
   int exit_code = 0;
   if (ShouldExitAfterParse(&args, argc, argv, &exit_code)) return exit_code;
   ExperimentOptions options = ReadExperimentFlags(args);
+  RequireIcModel(options, "figure4_boxplot_physicians");
   // Oneshot with k=16 re-simulates 16-seed cascades: the priciest cell of
   // the harness. Keep the default T modest unless the user overrides.
   if (!args.Provided("trials")) options.trials = 60;

@@ -21,6 +21,7 @@ int Run(int argc, const char* const* argv) {
   int exit_code = 0;
   if (ShouldExitAfterParse(&args, argc, argv, &exit_code)) return exit_code;
   ExperimentOptions options = ReadExperimentFlags(args);
+  RequireIcModel(options, "figure5_ris_grqc");
   if (!args.Provided("trials")) options.trials = 100;
   PrintBanner("Figure 5: RIS on ca-GrQc — quick vs slow convergence",
               options);

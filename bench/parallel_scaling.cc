@@ -1,10 +1,16 @@
 // Parallel sampling scaling: samples/sec vs. thread count for the three
 // approaches' sampling primitives on the GRQC-scale instance, all routed
-// through SamplingEngine's deterministic chunked streams.
+// through SamplingEngine's deterministic chunked streams — under BOTH
+// diffusion models.
 //
-//   * RIS       — RR sets/sec (SampleRrShards)
-//   * Snapshot  — snapshots/sec (SampleSnapshotShards)
-//   * Oneshot   — forward simulations/sec (EstimateInfluenceSharded)
+//   IC (uc0.1):  * RIS      — RR sets/sec (SampleRrShards)
+//                * Snapshot — snapshots/sec (SampleSnapshotShards)
+//                * Oneshot  — forward simulations/sec
+//                             (EstimateInfluenceSharded)
+//   LT (iwc):    * RIS      — backward walks/sec (SampleLtRrShards)
+//                * Snapshot — live-edge graphs/sec (SampleLtSnapshotShards)
+//                * Oneshot  — threshold simulations/sec
+//                             (EstimateLtInfluenceSharded)
 //
 // Every row also cross-checks determinism: the shard stream at N threads
 // must be byte-identical to the 1-thread run (the engine's core contract;
@@ -23,8 +29,11 @@
 #include "random/splitmix64.h"
 #include "gen/datasets.h"
 #include "graph/builder.h"
+#include "model/lt.h"
 #include "model/probability.h"
 #include "sim/forward_sim.h"
+#include "sim/lt_forward_sim.h"
+#include "sim/lt_samplers.h"
 #include "sim/rr_sampler.h"
 #include "sim/sampling_engine.h"
 #include "sim/snapshot_sampler.h"
@@ -39,6 +48,23 @@ struct Row {
   double snap_per_sec;
   double sim_per_sec;
 };
+
+/// Byte-compares two snapshot shard sequences (full CSR contents, not
+/// just live-edge totals).
+bool SnapshotShardsEqual(const std::vector<SnapshotShard>& a,
+                         const std::vector<SnapshotShard>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    if (a[s].snapshots.size() != b[s].snapshots.size()) return false;
+    for (std::size_t i = 0; i < a[s].snapshots.size(); ++i) {
+      if (a[s].snapshots[i].out_offsets != b[s].snapshots[i].out_offsets ||
+          a[s].snapshots[i].out_targets != b[s].snapshots[i].out_targets) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
 
 SamplingOptions EngineOptions(int threads, std::uint64_t chunk_size) {
   // The bench calls the Sample*Shards entry points directly, so threads=1
@@ -135,16 +161,76 @@ int Main(int argc, const char* const* argv) {
     rows.push_back(row);
   }
 
-  std::printf("\n%8s  %14s  %14s  %14s  %8s\n", "threads", "RR sets/s",
-              "snapshots/s", "forward sims/s", "speedup");
+  std::printf("\n[IC, uc0.1]\n%8s  %14s  %14s  %14s  %8s\n", "threads",
+              "RR sets/s", "snapshots/s", "forward sims/s", "speedup");
   for (const Row& row : rows) {
     double speedup = row.rr_per_sec / rows.front().rr_per_sec;
     std::printf("%8d  %14.0f  %14.0f  %14.0f  %7.2fx\n", row.threads,
                 row.rr_per_sec, row.snap_per_sec, row.sim_per_sec, speedup);
   }
+
+  // ---- LT: same scaling sweep on the iwc (LT-valid) instance.
+  InfluenceGraph lt_ig = MakeInfluenceGraph(
+      GraphBuilder::FromEdgeList(Datasets::CaGrQc(seed)),
+      ProbabilityModel::kIwc);
+  LtWeights lt_weights(&lt_ig);
+
+  std::vector<RrShard> lt_rr_reference;
+  std::vector<SnapshotShard> lt_snap_reference;
+  double lt_sim_reference = 0.0;
+
+  std::vector<Row> lt_rows;
+  for (int threads = 1; threads <= threads_max; threads *= 2) {
+    SamplingEngine engine(EngineOptions(threads, chunk_size));
+    Row row;
+    row.threads = threads;
+
+    WallTimer timer;
+    std::vector<RrShard> rr_shards =
+        SampleLtRrShards(lt_weights, DeriveSeed(seed, 4), rr_sets, &engine);
+    row.rr_per_sec = static_cast<double>(rr_sets) / timer.Seconds();
+
+    timer.Restart();
+    std::vector<SnapshotShard> snap_shards = SampleLtSnapshotShards(
+        lt_weights, DeriveSeed(seed, 5), snapshots, &engine);
+    row.snap_per_sec = static_cast<double>(snapshots) / timer.Seconds();
+
+    timer.Restart();
+    double mean = EstimateLtInfluenceSharded(lt_ig, sim_seeds, simulations,
+                                             DeriveSeed(seed, 6), &engine,
+                                             nullptr);
+    row.sim_per_sec = static_cast<double>(simulations) / timer.Seconds();
+
+    if (threads == 1) {
+      lt_rr_reference = std::move(rr_shards);
+      lt_snap_reference = std::move(snap_shards);
+      lt_sim_reference = mean;
+    } else {
+      SOLDIST_CHECK(rr_shards.size() == lt_rr_reference.size());
+      for (std::size_t s = 0; s < rr_shards.size(); ++s) {
+        SOLDIST_CHECK(rr_shards[s].flat == lt_rr_reference[s].flat &&
+                      rr_shards[s].offsets == lt_rr_reference[s].offsets)
+            << "LT RR shard " << s << " diverged at " << threads
+            << " threads";
+      }
+      SOLDIST_CHECK(SnapshotShardsEqual(snap_shards, lt_snap_reference))
+          << "LT snapshot shards diverged at " << threads << " threads";
+      SOLDIST_CHECK(mean == lt_sim_reference)
+          << "LT Oneshot estimate diverged at " << threads << " threads";
+    }
+    lt_rows.push_back(row);
+  }
+
+  std::printf("\n[LT, iwc]\n%8s  %14s  %14s  %14s  %8s\n", "threads",
+              "RR walks/s", "snapshots/s", "threshold sims/s", "speedup");
+  for (const Row& row : lt_rows) {
+    double speedup = row.rr_per_sec / lt_rows.front().rr_per_sec;
+    std::printf("%8d  %14.0f  %14.0f  %14.0f  %7.2fx\n", row.threads,
+                row.rr_per_sec, row.snap_per_sec, row.sim_per_sec, speedup);
+  }
   std::printf(
-      "\n(all thread counts produced byte-identical shards; speedup column "
-      "is RR-set throughput vs. 1 engine thread)\n");
+      "\n(all thread counts produced byte-identical shards under both "
+      "models; speedup column is RR throughput vs. 1 engine thread)\n");
   return 0;
 }
 

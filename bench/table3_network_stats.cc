@@ -23,6 +23,7 @@ int Run(int argc, const char* const* argv) {
   int exit_code = 0;
   if (ShouldExitAfterParse(&args, argc, argv, &exit_code)) return exit_code;
   ExperimentOptions options = ReadExperimentFlags(args);
+  RequireIcModel(options, "table3_network_stats");
   PrintBanner("Table 3: network statistics", options);
 
   ExperimentContext context(options);

@@ -20,6 +20,7 @@ int Run(int argc, const char* const* argv) {
   int exit_code = 0;
   if (ShouldExitAfterParse(&args, argc, argv, &exit_code)) return exit_code;
   ExperimentOptions options = ReadExperimentFlags(args);
+  RequireIcModel(options, "table4_top_influence");
   PrintBanner("Table 4: top three influence spread of a single vertex",
               options);
 

@@ -54,6 +54,7 @@ int Run(int argc, const char* const* argv) {
   int exit_code = 0;
   if (ShouldExitAfterParse(&args, argc, argv, &exit_code)) return exit_code;
   ExperimentOptions options = ReadExperimentFlags(args);
+  RequireIcModel(options, "table5_least_sample");
   if (!args.Provided("trials")) options.trials = 30;
   PrintBanner("Table 5: least sample number for near-optimal solutions",
               options);

@@ -30,6 +30,7 @@ int Run(int argc, const char* const* argv) {
   int exit_code = 0;
   if (ShouldExitAfterParse(&args, argc, argv, &exit_code)) return exit_code;
   ExperimentOptions options = ReadExperimentFlags(args);
+  RequireIcModel(options, "table6_comparable_oneshot");
   if (!args.Provided("trials")) options.trials = 25;
   PrintBanner("Table 6 / Figure 7: Oneshot vs Snapshot comparable ratio",
               options);

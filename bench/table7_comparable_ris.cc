@@ -27,6 +27,7 @@ int Run(int argc, const char* const* argv) {
   int exit_code = 0;
   if (ShouldExitAfterParse(&args, argc, argv, &exit_code)) return exit_code;
   ExperimentOptions options = ReadExperimentFlags(args);
+  RequireIcModel(options, "table7_comparable_ris");
   if (!args.Provided("trials")) options.trials = 25;
   PrintBanner("Table 7 / Figure 8: RIS vs Snapshot comparable ratios",
               options);

@@ -24,6 +24,7 @@ int Run(int argc, const char* const* argv) {
   int exit_code = 0;
   if (ShouldExitAfterParse(&args, argc, argv, &exit_code)) return exit_code;
   ExperimentOptions options = ReadExperimentFlags(args);
+  RequireIcModel(options, "table8_traversal_cost");
   PrintBanner("Table 8: traversal cost at k=1, sample number 1", options);
 
   ExperimentContext context(options);

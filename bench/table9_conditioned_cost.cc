@@ -27,6 +27,7 @@ int Run(int argc, const char* const* argv) {
   int exit_code = 0;
   if (ShouldExitAfterParse(&args, argc, argv, &exit_code)) return exit_code;
   ExperimentOptions options = ReadExperimentFlags(args);
+  RequireIcModel(options, "table9_conditioned_cost");
   if (!args.Provided("trials")) options.trials = 25;
   PrintBanner("Table 9: traversal cost at identical accuracy (γ "
               "coefficients)",

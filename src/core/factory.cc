@@ -1,9 +1,26 @@
 #include "core/factory.h"
 
+#include "core/lt_estimators.h"
 #include "core/oneshot.h"
 #include "core/ris.h"
 
 namespace soldist {
+
+std::unique_ptr<InfluenceEstimator> MakeEstimator(
+    const ModelInstance& instance, Approach approach,
+    std::uint64_t sample_number, std::uint64_t seed,
+    SnapshotEstimator::Mode snapshot_mode, const SamplingOptions& sampling) {
+  SOLDIST_CHECK(instance.ig != nullptr);
+  if (instance.model == DiffusionModel::kLt) {
+    SOLDIST_CHECK(instance.lt_weights != nullptr)
+        << "LT instance without LtWeights — resolve it through "
+           "InstanceRegistry::GetModelInstance or ModelInstance::Lt";
+    return MakeLtEstimator(instance.lt_weights, approach, sample_number,
+                           seed, sampling);
+  }
+  return MakeEstimator(instance.ig, approach, sample_number, seed,
+                       snapshot_mode, sampling);
+}
 
 std::unique_ptr<InfluenceEstimator> MakeEstimator(
     const InfluenceGraph* ig, Approach approach, std::uint64_t sample_number,

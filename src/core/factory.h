@@ -1,6 +1,6 @@
 // Estimator factory: one call site for "give me approach X at sample
-// number s" used by the experiment harness, the adaptive selector, and
-// the examples.
+// number s under diffusion model M" used by the experiment harness, the
+// adaptive selector, and the examples.
 
 #ifndef SOLDIST_CORE_FACTORY_H_
 #define SOLDIST_CORE_FACTORY_H_
@@ -9,13 +9,25 @@
 
 #include "core/estimator.h"
 #include "core/snapshot.h"
+#include "model/diffusion.h"
 #include "model/influence_graph.h"
 #include "sim/sampling_engine.h"
 
 namespace soldist {
 
-/// Creates the estimator for one run. `sampling` selects the sampling
-/// parallelism (default: the legacy sequential path; see SamplingOptions).
+/// Creates the estimator for one run under `instance`'s diffusion model.
+/// `sampling` selects the sampling parallelism for both models (IC
+/// default: the legacy sequential path; LT always uses the chunked
+/// deterministic streams — see SamplingOptions and core/lt_estimators.h).
+/// `snapshot_mode` applies to the IC Snapshot estimator only (the LT
+/// snapshot estimator has a single, naive-with-cached-base strategy).
+std::unique_ptr<InfluenceEstimator> MakeEstimator(
+    const ModelInstance& instance, Approach approach,
+    std::uint64_t sample_number, std::uint64_t seed,
+    SnapshotEstimator::Mode snapshot_mode = SnapshotEstimator::Mode::kResidual,
+    const SamplingOptions& sampling = {});
+
+/// IC-only convenience overload (the pre-LT signature).
 std::unique_ptr<InfluenceEstimator> MakeEstimator(
     const InfluenceGraph* ig, Approach approach, std::uint64_t sample_number,
     std::uint64_t seed,

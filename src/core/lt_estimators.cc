@@ -6,21 +6,32 @@ namespace soldist {
 
 LtOneshotEstimator::LtOneshotEstimator(const LtWeights* weights,
                                        std::uint64_t beta,
-                                       std::uint64_t seed)
-    : beta_(beta), rng_(seed), simulator_(&weights->influence_graph()) {
+                                       std::uint64_t seed,
+                                       const SamplingOptions& sampling)
+    : ig_(&weights->influence_graph()),
+      beta_(beta),
+      engine_(sampling),
+      call_master_(DeriveSeed(seed, 3)) {
   SOLDIST_CHECK(beta_ >= 1);
 }
 
 double LtOneshotEstimator::Estimate(VertexId v) {
   scratch_.assign(seeds_.begin(), seeds_.end());
   scratch_.push_back(v);
-  return simulator_.EstimateInfluence(scratch_, beta_, &rng_, &counters_);
+  return EstimateLtInfluenceSharded(*ig_, scratch_, beta_,
+                                    DeriveSeed(call_master_, calls_++),
+                                    &engine_, &counters_, &sim_cache_);
 }
 
 LtSnapshotEstimator::LtSnapshotEstimator(const LtWeights* weights,
                                          std::uint64_t tau,
-                                         std::uint64_t seed)
-    : weights_(weights), tau_(tau), rng_(seed), sampler_(weights) {
+                                         std::uint64_t seed,
+                                         const SamplingOptions& sampling)
+    : weights_(weights),
+      tau_(tau),
+      seed_(seed),
+      sampling_(sampling),
+      sampler_(weights) {
   SOLDIST_CHECK(tau_ >= 1);
 }
 
@@ -28,8 +39,14 @@ void LtSnapshotEstimator::Build() {
   SOLDIST_CHECK(!built_) << "Build() must be called exactly once";
   built_ = true;
   snapshots_.reserve(tau_);
-  for (std::uint64_t i = 0; i < tau_; ++i) {
-    snapshots_.push_back(sampler_.Sample(&rng_, &counters_));
+  SamplingEngine engine(sampling_);
+  std::vector<SnapshotShard> shards =
+      SampleLtSnapshotShards(*weights_, seed_, tau_, &engine);
+  for (SnapshotShard& shard : shards) {
+    counters_ += shard.counters;
+    for (Snapshot& snap : shard.snapshots) {
+      snapshots_.push_back(std::move(snap));
+    }
   }
   base_reach_.assign(tau_, 0);
 }
@@ -40,6 +57,8 @@ double LtSnapshotEstimator::Estimate(VertexId v) {
   scratch_.push_back(v);
   std::uint64_t total = 0;
   for (std::size_t i = 0; i < snapshots_.size(); ++i) {
+    // Reachability is monotone in the source set, so the subtraction
+    // cannot underflow: r(S+v) >= r(S) = base_reach_[i].
     total += sampler_.CountReachable(snapshots_[i], scratch_, &counters_) -
              base_reach_[i];
   }
@@ -56,12 +75,12 @@ void LtSnapshotEstimator::Update(VertexId v) {
 }
 
 LtRisEstimator::LtRisEstimator(const LtWeights* weights, std::uint64_t theta,
-                               std::uint64_t seed)
+                               std::uint64_t seed,
+                               const SamplingOptions& sampling)
     : weights_(weights),
       theta_(theta),
-      target_rng_(DeriveSeed(seed, 1)),
-      coin_rng_(DeriveSeed(seed, 2)),
-      sampler_(weights),
+      seed_(seed),
+      sampling_(sampling),
       collection_(weights->influence_graph().num_vertices()) {
   SOLDIST_CHECK(theta_ >= 1);
 }
@@ -69,27 +88,32 @@ LtRisEstimator::LtRisEstimator(const LtWeights* weights, std::uint64_t theta,
 void LtRisEstimator::Build() {
   SOLDIST_CHECK(!built_) << "Build() must be called exactly once";
   built_ = true;
-  std::vector<VertexId> rr_set;
-  for (std::uint64_t i = 0; i < theta_; ++i) {
-    sampler_.Sample(&target_rng_, &coin_rng_, &rr_set, &counters_);
-    collection_.Add(rr_set);
-  }
+  SamplingEngine engine(sampling_);
+  std::vector<RrShard> shards =
+      SampleLtRrShards(*weights_, seed_, theta_, &engine);
+  collection_.Merge(shards);
+  for (const RrShard& shard : shards) counters_ += shard.counters;
   collection_.BuildIndex();
   cover_count_.assign(weights_->influence_graph().num_vertices(), 0);
   for (std::uint64_t set_id = 0; set_id < collection_.size(); ++set_id) {
     for (VertexId v : collection_.Set(set_id)) ++cover_count_[v];
   }
   set_active_.assign(collection_.size(), 1);
+  chosen_.assign(weights_->influence_graph().num_vertices(), 0);
 }
 
 double LtRisEstimator::Estimate(VertexId v) {
   SOLDIST_CHECK(built_);
+  SOLDIST_DCHECK(!chosen_[v] || cover_count_[v] == 0)
+      << "stale score: chosen seed " << v
+      << " still covers active sets — Update must decrement eagerly";
   return static_cast<double>(weights_->influence_graph().num_vertices()) *
          static_cast<double>(cover_count_[v]) / static_cast<double>(theta_);
 }
 
 void LtRisEstimator::Update(VertexId v) {
   SOLDIST_CHECK(built_);
+  chosen_[v] = 1;
   for (std::uint64_t set_id : collection_.InvertedList(v)) {
     if (!set_active_[set_id]) continue;
     set_active_[set_id] = 0;
@@ -102,16 +126,17 @@ void LtRisEstimator::Update(VertexId v) {
 
 std::unique_ptr<InfluenceEstimator> MakeLtEstimator(
     const LtWeights* weights, Approach approach, std::uint64_t sample_number,
-    std::uint64_t seed) {
+    std::uint64_t seed, const SamplingOptions& sampling) {
   switch (approach) {
     case Approach::kOneshot:
       return std::make_unique<LtOneshotEstimator>(weights, sample_number,
-                                                  seed);
+                                                  seed, sampling);
     case Approach::kSnapshot:
       return std::make_unique<LtSnapshotEstimator>(weights, sample_number,
-                                                   seed);
+                                                   seed, sampling);
     case Approach::kRis:
-      return std::make_unique<LtRisEstimator>(weights, sample_number, seed);
+      return std::make_unique<LtRisEstimator>(weights, sample_number, seed,
+                                              sampling);
   }
   SOLDIST_CHECK(false) << "unreachable";
   return nullptr;

@@ -15,6 +15,10 @@ void AddExperimentFlags(ArgParser* args) {
                  "(0 = defaults 60k/80k; paper-scale: 1134889/1632802)");
   args->AddBool("full", false,
                 "run the paper-scale sample-number grids (very slow)");
+  args->AddString("model", "ic",
+                  "diffusion model: ic | lt (lt needs an LT-valid "
+                  "probability setting, e.g. iwc; IC-only benches reject "
+                  "lt instead of silently running ic)");
   args->AddString("out", "", "also write results as CSV to this path");
   args->AddInt64("threads", 0, "worker threads (0 = hardware concurrency)");
   args->AddInt64("sample-threads", 1,
@@ -36,6 +40,10 @@ ExperimentOptions ReadExperimentFlags(const ArgParser& args) {
   options.oracle_rr = static_cast<std::uint64_t>(args.GetInt64("oracle-rr"));
   options.star_n = static_cast<VertexId>(args.GetInt64("star-n"));
   options.full = args.GetBool("full");
+  StatusOr<DiffusionModel> model =
+      ParseDiffusionModel(args.GetString("model"));
+  SOLDIST_CHECK(model.ok()) << model.status().ToString();
+  options.model = model.value();
   options.out_csv = args.GetString("out");
   options.threads = args.GetInt64("threads");
   options.sample_threads = args.GetInt64("sample-threads");
@@ -82,15 +90,33 @@ const InfluenceGraph& ExperimentContext::Instance(const std::string& network,
   return *instance.value();
 }
 
+ModelInstance ExperimentContext::Model(const std::string& network,
+                                       ProbabilityModel prob) {
+  StatusOr<ModelInstance> instance =
+      registry_.GetModelInstance(network, prob, options_.model);
+  SOLDIST_CHECK(instance.ok()) << instance.status().ToString();
+  return instance.value();
+}
+
 const RrOracle& ExperimentContext::Oracle(const std::string& network,
                                           ProbabilityModel prob) {
+  // IC keeps the pre-LT key: the key feeds the oracle seed via hash, so
+  // appending "/ic" would silently reseed every IC baseline.
   std::string key = network + "/" + ProbabilityModelName(prob);
+  if (options_.model == DiffusionModel::kLt) {
+    key += "/" + DiffusionModelName(options_.model);
+  }
   auto it = oracles_.find(key);
   if (it != oracles_.end()) return *it->second;
-  const InfluenceGraph& ig = Instance(network, prob);
-  auto oracle = std::make_unique<RrOracle>(
-      &ig, options_.oracle_rr,
-      DeriveSeed(options_.seed, std::hash<std::string>{}(key)));
+  ModelInstance instance = Model(network, prob);
+  std::uint64_t oracle_seed =
+      DeriveSeed(options_.seed, std::hash<std::string>{}(key));
+  auto oracle =
+      options_.model == DiffusionModel::kLt
+          ? std::make_unique<RrOracle>(instance.lt_weights,
+                                       options_.oracle_rr, oracle_seed)
+          : std::make_unique<RrOracle>(instance.ig, options_.oracle_rr,
+                                       oracle_seed);
   const RrOracle* ptr = oracle.get();
   oracles_[key] = std::move(oracle);
   return *ptr;
@@ -101,21 +127,22 @@ std::uint64_t ExperimentContext::TrialsFor(const std::string& network) const {
                                           : options_.trials;
 }
 
-SamplingOptions ExperimentContext::sampling() {
+SamplingOptions ExperimentContext::SamplingFor(std::int64_t sample_threads) {
   SamplingOptions sampling;
-  sampling.num_threads = static_cast<int>(options_.sample_threads);
+  sampling.num_threads = static_cast<int>(sample_threads);
   sampling.chunk_size = static_cast<std::uint64_t>(options_.chunk_size);
-  if (options_.sample_threads == 0) {
+  if (sample_threads == 0) {
     sampling.pool = pool_.get();  // share the trial pool, full width
-  } else if (options_.sample_threads >= 2) {
+  } else if (sample_threads >= 2) {
     // A pool's width caps the engine's parallelism, so honor the exact
     // requested count with a dedicated pool instead of the trial pool
     // (whose width is set independently via --threads).
-    if (sample_pool_ == nullptr) {
-      sample_pool_ = std::make_unique<ThreadPool>(
-          static_cast<std::size_t>(options_.sample_threads));
+    auto width = static_cast<std::size_t>(sample_threads);
+    auto& sample_pool = sample_pools_[width];
+    if (sample_pool == nullptr) {
+      sample_pool = std::make_unique<ThreadPool>(width);
     }
-    sampling.pool = sample_pool_.get();
+    sampling.pool = sample_pool.get();
   }
   return sampling;
 }

@@ -29,6 +29,11 @@ struct ExperimentOptions {
   bool full = false;                ///< paper-scale grids (slow!)
   std::string out_csv;              ///< optional CSV output path
   std::int64_t threads = 0;         ///< worker threads (0 = hardware)
+  /// Diffusion model (--model ic|lt). Model-aware binaries resolve their
+  /// workloads through ExperimentContext::Model; IC-only benches must
+  /// call RequireIcModel so --model lt fails loudly instead of silently
+  /// running IC.
+  DiffusionModel model = DiffusionModel::kIc;
   /// Sample-level parallelism: 1 = legacy sequential sampling with
   /// trial-level fan-out (default); 0 / N>1 = chunked deterministic
   /// sampling on the shared pool, trials sequential.
@@ -76,8 +81,18 @@ class ExperimentContext {
   const InfluenceGraph& Instance(const std::string& network,
                                  ProbabilityModel prob);
 
-  /// The instance's shared oracle (built on first use, then reused across
-  /// all algorithms and sample numbers — paper Section 5.2).
+  /// The (graph, model) workload of (network, prob) under
+  /// options().model, with LtWeights resolved and cached by the registry
+  /// for LT. CHECK-fails with an explanatory message when --model lt was
+  /// combined with an LT-invalid probability setting (in-weights must sum
+  /// to <= 1; iwc always qualifies).
+  ModelInstance Model(const std::string& network, ProbabilityModel prob);
+
+  /// The instance's shared oracle under options().model (built on first
+  /// use, then reused across all algorithms and sample numbers — paper
+  /// Section 5.2). Oracles are keyed by (network, prob, model): an LT
+  /// oracle draws backward-walk RR sets so LT seed sets are scored under
+  /// LT influence.
   const RrOracle& Oracle(const std::string& network, ProbabilityModel prob);
 
   /// T for this network: options.star_trials for ⋆ networks.
@@ -88,7 +103,13 @@ class ExperimentContext {
   /// parallelism share one set of workers); --sample-threads N >= 2
   /// attaches a dedicated lazily-created N-worker pool, so the requested
   /// width is honored even when --threads sized the main pool differently.
-  SamplingOptions sampling();
+  SamplingOptions sampling() { return SamplingFor(options_.sample_threads); }
+
+  /// sampling() for an explicit width instead of --sample-threads: lets a
+  /// determinism verifier sweep widths against ONE context (same
+  /// instances and oracles) instead of rebuilding them per width.
+  /// Dedicated pools are cached per width.
+  SamplingOptions SamplingFor(std::int64_t sample_threads);
 
   ThreadPool* pool() { return pool_.get(); }
   const ExperimentOptions& options() const { return options_; }
@@ -98,7 +119,8 @@ class ExperimentContext {
   ExperimentOptions options_;
   InstanceRegistry registry_;
   std::unique_ptr<ThreadPool> pool_;
-  std::unique_ptr<ThreadPool> sample_pool_;  // only for --sample-threads N>=2
+  /// Dedicated sample pools, one per requested width N >= 2.
+  std::map<std::size_t, std::unique_ptr<ThreadPool>> sample_pools_;
   std::map<std::string, std::unique_ptr<RrOracle>> oracles_;
 };
 

@@ -36,13 +36,53 @@ StatusOr<const InfluenceGraph*> InstanceRegistry::GetInstance(
   return ptr;
 }
 
+StatusOr<const LtWeights*> InstanceRegistry::GetLtWeights(
+    const std::string& network, ProbabilityModel prob) {
+  std::string key = network + "/" + ProbabilityModelName(prob);
+  auto it = lt_weights_.find(key);
+  if (it != lt_weights_.end()) return it->second.get();
+  StatusOr<const InfluenceGraph*> instance = GetInstance(network, prob);
+  if (!instance.ok()) return instance.status();
+  // Validate here (LtWeights CHECK-fails): an LT-invalid probability
+  // setting is a user input, not a programmer error.
+  if (!IsValidLtGraph(*instance.value())) {
+    return Status::InvalidArgument(
+        key + " is not LT-valid: per-vertex in-weights must sum to <= 1 "
+              "(use iwc)");
+  }
+  auto weights = std::make_unique<LtWeights>(instance.value());
+  const LtWeights* ptr = weights.get();
+  lt_weights_[key] = std::move(weights);
+  return ptr;
+}
+
+StatusOr<ModelInstance> InstanceRegistry::GetModelInstance(
+    const std::string& network, ProbabilityModel prob, DiffusionModel model) {
+  if (model == DiffusionModel::kLt) {
+    StatusOr<const LtWeights*> weights = GetLtWeights(network, prob);
+    if (!weights.ok()) return weights.status();
+    return ModelInstance::Lt(weights.value());
+  }
+  StatusOr<const InfluenceGraph*> instance = GetInstance(network, prob);
+  if (!instance.ok()) return instance.status();
+  return ModelInstance::Ic(instance.value());
+}
+
 void InstanceRegistry::RegisterGraph(const std::string& network,
                                      Graph graph) {
   graphs_[network] = std::make_unique<Graph>(std::move(graph));
-  // Invalidate cached influence graphs of this network.
+  // Invalidate cached influence graphs (and their LT tables) of this
+  // network.
   for (auto it = instances_.begin(); it != instances_.end();) {
     if (it->first.rfind(network + "/", 0) == 0) {
       it = instances_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = lt_weights_.begin(); it != lt_weights_.end();) {
+    if (it->first.rfind(network + "/", 0) == 0) {
+      it = lt_weights_.erase(it);
     } else {
       ++it;
     }

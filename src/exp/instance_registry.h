@@ -1,5 +1,6 @@
 // InstanceRegistry: builds and caches (network, probability-setting)
-// influence graphs so each bench constructs a dataset exactly once.
+// influence graphs — and their LT weight tables — so each bench
+// constructs a dataset exactly once.
 
 #ifndef SOLDIST_EXP_INSTANCE_REGISTRY_H_
 #define SOLDIST_EXP_INSTANCE_REGISTRY_H_
@@ -10,6 +11,8 @@
 
 #include "gen/datasets.h"
 #include "graph/builder.h"
+#include "model/diffusion.h"
+#include "model/lt.h"
 #include "model/probability.h"
 #include "util/status.h"
 
@@ -33,6 +36,19 @@ class InstanceRegistry {
   StatusOr<const InfluenceGraph*> GetInstance(const std::string& network,
                                               ProbabilityModel prob);
 
+  /// The LT weight table of (network, prob), cached alongside the
+  /// influence graph. Fails with InvalidArgument when the probability
+  /// setting is not LT-valid (per-vertex in-weights must sum to <= 1 —
+  /// iwc always qualifies; uc0.1 on high-in-degree graphs does not).
+  StatusOr<const LtWeights*> GetLtWeights(const std::string& network,
+                                          ProbabilityModel prob);
+
+  /// The full (graph, model) workload of (network, prob, model): resolves
+  /// LtWeights for kLt, nothing extra for kIc.
+  StatusOr<ModelInstance> GetModelInstance(const std::string& network,
+                                           ProbabilityModel prob,
+                                           DiffusionModel model);
+
   /// Registers an externally loaded graph (e.g. a real SNAP edge list)
   /// under `network`, replacing the synthetic builder for that name.
   void RegisterGraph(const std::string& network, Graph graph);
@@ -44,6 +60,7 @@ class InstanceRegistry {
   VertexId star_n_;
   std::map<std::string, std::unique_ptr<Graph>> graphs_;
   std::map<std::string, std::unique_ptr<InfluenceGraph>> instances_;
+  std::map<std::string, std::unique_ptr<LtWeights>> lt_weights_;
 };
 
 }  // namespace soldist

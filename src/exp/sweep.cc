@@ -4,7 +4,7 @@
 
 namespace soldist {
 
-std::vector<SweepCell> RunSweep(const InfluenceGraph& ig,
+std::vector<SweepCell> RunSweep(const ModelInstance& instance,
                                 const RrOracle& oracle,
                                 const SweepConfig& config, ThreadPool* pool) {
   SOLDIST_CHECK(config.min_exponent >= 0);
@@ -25,7 +25,7 @@ std::vector<SweepCell> RunSweep(const InfluenceGraph& ig,
 
     SweepCell cell;
     cell.sample_number = cell_config.sample_number;
-    cell.result = RunTrials(ig, cell_config, pool);
+    cell.result = RunTrials(instance, cell_config, pool);
     EvaluateInfluence(oracle, &cell.result);
     cell.entropy = cell.result.distribution.Entropy();
     cell.summary.sample_number = cell.sample_number;
@@ -35,6 +35,12 @@ std::vector<SweepCell> RunSweep(const InfluenceGraph& ig,
     cells.push_back(std::move(cell));
   }
   return cells;
+}
+
+std::vector<SweepCell> RunSweep(const InfluenceGraph& ig,
+                                const RrOracle& oracle,
+                                const SweepConfig& config, ThreadPool* pool) {
+  return RunSweep(ModelInstance::Ic(&ig), oracle, config, pool);
 }
 
 std::vector<SweepPoint> CurveOf(const std::vector<SweepCell>& cells) {

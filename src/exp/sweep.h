@@ -35,9 +35,16 @@ struct SweepCell {
   SweepPoint summary;
 };
 
-/// Runs the sweep; every cell's influence is evaluated with `oracle`.
-/// Cells use master seeds derived from (config.master_seed, exponent) so
-/// the whole sweep is reproducible and cells are independent.
+/// Runs the sweep under `instance`'s diffusion model; every cell's
+/// influence is evaluated with `oracle` (which must be built for the same
+/// model — ExperimentContext::Oracle keys oracles by model). Cells use
+/// master seeds derived from (config.master_seed, exponent) so the whole
+/// sweep is reproducible and cells are independent.
+std::vector<SweepCell> RunSweep(const ModelInstance& instance,
+                                const RrOracle& oracle,
+                                const SweepConfig& config, ThreadPool* pool);
+
+/// IC convenience overload (the pre-LT signature).
 std::vector<SweepCell> RunSweep(const InfluenceGraph& ig,
                                 const RrOracle& oracle,
                                 const SweepConfig& config, ThreadPool* pool);

@@ -8,8 +8,9 @@
 
 namespace soldist {
 
-TrialResult RunTrials(const InfluenceGraph& ig, const TrialConfig& config,
-                      ThreadPool* pool) {
+TrialResult RunTrials(const ModelInstance& instance,
+                      const TrialConfig& config, ThreadPool* pool) {
+  SOLDIST_CHECK(instance.ig != nullptr);
   SOLDIST_CHECK(config.trials >= 1);
   TrialResult result;
   result.seed_sets.resize(config.trials);
@@ -42,11 +43,12 @@ TrialResult RunTrials(const InfluenceGraph& ig, const TrialConfig& config,
     std::uint64_t shuffle_seed =
         DeriveSeed(config.master_seed, 2 * t + 1);
     auto estimator =
-        MakeEstimator(&ig, config.approach, config.sample_number,
+        MakeEstimator(instance, config.approach, config.sample_number,
                       estimator_seed, config.snapshot_mode, sampling);
     Rng tie_rng(shuffle_seed);
-    GreedyRunResult run =
-        RunGreedy(estimator.get(), ig.num_vertices(), config.k, &tie_rng);
+    GreedyRunResult run = RunGreedy(estimator.get(),
+                                    instance.ig->num_vertices(), config.k,
+                                    &tie_rng);
     result.seed_sets[t] = run.SortedSeedSet();
     counters[t] = estimator->counters();
   };
@@ -63,6 +65,11 @@ TrialResult RunTrials(const InfluenceGraph& ig, const TrialConfig& config,
     result.total_counters += counters[t];
   }
   return result;
+}
+
+TrialResult RunTrials(const InfluenceGraph& ig, const TrialConfig& config,
+                      ThreadPool* pool) {
+  return RunTrials(ModelInstance::Ic(&ig), config, pool);
 }
 
 void EvaluateInfluence(const RrOracle& oracle, TrialResult* result) {

@@ -13,6 +13,7 @@
 #include "core/oneshot.h"
 #include "core/ris.h"
 #include "core/snapshot.h"
+#include "model/diffusion.h"
 #include "oracle/rr_oracle.h"
 #include "sim/sampling_engine.h"
 #include "stats/influence_distribution.h"
@@ -67,11 +68,17 @@ struct TrialResult {
 /// is the one shared worker pool: with sequential `config.sampling` the
 /// trials fan out across it; with an engine-enabled `config.sampling` the
 /// trials run in order and the pool serves each trial's sampling chunks.
-/// Either way the worker count never affects the result — but note the
-/// two sampling modes are distinct stream families: engine-path results
-/// match other engine runs with the same chunk_size, not the legacy
-/// sequential default. Influence is NOT evaluated here — call
-/// EvaluateInfluence with the instance's shared oracle.
+/// Either way the worker count never affects the result — but note that
+/// for IC the two sampling modes are distinct stream families:
+/// engine-path results match other engine runs with the same chunk_size,
+/// not the legacy sequential default. (LT always uses the chunked
+/// streams, so LT results are byte-identical across ALL sampling
+/// configurations with the same chunk_size.) Influence is NOT evaluated
+/// here — call EvaluateInfluence with the instance's shared oracle.
+TrialResult RunTrials(const ModelInstance& instance,
+                      const TrialConfig& config, ThreadPool* pool);
+
+/// IC convenience overload (the pre-LT signature).
 TrialResult RunTrials(const InfluenceGraph& ig, const TrialConfig& config,
                       ThreadPool* pool);
 

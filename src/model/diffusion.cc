@@ -1,0 +1,23 @@
+#include "model/diffusion.h"
+
+namespace soldist {
+
+std::string DiffusionModelName(DiffusionModel model) {
+  switch (model) {
+    case DiffusionModel::kIc:
+      return "ic";
+    case DiffusionModel::kLt:
+      return "lt";
+  }
+  SOLDIST_CHECK(false) << "unreachable";
+  return "";
+}
+
+StatusOr<DiffusionModel> ParseDiffusionModel(const std::string& name) {
+  if (name == "ic" || name == "IC") return DiffusionModel::kIc;
+  if (name == "lt" || name == "LT") return DiffusionModel::kLt;
+  return Status::InvalidArgument("unknown diffusion model: '" + name +
+                                 "' (expected ic or lt)");
+}
+
+}  // namespace soldist

@@ -1,0 +1,54 @@
+// DiffusionModel: the diffusion-model dimension of an experiment. The
+// paper's solution-distribution study runs under both the independent
+// cascade (IC) and linear threshold (LT) models; every layer above model/
+// selects between them through a ModelInstance so no experiment can
+// silently drop a model family.
+
+#ifndef SOLDIST_MODEL_DIFFUSION_H_
+#define SOLDIST_MODEL_DIFFUSION_H_
+
+#include <string>
+
+#include "model/influence_graph.h"
+#include "model/lt.h"
+#include "util/status.h"
+
+namespace soldist {
+
+/// The two diffusion models (paper Section 2.2 and Section 1's LT
+/// citation), in flag order.
+enum class DiffusionModel {
+  kIc,  ///< independent cascade            ("ic")
+  kLt,  ///< linear threshold               ("lt")
+};
+
+/// Canonical short name: "ic" / "lt" (also the --model flag values).
+std::string DiffusionModelName(DiffusionModel model);
+
+/// Inverse of DiffusionModelName; accepts "ic"/"IC" and "lt"/"LT".
+StatusOr<DiffusionModel> ParseDiffusionModel(const std::string& name);
+
+/// \brief One diffusion workload: an influence graph plus the model to
+/// run on it, with the LT weight table resolved when model == kLt.
+///
+/// This is the unit the unified estimator factory, the trial runner, and
+/// the sweeps operate on; the InstanceRegistry builds and caches the
+/// LtWeights alongside the InfluenceGraph.
+struct ModelInstance {
+  const InfluenceGraph* ig = nullptr;
+  DiffusionModel model = DiffusionModel::kIc;
+  /// Non-null iff model == kLt (the per-vertex cumulative in-weight
+  /// table; requires in-weights summing to <= 1, e.g. the iwc setting).
+  const LtWeights* lt_weights = nullptr;
+
+  static ModelInstance Ic(const InfluenceGraph* ig) {
+    return {ig, DiffusionModel::kIc, nullptr};
+  }
+  static ModelInstance Lt(const LtWeights* weights) {
+    return {&weights->influence_graph(), DiffusionModel::kLt, weights};
+  }
+};
+
+}  // namespace soldist
+
+#endif  // SOLDIST_MODEL_DIFFUSION_H_

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "sim/lt_samplers.h"
 #include "sim/max_coverage.h"
 #include "random/splitmix64.h"
 
@@ -20,6 +21,23 @@ RrOracle::RrOracle(const InfluenceGraph* ig, std::uint64_t num_rr_sets,
     sampler.Sample(&target_rng, &coin_rng, &rr_set, &scratch_counters);
     collection_.Add(rr_set);
   }
+  collection_.BuildIndex();
+}
+
+RrOracle::RrOracle(const LtWeights* lt_weights, std::uint64_t num_rr_sets,
+                   std::uint64_t seed)
+    : ig_(&lt_weights->influence_graph()),
+      collection_(ig_->num_vertices()) {
+  SOLDIST_CHECK(num_rr_sets >= 1);
+  // Reuse the chunked shard sampler rather than a second sequential loop
+  // (the inline engine keeps the build deterministic in `seed` alone; the
+  // oracle is new with LT support, so there is no legacy stream to
+  // preserve and paper-scale builds can later attach a pool here).
+  SamplingEngine engine;
+  std::vector<RrShard> shards =
+      SampleLtRrShards(*lt_weights, DeriveSeed(seed, 11), num_rr_sets,
+                       &engine);
+  collection_.Merge(shards);
   collection_.BuildIndex();
 }
 

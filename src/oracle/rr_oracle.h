@@ -2,6 +2,9 @@
 // collection of RR sets, reused across all runs of all algorithms on an
 // instance so identical seed sets always receive identical influence
 // values. The paper uses 10^7 RR sets; the size is a parameter here.
+// Coverage estimation n·F_R(S) is diffusion-model-agnostic, so the same
+// oracle class serves IC (BFS RR sets) and LT (backward-walk RR sets) —
+// the constructor picks the sampler.
 
 #ifndef SOLDIST_ORACLE_RR_ORACLE_H_
 #define SOLDIST_ORACLE_RR_ORACLE_H_
@@ -9,6 +12,7 @@
 #include <vector>
 
 #include "model/influence_graph.h"
+#include "model/lt.h"
 #include "sim/rr_sampler.h"
 
 namespace soldist {
@@ -17,8 +21,13 @@ namespace soldist {
 /// solver.
 class RrOracle {
  public:
-  /// Builds the oracle with `num_rr_sets` RR sets.
+  /// Builds an IC oracle with `num_rr_sets` RR sets.
   RrOracle(const InfluenceGraph* ig, std::uint64_t num_rr_sets,
+           std::uint64_t seed);
+
+  /// Builds an LT oracle: `num_rr_sets` backward-walk RR sets drawn from
+  /// `lt_weights` (which must outlive the oracle).
+  RrOracle(const LtWeights* lt_weights, std::uint64_t num_rr_sets,
            std::uint64_t seed);
 
   /// Unbiased influence estimate n · F_R(S).

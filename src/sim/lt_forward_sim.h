@@ -4,6 +4,7 @@
 #ifndef SOLDIST_SIM_LT_FORWARD_SIM_H_
 #define SOLDIST_SIM_LT_FORWARD_SIM_H_
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "model/influence_graph.h"
 #include "random/rng.h"
 #include "sim/counters.h"
+#include "sim/sampling_engine.h"
 
 namespace soldist {
 
@@ -41,6 +43,29 @@ class LtForwardSimulator {
   std::vector<double> threshold_;
   std::vector<VertexId> queue_;
 };
+
+/// Per-worker-slot simulator cache for EstimateLtInfluenceSharded, the LT
+/// counterpart of ForwardSimulatorCache: pass the same cache across calls
+/// so each slot's O(n) simulator is built once, not per chunk. Scratch
+/// reuse never affects results — all randomness comes from the per-chunk
+/// streams.
+using LtForwardSimulatorCache =
+    std::vector<std::unique_ptr<LtForwardSimulator>>;
+
+/// Mean activated count over `runs` LT diffusions from `seeds`, fanned out
+/// through `engine` with per-chunk PRNG streams (chunk c draws from
+/// DeriveSeed(DeriveSeed(master_seed, c), 1), mirroring the IC
+/// EstimateInfluenceSharded). Activated counts are integers accumulated
+/// per chunk and merged in chunk order, so the result is byte-identical
+/// for any worker count. `cache` (optional) must not be shared between
+/// concurrently running calls.
+double EstimateLtInfluenceSharded(const InfluenceGraph& ig,
+                                  std::span<const VertexId> seeds,
+                                  std::uint64_t runs,
+                                  std::uint64_t master_seed,
+                                  SamplingEngine* engine,
+                                  TraversalCounters* counters,
+                                  LtForwardSimulatorCache* cache = nullptr);
 
 }  // namespace soldist
 

@@ -1,6 +1,9 @@
 #include "sim/lt_samplers.h"
 
 #include <algorithm>
+#include <memory>
+
+#include "random/splitmix64.h"
 
 namespace soldist {
 
@@ -14,8 +17,12 @@ Snapshot LtSnapshotSampler::Sample(Rng* rng, TraversalCounters* counters) {
 
   scratch_arcs_.clear();
   for (VertexId v = 0; v < n; ++v) {
+    // Build work, counted like the RR walk: one vertex examination per
+    // SampleLiveInEdge, one edge examination per kept live edge.
+    counters->vertices += 1;
     EdgeId pos = weights_->SampleLiveInEdge(v, rng);
     if (pos == LtWeights::kNoInEdge) continue;
+    counters->edges += 1;
     scratch_arcs_.push_back({g.in_sources()[pos], v});
   }
   // Counting sort by source into the out-CSR snapshot.
@@ -69,6 +76,59 @@ void LtRrSampler::SampleForTarget(VertexId target, Rng* coin_rng,
     current = u;
   }
   counters->sample_vertices += out->size();
+}
+
+std::vector<RrShard> SampleLtRrShards(const LtWeights& weights,
+                                      std::uint64_t master_seed,
+                                      std::uint64_t count,
+                                      SamplingEngine* engine) {
+  std::vector<RrShard> shards(engine->NumChunks(count));
+  // Per-worker-slot samplers: O(n) scratch built at most once per slot and
+  // reused across chunks; scratch never affects output (every chunk's
+  // randomness comes from its own derived streams).
+  std::vector<std::unique_ptr<LtRrSampler>> samplers(engine->num_workers());
+  engine->Run(master_seed, count,
+              [&](const SamplingEngine::Chunk& chunk, std::size_t slot) {
+    if (samplers[slot] == nullptr) {
+      samplers[slot] = std::make_unique<LtRrSampler>(&weights);
+    }
+    Rng target_rng(DeriveSeed(chunk.seed, 1));
+    Rng coin_rng(DeriveSeed(chunk.seed, 2));
+    RrShard& shard = shards[chunk.index];
+    shard.offsets.reserve(chunk.end - chunk.begin + 1);
+    shard.offsets.push_back(0);
+    std::vector<VertexId> rr_set;
+    for (std::uint64_t i = chunk.begin; i < chunk.end; ++i) {
+      samplers[slot]->Sample(&target_rng, &coin_rng, &rr_set,
+                             &shard.counters);
+      shard.flat.insert(shard.flat.end(), rr_set.begin(), rr_set.end());
+      shard.offsets.push_back(static_cast<std::uint64_t>(shard.flat.size()));
+    }
+  });
+  return shards;
+}
+
+std::vector<SnapshotShard> SampleLtSnapshotShards(const LtWeights& weights,
+                                                  std::uint64_t master_seed,
+                                                  std::uint64_t count,
+                                                  SamplingEngine* engine) {
+  std::vector<SnapshotShard> shards(engine->NumChunks(count));
+  std::vector<std::unique_ptr<LtSnapshotSampler>> samplers(
+      engine->num_workers());
+  engine->Run(master_seed, count,
+              [&](const SamplingEngine::Chunk& chunk, std::size_t slot) {
+    if (samplers[slot] == nullptr) {
+      samplers[slot] = std::make_unique<LtSnapshotSampler>(&weights);
+    }
+    Rng rng(DeriveSeed(chunk.seed, 1));
+    SnapshotShard& shard = shards[chunk.index];
+    shard.snapshots.reserve(chunk.end - chunk.begin);
+    for (std::uint64_t i = chunk.begin; i < chunk.end; ++i) {
+      shard.snapshots.push_back(
+          samplers[slot]->Sample(&rng, &shard.counters));
+    }
+  });
+  return shards;
 }
 
 }  // namespace soldist

@@ -5,6 +5,11 @@
 //  * an LT snapshot has at most n live edges (in-degree <= 1);
 //  * an LT RR set is a backward *walk* (each vertex has one candidate
 //    live in-edge), so generation is a chain, not a BFS tree.
+//
+// Both samplers also come in chunked batch form (SampleLtRrShards /
+// SampleLtSnapshotShards) on top of SamplingEngine, mirroring the IC
+// shard samplers: chunk c draws from streams derived from the chunk seed
+// alone, so LT parallel builds are byte-identical for any worker count.
 
 #ifndef SOLDIST_SIM_LT_SAMPLERS_H_
 #define SOLDIST_SIM_LT_SAMPLERS_H_
@@ -12,6 +17,8 @@
 #include <vector>
 
 #include "model/lt.h"
+#include "sim/rr_sampler.h"
+#include "sim/sampling_engine.h"
 #include "sim/snapshot_sampler.h"
 
 namespace soldist {
@@ -23,7 +30,12 @@ class LtSnapshotSampler {
   explicit LtSnapshotSampler(const LtWeights* weights);
 
   /// Draws one LT snapshot: per vertex, at most one live in-edge.
-  /// Stored live edges count toward counters->sample_edges.
+  ///
+  /// Build accounting mirrors LtRrSampler: each vertex's SampleLiveInEdge
+  /// is one vertex examination (+1 vertex) and a kept live edge is one
+  /// edge examination (+1 edge), so LT snapshot build cost shows up in
+  /// Table-8-style traversal accounting. Stored live edges count toward
+  /// counters->sample_edges.
   Snapshot Sample(Rng* rng, TraversalCounters* counters);
 
   /// Reachability on a sampled snapshot (delegates to the shared BFS).
@@ -59,6 +71,26 @@ class LtRrSampler {
   const LtWeights* weights_;
   VisitedMarker visited_;
 };
+
+/// Samples `count` LT RR sets through `engine`, one RrShard per chunk.
+///
+/// Chunk c derives its (target, coin) stream pair from the chunk seed
+/// DeriveSeed(master_seed, c) exactly like the IC SampleRrShards, so the
+/// shard sequence — and therefore the merged collection — is
+/// byte-identical for any worker count.
+std::vector<RrShard> SampleLtRrShards(const LtWeights& weights,
+                                      std::uint64_t master_seed,
+                                      std::uint64_t count,
+                                      SamplingEngine* engine);
+
+/// Samples `count` LT snapshots through `engine`, one SnapshotShard per
+/// chunk; chunk c draws from a stream seeded with
+/// DeriveSeed(DeriveSeed(master_seed, c), 1), mirroring the IC
+/// SampleSnapshotShards.
+std::vector<SnapshotShard> SampleLtSnapshotShards(const LtWeights& weights,
+                                                  std::uint64_t master_seed,
+                                                  std::uint64_t count,
+                                                  SamplingEngine* engine);
 
 }  // namespace soldist
 

@@ -29,10 +29,16 @@ std::vector<ComparablePair> ComputeComparablePairs(
   }
   std::vector<ComparablePair> pairs;
   for (const SweepPoint& p1 : curve1) {
+    // A sample number of 0 is invalid data (the CHECKs above only enforce
+    // strictly-increasing, so a leading 0 slips through): as s1 it would
+    // make number_ratio infinite, as s2 it would make it 0 — either
+    // poisons MedianNumberRatio. Skip such points.
+    if (p1.sample_number == 0) continue;
     // Least s2 whose mean reaches mean1(s1). Curves can be noisy, so scan
     // in increasing order and stop at the first match.
     const SweepPoint* match = nullptr;
     for (const SweepPoint& p2 : curve2) {
+      if (p2.sample_number == 0) continue;
       if (p2.mean_influence >= p1.mean_influence) {
         match = &p2;
         break;

@@ -36,7 +36,9 @@ struct ComparablePair {
 ///
 /// For each point of `curve1`, finds the least sample number in `curve2`
 /// whose mean influence is >= that point's mean. Points of curve1 that no
-/// point of curve2 reaches are skipped (the paper's "-" cells).
+/// point of curve2 reaches are skipped (the paper's "-" cells), as are
+/// points with sample_number == 0 on either curve (invalid data whose
+/// ratios would be infinite or zero).
 std::vector<ComparablePair> ComputeComparablePairs(
     const std::vector<SweepPoint>& curve1,
     const std::vector<SweepPoint>& curve2);

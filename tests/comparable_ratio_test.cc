@@ -82,6 +82,22 @@ TEST(ComparableRatioTest, EmptyInputs) {
   EXPECT_FALSE(MedianSizeRatio(pairs).has_value());
 }
 
+TEST(ComparableRatioTest, ZeroSampleNumberPointsSkipped) {
+  // A leading sample_number == 0 point passes the strictly-increasing
+  // CHECKs but would make number_ratio infinite (as s1) or zero (as s2),
+  // poisoning MedianNumberRatio; such invalid points must be skipped.
+  auto curve1 = Curve({{0, 5.0, 1.0}, {2, 20.0, 10.0}});
+  auto curve2 = Curve({{0, 50.0, 1.0}, {4, 30.0, 4.0}});
+  auto pairs = ComputeComparablePairs(curve1, curve2);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].s1, 2u);
+  EXPECT_EQ(pairs[0].s2, 4u);  // the s2 = 0 point is never a match
+  EXPECT_DOUBLE_EQ(pairs[0].number_ratio, 2.0);
+  auto median = MedianNumberRatio(pairs);
+  ASSERT_TRUE(median.has_value());
+  EXPECT_TRUE(std::isfinite(*median));
+}
+
 TEST(ComparableRatioTest, RatioBelowOnePossible) {
   // alg2 can be *more* sample-efficient: ratio < 1.
   auto curve1 = Curve({{8, 10.0, 8.0}});

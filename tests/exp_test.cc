@@ -35,6 +35,43 @@ TEST(InstanceRegistryTest, UnknownNetworkFails) {
   EXPECT_FALSE(registry.GetGraph("NoSuchNetwork").ok());
 }
 
+TEST(InstanceRegistryTest, LtWeightsCachedAndValidated) {
+  InstanceRegistry registry(42);
+  auto a = registry.GetLtWeights("Karate", ProbabilityModel::kIwc);
+  auto b = registry.GetLtWeights("Karate", ProbabilityModel::kIwc);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value(), b.value());  // same pointer: cached
+  // uc0.1 on Karate sums some vertex's in-weights past 1: LT-invalid is a
+  // user error reported as a status, not a crash.
+  auto bad = registry.GetLtWeights("Karate", ProbabilityModel::kUc01);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(InstanceRegistryTest, ModelInstanceResolvesLtWeights) {
+  InstanceRegistry registry(42);
+  auto ic = registry.GetModelInstance("Karate", ProbabilityModel::kIwc,
+                                      DiffusionModel::kIc);
+  ASSERT_TRUE(ic.ok());
+  EXPECT_EQ(ic.value().model, DiffusionModel::kIc);
+  EXPECT_EQ(ic.value().lt_weights, nullptr);
+  auto lt = registry.GetModelInstance("Karate", ProbabilityModel::kIwc,
+                                      DiffusionModel::kLt);
+  ASSERT_TRUE(lt.ok());
+  EXPECT_EQ(lt.value().model, DiffusionModel::kLt);
+  ASSERT_NE(lt.value().lt_weights, nullptr);
+  EXPECT_EQ(lt.value().ig, &lt.value().lt_weights->influence_graph());
+}
+
+TEST(DiffusionModelTest, ParseAndName) {
+  EXPECT_EQ(DiffusionModelName(DiffusionModel::kIc), "ic");
+  EXPECT_EQ(DiffusionModelName(DiffusionModel::kLt), "lt");
+  auto lt = ParseDiffusionModel("lt");
+  ASSERT_TRUE(lt.ok());
+  EXPECT_EQ(lt.value(), DiffusionModel::kLt);
+  EXPECT_FALSE(ParseDiffusionModel("sir").ok());
+}
+
 TEST(InstanceRegistryTest, RegisterGraphOverrides) {
   InstanceRegistry registry(42);
   EdgeList tiny;
@@ -181,6 +218,33 @@ TEST(ExperimentTest, GridCapsScaledVsFull) {
   EXPECT_EQ(scaled.MaxExp(Approach::kRis), scaled.ris_max_exp);
 }
 
+TEST(SweepTest, LtSweepRunsEndToEnd) {
+  ExperimentOptions options;
+  options.trials = 6;
+  options.oracle_rr = 2000;
+  options.seed = 2;
+  options.model = DiffusionModel::kLt;
+  ExperimentContext context(options);
+  ModelInstance instance = context.Model("Karate", ProbabilityModel::kIwc);
+  const RrOracle& oracle = context.Oracle("Karate", ProbabilityModel::kIwc);
+  SweepConfig config;
+  config.approach = Approach::kRis;
+  config.k = 1;
+  config.trials = 6;
+  config.master_seed = 3;
+  config.min_exponent = 0;
+  config.max_exponent = 5;
+  auto cells = RunSweep(instance, oracle, config, nullptr);
+  ASSERT_EQ(cells.size(), 6u);
+  for (const auto& cell : cells) {
+    EXPECT_EQ(cell.result.influence.size(), 6u);
+    for (double v : cell.result.influence.values()) {
+      EXPECT_GE(v, 1.0);   // a seed always activates itself
+      EXPECT_LE(v, 34.0);  // bounded by n
+    }
+  }
+}
+
 TEST(ExperimentTest, ContextBuildsInstancesAndOracles) {
   ExperimentOptions options;
   options.trials = 5;
@@ -196,6 +260,22 @@ TEST(ExperimentTest, ContextBuildsInstancesAndOracles) {
   EXPECT_EQ(&context.Oracle("Karate", ProbabilityModel::kUc01), &oracle);
   EXPECT_EQ(context.TrialsFor("Karate"), 5u);
   EXPECT_EQ(context.TrialsFor("com-Youtube"), options.star_trials);
+}
+
+TEST(ExperimentTest, LtContextBuildsLtKeyedOracle) {
+  ExperimentOptions options;
+  options.trials = 5;
+  options.oracle_rr = 1000;
+  options.seed = 1;
+  options.model = DiffusionModel::kLt;
+  ExperimentContext context(options);
+  ModelInstance instance = context.Model("Karate", ProbabilityModel::kIwc);
+  EXPECT_EQ(instance.model, DiffusionModel::kLt);
+  ASSERT_NE(instance.lt_weights, nullptr);
+  const RrOracle& oracle = context.Oracle("Karate", ProbabilityModel::kIwc);
+  EXPECT_EQ(oracle.num_rr_sets(), 1000u);
+  // Cached on second access.
+  EXPECT_EQ(&context.Oracle("Karate", ProbabilityModel::kIwc), &oracle);
 }
 
 }  // namespace

@@ -1,0 +1,217 @@
+// Determinism regression for the parallel LT path, mirroring
+// sampling_engine_test for IC: LT builds draw through the chunked
+// deterministic streams for EVERY sampling configuration, so parallel
+// builds (num_threads ∈ {1, 2, 4}) must produce byte-identical shards and
+// identical seed sets to the sequential default — a stronger contract
+// than IC, whose sequential default is a distinct legacy stream family.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/factory.h"
+#include "core/greedy.h"
+#include "core/lt_estimators.h"
+#include "exp/trial_runner.h"
+#include "gen/datasets.h"
+#include "graph/builder.h"
+#include "model/diffusion.h"
+#include "model/probability.h"
+#include "sim/lt_forward_sim.h"
+#include "sim/lt_samplers.h"
+#include "sim/sampling_engine.h"
+
+namespace soldist {
+namespace {
+
+InfluenceGraph KarateIwc() {
+  Graph g = GraphBuilder::FromEdgeList(Datasets::Karate());
+  return MakeInfluenceGraph(std::move(g), ProbabilityModel::kIwc);
+}
+
+/// Sequential default, but with the test's chunk size (the chunk size —
+/// never the worker count — selects which stream produces which sample).
+SamplingOptions Sequential(std::uint64_t chunk_size = 64) {
+  SamplingOptions options;
+  options.chunk_size = chunk_size;
+  return options;
+}
+
+SamplingOptions Threads(int num_threads, std::uint64_t chunk_size = 64) {
+  SamplingOptions options;
+  options.num_threads = num_threads;
+  options.chunk_size = chunk_size;
+  return options;
+}
+
+void ExpectCountersEq(const TraversalCounters& a,
+                      const TraversalCounters& b) {
+  EXPECT_EQ(a.vertices, b.vertices);
+  EXPECT_EQ(a.edges, b.edges);
+  EXPECT_EQ(a.sample_vertices, b.sample_vertices);
+  EXPECT_EQ(a.sample_edges, b.sample_edges);
+}
+
+TEST(LtSamplingEngineTest, RrShardsIdenticalAcrossWorkerCounts) {
+  InfluenceGraph ig = KarateIwc();
+  LtWeights weights(&ig);
+  SamplingEngine sequential(Sequential(32));
+  auto reference = SampleLtRrShards(weights, 7, 500, &sequential);
+  for (int threads : {2, 4}) {
+    SamplingEngine parallel(Threads(threads, 32));
+    auto shards = SampleLtRrShards(weights, 7, 500, &parallel);
+    ASSERT_EQ(shards.size(), reference.size()) << threads;
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      EXPECT_EQ(shards[s].flat, reference[s].flat) << threads;
+      EXPECT_EQ(shards[s].offsets, reference[s].offsets) << threads;
+      ExpectCountersEq(shards[s].counters, reference[s].counters);
+    }
+  }
+}
+
+TEST(LtSamplingEngineTest, SnapshotShardsIdenticalAcrossWorkerCounts) {
+  InfluenceGraph ig = KarateIwc();
+  LtWeights weights(&ig);
+  SamplingEngine sequential(Sequential(16));
+  auto reference = SampleLtSnapshotShards(weights, 9, 200, &sequential);
+  for (int threads : {2, 4}) {
+    SamplingEngine parallel(Threads(threads, 16));
+    auto shards = SampleLtSnapshotShards(weights, 9, 200, &parallel);
+    ASSERT_EQ(shards.size(), reference.size()) << threads;
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      ASSERT_EQ(shards[s].snapshots.size(), reference[s].snapshots.size());
+      for (std::size_t i = 0; i < shards[s].snapshots.size(); ++i) {
+        EXPECT_EQ(shards[s].snapshots[i].out_offsets,
+                  reference[s].snapshots[i].out_offsets);
+        EXPECT_EQ(shards[s].snapshots[i].out_targets,
+                  reference[s].snapshots[i].out_targets);
+      }
+      ExpectCountersEq(shards[s].counters, reference[s].counters);
+    }
+  }
+}
+
+TEST(LtSamplingEngineTest, ShardedForwardSimIdenticalAndUnbiased) {
+  // Diamond with all weights 0.5: exact LT influence of {0} is 2.5.
+  EdgeList edges;
+  edges.num_vertices = 4;
+  edges.Add(0, 1);
+  edges.Add(0, 2);
+  edges.Add(1, 3);
+  edges.Add(2, 3);
+  InfluenceGraph ig(GraphBuilder::FromEdgeList(edges),
+                    std::vector<double>(4, 0.5));
+  const std::vector<VertexId> seeds = {0};
+
+  SamplingEngine sequential(Sequential(64));
+  TraversalCounters counters1;
+  double reference = EstimateLtInfluenceSharded(ig, seeds, 20000, 13,
+                                                &sequential, &counters1);
+  EXPECT_NEAR(reference, 2.5, 0.05);
+  for (int threads : {2, 4}) {
+    SamplingEngine parallel(Threads(threads, 64));
+    TraversalCounters counters;
+    double mean = EstimateLtInfluenceSharded(ig, seeds, 20000, 13,
+                                             &parallel, &counters);
+    EXPECT_DOUBLE_EQ(mean, reference) << threads;
+    ExpectCountersEq(counters, counters1);
+  }
+}
+
+/// Runs one greedy selection and returns (sorted seed set, counters).
+std::pair<std::vector<VertexId>, TraversalCounters> LtGreedyWith(
+    const LtWeights& weights, Approach approach, std::uint64_t samples,
+    const SamplingOptions& sampling, int k) {
+  auto estimator =
+      MakeLtEstimator(&weights, approach, samples, /*seed=*/21, sampling);
+  Rng tie_rng(123);
+  GreedyRunResult run = RunGreedy(
+      estimator.get(), weights.influence_graph().num_vertices(), k, &tie_rng);
+  return {run.SortedSeedSet(), estimator->counters()};
+}
+
+TEST(LtSamplingEngineTest, EstimatorsIdenticalAcrossThreadCounts) {
+  // The satellite contract: num_threads ∈ {1, 2, 4} all match the
+  // sequential default — seed sets AND counters.
+  InfluenceGraph ig = KarateIwc();
+  LtWeights weights(&ig);
+  for (Approach approach :
+       {Approach::kOneshot, Approach::kSnapshot, Approach::kRis}) {
+    std::uint64_t samples = approach == Approach::kRis ? 2000 : 256;
+    auto [seeds_ref, counters_ref] =
+        LtGreedyWith(weights, approach, samples, Sequential(), 3);
+    for (int threads : {2, 4}) {
+      auto [seeds, counters] =
+          LtGreedyWith(weights, approach, samples, Threads(threads), 3);
+      EXPECT_EQ(seeds, seeds_ref)
+          << ApproachName(approach) << " @ " << threads << " threads";
+      ExpectCountersEq(counters, counters_ref);
+    }
+  }
+}
+
+TEST(LtSamplingEngineTest, UnifiedFactoryRoutesBothModels) {
+  InfluenceGraph ig = KarateIwc();
+  LtWeights weights(&ig);
+  auto lt = MakeEstimator(ModelInstance::Lt(&weights), Approach::kRis, 64, 1);
+  EXPECT_EQ(lt->name(), "LT-RIS");
+  auto ic = MakeEstimator(ModelInstance::Ic(&ig), Approach::kRis, 64, 1);
+  EXPECT_EQ(ic->name(), "RIS");
+  // The unified overload must agree with the direct LT factory.
+  auto direct = MakeLtEstimator(&weights, Approach::kRis, 64, 1);
+  lt->Build();
+  direct->Build();
+  for (VertexId v = 0; v < 8; ++v) {
+    EXPECT_DOUBLE_EQ(lt->Estimate(v), direct->Estimate(v)) << v;
+  }
+}
+
+TEST(LtSamplingEngineTest, RunTrialsLtIdenticalAcrossSamplingModes) {
+  InfluenceGraph ig = KarateIwc();
+  LtWeights weights(&ig);
+  ModelInstance instance = ModelInstance::Lt(&weights);
+  TrialConfig config;
+  config.approach = Approach::kRis;
+  config.sample_number = 512;
+  config.k = 2;
+  config.trials = 6;
+  config.master_seed = 31;
+  config.sampling.chunk_size = 64;
+
+  // Sequential default (inline chunked streams)...
+  TrialResult sequential = RunTrials(instance, config, nullptr);
+
+  // ...vs sample-level parallelism on a shared pool...
+  ThreadPool four(4);
+  TrialConfig parallel_config = config;
+  parallel_config.sampling.num_threads = 0;  // engine on the shared pool
+  TrialResult sample_parallel = RunTrials(instance, parallel_config, &four);
+  EXPECT_EQ(sequential.seed_sets, sample_parallel.seed_sets);
+  ExpectCountersEq(sequential.total_counters,
+                   sample_parallel.total_counters);
+
+  // ...vs trial-level parallelism (legacy sampling mode fans trials out).
+  TrialResult trial_parallel = RunTrials(instance, config, &four);
+  EXPECT_EQ(sequential.seed_sets, trial_parallel.seed_sets);
+  ExpectCountersEq(sequential.total_counters,
+                   trial_parallel.total_counters);
+}
+
+TEST(LtSamplingEngineTest, OneshotEstimateSequenceIdentical) {
+  InfluenceGraph ig = KarateIwc();
+  LtWeights weights(&ig);
+  LtOneshotEstimator a(&weights, 256, 17, Sequential());
+  LtOneshotEstimator b(&weights, 256, 17, Threads(4));
+  a.Build();
+  b.Build();
+  for (VertexId v = 0; v < 8; ++v) {
+    ASSERT_DOUBLE_EQ(a.Estimate(v), b.Estimate(v)) << "vertex " << v;
+  }
+  a.Update(0);
+  b.Update(0);
+  ASSERT_DOUBLE_EQ(a.Estimate(5), b.Estimate(5));
+  ExpectCountersEq(a.counters(), b.counters());
+}
+
+}  // namespace
+}  // namespace soldist

@@ -145,6 +145,27 @@ TEST(LtSnapshotSamplerTest, AtMostOneInEdgePerVertex) {
   }
 }
 
+TEST(LtSnapshotSamplerTest, BuildWorkCounted) {
+  // Build-phase accounting must match the RR walk's: one vertex
+  // examination per SampleLiveInEdge, one edge examination per kept live
+  // edge — otherwise LT snapshot build cost is invisible to Table-8-style
+  // traversal-cost accounting.
+  InfluenceGraph ig = KarateIwc();
+  LtWeights weights(&ig);
+  LtSnapshotSampler sampler(&weights);
+  Rng rng(16);
+  TraversalCounters counters;
+  Snapshot snap = sampler.Sample(&rng, &counters);
+  EXPECT_EQ(counters.vertices, ig.num_vertices());
+  EXPECT_EQ(counters.edges, snap.num_live_edges());
+  EXPECT_EQ(counters.sample_edges, snap.num_live_edges());
+
+  // A second draw accumulates, never resets.
+  Snapshot snap2 = sampler.Sample(&rng, &counters);
+  EXPECT_EQ(counters.vertices, 2ull * ig.num_vertices());
+  EXPECT_EQ(counters.edges, snap.num_live_edges() + snap2.num_live_edges());
+}
+
 TEST(LtSnapshotSamplerTest, MeanReachMatchesExact) {
   InfluenceGraph ig = DiamondLt();
   LtWeights weights(&ig);

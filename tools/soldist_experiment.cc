@@ -1,0 +1,248 @@
+// soldist_experiment: the generic experiment harness. Runs the paper's
+// T-trial methodology for one (network, probability setting, diffusion
+// model) instance across the three approaches and a sample-number grid,
+// printing per-cell entropy, influence statistics, traversal costs, and
+// the modal seed set.
+//
+// --verify-threads "1,2,4" re-runs the whole experiment once per listed
+// --sample-threads value and CHECKs that every trial's seed set and every
+// distribution statistic is byte-identical across the runs — the
+// "parallelism must never silently change the experiment" invariant,
+// executable end-to-end. Under --model lt this holds for ANY list
+// including 1 (LT always draws through the chunked deterministic
+// streams); under --model ic the sequential default (1) is a distinct
+// legacy stream family, so only counts >= 2 are mutually comparable.
+//
+// Usage:
+//   soldist_experiment --network Karate --prob iwc --model lt --k 2
+//                      --sample-threads 4
+//   soldist_experiment --model lt --verify-threads 1,2,4   # determinism
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace soldist {
+namespace {
+
+struct HarnessParams {
+  std::string network;
+  ProbabilityModel prob = ProbabilityModel::kIwc;
+  int k = 1;
+  int min_exp = 0;
+  int max_exp = -1;  // -1: use the network's scaled grid cap
+};
+
+/// Serializes everything the determinism contract covers: every trial's
+/// seed set plus the derived distribution statistics of every cell.
+void SerializeCell(Approach approach, const SweepCell& cell,
+                   std::string* out) {
+  out->append(ApproachName(approach));
+  out->append(" s=" + std::to_string(cell.sample_number) + "\n");
+  for (const auto& seeds : cell.result.seed_sets) {
+    for (VertexId v : seeds) out->append(std::to_string(v) + ",");
+    out->push_back('\n');
+  }
+  char stats[256];
+  std::snprintf(stats, sizeof(stats),
+                "H=%.17g distinct=%llu inf_mean=%.17g inf_min=%.17g "
+                "inf_max=%.17g cost_v=%llu cost_e=%llu sample=%llu\n",
+                cell.entropy,
+                static_cast<unsigned long long>(
+                    cell.result.distribution.num_distinct_sets()),
+                cell.result.influence.Mean(), cell.result.influence.Min(),
+                cell.result.influence.Max(),
+                static_cast<unsigned long long>(
+                    cell.result.total_counters.vertices),
+                static_cast<unsigned long long>(
+                    cell.result.total_counters.edges),
+                static_cast<unsigned long long>(
+                    cell.result.total_counters.TotalSampleSize()));
+  out->append(stats);
+}
+
+/// Runs the full experiment on `context` with sample-level parallelism
+/// `sample_threads` and returns the serialized results; prints tables and
+/// fills `csv` when `print` is set. The context (and with it the dataset
+/// and the RR-set oracle) is shared across calls — only the sampling
+/// width varies, which by the determinism contract must not matter.
+std::string RunExperiment(ExperimentContext* context,
+                          std::int64_t sample_threads,
+                          const HarnessParams& params, bool print,
+                          CsvWriter* csv) {
+  const ExperimentOptions& options = context->options();
+  ModelInstance instance = context->Model(params.network, params.prob);
+  const RrOracle& oracle = context->Oracle(params.network, params.prob);
+  GridCaps caps = ScaledGridCaps(params.network, options.full);
+
+  std::string serialized;
+  for (Approach approach :
+       {Approach::kOneshot, Approach::kSnapshot, Approach::kRis}) {
+    SweepConfig config;
+    config.sampling = context->SamplingFor(sample_threads);
+    config.approach = approach;
+    config.k = params.k;
+    config.trials = context->TrialsFor(params.network);
+    config.master_seed = options.seed;
+    config.min_exponent = params.min_exp;
+    config.max_exponent =
+        params.max_exp >= 0
+            ? params.max_exp
+            : TrimExpForK(caps.MaxExp(approach), params.k, approach);
+    if (config.max_exponent < config.min_exponent) {
+      config.max_exponent = config.min_exponent;
+    }
+    WallTimer timer;
+    std::vector<SweepCell> cells =
+        RunSweep(instance, oracle, config, context->pool());
+    if (print) {
+      SOLDIST_LOG(Info) << ApproachName(approach) << " sweep in "
+                        << timer.HumanElapsed();
+      TextTable table({"sample number", "entropy", "distinct", "mean inf",
+                       "vertex cost", "edge cost", "sample size",
+                       "modal set"});
+      for (const SweepCell& cell : cells) {
+        std::string modal;
+        for (VertexId v : cell.result.distribution.ModalSet()) {
+          if (!modal.empty()) modal += " ";
+          modal += std::to_string(v);
+        }
+        table.AddRow({FormatPowerOfTwo(cell.sample_number),
+                      FormatDouble(cell.entropy, 3),
+                      std::to_string(
+                          cell.result.distribution.num_distinct_sets()),
+                      FormatDouble(cell.summary.mean_influence, 4),
+                      FormatCost(cell.result.MeanVertexCost(config.trials)),
+                      FormatCost(cell.result.MeanEdgeCost(config.trials)),
+                      FormatCost(cell.result.MeanSampleSize(config.trials)),
+                      "{" + modal + "}"});
+        if (csv != nullptr) {
+          csv->Row()
+              .Str(DiffusionModelName(options.model))
+              .Str(ApproachName(approach))
+              .UInt(cell.sample_number)
+              .Real(cell.entropy, 4)
+              .UInt(cell.result.distribution.num_distinct_sets())
+              .Real(cell.summary.mean_influence, 4)
+              .Real(cell.result.MeanVertexCost(config.trials), 2)
+              .Real(cell.result.MeanEdgeCost(config.trials), 2)
+              .Real(cell.result.MeanSampleSize(config.trials), 2)
+              .Done();
+        }
+      }
+      PrintTable(params.network + " (" + ProbabilityModelName(params.prob) +
+                     ", " + DiffusionModelName(options.model) +
+                     ", k=" + std::to_string(params.k) + ") — " +
+                     ApproachName(approach),
+                 table);
+    }
+    for (const SweepCell& cell : cells) {
+      SerializeCell(approach, cell, &serialized);
+    }
+  }
+  return serialized;
+}
+
+int Run(int argc, const char* const* argv) {
+  ArgParser args("soldist_experiment",
+                 "Run the T-trial solution-distribution methodology for one "
+                 "(network, probability, diffusion model) instance across "
+                 "the three approaches.");
+  AddExperimentFlags(&args);
+  args.AddString("network", "Karate", "network name (see gen/datasets)");
+  args.AddString("prob", "iwc",
+                 "edge-probability setting: uc0.1|uc0.01|iwc|owc|tv "
+                 "(--model lt needs an LT-valid setting, e.g. iwc)");
+  args.AddInt64("k", 1, "seed-set size");
+  args.AddInt64("min-exp", 0, "first sample number 2^min-exp");
+  args.AddInt64("max-exp", -1,
+                "last sample number 2^max-exp (-1 = the network's scaled "
+                "grid cap)");
+  args.AddString("verify-threads", "",
+                 "comma-separated --sample-threads values; re-runs the "
+                 "experiment per value and requires byte-identical seed "
+                 "sets and stats (with --model ic, 1 is the legacy stream "
+                 "family — include it only for lt)");
+  int exit_code = 0;
+  if (ShouldExitAfterParse(&args, argc, argv, &exit_code)) return exit_code;
+  ExperimentOptions options = ReadExperimentFlags(args);
+  if (!args.Provided("trials")) options.trials = 50;
+
+  HarnessParams params;
+  params.network = args.GetString("network");
+  StatusOr<ProbabilityModel> prob =
+      ParseProbabilityModel(args.GetString("prob"));
+  SOLDIST_CHECK(prob.ok()) << prob.status().ToString();
+  params.prob = prob.value();
+  params.k = static_cast<int>(args.GetInt64("k"));
+  params.min_exp = static_cast<int>(args.GetInt64("min-exp"));
+  params.max_exp = static_cast<int>(args.GetInt64("max-exp"));
+
+  PrintBanner("soldist_experiment: " + params.network + " (" +
+                  ProbabilityModelName(params.prob) + "), model=" +
+                  DiffusionModelName(options.model) +
+                  ", k=" + std::to_string(params.k),
+              options);
+
+  CsvWriter csv({"model", "approach", "sample_number", "entropy",
+                 "distinct_sets", "mean_influence", "mean_vertex_cost",
+                 "mean_edge_cost", "mean_sample_size"});
+
+  ExperimentContext context(options);
+
+  const std::string verify_list = args.GetString("verify-threads");
+  if (verify_list.empty()) {
+    RunExperiment(&context, options.sample_threads, params, /*print=*/true,
+                  &csv);
+    MaybeWriteCsv(csv, options.out_csv);
+    return 0;
+  }
+
+  // Determinism verification: one full run per sample-thread count on the
+  // ONE context (the dataset and oracle are width-independent, so they
+  // are built once); the first run prints, every later run must
+  // serialize identically.
+  std::vector<std::int64_t> counts;
+  for (const std::string& field : Split(verify_list, ',')) {
+    std::int64_t n = 0;
+    SOLDIST_CHECK(ParseInt64(Trim(field), &n) && n >= 0)
+        << "bad --verify-threads entry: " << field;
+    counts.push_back(n);
+  }
+  SOLDIST_CHECK(!counts.empty());
+  std::string reference;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    std::string serialized =
+        RunExperiment(&context, counts[i], params, /*print=*/i == 0,
+                      i == 0 ? &csv : nullptr);
+    if (i == 0) {
+      reference = std::move(serialized);
+    } else if (serialized != reference) {
+      std::fprintf(stderr,
+                   "FAIL: --sample-threads %lld changed the experiment "
+                   "(seed sets or stats differ from --sample-threads "
+                   "%lld)\n",
+                   static_cast<long long>(counts[i]),
+                   static_cast<long long>(counts[0]));
+      return 1;
+    } else {
+      std::printf("--sample-threads %lld: byte-identical to %lld\n",
+                  static_cast<long long>(counts[i]),
+                  static_cast<long long>(counts[0]));
+    }
+  }
+  std::printf("determinism verified: seed sets and distribution stats "
+              "byte-identical across sample-thread counts {%s}\n",
+              verify_list.c_str());
+  MaybeWriteCsv(csv, options.out_csv);
+  return 0;
+}
+
+}  // namespace
+}  // namespace soldist
+
+int main(int argc, char** argv) { return soldist::Run(argc, argv); }
