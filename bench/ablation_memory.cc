@@ -21,8 +21,10 @@ int Run(int argc, const char* const* argv) {
   args.AddString("networks", "Karate,Physicians,ca-GrQc,Wiki-Vote,BA_d",
                  "networks to run");
   int exit_code = 0;
-  if (ShouldExitAfterParse(&args, argc, argv, &exit_code)) return exit_code;
-  ExperimentOptions options = ReadExperimentFlags(args);
+  ExperimentOptions options;
+  if (ShouldExitAfterParse(&args, argc, argv, &exit_code, &options)) {
+    return exit_code;
+  }
   RequireIcModel(options, "ablation_memory");
   PrintBanner("RR-set compression ablation", options);
 

@@ -1,9 +1,13 @@
-// Shared helpers for the table/figure bench binaries.
+// Shared helpers for the table/figure bench binaries. Benches resolve
+// their (static) instance lists through ExperimentContext, which since
+// the api/ facade wraps an api::Session; everything flag-driven is
+// validated through Status so no CLI input can CHECK-abort.
 
 #ifndef SOLDIST_BENCH_BENCH_COMMON_H_
 #define SOLDIST_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "exp/experiment.h"
@@ -24,6 +28,24 @@ inline bool ShouldExitAfterParse(ArgParser* args, int argc,
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   }
   return true;
+}
+
+/// Parses argv AND validates the shared experiment flags into *options.
+/// Returns true when the program should exit (help, unknown flags, or
+/// invalid option values — e.g. --model sir, --trials -5), with the exit
+/// code in *exit_code and the explanation already printed to stderr.
+inline bool ShouldExitAfterParse(ArgParser* args, int argc,
+                                 const char* const* argv, int* exit_code,
+                                 ExperimentOptions* options) {
+  if (ShouldExitAfterParse(args, argc, argv, exit_code)) return true;
+  StatusOr<ExperimentOptions> parsed = ParseExperimentFlags(*args);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.status().ToString().c_str());
+    *exit_code = 1;
+    return true;
+  }
+  *options = std::move(parsed).value();
+  return false;
 }
 
 /// Prints the standard bench banner with the scaled-grid disclaimer.
@@ -47,13 +69,17 @@ inline void PrintBanner(const std::string& title,
 /// For IC-only benches: fail loudly when --model lt was requested, so the
 /// flag never silently changes (or skips) the experiment. Model-aware
 /// binaries (soldist_experiment, the LT entropy figure) honor the flag
-/// instead of calling this.
+/// instead of calling this. Prints the explanation and exits 1 — a flag
+/// combination is user input, so it must never CHECK-abort.
 inline void RequireIcModel(const ExperimentOptions& options,
                            const std::string& bench) {
-  SOLDIST_CHECK(options.model == DiffusionModel::kIc)
-      << bench << " reproduces an IC-only table/figure; run "
-      << "soldist_experiment --model lt or bench_figure7_entropy_lt "
-      << "for the LT counterpart";
+  if (options.model == DiffusionModel::kIc) return;
+  std::fprintf(stderr,
+               "error: %s reproduces an IC-only table/figure; run "
+               "soldist_experiment --model lt or bench_figure7_entropy_lt "
+               "for the LT counterpart\n",
+               bench.c_str());
+  std::exit(1);
 }
 
 /// Oneshot/Snapshot sweeps get slower as k grows (each Estimate simulates

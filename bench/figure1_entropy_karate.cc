@@ -18,8 +18,10 @@ int Run(int argc, const char* const* argv) {
   AddExperimentFlags(&args);
   args.AddString("k-list", "1,4,16", "comma-separated seed sizes");
   int exit_code = 0;
-  if (ShouldExitAfterParse(&args, argc, argv, &exit_code)) return exit_code;
-  ExperimentOptions options = ReadExperimentFlags(args);
+  ExperimentOptions options;
+  if (ShouldExitAfterParse(&args, argc, argv, &exit_code, &options)) {
+    return exit_code;
+  }
   RequireIcModel(options, "figure1_entropy_karate");
   if (!args.Provided("trials")) options.trials = 150;
   PrintBanner("Figure 1: entropy of seed-set distributions, Karate (uc0.1)",

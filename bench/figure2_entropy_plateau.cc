@@ -24,8 +24,10 @@ int Run(int argc, const char* const* argv) {
                  "almost-tied seed sets (iwc instances).");
   AddExperimentFlags(&args);
   int exit_code = 0;
-  if (ShouldExitAfterParse(&args, argc, argv, &exit_code)) return exit_code;
-  ExperimentOptions options = ReadExperimentFlags(args);
+  ExperimentOptions options;
+  if (ShouldExitAfterParse(&args, argc, argv, &exit_code, &options)) {
+    return exit_code;
+  }
   RequireIcModel(options, "figure2_entropy_plateau");
   if (!args.Provided("trials")) options.trials = 120;
   PrintBanner("Figure 2: entropy plateaus on iwc instances", options);

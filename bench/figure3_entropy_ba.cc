@@ -16,8 +16,10 @@ int Run(int argc, const char* const* argv) {
                  "setting (RIS, k=1, BA networks).");
   AddExperimentFlags(&args);
   int exit_code = 0;
-  if (ShouldExitAfterParse(&args, argc, argv, &exit_code)) return exit_code;
-  ExperimentOptions options = ReadExperimentFlags(args);
+  ExperimentOptions options;
+  if (ShouldExitAfterParse(&args, argc, argv, &exit_code, &options)) {
+    return exit_code;
+  }
   RequireIcModel(options, "figure3_entropy_ba");
   if (!args.Provided("trials")) options.trials = 120;
   PrintBanner("Figure 3: entropy decay by edge-probability setting", options);

@@ -18,8 +18,10 @@ int Run(int argc, const char* const* argv) {
   AddExperimentFlags(&args);
   args.AddInt64("k", 16, "seed-set size (paper: 16)");
   int exit_code = 0;
-  if (ShouldExitAfterParse(&args, argc, argv, &exit_code)) return exit_code;
-  ExperimentOptions options = ReadExperimentFlags(args);
+  ExperimentOptions options;
+  if (ShouldExitAfterParse(&args, argc, argv, &exit_code, &options)) {
+    return exit_code;
+  }
   RequireIcModel(options, "figure4_boxplot_physicians");
   // Oneshot with k=16 re-simulates 16-seed cascades: the priciest cell of
   // the harness. Keep the default T modest unless the user overrides.

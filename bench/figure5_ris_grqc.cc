@@ -19,8 +19,10 @@ int Run(int argc, const char* const* argv) {
                  "on ca-GrQc (uc0.1 vs owc, k=1).");
   AddExperimentFlags(&args);
   int exit_code = 0;
-  if (ShouldExitAfterParse(&args, argc, argv, &exit_code)) return exit_code;
-  ExperimentOptions options = ReadExperimentFlags(args);
+  ExperimentOptions options;
+  if (ShouldExitAfterParse(&args, argc, argv, &exit_code, &options)) {
+    return exit_code;
+  }
   RequireIcModel(options, "figure5_ris_grqc");
   if (!args.Provided("trials")) options.trials = 100;
   PrintBanner("Figure 5: RIS on ca-GrQc — quick vs slow convergence",

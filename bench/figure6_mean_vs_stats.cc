@@ -23,8 +23,10 @@ int Run(int argc, const char* const* argv) {
                  "of influence distributions on Physicians.");
   AddExperimentFlags(&args);
   int exit_code = 0;
-  if (ShouldExitAfterParse(&args, argc, argv, &exit_code)) return exit_code;
-  ExperimentOptions options = ReadExperimentFlags(args);
+  ExperimentOptions options;
+  if (ShouldExitAfterParse(&args, argc, argv, &exit_code, &options)) {
+    return exit_code;
+  }
   RequireIcModel(options, "figure6_mean_vs_stats");
   if (!args.Provided("trials")) options.trials = 60;
   PrintBanner("Figure 6: mean value vs other statistics", options);

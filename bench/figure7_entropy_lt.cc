@@ -21,8 +21,10 @@ int Run(int argc, const char* const* argv) {
   AddExperimentFlags(&args);
   args.AddString("k-list", "1,4", "comma-separated seed sizes");
   int exit_code = 0;
-  if (ShouldExitAfterParse(&args, argc, argv, &exit_code)) return exit_code;
-  ExperimentOptions options = ReadExperimentFlags(args);
+  ExperimentOptions options;
+  if (ShouldExitAfterParse(&args, argc, argv, &exit_code, &options)) {
+    return exit_code;
+  }
   if (!args.Provided("trials")) options.trials = 150;
   if (!args.Provided("model")) options.model = DiffusionModel::kLt;
   PrintBanner("Figure 7: entropy of seed-set distributions, Karate (iwc), "

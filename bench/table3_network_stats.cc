@@ -21,8 +21,10 @@ int Run(int argc, const char* const* argv) {
                 "sampled pairs for the average distance (paper reports it "
                 "only for Karate/BA_s/BA_d; 0 skips)");
   int exit_code = 0;
-  if (ShouldExitAfterParse(&args, argc, argv, &exit_code)) return exit_code;
-  ExperimentOptions options = ReadExperimentFlags(args);
+  ExperimentOptions options;
+  if (ShouldExitAfterParse(&args, argc, argv, &exit_code, &options)) {
+    return exit_code;
+  }
   RequireIcModel(options, "table3_network_stats");
   PrintBanner("Table 3: network statistics", options);
 

@@ -18,8 +18,10 @@ int Run(int argc, const char* const* argv) {
                  "on the BA networks.");
   AddExperimentFlags(&args);
   int exit_code = 0;
-  if (ShouldExitAfterParse(&args, argc, argv, &exit_code)) return exit_code;
-  ExperimentOptions options = ReadExperimentFlags(args);
+  ExperimentOptions options;
+  if (ShouldExitAfterParse(&args, argc, argv, &exit_code, &options)) {
+    return exit_code;
+  }
   RequireIcModel(options, "table4_top_influence");
   PrintBanner("Table 4: top three influence spread of a single vertex",
               options);

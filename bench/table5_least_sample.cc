@@ -52,8 +52,10 @@ int Run(int argc, const char* const* argv) {
                  "near-optimality factor vs the oracle-greedy reference");
   args.AddDouble("probability", 0.99, "required success probability");
   int exit_code = 0;
-  if (ShouldExitAfterParse(&args, argc, argv, &exit_code)) return exit_code;
-  ExperimentOptions options = ReadExperimentFlags(args);
+  ExperimentOptions options;
+  if (ShouldExitAfterParse(&args, argc, argv, &exit_code, &options)) {
+    return exit_code;
+  }
   RequireIcModel(options, "table5_least_sample");
   if (!args.Provided("trials")) options.trials = 30;
   PrintBanner("Table 5: least sample number for near-optimal solutions",

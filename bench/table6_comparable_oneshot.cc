@@ -28,8 +28,10 @@ int Run(int argc, const char* const* argv) {
                  "add them with --full time budgets)");
   args.AddString("k-list", "1,4,16", "seed sizes");
   int exit_code = 0;
-  if (ShouldExitAfterParse(&args, argc, argv, &exit_code)) return exit_code;
-  ExperimentOptions options = ReadExperimentFlags(args);
+  ExperimentOptions options;
+  if (ShouldExitAfterParse(&args, argc, argv, &exit_code, &options)) {
+    return exit_code;
+  }
   RequireIcModel(options, "table6_comparable_oneshot");
   if (!args.Provided("trials")) options.trials = 25;
   PrintBanner("Table 6 / Figure 7: Oneshot vs Snapshot comparable ratio",

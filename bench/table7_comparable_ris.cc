@@ -25,8 +25,10 @@ int Run(int argc, const char* const* argv) {
                  "networks to run");
   args.AddString("k-list", "1,4", "seed sizes");
   int exit_code = 0;
-  if (ShouldExitAfterParse(&args, argc, argv, &exit_code)) return exit_code;
-  ExperimentOptions options = ReadExperimentFlags(args);
+  ExperimentOptions options;
+  if (ShouldExitAfterParse(&args, argc, argv, &exit_code, &options)) {
+    return exit_code;
+  }
   RequireIcModel(options, "table7_comparable_ris");
   if (!args.Provided("trials")) options.trials = 25;
   PrintBanner("Table 7 / Figure 8: RIS vs Snapshot comparable ratios",

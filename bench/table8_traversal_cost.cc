@@ -22,8 +22,10 @@ int Run(int argc, const char* const* argv) {
                  "soc-Pokec,BA_s,BA_d",
                  "networks to run");
   int exit_code = 0;
-  if (ShouldExitAfterParse(&args, argc, argv, &exit_code)) return exit_code;
-  ExperimentOptions options = ReadExperimentFlags(args);
+  ExperimentOptions options;
+  if (ShouldExitAfterParse(&args, argc, argv, &exit_code, &options)) {
+    return exit_code;
+  }
   RequireIcModel(options, "table8_traversal_cost");
   PrintBanner("Table 8: traversal cost at k=1, sample number 1", options);
 

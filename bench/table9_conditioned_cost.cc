@@ -25,8 +25,10 @@ int Run(int argc, const char* const* argv) {
                  "ca-GrQc,Wiki-Vote,com-Youtube,soc-Pokec,BA_s,BA_d",
                  "networks to run (paper Table 9 rows)");
   int exit_code = 0;
-  if (ShouldExitAfterParse(&args, argc, argv, &exit_code)) return exit_code;
-  ExperimentOptions options = ReadExperimentFlags(args);
+  ExperimentOptions options;
+  if (ShouldExitAfterParse(&args, argc, argv, &exit_code, &options)) {
+    return exit_code;
+  }
   RequireIcModel(options, "table9_conditioned_cost");
   if (!args.Provided("trials")) options.trials = 25;
   PrintBanner("Table 9: traversal cost at identical accuracy (γ "

@@ -1,20 +1,17 @@
-// Quickstart: load a network (a file if given, Zachary's karate club
-// otherwise), assign edge probabilities, and pick k seeds with RIS — the
-// most common end-to-end use of the library.
+// Quickstart: pick k influential seeds with RIS through the api/ facade —
+// the most common end-to-end use of the library in four steps: describe
+// the workload (WorkloadSpec), open a Session, Solve, read the result.
+// Bad input (missing file, unknown probability setting, --model lt on an
+// LT-invalid instance) comes back as a Status, printed and exited with 1.
 //
 //   ./quickstart [--graph edges.txt] [--k 4] [--theta 16384] [--prob iwc]
+//                [--model ic|lt]
 
 #include <cstdio>
 
-#include "core/greedy.h"
-#include "core/lt_estimators.h"
-#include "core/ris.h"
-#include "gen/datasets.h"
-#include "graph/builder.h"
-#include "graph/io.h"
-#include "model/probability.h"
-#include "oracle/rr_oracle.h"
+#include "api/session.h"
 #include "util/args.h"
+#include "util/cli.h"
 
 namespace soldist {
 namespace {
@@ -31,84 +28,54 @@ int Run(int argc, const char* const* argv) {
   args.AddInt64("seed", 1, "PRNG seed");
   if (!args.Parse(argc, argv).ok()) return 1;
 
-  // 1. Load or build the network.
-  EdgeList edges;
+  // 1. Describe the workload: network source + probabilities + model.
+  auto prob = ParseProbabilityModel(args.GetString("prob"));
+  if (!prob.ok()) return ExitWithError(prob.status());
+  auto model = ParseDiffusionModel(args.GetString("model"));
+  if (!model.ok()) return ExitWithError(model.status());
+  api::WorkloadSpec workload =
+      args.GetString("graph").empty()
+          ? api::WorkloadSpec::Dataset("Karate")
+          : api::WorkloadSpec::File(args.GetString("graph"));
+  workload.Probability(prob.value()).Diffusion(model.value());
   if (args.GetString("graph").empty()) {
-    edges = Datasets::Karate();
     std::printf("using the bundled karate-club network\n");
-  } else {
-    auto loaded = GraphIo::LoadEdgeList(args.GetString("graph"));
-    if (!loaded.ok()) {
-      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
-      return 1;
-    }
-    edges = std::move(loaded).value();
   }
-  Graph graph = GraphBuilder::FromEdgeList(edges);
-  std::printf("graph: %u vertices, %llu arcs\n", graph.num_vertices(),
-              static_cast<unsigned long long>(graph.num_edges()));
 
-  // 2. Assign influence probabilities.
-  auto model = ParseProbabilityModel(args.GetString("prob"));
-  if (!model.ok()) {
-    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
-    return 1;
+  // 2. Open a session (owns the graph cache, the shared influence
+  //    oracle, and the worker pool) and describe the solve.
+  api::SessionOptions session_options;
+  session_options.seed = static_cast<std::uint64_t>(args.GetInt64("seed"));
+  api::Session session(session_options);
+  if (args.GetInt64("theta") < 1 || args.GetInt64("k") < 1) {
+    return ExitWithError(
+        Status::InvalidArgument("--theta and --k must be >= 1"));
   }
-  Rng prob_rng(static_cast<std::uint64_t>(args.GetInt64("seed")));
-  InfluenceGraph ig =
-      MakeInfluenceGraph(std::move(graph), model.value(), &prob_rng);
+  api::SolveSpec solve =
+      api::SolveSpec{}
+          .WithApproach(Approach::kRis)
+          .WithSampleNumber(static_cast<std::uint64_t>(args.GetInt64("theta")))
+          .WithK(static_cast<int>(args.GetInt64("k")))
+          .WithSeed(2024);
 
-  // 3. Run greedy with the RIS estimator (IC) or its LT counterpart.
-  auto theta = static_cast<std::uint64_t>(args.GetInt64("theta"));
-  auto k = static_cast<int>(args.GetInt64("k"));
-  const bool use_lt = args.GetString("model") == "lt";
-  if (!use_lt && args.GetString("model") != "ic") {
-    std::fprintf(stderr, "unknown model: %s\n",
-                 args.GetString("model").c_str());
-    return 1;
-  }
-  std::unique_ptr<LtWeights> lt_weights;
-  std::unique_ptr<InfluenceEstimator> estimator;
-  if (use_lt) {
-    if (!IsValidLtGraph(ig)) {
-      std::fprintf(stderr,
-                   "LT needs per-vertex in-weights <= 1; use --prob iwc\n");
-      return 1;
-    }
-    lt_weights = std::make_unique<LtWeights>(&ig);
-    estimator =
-        MakeLtEstimator(lt_weights.get(), Approach::kRis, theta, 2024);
-  } else {
-    estimator = std::make_unique<RisEstimator>(&ig, theta, 2024);
-  }
-  Rng tie_rng(7);
-  GreedyRunResult result =
-      RunGreedy(estimator.get(), ig.num_vertices(), k, &tie_rng);
+  // 3. Solve: one greedy seed selection, validated end to end.
+  StatusOr<api::SolveResult> result = session.Solve(workload, solve);
+  if (!result.ok()) return ExitWithError(result.status());
 
-  // 4. Evaluate the chosen seeds with an independent oracle (shared RR
-  // oracle for IC, Monte-Carlo evaluation for LT).
-  std::printf("selected %d seeds with θ=%llu RR sets (%s model):\n", k,
-              static_cast<unsigned long long>(theta), use_lt ? "LT" : "IC");
-  for (std::size_t i = 0; i < result.seeds.size(); ++i) {
+  // 4. Read the result: seeds with their selection-time estimates, and
+  //    the independent shared-oracle influence value.
+  std::printf("selected %d seeds with θ=%llu RR sets (%s model):\n",
+              solve.k,
+              static_cast<unsigned long long>(solve.sample_number),
+              DiffusionModelName(workload.model).c_str());
+  for (std::size_t i = 0; i < result.value().seeds.size(); ++i) {
     std::printf("  seed %zu: vertex %u (marginal estimate %.2f)\n", i + 1,
-                result.seeds[i], result.estimates[i]);
+                result.value().seeds[i], result.value().estimates[i]);
   }
-  if (use_lt) {
-    LtForwardSimulator eval(&ig);
-    Rng eval_rng(999);
-    TraversalCounters scratch;
-    double influence =
-        eval.EstimateInfluence(result.seeds, 50000, &eval_rng, &scratch);
-    std::printf("Monte-Carlo LT influence estimate: %.2f of %u vertices\n",
-                influence, ig.num_vertices());
-  } else {
-    RrOracle oracle(&ig, 100000, 999);
-    double influence = oracle.EstimateInfluence(result.seeds);
-    std::printf("oracle influence estimate: %.2f of %u vertices (±%.2f at "
-                "99%% confidence)\n",
-                influence, ig.num_vertices(),
-                oracle.ConfidenceInterval99());
-  }
+  std::printf("oracle influence estimate: %.2f (±%.2f at 99%% confidence) "
+              "in %.0f ms\n",
+              result.value().influence, result.value().oracle_ci99,
+              result.value().solve_seconds * 1e3);
   return 0;
 }
 

@@ -4,17 +4,23 @@
 // it with the worst-case theoretical bounds — which the paper shows are
 // orders of magnitude too conservative.
 //
+// Facade tour: the instance and its shared influence oracle are resolved
+// through an api::Session (Status errors instead of crashes for unknown
+// networks); the sweep itself stays on the exp layer, which the facade
+// shares its caches with.
+//
 //   ./sample_number_selection [--network BA_s] [--prob iwc] [--k 1]
 
 #include <cstdio>
 
+#include "api/session.h"
 #include "core/adaptive.h"
 #include "core/bounds.h"
 #include "core/tim.h"
-#include "exp/instance_registry.h"
 #include "exp/sweep.h"
 #include "exp/table_writer.h"
 #include "util/args.h"
+#include "util/cli.h"
 #include "util/string_util.h"
 #include "util/table.h"
 
@@ -36,20 +42,40 @@ int Run(int argc, const char* const* argv) {
   if (!args.Parse(argc, argv).ok()) return 1;
 
   auto prob = ParseProbabilityModel(args.GetString("prob"));
-  if (!prob.ok()) {
-    std::fprintf(stderr, "%s\n", prob.status().ToString().c_str());
-    return 1;
+  if (!prob.ok()) return ExitWithError(prob.status());
+  if (args.GetInt64("k") < 1 || args.GetInt64("trials") < 1 ||
+      args.GetInt64("max-exp") < 0 || args.GetInt64("max-exp") > 30) {
+    return ExitWithError(Status::InvalidArgument(
+        "need --k >= 1, --trials >= 1, --max-exp in [0, 30]"));
   }
-  InstanceRegistry registry(
-      static_cast<std::uint64_t>(args.GetInt64("seed")));
-  auto ig = registry.GetInstance(args.GetString("network"), prob.value());
-  if (!ig.ok()) {
-    std::fprintf(stderr, "%s\n", ig.status().ToString().c_str());
-    return 1;
+  if (args.GetDouble("quality") <= 0.0 || args.GetDouble("quality") > 1.0 ||
+      args.GetDouble("confidence") <= 0.0 ||
+      args.GetDouble("confidence") >= 1.0) {
+    return ExitWithError(Status::InvalidArgument(
+        "need --quality in (0, 1], --confidence in (0, 1)"));
   }
-  RrOracle oracle(ig.value(), 200000, 3);
+
+  api::WorkloadSpec workload =
+      api::WorkloadSpec::Dataset(args.GetString("network"))
+          .Probability(prob.value());
+  api::SessionOptions session_options;
+  session_options.seed = static_cast<std::uint64_t>(args.GetInt64("seed"));
+  session_options.oracle_rr = 200000;
+  api::Session session(session_options);
+  StatusOr<ModelInstance> instance = session.ResolveWorkload(workload);
+  if (!instance.ok()) return ExitWithError(instance.status());
+  StatusOr<const RrOracle*> oracle_or = session.ResolveOracle(workload);
+  if (!oracle_or.ok()) return ExitWithError(oracle_or.status());
+  const InfluenceGraph& ig = *instance.value().ig;
+  const RrOracle& oracle = *oracle_or.value();
 
   const int k = static_cast<int>(args.GetInt64("k"));
+  if (static_cast<VertexId>(k) > ig.num_vertices()) {
+    return ExitWithError(Status::InvalidArgument(
+        "--k " + std::to_string(k) + " exceeds the " +
+        std::to_string(ig.num_vertices()) + " vertices of " +
+        args.GetString("network")));
+  }
   auto reference = oracle.OracleGreedySeeds(k);
   double reference_influence = oracle.EstimateInfluence(reference);
   double threshold = args.GetDouble("quality") * reference_influence;
@@ -61,8 +87,8 @@ int Run(int argc, const char* const* argv) {
   TextTable table({"approach", "empirical least sample number",
                    "worst-case bound", "gap factor"});
   BoundParams bound_params{
-      .n = ig.value()->num_vertices(),
-      .m = ig.value()->num_edges(),
+      .n = ig.num_vertices(),
+      .m = ig.num_edges(),
       .k = static_cast<std::uint64_t>(k),
       .epsilon = 1.0 - args.GetDouble("quality"),
       .delta = 1.0 - args.GetDouble("confidence"),
@@ -77,8 +103,7 @@ int Run(int argc, const char* const* argv) {
     config.master_seed = static_cast<std::uint64_t>(args.GetInt64("seed"));
     config.max_exponent = static_cast<int>(args.GetInt64("max-exp")) +
                           (approach == Approach::kRis ? 3 : 0);
-    auto cells =
-        RunSweep(*ig.value(), oracle, config, DefaultThreadPool());
+    auto cells = RunSweep(ig, oracle, config, session.pool());
     int idx = FindLeastSufficientCell(cells, threshold,
                                       args.GetDouble("confidence"));
     double bound = 0.0;
@@ -117,7 +142,7 @@ int Run(int argc, const char* const* argv) {
   TimParams tim_params;
   tim_params.k = k;
   tim_params.epsilon = 1.0 - args.GetDouble("quality");
-  TimResult tim = RunTimPlus(*ig.value(), tim_params,
+  TimResult tim = RunTimPlus(ig, tim_params,
                              static_cast<std::uint64_t>(args.GetInt64("seed")));
   std::printf("\nTIM+ selector (RIS): KPT*=%.3f -> θ=%s; seed influence "
               "%.3f\n",
@@ -130,7 +155,7 @@ int Run(int argc, const char* const* argv) {
   adaptive_params.max_exponent =
       static_cast<int>(args.GetInt64("max-exp"));
   AdaptiveResult adaptive = SelectSampleNumber(
-      *ig.value(), adaptive_params,
+      ig, adaptive_params,
       static_cast<std::uint64_t>(args.GetInt64("seed")));
   std::printf("adaptive doubling selector (Snapshot): %s at τ=%s; seed "
               "influence %.3f\n",

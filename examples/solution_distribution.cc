@@ -3,16 +3,23 @@
 // set, and watch the empirical distribution collapse from near-uniform to
 // a single deterministic solution.
 //
+// Facade tour: each sample number is ONE Session::SolveBatch of T
+// SolveSpecs (fresh seed per trial, paper Section 4.1) fanned out across
+// the session pool; the empirical distribution is assembled from the
+// returned SolveResults.
+//
 //   ./solution_distribution [--network Karate] [--prob uc0.1]
 //                           [--approach RIS] [--k 1] [--trials 200]
 
 #include <cstdio>
 
-#include "exp/instance_registry.h"
-#include "exp/sweep.h"
+#include "api/session.h"
 #include "exp/table_writer.h"
+#include "random/splitmix64.h"
 #include "stats/entropy.h"
+#include "stats/seed_set_distribution.h"
 #include "util/args.h"
+#include "util/cli.h"
 #include "util/string_util.h"
 #include "util/table.h"
 
@@ -32,67 +39,77 @@ int Run(int argc, const char* const* argv) {
   args.AddInt64("seed", 42, "master seed");
   if (!args.Parse(argc, argv).ok()) return 1;
 
-  Approach approach;
-  const std::string approach_name = args.GetString("approach");
-  if (approach_name == "Oneshot") {
-    approach = Approach::kOneshot;
-  } else if (approach_name == "Snapshot") {
-    approach = Approach::kSnapshot;
-  } else if (approach_name == "RIS") {
-    approach = Approach::kRis;
-  } else {
-    std::fprintf(stderr, "unknown approach: %s\n", approach_name.c_str());
-    return 1;
-  }
+  auto approach = api::ParseApproach(args.GetString("approach"));
+  if (!approach.ok()) return ExitWithError(approach.status());
   auto prob = ParseProbabilityModel(args.GetString("prob"));
-  if (!prob.ok()) {
-    std::fprintf(stderr, "%s\n", prob.status().ToString().c_str());
-    return 1;
+  if (!prob.ok()) return ExitWithError(prob.status());
+  if (args.GetInt64("trials") < 1 || args.GetInt64("k") < 1 ||
+      args.GetInt64("max-exp") < 0 || args.GetInt64("max-exp") > 40) {
+    return ExitWithError(Status::InvalidArgument(
+        "need --trials >= 1, --k >= 1, --max-exp in [0, 40]"));
   }
+  auto trials = static_cast<std::uint64_t>(args.GetInt64("trials"));
+  auto k = static_cast<int>(args.GetInt64("k"));
+  auto max_exp = static_cast<int>(args.GetInt64("max-exp"));
+  auto master_seed = static_cast<std::uint64_t>(args.GetInt64("seed"));
 
-  InstanceRegistry registry(
-      static_cast<std::uint64_t>(args.GetInt64("seed")));
-  auto ig = registry.GetInstance(args.GetString("network"), prob.value());
-  if (!ig.ok()) {
-    std::fprintf(stderr, "%s\n", ig.status().ToString().c_str());
-    return 1;
-  }
-  RrOracle oracle(ig.value(), 100000, 7);
-
-  SweepConfig config;
-  config.approach = approach;
-  config.k = static_cast<int>(args.GetInt64("k"));
-  config.trials = static_cast<std::uint64_t>(args.GetInt64("trials"));
-  config.master_seed = static_cast<std::uint64_t>(args.GetInt64("seed"));
-  config.max_exponent = static_cast<int>(args.GetInt64("max-exp"));
+  api::WorkloadSpec workload =
+      api::WorkloadSpec::Dataset(args.GetString("network"))
+          .Probability(prob.value());
+  api::SessionOptions session_options;
+  session_options.seed = master_seed;
+  api::Session session(session_options);
 
   std::printf("sweeping %s on %s (%s, k=%d), T=%llu trials per point...\n",
-              approach_name.c_str(), args.GetString("network").c_str(),
-              args.GetString("prob").c_str(), config.k,
-              static_cast<unsigned long long>(config.trials));
-  auto cells = RunSweep(*ig.value(), oracle, config, DefaultThreadPool());
+              args.GetString("approach").c_str(),
+              args.GetString("network").c_str(),
+              args.GetString("prob").c_str(), k,
+              static_cast<unsigned long long>(trials));
 
   TextTable table({"sample number", "entropy (bits)", "distinct sets",
                    "modal set frequency", "mean influence"});
-  for (const SweepCell& cell : cells) {
-    const auto& dist = cell.result.distribution;
-    table.AddRow({FormatPowerOfTwo(cell.sample_number),
-                  FormatDouble(cell.entropy, 3),
-                  std::to_string(dist.num_distinct_sets()),
-                  FormatDouble(static_cast<double>(dist.ModalCount()) /
-                                   static_cast<double>(dist.num_trials()),
+  std::vector<VertexId> final_modal_set;
+  for (int exponent = 0; exponent <= max_exp; ++exponent) {
+    const std::uint64_t sample_number = 1ULL << exponent;
+    // T trials = T specs with fresh per-trial seeds, one batch.
+    std::vector<api::SolveSpec> specs(
+        trials, api::SolveSpec{}
+                    .WithApproach(approach.value())
+                    .WithSampleNumber(sample_number)
+                    .WithK(k));
+    std::uint64_t cell_seed =
+        DeriveSeed(master_seed, static_cast<std::uint64_t>(exponent));
+    for (std::uint64_t t = 0; t < trials; ++t) {
+      specs[t].WithSeed(DeriveSeed(cell_seed, t));
+    }
+    StatusOr<std::vector<api::SolveResult>> batch =
+        session.SolveBatch(workload, specs);
+    if (!batch.ok()) return ExitWithError(batch.status());
+
+    SeedSetDistribution distribution;
+    double influence_sum = 0.0;
+    for (const api::SolveResult& result : batch.value()) {
+      distribution.Add(result.seed_set);
+      influence_sum += result.influence;
+    }
+    table.AddRow({FormatPowerOfTwo(sample_number),
+                  FormatDouble(distribution.Entropy(), 3),
+                  std::to_string(distribution.num_distinct_sets()),
+                  FormatDouble(static_cast<double>(distribution.ModalCount()) /
+                                   static_cast<double>(trials),
                                3),
-                  FormatDouble(cell.summary.mean_influence, 3)});
+                  FormatDouble(influence_sum / static_cast<double>(trials),
+                               3)});
+    final_modal_set = distribution.ModalSet();
   }
   std::printf("\n%s\n", table.ToMarkdown().c_str());
 
-  const auto& final_dist = cells.back().result.distribution;
   std::vector<std::string> ids;
-  for (VertexId v : final_dist.ModalSet()) ids.push_back(std::to_string(v));
+  for (VertexId v : final_modal_set) ids.push_back(std::to_string(v));
   std::printf("modal seed set at the largest sample number: {%s}\n",
               Join(ids, ", ").c_str());
   std::printf("max possible entropy at T trials: %.2f bits\n",
-              MaxEmpiricalEntropy(config.trials));
+              MaxEmpiricalEntropy(trials));
   return 0;
 }
 

@@ -5,18 +5,20 @@
 // influence and traversal cost for each — a miniature of the paper's
 // efficiency-vs-quality trade-off.
 //
+// Facade tour: the network is a generator-produced edge list handed to
+// WorkloadSpec::Edges, and the three approaches run as ONE
+// Session::SolveBatch fanned out across the session's worker pool
+// (byte-identical to solving them one by one).
+//
 //   ./viral_marketing [--n 20000] [--k 8] [--budget-exp 10]
 
 #include <cstdio>
 
+#include "api/session.h"
 #include "core/baselines.h"
-#include "core/greedy.h"
-#include "exp/trial_runner.h"
 #include "gen/datasets.h"
-#include "graph/builder.h"
-#include "model/probability.h"
-#include "oracle/rr_oracle.h"
 #include "util/args.h"
+#include "util/cli.h"
 #include "util/string_util.h"
 #include "util/table.h"
 
@@ -35,56 +37,79 @@ int Run(int argc, const char* const* argv) {
   args.AddInt64("seed", 42, "PRNG seed");
   if (!args.Parse(argc, argv).ok()) return 1;
 
+  if (args.GetInt64("n") < 8 || args.GetInt64("k") < 1 ||
+      args.GetInt64("budget-exp") < 0 || args.GetInt64("budget-exp") > 40) {
+    return ExitWithError(Status::InvalidArgument(
+        "need --n >= 8 (the proxy generator's minimum), --k >= 1, "
+        "--budget-exp in [0, 40]"));
+  }
   auto n = static_cast<VertexId>(args.GetInt64("n"));
   auto k = static_cast<int>(args.GetInt64("k"));
   auto exp = static_cast<int>(args.GetInt64("budget-exp"));
   auto seed = static_cast<std::uint64_t>(args.GetInt64("seed"));
 
+  // The workload: a generator-built social-network proxy handed straight
+  // to the facade as an in-memory edge list.
   std::printf("building a %u-user social-network proxy...\n", n);
-  Graph graph =
-      GraphBuilder::FromEdgeList(Datasets::ComYoutube(seed, n));
-  InfluenceGraph ig =
-      MakeInfluenceGraph(std::move(graph), ProbabilityModel::kIwc);
-  RrOracle oracle(&ig, 200000, seed + 1);
+  api::WorkloadSpec workload =
+      api::WorkloadSpec::Edges("youtube-proxy",
+                               Datasets::ComYoutube(seed, n))
+          .Probability(ProbabilityModel::kIwc);
+
+  api::SessionOptions session_options;
+  session_options.seed = seed;
+  session_options.oracle_rr = 200000;
+  api::Session session(session_options);
+
+  // The three principled approaches as one batch on the session pool.
+  std::vector<api::SolveSpec> specs;
+  for (Approach approach :
+       {Approach::kOneshot, Approach::kSnapshot, Approach::kRis}) {
+    int e = approach == Approach::kOneshot ? std::max(0, exp - 4) : exp;
+    specs.push_back(api::SolveSpec{}
+                        .WithApproach(approach)
+                        .WithSampleNumber(1ULL << e)
+                        .WithK(k)
+                        .WithSeed(seed + 9));
+  }
+  StatusOr<std::vector<api::SolveResult>> batch =
+      session.SolveBatch(workload, specs);
+  if (!batch.ok()) return ExitWithError(batch.status());
 
   TextTable table({"strategy", "sample number", "oracle influence",
                    "vertex traversals", "edge traversals"});
-
-  // The three principled approaches through the greedy framework.
-  struct Strategy {
-    Approach approach;
-    std::uint64_t sample_number;
-  };
-  for (const Strategy& s :
-       {Strategy{Approach::kOneshot, 1ULL << std::max(0, exp - 4)},
-        Strategy{Approach::kSnapshot, 1ULL << exp},
-        Strategy{Approach::kRis, 1ULL << exp}}) {
-    auto estimator = MakeEstimator(&ig, s.approach, s.sample_number, seed);
-    Rng tie_rng(seed + 9);
-    GreedyRunResult result =
-        RunGreedy(estimator.get(), ig.num_vertices(), k, &tie_rng);
-    table.AddRow({ApproachName(s.approach),
-                  WithThousands(s.sample_number),
-                  FormatDouble(oracle.EstimateInfluence(result.seeds), 1),
-                  WithThousands(estimator->counters().vertices),
-                  WithThousands(estimator->counters().edges)});
-    std::printf("  %s done\n", ApproachName(s.approach).c_str());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const api::SolveResult& result = batch.value()[i];
+    table.AddRow({ApproachName(specs[i].approach),
+                  WithThousands(specs[i].sample_number),
+                  FormatDouble(result.influence, 1),
+                  WithThousands(result.counters.vertices),
+                  WithThousands(result.counters.edges)});
+    std::printf("  %s done in %.1fs\n",
+                ApproachName(specs[i].approach).c_str(),
+                result.solve_seconds);
   }
 
-  // Cheap heuristics (paper Section 3.6: fast but less influential).
+  // Cheap heuristics (paper Section 3.6: fast but less influential) —
+  // scored against the SAME shared session oracle.
+  StatusOr<ModelInstance> instance = session.ResolveWorkload(workload);
+  if (!instance.ok()) return ExitWithError(instance.status());
+  StatusOr<const RrOracle*> oracle = session.ResolveOracle(workload);
+  if (!oracle.ok()) return ExitWithError(oracle.status());
+  const InfluenceGraph& ig = *instance.value().ig;
   auto max_degree = MaxDegreeSeeds(ig.graph(), k);
   table.AddRow({"MaxDegree heuristic", "-",
-                FormatDouble(oracle.EstimateInfluence(max_degree), 1), "-",
-                "-"});
+                FormatDouble(oracle.value()->EstimateInfluence(max_degree), 1),
+                "-", "-"});
   auto discount = DegreeDiscountSeeds(ig.graph(), k, 0.01);
   table.AddRow({"DegreeDiscount heuristic", "-",
-                FormatDouble(oracle.EstimateInfluence(discount), 1), "-",
-                "-"});
+                FormatDouble(oracle.value()->EstimateInfluence(discount), 1),
+                "-", "-"});
   Rng random_rng(seed + 2);
   auto random = RandomSeeds(ig.num_vertices(), k, &random_rng);
   table.AddRow({"Random seeds", "-",
-                FormatDouble(oracle.EstimateInfluence(random), 1), "-",
-                "-"});
+                FormatDouble(oracle.value()->EstimateInfluence(random), 1),
+                "-", "-"});
 
   std::printf("\n%s\n", table.ToMarkdown().c_str());
   std::printf("Reading guide: the three principled approaches land within "

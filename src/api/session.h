@@ -1,0 +1,153 @@
+// Session: the long-lived, thread-safe entry point of the soldist query
+// facade. One Session owns everything that should be built once and
+// shared across queries — the instance registry (graphs, influence
+// graphs, LT weight tables), the per-instance RR-set influence oracles,
+// and the worker thread pools — and answers WorkloadSpec/SolveSpec
+// queries with StatusOr<SolveResult>: invalid input (unknown network,
+// LT-invalid probability setting, k > n, unreadable edge-list file)
+// surfaces as a Status with an actionable message, never a CHECK-abort.
+//
+// Concurrency model: resolution (graph building, oracle construction,
+// pool creation) is serialized under an internal mutex; the solver runs
+// lock-free on stable, immutable instance data, so any number of threads
+// may call Solve concurrently. SolveBatch additionally fans independent
+// runs out across the shared pool — batches are serialized against each
+// other (the pool has a single-waiter contract) but results are ALWAYS
+// byte-identical to issuing the same specs sequentially through Solve:
+// every run is a pure function of its spec and the resolved workload
+// (see sim/sampling_engine.h for the chunked deterministic streams).
+
+#ifndef SOLDIST_API_SESSION_H_
+#define SOLDIST_API_SESSION_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "api/spec.h"
+#include "exp/instance_registry.h"
+#include "oracle/rr_oracle.h"
+#include "util/thread_pool.h"
+
+namespace soldist {
+namespace api {
+
+/// Options fixed for the lifetime of a Session.
+struct SessionOptions {
+  /// Master seed: synthetic dataset generation, trivalency probability
+  /// draws, and per-instance oracle seed derivation all flow from it.
+  std::uint64_t seed = 42;
+  /// RR sets per shared influence oracle (paper Section 5.2 uses 10^7;
+  /// the default is the harness-scale 10^5).
+  std::uint64_t oracle_rr = 100000;
+  /// Shared worker-pool width (0 = hardware concurrency).
+  std::int64_t threads = 0;
+  /// Vertex-count override for the ⋆ proxy networks (0 = defaults).
+  VertexId star_n = 0;
+
+  /// Validation for flag-derived options (the struct defaults are valid).
+  Status Validate() const;
+};
+
+/// \brief The facade: WorkloadSpec → Session → Solve.
+///
+/// \code
+///   api::Session session;
+///   auto workload = api::WorkloadSpec::Dataset("Karate")
+///                       .Probability(ProbabilityModel::kIwc);
+///   auto result = session.Solve(
+///       workload, api::SolveSpec{}.WithSampleNumber(4096).WithK(4));
+///   if (!result.ok()) { /* result.status().ToString() says why */ }
+/// \endcode
+class Session {
+ public:
+  explicit Session(const SessionOptions& options = {});
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Runs one greedy seed selection for `solve` on `workload`.
+  /// Deterministic: the result is a pure function of the two specs and
+  /// the session's seed (see SolveSpec's determinism contract).
+  StatusOr<SolveResult> Solve(const WorkloadSpec& workload,
+                              const SolveSpec& solve);
+
+  /// Runs every spec on the one workload, fanning independent runs out
+  /// across the shared pool (runs with engine-routed sampling execute in
+  /// order instead, each spreading its own sampling chunks — never both
+  /// parallelism levels at once). Results are byte-identical to calling
+  /// Solve(workload, specs[i]) sequentially, for any pool width and any
+  /// sampling.num_threads. Fails fast: the first invalid spec fails the
+  /// whole batch before any run starts.
+  StatusOr<std::vector<SolveResult>> SolveBatch(
+      const WorkloadSpec& workload, const std::vector<SolveSpec>& specs);
+
+  /// Resolves the workload to its (graph, model) instance, building and
+  /// caching graphs/weights on first use. The pointers inside stay valid
+  /// for the session's lifetime.
+  StatusOr<ModelInstance> ResolveWorkload(const WorkloadSpec& workload);
+
+  /// The workload's shared influence oracle (built on first use, then
+  /// reused for every query on the instance — paper Section 5.2). Keyed
+  /// by (network, prob, model): LT oracles draw backward-walk RR sets.
+  StatusOr<const RrOracle*> ResolveOracle(const WorkloadSpec& workload);
+
+  /// SamplingOptions with the session's pools attached: 0 = the shared
+  /// pool at full width, N >= 2 = a cached dedicated N-worker pool, 1 =
+  /// sequential legacy sampling (no pool). Negative widths fall back to
+  /// sequential.
+  SamplingOptions SamplingFor(std::int64_t sample_threads,
+                              std::uint64_t chunk_size = 256);
+
+  ThreadPool* pool() { return pool_.get(); }
+  const SessionOptions& options() const { return options_; }
+  /// The underlying registry. NOT thread-safe — only touch it while no
+  /// other thread is resolving (exp-layer benches build up front).
+  InstanceRegistry* registry() { return &registry_; }
+
+ private:
+  /// One fully resolved, immutable run: safe to execute lock-free.
+  struct ResolvedSolve {
+    SolveSpec spec;
+    ModelInstance instance;
+    const RrOracle* oracle = nullptr;  // null when influence is skipped
+  };
+
+  /// Loads file/in-memory networks into the registry once (mu_ held).
+  Status EnsureNetworkLocked(const WorkloadSpec& workload);
+  StatusOr<ModelInstance> ResolveWorkloadLocked(const WorkloadSpec& workload);
+  StatusOr<const RrOracle*> ResolveOracleLocked(const WorkloadSpec& workload);
+  SamplingOptions SamplingLocked(const SamplingOptions& requested);
+  StatusOr<ResolvedSolve> ResolveSolveLocked(const WorkloadSpec& workload,
+                                             const SolveSpec& solve);
+  SolveResult RunResolved(const ResolvedSolve& resolved);
+
+  SessionOptions options_;
+  std::mutex mu_;        ///< guards all mutable session state below
+  std::mutex batch_mu_;  ///< serializes SolveBatch pool fan-outs
+  /// Serializes oracle influence queries: RrCollection::CountCovered
+  /// keeps mutable per-query scratch, so concurrent EstimateInfluence
+  /// calls on one shared oracle would race (the result is deterministic
+  /// either way — the scratch never carries state between queries).
+  std::mutex oracle_eval_mu_;
+  InstanceRegistry registry_;
+  std::unique_ptr<ThreadPool> pool_;
+  /// Names already loaded from a file / in-memory edge list.
+  std::set<std::string> registered_networks_;
+  /// Names resolved from the bundled catalog — a later file/edges
+  /// workload may not reuse them (it would invalidate live instances).
+  std::set<std::string> dataset_networks_;
+  /// Dedicated sample pools, one per requested width N >= 2.
+  std::map<std::size_t, std::unique_ptr<ThreadPool>> sample_pools_;
+  /// Oracles keyed by WorkloadSpec::Label().
+  std::map<std::string, std::unique_ptr<RrOracle>> oracles_;
+};
+
+}  // namespace api
+}  // namespace soldist
+
+#endif  // SOLDIST_API_SESSION_H_

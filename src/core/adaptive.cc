@@ -27,7 +27,8 @@ AdaptiveResult SelectSampleNumber(const InfluenceGraph& ig,
       std::uint64_t run_seed =
           DeriveSeed(seed, static_cast<std::uint64_t>(exponent) * 1000 +
                                static_cast<std::uint64_t>(rep));
-      auto estimator = MakeEstimator(&ig, params.approach, s, run_seed);
+      auto estimator = MakeEstimator(ModelInstance::Ic(&ig),
+                                     params.approach, s, run_seed);
       Rng tie_rng(DeriveSeed(run_seed, 1));
       GreedyRunResult run =
           RunGreedy(estimator.get(), ig.num_vertices(), params.k, &tie_rng);

@@ -5,24 +5,9 @@
 #include "core/ris.h"
 
 namespace soldist {
+namespace {
 
-std::unique_ptr<InfluenceEstimator> MakeEstimator(
-    const ModelInstance& instance, Approach approach,
-    std::uint64_t sample_number, std::uint64_t seed,
-    SnapshotEstimator::Mode snapshot_mode, const SamplingOptions& sampling) {
-  SOLDIST_CHECK(instance.ig != nullptr);
-  if (instance.model == DiffusionModel::kLt) {
-    SOLDIST_CHECK(instance.lt_weights != nullptr)
-        << "LT instance without LtWeights — resolve it through "
-           "InstanceRegistry::GetModelInstance or ModelInstance::Lt";
-    return MakeLtEstimator(instance.lt_weights, approach, sample_number,
-                           seed, sampling);
-  }
-  return MakeEstimator(instance.ig, approach, sample_number, seed,
-                       snapshot_mode, sampling);
-}
-
-std::unique_ptr<InfluenceEstimator> MakeEstimator(
+std::unique_ptr<InfluenceEstimator> MakeIcEstimator(
     const InfluenceGraph* ig, Approach approach, std::uint64_t sample_number,
     std::uint64_t seed, SnapshotEstimator::Mode snapshot_mode,
     const SamplingOptions& sampling) {
@@ -39,6 +24,32 @@ std::unique_ptr<InfluenceEstimator> MakeEstimator(
   }
   SOLDIST_CHECK(false) << "unreachable";
   return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<InfluenceEstimator> MakeEstimator(
+    const ModelInstance& instance, Approach approach,
+    std::uint64_t sample_number, std::uint64_t seed,
+    SnapshotEstimator::Mode snapshot_mode, const SamplingOptions& sampling) {
+  SOLDIST_CHECK(instance.ig != nullptr);
+  if (instance.model == DiffusionModel::kLt) {
+    SOLDIST_CHECK(instance.lt_weights != nullptr)
+        << "LT instance without LtWeights — resolve it through "
+           "InstanceRegistry::GetModelInstance or ModelInstance::Lt";
+    return MakeLtEstimator(instance.lt_weights, approach, sample_number,
+                           seed, sampling);
+  }
+  return MakeIcEstimator(instance.ig, approach, sample_number, seed,
+                         snapshot_mode, sampling);
+}
+
+std::unique_ptr<InfluenceEstimator> MakeEstimator(
+    const InfluenceGraph* ig, Approach approach, std::uint64_t sample_number,
+    std::uint64_t seed, SnapshotEstimator::Mode snapshot_mode,
+    const SamplingOptions& sampling) {
+  return MakeIcEstimator(ig, approach, sample_number, seed, snapshot_mode,
+                         sampling);
 }
 
 }  // namespace soldist

@@ -27,7 +27,12 @@ std::unique_ptr<InfluenceEstimator> MakeEstimator(
     SnapshotEstimator::Mode snapshot_mode = SnapshotEstimator::Mode::kResidual,
     const SamplingOptions& sampling = {});
 
-/// IC-only convenience overload (the pre-LT signature).
+/// IC-only convenience overload (the pre-LT signature). Deprecated: it
+/// silently pins the diffusion model to IC — pass a ModelInstance
+/// (ModelInstance::Ic(ig) for plain IC), or go through the api::Session
+/// facade, which also validates the workload with Status.
+[[deprecated(
+    "use MakeEstimator(ModelInstance, ...) or api::Session::Solve")]]
 std::unique_ptr<InfluenceEstimator> MakeEstimator(
     const InfluenceGraph* ig, Approach approach, std::uint64_t sample_number,
     std::uint64_t seed,

@@ -1,8 +1,17 @@
 #include "exp/experiment.h"
 
-#include "random/splitmix64.h"
+#include "gen/datasets.h"
 
 namespace soldist {
+
+api::SessionOptions ExperimentOptions::SessionConfig() const {
+  api::SessionOptions session;
+  session.seed = seed;
+  session.oracle_rr = oracle_rr;
+  session.threads = threads;
+  session.star_n = star_n;
+  return session;
+}
 
 void AddExperimentFlags(ArgParser* args) {
   args->AddInt64("trials", 200, "trials T per (algorithm, sample number)");
@@ -31,7 +40,36 @@ void AddExperimentFlags(ArgParser* args) {
                  "dependence on thread count)");
 }
 
-ExperimentOptions ReadExperimentFlags(const ArgParser& args) {
+namespace {
+
+Status RequireAtLeast(const ArgParser& args, const std::string& flag,
+                      std::int64_t min) {
+  std::int64_t value = args.GetInt64(flag);
+  if (value < min) {
+    return Status::InvalidArgument(
+        "--" + flag + " must be >= " + std::to_string(min) + ", got " +
+        std::to_string(value));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<ExperimentOptions> ParseExperimentFlags(const ArgParser& args) {
+  // Validate the raw int64 values BEFORE the unsigned casts: "--trials -5"
+  // must be an error, not a 2^64-ish trial count.
+  SOLDIST_RETURN_IF_ERROR(RequireAtLeast(args, "trials", 1));
+  SOLDIST_RETURN_IF_ERROR(RequireAtLeast(args, "star-trials", 1));
+  SOLDIST_RETURN_IF_ERROR(RequireAtLeast(args, "seed", 0));
+  SOLDIST_RETURN_IF_ERROR(RequireAtLeast(args, "oracle-rr", 1));
+  SOLDIST_RETURN_IF_ERROR(RequireAtLeast(args, "star-n", 0));
+  SOLDIST_RETURN_IF_ERROR(RequireAtLeast(args, "threads", 0));
+  SOLDIST_RETURN_IF_ERROR(RequireAtLeast(args, "sample-threads", 0));
+  SOLDIST_RETURN_IF_ERROR(RequireAtLeast(args, "chunk-size", 1));
+  StatusOr<DiffusionModel> model =
+      ParseDiffusionModel(args.GetString("model"));
+  if (!model.ok()) return model.status();
+
   ExperimentOptions options;
   options.trials = static_cast<std::uint64_t>(args.GetInt64("trials"));
   options.star_trials =
@@ -40,19 +78,11 @@ ExperimentOptions ReadExperimentFlags(const ArgParser& args) {
   options.oracle_rr = static_cast<std::uint64_t>(args.GetInt64("oracle-rr"));
   options.star_n = static_cast<VertexId>(args.GetInt64("star-n"));
   options.full = args.GetBool("full");
-  StatusOr<DiffusionModel> model =
-      ParseDiffusionModel(args.GetString("model"));
-  SOLDIST_CHECK(model.ok()) << model.status().ToString();
   options.model = model.value();
   options.out_csv = args.GetString("out");
   options.threads = args.GetInt64("threads");
   options.sample_threads = args.GetInt64("sample-threads");
   options.chunk_size = args.GetInt64("chunk-size");
-  SOLDIST_CHECK(options.trials >= 1);
-  SOLDIST_CHECK(options.star_trials >= 1);
-  SOLDIST_CHECK(options.oracle_rr >= 1);
-  SOLDIST_CHECK(options.sample_threads >= 0);
-  SOLDIST_CHECK(options.chunk_size >= 1);
   return options;
 }
 
@@ -76,50 +106,47 @@ GridCaps ScaledGridCaps(const std::string& network, bool full) {
 }
 
 ExperimentContext::ExperimentContext(const ExperimentOptions& options)
-    : options_(options),
-      registry_(options.seed, options.star_n),
-      pool_(std::make_unique<ThreadPool>(
-          options.threads > 0 ? static_cast<std::size_t>(options.threads)
-                              : 0)) {}
+    : options_(options), session_(options.SessionConfig()) {}
+
+api::WorkloadSpec ExperimentContext::Workload(const std::string& network,
+                                              ProbabilityModel prob) const {
+  return api::WorkloadSpec::Dataset(network)
+      .Probability(prob)
+      .Diffusion(options_.model);
+}
+
+StatusOr<ModelInstance> ExperimentContext::TryModel(
+    const std::string& network, ProbabilityModel prob) {
+  return session_.ResolveWorkload(Workload(network, prob));
+}
+
+StatusOr<const RrOracle*> ExperimentContext::TryOracle(
+    const std::string& network, ProbabilityModel prob) {
+  return session_.ResolveOracle(Workload(network, prob));
+}
 
 const InfluenceGraph& ExperimentContext::Instance(const std::string& network,
                                                   ProbabilityModel prob) {
-  StatusOr<const InfluenceGraph*> instance =
-      registry_.GetInstance(network, prob);
+  // The influence graph is model-independent: resolve under IC so IC-only
+  // benches never require an LT-valid probability setting.
+  StatusOr<ModelInstance> instance = session_.ResolveWorkload(
+      Workload(network, prob).Diffusion(DiffusionModel::kIc));
   SOLDIST_CHECK(instance.ok()) << instance.status().ToString();
-  return *instance.value();
+  return *instance.value().ig;
 }
 
 ModelInstance ExperimentContext::Model(const std::string& network,
                                        ProbabilityModel prob) {
-  StatusOr<ModelInstance> instance =
-      registry_.GetModelInstance(network, prob, options_.model);
+  StatusOr<ModelInstance> instance = TryModel(network, prob);
   SOLDIST_CHECK(instance.ok()) << instance.status().ToString();
   return instance.value();
 }
 
 const RrOracle& ExperimentContext::Oracle(const std::string& network,
                                           ProbabilityModel prob) {
-  // IC keeps the pre-LT key: the key feeds the oracle seed via hash, so
-  // appending "/ic" would silently reseed every IC baseline.
-  std::string key = network + "/" + ProbabilityModelName(prob);
-  if (options_.model == DiffusionModel::kLt) {
-    key += "/" + DiffusionModelName(options_.model);
-  }
-  auto it = oracles_.find(key);
-  if (it != oracles_.end()) return *it->second;
-  ModelInstance instance = Model(network, prob);
-  std::uint64_t oracle_seed =
-      DeriveSeed(options_.seed, std::hash<std::string>{}(key));
-  auto oracle =
-      options_.model == DiffusionModel::kLt
-          ? std::make_unique<RrOracle>(instance.lt_weights,
-                                       options_.oracle_rr, oracle_seed)
-          : std::make_unique<RrOracle>(instance.ig, options_.oracle_rr,
-                                       oracle_seed);
-  const RrOracle* ptr = oracle.get();
-  oracles_[key] = std::move(oracle);
-  return *ptr;
+  StatusOr<const RrOracle*> oracle = TryOracle(network, prob);
+  SOLDIST_CHECK(oracle.ok()) << oracle.status().ToString();
+  return *oracle.value();
 }
 
 std::uint64_t ExperimentContext::TrialsFor(const std::string& network) const {
@@ -128,23 +155,8 @@ std::uint64_t ExperimentContext::TrialsFor(const std::string& network) const {
 }
 
 SamplingOptions ExperimentContext::SamplingFor(std::int64_t sample_threads) {
-  SamplingOptions sampling;
-  sampling.num_threads = static_cast<int>(sample_threads);
-  sampling.chunk_size = static_cast<std::uint64_t>(options_.chunk_size);
-  if (sample_threads == 0) {
-    sampling.pool = pool_.get();  // share the trial pool, full width
-  } else if (sample_threads >= 2) {
-    // A pool's width caps the engine's parallelism, so honor the exact
-    // requested count with a dedicated pool instead of the trial pool
-    // (whose width is set independently via --threads).
-    auto width = static_cast<std::size_t>(sample_threads);
-    auto& sample_pool = sample_pools_[width];
-    if (sample_pool == nullptr) {
-      sample_pool = std::make_unique<ThreadPool>(width);
-    }
-    sampling.pool = sample_pool.get();
-  }
-  return sampling;
+  return session_.SamplingFor(
+      sample_threads, static_cast<std::uint64_t>(options_.chunk_size));
 }
 
 }  // namespace soldist

@@ -2,15 +2,19 @@
 // and the scaled-down default sweep grids (the paper's full grids — T =
 // 1,000 trials, β,τ up to 2^16, θ up to 2^24, 10^7-RR-set oracle — ran for
 // weeks on a 500 GB server; see DESIGN.md Section 5).
+//
+// Since the api/ facade landed, ExperimentContext is a thin adapter over
+// api::Session: the session owns the registry, the thread pools, and the
+// model-keyed oracle cache; the context adds the bench conveniences
+// (CHECK-style accessors for static instance lists, per-network trial
+// counts, the --sample-threads/--chunk-size wiring).
 
 #ifndef SOLDIST_EXP_EXPERIMENT_H_
 #define SOLDIST_EXP_EXPERIMENT_H_
 
-#include <map>
-#include <memory>
 #include <string>
 
-#include "exp/instance_registry.h"
+#include "api/session.h"
 #include "exp/sweep.h"
 #include "oracle/rr_oracle.h"
 #include "sim/sampling_engine.h"
@@ -39,13 +43,18 @@ struct ExperimentOptions {
   /// sampling on the shared pool, trials sequential.
   std::int64_t sample_threads = 1;
   std::int64_t chunk_size = 256;    ///< samples per deterministic chunk
+
+  /// The api::Session configuration these options imply.
+  api::SessionOptions SessionConfig() const;
 };
 
 /// Registers the shared flags on `args`.
 void AddExperimentFlags(ArgParser* args);
 
-/// Reads the shared flags back after Parse().
-ExperimentOptions ReadExperimentFlags(const ArgParser& args);
+/// Reads the shared flags back after Parse(), validating values: a bad
+/// --model/--trials/... combination is user input and comes back as an
+/// InvalidArgument Status with an actionable message (never a CHECK).
+StatusOr<ExperimentOptions> ParseExperimentFlags(const ArgParser& args);
 
 /// Per-network sweep caps: max sample-number exponents per approach,
 /// scaled to this harness's budget (or the paper's grid with --full).
@@ -70,29 +79,42 @@ struct GridCaps {
 /// Default caps for `network` ("--full" restores the paper's 16/16/24).
 GridCaps ScaledGridCaps(const std::string& network, bool full);
 
-/// \brief Owns the registry, thread pool, and per-instance oracles for one
-/// bench run.
+/// \brief Bench adapter over api::Session: registry, thread pool, and
+/// per-instance oracles for one bench run.
 class ExperimentContext {
  public:
   explicit ExperimentContext(const ExperimentOptions& options);
 
+  /// The api workload of (network, prob) under options().model.
+  api::WorkloadSpec Workload(const std::string& network,
+                             ProbabilityModel prob) const;
+
+  /// Status-returning resolution for user-supplied (network, prob): the
+  /// (graph, model) workload with LtWeights resolved and cached for LT.
+  /// Fails with an explanatory status on an unknown network or an
+  /// LT-invalid probability setting (in-weights must sum to <= 1; iwc
+  /// always qualifies).
+  StatusOr<ModelInstance> TryModel(const std::string& network,
+                                   ProbabilityModel prob);
+
+  /// Status-returning resolution of the instance's shared oracle (built
+  /// on first use, then reused across all algorithms and sample numbers —
+  /// paper Section 5.2). Oracles are keyed by (network, prob, model): an
+  /// LT oracle draws backward-walk RR sets so LT seed sets are scored
+  /// under LT influence.
+  StatusOr<const RrOracle*> TryOracle(const std::string& network,
+                                      ProbabilityModel prob);
+
   /// Influence graph of (network, prob); CHECK-fails on unknown names
-  /// (bench instance lists are static, so failure is a programmer error).
+  /// (bench instance lists are static, so failure is a programmer error —
+  /// anything flag-driven must go through TryModel/TryOracle instead).
   const InfluenceGraph& Instance(const std::string& network,
                                  ProbabilityModel prob);
 
-  /// The (graph, model) workload of (network, prob) under
-  /// options().model, with LtWeights resolved and cached by the registry
-  /// for LT. CHECK-fails with an explanatory message when --model lt was
-  /// combined with an LT-invalid probability setting (in-weights must sum
-  /// to <= 1; iwc always qualifies).
+  /// CHECK-style counterpart of TryModel for static bench instance lists.
   ModelInstance Model(const std::string& network, ProbabilityModel prob);
 
-  /// The instance's shared oracle under options().model (built on first
-  /// use, then reused across all algorithms and sample numbers — paper
-  /// Section 5.2). Oracles are keyed by (network, prob, model): an LT
-  /// oracle draws backward-walk RR sets so LT seed sets are scored under
-  /// LT influence.
+  /// CHECK-style counterpart of TryOracle for static bench instance lists.
   const RrOracle& Oracle(const std::string& network, ProbabilityModel prob);
 
   /// T for this network: options.star_trials for ⋆ networks.
@@ -111,17 +133,14 @@ class ExperimentContext {
   /// Dedicated pools are cached per width.
   SamplingOptions SamplingFor(std::int64_t sample_threads);
 
-  ThreadPool* pool() { return pool_.get(); }
+  ThreadPool* pool() { return session_.pool(); }
   const ExperimentOptions& options() const { return options_; }
-  InstanceRegistry* registry() { return &registry_; }
+  InstanceRegistry* registry() { return session_.registry(); }
+  api::Session* session() { return &session_; }
 
  private:
   ExperimentOptions options_;
-  InstanceRegistry registry_;
-  std::unique_ptr<ThreadPool> pool_;
-  /// Dedicated sample pools, one per requested width N >= 2.
-  std::map<std::size_t, std::unique_ptr<ThreadPool>> sample_pools_;
-  std::map<std::string, std::unique_ptr<RrOracle>> oracles_;
+  api::Session session_;
 };
 
 }  // namespace soldist

@@ -134,6 +134,13 @@ std::vector<std::string> Datasets::Names() {
 
 StatusOr<EdgeList> Datasets::ByName(const std::string& name,
                                     std::uint64_t seed, VertexId star_n) {
+  // The ⋆ generators CHECK their minimum size; a star_n override is user
+  // input (--star-n), so reject it here with a status instead.
+  if (star_n > 0 && star_n < 8 && IsStarNetwork(name)) {
+    return Status::InvalidArgument(
+        "star_n override for " + name + " must be >= 8, got " +
+        std::to_string(star_n));
+  }
   if (name == "Karate") return Karate();
   if (name == "Physicians") return Physicians(seed);
   if (name == "ca-GrQc") return CaGrQc(seed);

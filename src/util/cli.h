@@ -1,0 +1,23 @@
+// Shared helpers for command-line entry points (tools/ and examples/).
+
+#ifndef SOLDIST_UTIL_CLI_H_
+#define SOLDIST_UTIL_CLI_H_
+
+#include <cstdio>
+
+#include "util/status.h"
+
+namespace soldist {
+
+/// The CLI error contract in one place: prints "error: <CODE>: <msg>" to
+/// stderr and returns exit code 1 (`return ExitWithError(status);` from
+/// main-like functions). User input must exit this way — never a
+/// CHECK-abort.
+inline int ExitWithError(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace soldist
+
+#endif  // SOLDIST_UTIL_CLI_H_

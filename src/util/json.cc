@@ -1,0 +1,88 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace soldist {
+namespace {
+
+std::string FormatReal(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+JsonObject& JsonObject::Raw(const std::string& key, const std::string& json) {
+  if (!body_.empty()) body_ += ",";
+  body_ += JsonQuote(key) + ":" + json;
+  return *this;
+}
+
+JsonObject& JsonObject::Str(const std::string& key, const std::string& value) {
+  return Raw(key, JsonQuote(value));
+}
+
+JsonObject& JsonObject::Int(const std::string& key, std::int64_t value) {
+  return Raw(key, std::to_string(value));
+}
+
+JsonObject& JsonObject::UInt(const std::string& key, std::uint64_t value) {
+  return Raw(key, std::to_string(value));
+}
+
+JsonObject& JsonObject::Real(const std::string& key, double value) {
+  return Raw(key, FormatReal(value));
+}
+
+JsonObject& JsonObject::Bool(const std::string& key, bool value) {
+  return Raw(key, value ? "true" : "false");
+}
+
+JsonObject& JsonObject::RealArray(const std::string& key,
+                                  const std::vector<double>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ",";
+    out += FormatReal(values[i]);
+  }
+  out += "]";
+  return Raw(key, out);
+}
+
+}  // namespace soldist

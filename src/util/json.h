@@ -1,0 +1,57 @@
+// Minimal JSON emission for machine-readable experiment output (the
+// soldist_experiment --json mode). Write-only by design: results flow out
+// to jq / pandas; nothing in the harness parses JSON back.
+
+#ifndef SOLDIST_UTIL_JSON_H_
+#define SOLDIST_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace soldist {
+
+/// JSON string literal with escaping, including the quotes.
+std::string JsonQuote(const std::string& s);
+
+/// \brief Builds one JSON object as a string, field by field.
+///
+/// \code
+///   JsonObject obj;
+///   obj.Str("approach", "RIS").UInt("sample_number", 1024);
+///   obj.UIntArray("seeds", {0, 33});
+///   puts(obj.ToString().c_str());   // {"approach":"RIS",...}
+/// \endcode
+class JsonObject {
+ public:
+  JsonObject& Str(const std::string& key, const std::string& value);
+  JsonObject& Int(const std::string& key, std::int64_t value);
+  JsonObject& UInt(const std::string& key, std::uint64_t value);
+  /// Doubles print with up to 17 significant digits (round-trip exact);
+  /// NaN/inf become null (JSON has no literals for them).
+  JsonObject& Real(const std::string& key, double value);
+  JsonObject& Bool(const std::string& key, bool value);
+  template <typename T>
+  JsonObject& UIntArray(const std::string& key, const std::vector<T>& values) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(static_cast<std::uint64_t>(values[i]));
+    }
+    out += "]";
+    return Raw(key, out);
+  }
+  JsonObject& RealArray(const std::string& key,
+                        const std::vector<double>& values);
+  /// Appends `json` verbatim as the value (must already be valid JSON).
+  JsonObject& Raw(const std::string& key, const std::string& json);
+
+  std::string ToString() const { return "{" + body_ + "}"; }
+
+ private:
+  std::string body_;
+};
+
+}  // namespace soldist
+
+#endif  // SOLDIST_UTIL_JSON_H_

@@ -34,6 +34,11 @@ class Status {
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
 
+  /// Constructs a status with an explicit code (e.g. to re-wrap a
+  /// propagated error with extra context while keeping its category).
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
   static Status OK() { return Status(); }
   static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
@@ -66,9 +71,6 @@ class Status {
   }
 
  private:
-  Status(StatusCode code, std::string msg)
-      : code_(code), message_(std::move(msg)) {}
-
   StatusCode code_;
   std::string message_;
 };

@@ -36,8 +36,8 @@ double EstimateSd(const InfluenceGraph& ig, Approach approach,
   std::vector<double> estimates;
   estimates.reserve(runs);
   for (int r = 0; r < runs; ++r) {
-    auto estimator =
-        MakeEstimator(&ig, approach, sample_number, DeriveSeed(seed, r));
+    auto estimator = MakeEstimator(ModelInstance::Ic(&ig), approach,
+                                   sample_number, DeriveSeed(seed, r));
     estimator->Build();
     estimates.push_back(estimator->Estimate(0));
   }
@@ -70,8 +70,8 @@ TEST_P(ConvergenceTest, EstimatesCenterOnExactInfluence) {
   double mean = 0.0;
   constexpr int kRuns = 60;
   for (int r = 0; r < kRuns; ++r) {
-    auto estimator =
-        MakeEstimator(&ig, approach, 1024, DeriveSeed(99, r));
+    auto estimator = MakeEstimator(ModelInstance::Ic(&ig), approach, 1024,
+                                   DeriveSeed(99, r));
     estimator->Build();
     mean += estimator->Estimate(0);
   }
@@ -98,8 +98,9 @@ TEST(ConvergenceKarateTest, GreedyQualityImprovesMonotonicallyInTrend) {
     double total = 0.0;
     constexpr int kRuns = 40;
     for (int r = 0; r < kRuns; ++r) {
-      auto estimator =
-          MakeEstimator(&ig, Approach::kSnapshot, s, DeriveSeed(7, r));
+      auto estimator = MakeEstimator(ModelInstance::Ic(&ig),
+                                     Approach::kSnapshot, s,
+                                     DeriveSeed(7, r));
       estimator->Build();
       // First-iteration best estimate as a quality proxy.
       double best = 0.0;

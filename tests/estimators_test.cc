@@ -176,9 +176,11 @@ TEST(RisEstimatorTest, EmpiricalEptAndSampleSize) {
 
 TEST(MakeEstimatorTest, FactoryProducesEachApproach) {
   InfluenceGraph ig = Diamond(0.5);
-  auto oneshot = MakeEstimator(&ig, Approach::kOneshot, 4, 1);
-  auto snapshot = MakeEstimator(&ig, Approach::kSnapshot, 4, 1);
-  auto ris = MakeEstimator(&ig, Approach::kRis, 4, 1);
+  auto oneshot =
+      MakeEstimator(ModelInstance::Ic(&ig), Approach::kOneshot, 4, 1);
+  auto snapshot =
+      MakeEstimator(ModelInstance::Ic(&ig), Approach::kSnapshot, 4, 1);
+  auto ris = MakeEstimator(ModelInstance::Ic(&ig), Approach::kRis, 4, 1);
   EXPECT_EQ(oneshot->name(), "Oneshot");
   EXPECT_EQ(snapshot->name(), "Snapshot");
   EXPECT_EQ(ris->name(), "RIS");

@@ -71,7 +71,7 @@ TEST(FailureDeathTest, EstimateBeforeBuildFires) {
 
 TEST(FailureDeathTest, GreedyRejectsOversizedK) {
   InfluenceGraph ig = TinyIg();
-  auto estimator = MakeEstimator(&ig, Approach::kRis, 4, 1);
+  auto estimator = MakeEstimator(ModelInstance::Ic(&ig), Approach::kRis, 4, 1);
   Rng tie_rng(1);
   EXPECT_DEATH(RunGreedy(estimator.get(), ig.num_vertices(), 3, &tie_rng),
                "");

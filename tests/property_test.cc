@@ -30,7 +30,8 @@ class ApproachModelTest : public testing::TestWithParam<PropertyParam> {
 };
 
 TEST_P(ApproachModelTest, EstimatesBoundedByN) {
-  auto estimator = MakeEstimator(ig_, std::get<0>(GetParam()), 32, 11);
+  auto estimator = MakeEstimator(ModelInstance::Ic(ig_),
+                                 std::get<0>(GetParam()), 32, 11);
   estimator->Build();
   for (VertexId v = 0; v < ig_->num_vertices(); ++v) {
     double estimate = estimator->Estimate(v);
@@ -44,7 +45,8 @@ TEST_P(ApproachModelTest, SingleVertexEstimateAtLeastOneBeforeUpdates) {
   // Inf(v) >= 1 (the seed itself); the estimators must respect this for
   // the FIRST greedy iteration. (RIS estimates can dip below 1 only by
   // sampling noise; with enough samples they cannot.)
-  auto estimator = MakeEstimator(ig_, std::get<0>(GetParam()), 4096, 13);
+  auto estimator = MakeEstimator(ModelInstance::Ic(ig_),
+                                 std::get<0>(GetParam()), 4096, 13);
   estimator->Build();
   double total = 0.0;
   for (VertexId v = 0; v < ig_->num_vertices(); ++v) {

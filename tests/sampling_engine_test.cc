@@ -232,12 +232,12 @@ TEST(SamplingEngineTest, FactoryRoutesOptionsToAllThreeApproaches) {
   for (Approach approach :
        {Approach::kOneshot, Approach::kSnapshot, Approach::kRis}) {
     auto [seeds1, counters1] = GreedyWith(ig, [&] {
-      return MakeEstimator(&ig, approach, 256, 19,
+      return MakeEstimator(ModelInstance::Ic(&ig), approach, 256, 19,
                            SnapshotEstimator::Mode::kResidual,
                            OneThreadEngine(&one));
     }, 2);
     auto [seeds4, counters4] = GreedyWith(ig, [&] {
-      return MakeEstimator(&ig, approach, 256, 19,
+      return MakeEstimator(ModelInstance::Ic(&ig), approach, 256, 19,
                            SnapshotEstimator::Mode::kResidual,
                            FourThreadEngine());
     }, 2);

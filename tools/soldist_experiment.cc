@@ -4,9 +4,20 @@
 // printing per-cell entropy, influence statistics, traversal costs, and
 // the modal seed set.
 //
+// The harness runs on the api/ facade: flags build a WorkloadSpec, an
+// api::Session (via ExperimentContext) resolves and caches the instance
+// and its shared oracle, and every invalid flag combination — unknown
+// network, --model lt with an LT-invalid probability setting, k > n —
+// comes back as a Status printed to stderr with exit code 1, never a
+// CHECK-abort.
+//
+// --json switches stdout to machine-readable JSON lines: one SolveResult
+// record per trial (seed set + oracle influence) and one summary record
+// per sweep cell, for jq / pandas consumption.
+//
 // --verify-threads "1,2,4" re-runs the whole experiment once per listed
-// --sample-threads value and CHECKs that every trial's seed set and every
-// distribution statistic is byte-identical across the runs — the
+// --sample-threads value and requires that every trial's seed set and
+// every distribution statistic is byte-identical across the runs — the
 // "parallelism must never silently change the experiment" invariant,
 // executable end-to-end. Under --model lt this holds for ANY list
 // including 1 (LT always draws through the chunked deterministic
@@ -17,13 +28,16 @@
 //   soldist_experiment --network Karate --prob iwc --model lt --k 2
 //                      --sample-threads 4
 //   soldist_experiment --model lt --verify-threads 1,2,4   # determinism
+//   soldist_experiment --json | jq .influence              # JSON records
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
+#include "util/cli.h"
 #include "util/csv.h"
+#include "util/json.h"
 #include "util/string_util.h"
 
 namespace soldist {
@@ -35,7 +49,12 @@ struct HarnessParams {
   int k = 1;
   int min_exp = 0;
   int max_exp = -1;  // -1: use the network's scaled grid cap
+  bool json = false;
 };
+
+/// Exponents feed 1ULL << e, so keep them far from the shift-width UB
+/// edge (the paper's largest grid is 2^24).
+constexpr int kMaxExponent = 40;
 
 /// Serializes everything the determinism contract covers: every trial's
 /// seed set plus the derived distribution statistics of every cell.
@@ -65,18 +84,69 @@ void SerializeCell(Approach approach, const SweepCell& cell,
   out->append(stats);
 }
 
+/// One JSON line per trial (the SolveResult-shaped record) plus one
+/// summary line per cell.
+void PrintCellJson(const ExperimentOptions& options,
+                   const HarnessParams& params, Approach approach,
+                   const SweepCell& cell) {
+  const auto& influence = cell.result.influence.values();
+  for (std::size_t t = 0; t < cell.result.seed_sets.size(); ++t) {
+    JsonObject record;
+    record.Str("type", "trial")
+        .Str("model", DiffusionModelName(options.model))
+        .Str("network", params.network)
+        .Str("prob", ProbabilityModelName(params.prob))
+        .Str("approach", ApproachName(approach))
+        .UInt("sample_number", cell.sample_number)
+        .Int("k", params.k)
+        .UInt("trial", t)
+        .UIntArray("seed_set", cell.result.seed_sets[t])
+        .Real("influence", t < influence.size() ? influence[t] : 0.0);
+    std::printf("%s\n", record.ToString().c_str());
+  }
+  JsonObject summary;
+  summary.Str("type", "cell")
+      .Str("model", DiffusionModelName(options.model))
+      .Str("network", params.network)
+      .Str("prob", ProbabilityModelName(params.prob))
+      .Str("approach", ApproachName(approach))
+      .UInt("sample_number", cell.sample_number)
+      .Int("k", params.k)
+      .Real("entropy", cell.entropy)
+      .UInt("distinct_sets", cell.result.distribution.num_distinct_sets())
+      .Real("mean_influence", cell.summary.mean_influence)
+      .Real("mean_vertex_cost",
+            cell.result.MeanVertexCost(cell.result.seed_sets.size()))
+      .Real("mean_edge_cost",
+            cell.result.MeanEdgeCost(cell.result.seed_sets.size()))
+      .Real("mean_sample_size",
+            cell.result.MeanSampleSize(cell.result.seed_sets.size()));
+  std::printf("%s\n", summary.ToString().c_str());
+}
+
 /// Runs the full experiment on `context` with sample-level parallelism
-/// `sample_threads` and returns the serialized results; prints tables and
-/// fills `csv` when `print` is set. The context (and with it the dataset
-/// and the RR-set oracle) is shared across calls — only the sampling
-/// width varies, which by the determinism contract must not matter.
-std::string RunExperiment(ExperimentContext* context,
-                          std::int64_t sample_threads,
-                          const HarnessParams& params, bool print,
-                          CsvWriter* csv) {
+/// `sample_threads` and returns the serialized results; prints tables (or
+/// JSON records) and fills `csv` when `print` is set. The context (and
+/// with it the dataset and the RR-set oracle) is shared across calls —
+/// only the sampling width varies, which by the determinism contract must
+/// not matter.
+StatusOr<std::string> RunExperiment(ExperimentContext* context,
+                                    std::int64_t sample_threads,
+                                    const HarnessParams& params, bool print,
+                                    CsvWriter* csv) {
   const ExperimentOptions& options = context->options();
-  ModelInstance instance = context->Model(params.network, params.prob);
-  const RrOracle& oracle = context->Oracle(params.network, params.prob);
+  StatusOr<ModelInstance> instance =
+      context->TryModel(params.network, params.prob);
+  if (!instance.ok()) return instance.status();
+  StatusOr<const RrOracle*> oracle =
+      context->TryOracle(params.network, params.prob);
+  if (!oracle.ok()) return oracle.status();
+  const VertexId n = instance.value().ig->num_vertices();
+  if (static_cast<VertexId>(params.k) > n) {
+    return Status::InvalidArgument(
+        "--k " + std::to_string(params.k) + " exceeds the " +
+        std::to_string(n) + " vertices of " + params.network);
+  }
   GridCaps caps = ScaledGridCaps(params.network, options.full);
 
   std::string serialized;
@@ -98,7 +168,12 @@ std::string RunExperiment(ExperimentContext* context,
     }
     WallTimer timer;
     std::vector<SweepCell> cells =
-        RunSweep(instance, oracle, config, context->pool());
+        RunSweep(instance.value(), *oracle.value(), config, context->pool());
+    if (print && params.json) {
+      for (const SweepCell& cell : cells) {
+        PrintCellJson(options, params, approach, cell);
+      }
+    }
     if (print) {
       SOLDIST_LOG(Info) << ApproachName(approach) << " sweep in "
                         << timer.HumanElapsed();
@@ -134,11 +209,14 @@ std::string RunExperiment(ExperimentContext* context,
               .Done();
         }
       }
-      PrintTable(params.network + " (" + ProbabilityModelName(params.prob) +
-                     ", " + DiffusionModelName(options.model) +
-                     ", k=" + std::to_string(params.k) + ") — " +
-                     ApproachName(approach),
-                 table);
+      if (!params.json) {
+        PrintTable(params.network + " (" +
+                       ProbabilityModelName(params.prob) + ", " +
+                       DiffusionModelName(options.model) +
+                       ", k=" + std::to_string(params.k) + ") — " +
+                       ApproachName(approach),
+                   table);
+      }
     }
     for (const SweepCell& cell : cells) {
       SerializeCell(approach, cell, &serialized);
@@ -162,31 +240,52 @@ int Run(int argc, const char* const* argv) {
   args.AddInt64("max-exp", -1,
                 "last sample number 2^max-exp (-1 = the network's scaled "
                 "grid cap)");
+  args.AddBool("json", false,
+               "machine-readable output: one JSON line per trial "
+               "(SolveResult records) plus one per sweep cell");
   args.AddString("verify-threads", "",
                  "comma-separated --sample-threads values; re-runs the "
                  "experiment per value and requires byte-identical seed "
                  "sets and stats (with --model ic, 1 is the legacy stream "
                  "family — include it only for lt)");
   int exit_code = 0;
-  if (ShouldExitAfterParse(&args, argc, argv, &exit_code)) return exit_code;
-  ExperimentOptions options = ReadExperimentFlags(args);
+  ExperimentOptions options;
+  if (ShouldExitAfterParse(&args, argc, argv, &exit_code, &options)) {
+    return exit_code;
+  }
   if (!args.Provided("trials")) options.trials = 50;
 
   HarnessParams params;
   params.network = args.GetString("network");
   StatusOr<ProbabilityModel> prob =
       ParseProbabilityModel(args.GetString("prob"));
-  SOLDIST_CHECK(prob.ok()) << prob.status().ToString();
+  if (!prob.ok()) return ExitWithError(prob.status());
   params.prob = prob.value();
+  params.json = args.GetBool("json");
+  if (args.GetInt64("k") < 1) {
+    return ExitWithError(Status::InvalidArgument("--k must be >= 1"));
+  }
   params.k = static_cast<int>(args.GetInt64("k"));
+  if (args.GetInt64("min-exp") < 0 ||
+      args.GetInt64("min-exp") > kMaxExponent) {
+    return ExitWithError(Status::InvalidArgument(
+        "--min-exp must be in [0, " + std::to_string(kMaxExponent) + "]"));
+  }
+  if (args.GetInt64("max-exp") < -1 ||
+      args.GetInt64("max-exp") > kMaxExponent) {
+    return ExitWithError(Status::InvalidArgument(
+        "--max-exp must be in [-1, " + std::to_string(kMaxExponent) + "]"));
+  }
   params.min_exp = static_cast<int>(args.GetInt64("min-exp"));
   params.max_exp = static_cast<int>(args.GetInt64("max-exp"));
 
-  PrintBanner("soldist_experiment: " + params.network + " (" +
-                  ProbabilityModelName(params.prob) + "), model=" +
-                  DiffusionModelName(options.model) +
-                  ", k=" + std::to_string(params.k),
-              options);
+  if (!params.json) {
+    PrintBanner("soldist_experiment: " + params.network + " (" +
+                    ProbabilityModelName(params.prob) + "), model=" +
+                    DiffusionModelName(options.model) +
+                    ", k=" + std::to_string(params.k),
+                options);
+  }
 
   CsvWriter csv({"model", "approach", "sample_number", "entropy",
                  "distinct_sets", "mean_influence", "mean_vertex_cost",
@@ -196,8 +295,9 @@ int Run(int argc, const char* const* argv) {
 
   const std::string verify_list = args.GetString("verify-threads");
   if (verify_list.empty()) {
-    RunExperiment(&context, options.sample_threads, params, /*print=*/true,
-                  &csv);
+    StatusOr<std::string> run = RunExperiment(
+        &context, options.sample_threads, params, /*print=*/true, &csv);
+    if (!run.ok()) return ExitWithError(run.status());
     MaybeWriteCsv(csv, options.out_csv);
     return 0;
   }
@@ -209,19 +309,26 @@ int Run(int argc, const char* const* argv) {
   std::vector<std::int64_t> counts;
   for (const std::string& field : Split(verify_list, ',')) {
     std::int64_t n = 0;
-    SOLDIST_CHECK(ParseInt64(Trim(field), &n) && n >= 0)
-        << "bad --verify-threads entry: " << field;
+    if (!ParseInt64(Trim(field), &n) || n < 0) {
+      return ExitWithError(Status::InvalidArgument(
+          "bad --verify-threads entry: '" + field +
+          "' (expected a comma-separated list of counts >= 0)"));
+    }
     counts.push_back(n);
   }
-  SOLDIST_CHECK(!counts.empty());
+  if (counts.empty()) {
+    return ExitWithError(
+        Status::InvalidArgument("--verify-threads list is empty"));
+  }
   std::string reference;
   for (std::size_t i = 0; i < counts.size(); ++i) {
-    std::string serialized =
-        RunExperiment(&context, counts[i], params, /*print=*/i == 0,
-                      i == 0 ? &csv : nullptr);
+    StatusOr<std::string> serialized = RunExperiment(
+        &context, counts[i], params, /*print=*/i == 0,
+        i == 0 ? &csv : nullptr);
+    if (!serialized.ok()) return ExitWithError(serialized.status());
     if (i == 0) {
-      reference = std::move(serialized);
-    } else if (serialized != reference) {
+      reference = std::move(serialized).value();
+    } else if (serialized.value() != reference) {
       std::fprintf(stderr,
                    "FAIL: --sample-threads %lld changed the experiment "
                    "(seed sets or stats differ from --sample-threads "
@@ -230,14 +337,16 @@ int Run(int argc, const char* const* argv) {
                    static_cast<long long>(counts[0]));
       return 1;
     } else {
-      std::printf("--sample-threads %lld: byte-identical to %lld\n",
-                  static_cast<long long>(counts[i]),
-                  static_cast<long long>(counts[0]));
+      std::fprintf(stderr,
+                   "--sample-threads %lld: byte-identical to %lld\n",
+                   static_cast<long long>(counts[i]),
+                   static_cast<long long>(counts[0]));
     }
   }
-  std::printf("determinism verified: seed sets and distribution stats "
-              "byte-identical across sample-thread counts {%s}\n",
-              verify_list.c_str());
+  std::fprintf(stderr,
+               "determinism verified: seed sets and distribution stats "
+               "byte-identical across sample-thread counts {%s}\n",
+               verify_list.c_str());
   MaybeWriteCsv(csv, options.out_csv);
   return 0;
 }
