@@ -51,6 +51,11 @@ void BM_SnapshotGreedyResidual(benchmark::State& state) {
 }
 BENCHMARK(BM_SnapshotGreedyResidual)->Arg(1)->Arg(4)->Arg(16);
 
+void BM_SnapshotGreedyCondensed(benchmark::State& state) {
+  BM_SnapshotGreedy(state, SnapshotEstimator::Mode::kCondensed);
+}
+BENCHMARK(BM_SnapshotGreedyCondensed)->Arg(1)->Arg(4)->Arg(16);
+
 void BM_RisGreedyPlain(benchmark::State& state) {
   const InfluenceGraph& ig = PhysiciansIg();
   const int k = static_cast<int>(state.range(0));

@@ -121,6 +121,13 @@ struct SolveSpec {
     sampling.num_threads = threads;
     return *this;
   }
+  /// Snapshot reachability backend (naive/residual/condensed). Backends
+  /// are byte-identical in seeds and estimates; condensed is the fast,
+  /// SCC-condensed one (core/snapshot.h). No effect on other approaches.
+  SolveSpec& WithSnapshotMode(SnapshotEstimator::Mode mode) {
+    snapshot_mode = mode;
+    return *this;
+  }
 
   /// Field-level validation (sample_number/k/sampling ranges). k against
   /// the network size is checked by Session once the workload is resolved.

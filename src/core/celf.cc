@@ -36,11 +36,22 @@ CelfRunResult RunCelfGreedy(InfluenceEstimator* estimator,
 
   CelfRunResult result;
   std::priority_queue<HeapEntry> heap;
-  for (std::uint64_t rank = 0; rank < order.size(); ++rank) {
-    VertexId v = order[rank];
-    double estimate = estimator->Estimate(v);
-    ++result.estimate_calls;
-    heap.push({estimate, rank, v, 0});
+  if (estimator->ProvidesInitialBounds()) {
+    // Seed the queue with sound upper bounds marked stale (round -1): a
+    // bound entry is always refreshed with an exact Estimate before it
+    // can be selected, so seeds and recorded estimates are identical to
+    // the exact initialization below — only the call count drops.
+    for (std::uint64_t rank = 0; rank < order.size(); ++rank) {
+      VertexId v = order[rank];
+      heap.push({estimator->InitialBound(v), rank, v, -1});
+    }
+  } else {
+    for (std::uint64_t rank = 0; rank < order.size(); ++rank) {
+      VertexId v = order[rank];
+      double estimate = estimator->Estimate(v);
+      ++result.estimate_calls;
+      heap.push({estimate, rank, v, 0});
+    }
   }
 
   for (int round = 0; round < k; ++round) {

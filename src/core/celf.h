@@ -3,6 +3,17 @@
 // fresh one, so most Estimate calls can be skipped. Selection is
 // identical to RunGreedy up to tie-handling; the point is the Estimate
 // call reduction, quantified by the ablation bench.
+//
+// Estimators with ProvidesInitialBounds() (the condensed Snapshot
+// backend) skip the n-exact-call initialization too: the queue is seeded
+// with sound upper bounds (InitialBound) marked stale, so the first
+// iteration only refreshes candidates whose bound exceeds the eventual
+// winner's exact gain. Selection — seeds AND recorded estimates — is
+// unchanged: a stale entry is always refreshed before it can be
+// selected, and when the true round winner W (max fresh gain, max
+// shuffle rank among ties) is re-pushed, every entry still above it
+// carries a bound ≥ W's gain and therefore gets refreshed to a fresh
+// value that either loses to W or contradicts W's maximality.
 
 #ifndef SOLDIST_CORE_CELF_H_
 #define SOLDIST_CORE_CELF_H_

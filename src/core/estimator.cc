@@ -1,6 +1,16 @@
 #include "core/estimator.h"
 
+#include "util/logging.h"
+
 namespace soldist {
+
+double InfluenceEstimator::InitialBound(VertexId /*v*/) {
+  SOLDIST_CHECK(false)
+      << "InitialBound called on an estimator without "
+         "ProvidesInitialBounds() — the CELF driver must fall back to "
+         "exact initial estimates";
+  return 0.0;
+}
 
 std::string ApproachName(Approach approach) {
   switch (approach) {

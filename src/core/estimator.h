@@ -39,6 +39,18 @@ class InfluenceEstimator {
   /// True when Estimate returns marginal gains (enables lazy/CELF greedy).
   virtual bool EstimatesAreMarginal() const = 0;
 
+  /// True when the estimator can bound Estimate(v) from above WITHOUT a
+  /// traversal (e.g. the condensed Snapshot backend's DAG-sketch bounds).
+  /// The CELF driver then seeds its lazy queue from InitialBound instead
+  /// of n exact Estimate calls; selection is provably unchanged because
+  /// the bounds are sound (see core/celf.h).
+  virtual bool ProvidesInitialBounds() const { return false; }
+
+  /// Sound upper bound on Estimate(v) for the EMPTY seed set (and, by
+  /// submodularity, on every later marginal of v). Only called when
+  /// ProvidesInitialBounds(); the default CHECK-fails.
+  virtual double InitialBound(VertexId v);
+
   /// The sample number (β, τ, or θ).
   virtual std::uint64_t sample_number() const = 0;
 

@@ -70,8 +70,8 @@ ImmResult RunImm(const InfluenceGraph& ig, const ImmParams& params,
       std::vector<RrShard> shards =
           SampleRrShards(ig, DeriveSeed(seed, 33 + batch++),
                          count - collection.size(), engine.get());
-      collection.Merge(shards);
       for (const RrShard& shard : shards) result.counters += shard.counters;
+      collection.Merge(std::move(shards));
       return;
     }
     while (collection.size() < count) {

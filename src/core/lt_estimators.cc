@@ -91,8 +91,8 @@ void LtRisEstimator::Build() {
   SamplingEngine engine(sampling_);
   std::vector<RrShard> shards =
       SampleLtRrShards(*weights_, seed_, theta_, &engine);
-  collection_.Merge(shards);
   for (const RrShard& shard : shards) counters_ += shard.counters;
+  collection_.Merge(std::move(shards));
   collection_.BuildIndex();
   cover_count_.assign(weights_->influence_graph().num_vertices(), 0);
   for (std::uint64_t set_id = 0; set_id < collection_.size(); ++set_id) {

@@ -22,8 +22,8 @@ void RisEstimator::Build() {
     SamplingEngine engine(sampling_);
     std::vector<RrShard> shards =
         SampleRrShards(*ig_, seed_, theta_, &engine);
-    collection_.Merge(shards);
     for (const RrShard& shard : shards) counters_ += shard.counters;
+    collection_.Merge(std::move(shards));
   } else {
     // Legacy sequential path: the paper's two-stream discipline, sampler
     // state alive only for the duration of the build.

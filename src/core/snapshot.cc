@@ -1,116 +1,612 @@
 #include "core/snapshot.h"
 
+#include <algorithm>
+#include <cctype>
+#include <memory>
+#include <numeric>
+
+#include "graph/reach_sketch.h"
+#include "graph/traversal.h"
+#include "random/splitmix64.h"
+#include "sim/condensed_snapshot.h"
+
 namespace soldist {
+namespace {
+
+template <typename Vec>
+std::uint64_t VecBytes(const Vec& v) {
+  return static_cast<std::uint64_t>(v.capacity() * sizeof(v[0]));
+}
+
+}  // namespace
+
+/// \brief Per-mode reachability backend. Build consumes the SAME sampler
+/// streams in every mode, so backends differ only in how (and how fast)
+/// they answer reachability — never in what they answer.
+class SnapshotEstimator::Backend {
+ public:
+  virtual ~Backend() = default;
+  virtual void Build() = 0;
+  /// Σ_i r_i(residual, v) as an exact integer (the caller divides by τ).
+  virtual std::uint64_t EstimateTotal(VertexId v) = 0;
+  virtual void Update(VertexId v) = 0;
+  /// Σ_i bound_i(v); only the condensed backend implements it.
+  virtual std::uint64_t InitialBoundTotal(VertexId v) {
+    (void)v;
+    SOLDIST_CHECK(false) << "backend has no initial bounds";
+    return 0;
+  }
+  virtual std::uint64_t MemoryBytes() const = 0;
+};
+
+namespace {
+
+/// kNaive / kResidual: the pre-condensation code, verbatim — full
+/// snapshots in CSR form, per-candidate BFS on the (residual) live-edge
+/// graphs.
+class FullSnapshotBackend : public SnapshotEstimator::Backend {
+ public:
+  FullSnapshotBackend(const InfluenceGraph* ig, std::uint64_t tau,
+                      std::uint64_t seed, SnapshotEstimator::Mode mode,
+                      const SamplingOptions& sampling,
+                      TraversalCounters* counters)
+      : ig_(ig),
+        tau_(tau),
+        seed_(seed),
+        mode_(mode),
+        sampling_(sampling),
+        sampler_(ig),
+        counters_(counters),
+        visited_(ig->num_vertices()) {
+    queue_.reserve(ig->num_vertices());
+  }
+
+  void Build() override {
+    snapshots_.reserve(tau_);
+    if (sampling_.UseEngine()) {
+      SamplingEngine engine(sampling_);
+      std::vector<SnapshotShard> shards =
+          SampleSnapshotShards(*ig_, seed_, tau_, &engine);
+      for (SnapshotShard& shard : shards) {
+        *counters_ += shard.counters;
+        for (Snapshot& snap : shard.snapshots) {
+          snapshots_.push_back(std::move(snap));
+        }
+      }
+    } else {
+      Rng rng(seed_);  // legacy single-stream path
+      for (std::uint64_t i = 0; i < tau_; ++i) {
+        snapshots_.push_back(sampler_.Sample(&rng, counters_));
+      }
+    }
+    if (mode_ == SnapshotEstimator::Mode::kNaive) {
+      base_reach_.assign(tau_, 0);  // r_i(∅) = 0
+    } else {
+      removed_.assign(
+          tau_ * static_cast<std::uint64_t>(ig_->num_vertices()), 0);
+    }
+  }
+
+  std::uint64_t EstimateTotal(VertexId v) override {
+    std::uint64_t total = 0;
+    if (mode_ == SnapshotEstimator::Mode::kNaive) {
+      scratch_.assign(seeds_.begin(), seeds_.end());
+      scratch_.push_back(v);
+      for (std::size_t i = 0; i < snapshots_.size(); ++i) {
+        total += sampler_.CountReachable(snapshots_[i], scratch_,
+                                         counters_) -
+                 base_reach_[i];
+      }
+    } else {
+      const VertexId source[1] = {v};
+      for (std::size_t i = 0; i < snapshots_.size(); ++i) {
+        total += ResidualReach(i, source, /*mark_removed=*/false);
+      }
+    }
+    return total;
+  }
+
+  void Update(VertexId v) override {
+    seeds_.push_back(v);
+    if (mode_ == SnapshotEstimator::Mode::kNaive) {
+      for (std::size_t i = 0; i < snapshots_.size(); ++i) {
+        base_reach_[i] = static_cast<std::uint32_t>(
+            sampler_.CountReachable(snapshots_[i], seeds_, counters_));
+      }
+    } else {
+      const VertexId source[1] = {v};
+      for (std::size_t i = 0; i < snapshots_.size(); ++i) {
+        ResidualReach(i, source, /*mark_removed=*/true);
+      }
+    }
+  }
+
+  std::uint64_t MemoryBytes() const override {
+    std::uint64_t bytes = VecBytes(base_reach_) + VecBytes(removed_) +
+                          VecBytes(seeds_) + VecBytes(queue_) +
+                          VecBytes(scratch_) +
+                          static_cast<std::uint64_t>(visited_.size()) * 4;
+    for (const Snapshot& snap : snapshots_) {
+      bytes += VecBytes(snap.out_offsets) + VecBytes(snap.out_targets);
+    }
+    return bytes;
+  }
+
+ private:
+  /// Reachable-count from `sources` in snapshot i, skipping vertices
+  /// already removed from the residual graph (residual mode only; in
+  /// naive mode nothing is ever removed).
+  std::uint32_t ResidualReach(std::size_t i,
+                              std::span<const VertexId> sources,
+                              bool mark_removed) {
+    const Snapshot& snap = snapshots_[i];
+    const std::uint8_t* removed =
+        removed_.data() + i * static_cast<std::uint64_t>(ig_->num_vertices());
+    visited_.NextEpoch();
+    queue_.clear();
+    for (VertexId s : sources) {
+      if (removed[s]) continue;
+      if (visited_.Mark(s)) queue_.push_back(s);
+    }
+    std::size_t head = 0;
+    while (head < queue_.size()) {
+      VertexId u = queue_[head++];
+      counters_->vertices += 1;
+      const EdgeId begin = snap.out_offsets[u];
+      const EdgeId end = snap.out_offsets[u + 1];
+      counters_->edges += end - begin;
+      for (EdgeId e = begin; e < end; ++e) {
+        VertexId w = snap.out_targets[e];
+        if (removed[w] || visited_.IsMarked(w)) continue;
+        visited_.Mark(w);
+        queue_.push_back(w);
+      }
+    }
+    if (mark_removed) {
+      auto* removed_mut =
+          removed_.data() +
+          i * static_cast<std::uint64_t>(ig_->num_vertices());
+      for (VertexId u : queue_) removed_mut[u] = 1;
+    }
+    return static_cast<std::uint32_t>(queue_.size());
+  }
+
+  const InfluenceGraph* ig_;
+  std::uint64_t tau_;
+  std::uint64_t seed_;
+  SnapshotEstimator::Mode mode_;
+  SamplingOptions sampling_;
+  SnapshotSampler sampler_;
+  TraversalCounters* counters_;
+  std::vector<Snapshot> snapshots_;
+  /// Naive mode: r_i(S) for the current seed set S.
+  std::vector<std::uint32_t> base_reach_;
+  std::vector<VertexId> seeds_;
+  /// Residual mode: removed_[i * n + v] = 1 when v was deleted from H_i.
+  std::vector<std::uint8_t> removed_;
+  VisitedMarker visited_;
+  std::vector<VertexId> queue_;
+  std::vector<VertexId> scratch_;
+};
+
+/// kCondensed: SCC DAGs with incrementally maintained marginal gains.
+///
+/// Exactness argument, component by component:
+///  * Condensation preserves reachability, so r_i(v) = Σ sizes of the
+///    DAG components reachable from comp(v).
+///  * Every set removed by Update is a reachability set — closed under
+///    successors and a union of whole components (reaching one member of
+///    an SCC reaches all of it). Hence "removed" is component-granular
+///    and successor-closed, and a residual walk may skip removed
+///    components without missing live ones (a live component reachable
+///    only through removed ones would itself be removed).
+///  * Gains are cached per (snapshot, component); Update invalidates a
+///    conservative superset of the stale entries — the live DAG
+///    *ancestors* of the newly removed components (precise reverse walk)
+///    or, when the removal is large, every entry of the snapshot (O(1)
+///    generation bump). Invalidation can only cause recomputation, never
+///    change a value.
+///
+/// Layout, tuned for the access pattern (τ up to 2^16 snapshots means
+/// every per-snapshot indirection in Estimate is a cache miss):
+///  * comp_of is TRANSPOSED after Build into one vertex-major array —
+///    Estimate(v) streams its τ component ids sequentially;
+///  * per-component state is one packed 8-byte {value, gen} record in a
+///    single flat array (removed = sentinel generation), so the state
+///    lookup is one cache line, not three.
+class CondensedBackend : public SnapshotEstimator::Backend {
+ public:
+  CondensedBackend(const InfluenceGraph* ig, std::uint64_t tau,
+                   std::uint64_t seed, const SamplingOptions& sampling,
+                   TraversalCounters* counters)
+      : ig_(ig),
+        tau_(tau),
+        seed_(seed),
+        sampling_(sampling),
+        counters_(counters),
+        visited_(0) {}
+
+  void Build() override {
+    snaps_.reserve(tau_);
+    if (sampling_.UseEngine()) {
+      SamplingEngine engine(sampling_);
+      std::vector<CondensedSnapshotShard> shards =
+          SampleCondensedSnapshotShards(*ig_, seed_, tau_, &engine);
+      for (CondensedSnapshotShard& shard : shards) {
+        *counters_ += shard.counters;
+        for (CondensedSnapshot& snap : shard.snapshots) {
+          snaps_.push_back(std::move(snap));
+        }
+      }
+    } else {
+      // Legacy single-stream path: same snapshot stream as kResidual,
+      // condensed one at a time so the raw CSR never accumulates.
+      Rng rng(seed_);
+      SnapshotSampler sampler(ig_);
+      SnapshotCondenser condenser(ig_->num_vertices());
+      Snapshot scratch;
+      for (std::uint64_t i = 0; i < tau_; ++i) {
+        sampler.SampleInto(&rng, counters_, &scratch);
+        snaps_.push_back(condenser.Condense(scratch));
+      }
+    }
+    std::uint32_t max_components = 0;
+    state_offset_.resize(snaps_.size() + 1);
+    for (std::size_t i = 0; i < snaps_.size(); ++i) {
+      const std::uint32_t c = snaps_[i].num_components();
+      state_offset_[i + 1] = state_offset_[i] + c;
+      max_components = std::max(max_components, c);
+    }
+    // gen 0 != generation 1: everything starts stale (then the sketch
+    // pass below warms the saturated components).
+    state_.assign(state_offset_.back(), CompState{0, 0});
+    generation_.assign(snaps_.size(), 1);
+    live_.resize(snaps_.size());
+    for (std::size_t i = 0; i < snaps_.size(); ++i) {
+      live_[i] = snaps_[i].num_components();
+    }
+    // Component-granular scratch: sized to the largest DAG, not to n
+    // (the scratch-per-mode contract MemoryBytes reports on).
+    visited_.Resize(max_components);
+    queue_.reserve(max_components);
+    rqueue_.reserve(max_components);
+    WarmAndTranspose();
+  }
+
+  std::uint64_t EstimateTotal(VertexId v) override {
+    std::uint64_t total = 0;
+    const std::uint32_t* comps =
+        comp_of_by_vertex_.data() + static_cast<std::uint64_t>(v) * tau_;
+    for (std::size_t i = 0; i < snaps_.size(); ++i) {
+      const std::uint32_t c = comps[i];
+      CompState& cs = state_[state_offset_[i] + c];
+      if (cs.gen == kRemovedGen) continue;
+      if (cs.gen != generation_[i]) {
+        cs.value = ResidualDagReach(i, c);
+        cs.gen = generation_[i];
+      }
+      total += cs.value;
+    }
+    return total;
+  }
+
+  void Update(VertexId v) override {
+    const std::uint32_t* comps =
+        comp_of_by_vertex_.data() + static_cast<std::uint64_t>(v) * tau_;
+    for (std::size_t i = 0; i < snaps_.size(); ++i) {
+      const CondensedSnapshot& snap = snaps_[i];
+      CompState* state = state_.data() + state_offset_[i];
+      const std::uint32_t c = comps[i];
+      if (state[c].gen == kRemovedGen) continue;  // r_i gains nothing
+
+      // Forward walk over the live DAG: the components the new seed
+      // removes from snapshot i.
+      visited_.NextEpoch();
+      queue_.clear();
+      visited_.Mark(c);
+      queue_.push_back(c);
+      std::size_t head = 0;
+      while (head < queue_.size()) {
+        std::uint32_t u = queue_[head++];
+        counters_->vertices += 1;
+        auto successors = snap.dag.Successors(u);
+        counters_->edges += successors.size();
+        for (std::uint32_t w : successors) {
+          if (state[w].gen == kRemovedGen || visited_.IsMarked(w)) continue;
+          visited_.Mark(w);
+          queue_.push_back(w);
+        }
+      }
+      for (std::uint32_t u : queue_) state[u].gen = kRemovedGen;
+      live_[i] -= static_cast<std::uint32_t>(queue_.size());
+
+      // Cached gains are now stale exactly for the live ANCESTORS of the
+      // newly removed components. For a big removal (the typical first
+      // seed wipes the hub region, whose ancestors are most of the DAG)
+      // a generation bump invalidates everything in O(1) — cheaper than
+      // walking ancestors that cover the DAG anyway. For small removals
+      // a precise reverse walk preserves the untouched caches.
+      // Previously removed components cannot sit on a path INTO the
+      // newly removed set (their successors were removed with them), so
+      // the reverse walk skips them without losing an ancestor.
+      if (queue_.size() * 4 > live_[i]) {
+        ++generation_[i];
+        continue;
+      }
+      const std::uint32_t stale = generation_[i] - 1;  // != generation
+      rqueue_.assign(queue_.begin(), queue_.end());
+      head = 0;
+      while (head < rqueue_.size()) {
+        std::uint32_t u = rqueue_[head++];
+        counters_->vertices += 1;
+        auto predecessors = snap.rev.Successors(u);
+        counters_->edges += predecessors.size();
+        for (std::uint32_t p : predecessors) {
+          if (state[p].gen == kRemovedGen || visited_.IsMarked(p)) continue;
+          visited_.Mark(p);
+          state[p].gen = stale;
+          rqueue_.push_back(p);
+        }
+      }
+    }
+  }
+
+  std::uint64_t InitialBoundTotal(VertexId v) override {
+    return bound_total_[v];
+  }
+
+  std::uint64_t MemoryBytes() const override {
+    std::uint64_t bytes = VecBytes(bound_total_) + VecBytes(queue_) +
+                          VecBytes(rqueue_) + VecBytes(state_) +
+                          VecBytes(state_offset_) + VecBytes(generation_) +
+                          VecBytes(live_) + VecBytes(comp_of_by_vertex_) +
+                          static_cast<std::uint64_t>(visited_.size()) * 4;
+    for (const CondensedSnapshot& snap : snaps_) bytes += snap.MemoryBytes();
+    return bytes;
+  }
+
+ private:
+  /// Packed per-(snapshot, component) state: one 8-byte record, one
+  /// cache line per lookup. gen == kRemovedGen marks the component
+  /// removed; otherwise value is valid iff gen == generation_[snapshot].
+  struct CompState {
+    std::uint32_t value;
+    std::uint32_t gen;
+  };
+  static constexpr std::uint32_t kRemovedGen = ~0u;
+
+  /// Exact residual reach of component c in snapshot i: BFS over the live
+  /// DAG summing member counts. Counter accounting is component-granular
+  /// — that reduction (DAG nodes/arcs instead of live vertices/edges) is
+  /// precisely what bench_snapshot_backends records.
+  std::uint32_t ResidualDagReach(std::size_t i, std::uint32_t c) {
+    const CondensedSnapshot& snap = snaps_[i];
+    const CompState* state = state_.data() + state_offset_[i];
+    visited_.NextEpoch();
+    queue_.clear();
+    visited_.Mark(c);
+    queue_.push_back(c);
+    std::uint64_t total = 0;
+    std::size_t head = 0;
+    while (head < queue_.size()) {
+      std::uint32_t u = queue_[head++];
+      counters_->vertices += 1;
+      total += snap.comp_size[u];
+      auto successors = snap.dag.Successors(u);
+      counters_->edges += successors.size();
+      for (std::uint32_t w : successors) {
+        if (state[w].gen == kRemovedGen || visited_.IsMarked(w)) continue;
+        visited_.Mark(w);
+        queue_.push_back(w);
+      }
+    }
+    return static_cast<std::uint32_t>(total);
+  }
+
+  /// The sketch-warm + transpose pass, run once at the end of Build and
+  /// chunked over snapshots through the SAME engine that sampled them
+  /// (sequential when sampling was; chunks touch disjoint snapshots and
+  /// per-slot bound partials merge as order-independent integer sums, so
+  /// the worker count never changes a byte).
+  ///
+  /// Per snapshot, a bottom-k DAG sketch over a random rank PERMUTATION
+  /// — distinct ranks, so a sketch that saturates below k holds the
+  /// EXACT reachable count. That exactness does double duty:
+  ///  * it pre-seeds the gain cache (CompState::value) for every
+  ///    saturated component, so the first greedy iteration — the
+  ///    descendant counting problem this machinery exists for — is a
+  ///    lookup for the long small-reach tail under BOTH drivers;
+  ///  * it makes the per-vertex CELF bounds tight there, with the
+  ///    topologically capped successor-sum for unsaturated components:
+  ///    bound(c) = min(size(c) + Σ bound(succ), Σ_{c' ≤ c} size(c')),
+  ///    both sound because Tarjan descendants carry smaller ids.
+  ///
+  /// The same pass transposes comp_of vertex-major
+  /// (comp_of_by_vertex_[v·τ + i]) so the Estimate/Update hot loops
+  /// stream their per-vertex component ids sequentially instead of
+  /// taking one cache miss per snapshot, then frees the per-snapshot
+  /// copies — a transpose, not a second copy.
+  void WarmAndTranspose() {
+    const VertexId n = ig_->num_vertices();
+    // ONE random permutation of ranks (perm[v]+1)/n shared by all τ
+    // sketches: only rank distinctness matters for exactness, and a
+    // fixed assignment keeps the per-snapshot cost at the merges. (The
+    // stream never touches results either way — caches and bounds hold
+    // exact values and sound bounds for ANY distinct ranks.)
+    Rng rng(DeriveSeed(seed_, tau_ + 1));  // off the sampler chunk streams
+    std::vector<VertexId> perm(n);
+    std::iota(perm.begin(), perm.end(), VertexId{0});
+    std::shuffle(perm.begin(), perm.end(), rng.engine());
+    std::vector<double> ranks(n);
+    std::vector<VertexId> by_rank(n);  // inverse permutation = rank order
+    for (VertexId v = 0; v < n; ++v) {
+      ranks[v] = static_cast<double>(perm[v] + 1) / static_cast<double>(n);
+      by_rank[perm[v]] = v;
+    }
+    comp_of_by_vertex_.resize(static_cast<std::uint64_t>(n) * tau_);
+
+    struct Slot {
+      DagSketcher sketcher;
+      DagSketches sketches;
+      std::vector<std::uint32_t> bound;
+      std::vector<std::uint64_t> bound_partial;
+      Slot(VertexId n, int k) : sketcher(n, k), bound_partial(n, 0) {}
+    };
+    auto warm_range = [&](std::uint64_t begin, std::uint64_t end,
+                          Slot* slot) {
+      for (std::uint64_t i = begin; i < end; ++i) {
+        const CondensedSnapshot& snap = snaps_[i];
+        CompState* state = state_.data() + state_offset_[i];
+        const std::uint32_t num_components = snap.num_components();
+        slot->sketcher.Sketch(snap.comp_of, n, snap.dag, ranks, by_rank,
+                              &slot->sketches);
+        slot->bound.resize(num_components);
+        std::uint64_t prefix = 0;  // Σ size over ids ≤ c ⊇ descendants
+        for (std::uint32_t c = 0; c < num_components; ++c) {
+          prefix += snap.comp_size[c];
+          if (slot->sketches.IsExact(c)) {
+            slot->bound[c] = slot->sketches.len[c];
+            state[c].value = slot->sketches.len[c];
+            state[c].gen = 1;  // == the initial generation: warm
+            continue;
+          }
+          std::uint64_t sum = snap.comp_size[c];
+          for (std::uint32_t succ : snap.dag.Successors(c)) {
+            sum += slot->bound[succ];
+            if (sum >= prefix) break;  // already at the cap
+          }
+          slot->bound[c] = static_cast<std::uint32_t>(std::min(sum, prefix));
+        }
+        const std::uint32_t* comp_of = snap.comp_of.data();
+        std::uint32_t* transposed = comp_of_by_vertex_.data() + i;
+        for (VertexId v = 0; v < n; ++v) {
+          slot->bound_partial[v] += slot->bound[comp_of[v]];
+          transposed[static_cast<std::uint64_t>(v) * tau_] = comp_of[v];
+        }
+        std::vector<std::uint32_t>().swap(snaps_[i].comp_of);
+      }
+    };
+
+    bound_total_.assign(n, 0);
+    if (sampling_.UseEngine()) {
+      SamplingEngine engine(sampling_);
+      std::vector<std::unique_ptr<Slot>> slots(engine.num_workers());
+      engine.Run(/*master_seed=*/0, tau_,
+                 [&](const SamplingEngine::Chunk& chunk, std::size_t idx) {
+        if (slots[idx] == nullptr) {
+          slots[idx] = std::make_unique<Slot>(n, kSketchK);
+        }
+        warm_range(chunk.begin, chunk.end, slots[idx].get());
+      });
+      for (const std::unique_ptr<Slot>& slot : slots) {
+        if (slot == nullptr) continue;
+        for (VertexId v = 0; v < n; ++v) {
+          bound_total_[v] += slot->bound_partial[v];
+        }
+      }
+    } else {
+      Slot slot(n, kSketchK);
+      warm_range(0, tau_, &slot);
+      bound_total_.swap(slot.bound_partial);
+    }
+  }
+
+  /// Sketch width: sketches saturating below k yield EXACT bounds, so k
+  /// trades bound tightness (fewer CELF refreshes) against τ per-sketch
+  /// merge cost. 8 already bounds the long subcritical tail exactly.
+  static constexpr int kSketchK = 8;
+
+  const InfluenceGraph* ig_;
+  std::uint64_t tau_;
+  std::uint64_t seed_;
+  SamplingOptions sampling_;
+  TraversalCounters* counters_;
+  std::vector<CondensedSnapshot> snaps_;
+  /// comp_of_by_vertex_[v·τ + i] = component of v in snapshot i.
+  std::vector<std::uint32_t> comp_of_by_vertex_;
+  std::vector<CompState> state_;            // flat, all snapshots
+  std::vector<std::uint64_t> state_offset_; // per snapshot, into state_
+  std::vector<std::uint32_t> generation_;   // per snapshot
+  std::vector<std::uint32_t> live_;         // live components per snapshot
+  std::vector<std::uint64_t> bound_total_;  // per vertex, Σ_i bound_i
+  VisitedMarker visited_;                   // component ids, max-C sized
+  std::vector<std::uint32_t> queue_;
+  std::vector<std::uint32_t> rqueue_;
+};
+
+}  // namespace
 
 SnapshotEstimator::SnapshotEstimator(const InfluenceGraph* ig,
                                      std::uint64_t tau, std::uint64_t seed,
                                      Mode mode,
                                      const SamplingOptions& sampling)
-    : ig_(ig),
-      tau_(tau),
-      seed_(seed),
-      mode_(mode),
-      sampling_(sampling),
-      sampler_(ig),
-      visited_(ig->num_vertices()) {
+    : ig_(ig), tau_(tau), seed_(seed), mode_(mode), sampling_(sampling) {
   SOLDIST_CHECK(tau_ >= 1);
-  queue_.reserve(ig->num_vertices());
 }
+
+SnapshotEstimator::~SnapshotEstimator() = default;
 
 void SnapshotEstimator::Build() {
   SOLDIST_CHECK(!built_) << "Build() must be called exactly once";
   built_ = true;
-  snapshots_.reserve(tau_);
-  if (sampling_.UseEngine()) {
-    SamplingEngine engine(sampling_);
-    std::vector<SnapshotShard> shards =
-        SampleSnapshotShards(*ig_, seed_, tau_, &engine);
-    for (SnapshotShard& shard : shards) {
-      counters_ += shard.counters;
-      for (Snapshot& snap : shard.snapshots) {
-        snapshots_.push_back(std::move(snap));
-      }
-    }
+  // Scratch and residual state are owned (and sized) by the mode's
+  // backend: the condensed backend keeps component-granular state only
+  // and never allocates the O(n)-per-snapshot arrays of the full modes.
+  if (mode_ == Mode::kCondensed) {
+    backend_ = std::make_unique<CondensedBackend>(ig_, tau_, seed_,
+                                                  sampling_, &counters_);
   } else {
-    Rng rng(seed_);  // legacy single-stream path
-    for (std::uint64_t i = 0; i < tau_; ++i) {
-      snapshots_.push_back(sampler_.Sample(&rng, &counters_));
-    }
+    backend_ = std::make_unique<FullSnapshotBackend>(
+        ig_, tau_, seed_, mode_, sampling_, &counters_);
   }
-  if (mode_ == Mode::kNaive) {
-    base_reach_.assign(tau_, 0);  // r_i(∅) = 0
-  } else {
-    removed_.assign(tau_ * static_cast<std::uint64_t>(ig_->num_vertices()),
-                    0);
-  }
-}
-
-std::uint32_t SnapshotEstimator::ResidualReach(
-    std::size_t i, std::span<const VertexId> sources, bool mark_removed) {
-  const Snapshot& snap = snapshots_[i];
-  const std::uint8_t* removed =
-      removed_.data() + i * static_cast<std::uint64_t>(ig_->num_vertices());
-  visited_.NextEpoch();
-  queue_.clear();
-  for (VertexId s : sources) {
-    if (removed[s]) continue;
-    if (visited_.Mark(s)) queue_.push_back(s);
-  }
-  std::size_t head = 0;
-  while (head < queue_.size()) {
-    VertexId u = queue_[head++];
-    counters_.vertices += 1;
-    const EdgeId begin = snap.out_offsets[u];
-    const EdgeId end = snap.out_offsets[u + 1];
-    counters_.edges += end - begin;
-    for (EdgeId e = begin; e < end; ++e) {
-      VertexId w = snap.out_targets[e];
-      if (removed[w] || visited_.IsMarked(w)) continue;
-      visited_.Mark(w);
-      queue_.push_back(w);
-    }
-  }
-  if (mark_removed) {
-    auto* removed_mut = removed_.data() +
-                        i * static_cast<std::uint64_t>(ig_->num_vertices());
-    for (VertexId u : queue_) removed_mut[u] = 1;
-  }
-  return static_cast<std::uint32_t>(queue_.size());
+  backend_->Build();
 }
 
 double SnapshotEstimator::Estimate(VertexId v) {
   SOLDIST_CHECK(built_);
-  std::uint64_t total = 0;
-  if (mode_ == Mode::kNaive) {
-    scratch_.assign(seeds_.begin(), seeds_.end());
-    scratch_.push_back(v);
-    for (std::size_t i = 0; i < snapshots_.size(); ++i) {
-      total += sampler_.CountReachable(snapshots_[i], scratch_, &counters_) -
-               base_reach_[i];
-    }
-  } else {
-    const VertexId source[1] = {v};
-    for (std::size_t i = 0; i < snapshots_.size(); ++i) {
-      total += ResidualReach(i, source, /*mark_removed=*/false);
-    }
-  }
-  return static_cast<double>(total) / static_cast<double>(tau_);
+  return static_cast<double>(backend_->EstimateTotal(v)) /
+         static_cast<double>(tau_);
 }
 
 void SnapshotEstimator::Update(VertexId v) {
   SOLDIST_CHECK(built_);
-  seeds_.push_back(v);
-  if (mode_ == Mode::kNaive) {
-    for (std::size_t i = 0; i < snapshots_.size(); ++i) {
-      base_reach_[i] = static_cast<std::uint32_t>(
-          sampler_.CountReachable(snapshots_[i], seeds_, &counters_));
-    }
-  } else {
-    const VertexId source[1] = {v};
-    for (std::size_t i = 0; i < snapshots_.size(); ++i) {
-      ResidualReach(i, source, /*mark_removed=*/true);
-    }
+  backend_->Update(v);
+}
+
+double SnapshotEstimator::InitialBound(VertexId v) {
+  SOLDIST_CHECK(built_);
+  SOLDIST_CHECK(mode_ == Mode::kCondensed);
+  return static_cast<double>(backend_->InitialBoundTotal(v)) /
+         static_cast<double>(tau_);
+}
+
+std::uint64_t SnapshotEstimator::MemoryBytes() const {
+  return backend_ == nullptr ? 0 : backend_->MemoryBytes();
+}
+
+std::string SnapshotModeName(SnapshotEstimator::Mode mode) {
+  switch (mode) {
+    case SnapshotEstimator::Mode::kNaive:
+      return "naive";
+    case SnapshotEstimator::Mode::kResidual:
+      return "residual";
+    case SnapshotEstimator::Mode::kCondensed:
+      return "condensed";
   }
+  return "?";
+}
+
+StatusOr<SnapshotEstimator::Mode> ParseSnapshotMode(
+    const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "naive") return SnapshotEstimator::Mode::kNaive;
+  if (lower == "residual") return SnapshotEstimator::Mode::kResidual;
+  if (lower == "condensed") return SnapshotEstimator::Mode::kCondensed;
+  return Status::InvalidArgument(
+      "unknown snapshot mode: '" + name +
+      "' (expected naive, residual, or condensed)");
 }
 
 }  // namespace soldist

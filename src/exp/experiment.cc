@@ -38,6 +38,12 @@ void AddExperimentFlags(ArgParser* args) {
                  "samples per deterministic RNG chunk (affects which "
                  "streams produce which samples, NOT the results' "
                  "dependence on thread count)");
+  args->AddString("snapshot-mode", "residual",
+                  "IC Snapshot reachability backend: naive | residual | "
+                  "condensed (SCC-condensed DAGs with incrementally "
+                  "maintained gains). Seed sets and estimates are "
+                  "byte-identical across backends; only the cost "
+                  "changes.");
 }
 
 namespace {
@@ -69,6 +75,9 @@ StatusOr<ExperimentOptions> ParseExperimentFlags(const ArgParser& args) {
   StatusOr<DiffusionModel> model =
       ParseDiffusionModel(args.GetString("model"));
   if (!model.ok()) return model.status();
+  StatusOr<SnapshotEstimator::Mode> snapshot_mode =
+      ParseSnapshotMode(args.GetString("snapshot-mode"));
+  if (!snapshot_mode.ok()) return snapshot_mode.status();
 
   ExperimentOptions options;
   options.trials = static_cast<std::uint64_t>(args.GetInt64("trials"));
@@ -83,6 +92,7 @@ StatusOr<ExperimentOptions> ParseExperimentFlags(const ArgParser& args) {
   options.threads = args.GetInt64("threads");
   options.sample_threads = args.GetInt64("sample-threads");
   options.chunk_size = args.GetInt64("chunk-size");
+  options.snapshot_mode = snapshot_mode.value();
   return options;
 }
 

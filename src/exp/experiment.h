@@ -43,6 +43,10 @@ struct ExperimentOptions {
   /// sampling on the shared pool, trials sequential.
   std::int64_t sample_threads = 1;
   std::int64_t chunk_size = 256;    ///< samples per deterministic chunk
+  /// IC Snapshot reachability backend (--snapshot-mode
+  /// naive|residual|condensed). Backends return byte-identical seed sets
+  /// and estimates — the flag selects a cost profile, never a result.
+  SnapshotEstimator::Mode snapshot_mode = SnapshotEstimator::Mode::kResidual;
 
   /// The api::Session configuration these options imply.
   api::SessionOptions SessionConfig() const;

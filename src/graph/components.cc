@@ -43,47 +43,73 @@ ComponentDecomposition WeaklyConnectedComponents(const Graph& graph) {
   return out;
 }
 
+ComponentDecomposition StronglyConnectedComponents(const Graph& graph) {
+  return StronglyConnectedComponents(graph.num_vertices(),
+                                     graph.out_offsets(),
+                                     graph.out_targets());
+}
+
+ComponentDecomposition StronglyConnectedComponents(
+    VertexId num_vertices, std::span<const EdgeId> out_offsets,
+    std::span<const VertexId> out_targets) {
+  ComponentDecomposition out;
+  SccSolver(num_vertices)
+      .Solve(num_vertices, out_offsets, out_targets, &out);
+  return out;
+}
+
 namespace {
 
-/// Iterative Tarjan SCC; recursion would overflow on long paths
-/// (e.g. BA_s is essentially a 1,000-vertex tree).
-class TarjanScc {
- public:
-  explicit TarjanScc(const Graph& graph) : graph_(graph) {
-    const VertexId n = graph.num_vertices();
-    index_.assign(n, kUnvisited);
-    lowlink_.assign(n, 0);
-    on_stack_.assign(n, false);
-    result_.component.assign(n, 0);
-  }
+/// Iterative Tarjan (recursion would overflow on long paths — BA_s is
+/// essentially a 1,000-vertex tree).
+constexpr std::uint32_t kUnvisited = ~0u;
 
-  ComponentDecomposition Run() {
-    for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
-      if (index_[v] == kUnvisited) Visit(v);
-    }
-    return std::move(result_);
-  }
+}  // namespace
 
- private:
-  static constexpr std::uint32_t kUnvisited = ~0u;
+SccSolver::SccSolver(VertexId num_vertices) {
+  index_.reserve(num_vertices);
+  lowlink_.reserve(num_vertices);
+  on_stack_.reserve(num_vertices);
+  stack_.reserve(num_vertices);
+}
 
-  struct Frame {
-    VertexId v;
-    std::size_t next_neighbor;
+SccSolver::~SccSolver() = default;
+
+void SccSolver::Solve(VertexId num_vertices,
+                      std::span<const EdgeId> out_offsets,
+                      std::span<const VertexId> out_targets,
+                      ComponentDecomposition* out) {
+  // Only index_ needs re-initialization: lowlink_ is written by
+  // start_vertex before any read, on_stack_ ends a run all-zero (every
+  // started vertex is popped and cleared when its component closes), and
+  // every component[] entry is written when its vertex closes.
+  index_.assign(num_vertices, kUnvisited);
+  lowlink_.resize(num_vertices);
+  on_stack_.resize(num_vertices, 0);
+  stack_.clear();
+  frames_.clear();
+  out->component.resize(num_vertices);
+  out->size.clear();
+
+  std::uint32_t next_index = 0;
+  auto start_vertex = [&](VertexId v) {
+    index_[v] = lowlink_[v] = next_index++;
+    stack_.push_back(v);
+    on_stack_[v] = 1;
   };
 
-  void Visit(VertexId root) {
-    frames_.push_back({root, 0});
-    StartVertex(root);
+  for (VertexId root = 0; root < num_vertices; ++root) {
+    if (index_[root] != kUnvisited) continue;
+    frames_.push_back({root, out_offsets[root]});
+    start_vertex(root);
     while (!frames_.empty()) {
       Frame& frame = frames_.back();
       VertexId v = frame.v;
-      auto neighbors = graph_.OutNeighbors(v);
-      if (frame.next_neighbor < neighbors.size()) {
-        VertexId w = neighbors[frame.next_neighbor++];
+      if (frame.next_edge < out_offsets[v + 1]) {
+        VertexId w = out_targets[frame.next_edge++];
         if (index_[w] == kUnvisited) {
-          frames_.push_back({w, 0});
-          StartVertex(w);
+          frames_.push_back({w, out_offsets[w]});
+          start_vertex(w);
         } else if (on_stack_[w]) {
           lowlink_[v] = std::min(lowlink_[v], index_[w]);
         }
@@ -91,14 +117,14 @@ class TarjanScc {
       }
       // All neighbors processed: close v.
       if (lowlink_[v] == index_[v]) {
-        auto c = static_cast<std::uint32_t>(result_.size.size());
-        result_.size.push_back(0);
+        auto c = static_cast<std::uint32_t>(out->size.size());
+        out->size.push_back(0);
         while (true) {
           VertexId w = stack_.back();
           stack_.pop_back();
-          on_stack_[w] = false;
-          result_.component[w] = c;
-          ++result_.size[c];
+          on_stack_[w] = 0;
+          out->component[w] = c;
+          ++out->size[c];
           if (w == v) break;
         }
       }
@@ -109,27 +135,75 @@ class TarjanScc {
       }
     }
   }
+}
 
-  void StartVertex(VertexId v) {
-    index_[v] = lowlink_[v] = next_index_++;
-    stack_.push_back(v);
-    on_stack_[v] = true;
+void CondenseCsrInto(const ComponentDecomposition& scc,
+                     VertexId num_vertices,
+                     std::span<const EdgeId> out_offsets,
+                     std::span<const VertexId> out_targets,
+                     CondenseScratch* scratch, CondensationDag* out) {
+  const std::uint32_t num_components = scc.num_components();
+  SOLDIST_CHECK(out_targets.size() < (1ull << 32))
+      << "condensation over >= 2^32 arcs would overflow the 32-bit DAG "
+         "offsets";
+  const std::uint32_t* comp_of = scc.component.data();
+
+  // Pass 1: count cross-component arcs per source component (duplicates
+  // included) and prefix-sum into scratch offsets.
+  scratch->counts.assign(static_cast<std::size_t>(num_components) + 1, 0);
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    const std::uint32_t cv = comp_of[v];
+    for (EdgeId e = out_offsets[v]; e < out_offsets[v + 1]; ++e) {
+      if (comp_of[out_targets[e]] != cv) ++scratch->counts[cv + 1];
+    }
+  }
+  for (std::uint32_t c = 0; c < num_components; ++c) {
+    scratch->counts[c + 1] += scratch->counts[c];
   }
 
-  const Graph& graph_;
-  std::uint32_t next_index_ = 0;
-  std::vector<std::uint32_t> index_;
-  std::vector<std::uint32_t> lowlink_;
-  std::vector<bool> on_stack_;
-  std::vector<VertexId> stack_;
-  std::vector<Frame> frames_;
-  ComponentDecomposition result_;
-};
+  // Pass 2: scatter targets (with duplicates) into scratch.
+  scratch->dup_targets.resize(scratch->counts[num_components]);
+  scratch->cursor.assign(scratch->counts.begin(),
+                         scratch->counts.end() - 1);
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    const std::uint32_t cv = comp_of[v];
+    for (EdgeId e = out_offsets[v]; e < out_offsets[v + 1]; ++e) {
+      const std::uint32_t cw = comp_of[out_targets[e]];
+      if (cw != cv) scratch->dup_targets[scratch->cursor[cv]++] = cw;
+    }
+  }
 
-}  // namespace
+  // Pass 3: dedup-compact in place (epoch stamp per source component),
+  // then copy the exact-sized result into the output CSR.
+  scratch->stamp.assign(num_components, ~0u);
+  out->offsets.resize(static_cast<std::size_t>(num_components) + 1);
+  std::uint32_t write = 0;
+  std::uint32_t read = 0;
+  for (std::uint32_t c = 0; c < num_components; ++c) {
+    const std::uint32_t read_end = scratch->counts[c + 1];
+    out->offsets[c] = write;
+    for (; read < read_end; ++read) {
+      const std::uint32_t cw = scratch->dup_targets[read];
+      if (scratch->stamp[cw] == c) continue;
+      scratch->stamp[cw] = c;
+      SOLDIST_DCHECK(cw < c);  // Tarjan's reverse-topological numbering
+      scratch->dup_targets[write++] = cw;
+    }
+  }
+  out->offsets[num_components] = write;
+  out->targets.assign(scratch->dup_targets.begin(),
+                      scratch->dup_targets.begin() + write);
+}
 
-ComponentDecomposition StronglyConnectedComponents(const Graph& graph) {
-  return TarjanScc(graph).Run();
+CondensationDag CondenseCsr(const ComponentDecomposition& scc,
+                            VertexId num_vertices,
+                            std::span<const EdgeId> out_offsets,
+                            std::span<const VertexId> out_targets) {
+  CondenseScratch scratch;
+  CondensationDag dag;
+  CondenseCsrInto(scc, num_vertices, out_offsets, out_targets, &scratch,
+                  &dag);
+  return dag;
 }
 
 }  // namespace soldist

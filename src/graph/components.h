@@ -1,11 +1,16 @@
 // Connected-component analysis. The paper's traversal-cost discussion
 // (Sections 5.3, 6) hinges on when a giant component emerges in the
-// live-edge random graph; these helpers quantify that.
+// live-edge random graph; these helpers quantify that. The SCC pass and
+// the condensation utilities below also power the condensed Snapshot
+// backend (core/snapshot.h Mode::kCondensed): each sampled live-edge
+// graph is collapsed to its SCC DAG once, and greedy reachability runs
+// component-granular from then on.
 
 #ifndef SOLDIST_GRAPH_COMPONENTS_H_
 #define SOLDIST_GRAPH_COMPONENTS_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
@@ -30,7 +35,102 @@ struct ComponentDecomposition {
 ComponentDecomposition WeaklyConnectedComponents(const Graph& graph);
 
 /// Strongly connected components (Tarjan, iterative).
+///
+/// Component ids come out in REVERSE topological order of the
+/// condensation: every successor of component c has an id < c. Both the
+/// reachability sketches and the condensed snapshot backend rely on this
+/// numbering for their single-pass bottom-up merges.
 ComponentDecomposition StronglyConnectedComponents(const Graph& graph);
+
+/// StronglyConnectedComponents over a raw forward CSR — the sampled
+/// live-edge snapshots (sim/snapshot_sampler.h) are CSR-only, never full
+/// Graph objects, so the condensation path uses this overload. Same
+/// reverse-topological numbering guarantee.
+ComponentDecomposition StronglyConnectedComponents(
+    VertexId num_vertices, std::span<const EdgeId> out_offsets,
+    std::span<const VertexId> out_targets);
+
+/// \brief Scratch-reusing Tarjan solver for repeated decompositions.
+///
+/// The condensed Snapshot build runs one SCC pass per sampled live-edge
+/// graph (τ up to 2^16 per estimator); this class keeps the DFS arrays
+/// alive across calls so each pass costs traversal work, not allocator
+/// churn. The free functions above are one-shot wrappers.
+class SccSolver {
+ public:
+  explicit SccSolver(VertexId num_vertices);
+  ~SccSolver();
+
+  /// Decomposes the CSR (must address < num_vertices vertices) into
+  /// *out, overwriting it. Same reverse-topological numbering as
+  /// StronglyConnectedComponents.
+  void Solve(VertexId num_vertices, std::span<const EdgeId> out_offsets,
+             std::span<const VertexId> out_targets,
+             ComponentDecomposition* out);
+
+ private:
+  struct Frame {
+    VertexId v;
+    EdgeId next_edge;
+  };
+
+  std::vector<std::uint32_t> index_;
+  std::vector<std::uint32_t> lowlink_;
+  std::vector<std::uint8_t> on_stack_;
+  std::vector<VertexId> stack_;
+  std::vector<Frame> frames_;
+};
+
+/// \brief The condensation DAG of an SCC decomposition, in forward CSR
+/// form over component ids with cross-component arcs deduplicated.
+struct CondensationDag {
+  /// 32-bit offsets: a single condensation with >= 2^32 cross-component
+  /// arcs is rejected by CondenseCsr (it would need a 16 GiB+ target
+  /// array); per-snapshot DAGs are orders of magnitude below that, and
+  /// halving the offsets matters because the condensed Snapshot backend
+  /// keeps two of these per sampled snapshot.
+  std::vector<std::uint32_t> offsets;   ///< num_components + 1
+  std::vector<std::uint32_t> targets;   ///< deduplicated successor ids
+
+  std::uint32_t num_components() const {
+    return offsets.empty()
+               ? 0
+               : static_cast<std::uint32_t>(offsets.size()) - 1;
+  }
+  EdgeId num_edges() const { return static_cast<EdgeId>(targets.size()); }
+
+  std::span<const std::uint32_t> Successors(std::uint32_t c) const {
+    return {targets.data() + offsets[c], targets.data() + offsets[c + 1]};
+  }
+};
+
+/// \brief Reusable scratch for CondenseCsrInto (duplicate-included
+/// counts/targets, dedup stamps, scatter cursors).
+struct CondenseScratch {
+  std::vector<std::uint32_t> counts;
+  std::vector<std::uint32_t> cursor;
+  std::vector<std::uint32_t> dup_targets;
+  std::vector<std::uint32_t> stamp;
+};
+
+/// Builds the deduplicated condensation DAG of `scc` over the CSR
+/// (num_vertices, out_offsets, out_targets) into *out, allocating only
+/// the exact-sized output arrays — all working storage lives in
+/// *scratch so τ-scale loops (one condensation per sampled snapshot)
+/// pay traversal work, not allocator churn. O(n + m + C): duplicates
+/// are removed with an epoch stamp per source component, no sorting.
+/// With Tarjan's numbering every emitted target id is < its source id.
+void CondenseCsrInto(const ComponentDecomposition& scc,
+                     VertexId num_vertices,
+                     std::span<const EdgeId> out_offsets,
+                     std::span<const VertexId> out_targets,
+                     CondenseScratch* scratch, CondensationDag* out);
+
+/// One-shot wrapper over CondenseCsrInto (scratch allocated per call).
+CondensationDag CondenseCsr(const ComponentDecomposition& scc,
+                            VertexId num_vertices,
+                            std::span<const EdgeId> out_offsets,
+                            std::span<const VertexId> out_targets);
 
 }  // namespace soldist
 

@@ -2,89 +2,146 @@
 
 #include <algorithm>
 
-#include "graph/components.h"
-
 namespace soldist {
 namespace {
 
-/// Merges `ranks` into `sketch`, keeping the k smallest, both sorted.
-void MergeBottomK(std::vector<double>* sketch,
-                  const std::vector<double>& ranks, int k) {
-  std::vector<double> merged;
-  merged.reserve(
-      std::min<std::size_t>(sketch->size() + ranks.size(),
-                            static_cast<std::size_t>(k)));
+/// Merges the sorted `ranks` into the sorted `sketch` (len entries of the
+/// k-slot buffer), keeping the k smallest distinct ranks. `scratch` must
+/// hold k doubles.
+std::uint8_t MergeBottomK(double* sketch, std::uint8_t len,
+                          std::span<const double> ranks, int k,
+                          double* scratch) {
+  std::size_t out = 0;
   std::size_t i = 0, j = 0;
-  while (merged.size() < static_cast<std::size_t>(k) &&
-         (i < sketch->size() || j < ranks.size())) {
+  while (out < static_cast<std::size_t>(k) &&
+         (i < len || j < ranks.size())) {
     double next;
-    if (i < sketch->size() &&
-        (j >= ranks.size() || (*sketch)[i] <= ranks[j])) {
-      next = (*sketch)[i++];
+    if (i < len && (j >= ranks.size() || sketch[i] <= ranks[j])) {
+      next = sketch[i++];
     } else {
       next = ranks[j++];
     }
     // Skip duplicates (a rank reached via two paths counts once).
-    if (merged.empty() || merged.back() != next) merged.push_back(next);
+    if (out == 0 || scratch[out - 1] != next) scratch[out++] = next;
   }
-  *sketch = std::move(merged);
+  std::copy(scratch, scratch + out, sketch);
+  return static_cast<std::uint8_t>(out);
 }
 
 }  // namespace
+
+double DagSketches::Estimate(std::uint32_t c) const {
+  if (IsExact(c)) return static_cast<double>(len[c]);
+  return static_cast<double>(k - 1) /
+         values[static_cast<std::size_t>(c) * k + (k - 1)];
+}
+
+DagSketches BottomKDagSketches(std::span<const std::uint32_t> component_of,
+                               VertexId num_vertices,
+                               const CondensationDag& dag, int k, Rng* rng) {
+  std::vector<double> rank(num_vertices);
+  for (VertexId v = 0; v < num_vertices; ++v) rank[v] = rng->UnitReal();
+  return BottomKDagSketches(component_of, num_vertices, dag, k, rank);
+}
+
+DagSketches BottomKDagSketches(std::span<const std::uint32_t> component_of,
+                               VertexId num_vertices,
+                               const CondensationDag& dag, int k,
+                               std::span<const double> vertex_ranks) {
+  DagSketches out;
+  DagSketcher(num_vertices, k)
+      .Sketch(component_of, num_vertices, dag, vertex_ranks, &out);
+  return out;
+}
+
+DagSketcher::DagSketcher(VertexId num_vertices, int k) : k_(k) {
+  SOLDIST_CHECK(k_ >= 2 && k_ <= 255);
+  member_ranks_.reserve(num_vertices);
+  scratch_.resize(k_);
+}
+
+void DagSketcher::Sketch(std::span<const std::uint32_t> component_of,
+                         VertexId num_vertices, const CondensationDag& dag,
+                         std::span<const double> vertex_ranks,
+                         DagSketches* out) {
+  Sketch(component_of, num_vertices, dag, vertex_ranks, {}, out);
+}
+
+void DagSketcher::Sketch(std::span<const std::uint32_t> component_of,
+                         VertexId num_vertices, const CondensationDag& dag,
+                         std::span<const double> vertex_ranks,
+                         std::span<const VertexId> by_rank,
+                         DagSketches* out) {
+  const std::uint32_t num_components = dag.num_components();
+
+  // Ranks bucketed per component (counting sort); buckets must end up
+  // sorted ascending for the bottom-k merges — by construction when the
+  // caller supplies the rank order, by per-bucket sorts otherwise.
+  bucket_offsets_.assign(static_cast<std::size_t>(num_components) + 1, 0);
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    ++bucket_offsets_[component_of[v] + 1];
+  }
+  for (std::uint32_t c = 0; c < num_components; ++c) {
+    bucket_offsets_[c + 1] += bucket_offsets_[c];
+  }
+  member_ranks_.resize(num_vertices);
+  cursor_.assign(bucket_offsets_.begin(), bucket_offsets_.end() - 1);
+  if (by_rank.empty()) {
+    for (VertexId v = 0; v < num_vertices; ++v) {
+      member_ranks_[cursor_[component_of[v]]++] = vertex_ranks[v];
+    }
+    for (std::uint32_t c = 0; c < num_components; ++c) {
+      if (bucket_offsets_[c + 1] - bucket_offsets_[c] > 1) {
+        std::sort(member_ranks_.begin() + bucket_offsets_[c],
+                  member_ranks_.begin() + bucket_offsets_[c + 1]);
+      }
+    }
+  } else {
+    for (VertexId v : by_rank) {
+      member_ranks_[cursor_[component_of[v]]++] = vertex_ranks[v];
+    }
+  }
+
+  out->k = k_;
+  // resize, not assign: every slot read ([0, len[c]) of each sketch) is
+  // written by the merges below, and zero-filling C×k doubles per call
+  // costs more than the sketching itself at τ scale.
+  out->values.resize(static_cast<std::size_t>(num_components) * k_);
+  out->len.resize(num_components);
+
+  // Tarjan numbers components in reverse topological order: successors of
+  // c always carry SMALLER ids, so ascending order processes them first.
+  for (std::uint32_t c = 0; c < num_components; ++c) {
+    double* sketch = out->values.data() + static_cast<std::size_t>(c) * k_;
+    std::uint8_t len = MergeBottomK(
+        sketch, 0,
+        {member_ranks_.data() + bucket_offsets_[c],
+         member_ranks_.data() + bucket_offsets_[c + 1]},
+        k_, scratch_.data());
+    for (std::uint32_t successor : dag.Successors(c)) {
+      SOLDIST_DCHECK(successor < c);
+      len = MergeBottomK(sketch, len, out->Sketch(successor), k_,
+                         scratch_.data());
+    }
+    out->len[c] = len;
+  }
+}
 
 ReachabilitySketches::ReachabilitySketches(const Graph* graph, int k,
                                            Rng* rng)
     : k_(k) {
   SOLDIST_CHECK(k_ >= 2);
-  const VertexId n = graph->num_vertices();
-  std::vector<double> rank(n);
-  for (VertexId v = 0; v < n; ++v) rank[v] = rng->UnitReal();
-
   ComponentDecomposition scc = StronglyConnectedComponents(*graph);
-  component_of_ = scc.component;
-  const std::uint32_t num_components = scc.num_components();
-  component_sketch_.assign(num_components, {});
-
-  // Group member ranks per component (sorted for the merge).
-  std::vector<std::vector<double>> member_ranks(num_components);
-  for (VertexId v = 0; v < n; ++v) {
-    member_ranks[scc.component[v]].push_back(rank[v]);
-  }
-  for (auto& ranks : member_ranks) std::sort(ranks.begin(), ranks.end());
-
-  // Condensation successors, deduplicated per component.
-  std::vector<std::vector<std::uint32_t>> successors(num_components);
-  for (VertexId v = 0; v < n; ++v) {
-    std::uint32_t cv = scc.component[v];
-    for (VertexId w : graph->OutNeighbors(v)) {
-      std::uint32_t cw = scc.component[w];
-      if (cw != cv) successors[cv].push_back(cw);
-    }
-  }
-  for (auto& list : successors) {
-    std::sort(list.begin(), list.end());
-    list.erase(std::unique(list.begin(), list.end()), list.end());
-  }
-
-  // Tarjan numbers components in reverse topological order: successors of
-  // c always carry SMALLER ids, so ascending order processes them first.
-  for (std::uint32_t c = 0; c < num_components; ++c) {
-    std::vector<double>& sketch = component_sketch_[c];
-    MergeBottomK(&sketch, member_ranks[c], k_);
-    for (std::uint32_t successor : successors[c]) {
-      SOLDIST_DCHECK(successor < c);
-      MergeBottomK(&sketch, component_sketch_[successor], k_);
-    }
-  }
+  CondensationDag dag = CondenseCsr(scc, graph->num_vertices(),
+                                    graph->out_offsets(),
+                                    graph->out_targets());
+  sketches_ = BottomKDagSketches(scc.component, graph->num_vertices(), dag,
+                                 k_, rng);
+  component_of_ = std::move(scc.component);
 }
 
 double ReachabilitySketches::EstimateReachable(VertexId v) const {
-  const std::vector<double>& sketch = component_sketch_[component_of_[v]];
-  if (sketch.size() < static_cast<std::size_t>(k_)) {
-    // Fewer than k reachable vertices: the sketch is the exact rank set.
-    return static_cast<double>(sketch.size());
-  }
-  return static_cast<double>(k_ - 1) / sketch.back();
+  return sketches_.Estimate(component_of_[v]);
 }
 
 }  // namespace soldist

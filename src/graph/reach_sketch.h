@@ -3,24 +3,103 @@
 // estimating r_G(v) for EVERY vertex is the descendant counting problem
 // (no truly-subquadratic exact algorithm under SETH), but bottom-k
 // sketches approximate all n counts in near-linear time.
+//
+// The core is a single bottom-up pass over an SCC condensation DAG in
+// Tarjan's reverse-topological numbering (graph/components.h). It is
+// shared by two consumers: ReachabilitySketches (whole-graph sketches)
+// and the condensed Snapshot backend (core/snapshot.h), which sketches
+// every sampled live-edge DAG to seed CELF's lazy queue — a sketch that
+// saturates below k ranks is an EXACT reachable count, so most initial
+// bounds are tight for free.
 
 #ifndef SOLDIST_GRAPH_REACH_SKETCH_H_
 #define SOLDIST_GRAPH_REACH_SKETCH_H_
 
+#include <span>
 #include <vector>
 
+#include "graph/components.h"
 #include "graph/graph.h"
 #include "random/rng.h"
 
 namespace soldist {
 
+/// \brief Flat per-component bottom-k sketches over a condensation DAG.
+///
+/// Storage: component c's sketch is values[c*k .. c*k + len[c]), sorted
+/// ascending. len[c] < k means the sketch holds EVERY distinct rank
+/// reachable from c — i.e. len[c] IS the exact reachable-vertex count.
+struct DagSketches {
+  int k = 0;
+  std::vector<double> values;      ///< num_components × k slots
+  std::vector<std::uint8_t> len;   ///< ranks used per component
+
+  std::span<const double> Sketch(std::uint32_t c) const {
+    return {values.data() + static_cast<std::size_t>(c) * k, len[c]};
+  }
+  /// True when Sketch(c) is the full reachable rank set (exact count).
+  bool IsExact(std::uint32_t c) const { return len[c] < k; }
+  /// |R(c)| estimate: len[c] when exact, else (k−1)/x_k.
+  double Estimate(std::uint32_t c) const;
+};
+
+/// Builds bottom-k sketches for every component of `dag` in one
+/// bottom-up pass: draw a uniform rank per vertex, merge each
+/// component's member ranks with its successors' sketches (keeping the k
+/// smallest distinct ranks). Requires Tarjan's reverse-topological
+/// numbering (successors of c have ids < c) and 2 <= k <= 255.
+DagSketches BottomKDagSketches(std::span<const std::uint32_t> component_of,
+                               VertexId num_vertices,
+                               const CondensationDag& dag, int k, Rng* rng);
+
+/// Same, with caller-supplied per-vertex ranks. With DISTINCT ranks
+/// (e.g. a random permutation scaled into (0, 1]) the dedup during the
+/// merges removes exactly the duplicate *vertices*, so IsExact is a hard
+/// guarantee rather than an almost-surely one — the property the
+/// condensed Snapshot backend's sound CELF bounds rely on.
+DagSketches BottomKDagSketches(std::span<const std::uint32_t> component_of,
+                               VertexId num_vertices,
+                               const CondensationDag& dag, int k,
+                               std::span<const double> vertex_ranks);
+
+/// \brief Scratch-reusing sketcher for τ-scale loops (one sketch per
+/// sampled snapshot DAG): bucketing and merge buffers live across calls,
+/// and the result is written into a reused DagSketches. Output equals
+/// BottomKDagSketches exactly.
+class DagSketcher {
+ public:
+  DagSketcher(VertexId num_vertices, int k);
+
+  void Sketch(std::span<const std::uint32_t> component_of,
+              VertexId num_vertices, const CondensationDag& dag,
+              std::span<const double> vertex_ranks, DagSketches* out);
+
+  /// Same, with the vertices pre-sorted by ascending rank (`by_rank[i]`
+  /// is the vertex with the i-th smallest rank): buckets then come out
+  /// sorted by construction and the per-component sorts vanish. The
+  /// condensed Snapshot backend reuses ONE rank permutation across τ
+  /// sketches, so it pays for the order once.
+  void Sketch(std::span<const std::uint32_t> component_of,
+              VertexId num_vertices, const CondensationDag& dag,
+              std::span<const double> vertex_ranks,
+              std::span<const VertexId> by_rank, DagSketches* out);
+
+  int k() const { return k_; }
+
+ private:
+  int k_;
+  std::vector<std::uint32_t> bucket_offsets_;
+  std::vector<std::uint32_t> cursor_;
+  std::vector<double> member_ranks_;
+  std::vector<double> scratch_;
+};
+
 /// \brief Bottom-k sketches of every vertex's reachability set.
 ///
-/// Construction: draw a uniform rank per vertex, condense SCCs (Tarjan
-/// emits them in reverse topological order), and merge each component's
-/// member ranks with its successors' sketches, keeping the k smallest.
-/// Estimate: |R(v)| ≈ (k−1)/x_k where x_k is the k-th smallest rank in
-/// v's sketch; exact when the sketch holds fewer than k ranks.
+/// Construction: condense SCCs with Tarjan and run BottomKDagSketches
+/// over the condensation. Estimate: |R(v)| ≈ (k−1)/x_k where x_k is the
+/// k-th smallest rank in v's sketch; exact when the sketch holds fewer
+/// than k ranks.
 class ReachabilitySketches {
  public:
   /// \param k sketch size; larger k = lower variance (SD ≈ |R|/√(k−2))
@@ -33,8 +112,7 @@ class ReachabilitySketches {
 
  private:
   int k_;
-  /// Per component: sorted ascending bottom-k ranks.
-  std::vector<std::vector<double>> component_sketch_;
+  DagSketches sketches_;
   std::vector<std::uint32_t> component_of_;
 };
 

@@ -37,7 +37,7 @@ RrOracle::RrOracle(const LtWeights* lt_weights, std::uint64_t num_rr_sets,
   std::vector<RrShard> shards =
       SampleLtRrShards(*lt_weights, DeriveSeed(seed, 11), num_rr_sets,
                        &engine);
-  collection_.Merge(shards);
+  collection_.Merge(std::move(shards));
   collection_.BuildIndex();
 }
 

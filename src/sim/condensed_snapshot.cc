@@ -1,0 +1,115 @@
+#include "sim/condensed_snapshot.h"
+
+#include <memory>
+
+#include "random/splitmix64.h"
+
+namespace soldist {
+
+std::uint64_t CondensedSnapshot::MemoryBytes() const {
+  auto vec_bytes = [](const auto& v) {
+    return static_cast<std::uint64_t>(v.capacity() * sizeof(v[0]));
+  };
+  return vec_bytes(comp_of) + vec_bytes(comp_size) + vec_bytes(dag.offsets) +
+         vec_bytes(dag.targets) + vec_bytes(rev.offsets) +
+         vec_bytes(rev.targets);
+}
+
+std::uint32_t CondensedSnapshot::CountReachable(VertexId v) const {
+  std::vector<std::uint8_t> visited(num_components(), 0);
+  std::vector<std::uint32_t> queue;
+  const std::uint32_t start = comp_of[v];
+  visited[start] = 1;
+  queue.push_back(start);
+  std::uint64_t total = 0;
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    std::uint32_t c = queue[head++];
+    total += comp_size[c];
+    for (std::uint32_t succ : dag.Successors(c)) {
+      if (!visited[succ]) {
+        visited[succ] = 1;
+        queue.push_back(succ);
+      }
+    }
+  }
+  return static_cast<std::uint32_t>(total);
+}
+
+CondensedSnapshot CondenseSnapshot(const Snapshot& snapshot,
+                                   VertexId num_vertices) {
+  return SnapshotCondenser(num_vertices).Condense(snapshot);
+}
+
+SnapshotCondenser::SnapshotCondenser(VertexId num_vertices)
+    : num_vertices_(num_vertices), solver_(num_vertices) {}
+
+CondensedSnapshot SnapshotCondenser::Condense(const Snapshot& snapshot) {
+  solver_.Solve(num_vertices_, snapshot.out_offsets, snapshot.out_targets,
+                &scc_);
+  CondensedSnapshot out;
+  CondenseCsrInto(scc_, num_vertices_, snapshot.out_offsets,
+                  snapshot.out_targets, &scratch_, &out.dag);
+
+  // Reverse DAG (counting sort by target) straight into the output.
+  const std::uint32_t num_components = scc_.num_components();
+  const auto num_dag_edges =
+      static_cast<std::uint32_t>(out.dag.targets.size());
+  out.rev.offsets.assign(static_cast<std::size_t>(num_components) + 1, 0);
+  for (std::uint32_t i = 0; i < num_dag_edges; ++i) {
+    ++out.rev.offsets[out.dag.targets[i] + 1];
+  }
+  for (std::uint32_t c = 0; c < num_components; ++c) {
+    out.rev.offsets[c + 1] += out.rev.offsets[c];
+  }
+  out.rev.targets.resize(num_dag_edges);
+  rev_cursor_.assign(out.rev.offsets.begin(), out.rev.offsets.end() - 1);
+  for (std::uint32_t c = 0; c < num_components; ++c) {
+    for (std::uint32_t target : out.dag.Successors(c)) {
+      out.rev.targets[rev_cursor_[target]++] = c;
+    }
+  }
+
+  out.comp_of = scc_.component;  // copy: scc_ scratch persists
+  out.comp_size = scc_.size;
+  return out;
+}
+
+std::vector<CondensedSnapshotShard> SampleCondensedSnapshotShards(
+    const InfluenceGraph& ig, std::uint64_t master_seed, std::uint64_t count,
+    SamplingEngine* engine) {
+  std::vector<CondensedSnapshotShard> shards(engine->NumChunks(count));
+  // Per-worker-slot scratch (sampler, condenser, one reusable raw
+  // snapshot): schedule-dependent but output-invisible — every chunk's
+  // randomness comes from its own derived stream and condensation is a
+  // pure function of the sampled snapshot.
+  struct Slot {
+    SnapshotSampler sampler;
+    SnapshotCondenser condenser;
+    Snapshot scratch;
+    Slot(const InfluenceGraph* ig)
+        : sampler(ig), condenser(ig->num_vertices()) {}
+  };
+  std::vector<std::unique_ptr<Slot>> slots(engine->num_workers());
+  engine->Run(master_seed, count,
+              [&](const SamplingEngine::Chunk& chunk, std::size_t slot) {
+    if (slots[slot] == nullptr) {
+      slots[slot] = std::make_unique<Slot>(&ig);
+    }
+    // Stream 1 of the chunk seed: byte-identical live-edge graphs to
+    // SampleSnapshotShards, so kCondensed condenses exactly the snapshots
+    // kResidual walks.
+    Rng rng(DeriveSeed(chunk.seed, 1));
+    CondensedSnapshotShard& shard = shards[chunk.index];
+    shard.snapshots.reserve(chunk.end - chunk.begin);
+    for (std::uint64_t i = chunk.begin; i < chunk.end; ++i) {
+      slots[slot]->sampler.SampleInto(&rng, &shard.counters,
+                                      &slots[slot]->scratch);
+      shard.snapshots.push_back(
+          slots[slot]->condenser.Condense(slots[slot]->scratch));
+    }
+  });
+  return shards;
+}
+
+}  // namespace soldist

@@ -24,29 +24,53 @@ MaxCoverageResult GreedyMaxCoverage(const RrCollection& collection, int k) {
       return vertex > other.vertex;  // smaller id wins ties
     }
   };
+  // Zero-gain vertices never enter the heap (gains only shrink, so they
+  // can never be selected on merit); on sparse collections this also
+  // stops every round from popping n stale zero entries. They are still
+  // eligible for the zero-gain fill below, which reproduces the heap's
+  // old smallest-id-first order exactly.
   std::priority_queue<Entry> heap;
-  for (VertexId v = 0; v < n; ++v) heap.push({cover_count[v], v, 0});
+  for (VertexId v = 0; v < n; ++v) {
+    if (cover_count[v] > 0) heap.push({cover_count[v], v, 0});
+  }
 
   MaxCoverageResult result;
   result.seeds.reserve(k);
+  std::vector<std::uint8_t> chosen(n, 0);
+  VertexId fill_cursor = 0;
+  bool exhausted = false;  // every remaining gain is 0 for good
   for (int round = 0; round < k; ++round) {
-    while (true) {
+    bool selected = false;
+    while (!exhausted && !heap.empty()) {
       Entry top = heap.top();
       heap.pop();
-      if (top.round == round) {
-        for (std::uint64_t set_id : collection.InvertedList(top.vertex)) {
-          if (!set_active[set_id]) continue;
-          set_active[set_id] = 0;
-          ++result.covered;
-          for (VertexId w : collection.Set(set_id)) --cover_count[w];
-        }
-        result.seeds.push_back(top.vertex);
-        break;
+      if (top.round != round) {
+        top.gain = cover_count[top.vertex];
+        if (top.gain == 0) continue;  // gains never grow: drop for good
+        top.round = round;
+        heap.push(top);
+        continue;
       }
-      top.gain = cover_count[top.vertex];
-      top.round = round;
-      heap.push(top);
+      for (std::uint64_t set_id : collection.InvertedList(top.vertex)) {
+        if (!set_active[set_id]) continue;
+        set_active[set_id] = 0;
+        ++result.covered;
+        for (VertexId w : collection.Set(set_id)) --cover_count[w];
+      }
+      result.seeds.push_back(top.vertex);
+      chosen[top.vertex] = 1;
+      selected = true;
+      break;
     }
+    if (selected) continue;
+    // Heap drained without a positive gain: early-break the lazy loop for
+    // all remaining rounds and fill with the smallest unselected ids —
+    // exactly what the old all-vertices heap selected once every gain hit
+    // zero, without its n stale pops per round.
+    exhausted = true;
+    while (chosen[fill_cursor]) ++fill_cursor;
+    result.seeds.push_back(fill_cursor);
+    chosen[fill_cursor] = 1;
   }
   return result;
 }

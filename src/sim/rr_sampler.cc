@@ -54,6 +54,15 @@ std::vector<RrShard> SampleRrShards(const InfluenceGraph& ig,
   // slot and reused across chunks; sampler scratch never affects output
   // (every chunk's randomness comes from its own derived streams).
   std::vector<std::unique_ptr<RrSampler>> samplers(engine->num_workers());
+  // Per-slot running mean RR-set size: later chunks pre-reserve their
+  // flat buffer instead of growing it through doubling reallocations.
+  // Slot statistics are schedule-dependent scratch — they size capacity
+  // only, never content.
+  struct SlotStats {
+    std::uint64_t sets = 0;
+    std::uint64_t entries = 0;
+  };
+  std::vector<SlotStats> stats(engine->num_workers());
   engine->Run(master_seed, count,
               [&](const SamplingEngine::Chunk& chunk, std::size_t slot) {
     if (samplers[slot] == nullptr) {
@@ -62,8 +71,18 @@ std::vector<RrShard> SampleRrShards(const InfluenceGraph& ig,
     Rng target_rng(DeriveSeed(chunk.seed, 1));
     Rng coin_rng(DeriveSeed(chunk.seed, 2));
     RrShard& shard = shards[chunk.index];
-    shard.offsets.reserve(chunk.end - chunk.begin + 1);
+    const std::uint64_t chunk_sets = chunk.end - chunk.begin;
+    shard.offsets.reserve(chunk_sets + 1);
     shard.offsets.push_back(0);
+    SlotStats& st = stats[slot];
+    if (st.sets > 0) {
+      const double mean = static_cast<double>(st.entries) /
+                          static_cast<double>(st.sets);
+      shard.flat.reserve(
+          static_cast<std::size_t>(mean * static_cast<double>(chunk_sets) *
+                                   1.25) +
+          16);
+    }
     std::vector<VertexId> rr_set;
     for (std::uint64_t i = chunk.begin; i < chunk.end; ++i) {
       samplers[slot]->Sample(&target_rng, &coin_rng, &rr_set,
@@ -71,6 +90,8 @@ std::vector<RrShard> SampleRrShards(const InfluenceGraph& ig,
       shard.flat.insert(shard.flat.end(), rr_set.begin(), rr_set.end());
       shard.offsets.push_back(static_cast<std::uint64_t>(shard.flat.size()));
     }
+    st.sets += chunk_sets;
+    st.entries += static_cast<std::uint64_t>(shard.flat.size());
   });
   return shards;
 }
@@ -84,6 +105,24 @@ void RrCollection::Add(const std::vector<VertexId>& rr_set) {
   flat_.insert(flat_.end(), rr_set.begin(), rr_set.end());
   offsets_.push_back(static_cast<std::uint64_t>(flat_.size()));
   index_built_ = false;
+}
+
+void RrCollection::Merge(std::vector<RrShard>&& shards) {
+  std::size_t first = 0;
+  if (flat_.empty() && size() == 0 && !shards.empty()) {
+    // Adopt the first shard's flat buffer: on a fresh collection this is
+    // a pointer swap instead of the build's single largest copy.
+    RrShard& head = shards[0];
+    flat_ = std::move(head.flat);
+    offsets_.reserve(offsets_.size() + head.num_sets());
+    for (std::uint64_t j = 1; j < head.offsets.size(); ++j) {
+      offsets_.push_back(head.offsets[j]);
+    }
+    index_built_ = false;
+    first = 1;
+  }
+  Merge(std::span<const RrShard>(shards.data() + first,
+                                 shards.size() - first));
 }
 
 void RrCollection::Merge(std::span<const RrShard> shards) {

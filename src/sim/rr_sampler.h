@@ -89,6 +89,12 @@ class RrCollection {
   /// once afterwards.
   void Merge(std::span<const RrShard> shards);
 
+  /// Move overload: when the collection is still empty, the first
+  /// shard's flat buffer is adopted wholesale instead of copied (the
+  /// single largest allocation of an engine-routed RIS/IMM build);
+  /// remaining shards append as usual.
+  void Merge(std::vector<RrShard>&& shards);
+
   std::uint64_t size() const { return static_cast<std::uint64_t>(offsets_.size()) - 1; }
   std::uint64_t total_entries() const {
     return static_cast<std::uint64_t>(flat_.size());

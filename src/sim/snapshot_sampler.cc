@@ -12,25 +12,31 @@ SnapshotSampler::SnapshotSampler(const InfluenceGraph* ig)
 }
 
 Snapshot SnapshotSampler::Sample(Rng* rng, TraversalCounters* counters) {
+  Snapshot snap;
+  SampleInto(rng, counters, &snap);
+  return snap;
+}
+
+void SnapshotSampler::SampleInto(Rng* rng, TraversalCounters* counters,
+                                 Snapshot* out) {
   const Graph& g = ig_->graph();
   const VertexId n = g.num_vertices();
-  Snapshot snap;
-  snap.out_offsets.resize(static_cast<std::size_t>(n) + 1);
-  snap.out_targets.reserve(
+  out->out_offsets.resize(static_cast<std::size_t>(n) + 1);
+  out->out_targets.clear();
+  out->out_targets.reserve(
       static_cast<std::size_t>(ig_->SumProbabilities()) + 16);
-  snap.out_offsets[0] = 0;
+  out->out_offsets[0] = 0;
   for (VertexId u = 0; u < n; ++u) {
     const EdgeId begin = g.out_offsets()[u];
     const EdgeId end = g.out_offsets()[u + 1];
     for (EdgeId e = begin; e < end; ++e) {
       if (rng->Bernoulli(ig_->OutProbability(e))) {
-        snap.out_targets.push_back(g.out_targets()[e]);
+        out->out_targets.push_back(g.out_targets()[e]);
       }
     }
-    snap.out_offsets[u + 1] = static_cast<EdgeId>(snap.out_targets.size());
+    out->out_offsets[u + 1] = static_cast<EdgeId>(out->out_targets.size());
   }
-  counters->sample_edges += snap.num_live_edges();
-  return snap;
+  counters->sample_edges += out->num_live_edges();
 }
 
 std::uint32_t SnapshotSampler::CountReachable(const Snapshot& snapshot,

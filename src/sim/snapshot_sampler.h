@@ -37,6 +37,11 @@ class SnapshotSampler {
   /// times, which does not dominate", Section 3.4.2).
   Snapshot Sample(Rng* rng, TraversalCounters* counters);
 
+  /// Sample into a caller-owned snapshot, reusing its buffers — the
+  /// condensed build discards each raw CSR right after condensing it, so
+  /// one scratch snapshot serves the whole loop.
+  void SampleInto(Rng* rng, TraversalCounters* counters, Snapshot* out);
+
   /// r_G(i)(seeds): vertices reachable from `seeds` in `snapshot`.
   ///
   /// Accounting: each reached vertex is scanned (+1 vertex) and its *live*

@@ -91,6 +91,34 @@ TEST(SessionTest, LtInvalidProbabilityIsStatusNotCrash) {
   EXPECT_NE(result.status().message().find("LT"), std::string::npos);
 }
 
+TEST(SessionTest, SnapshotModeIsAPureSpeedKnob) {
+  // The facade contract for --snapshot-mode: every backend returns
+  // byte-identical seeds, estimates, AND oracle influence for the same
+  // spec (the backend is a cost profile, not a parameter of the result).
+  api::Session session;
+  auto workload = api::WorkloadSpec::Dataset("Karate");
+  auto base = api::SolveSpec{}
+                  .WithApproach(Approach::kSnapshot)
+                  .WithSampleNumber(64)
+                  .WithK(3)
+                  .WithSeed(9);
+  auto residual = session.Solve(
+      workload, base.WithSnapshotMode(SnapshotEstimator::Mode::kResidual));
+  ASSERT_TRUE(residual.ok()) << residual.status().ToString();
+  for (SnapshotEstimator::Mode mode :
+       {SnapshotEstimator::Mode::kNaive,
+        SnapshotEstimator::Mode::kCondensed}) {
+    auto other = session.Solve(workload, base.WithSnapshotMode(mode));
+    ASSERT_TRUE(other.ok()) << other.status().ToString();
+    EXPECT_EQ(other.value().seeds, residual.value().seeds)
+        << SnapshotModeName(mode);
+    EXPECT_EQ(other.value().estimates, residual.value().estimates)
+        << SnapshotModeName(mode);
+    EXPECT_EQ(other.value().influence, residual.value().influence)
+        << SnapshotModeName(mode);
+  }
+}
+
 TEST(SessionTest, KLargerThanNetworkIsStatus) {
   api::Session session;
   auto result = session.Solve(api::WorkloadSpec::Dataset("Karate"),

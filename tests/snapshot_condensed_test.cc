@@ -1,0 +1,204 @@
+// The condensed Snapshot backend's contract: SCC condensation preserves
+// reachability EXACTLY, and the backends share sampler streams, so
+// Mode::kCondensed must be a pure speed change — byte-identical seed
+// sets and estimates to kNaive/kResidual under every driver and every
+// sampling width.
+
+#include <gtest/gtest.h>
+
+#include "core/celf.h"
+#include "core/greedy.h"
+#include "core/snapshot.h"
+#include "gen/datasets.h"
+#include "graph/builder.h"
+#include "model/probability.h"
+#include "sim/condensed_snapshot.h"
+#include "sim/snapshot_sampler.h"
+
+namespace soldist {
+namespace {
+
+InfluenceGraph Make(const EdgeList& edges, ProbabilityModel prob) {
+  return MakeInfluenceGraph(GraphBuilder::FromEdgeList(edges), prob);
+}
+
+/// A 1+2n-vertex star with bidirected spokes: every leaf reaches every
+/// other leaf through the hub, so live-edge graphs grow one giant SCC —
+/// the regime where component granularity pays the most.
+EdgeList BidirectedStar(VertexId leaves) {
+  EdgeList edges;
+  edges.num_vertices = leaves + 1;
+  for (VertexId leaf = 1; leaf <= leaves; ++leaf) {
+    edges.Add(0, leaf);
+    edges.Add(leaf, 0);
+  }
+  return edges;
+}
+
+/// Exact reach parity, snapshot by snapshot and vertex by vertex: the
+/// condensed DAG count must equal a raw BFS on the live-edge CSR.
+void CheckReachParity(const InfluenceGraph& ig, std::uint64_t tau,
+                      std::uint64_t seed) {
+  SnapshotSampler sampler(&ig);
+  Rng rng(seed);
+  TraversalCounters counters;
+  for (std::uint64_t i = 0; i < tau; ++i) {
+    Snapshot snap = sampler.Sample(&rng, &counters);
+    CondensedSnapshot condensed = CondenseSnapshot(snap, ig.num_vertices());
+    std::uint32_t total_members = 0;
+    for (std::uint32_t size : condensed.comp_size) total_members += size;
+    ASSERT_EQ(total_members, ig.num_vertices());
+    for (VertexId v = 0; v < ig.num_vertices(); ++v) {
+      const VertexId source[1] = {v};
+      ASSERT_EQ(condensed.CountReachable(v),
+                sampler.CountReachable(snap, source, &counters))
+          << "snapshot " << i << " vertex " << v;
+    }
+  }
+}
+
+TEST(CondensedSnapshotTest, ReachParityKarate) {
+  CheckReachParity(Make(Datasets::Karate(), ProbabilityModel::kUc01), 16, 7);
+  CheckReachParity(Make(Datasets::Karate(), ProbabilityModel::kIwc), 16, 8);
+}
+
+TEST(CondensedSnapshotTest, ReachParityBarabasiAlbert) {
+  CheckReachParity(Make(Datasets::BaSparse(3), ProbabilityModel::kIwc), 6, 9);
+  CheckReachParity(Make(Datasets::BaDense(4), ProbabilityModel::kUc001), 4,
+                   10);
+}
+
+TEST(CondensedSnapshotTest, ReachParityStar) {
+  // p=0.3 spokes: snapshots mix giant SCCs (hub↔leaf cycles) with
+  // stranded leaves.
+  Graph g = GraphBuilder::FromEdgeList(BidirectedStar(64));
+  InfluenceGraph ig(std::move(g),
+                    std::vector<double>(64 * 2, 0.3));
+  CheckReachParity(ig, 16, 11);
+}
+
+struct ModeRun {
+  GreedyRunResult greedy;
+  GreedyRunResult celf;
+  std::uint64_t celf_calls = 0;
+};
+
+ModeRun RunBothDrivers(const InfluenceGraph& ig, SnapshotEstimator::Mode mode,
+                       std::uint64_t tau, std::uint64_t seed, int k,
+                       const SamplingOptions& sampling) {
+  ModeRun out;
+  {
+    SnapshotEstimator estimator(&ig, tau, seed, mode, sampling);
+    Rng tie_rng(seed + 1);
+    out.greedy = RunGreedy(&estimator, ig.num_vertices(), k, &tie_rng);
+  }
+  {
+    SnapshotEstimator estimator(&ig, tau, seed, mode, sampling);
+    Rng tie_rng(seed + 1);
+    CelfRunResult celf =
+        RunCelfGreedy(&estimator, ig.num_vertices(), k, &tie_rng);
+    out.celf = celf.greedy;
+    out.celf_calls = celf.estimate_calls;
+  }
+  return out;
+}
+
+/// Byte-identical seeds AND estimates across all three backends, for the
+/// plain greedy driver and the CELF driver, at sampling widths 1 (legacy
+/// sequential stream), 2, and 4 (engine-chunked streams).
+void CheckBackendParity(const InfluenceGraph& ig, std::uint64_t tau,
+                        std::uint64_t seed, int k) {
+  for (int sample_threads : {1, 2, 4}) {
+    SamplingOptions sampling;
+    sampling.num_threads = sample_threads;
+    ModeRun residual = RunBothDrivers(
+        ig, SnapshotEstimator::Mode::kResidual, tau, seed, k, sampling);
+    for (SnapshotEstimator::Mode mode :
+         {SnapshotEstimator::Mode::kNaive,
+          SnapshotEstimator::Mode::kCondensed}) {
+      ModeRun other = RunBothDrivers(ig, mode, tau, seed, k, sampling);
+      EXPECT_EQ(other.greedy.seeds, residual.greedy.seeds)
+          << SnapshotModeName(mode) << " st=" << sample_threads;
+      EXPECT_EQ(other.greedy.estimates, residual.greedy.estimates)
+          << SnapshotModeName(mode) << " st=" << sample_threads;
+      EXPECT_EQ(other.celf.seeds, residual.celf.seeds)
+          << SnapshotModeName(mode) << " st=" << sample_threads;
+      EXPECT_EQ(other.celf.estimates, residual.celf.estimates)
+          << SnapshotModeName(mode) << " st=" << sample_threads;
+    }
+  }
+}
+
+TEST(CondensedBackendTest, ByteIdenticalKarate) {
+  CheckBackendParity(Make(Datasets::Karate(), ProbabilityModel::kUc01), 64,
+                     21, 4);
+  CheckBackendParity(Make(Datasets::Karate(), ProbabilityModel::kIwc), 64,
+                     22, 4);
+}
+
+TEST(CondensedBackendTest, ByteIdenticalBarabasiAlbert) {
+  CheckBackendParity(Make(Datasets::BaSparse(5), ProbabilityModel::kIwc), 16,
+                     23, 4);
+}
+
+TEST(CondensedBackendTest, ByteIdenticalStarGiantScc) {
+  Graph g = GraphBuilder::FromEdgeList(BidirectedStar(48));
+  InfluenceGraph ig(std::move(g), std::vector<double>(48 * 2, 0.3));
+  CheckBackendParity(ig, 32, 24, 4);
+}
+
+TEST(CondensedBackendTest, InitialBoundsAreSound) {
+  InfluenceGraph ig = Make(Datasets::Karate(), ProbabilityModel::kUc01);
+  SnapshotEstimator estimator(&ig, 64, 31,
+                              SnapshotEstimator::Mode::kCondensed);
+  EXPECT_TRUE(estimator.ProvidesInitialBounds());
+  estimator.Build();
+  for (VertexId v = 0; v < ig.num_vertices(); ++v) {
+    EXPECT_GE(estimator.InitialBound(v), estimator.Estimate(v))
+        << "vertex " << v;
+  }
+}
+
+TEST(CondensedBackendTest, CelfSkipsTheExactInitialSweep) {
+  // The lazy bound initialization must touch at most as many candidates
+  // in total as the exact-init run spends on its first sweep alone.
+  InfluenceGraph ig = Make(Datasets::Karate(), ProbabilityModel::kUc01);
+  ModeRun residual = RunBothDrivers(
+      ig, SnapshotEstimator::Mode::kResidual, 64, 41, 4, {});
+  ModeRun condensed = RunBothDrivers(
+      ig, SnapshotEstimator::Mode::kCondensed, 64, 41, 4, {});
+  EXPECT_LT(condensed.celf_calls, residual.celf_calls);
+}
+
+TEST(CondensedBackendTest, CondensedUsesLessMemoryWhenComponentsAreLarge) {
+  // The memory claim is regime-dependent: condensed pays 4 B/vertex for
+  // the component map but drops the live-edge CSR (8 B/vertex offsets +
+  // 4 B/live edge) and the n-byte removal bitmap, so it wins once live
+  // components are large (percolated snapshots) and loses on
+  // near-singleton decompositions. Dense live star: most spokes close a
+  // cycle through the hub, one giant SCC per snapshot.
+  Graph g = GraphBuilder::FromEdgeList(BidirectedStar(512));
+  InfluenceGraph ig(std::move(g), std::vector<double>(512 * 2, 0.9));
+  SnapshotEstimator residual(&ig, 32, 51,
+                             SnapshotEstimator::Mode::kResidual);
+  SnapshotEstimator condensed(&ig, 32, 51,
+                              SnapshotEstimator::Mode::kCondensed);
+  residual.Build();
+  condensed.Build();
+  EXPECT_LT(condensed.MemoryBytes(), residual.MemoryBytes());
+}
+
+TEST(SnapshotModeTest, ParseAndName) {
+  EXPECT_EQ(SnapshotModeName(SnapshotEstimator::Mode::kCondensed),
+            "condensed");
+  EXPECT_EQ(ParseSnapshotMode("Condensed").value(),
+            SnapshotEstimator::Mode::kCondensed);
+  EXPECT_EQ(ParseSnapshotMode("naive").value(),
+            SnapshotEstimator::Mode::kNaive);
+  EXPECT_EQ(ParseSnapshotMode("RESIDUAL").value(),
+            SnapshotEstimator::Mode::kResidual);
+  EXPECT_FALSE(ParseSnapshotMode("pruned").ok());
+}
+
+}  // namespace
+}  // namespace soldist

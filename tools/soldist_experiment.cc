@@ -155,6 +155,7 @@ StatusOr<std::string> RunExperiment(ExperimentContext* context,
     SweepConfig config;
     config.sampling = context->SamplingFor(sample_threads);
     config.approach = approach;
+    config.snapshot_mode = options.snapshot_mode;
     config.k = params.k;
     config.trials = context->TrialsFor(params.network);
     config.master_seed = options.seed;
