@@ -5,7 +5,7 @@
 
 #include "bench_common.h"
 #include "core/snapshot.h"
-#include "sim/rr_compress.h"
+#include "sim/rr_arena.h"
 #include "sim/rr_sampler.h"
 #include "util/csv.h"
 #include "util/string_util.h"
@@ -89,7 +89,7 @@ int Run(int argc, const char* const* argv) {
           .Done();
     }
   }
-  PrintTable("RR-set storage: plain (4 B/set entry + 8 B/index entry) vs "
+  PrintTable("RR-set storage: plain (4 B/set entry + 4 B/index entry) vs "
              "delta+varint compressed",
              table);
 
@@ -133,6 +133,7 @@ int Run(int argc, const char* const* argv) {
              "state)",
              snap_table);
   MaybeWriteCsv(csv, options.out_csv);
+  ReportPeakRss();
   return 0;
 }
 

@@ -6,6 +6,9 @@
 #ifndef SOLDIST_BENCH_BENCH_COMMON_H_
 #define SOLDIST_BENCH_BENCH_COMMON_H_
 
+#include <sys/resource.h>
+
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -16,6 +19,27 @@
 #include "util/timer.h"
 
 namespace soldist {
+
+/// Peak resident set size of this process in KiB (ru_maxrss): the one
+/// memory figure every bench reports the same way, so BENCH artifacts
+/// and bench logs stay comparable across PRs. Monotone over the process
+/// lifetime — per-phase figures must come from explicit byte counters
+/// (MemoryBytes() on the big structures), not from re-reading this.
+inline std::uint64_t PeakRssKb() {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<std::uint64_t>(usage.ru_maxrss);
+}
+
+/// The standard end-of-bench memory line. `extra` appends labeled byte
+/// figures (e.g. "arena_bytes=12345 index_bytes=678") for the bench's
+/// dominant structures.
+inline void ReportPeakRss(const std::string& extra = "") {
+  std::printf("# peak_rss_kb=%llu%s%s\n",
+              static_cast<unsigned long long>(PeakRssKb()),
+              extra.empty() ? "" : " ", extra.c_str());
+  std::fflush(stdout);
+}
 
 /// Parses argv; returns true when the program should exit immediately
 /// (help or bad flags), storing the exit code in *exit_code.

@@ -53,6 +53,7 @@ int Run(int argc, const char* const* argv) {
          {Approach::kOneshot, Approach::kSnapshot, Approach::kRis}) {
       SweepConfig config;
       config.sampling = context.sampling();
+      config.reuse = options.sweep_reuse;
       config.approach = approach;
       config.k = inst.k;
       config.trials = context.TrialsFor(inst.network);
@@ -115,6 +116,7 @@ int Run(int argc, const char* const* argv) {
     }
   }
   MaybeWriteCsv(csv, options.out_csv);
+  ReportPeakRss();
   return 0;
 }
 

@@ -37,6 +37,7 @@ int Run(int argc, const char* const* argv) {
       const RrOracle& oracle = context.Oracle(network, model);
       SweepConfig config;
       config.sampling = context.sampling();
+      config.reuse = options.sweep_reuse;
       config.approach = Approach::kRis;
       config.k = 1;
       config.trials = context.TrialsFor(network);
@@ -70,6 +71,7 @@ int Run(int argc, const char* const* argv) {
     PrintTable("Figure 3 series: " + network + " (k=1, RIS entropy)", table);
   }
   MaybeWriteCsv(csv, options.out_csv);
+  ReportPeakRss();
   return 0;
 }
 

@@ -38,6 +38,7 @@ int Run(int argc, const char* const* argv) {
     const RrOracle& oracle = context.Oracle("ca-GrQc", model);
     SweepConfig config;
     config.sampling = context.sampling();
+    config.reuse = options.sweep_reuse;
     config.approach = Approach::kRis;
     config.k = 1;
     config.trials = context.TrialsFor("ca-GrQc");
@@ -71,6 +72,7 @@ int Run(int argc, const char* const* argv) {
                table);
   }
   MaybeWriteCsv(csv, options.out_csv);
+  ReportPeakRss();
   return 0;
 }
 

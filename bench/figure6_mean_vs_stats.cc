@@ -51,6 +51,7 @@ int Run(int argc, const char* const* argv) {
          {Approach::kOneshot, Approach::kSnapshot, Approach::kRis}) {
       SweepConfig config;
       config.sampling = context.sampling();
+      config.reuse = options.sweep_reuse;
       config.approach = approach;
       config.k = inst.k;
       config.trials = context.TrialsFor("Physicians");
@@ -84,6 +85,7 @@ int Run(int argc, const char* const* argv) {
                table);
   }
   MaybeWriteCsv(csv, options.out_csv);
+  ReportPeakRss();
   return 0;
 }
 

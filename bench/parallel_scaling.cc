@@ -231,6 +231,7 @@ int Main(int argc, const char* const* argv) {
   std::printf(
       "\n(all thread counts produced byte-identical shards under both "
       "models; speedup column is RR throughput vs. 1 engine thread)\n");
+  ReportPeakRss();
   return 0;
 }
 

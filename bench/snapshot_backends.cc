@@ -9,8 +9,6 @@
 // CI runs this on the bundled Physicians network and fails when the
 // condensed backend stops beating residual (--check-speedup).
 
-#include <sys/resource.h>
-
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -26,12 +24,6 @@
 
 namespace soldist {
 namespace {
-
-std::uint64_t PeakRssKb() {
-  struct rusage usage{};
-  getrusage(RUSAGE_SELF, &usage);
-  return static_cast<std::uint64_t>(usage.ru_maxrss);
-}
 
 struct ModeRecord {
   SnapshotEstimator::Mode mode;

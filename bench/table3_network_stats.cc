@@ -75,6 +75,7 @@ int Run(int argc, const char* const* argv) {
   PrintTable("Table 3: network statistics (* = scaled proxy of a ⋆ network)",
              table);
   MaybeWriteCsv(csv, options.out_csv);
+  ReportPeakRss();
   return 0;
 }
 

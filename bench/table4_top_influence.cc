@@ -69,6 +69,7 @@ int Run(int argc, const char* const* argv) {
                table);
   }
   MaybeWriteCsv(csv, options.out_csv);
+  ReportPeakRss();
   return 0;
 }
 

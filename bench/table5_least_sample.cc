@@ -84,6 +84,7 @@ int Run(int argc, const char* const* argv) {
          {Approach::kOneshot, Approach::kSnapshot, Approach::kRis}) {
       SweepConfig config;
       config.sampling = context.sampling();
+      config.reuse = options.sweep_reuse;
       config.approach = approach;
       config.k = inst.k;
       config.trials = context.TrialsFor(inst.network);
@@ -131,6 +132,7 @@ int Run(int argc, const char* const* argv) {
           FormatDouble(probability * 100, 0) + "%",
       table);
   MaybeWriteCsv(csv, options.out_csv);
+  ReportPeakRss();
   return 0;
 }
 

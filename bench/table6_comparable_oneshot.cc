@@ -65,6 +65,7 @@ int Run(int argc, const char* const* argv) {
         // graph).
         SweepConfig snap_config;
         snap_config.sampling = context.sampling();
+        snap_config.reuse = options.sweep_reuse;
         snap_config.approach = Approach::kSnapshot;
         snap_config.k = k;
         snap_config.trials = trials;
@@ -108,6 +109,7 @@ int Run(int argc, const char* const* argv) {
       "Table 6: median comparable number ratio β/τ of Oneshot to Snapshot",
       table);
   MaybeWriteCsv(csv, options.out_csv);
+  ReportPeakRss();
   return 0;
 }
 

@@ -74,6 +74,7 @@ int Run(int argc, const char* const* argv) {
         // giant-component instances are the harness's priciest cells.
         SweepConfig snap_config;
         snap_config.sampling = context.sampling();
+        snap_config.reuse = options.sweep_reuse;
         snap_config.approach = Approach::kSnapshot;
         snap_config.k = k;
         snap_config.trials = trials;
@@ -126,6 +127,7 @@ int Run(int argc, const char* const* argv) {
       "space-saving)",
       table);
   MaybeWriteCsv(csv, options.out_csv);
+  ReportPeakRss();
   return 0;
 }
 

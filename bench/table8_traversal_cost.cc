@@ -91,6 +91,7 @@ int Run(int argc, const char* const* argv) {
   }
   PrintTable("Table 8: traversal cost at k=1 and sample number 1", table);
   MaybeWriteCsv(csv, options.out_csv);
+  ReportPeakRss();
   return 0;
 }
 

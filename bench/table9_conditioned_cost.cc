@@ -77,6 +77,7 @@ int Run(int argc, const char* const* argv) {
       // stable across the grid (Figure 7), so shallow sweeps (caps − 2)
       // keep the giant-component Oneshot cells tractable.
       SweepConfig snap_config;
+      snap_config.reuse = options.sweep_reuse;
       snap_config.approach = Approach::kSnapshot;
       snap_config.k = 1;
       snap_config.trials = trials;
@@ -141,6 +142,7 @@ int Run(int argc, const char* const* argv) {
              "accuracy",
              table);
   MaybeWriteCsv(csv, options.out_csv);
+  ReportPeakRss();
   return 0;
 }
 

@@ -97,6 +97,10 @@ int Run(int argc, const char* const* argv) {
   for (Approach approach :
        {Approach::kOneshot, Approach::kSnapshot, Approach::kRis}) {
     SweepConfig config;
+    // RIS ladders reuse one per-trial RR arena across all sample numbers
+    // (prefix views; see exp/trial_runner.h) — the sweep this example
+    // runs is exactly the workload that reuse was built for.
+    config.reuse = SweepReuse::kOn;
     config.approach = approach;
     config.k = k;
     config.trials = static_cast<std::uint64_t>(args.GetInt64("trials"));

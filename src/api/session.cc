@@ -1,10 +1,13 @@
 #include "api/session.h"
 
+#include <algorithm>
 #include <functional>
+#include <tuple>
 #include <utility>
 
 #include "core/factory.h"
 #include "core/greedy.h"
+#include "core/ris.h"
 #include "graph/builder.h"
 #include "graph/io.h"
 #include "random/splitmix64.h"
@@ -186,10 +189,26 @@ SolveResult Session::RunResolved(const ResolvedSolve& resolved) {
   // Exactly trial 0 of the exp-layer RunTrials with master_seed =
   // spec.seed: stream 0 drives the estimator, stream 1 the tie-break
   // shuffle (the facade and the harness stay byte-comparable).
-  auto estimator =
-      MakeEstimator(resolved.instance, spec.approach, spec.sample_number,
-                    DeriveSeed(spec.seed, 0), spec.snapshot_mode,
-                    spec.sampling);
+  std::unique_ptr<InfluenceEstimator> estimator;
+  if (resolved.arena_slot != nullptr) {
+    // Batch ladder group: the shared arena holds this spec's collection
+    // as its first sample_number sets (sampled with the group's common
+    // DeriveSeed(seed, 0) stream), so the prefix-view estimator is
+    // byte-identical to the fresh build below.
+    ArenaSlot* slot = resolved.arena_slot.get();
+    std::call_once(slot->once, [&] {
+      slot->arena = std::make_unique<RrArena>(
+          RrArena::SampleFor(resolved.instance, DeriveSeed(spec.seed, 0),
+                             slot->capacity, spec.sampling));
+    });
+    estimator = std::make_unique<ArenaRisEstimator>(slot->arena.get(),
+                                                    spec.sample_number);
+  } else {
+    estimator =
+        MakeEstimator(resolved.instance, spec.approach, spec.sample_number,
+                      DeriveSeed(spec.seed, 0), spec.snapshot_mode,
+                      spec.sampling);
+  }
   Rng tie_rng(DeriveSeed(spec.seed, 1));
   GreedyRunResult run =
       RunGreedy(estimator.get(), resolved.instance.ig->num_vertices(),
@@ -245,6 +264,33 @@ StatusOr<std::vector<SolveResult>> Session::SolveBatch(
                           r.status().message());
       }
       resolved.push_back(std::move(r).value());
+    }
+  }
+  // Sample-number-ladder reuse: RIS specs that agree on everything that
+  // shapes their RR streams — the estimator seed and the sampling family
+  // (thread count, chunk size, attached pool) — draw prefix-closed
+  // collections of one another, so the group shares one arena sampled at
+  // its largest θ and every member runs on a prefix view. Grouping only
+  // ever changes mechanics, never bytes (see RunResolved).
+  if (options_.batch_reuse) {
+    std::map<std::tuple<std::uint64_t, int, std::uint64_t, ThreadPool*>,
+             std::vector<std::size_t>>
+        ladder_groups;
+    for (std::size_t i = 0; i < resolved.size(); ++i) {
+      const SolveSpec& spec = resolved[i].spec;
+      if (spec.approach != Approach::kRis) continue;
+      ladder_groups[{spec.seed, spec.sampling.num_threads,
+                     spec.sampling.chunk_size, spec.sampling.pool}]
+          .push_back(i);
+    }
+    for (auto& [key, members] : ladder_groups) {
+      if (members.size() < 2) continue;  // nothing to share
+      auto slot = std::make_shared<ArenaSlot>();
+      for (std::size_t idx : members) {
+        slot->capacity =
+            std::max(slot->capacity, resolved[idx].spec.sample_number);
+      }
+      for (std::size_t idx : members) resolved[idx].arena_slot = slot;
     }
   }
   // Engine-routed sampling owns the pool for its chunks, so those runs

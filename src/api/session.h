@@ -30,6 +30,7 @@
 #include "api/spec.h"
 #include "exp/instance_registry.h"
 #include "oracle/rr_oracle.h"
+#include "sim/rr_arena.h"
 #include "util/thread_pool.h"
 
 namespace soldist {
@@ -47,6 +48,12 @@ struct SessionOptions {
   std::int64_t threads = 0;
   /// Vertex-count override for the ⋆ proxy networks (0 = defaults).
   VertexId star_n = 0;
+  /// SolveBatch sample-number-ladder reuse: RIS specs of one batch that
+  /// differ only in sample_number share one RR arena sampled at the
+  /// largest θ and are served as prefix views. Results are byte-identical
+  /// either way (the arena's prefixes ARE the per-spec collections — see
+  /// sim/rr_arena.h); the toggle exists so tests can A/B the mechanics.
+  bool batch_reuse = true;
 
   /// Validation for flag-derived options (the struct defaults are valid).
   Status Validate() const;
@@ -83,6 +90,13 @@ class Session {
   /// Solve(workload, specs[i]) sequentially, for any pool width and any
   /// sampling.num_threads. Fails fast: the first invalid spec fails the
   /// whole batch before any run starts.
+  ///
+  /// Sample-number-ladder reuse (SessionOptions::batch_reuse, default
+  /// on): RIS specs that agree on (seed, sampling) and differ only in
+  /// sample_number — a sweep ladder — share one RR arena sampled lazily
+  /// at the group's largest θ; every member is served as a prefix view.
+  /// Byte-identity with sequential Solve is preserved exactly because
+  /// the arena's prefixes are the specs' collections (sim/rr_arena.h).
   StatusOr<std::vector<SolveResult>> SolveBatch(
       const WorkloadSpec& workload, const std::vector<SolveSpec>& specs);
 
@@ -110,11 +124,24 @@ class Session {
   InstanceRegistry* registry() { return &registry_; }
 
  private:
+  /// A batch group's lazily built shared arena: the first run to need it
+  /// samples it (call_once), later runs — possibly on other pool workers
+  /// — read it immutably. Content is a pure function of (instance, seed,
+  /// capacity, sampling), so the build schedule can never matter.
+  struct ArenaSlot {
+    std::once_flag once;
+    std::unique_ptr<RrArena> arena;
+    std::uint64_t capacity = 0;
+  };
+
   /// One fully resolved, immutable run: safe to execute lock-free.
   struct ResolvedSolve {
     SolveSpec spec;
     ModelInstance instance;
     const RrOracle* oracle = nullptr;  // null when influence is skipped
+    /// Non-null only for batch ladder groups: serve the run from a
+    /// prefix view of the shared arena instead of a fresh build.
+    std::shared_ptr<ArenaSlot> arena_slot;
   };
 
   /// Loads file/in-memory networks into the registry once (mu_ held).

@@ -114,7 +114,7 @@ double LtRisEstimator::Estimate(VertexId v) {
 void LtRisEstimator::Update(VertexId v) {
   SOLDIST_CHECK(built_);
   chosen_[v] = 1;
-  for (std::uint64_t set_id : collection_.InvertedList(v)) {
+  for (std::uint32_t set_id : collection_.InvertedList(v)) {
     if (!set_active_[set_id]) continue;
     set_active_[set_id] = 0;
     for (VertexId w : collection_.Set(set_id)) {

@@ -16,6 +16,7 @@
 
 #include "core/estimator.h"
 #include "model/influence_graph.h"
+#include "sim/rr_arena.h"
 #include "sim/rr_sampler.h"
 #include "sim/sampling_engine.h"
 
@@ -61,6 +62,59 @@ class RisEstimator : public InfluenceEstimator {
   std::vector<std::uint32_t> cover_count_;  // per vertex, active sets only
   std::vector<std::uint8_t> set_active_;
   std::vector<std::uint8_t> chosen_;  // seeds committed via Update
+  TraversalCounters counters_;
+  bool built_ = false;
+};
+
+/// \brief RIS served from a prefix of a pre-sampled RrArena instead of a
+/// fresh build — the sweep-reuse fast path (IC and LT alike; the arena
+/// already carries the model's RR sets).
+///
+/// Byte-identical contract: for an arena sampled with seed S and options
+/// O, ArenaRisEstimator(arena, θ) produces the same Estimate sequence,
+/// Update effects, and counters as RisEstimator(ig, θ, S, O) /
+/// LtRisEstimator(weights, θ, S, O) — the arena's prefix IS that
+/// estimator's collection (sim/rr_arena.h), the marginal-coverage
+/// arithmetic is identical, and counters() returns the prefix's exact
+/// sampling cost. Enforced by ctest (sweep_reuse_test, api_test).
+///
+/// Mechanically it is the word-packed variant: set-active state lives in
+/// packed uint64 words and set ids flow through the arena's 32-bit
+/// vertex-major index, so Update touches half the bytes the legacy
+/// estimator did.
+class ArenaRisEstimator : public InfluenceEstimator {
+ public:
+  /// \param theta prefix length (1 <= theta <= arena->capacity());
+  /// `arena` must outlive the estimator.
+  ArenaRisEstimator(const RrArena* arena, std::uint64_t theta);
+
+  /// Cuts the prefix view and seeds cover counts from its cut lengths —
+  /// O(n log) instead of a pass over the collection; no sampling happens.
+  void Build() override;
+
+  /// n · (# uncovered prefix sets containing v) / θ, exactly as
+  /// RisEstimator::Estimate.
+  double Estimate(VertexId v) override;
+
+  /// Deactivates the prefix sets containing v (word-packed) and
+  /// decrements the coverage counts of their members.
+  void Update(VertexId v) override;
+
+  bool EstimatesAreMarginal() const override { return true; }
+  std::uint64_t sample_number() const override { return theta_; }
+  const TraversalCounters& counters() const override { return counters_; }
+  std::string name() const override { return "RIS"; }
+
+  /// Empirical mean RR-set size of the prefix (EPT).
+  double EmpiricalEpt() const { return view_.MeanSize(); }
+
+ private:
+  const RrArena* arena_;
+  std::uint64_t theta_;
+  RrPrefixView view_;
+  std::vector<std::uint32_t> cover_count_;  // per vertex, active sets only
+  std::vector<std::uint64_t> active_words_;  // packed set-active bits
+  std::vector<std::uint8_t> chosen_;
   TraversalCounters counters_;
   bool built_ = false;
 };

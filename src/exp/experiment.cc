@@ -44,6 +44,13 @@ void AddExperimentFlags(ArgParser* args) {
                   "maintained gains). Seed sets and estimates are "
                   "byte-identical across backends; only the cost "
                   "changes.");
+  args->AddString("sweep-reuse", "on",
+                  "RIS sample-number-ladder reuse: on = one RR arena per "
+                  "trial serves every sample number as a prefix view; "
+                  "off = same prefix-closed streams with fresh per-cell "
+                  "sampling (byte-identical to on, ~2x the sampling "
+                  "work); legacy = pre-arena cell-major streams. Only "
+                  "RIS sweeps are affected.");
 }
 
 namespace {
@@ -78,6 +85,9 @@ StatusOr<ExperimentOptions> ParseExperimentFlags(const ArgParser& args) {
   StatusOr<SnapshotEstimator::Mode> snapshot_mode =
       ParseSnapshotMode(args.GetString("snapshot-mode"));
   if (!snapshot_mode.ok()) return snapshot_mode.status();
+  StatusOr<SweepReuse> sweep_reuse =
+      ParseSweepReuse(args.GetString("sweep-reuse"));
+  if (!sweep_reuse.ok()) return sweep_reuse.status();
 
   ExperimentOptions options;
   options.trials = static_cast<std::uint64_t>(args.GetInt64("trials"));
@@ -93,6 +103,7 @@ StatusOr<ExperimentOptions> ParseExperimentFlags(const ArgParser& args) {
   options.sample_threads = args.GetInt64("sample-threads");
   options.chunk_size = args.GetInt64("chunk-size");
   options.snapshot_mode = snapshot_mode.value();
+  options.sweep_reuse = sweep_reuse.value();
   return options;
 }
 

@@ -47,6 +47,12 @@ struct ExperimentOptions {
   /// naive|residual|condensed). Backends return byte-identical seed sets
   /// and estimates — the flag selects a cost profile, never a result.
   SnapshotEstimator::Mode snapshot_mode = SnapshotEstimator::Mode::kResidual;
+  /// RIS sample-number-ladder reuse (--sweep-reuse on|off|legacy,
+  /// default on): on serves every RIS sweep cell from one per-trial RR
+  /// arena, off runs the same prefix-closed streams with fresh per-cell
+  /// sampling (byte-identical to on), legacy keeps the pre-arena
+  /// cell-major streams. Only RIS sweeps are affected.
+  SweepReuse sweep_reuse = SweepReuse::kOn;
 
   /// The api::Session configuration these options imply.
   api::SessionOptions SessionConfig() const;

@@ -4,6 +4,24 @@
 
 namespace soldist {
 
+namespace {
+
+/// Oracle evaluation + curve summaries shared by both sweep paths.
+SweepCell SummarizeCell(const RrOracle& oracle, std::uint64_t sample_number,
+                        std::uint64_t trials, TrialResult&& result) {
+  SweepCell cell;
+  cell.sample_number = sample_number;
+  cell.result = std::move(result);
+  EvaluateInfluence(oracle, &cell.result);
+  cell.entropy = cell.result.distribution.Entropy();
+  cell.summary.sample_number = cell.sample_number;
+  cell.summary.mean_influence = cell.result.influence.Mean();
+  cell.summary.mean_sample_size = cell.result.MeanSampleSize(trials);
+  return cell;
+}
+
+}  // namespace
+
 std::vector<SweepCell> RunSweep(const ModelInstance& instance,
                                 const RrOracle& oracle,
                                 const SweepConfig& config, ThreadPool* pool) {
@@ -12,6 +30,32 @@ std::vector<SweepCell> RunSweep(const ModelInstance& instance,
   SOLDIST_CHECK(config.max_exponent < 63);
   std::vector<SweepCell> cells;
   cells.reserve(config.max_exponent - config.min_exponent + 1);
+
+  // The RIS ladder path: one trial-major run over all exponents (and,
+  // with reuse on, one RR arena per trial serving every exponent as a
+  // prefix view) instead of an independent RunTrials per cell.
+  if (config.reuse != SweepReuse::kLegacy &&
+      config.approach == Approach::kRis) {
+    TrialLadderConfig ladder;
+    ladder.approach = config.approach;
+    for (int exp = config.min_exponent; exp <= config.max_exponent; ++exp) {
+      ladder.sample_numbers.push_back(1ULL << exp);
+    }
+    ladder.k = config.k;
+    ladder.trials = config.trials;
+    ladder.master_seed = config.master_seed;
+    ladder.snapshot_mode = config.snapshot_mode;
+    ladder.sampling = config.sampling;
+    ladder.reuse = config.reuse == SweepReuse::kOn;
+    std::vector<TrialResult> results =
+        RunTrialLadder(instance, ladder, pool);
+    for (std::size_t l = 0; l < results.size(); ++l) {
+      cells.push_back(SummarizeCell(oracle, ladder.sample_numbers[l],
+                                    config.trials, std::move(results[l])));
+    }
+    return cells;
+  }
+
   for (int exp = config.min_exponent; exp <= config.max_exponent; ++exp) {
     TrialConfig cell_config;
     cell_config.approach = config.approach;
@@ -23,16 +67,9 @@ std::vector<SweepCell> RunSweep(const ModelInstance& instance,
     cell_config.snapshot_mode = config.snapshot_mode;
     cell_config.sampling = config.sampling;
 
-    SweepCell cell;
-    cell.sample_number = cell_config.sample_number;
-    cell.result = RunTrials(instance, cell_config, pool);
-    EvaluateInfluence(oracle, &cell.result);
-    cell.entropy = cell.result.distribution.Entropy();
-    cell.summary.sample_number = cell.sample_number;
-    cell.summary.mean_influence = cell.result.influence.Mean();
-    cell.summary.mean_sample_size =
-        cell.result.MeanSampleSize(config.trials);
-    cells.push_back(std::move(cell));
+    cells.push_back(SummarizeCell(oracle, cell_config.sample_number,
+                                  config.trials,
+                                  RunTrials(instance, cell_config, pool)));
   }
   return cells;
 }

@@ -18,6 +18,7 @@
 #include "sim/sampling_engine.h"
 #include "stats/influence_distribution.h"
 #include "stats/seed_set_distribution.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace soldist {
@@ -49,6 +50,10 @@ struct TrialResult {
   InfluenceDistribution influence;
   /// Work summed over all trials.
   TraversalCounters total_counters;
+  /// Wall-clock seconds summed over the cell's trials (estimator build +
+  /// greedy selection; excludes oracle evaluation). Timing only — never
+  /// part of any byte-identity contract.
+  double seconds = 0.0;
 
   double MeanVertexCost(std::uint64_t trials) const {
     return static_cast<double>(total_counters.vertices) /
@@ -86,6 +91,68 @@ TrialResult RunTrials(const InfluenceGraph& ig, const TrialConfig& config,
 /// result->influence. The same oracle must be reused for all algorithms
 /// and sample numbers of an instance (paper Section 5.2).
 void EvaluateInfluence(const RrOracle& oracle, TrialResult* result);
+
+/// \brief Stream/reuse policy for a sample-number ladder (a sweep's
+/// geometric grid of sample numbers run trial-by-trial).
+///
+/// kLegacy is the pre-arena scheme: every (cell, trial) derives its
+/// streams from the CELL's master seed, so no two cells share any
+/// randomness — and none can share any sampling work. kOff and kOn both
+/// switch to trial-major, prefix-closed streams (one sampling stream per
+/// TRIAL, shared by every cell): kOff still samples each cell from
+/// scratch, kOn samples once per trial at the ladder maximum into an
+/// RrArena and serves every cell as a prefix view. kOff and kOn are
+/// byte-identical in every recorded quantity (seeds, counters,
+/// distributions) — that is the A/B the sweep-reuse bench CHECKs before
+/// recording a speedup. kLegacy differs from both in streams (equal in
+/// distribution, not in bytes).
+enum class SweepReuse { kLegacy, kOff, kOn };
+
+/// Flag-value parsing/naming for --sweep-reuse ("on" | "off" | "legacy").
+StatusOr<SweepReuse> ParseSweepReuse(const std::string& name);
+std::string SweepReuseName(SweepReuse reuse);
+
+/// Configuration of one algorithm's ladder on one instance: the T-trials
+/// methodology over an ascending list of sample numbers with trial-major
+/// streams.
+struct TrialLadderConfig {
+  Approach approach = Approach::kRis;
+  /// Strictly ascending sample numbers; the last is the arena capacity.
+  std::vector<std::uint64_t> sample_numbers;
+  int k = 1;
+  std::uint64_t trials = 1;
+  std::uint64_t master_seed = 1;
+  SnapshotEstimator::Mode snapshot_mode = SnapshotEstimator::Mode::kResidual;
+  SamplingOptions sampling;
+  /// Serve cells from a per-trial RrArena (kOn mechanics). Requires
+  /// approach == kRis — the only approach whose samples are a reusable
+  /// collection. false = kOff mechanics (same streams, fresh sampling).
+  bool reuse = true;
+  /// Optional observability: when non-null and reuse is on, trial 0
+  /// writes its arena's MemoryBytes here (one representative figure —
+  /// trial arenas differ only in content, not materially in size). Never
+  /// affects results.
+  std::uint64_t* arena_bytes_out = nullptr;
+};
+
+/// Runs the ladder: for each trial t, every sample number in order, with
+/// the trial-major stream derivation
+///
+///   trial_master    = DeriveSeed(config.master_seed, t)
+///   sampling stream = DeriveSeed(trial_master, 0)   (all cells of t)
+///   shuffle stream  = DeriveSeed(DeriveSeed(trial_master, 1), τ)
+///
+/// so the RR samples of cell τ₁ are a prefix of cell τ₂'s within a trial
+/// (that is what reuse exploits) while trials stay fully independent.
+/// Returns one TrialResult per sample number, aligned with
+/// config.sample_numbers. Trial-level parallelism follows RunTrials'
+/// rule: sequential-sampling configs fan trials out across `pool`,
+/// engine-routed configs run trials in order and parallelize sampling.
+/// The result is a pure function of the config within a stream family —
+/// the worker count and `reuse` never change it.
+std::vector<TrialResult> RunTrialLadder(const ModelInstance& instance,
+                                        const TrialLadderConfig& config,
+                                        ThreadPool* pool);
 
 }  // namespace soldist
 

@@ -81,7 +81,8 @@ void LtRrSampler::SampleForTarget(VertexId target, Rng* coin_rng,
 std::vector<RrShard> SampleLtRrShards(const LtWeights& weights,
                                       std::uint64_t master_seed,
                                       std::uint64_t count,
-                                      SamplingEngine* engine) {
+                                      SamplingEngine* engine,
+                                      bool record_per_set) {
   std::vector<RrShard> shards(engine->NumChunks(count));
   // Per-worker-slot samplers: O(n) scratch built at most once per slot and
   // reused across chunks; scratch never affects output (every chunk's
@@ -98,9 +99,21 @@ std::vector<RrShard> SampleLtRrShards(const LtWeights& weights,
     shard.offsets.reserve(chunk.end - chunk.begin + 1);
     shard.offsets.push_back(0);
     std::vector<VertexId> rr_set;
+    if (record_per_set) shard.per_set.reserve(chunk.end - chunk.begin);
     for (std::uint64_t i = chunk.begin; i < chunk.end; ++i) {
+      const TraversalCounters before = shard.counters;
       samplers[slot]->Sample(&target_rng, &coin_rng, &rr_set,
                              &shard.counters);
+      if (record_per_set) {
+        TraversalCounters delta;
+        delta.vertices = shard.counters.vertices - before.vertices;
+        delta.edges = shard.counters.edges - before.edges;
+        delta.sample_vertices =
+            shard.counters.sample_vertices - before.sample_vertices;
+        delta.sample_edges =
+            shard.counters.sample_edges - before.sample_edges;
+        shard.per_set.push_back(delta);
+      }
       shard.flat.insert(shard.flat.end(), rr_set.begin(), rr_set.end());
       shard.offsets.push_back(static_cast<std::uint64_t>(shard.flat.size()));
     }

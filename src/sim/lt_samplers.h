@@ -77,11 +77,13 @@ class LtRrSampler {
 /// Chunk c derives its (target, coin) stream pair from the chunk seed
 /// DeriveSeed(master_seed, c) exactly like the IC SampleRrShards, so the
 /// shard sequence — and therefore the merged collection — is
-/// byte-identical for any worker count.
+/// byte-identical for any worker count. `record_per_set` fills
+/// RrShard::per_set (pure observation, drawn content unchanged).
 std::vector<RrShard> SampleLtRrShards(const LtWeights& weights,
                                       std::uint64_t master_seed,
                                       std::uint64_t count,
-                                      SamplingEngine* engine);
+                                      SamplingEngine* engine,
+                                      bool record_per_set = false);
 
 /// Samples `count` LT snapshots through `engine`, one SnapshotShard per
 /// chunk; chunk c draws from a stream seeded with

@@ -2,12 +2,25 @@
 // of RIS seed selection (paper Section 3.5.1 — "influence maximization is
 // therefore equivalent to a maximum coverage problem"), the oracle-greedy
 // reference, and IMM's node-selection phase.
+//
+// The production engine is word-packed: covered/uncovered state lives in
+// packed uint64 bitmap words (gain recomputation and set deactivation
+// mask whole words at a time and popcount), the CELF lazy queue is a
+// gain-indexed bucket array instead of a binary heap (gains are integers
+// that only shrink, so a descending cursor over buckets replaces every
+// log-n heap operation), and set ids flow through the 32-bit vertex-major
+// inverted index. Output is byte-identical to the pre-PR-5 heap
+// implementation — same seeds, covered counts, smaller-id tie-breaking,
+// and smallest-id zero-gain fill — which is kept as
+// MaxCoverageImpl::kReferenceForTest and differentially tested against
+// randomized collections (tests/max_coverage_test.cc).
 
 #ifndef SOLDIST_SIM_MAX_COVERAGE_H_
 #define SOLDIST_SIM_MAX_COVERAGE_H_
 
 #include <vector>
 
+#include "sim/rr_arena.h"
 #include "sim/rr_sampler.h"
 
 namespace soldist {
@@ -28,11 +41,23 @@ struct MaxCoverageResult {
   }
 };
 
+/// Implementation selector: the reference heap engine exists ONLY so
+/// tests can differentially verify the word-packed engine; production
+/// callers never pass it.
+enum class MaxCoverageImpl { kWordPacked, kReferenceForTest };
+
 /// \brief Greedy max coverage with CELF-style lazy evaluation.
 ///
-/// Deterministic: ties break toward the smaller vertex id. Requires
-/// collection.BuildIndex() to have been called.
-MaxCoverageResult GreedyMaxCoverage(const RrCollection& collection, int k);
+/// Deterministic: ties break toward the smaller vertex id; once every
+/// remaining gain is zero the rest of the seed set is filled with the
+/// smallest unselected ids. Requires collection.BuildIndex().
+MaxCoverageResult GreedyMaxCoverage(
+    const RrCollection& collection, int k,
+    MaxCoverageImpl impl = MaxCoverageImpl::kWordPacked);
+
+/// Same greedy over a zero-copy arena prefix view (the sweep-reuse path):
+/// byte-identical to running it on an equal collection.
+MaxCoverageResult GreedyMaxCoverage(const RrPrefixView& view, int k);
 
 }  // namespace soldist
 

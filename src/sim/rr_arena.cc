@@ -1,0 +1,326 @@
+#include "sim/rr_arena.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "random/splitmix64.h"
+#include "sim/lt_samplers.h"
+#include "util/logging.h"
+
+namespace soldist {
+
+RrArena RrArena::SampleIc(const InfluenceGraph& ig, std::uint64_t seed,
+                          std::uint64_t capacity,
+                          const SamplingOptions& sampling) {
+  SOLDIST_CHECK(capacity >= 1);
+  RrArena arena;
+  arena.num_vertices_ = ig.num_vertices();
+  if (sampling.UseEngine()) {
+    SamplingEngine engine(sampling);
+    arena.Finalize(SampleRrShards(ig, seed, capacity, &engine,
+                                  /*record_per_set=*/true),
+                   capacity);
+    return arena;
+  }
+  // Legacy sequential discipline (RisEstimator::Build's non-engine path):
+  // one (target, coin) stream pair drives every set in order, so every
+  // prefix coincides with a direct smaller build.
+  RrSampler sampler(&ig);
+  Rng target_rng(DeriveSeed(seed, 1));
+  Rng coin_rng(DeriveSeed(seed, 2));
+  std::vector<RrShard> shards(1);
+  RrShard& shard = shards[0];
+  shard.offsets.reserve(capacity + 1);
+  shard.offsets.push_back(0);
+  shard.per_set.reserve(capacity);
+  std::vector<VertexId> rr_set;
+  for (std::uint64_t i = 0; i < capacity; ++i) {
+    const TraversalCounters before = shard.counters;
+    sampler.Sample(&target_rng, &coin_rng, &rr_set, &shard.counters);
+    TraversalCounters delta;
+    delta.vertices = shard.counters.vertices - before.vertices;
+    delta.edges = shard.counters.edges - before.edges;
+    delta.sample_vertices =
+        shard.counters.sample_vertices - before.sample_vertices;
+    delta.sample_edges = shard.counters.sample_edges - before.sample_edges;
+    shard.per_set.push_back(delta);
+    shard.flat.insert(shard.flat.end(), rr_set.begin(), rr_set.end());
+    shard.offsets.push_back(static_cast<std::uint64_t>(shard.flat.size()));
+  }
+  arena.Finalize(std::move(shards), capacity);
+  return arena;
+}
+
+RrArena RrArena::SampleLt(const LtWeights& weights, std::uint64_t seed,
+                          std::uint64_t capacity,
+                          const SamplingOptions& sampling) {
+  SOLDIST_CHECK(capacity >= 1);
+  RrArena arena;
+  arena.num_vertices_ = weights.influence_graph().num_vertices();
+  // LT RIS always draws through the chunked engine streams (the engine
+  // runs inline for the default SamplingOptions) — same as
+  // LtRisEstimator::Build.
+  SamplingEngine engine(sampling);
+  arena.Finalize(SampleLtRrShards(weights, seed, capacity, &engine,
+                                  /*record_per_set=*/true),
+                 capacity);
+  return arena;
+}
+
+RrArena RrArena::SampleFor(const ModelInstance& instance, std::uint64_t seed,
+                           std::uint64_t capacity,
+                           const SamplingOptions& sampling) {
+  SOLDIST_CHECK(instance.ig != nullptr);
+  if (instance.model == DiffusionModel::kLt) {
+    SOLDIST_CHECK(instance.lt_weights != nullptr)
+        << "LT instance without LtWeights";
+    return SampleLt(*instance.lt_weights, seed, capacity, sampling);
+  }
+  return SampleIc(*instance.ig, seed, capacity, sampling);
+}
+
+void RrArena::Finalize(std::vector<RrShard>&& shards,
+                       std::uint64_t capacity) {
+  std::uint64_t total_entries = 0;
+  for (const RrShard& shard : shards) total_entries += shard.flat.size();
+  SOLDIST_CHECK(capacity <= std::numeric_limits<std::uint32_t>::max())
+      << "32-bit set ids overflow: arena capacity " << capacity;
+  SOLDIST_CHECK(total_entries <= std::numeric_limits<std::uint32_t>::max())
+      << "32-bit index offsets overflow: " << total_entries << " entries";
+  set_offsets_.reserve(capacity + 1);
+  set_offsets_.push_back(0);
+  cum_counters_.reserve(capacity + 1);
+  cum_counters_.push_back(TraversalCounters{});
+  if (!shards.empty()) {
+    // Adopt the first shard's flat buffer (cf. RrCollection::Merge's
+    // rvalue overload); remaining shards append.
+    flat_ = std::move(shards[0].flat);
+    flat_.reserve(total_entries);
+  }
+  TraversalCounters running;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    RrShard& shard = shards[s];
+    const std::uint64_t base =
+        s == 0 ? 0
+               : static_cast<std::uint64_t>(flat_.size());
+    if (s > 0) {
+      flat_.insert(flat_.end(), shard.flat.begin(), shard.flat.end());
+    }
+    SOLDIST_CHECK(shard.per_set.size() == shard.num_sets());
+    for (std::uint64_t j = 1; j < shard.offsets.size(); ++j) {
+      set_offsets_.push_back(base + shard.offsets[j]);
+      running += shard.per_set[j - 1];
+      cum_counters_.push_back(running);
+    }
+  }
+  SOLDIST_CHECK(this->capacity() == capacity)
+      << "shards produced " << this->capacity() << " sets, expected "
+      << capacity;
+  BuildIndex();
+}
+
+void RrArena::BuildIndex() {
+  const std::uint64_t n = num_vertices_;
+  index_offsets_.assign(n + 1, 0);
+  for (VertexId v : flat_) {
+    ++index_offsets_[static_cast<std::size_t>(v) + 1];
+  }
+  std::partial_sum(index_offsets_.begin(), index_offsets_.end(),
+                   index_offsets_.begin());
+  index_ids_.resize(flat_.size());
+  std::vector<std::uint32_t> cursor(index_offsets_.begin(),
+                                    index_offsets_.end() - 1);
+  for (std::uint64_t set_id = 0; set_id < capacity(); ++set_id) {
+    for (VertexId v : Set(set_id)) {
+      index_ids_[cursor[v]++] = static_cast<std::uint32_t>(set_id);
+    }
+  }
+}
+
+TraversalCounters RrArena::PrefixCounters(std::uint64_t count) const {
+  SOLDIST_DCHECK(count < cum_counters_.size());
+  return cum_counters_[count];
+}
+
+std::uint64_t RrArena::MemoryBytes() const {
+  return flat_.size() * sizeof(VertexId) +
+         set_offsets_.size() * sizeof(std::uint64_t) +
+         index_ids_.size() * sizeof(std::uint32_t) +
+         index_offsets_.size() * sizeof(std::uint32_t) +
+         cum_counters_.size() * sizeof(TraversalCounters);
+}
+
+RrPrefixView RrArena::Prefix(std::uint64_t count) const {
+  return RrPrefixView(this, count);
+}
+
+RrPrefixView::RrPrefixView(const RrArena* arena, std::uint64_t count)
+    : arena_(arena), count_(count) {
+  SOLDIST_CHECK(count_ >= 1);
+  SOLDIST_CHECK(count_ <= arena_->capacity())
+      << "prefix " << count_ << " exceeds arena capacity "
+      << arena_->capacity();
+  const VertexId n = arena_->num_vertices();
+  cut_.resize(n);
+  const auto bound = static_cast<std::uint32_t>(count_);
+  for (VertexId v = 0; v < n; ++v) {
+    std::span<const std::uint32_t> all = arena_->InvertedAll(v);
+    cut_[v] = static_cast<std::uint32_t>(
+        std::lower_bound(all.begin(), all.end(), bound) - all.begin());
+  }
+}
+
+double RrPrefixView::MeanSize() const {
+  if (count_ == 0) return 0.0;
+  const std::uint64_t entries = arena_->PrefixCounters(count_).sample_vertices;
+  return static_cast<double>(entries) / static_cast<double>(count_);
+}
+
+// ---------------------------------------------------------------------
+// Compressed storage (moved from sim/rr_compress.cc).
+// ---------------------------------------------------------------------
+
+void VarintEncode(std::uint64_t v, std::vector<std::uint8_t>* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t VarintDecode(const std::uint8_t* data, std::size_t* pos) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    std::uint8_t byte = data[(*pos)++];
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    SOLDIST_DCHECK(shift < 64);
+  }
+  return v;
+}
+
+CompressedRrCollection::CompressedRrCollection(VertexId num_vertices)
+    : num_vertices_(num_vertices) {
+  set_offsets_.push_back(0);
+}
+
+void CompressedRrCollection::Add(const std::vector<VertexId>& rr_set) {
+  std::vector<VertexId> sorted = rr_set;
+  std::sort(sorted.begin(), sorted.end());
+  VarintEncode(sorted.size(), &set_bytes_);
+  VertexId prev = 0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    // First entry absolute, rest gaps (>= 1 since entries are distinct).
+    std::uint64_t delta = i == 0 ? sorted[0] : sorted[i] - prev;
+    VarintEncode(delta, &set_bytes_);
+    prev = sorted[i];
+  }
+  set_offsets_.push_back(static_cast<std::uint64_t>(set_bytes_.size()));
+  total_entries_ += sorted.size();
+  index_built_ = false;
+}
+
+void CompressedRrCollection::DecodeSet(std::uint64_t i,
+                                       std::vector<VertexId>* out) const {
+  SOLDIST_DCHECK(i < size());
+  out->clear();
+  std::size_t pos = set_offsets_[i];
+  std::uint64_t count = VarintDecode(set_bytes_.data(), &pos);
+  std::uint64_t value = 0;
+  for (std::uint64_t j = 0; j < count; ++j) {
+    value += VarintDecode(set_bytes_.data(), &pos);
+    out->push_back(static_cast<VertexId>(value));
+  }
+}
+
+void CompressedRrCollection::BuildIndex() {
+  // Two passes: count per-vertex list lengths, then encode each vertex's
+  // ascending set ids as gaps. Set ids are visited in ascending order so
+  // a per-vertex "previous id" array suffices.
+  std::vector<std::uint32_t> list_len(num_vertices_, 0);
+  std::vector<VertexId> decoded;
+  for (std::uint64_t i = 0; i < size(); ++i) {
+    DecodeSet(i, &decoded);
+    for (VertexId v : decoded) ++list_len[v];
+  }
+  // Encode into per-vertex byte buffers sized by a conservative pass.
+  std::vector<std::vector<std::uint8_t>> per_vertex(num_vertices_);
+  std::vector<std::uint64_t> prev_id(num_vertices_, 0);
+  std::vector<std::uint8_t> has_any(num_vertices_, 0);
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    VarintEncode(list_len[v], &per_vertex[v]);
+  }
+  for (std::uint64_t i = 0; i < size(); ++i) {
+    DecodeSet(i, &decoded);
+    for (VertexId v : decoded) {
+      std::uint64_t delta = has_any[v] ? i - prev_id[v] : i;
+      VarintEncode(delta, &per_vertex[v]);
+      prev_id[v] = i;
+      has_any[v] = 1;
+    }
+  }
+  index_bytes_.clear();
+  index_offsets_.assign(static_cast<std::size_t>(num_vertices_) + 1, 0);
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    index_bytes_.insert(index_bytes_.end(), per_vertex[v].begin(),
+                        per_vertex[v].end());
+    index_offsets_[v + 1] = static_cast<std::uint64_t>(index_bytes_.size());
+  }
+  covered_stamp_.assign(size(), 0);
+  covered_epoch_ = 0;
+  index_built_ = true;
+}
+
+void CompressedRrCollection::DecodeInvertedList(
+    VertexId v, std::vector<std::uint64_t>* out) const {
+  SOLDIST_CHECK(index_built_) << "call BuildIndex() first";
+  SOLDIST_DCHECK(v < num_vertices_);
+  out->clear();
+  std::size_t pos = index_offsets_[v];
+  std::uint64_t count = VarintDecode(index_bytes_.data(), &pos);
+  std::uint64_t id = 0;
+  for (std::uint64_t j = 0; j < count; ++j) {
+    id += VarintDecode(index_bytes_.data(), &pos);
+    out->push_back(id);
+  }
+}
+
+std::uint64_t CompressedRrCollection::CountCovered(
+    std::span<const VertexId> seeds) const {
+  SOLDIST_CHECK(index_built_) << "call BuildIndex() first";
+  if (++covered_epoch_ == 0) {
+    std::fill(covered_stamp_.begin(), covered_stamp_.end(), 0);
+    covered_epoch_ = 1;
+  }
+  std::uint64_t covered = 0;
+  for (VertexId v : seeds) {
+    DecodeInvertedList(v, &scratch_ids_);
+    for (std::uint64_t set_id : scratch_ids_) {
+      if (covered_stamp_[set_id] != covered_epoch_) {
+        covered_stamp_[set_id] = covered_epoch_;
+        ++covered;
+      }
+    }
+  }
+  return covered;
+}
+
+std::uint64_t CompressedRrCollection::MemoryBytes() const {
+  return set_bytes_.size() + index_bytes_.size() +
+         set_offsets_.size() * sizeof(std::uint64_t) +
+         index_offsets_.size() * sizeof(std::uint64_t);
+}
+
+std::uint64_t CompressedRrCollection::UncompressedBytes() const {
+  // RrCollection: 4 B per set entry, 4 B per (32-bit) index entry, plus
+  // the 8 B set offsets and 4 B index offsets.
+  return total_entries_ * (4 + 4) +
+         set_offsets_.size() * sizeof(std::uint64_t) +
+         (static_cast<std::uint64_t>(num_vertices_) + 1) *
+             sizeof(std::uint32_t);
+}
+
+}  // namespace soldist

@@ -1,0 +1,230 @@
+// Prefix-reusable RR-set arena: sample ONCE at the largest sample number
+// of a sweep ladder and serve every smaller sample number as a zero-copy
+// prefix view.
+//
+// Why a prefix view is exact (not an approximation): every RR sampling
+// path in this repo is prefix-closed in its master seed. The chunked
+// engine streams (sim/sampling_engine.h) give chunk c its randomness from
+// DeriveSeed(master, c) alone and draw the chunk's sets in order, so the
+// first τ₁ sets of a τ₂-set build are byte-identical to a τ₁-set build;
+// the legacy sequential IC loop draws every set from one (target, coin)
+// stream pair, so its prefixes coincide trivially. The arena samples with
+// EXACTLY the stream discipline of RisEstimator::Build (IC) /
+// LtRisEstimator::Build (LT), which is what makes an arena-served sweep
+// cell byte-identical to a freshly sampled one (ctest rr_arena_test
+// enforces this for worker counts 1/2/4, both models).
+//
+// Layout (all 32-bit ids): one flat vertex array in set order with
+// per-set offsets; one vertex-major inverted index (vertex -> ascending
+// ids of containing sets) with 32-bit ids and offsets; per-set cumulative
+// traversal counters so any prefix's sampling cost is exactly
+// attributable (a reuse-on sweep reports the same per-cell counters as a
+// reuse-off sweep).
+//
+//   flat_:         [ set 0 vertices | set 1 vertices | ... ]
+//   set_offsets_:  [0, |R₀|, |R₀|+|R₁|, ...]            (uint64)
+//   index_ids_:    [ ids of sets containing v=0, v=1, ... ] (uint32, asc)
+//   index_offsets_: n+1 cuts into index_ids_             (uint32)
+//   cum_counters_: capacity+1 running totals, cum[i] = cost of sets [0,i)
+//
+// A prefix view at τ resolves InvertedList(v) by cutting v's ascending id
+// list at the first id >= τ (one binary search per vertex, cached in the
+// view); the cut length doubles as the initial CELF cover count.
+//
+// This header also hosts the delta+varint compressed collection (folded
+// in from the former sim/rr_compress.h): the paper's Section 7 question
+// about compressing reverse-reachable sets, answered with an
+// RrCollection-compatible query API over ~1-2 bytes/entry storage.
+
+#ifndef SOLDIST_SIM_RR_ARENA_H_
+#define SOLDIST_SIM_RR_ARENA_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "model/diffusion.h"
+#include "model/lt.h"
+#include "sim/rr_sampler.h"
+#include "sim/sampling_engine.h"
+
+namespace soldist {
+
+class RrPrefixView;
+
+/// \brief An immutable, index-complete RR-set store sampled once at the
+/// ladder maximum; all queries are const, so any number of threads may
+/// serve prefix views from one arena concurrently.
+class RrArena {
+ public:
+  /// Samples `capacity` IC RR sets with RisEstimator::Build's exact
+  /// stream discipline: the engine path (chunked deterministic streams)
+  /// when sampling.UseEngine(), the legacy sequential two-stream loop
+  /// otherwise. A fresh RisEstimator(ig, τ, seed, sampling) for any
+  /// τ <= capacity builds the byte-identical prefix of this arena.
+  static RrArena SampleIc(const InfluenceGraph& ig, std::uint64_t seed,
+                          std::uint64_t capacity,
+                          const SamplingOptions& sampling);
+
+  /// LT counterpart (LtRisEstimator::Build discipline: always the chunked
+  /// engine streams, backward-walk RR sets).
+  static RrArena SampleLt(const LtWeights& weights, std::uint64_t seed,
+                          std::uint64_t capacity,
+                          const SamplingOptions& sampling);
+
+  /// Model dispatch on a resolved instance (LT requires lt_weights).
+  static RrArena SampleFor(const ModelInstance& instance, std::uint64_t seed,
+                           std::uint64_t capacity,
+                           const SamplingOptions& sampling);
+
+  std::uint64_t capacity() const {
+    return static_cast<std::uint64_t>(set_offsets_.size()) - 1;
+  }
+  std::uint64_t total_entries() const {
+    return static_cast<std::uint64_t>(flat_.size());
+  }
+  VertexId num_vertices() const { return num_vertices_; }
+
+  std::span<const VertexId> Set(std::uint64_t i) const {
+    return {flat_.data() + set_offsets_[i],
+            flat_.data() + set_offsets_[i + 1]};
+  }
+
+  /// Ascending ids of ALL arena sets containing v (prefix views cut it).
+  std::span<const std::uint32_t> InvertedAll(VertexId v) const {
+    return {index_ids_.data() + index_offsets_[v],
+            index_ids_.data() + index_offsets_[v + 1]};
+  }
+
+  /// Exact traversal/sample counters of the first `count` sets — equal to
+  /// the counters a direct build at `count` would have accumulated.
+  TraversalCounters PrefixCounters(std::uint64_t count) const;
+
+  /// Heap bytes of the arena payloads (flat + offsets + index + counters).
+  std::uint64_t MemoryBytes() const;
+
+  RrPrefixView Prefix(std::uint64_t count) const;
+
+ private:
+  RrArena() = default;
+  void Finalize(std::vector<RrShard>&& shards, std::uint64_t capacity);
+  void BuildIndex();
+
+  VertexId num_vertices_ = 0;
+  std::vector<VertexId> flat_;
+  std::vector<std::uint64_t> set_offsets_;      // capacity + 1
+  std::vector<std::uint32_t> index_ids_;        // ascending per vertex
+  std::vector<std::uint32_t> index_offsets_;    // n + 1
+  std::vector<TraversalCounters> cum_counters_; // capacity + 1
+};
+
+/// \brief A zero-copy view of the first `count` sets of an arena.
+///
+/// Query-compatible with the slice of RrCollection the coverage engines
+/// need: Set / InvertedList / size / num_vertices, plus the per-vertex
+/// cover counts (cut lengths) that seed greedy state for free.
+class RrPrefixView {
+ public:
+  RrPrefixView(const RrArena* arena, std::uint64_t count);
+
+  std::uint64_t size() const { return count_; }
+  VertexId num_vertices() const { return arena_->num_vertices(); }
+
+  std::span<const VertexId> Set(std::uint64_t i) const {
+    return arena_->Set(i);
+  }
+
+  /// Ascending ids (< size()) of the viewed sets containing v.
+  std::span<const std::uint32_t> InvertedList(VertexId v) const {
+    return arena_->InvertedAll(v).first(cut_[v]);
+  }
+
+  /// |InvertedList(v)|: the initial cover count / CELF gain of v.
+  std::uint32_t CoverCount(VertexId v) const { return cut_[v]; }
+  const std::vector<std::uint32_t>& CoverCounts() const { return cut_; }
+
+  /// Sampling counters of exactly these sets (see
+  /// RrArena::PrefixCounters).
+  TraversalCounters Counters() const {
+    return arena_->PrefixCounters(count_);
+  }
+
+  /// Mean RR-set size over the prefix (empirical EPT).
+  double MeanSize() const;
+
+  const RrArena& arena() const { return *arena_; }
+
+ private:
+  const RrArena* arena_;
+  std::uint64_t count_;
+  std::vector<std::uint32_t> cut_;  // per vertex: ids < count_
+};
+
+// ---------------------------------------------------------------------
+// Compressed RR-set storage (folded in from sim/rr_compress.h): the
+// paper's concluding remarks (Section 7) ask whether Snapshot/RIS memory
+// can be cut "e.g., by compressing reverse-reachable sets" — answered
+// with a delta+varint encoded collection exposing the same query API as
+// RrCollection. Each RR set is sorted, delta-encoded, and LEB128-varint
+// packed; the inverted index is stored the same way. Small RR sets over
+// dense ids compress to 1-2 bytes/entry vs 4 (sets) + 4 (index) in the
+// uncompressed collection.
+// ---------------------------------------------------------------------
+
+/// Appends v as LEB128 to `out`.
+void VarintEncode(std::uint64_t v, std::vector<std::uint8_t>* out);
+
+/// Decodes one LEB128 value from data[*pos], advancing *pos.
+std::uint64_t VarintDecode(const std::uint8_t* data, std::size_t* pos);
+
+/// \brief RR-set collection with compressed sets and compressed inverted
+/// index. Query-compatible with RrCollection (decode on the fly).
+class CompressedRrCollection {
+ public:
+  explicit CompressedRrCollection(VertexId num_vertices);
+
+  /// Appends one RR set (copied, sorted, delta+varint encoded).
+  void Add(const std::vector<VertexId>& rr_set);
+
+  /// Builds the compressed inverted index; call after the last Add.
+  void BuildIndex();
+
+  std::uint64_t size() const {
+    return static_cast<std::uint64_t>(set_offsets_.size()) - 1;
+  }
+  std::uint64_t total_entries() const { return total_entries_; }
+  VertexId num_vertices() const { return num_vertices_; }
+
+  /// Decodes set i into *out (sorted ascending).
+  void DecodeSet(std::uint64_t i, std::vector<VertexId>* out) const;
+
+  /// Decodes the ids of sets containing v into *out (ascending).
+  /// Requires BuildIndex().
+  void DecodeInvertedList(VertexId v, std::vector<std::uint64_t>* out) const;
+
+  /// Number of RR sets intersecting `seeds` (requires BuildIndex()).
+  std::uint64_t CountCovered(std::span<const VertexId> seeds) const;
+
+  /// Heap bytes used by the compressed payloads (sets + index + offsets).
+  std::uint64_t MemoryBytes() const;
+
+  /// Bytes an uncompressed RrCollection needs for the same content
+  /// (4 B/set entry + 4 B/index entry + offset arrays), for comparison.
+  std::uint64_t UncompressedBytes() const;
+
+ private:
+  VertexId num_vertices_;
+  std::uint64_t total_entries_ = 0;
+  std::vector<std::uint8_t> set_bytes_;
+  std::vector<std::uint64_t> set_offsets_;  // into set_bytes_
+  std::vector<std::uint8_t> index_bytes_;
+  std::vector<std::uint64_t> index_offsets_;  // per vertex, into index_bytes_
+  bool index_built_ = false;
+  mutable std::vector<std::uint32_t> covered_stamp_;
+  mutable std::uint32_t covered_epoch_ = 0;
+  mutable std::vector<std::uint64_t> scratch_ids_;
+};
+
+}  // namespace soldist
+
+#endif  // SOLDIST_SIM_RR_ARENA_H_

@@ -1,5 +1,7 @@
 #include "sim/rr_sampler.h"
 
+#include <algorithm>
+#include <limits>
 #include <memory>
 #include <numeric>
 
@@ -48,7 +50,8 @@ void RrSampler::SampleForTarget(VertexId target, Rng* coin_rng,
 std::vector<RrShard> SampleRrShards(const InfluenceGraph& ig,
                                     std::uint64_t master_seed,
                                     std::uint64_t count,
-                                    SamplingEngine* engine) {
+                                    SamplingEngine* engine,
+                                    bool record_per_set) {
   std::vector<RrShard> shards(engine->NumChunks(count));
   // Per-worker-slot samplers: the O(n) scratch is built at most once per
   // slot and reused across chunks; sampler scratch never affects output
@@ -84,9 +87,21 @@ std::vector<RrShard> SampleRrShards(const InfluenceGraph& ig,
           16);
     }
     std::vector<VertexId> rr_set;
+    if (record_per_set) shard.per_set.reserve(chunk_sets);
     for (std::uint64_t i = chunk.begin; i < chunk.end; ++i) {
+      const TraversalCounters before = shard.counters;
       samplers[slot]->Sample(&target_rng, &coin_rng, &rr_set,
                              &shard.counters);
+      if (record_per_set) {
+        TraversalCounters delta;
+        delta.vertices = shard.counters.vertices - before.vertices;
+        delta.edges = shard.counters.edges - before.edges;
+        delta.sample_vertices =
+            shard.counters.sample_vertices - before.sample_vertices;
+        delta.sample_edges =
+            shard.counters.sample_edges - before.sample_edges;
+        shard.per_set.push_back(delta);
+      }
       shard.flat.insert(shard.flat.end(), rr_set.begin(), rr_set.end());
       shard.offsets.push_back(static_cast<std::uint64_t>(shard.flat.size()));
     }
@@ -145,26 +160,64 @@ void RrCollection::Merge(std::span<const RrShard> shards) {
 }
 
 void RrCollection::BuildIndex() {
-  index_offsets_.assign(static_cast<std::size_t>(num_vertices_) + 1, 0);
-  for (VertexId v : flat_) {
-    ++index_offsets_[static_cast<std::size_t>(v) + 1];
+  const std::uint64_t total_sets = size();
+  SOLDIST_CHECK(total_sets <=
+                std::numeric_limits<std::uint32_t>::max())
+      << "32-bit set ids overflow: " << total_sets << " RR sets";
+  SOLDIST_CHECK(flat_.size() <=
+                std::numeric_limits<std::uint32_t>::max())
+      << "32-bit index offsets overflow: " << flat_.size() << " entries";
+  if (index_built_ && indexed_sets_ == total_sets) {
+    // Double-build with no new sets: a no-op, never a full rebuild
+    // (IMM's final selection round builds on an unchanged collection).
+    SOLDIST_DCHECK(index_flat_.size() == flat_.size())
+        << "index/content mismatch on a supposedly indexed collection";
+    return;
   }
-  std::partial_sum(index_offsets_.begin(), index_offsets_.end(),
-                   index_offsets_.begin());
-  index_flat_.resize(flat_.size());
-  std::vector<std::uint64_t> cursor(index_offsets_.begin(),
-                                    index_offsets_.end() - 1);
-  for (std::uint64_t set_id = 0; set_id < size(); ++set_id) {
-    for (VertexId v : Set(set_id)) {
-      index_flat_[cursor[v]++] = set_id;
+  // Single-pass counting sort of the appended tail: new per-vertex counts
+  // come from one scan of the un-indexed entries; appended set ids exceed
+  // every indexed id, so the old per-vertex lists are bulk-copied in front
+  // and the new ids placed behind them keep each list ascending.
+  const std::uint64_t n = num_vertices_;
+  const std::uint64_t indexed_entries = offsets_[indexed_sets_];
+  SOLDIST_DCHECK(index_flat_.size() == indexed_entries);
+  std::vector<std::uint32_t> new_offsets(n + 1, 0);
+  for (std::uint64_t pos = indexed_entries; pos < flat_.size(); ++pos) {
+    ++new_offsets[static_cast<std::size_t>(flat_[pos]) + 1];
+  }
+  if (indexed_sets_ > 0) {
+    for (std::uint64_t v = 0; v < n; ++v) {
+      new_offsets[v + 1] += index_offsets_[v + 1] - index_offsets_[v];
     }
   }
-  covered_stamp_.assign(size(), 0);
+  std::partial_sum(new_offsets.begin(), new_offsets.end(),
+                   new_offsets.begin());
+  std::vector<std::uint32_t> new_flat(flat_.size());
+  std::vector<std::uint32_t> cursor(new_offsets.begin(),
+                                    new_offsets.end() - 1);
+  if (indexed_sets_ > 0) {
+    for (std::uint64_t v = 0; v < n; ++v) {
+      const std::uint32_t len = index_offsets_[v + 1] - index_offsets_[v];
+      std::copy_n(index_flat_.begin() + index_offsets_[v], len,
+                  new_flat.begin() + cursor[v]);
+      cursor[v] += len;
+    }
+  }
+  for (std::uint64_t set_id = indexed_sets_; set_id < total_sets;
+       ++set_id) {
+    for (VertexId v : Set(set_id)) {
+      new_flat[cursor[v]++] = static_cast<std::uint32_t>(set_id);
+    }
+  }
+  index_flat_ = std::move(new_flat);
+  index_offsets_ = std::move(new_offsets);
+  indexed_sets_ = total_sets;
+  covered_stamp_.assign(total_sets, 0);
   covered_epoch_ = 0;
   index_built_ = true;
 }
 
-std::span<const std::uint64_t> RrCollection::InvertedList(VertexId v) const {
+std::span<const std::uint32_t> RrCollection::InvertedList(VertexId v) const {
   SOLDIST_CHECK(index_built_) << "call BuildIndex() first";
   SOLDIST_DCHECK(v < num_vertices_);
   return {index_flat_.data() + index_offsets_[v],
@@ -180,7 +233,7 @@ std::uint64_t RrCollection::CountCovered(
   }
   std::uint64_t covered = 0;
   for (VertexId v : seeds) {
-    for (std::uint64_t set_id : InvertedList(v)) {
+    for (std::uint32_t set_id : InvertedList(v)) {
       if (covered_stamp_[set_id] != covered_epoch_) {
         covered_stamp_[set_id] = covered_epoch_;
         ++covered;

@@ -55,6 +55,10 @@ struct RrShard {
   std::vector<VertexId> flat;
   std::vector<std::uint64_t> offsets;  ///< local: offsets[0] = 0
   TraversalCounters counters;
+  /// Per-set counter deltas (set i of this shard cost per_set[i]); filled
+  /// only when the sampler was asked to record them (RrArena needs them to
+  /// attribute exact costs to every prefix).
+  std::vector<TraversalCounters> per_set;
 
   std::uint64_t num_sets() const {
     return offsets.empty() ? 0
@@ -67,10 +71,13 @@ struct RrShard {
 /// Chunk c derives its (target, coin) stream pair from the chunk seed
 /// DeriveSeed(master_seed, c), so the shard sequence — and therefore the
 /// merged collection — is byte-identical for any worker count.
+/// `record_per_set` additionally fills RrShard::per_set (never affects
+/// the sampled content: recording draws nothing from the streams).
 std::vector<RrShard> SampleRrShards(const InfluenceGraph& ig,
                                     std::uint64_t master_seed,
                                     std::uint64_t count,
-                                    SamplingEngine* engine);
+                                    SamplingEngine* engine,
+                                    bool record_per_set = false);
 
 /// \brief A flattened collection of RR sets with an inverted index.
 ///
@@ -105,12 +112,20 @@ class RrCollection {
     return {flat_.data() + offsets_[i], flat_.data() + offsets_[i + 1]};
   }
 
-  /// Builds (or rebuilds) the vertex -> set-ids index; call after the last
-  /// Add and before InvertedList/CountCovered.
+  /// Builds the vertex -> set-ids index; call after the last Add/Merge and
+  /// before InvertedList/CountCovered. Incremental: only sets appended
+  /// since the previous build are counting-sorted in (their ids are larger
+  /// than every indexed id, so per-vertex lists stay ascending and the
+  /// already-indexed prefix is a bulk copy, not a scattered re-placement);
+  /// a call with no new sets is a DCHECK-guarded no-op instead of the
+  /// full rebuild it used to be (IMM's Merge-then-select rounds hit both
+  /// cases every run). Set ids and offsets are 32-bit: a collection must
+  /// stay under 2^32 entries (CHECKed; the paper-full grids top out at
+  /// ~2^28).
   void BuildIndex();
 
-  /// Ids of the RR sets containing v. Requires BuildIndex().
-  std::span<const std::uint64_t> InvertedList(VertexId v) const;
+  /// Ids of the RR sets containing v, ascending. Requires BuildIndex().
+  std::span<const std::uint32_t> InvertedList(VertexId v) const;
 
   /// Number of RR sets intersecting `seeds` (requires BuildIndex()).
   std::uint64_t CountCovered(std::span<const VertexId> seeds) const;
@@ -122,8 +137,9 @@ class RrCollection {
   VertexId num_vertices_;
   std::vector<VertexId> flat_;
   std::vector<std::uint64_t> offsets_;  // size() + 1 entries
-  std::vector<std::uint64_t> index_flat_;
-  std::vector<std::uint64_t> index_offsets_;  // n + 1 entries once built
+  std::vector<std::uint32_t> index_flat_;
+  std::vector<std::uint32_t> index_offsets_;  // n + 1 entries once built
+  std::uint64_t indexed_sets_ = 0;  // sets covered by the current index
   bool index_built_ = false;
   // Scratch for CountCovered (mutable: queries are logically const).
   mutable std::vector<std::uint32_t> covered_stamp_;

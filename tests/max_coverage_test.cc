@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "random/rng.h"
 #include "sim/max_coverage.h"
 
 namespace soldist {
@@ -67,6 +72,112 @@ TEST(MaxCoverageTest, MatchesBruteForceOnSmallInstances) {
   std::vector<VertexId> sorted = result.seeds;
   std::sort(sorted.begin(), sorted.end());
   EXPECT_EQ(sorted, (std::vector<VertexId>{1, 3}));
+}
+
+void ExpectImplsAgree(const RrCollection& collection, int k,
+                      const std::string& label) {
+  MaxCoverageResult packed =
+      GreedyMaxCoverage(collection, k, MaxCoverageImpl::kWordPacked);
+  MaxCoverageResult reference =
+      GreedyMaxCoverage(collection, k, MaxCoverageImpl::kReferenceForTest);
+  EXPECT_EQ(packed.seeds, reference.seeds) << label << " k=" << k;
+  EXPECT_EQ(packed.covered, reference.covered) << label << " k=" << k;
+}
+
+TEST(MaxCoverageTest, WordPackedMatchesReferenceOnEdgeCases) {
+  // All-empty sets: every gain is zero from the start, so all k rounds
+  // are the smallest-id zero-gain fill.
+  auto all_empty = MakeCollection(5, {{}, {}, {}});
+  for (int k : {1, 3, 5}) ExpectImplsAgree(all_empty, k, "all-empty");
+
+  // Duplicate RR sets: covering one copy must cover (and count) all of
+  // them, and the duplicates' members tie exactly.
+  auto duplicates =
+      MakeCollection(6, {{1, 2}, {1, 2}, {1, 2}, {4}, {4}, {}, {2, 4}});
+  for (int k : {1, 2, 4, 6}) ExpectImplsAgree(duplicates, k, "duplicates");
+
+  // Exactly 64 and 65 sets: the bitmap's word boundary.
+  std::vector<std::vector<VertexId>> word_sets;
+  for (int i = 0; i < 65; ++i) {
+    word_sets.push_back({static_cast<VertexId>(i % 7)});
+  }
+  auto word_edge = MakeCollection(7, word_sets);
+  for (int k : {1, 4, 7}) ExpectImplsAgree(word_edge, k, "word-boundary");
+}
+
+TEST(MaxCoverageTest, WordPackedMatchesReferenceOnRandomCollections) {
+  // Randomized differential sweep, biased toward the nasty shapes: small
+  // vertex ranges force ties, empty sets appear with probability ~1/4,
+  // and every third set duplicates the previous one.
+  Rng rng(20260731);
+  for (int trial = 0; trial < 60; ++trial) {
+    const VertexId n =
+        static_cast<VertexId>(2 + rng.UniformInt(20));  // 2..21
+    const int num_sets = static_cast<int>(rng.UniformInt(80));
+    RrCollection collection(n);
+    std::vector<VertexId> prev;
+    for (int s = 0; s < num_sets; ++s) {
+      std::vector<VertexId> set;
+      if (s % 3 == 2 && !prev.empty()) {
+        set = prev;  // exact duplicate of the previous set
+      } else if (rng.UniformInt(4) != 0) {
+        const int len = 1 + static_cast<int>(rng.UniformInt(6));
+        std::vector<std::uint8_t> used(n, 0);
+        for (int j = 0; j < len; ++j) {
+          auto v = static_cast<VertexId>(rng.UniformInt(n));
+          if (!used[v]) {
+            used[v] = 1;
+            set.push_back(v);
+          }
+        }
+      }  // else: empty set
+      collection.Add(set);
+      prev = set;
+    }
+    collection.BuildIndex();
+    for (int k : {1, 2, static_cast<int>(n)}) {
+      ExpectImplsAgree(collection, k,
+                       "trial " + std::to_string(trial) + " n=" +
+                           std::to_string(n) + " sets=" +
+                           std::to_string(num_sets));
+    }
+  }
+}
+
+TEST(MaxCoverageTest, IncrementalIndexMatchesFullRebuild) {
+  // The Merge-then-select cycle (IMM's shape): appending sets and
+  // re-building must index exactly what one final build indexes, and a
+  // build with nothing new must be a no-op that keeps queries valid.
+  Rng rng(7);
+  RrCollection incremental(12);
+  RrCollection batch(12);
+  std::vector<std::vector<VertexId>> all_sets;
+  for (int round = 0; round < 4; ++round) {
+    for (int s = 0; s < 30; ++s) {
+      std::vector<VertexId> set;
+      const int len = static_cast<int>(rng.UniformInt(5));
+      for (int j = 0; j < len; ++j) {
+        set.push_back(static_cast<VertexId>(rng.UniformInt(12)));
+      }
+      std::sort(set.begin(), set.end());
+      set.erase(std::unique(set.begin(), set.end()), set.end());
+      incremental.Add(set);
+      all_sets.push_back(set);
+    }
+    incremental.BuildIndex();  // one incremental build per round
+    incremental.BuildIndex();  // double-build: must be a no-op
+  }
+  for (const auto& set : all_sets) batch.Add(set);
+  batch.BuildIndex();
+  ASSERT_EQ(incremental.size(), batch.size());
+  for (VertexId v = 0; v < 12; ++v) {
+    auto a = incremental.InvertedList(v);
+    auto b = batch.InvertedList(v);
+    ASSERT_EQ(std::vector<std::uint32_t>(a.begin(), a.end()),
+              std::vector<std::uint32_t>(b.begin(), b.end()))
+        << "vertex " << v;
+  }
+  for (int k : {1, 3, 12}) ExpectImplsAgree(incremental, k, "incremental");
 }
 
 }  // namespace

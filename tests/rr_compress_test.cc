@@ -7,7 +7,7 @@
 #include "graph/builder.h"
 #include "model/probability.h"
 #include "random/rng.h"
-#include "sim/rr_compress.h"
+#include "sim/rr_arena.h"
 #include "sim/rr_sampler.h"
 
 namespace soldist {
@@ -115,9 +115,11 @@ TEST(CompressedRrTest, ActuallyCompresses) {
     compressed.Add(rr_set);
   }
   compressed.BuildIndex();
-  // Vertex ids < 34 and gap-encoded set ids: each entry should take far
-  // fewer bytes than the 12 (4 set + 8 index) of the plain layout.
-  EXPECT_LT(compressed.MemoryBytes(), compressed.UncompressedBytes() / 2);
+  // Vertex ids < 34 and gap-encoded set ids: each entry should take
+  // fewer bytes than the 8 (4 set + 4 index) of the plain layout. The
+  // margin is 2/3 — set ids gap-encode to ~1-2 bytes against the plain
+  // index's 4, but the 20k tiny sets here keep a per-set length byte.
+  EXPECT_LT(compressed.MemoryBytes(), compressed.UncompressedBytes() * 2 / 3);
 }
 
 TEST(CompressedRrTest, EmptyCollection) {

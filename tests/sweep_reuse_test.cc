@@ -1,0 +1,165 @@
+// The sweep-reuse acceptance contract: a RIS sample-number ladder run
+// with reuse ON (one per-trial RR arena serving prefix views) is
+// byte-identical — seed sets, counters, distributions — to reuse OFF
+// (same prefix-closed streams, fresh sampling per cell), for IC and LT
+// and for worker counts 1/2/4. kLegacy stays available and untouched.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "exp/instance_registry.h"
+#include "exp/sweep.h"
+#include "exp/trial_runner.h"
+#include "gen/datasets.h"
+#include "graph/builder.h"
+#include "model/probability.h"
+#include "oracle/rr_oracle.h"
+
+namespace soldist {
+namespace {
+
+InfluenceGraph KarateUc01() {
+  Graph g = GraphBuilder::FromEdgeList(Datasets::Karate());
+  return MakeInfluenceGraph(std::move(g), ProbabilityModel::kUc01);
+}
+
+SamplingOptions Threads(int num_threads, std::uint64_t chunk_size = 64) {
+  SamplingOptions options;
+  options.num_threads = num_threads;
+  options.chunk_size = chunk_size;
+  return options;
+}
+
+void ExpectResultsEq(const std::vector<TrialResult>& a,
+                     const std::vector<TrialResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t l = 0; l < a.size(); ++l) {
+    EXPECT_EQ(a[l].seed_sets, b[l].seed_sets) << "cell " << l;
+    EXPECT_EQ(a[l].total_counters.vertices, b[l].total_counters.vertices);
+    EXPECT_EQ(a[l].total_counters.edges, b[l].total_counters.edges);
+    EXPECT_EQ(a[l].total_counters.sample_vertices,
+              b[l].total_counters.sample_vertices);
+    EXPECT_EQ(a[l].total_counters.sample_edges,
+              b[l].total_counters.sample_edges);
+    EXPECT_EQ(a[l].distribution.counts(), b[l].distribution.counts());
+  }
+}
+
+TrialLadderConfig LadderConfig(bool reuse, const SamplingOptions& sampling) {
+  TrialLadderConfig config;
+  config.approach = Approach::kRis;
+  config.sample_numbers = {1, 2, 4, 8, 16, 23, 64, 128};  // incl. non-2^e
+  config.k = 2;
+  config.trials = 8;
+  config.master_seed = 40;
+  config.sampling = sampling;
+  config.reuse = reuse;
+  return config;
+}
+
+TEST(SweepReuseTest, LadderReuseOnEqualsOffIc) {
+  InfluenceGraph ig = KarateUc01();
+  ModelInstance instance = ModelInstance::Ic(&ig);
+  for (int threads : {1, 2, 4}) {
+    auto on = RunTrialLadder(instance, LadderConfig(true, Threads(threads)),
+                             nullptr);
+    auto off = RunTrialLadder(instance,
+                              LadderConfig(false, Threads(threads)), nullptr);
+    ExpectResultsEq(on, off);
+  }
+}
+
+TEST(SweepReuseTest, LadderReuseOnEqualsOffLt) {
+  InstanceRegistry registry(42);
+  auto lt = registry.GetModelInstance("Karate", ProbabilityModel::kIwc,
+                                      DiffusionModel::kLt);
+  ASSERT_TRUE(lt.ok());
+  for (int threads : {1, 2, 4}) {
+    auto on = RunTrialLadder(lt.value(),
+                             LadderConfig(true, Threads(threads)), nullptr);
+    auto off = RunTrialLadder(lt.value(),
+                              LadderConfig(false, Threads(threads)), nullptr);
+    ExpectResultsEq(on, off);
+  }
+}
+
+TEST(SweepReuseTest, LadderIsWorkerCountInvariant) {
+  InfluenceGraph ig = KarateUc01();
+  ModelInstance instance = ModelInstance::Ic(&ig);
+  auto reference =
+      RunTrialLadder(instance, LadderConfig(true, Threads(2)), nullptr);
+  auto wider =
+      RunTrialLadder(instance, LadderConfig(true, Threads(4)), nullptr);
+  ExpectResultsEq(reference, wider);
+}
+
+TEST(SweepReuseTest, RunSweepReuseOnEqualsOff) {
+  InfluenceGraph ig = KarateUc01();
+  RrOracle oracle(&ig, 3000, 9);
+  SweepConfig config;
+  config.approach = Approach::kRis;
+  config.k = 2;
+  config.trials = 6;
+  config.master_seed = 11;
+  config.min_exponent = 0;
+  config.max_exponent = 7;
+
+  config.reuse = SweepReuse::kOn;
+  auto on = RunSweep(ig, oracle, config, nullptr);
+  config.reuse = SweepReuse::kOff;
+  auto off = RunSweep(ig, oracle, config, nullptr);
+  ASSERT_EQ(on.size(), off.size());
+  for (std::size_t l = 0; l < on.size(); ++l) {
+    EXPECT_EQ(on[l].sample_number, off[l].sample_number);
+    EXPECT_EQ(on[l].result.seed_sets, off[l].result.seed_sets);
+    EXPECT_EQ(on[l].entropy, off[l].entropy);
+    EXPECT_EQ(on[l].summary.mean_influence, off[l].summary.mean_influence);
+    EXPECT_EQ(on[l].summary.mean_sample_size,
+              off[l].summary.mean_sample_size);
+  }
+
+  // kLegacy is a different stream family: same shape, still valid cells.
+  config.reuse = SweepReuse::kLegacy;
+  auto legacy = RunSweep(ig, oracle, config, nullptr);
+  ASSERT_EQ(legacy.size(), on.size());
+  for (std::size_t l = 0; l < legacy.size(); ++l) {
+    EXPECT_EQ(legacy[l].sample_number, on[l].sample_number);
+    EXPECT_EQ(legacy[l].result.seed_sets.size(),
+              on[l].result.seed_sets.size());
+  }
+}
+
+TEST(SweepReuseTest, NonRisApproachesIgnoreReuse) {
+  // Oneshot/Snapshot have no reusable RR collection: the reuse field must
+  // leave them on the legacy path (byte-identical to kLegacy).
+  InfluenceGraph ig = KarateUc01();
+  RrOracle oracle(&ig, 2000, 9);
+  SweepConfig config;
+  config.approach = Approach::kSnapshot;
+  config.k = 1;
+  config.trials = 4;
+  config.master_seed = 3;
+  config.max_exponent = 4;
+  config.reuse = SweepReuse::kOn;
+  auto with_reuse = RunSweep(ig, oracle, config, nullptr);
+  config.reuse = SweepReuse::kLegacy;
+  auto legacy = RunSweep(ig, oracle, config, nullptr);
+  ASSERT_EQ(with_reuse.size(), legacy.size());
+  for (std::size_t l = 0; l < legacy.size(); ++l) {
+    EXPECT_EQ(with_reuse[l].result.seed_sets, legacy[l].result.seed_sets);
+  }
+}
+
+TEST(SweepReuseTest, ParseSweepReuseFlagValues) {
+  EXPECT_EQ(ParseSweepReuse("on").value(), SweepReuse::kOn);
+  EXPECT_EQ(ParseSweepReuse("off").value(), SweepReuse::kOff);
+  EXPECT_EQ(ParseSweepReuse("legacy").value(), SweepReuse::kLegacy);
+  EXPECT_FALSE(ParseSweepReuse("sometimes").ok());
+  EXPECT_EQ(SweepReuseName(SweepReuse::kOn), "on");
+  EXPECT_EQ(SweepReuseName(SweepReuse::kOff), "off");
+  EXPECT_EQ(SweepReuseName(SweepReuse::kLegacy), "legacy");
+}
+
+}  // namespace
+}  // namespace soldist

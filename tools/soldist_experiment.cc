@@ -156,6 +156,7 @@ StatusOr<std::string> RunExperiment(ExperimentContext* context,
     config.sampling = context->SamplingFor(sample_threads);
     config.approach = approach;
     config.snapshot_mode = options.snapshot_mode;
+    config.reuse = options.sweep_reuse;
     config.k = params.k;
     config.trials = context->TrialsFor(params.network);
     config.master_seed = options.seed;
