@@ -1,0 +1,327 @@
+// Concurrent query-service stress bench: hammers one immutable QueryView
+// with a deterministic mixed point-query workload (single-vertex spread,
+// small-set spread, marginal gain) from 1/2/4/8 threads and records
+// per-query p50/p99 latency and queries/sec into BENCH_query.json — the
+// ROADMAP's "microsecond point queries" serving claim, measured.
+//
+// The refusal discipline of the other recorded benches applies: every
+// multi-threaded run's per-query results are compared against the
+// single-threaded reference and the bench CHECK-aborts on any mismatch,
+// so the artifact can never show throughput bought by racing answers.
+// Near-linear scaling is only expected when the host actually has the
+// cores — hardware_concurrency is recorded alongside so a 1-CPU
+// container's flat curve reads as what it is.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "random/splitmix64.h"
+#include "serve/query_service.h"
+#include "util/cli.h"
+#include "util/json.h"
+#include "util/string_util.h"
+
+namespace soldist {
+namespace {
+
+/// One point query: spread of `seeds`, or marginal gain of `vertex`
+/// given `seeds`.
+struct Query {
+  enum class Kind { kSpread, kGain };
+  Kind kind = Kind::kSpread;
+  std::vector<VertexId> seeds;
+  VertexId vertex = 0;
+};
+
+double RunQuery(const serve::QueryView& view, const Query& query,
+                serve::QueryScratch* scratch) {
+  return query.kind == Query::Kind::kSpread
+             ? view.Spread(query.seeds, scratch)
+             : view.MarginalGain(query.seeds, query.vertex, scratch);
+}
+
+/// The deterministic mixed workload: rotates single-vertex spread (the
+/// O(log capacity) fast path), 4-seed spread, marginal gain against a
+/// 3-seed base, and 8-seed spread.
+std::vector<Query> MakeWorkload(std::uint64_t count, VertexId n,
+                                std::uint64_t seed) {
+  SplitMix64 rng(DeriveSeed(seed, 0xbe9c));
+  auto vertex = [&] { return static_cast<VertexId>(rng.Next() % n); };
+  std::vector<Query> queries(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Query& q = queries[i];
+    switch (i % 4) {
+      case 0:
+        q.seeds = {vertex()};
+        break;
+      case 1:
+        q.seeds = {vertex(), vertex(), vertex(), vertex()};
+        break;
+      case 2:
+        q.kind = Query::Kind::kGain;
+        q.seeds = {vertex(), vertex(), vertex()};
+        q.vertex = vertex();
+        break;
+      default:
+        q.seeds.resize(8);
+        for (VertexId& v : q.seeds) v = vertex();
+        break;
+    }
+  }
+  return queries;
+}
+
+struct RunRecord {
+  int threads = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+int Run(int argc, const char* const* argv) {
+  ArgParser args("bench_query_service",
+                 "Concurrent point-query stress test of the serve/ "
+                 "QueryView (spread + marginal gain) at several thread "
+                 "counts; emits BENCH_query.json. Multi-threaded results "
+                 "are CHECKed identical to the single-threaded "
+                 "reference.");
+  AddExperimentFlags(&args);
+  args.AddString("network", "Physicians", "network to serve");
+  args.AddString("prob", "iwc", "probability setting (uc0.1|owc|iwc|tri)");
+  args.AddInt64("tau", 65536, "RR sets behind the view (2^16 default)");
+  args.AddInt64("queries", 200000, "point queries per thread-count run");
+  args.AddString("threads-list", "1,2,4,8",
+                 "comma-separated querying thread counts; the first is "
+                 "the identity reference (keep it 1)");
+  args.AddInt64("topk", 10, "k for the one timed TopK call (0 = skip)");
+  args.AddString("json-out", "BENCH_query.json",
+                 "write the JSON record here (empty = stdout only)");
+  args.AddString("check-qps", "",
+                 "fail (exit 1) unless single-threaded queries/sec is at "
+                 "least this (e.g. 1e5)");
+  args.AddString("check-p99-us", "",
+                 "fail (exit 1) if single-threaded p99 latency exceeds "
+                 "this many microseconds");
+  int exit_code = 0;
+  ExperimentOptions options;
+  if (ShouldExitAfterParse(&args, argc, argv, &exit_code, &options)) {
+    return exit_code;
+  }
+  StatusOr<ProbabilityModel> prob =
+      ParseProbabilityModel(args.GetString("prob"));
+  if (!prob.ok()) return ExitWithError(prob.status());
+  double check_qps = 0.0, check_p99_us = 0.0;
+  if (!args.GetString("check-qps").empty() &&
+      !ParseDouble(args.GetString("check-qps"), &check_qps)) {
+    return ExitWithError(Status::InvalidArgument(
+        "bad --check-qps value: '" + args.GetString("check-qps") + "'"));
+  }
+  if (!args.GetString("check-p99-us").empty() &&
+      !ParseDouble(args.GetString("check-p99-us"), &check_p99_us)) {
+    return ExitWithError(Status::InvalidArgument(
+        "bad --check-p99-us value: '" + args.GetString("check-p99-us") +
+        "'"));
+  }
+  const auto tau = static_cast<std::uint64_t>(args.GetInt64("tau"));
+  const auto num_queries =
+      static_cast<std::uint64_t>(args.GetInt64("queries"));
+  const int topk = static_cast<int>(args.GetInt64("topk"));
+  std::vector<int> thread_counts;
+  for (const std::string& field :
+       Split(args.GetString("threads-list"), ',')) {
+    std::int64_t value = 0;
+    if (!ParseInt64(std::string(Trim(field)), &value) || value < 1) {
+      return ExitWithError(Status::InvalidArgument(
+          "bad --threads-list entry: '" + std::string(Trim(field)) + "'"));
+    }
+    thread_counts.push_back(static_cast<int>(value));
+  }
+  if (thread_counts.empty() || num_queries == 0) {
+    return ExitWithError(Status::InvalidArgument(
+        "--threads-list and --queries must be non-empty"));
+  }
+
+  PrintBanner("Query service: concurrent spread/gain point queries over "
+              "one immutable word-packed arena",
+              options);
+
+  ExperimentContext context(options);
+  serve::QueryService service(context.session());
+  api::WorkloadSpec workload =
+      context.Workload(args.GetString("network"), prob.value());
+  serve::QuerySpec spec;
+  spec.sample_number = tau;
+  spec.seed = options.seed;
+  spec.sample_threads = options.sample_threads;
+  spec.chunk_size = static_cast<std::uint64_t>(options.chunk_size);
+
+  WallTimer build_timer;
+  StatusOr<serve::QueryView> view_or = service.View(workload, spec);
+  if (!view_or.ok()) return ExitWithError(view_or.status());
+  const double arena_build_seconds = build_timer.Seconds();
+  const serve::QueryView view = view_or.value();
+  const VertexId n = view.num_vertices();
+  std::printf("# arena: n=%u tau=%llu bytes=%llu build=%.3fs\n", n,
+              static_cast<unsigned long long>(tau),
+              static_cast<unsigned long long>(view.arena().MemoryBytes()),
+              arena_build_seconds);
+
+  const std::vector<Query> queries =
+      MakeWorkload(num_queries, n, options.seed);
+
+  std::vector<double> reference;  // run 0's per-query results
+  std::vector<RunRecord> records;
+  std::string runs_json;
+  TextTable table({"threads", "qps", "p50 µs", "p99 µs", "seconds"});
+  for (int threads : thread_counts) {
+    std::vector<double> results(num_queries);
+    std::vector<std::uint64_t> latency_ns(num_queries);
+    auto worker = [&](std::uint64_t begin, std::uint64_t end) {
+      serve::QueryScratch scratch;
+      for (std::uint64_t q = begin; q < end; ++q) {
+        const auto start = std::chrono::steady_clock::now();
+        results[q] = RunQuery(view, queries[q], &scratch);
+        latency_ns[q] = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count());
+      }
+    };
+    WallTimer wall;
+    if (threads == 1) {
+      worker(0, num_queries);
+    } else {
+      std::vector<std::thread> workers;
+      workers.reserve(static_cast<std::size_t>(threads));
+      const std::uint64_t per_thread =
+          (num_queries + threads - 1) / static_cast<std::uint64_t>(threads);
+      for (int t = 0; t < threads; ++t) {
+        const std::uint64_t begin = per_thread * static_cast<std::uint64_t>(t);
+        const std::uint64_t end = std::min(num_queries, begin + per_thread);
+        if (begin >= end) break;
+        workers.emplace_back(worker, begin, end);
+      }
+      for (std::thread& w : workers) w.join();
+    }
+    const double seconds = wall.Seconds();
+
+    if (reference.empty()) {
+      reference = results;
+    } else {
+      // Refusal discipline: no recorded throughput may come from racing
+      // answers. Results are pure integer counts scaled by constants, so
+      // equality is exact.
+      SOLDIST_CHECK(results == reference)
+          << "threads=" << threads
+          << ": concurrent query results differ from the single-threaded "
+             "reference — refusing to record";
+    }
+
+    std::vector<std::uint64_t> sorted = latency_ns;
+    std::sort(sorted.begin(), sorted.end());
+    RunRecord record;
+    record.threads = threads;
+    record.seconds = seconds;
+    record.qps = static_cast<double>(num_queries) / seconds;
+    record.p50_us =
+        static_cast<double>(sorted[sorted.size() / 2]) / 1000.0;
+    record.p99_us =
+        static_cast<double>(sorted[sorted.size() * 99 / 100]) / 1000.0;
+    records.push_back(record);
+    table.AddRow({std::to_string(threads),
+                  WithThousands(static_cast<std::uint64_t>(record.qps)),
+                  FormatDouble(record.p50_us, 2),
+                  FormatDouble(record.p99_us, 2),
+                  FormatDouble(record.seconds, 3)});
+    JsonObject run;
+    run.Int("threads", threads)
+        .Real("seconds", record.seconds)
+        .Real("qps", record.qps)
+        .Real("p50_us", record.p50_us)
+        .Real("p99_us", record.p99_us)
+        .Bool("identical_to_reference", true);
+    if (!runs_json.empty()) runs_json += ",";
+    runs_json += run.ToString();
+  }
+  PrintTable(
+      "mixed point queries (" + WithThousands(num_queries) +
+          " per run: 1/4/8-seed spread + 3-seed marginal gain), answers "
+          "identical across thread counts (CHECKed)",
+      table);
+
+  double topk_seconds = 0.0;
+  std::vector<VertexId> topk_seeds;
+  if (topk > 0) {
+    WallTimer topk_timer;
+    serve::TopKResult result = view.TopK(topk);
+    topk_seconds = topk_timer.Seconds();
+    topk_seeds = result.seeds;
+    std::printf("# topk k=%d covered=%llu spread=%.2f in %.3fs\n", topk,
+                static_cast<unsigned long long>(result.covered),
+                result.spread, topk_seconds);
+  }
+
+  const RunRecord& single = records.front();
+  JsonObject summary;
+  summary.Str("bench", "query_service")
+      .Str("network", args.GetString("network"))
+      .Str("prob", ProbabilityModelName(prob.value()))
+      .Str("model", DiffusionModelName(options.model))
+      .UInt("seed", options.seed)
+      .UInt("tau", tau)
+      .UInt("n", n)
+      .UInt("queries", num_queries)
+      .UInt("arena_bytes", view.arena().MemoryBytes())
+      .Real("arena_build_seconds", arena_build_seconds)
+      .UInt("hardware_concurrency", std::thread::hardware_concurrency())
+      .Real("qps_single_thread", single.qps)
+      .Real("p99_us_single_thread", single.p99_us)
+      .Int("topk_k", topk)
+      .Real("topk_seconds", topk_seconds)
+      .UIntArray("topk_seeds", topk_seeds)
+      .UInt("peak_rss_kb", PeakRssKb())
+      .Raw("runs", "[" + runs_json + "]");
+  const std::string json = summary.ToString();
+  std::printf("%s\n", json.c_str());
+  const std::string json_out = args.GetString("json-out");
+  if (!json_out.empty()) {
+    std::FILE* f = std::fopen(json_out.c_str(), "w");
+    if (f == nullptr) {
+      return ExitWithError(
+          Status::Internal("cannot write --json-out " + json_out));
+    }
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", json_out.c_str());
+  }
+  if (check_qps > 0.0 && single.qps < check_qps) {
+    std::fprintf(stderr,
+                 "FAIL: single-threaded throughput %.0f qps is below the "
+                 "required %.0f\n",
+                 single.qps, check_qps);
+    return 1;
+  }
+  if (check_p99_us > 0.0 && single.p99_us > check_p99_us) {
+    std::fprintf(stderr,
+                 "FAIL: single-threaded p99 latency %.2f µs exceeds the "
+                 "allowed %.2f\n",
+                 single.p99_us, check_p99_us);
+    return 1;
+  }
+  if (check_qps > 0.0 || check_p99_us > 0.0) {
+    std::fprintf(stderr, "latency gates passed: %.0f qps, p99 %.2f µs\n",
+                 single.qps, single.p99_us);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace soldist
+
+int main(int argc, char** argv) { return soldist::Run(argc, argv); }

@@ -54,6 +54,14 @@ struct SessionOptions {
   /// either way (the arena's prefixes ARE the per-spec collections — see
   /// sim/rr_arena.h); the toggle exists so tests can A/B the mechanics.
   bool batch_reuse = true;
+  /// Byte budget for the serving layer's arena cache
+  /// (serve::QueryService): the total RrArena::MemoryBytes the cache
+  /// keeps resident before evicting least-recently-used arenas. Evicted
+  /// arenas are rebuilt on demand, byte-identically — arena content is a
+  /// pure function of its cache key (prefix-closed streams) — so the
+  /// budget trades rebuild latency for memory, never correctness.
+  /// 0 = unlimited.
+  std::uint64_t arena_budget_bytes = 0;
 
   /// Validation for flag-derived options (the struct defaults are valid).
   Status Validate() const;

@@ -10,6 +10,7 @@ api::SessionOptions ExperimentOptions::SessionConfig() const {
   session.oracle_rr = oracle_rr;
   session.threads = threads;
   session.star_n = star_n;
+  session.arena_budget_bytes = arena_budget_bytes;
   return session;
 }
 

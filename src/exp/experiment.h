@@ -53,6 +53,10 @@ struct ExperimentOptions {
   /// sampling (byte-identical to on), legacy keeps the pre-arena
   /// cell-major streams. Only RIS sweeps are affected.
   SweepReuse sweep_reuse = SweepReuse::kOn;
+  /// Byte budget for the serving layer's arena cache (0 = unlimited);
+  /// see api::SessionOptions::arena_budget_bytes. Set by binaries that
+  /// mint a serve::QueryService (e.g. soldist_experiment --query).
+  std::uint64_t arena_budget_bytes = 0;
 
   /// The api::Session configuration these options imply.
   api::SessionOptions SessionConfig() const;

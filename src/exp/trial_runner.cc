@@ -148,17 +148,17 @@ std::vector<TrialResult> RunTrialLadder(const ModelInstance& instance,
     seconds[l].assign(config.trials, 0.0);
   }
 
+  std::vector<double> arena_seconds(config.trials, 0.0);
   auto run_trial = [&](std::uint64_t t) {
     const std::uint64_t trial_master = DeriveSeed(config.master_seed, t);
     const std::uint64_t sample_seed = DeriveSeed(trial_master, 0);
     const std::uint64_t shuffle_master = DeriveSeed(trial_master, 1);
     std::unique_ptr<RrArena> arena;
-    double arena_seconds = 0.0;
     if (config.reuse) {
       WallTimer timer;
       arena = std::make_unique<RrArena>(
           RrArena::SampleFor(instance, sample_seed, capacity, sampling));
-      arena_seconds = timer.Seconds();
+      arena_seconds[t] = timer.Seconds();
       if (t == 0 && config.arena_bytes_out != nullptr) {
         *config.arena_bytes_out = arena->MemoryBytes();
       }
@@ -181,9 +181,9 @@ std::vector<TrialResult> RunTrialLadder(const ModelInstance& instance,
       counters[l][t] = estimator->counters();
       seconds[l][t] = timer.Seconds();
     }
-    // Attribute the one-off arena build to the ladder's largest cell (the
-    // cell whose fresh build it replaces); the prefix cells ride along.
-    seconds[num_cells - 1][t] += arena_seconds;
+    // The arena build is deliberately NOT folded into any cell's seconds:
+    // cell figures are pure serving cost, the one-off build is reported
+    // separately through arena_seconds_out.
   };
 
   if (!sample_parallel && pool != nullptr && pool->num_threads() > 1 &&
@@ -201,6 +201,11 @@ std::vector<TrialResult> RunTrialLadder(const ModelInstance& instance,
       cell.total_counters += counters[l][t];
       cell.seconds += seconds[l][t];
     }
+  }
+  if (config.arena_seconds_out != nullptr) {
+    double total = 0.0;
+    for (double s : arena_seconds) total += s;
+    *config.arena_seconds_out = total;
   }
   return results;
 }

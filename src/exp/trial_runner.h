@@ -133,6 +133,13 @@ struct TrialLadderConfig {
   /// trial arenas differ only in content, not materially in size). Never
   /// affects results.
   std::uint64_t* arena_bytes_out = nullptr;
+  /// Optional observability: when non-null and reuse is on, receives the
+  /// wall-clock seconds of the per-trial arena builds summed over all
+  /// trials. The build is NOT attributed to any cell's `seconds` — cell
+  /// figures are pure serving cost; report the one-off build separately
+  /// (bench_sweep_reuse's arena_build_seconds field). Never affects
+  /// results.
+  double* arena_seconds_out = nullptr;
 };
 
 /// Runs the ladder: for each trial t, every sample number in order, with

@@ -1,0 +1,102 @@
+#include "serve/arena_cache.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace soldist {
+namespace serve {
+
+std::shared_ptr<const RrArena> ArenaCache::GetOrBuild(
+    const std::string& key, std::uint64_t min_capacity,
+    const Builder& build) {
+  SOLDIST_CHECK(min_capacity >= 1);
+  std::shared_ptr<Slot> slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end() && it->second.slot->capacity >= min_capacity) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      slot = it->second.slot;
+    } else {
+      ++builds_;
+      if (it != entries_.end()) {
+        // Capacity upgrade: retire the smaller arena. Views already
+        // handed out keep it alive through their shared_ptr; the cache
+        // only forgets it.
+        if (it->second.accounted && it->second.slot->arena) {
+          resident_bytes_ -= it->second.slot->arena->MemoryBytes();
+        }
+        lru_.erase(it->second.lru_pos);
+        entries_.erase(it);
+      }
+      slot = std::make_shared<Slot>();
+      slot->capacity = min_capacity;
+      lru_.push_front(key);
+      entries_[key] = Entry{slot, lru_.begin(), /*accounted=*/false};
+    }
+  }
+  // Build outside mu_: same-key requests rendezvous on the slot's
+  // once_flag, different keys sample concurrently.
+  std::call_once(slot->once, [&] {
+    slot->arena = std::make_shared<const RrArena>(build(slot->capacity));
+    SOLDIST_CHECK(slot->arena->capacity() >= min_capacity);
+  });
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    // Account bytes exactly once, and only if the slot is still the one
+    // the cache maps — a concurrent upgrade may already have replaced it.
+    if (it != entries_.end() && it->second.slot == slot &&
+        !it->second.accounted) {
+      it->second.accounted = true;
+      resident_bytes_ += slot->arena->MemoryBytes();
+      EvictOverBudgetLocked(key);
+    }
+  }
+  return slot->arena;
+}
+
+void ArenaCache::EvictOverBudgetLocked(const std::string& keep) {
+  if (budget_bytes_ == 0) return;
+  while (resident_bytes_ > budget_bytes_) {
+    // Walk from the LRU tail to the first evictable entry: accounted
+    // (an in-build entry has unknown bytes) and not the one just served.
+    auto victim = lru_.rend();
+    for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
+      if (*rit == keep) continue;
+      auto it = entries_.find(*rit);
+      SOLDIST_DCHECK(it != entries_.end());
+      if (it->second.accounted) {
+        victim = rit;
+        break;
+      }
+    }
+    if (victim == lru_.rend()) return;  // nothing evictable: degrade
+    auto it = entries_.find(*victim);
+    resident_bytes_ -= it->second.slot->arena->MemoryBytes();
+    ++evictions_;
+    lru_.erase(std::next(victim).base());
+    entries_.erase(it);
+  }
+}
+
+ArenaCache::Stats ArenaCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.builds = builds_;
+  stats.evictions = evictions_;
+  stats.resident_bytes = resident_bytes_;
+  stats.budget_bytes = budget_bytes_;
+  std::uint64_t resident = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.accounted) ++resident;
+  }
+  stats.resident_arenas = resident;
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace soldist

@@ -1,0 +1,105 @@
+// Byte-budgeted RR-arena cache: the serving layer's answer to the
+// paper's Section 7 concern that RR-set storage is the binding
+// constraint at scale. The cache keeps at most `budget_bytes` of
+// RrArena::MemoryBytes resident (LRU eviction above it) and rebuilds
+// evicted arenas on demand — a correct trade because arena content is a
+// PURE FUNCTION of its cache key: the prefix-closed sampling streams
+// (sim/rr_arena.h) make a rebuild byte-identical to the evicted
+// original, so eviction costs latency, never answers.
+//
+// Concurrency: slot lookup/insert and byte accounting run under one
+// mutex; the arena build itself runs OUTSIDE it, serialized per key by
+// std::call_once (api::Session's ArenaSlot discipline) — concurrent
+// requests for the same key build once and share, concurrent requests
+// for different keys build in parallel. Returned shared_ptrs keep an
+// arena alive for as long as any view holds it, so eviction never
+// invalidates an in-flight query.
+
+#ifndef SOLDIST_SERVE_ARENA_CACHE_H_
+#define SOLDIST_SERVE_ARENA_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "sim/rr_arena.h"
+
+namespace soldist {
+namespace serve {
+
+/// \brief LRU arena cache with a byte budget and always-admit policy.
+///
+/// Admission always succeeds (the freshly requested arena is never the
+/// eviction victim), so a single arena larger than the whole budget
+/// still serves — the cache degrades to hold-one instead of failing.
+class ArenaCache {
+ public:
+  /// \param budget_bytes total RrArena::MemoryBytes the cache may keep
+  /// resident; 0 = unlimited (never evicts).
+  explicit ArenaCache(std::uint64_t budget_bytes)
+      : budget_bytes_(budget_bytes) {}
+
+  ArenaCache(const ArenaCache&) = delete;
+  ArenaCache& operator=(const ArenaCache&) = delete;
+
+  /// Builds the arena for one key; receives the capacity to sample at.
+  using Builder = std::function<RrArena(std::uint64_t capacity)>;
+
+  /// Returns the cached arena for `key` with capacity >= `min_capacity`,
+  /// invoking `build(capacity)` on a miss. A cached arena with a SMALLER
+  /// capacity is upgraded: it is retired (in-flight views keep it alive)
+  /// and a fresh arena is built at `min_capacity` — byte-identical on
+  /// the shared prefix, so answers never change across the upgrade.
+  std::shared_ptr<const RrArena> GetOrBuild(const std::string& key,
+                                            std::uint64_t min_capacity,
+                                            const Builder& build);
+
+  /// Counters for tests/benches and the CLI's `stats` query.
+  struct Stats {
+    std::uint64_t hits = 0;        ///< served from a resident arena
+    std::uint64_t builds = 0;      ///< arena builds (misses + upgrades)
+    std::uint64_t evictions = 0;   ///< budget-driven LRU removals
+    std::uint64_t resident_arenas = 0;
+    std::uint64_t resident_bytes = 0;
+    std::uint64_t budget_bytes = 0;
+  };
+  Stats stats() const;
+
+ private:
+  /// One cache entry's build state: capacity is fixed at slot creation,
+  /// the arena materializes exactly once via `once`.
+  struct Slot {
+    std::once_flag once;
+    std::shared_ptr<const RrArena> arena;
+    std::uint64_t capacity = 0;
+  };
+
+  struct Entry {
+    std::shared_ptr<Slot> slot;
+    std::list<std::string>::iterator lru_pos;
+    /// Bytes are only known after the build completes; `accounted`
+    /// guards double-counting and marks the entry evictable.
+    bool accounted = false;
+  };
+
+  /// Drops accounted LRU-tail entries (never `keep`) while over budget.
+  void EvictOverBudgetLocked(const std::string& keep);
+
+  const std::uint64_t budget_bytes_;
+  mutable std::mutex mu_;
+  std::list<std::string> lru_;  ///< front = most recently used
+  std::map<std::string, Entry> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t builds_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t resident_bytes_ = 0;
+};
+
+}  // namespace serve
+}  // namespace soldist
+
+#endif  // SOLDIST_SERVE_ARENA_CACHE_H_

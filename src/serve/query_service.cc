@@ -1,0 +1,208 @@
+#include "serve/query_service.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "sim/max_coverage.h"
+#include "util/logging.h"
+
+namespace soldist {
+namespace serve {
+namespace {
+
+/// The scratch behind the convenience overloads: one per querying
+/// thread, reused across queries (the whole point — no allocation on
+/// the hot path after warm-up).
+QueryScratch* LocalScratch() {
+  thread_local QueryScratch scratch;
+  return &scratch;
+}
+
+}  // namespace
+
+Status QuerySpec::Validate() const {
+  if (sample_number < 1) {
+    return Status::InvalidArgument("QuerySpec: sample_number must be >= 1");
+  }
+  if (sample_number > std::uint64_t{std::numeric_limits<std::uint32_t>::max()}) {
+    return Status::InvalidArgument(
+        "QuerySpec: sample_number exceeds the arena's 32-bit set ids");
+  }
+  if (chunk_size < 1) {
+    return Status::InvalidArgument("QuerySpec: chunk_size must be >= 1");
+  }
+  return Status::OK();
+}
+
+QueryView::QueryView(std::shared_ptr<const RrArena> arena,
+                     std::uint64_t count)
+    : arena_(std::move(arena)), count_(count) {
+  SOLDIST_CHECK(arena_ != nullptr);
+  SOLDIST_CHECK(count_ >= 1);
+  SOLDIST_CHECK(count_ <= arena_->capacity())
+      << "view of " << count_ << " sets exceeds arena capacity "
+      << arena_->capacity();
+  full_ = count_ == arena_->capacity();
+}
+
+std::uint64_t QueryView::MarkAndCount(std::span<const VertexId> seeds,
+                                      QueryScratch* scratch) const {
+  std::vector<std::uint64_t>& words = scratch->words_;
+  const std::size_t need = static_cast<std::size_t>((count_ + 63) / 64);
+  if (words.size() < need) words.resize(need, 0);
+  std::uint64_t newly_covered = 0;
+  for (VertexId v : seeds) {
+    SOLDIST_DCHECK(v < num_vertices());
+    // Per-entry bit test on the packed bitmap. The greedy engine's
+    // run-grouped mask+popcount idiom loses here: real inverted lists
+    // run ~1 entry per 64-set word at point-query densities, so the
+    // grouping loop costs more than the popcounts it saves (measured in
+    // bench/micro_kernels.cc, coverage_popcount).
+    for (std::uint32_t id : List(v)) {
+      std::uint64_t& word = words[id >> 6];
+      const std::uint64_t bit = std::uint64_t{1} << (id & 63);
+      newly_covered += static_cast<std::uint64_t>((word & bit) == 0);
+      word |= bit;
+    }
+  }
+  return newly_covered;
+}
+
+void QueryView::ClearMarks(std::span<const VertexId> seeds,
+                           QueryScratch* scratch) const {
+  const std::size_t need = static_cast<std::size_t>((count_ + 63) / 64);
+  std::uint64_t entries = 0;
+  for (VertexId v : seeds) entries += List(v).size();
+  if (entries >= static_cast<std::uint64_t>(need / 8)) {
+    // Dense mark: one contiguous fill of the view-sized bitmap beats
+    // scattered stores (a fill retires many words per cycle).
+    std::fill_n(scratch->words_.begin(), need, std::uint64_t{0});
+    return;
+  }
+  // Sparse mark on a large bitmap (big τ, short lists): re-walk exactly
+  // the words the mark pass wrote instead of wiping the whole bitmap.
+  for (VertexId v : seeds) {
+    for (std::uint32_t id : List(v)) scratch->words_[id >> 6] = 0;
+  }
+}
+
+std::uint64_t QueryView::CoveredCount(std::span<const VertexId> seeds,
+                                      QueryScratch* scratch) const {
+  if (seeds.empty()) return 0;
+  if (seeds.size() == 1) {
+    // The commonest point query needs no bitmap at all: one vertex's
+    // covered count IS its inverted-prefix length.
+    SOLDIST_DCHECK(seeds[0] < num_vertices());
+    return static_cast<std::uint64_t>(List(seeds[0]).size());
+  }
+  const std::uint64_t covered = MarkAndCount(seeds, scratch);
+  ClearMarks(seeds, scratch);
+  return covered;
+}
+
+double QueryView::Spread(std::span<const VertexId> seeds,
+                         QueryScratch* scratch) const {
+  return static_cast<double>(num_vertices()) *
+         static_cast<double>(CoveredCount(seeds, scratch)) /
+         static_cast<double>(count_);
+}
+
+double QueryView::Spread(std::span<const VertexId> seeds) const {
+  return Spread(seeds, LocalScratch());
+}
+
+double QueryView::MarginalGain(std::span<const VertexId> seeds, VertexId v,
+                               QueryScratch* scratch) const {
+  std::uint64_t gain;
+  if (seeds.empty()) {
+    SOLDIST_DCHECK(v < num_vertices());
+    gain = static_cast<std::uint64_t>(List(v).size());
+  } else {
+    SOLDIST_DCHECK(v < num_vertices());
+    MarkAndCount(seeds, scratch);
+    // Count v's not-yet-covered sets read-only — nothing new is marked,
+    // so the clear pass only has to undo `seeds`.
+    gain = 0;
+    for (std::uint32_t id : List(v)) {
+      gain += static_cast<std::uint64_t>(
+          (scratch->words_[id >> 6] >> (id & 63) & 1) == 0);
+    }
+    ClearMarks(seeds, scratch);
+  }
+  return static_cast<double>(num_vertices()) * static_cast<double>(gain) /
+         static_cast<double>(count_);
+}
+
+double QueryView::MarginalGain(std::span<const VertexId> seeds,
+                               VertexId v) const {
+  return MarginalGain(seeds, v, LocalScratch());
+}
+
+TopKResult QueryView::TopK(int k) const {
+  SOLDIST_CHECK(k >= 1);
+  // Selection runs the production bucket-CELF engine over a prefix view
+  // (its ctor seeds the queue from the cut lengths / CoverCounts).
+  MaxCoverageResult mc = GreedyMaxCoverage(arena_->Prefix(count_), k);
+  TopKResult result;
+  result.covered = mc.covered;
+  result.spread = static_cast<double>(num_vertices()) *
+                  static_cast<double>(mc.covered) /
+                  static_cast<double>(count_);
+  result.seeds = std::move(mc.seeds);
+  // Replay the selection on the scratch bitmap to recover the per-seed
+  // marginal estimates greedy observed (RunGreedy's estimates column):
+  // estimate_i = n · (sets newly covered by seed i) / τ.
+  QueryScratch* scratch = LocalScratch();
+  result.estimates.reserve(result.seeds.size());
+  std::uint64_t replayed = 0;
+  for (VertexId seed : result.seeds) {
+    const std::uint64_t gain = MarkAndCount({&seed, 1}, scratch);
+    replayed += gain;
+    result.estimates.push_back(static_cast<double>(num_vertices()) *
+                               static_cast<double>(gain) /
+                               static_cast<double>(count_));
+  }
+  ClearMarks(result.seeds, scratch);
+  SOLDIST_DCHECK(replayed == result.covered);
+  return result;
+}
+
+QueryService::QueryService(api::Session* session)
+    : session_(session), cache_(session->options().arena_budget_bytes) {
+  SOLDIST_CHECK(session_ != nullptr);
+}
+
+StatusOr<QueryView> QueryService::View(const api::WorkloadSpec& workload,
+                                       const QuerySpec& spec) {
+  Status valid = spec.Validate();
+  if (!valid.ok()) return valid;
+  StatusOr<ModelInstance> instance = session_->ResolveWorkload(workload);
+  if (!instance.ok()) return instance.status();
+  SamplingOptions sampling =
+      session_->SamplingFor(spec.sample_threads, spec.chunk_size);
+  // The key is everything that shapes arena CONTENT except its capacity:
+  // workload label (network/prob/model), seed, and the stream family
+  // (legacy sequential vs chunked engine at a chunk size — see
+  // sim/rr_arena.h). Capacity is a lower bound, not an identity, so one
+  // arena at the largest τ seen serves every smaller τ as a prefix.
+  std::string key = workload.Label() + "#seed=" + std::to_string(spec.seed);
+  key += sampling.UseEngine()
+             ? "#engine/" + std::to_string(sampling.chunk_size)
+             : "#seq";
+  const ModelInstance resolved = instance.value();
+  std::shared_ptr<const RrArena> arena = cache_.GetOrBuild(
+      key, spec.sample_number, [&](std::uint64_t capacity) {
+        if (sampling.pool == nullptr) {
+          return RrArena::SampleFor(resolved, spec.seed, capacity, sampling);
+        }
+        // Pool-routed build: respect the pools' single-waiter contract.
+        std::lock_guard<std::mutex> lock(build_mu_);
+        return RrArena::SampleFor(resolved, spec.seed, capacity, sampling);
+      });
+  return QueryView(std::move(arena), spec.sample_number);
+}
+
+}  // namespace serve
+}  // namespace soldist

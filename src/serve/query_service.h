@@ -1,0 +1,190 @@
+// The influence-query service: microsecond point queries over an
+// immutable, word-packed RrArena — the ROADMAP's serving layer.
+//
+// Shape: QueryService (on top of api::Session) resolves a workload to a
+// per-(network, prob, model, seed, stream-family) RrArena held in a
+// byte-budgeted ArenaCache, then hands out immutable QueryViews. A view
+// answers Spread(S), MarginalGain(S, v), and TopK(k) directly from the
+// arena's 32-bit vertex-major inverted index — no re-solve, no locks:
+// every view method is const over shared immutable data, so any number
+// of threads query concurrently (each thread brings its own
+// QueryScratch; the convenience overloads use a thread_local one).
+//
+// The query kernel keeps sim/max_coverage.cc's word-packed covered
+// bitmap (uint64 words, one bit per RR set) but resolves point queries
+// with per-entry bit tests instead of the greedy engine's run-grouped
+// popcount masks: at point-query densities (~1 inverted-list entry per
+// word) the grouping machinery costs more than it amortizes — measured
+// in bench/micro_kernels.cc, whose coverage_popcount kernels also show
+// the packed bitmap beating GreeDIMM's
+// TransposeRRRSets::calculateInfluence shape (per-vertex std::vectors +
+// a byte-per-set marker array) by the layout alone. Clearing is
+// adaptive: small marks are re-walked and zeroed entry by entry, large
+// marks cleared with one contiguous fill — so the scratch never
+// allocates after warm-up and tiny queries never pay a bitmap-sized
+// wipe.
+//
+// Spread estimates follow RIS scaling: Spread(S) = n · |covered(S)| / τ,
+// exactly the estimate a fresh RisEstimator at τ would produce for the
+// same seeds — ctest query_service_test enforces the cross-check, and
+// TopK(k) is byte-identical to GreedyMaxCoverage on a fresh build
+// (prefix-closed streams, sim/rr_arena.h).
+
+#ifndef SOLDIST_SERVE_QUERY_SERVICE_H_
+#define SOLDIST_SERVE_QUERY_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "api/session.h"
+#include "api/spec.h"
+#include "serve/arena_cache.h"
+#include "sim/rr_arena.h"
+#include "util/status.h"
+
+namespace soldist {
+namespace serve {
+
+/// What stands behind a QueryView: RR-set count, sampling seed, and the
+/// sampling route (which selects the stream family — see
+/// Session::SamplingFor). Defaults match the paper-scale τ = 2^16.
+struct QuerySpec {
+  /// RR sets the view answers from (τ). More sets = tighter estimates;
+  /// the arena behind it is cached at the LARGEST τ requested so far and
+  /// smaller τ are served as exact prefixes.
+  std::uint64_t sample_number = std::uint64_t{1} << 16;
+  /// Sampling master seed (the arena content is a pure function of it).
+  std::uint64_t seed = 1;
+  /// Worker count for the arena build (0 = shared pool at full width,
+  /// 1 = sequential legacy streams, N >= 2 = dedicated pool).
+  std::int64_t sample_threads = 1;
+  /// Chunk size of the deterministic engine streams.
+  std::uint64_t chunk_size = 256;
+
+  Status Validate() const;
+};
+
+/// \brief Per-thread query scratch: the covered bitmap, all-zero between
+/// queries (QueryView clears exactly what it marked), so NO query
+/// allocates after warm-up.
+class QueryScratch {
+ public:
+  QueryScratch() = default;
+  QueryScratch(const QueryScratch&) = delete;
+  QueryScratch& operator=(const QueryScratch&) = delete;
+
+ private:
+  friend class QueryView;
+  std::vector<std::uint64_t> words_;  ///< covered bitmap, 1 bit/RR set
+};
+
+/// TopK(k) output: greedy seeds with the per-seed marginal spread
+/// estimates observed at selection time (RunGreedy's estimates column).
+struct TopKResult {
+  std::vector<VertexId> seeds;
+  std::vector<double> estimates;
+  std::uint64_t covered = 0;
+  double spread = 0.0;
+};
+
+/// \brief An immutable point-query view over the first `sample_number`
+/// sets of a shared arena. Copyable (it co-owns the arena); every method
+/// is const and lock-free — concurrency-safe by immutability.
+class QueryView {
+ public:
+  /// Views are normally minted by QueryService::View; the public ctor
+  /// exists for benches/tests that bring their own arena.
+  QueryView(std::shared_ptr<const RrArena> arena, std::uint64_t count);
+
+  /// Empty placeholder (StatusOr's error arm); querying one is a
+  /// programmer error caught by SOLDIST_DCHECK.
+  QueryView() = default;
+
+  VertexId num_vertices() const { return arena_->num_vertices(); }
+  std::uint64_t sample_number() const { return count_; }
+  const RrArena& arena() const { return *arena_; }
+
+  /// RIS spread estimate n · |covered(seeds)| / τ. O(Σ|list(v)| / 64)
+  /// words touched; a single-seed query is O(log capacity) — the covered
+  /// count is just the inverted-prefix length.
+  double Spread(std::span<const VertexId> seeds, QueryScratch* scratch) const;
+  double Spread(std::span<const VertexId> seeds) const;
+
+  /// Marginal spread of adding v to seeds: n · |covered(S∪{v})−covered(S)|
+  /// / τ — the quantity greedy maximizes at each step.
+  double MarginalGain(std::span<const VertexId> seeds, VertexId v,
+                      QueryScratch* scratch) const;
+  double MarginalGain(std::span<const VertexId> seeds, VertexId v) const;
+
+  /// RR sets covered by `seeds` (the un-scaled numerator of Spread).
+  std::uint64_t CoveredCount(std::span<const VertexId> seeds,
+                             QueryScratch* scratch) const;
+
+  /// Greedy top-k seed selection over the view via the bucket-CELF
+  /// word-packed engine (GreedyMaxCoverage), byte-identical to a fresh
+  /// solve at τ. O(view) — reach for it when the ANSWER is a seed set;
+  /// point queries stay on Spread/MarginalGain.
+  TopKResult TopK(int k) const;
+
+ private:
+  /// The lazily cut inverted list of v (satellite: no O(n log capacity)
+  /// RrPrefixView materialization on the point-query path; the
+  /// full-arena case bypasses even the single binary search).
+  std::span<const std::uint32_t> List(VertexId v) const {
+    return full_ ? arena_->InvertedAll(v)
+                 : arena_->InvertedPrefix(v, count_);
+  }
+
+  /// Marks seeds' RR sets in the scratch bitmap, returning how many were
+  /// newly covered. Accumulates across calls until ClearMarks.
+  std::uint64_t MarkAndCount(std::span<const VertexId> seeds,
+                             QueryScratch* scratch) const;
+  /// Restores the all-zero invariant after MarkAndCount(seeds): re-walks
+  /// small mark sets entry by entry, wipes the whole (view-sized) bitmap
+  /// in one fill when the walk would touch a comparable word count.
+  void ClearMarks(std::span<const VertexId> seeds,
+                  QueryScratch* scratch) const;
+
+  std::shared_ptr<const RrArena> arena_;
+  std::uint64_t count_ = 0;
+  bool full_ = false;  ///< count_ == arena capacity: no cut needed
+};
+
+/// \brief The service: Session-resolved workloads → cached arenas →
+/// QueryViews. Thread-safe; see ArenaCache for the eviction contract.
+class QueryService {
+ public:
+  /// The cache budget comes from the session's
+  /// SessionOptions::arena_budget_bytes (0 = unlimited). The session
+  /// must outlive the service.
+  explicit QueryService(api::Session* session);
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Resolves the workload (Status on unknown network / invalid model
+  /// combination — never a CHECK) and returns a view of τ =
+  /// spec.sample_number RR sets. The cache key deliberately EXCLUDES τ:
+  /// prefix-closed streams mean one arena at the largest τ seen serves
+  /// every smaller τ as a byte-identical prefix, so repeat views are
+  /// pure cache hits.
+  StatusOr<QueryView> View(const api::WorkloadSpec& workload,
+                           const QuerySpec& spec = {});
+
+  ArenaCache::Stats cache_stats() const { return cache_.stats(); }
+
+ private:
+  api::Session* session_;
+  ArenaCache cache_;
+  /// Serializes pool-routed arena builds: the session pools have a
+  /// single-waiter contract, so two concurrent engine builds may not
+  /// fan out at once. Sequential (sample_threads == 1) builds skip it.
+  std::mutex build_mu_;
+};
+
+}  // namespace serve
+}  // namespace soldist
+
+#endif  // SOLDIST_SERVE_QUERY_SERVICE_H_

@@ -138,6 +138,16 @@ void RrArena::BuildIndex() {
   }
 }
 
+std::span<const std::uint32_t> RrArena::InvertedPrefix(
+    VertexId v, std::uint64_t count) const {
+  SOLDIST_DCHECK(v < num_vertices_);
+  std::span<const std::uint32_t> all = InvertedAll(v);
+  if (count >= capacity()) return all;
+  const auto bound = static_cast<std::uint32_t>(count);
+  return all.first(static_cast<std::size_t>(
+      std::lower_bound(all.begin(), all.end(), bound) - all.begin()));
+}
+
 TraversalCounters RrArena::PrefixCounters(std::uint64_t count) const {
   SOLDIST_DCHECK(count < cum_counters_.size());
   return cum_counters_[count];
@@ -163,6 +173,14 @@ RrPrefixView::RrPrefixView(const RrArena* arena, std::uint64_t count)
       << arena_->capacity();
   const VertexId n = arena_->num_vertices();
   cut_.resize(n);
+  if (count_ == arena_->capacity()) {
+    // Full-arena view: every inverted list is already entirely in range,
+    // so the cut is its length — no binary searches.
+    for (VertexId v = 0; v < n; ++v) {
+      cut_[v] = static_cast<std::uint32_t>(arena_->InvertedAll(v).size());
+    }
+    return;
+  }
   const auto bound = static_cast<std::uint32_t>(count_);
   for (VertexId v = 0; v < n; ++v) {
     std::span<const std::uint32_t> all = arena_->InvertedAll(v);

@@ -96,6 +96,16 @@ class RrArena {
             index_ids_.data() + index_offsets_[v + 1]};
   }
 
+  /// Lazy-cut inverted list: the ids < `count` of sets containing v,
+  /// resolved with ONE binary search on demand. This is the point-query
+  /// path's alternative to materializing an RrPrefixView, whose
+  /// constructor cuts every vertex up front (O(n log capacity)) — a
+  /// caller that only ever queries a handful of vertices pays
+  /// O(log capacity) per queried vertex instead. `count == capacity()`
+  /// short-circuits to InvertedAll with no search at all.
+  std::span<const std::uint32_t> InvertedPrefix(VertexId v,
+                                                std::uint64_t count) const;
+
   /// Exact traversal/sample counters of the first `count` sets — equal to
   /// the counters a direct build at `count` would have accumulated.
   TraversalCounters PrefixCounters(std::uint64_t count) const;

@@ -1,0 +1,288 @@
+// The serving layer's correctness contract: QueryView point queries are
+// EXACTLY the estimates a fresh RIS build at the same (seed, τ, stream
+// family) produces — Spread/MarginalGain against RisEstimator's
+// Estimate/Update protocol, TopK against GreedyMaxCoverage on a freshly
+// sampled collection — plus the concurrency and cache contracts: a
+// 4-thread mixed-query hammer is byte-identical to the single-threaded
+// reference, and a byte-budgeted cache rebuilds evicted arenas with
+// identical answers (arena content is a pure function of its key).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "api/session.h"
+#include "api/spec.h"
+#include "core/ris.h"
+#include "gen/datasets.h"
+#include "graph/builder.h"
+#include "model/probability.h"
+#include "random/splitmix64.h"
+#include "serve/query_service.h"
+#include "sim/max_coverage.h"
+#include "sim/rr_arena.h"
+
+namespace soldist {
+namespace {
+
+constexpr std::uint64_t kSeed = 17;
+constexpr std::uint64_t kTau = 600;
+
+api::WorkloadSpec KarateUc01() {
+  return api::WorkloadSpec::Dataset("Karate").Probability(
+      ProbabilityModel::kUc01);
+}
+
+serve::QuerySpec SpecAt(std::uint64_t tau) {
+  serve::QuerySpec spec;
+  spec.sample_number = tau;
+  spec.seed = kSeed;
+  return spec;
+}
+
+/// The RR collection a fresh sequential-family RIS build at `tau` draws
+/// (RisEstimator::Build's non-engine streams — what the default
+/// QuerySpec's arena must prefix-match).
+RrCollection DirectCollection(const InfluenceGraph& ig, std::uint64_t tau) {
+  RrCollection collection(ig.num_vertices());
+  RrSampler sampler(&ig);
+  Rng target_rng(DeriveSeed(kSeed, 1));
+  Rng coin_rng(DeriveSeed(kSeed, 2));
+  TraversalCounters counters;
+  std::vector<VertexId> rr_set;
+  for (std::uint64_t i = 0; i < tau; ++i) {
+    sampler.Sample(&target_rng, &coin_rng, &rr_set, &counters);
+    collection.Add(rr_set);
+  }
+  collection.BuildIndex();
+  return collection;
+}
+
+TEST(QueryServiceTest, SpreadMatchesFreshRisEstimator) {
+  api::Session session;
+  serve::QueryService service(&session);
+  auto view = service.View(KarateUc01(), SpecAt(kTau));
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+
+  auto instance = session.ResolveWorkload(KarateUc01());
+  ASSERT_TRUE(instance.ok());
+  RisEstimator estimator(instance.value().ig, kTau, kSeed);
+  estimator.Build();
+  for (VertexId v = 0; v < view.value().num_vertices(); ++v) {
+    const VertexId seeds[] = {v};
+    EXPECT_DOUBLE_EQ(view.value().Spread(seeds), estimator.Estimate(v))
+        << "vertex " << v;
+  }
+}
+
+TEST(QueryServiceTest, MultiSeedSpreadMatchesBruteForceCount) {
+  api::Session session;
+  serve::QueryService service(&session);
+  auto view = service.View(KarateUc01(), SpecAt(kTau));
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  auto instance = session.ResolveWorkload(KarateUc01());
+  ASSERT_TRUE(instance.ok());
+  const InfluenceGraph& ig = *instance.value().ig;
+  RrCollection collection = DirectCollection(ig, kTau);
+
+  SplitMix64 rng(7);
+  serve::QueryScratch scratch;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<VertexId> seeds(1 + trial % 6);
+    for (VertexId& v : seeds) {
+      v = static_cast<VertexId>(rng.Next() % ig.num_vertices());
+    }
+    EXPECT_EQ(view.value().CoveredCount(seeds, &scratch),
+              collection.CountCovered(seeds));
+    EXPECT_DOUBLE_EQ(view.value().Spread(seeds, &scratch),
+                     static_cast<double>(ig.num_vertices()) *
+                         static_cast<double>(collection.CountCovered(seeds)) /
+                         static_cast<double>(kTau));
+  }
+}
+
+TEST(QueryServiceTest, MarginalGainMatchesEstimatorUpdateProtocol) {
+  api::Session session;
+  serve::QueryService service(&session);
+  auto view = service.View(KarateUc01(), SpecAt(kTau));
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  auto instance = session.ResolveWorkload(KarateUc01());
+  ASSERT_TRUE(instance.ok());
+
+  RisEstimator estimator(instance.value().ig, kTau, kSeed);
+  estimator.Build();
+  std::vector<VertexId> committed;
+  for (VertexId next : {VertexId{0}, VertexId{33}, VertexId{5}}) {
+    // Estimate(v) after Update(s in committed) IS the marginal gain of v
+    // on top of `committed` — QueryView must agree for every candidate
+    // (chosen seeds included: their gain is 0 both ways).
+    for (VertexId v = 0; v < view.value().num_vertices(); ++v) {
+      EXPECT_DOUBLE_EQ(view.value().MarginalGain(committed, v),
+                       estimator.Estimate(v))
+          << "|S|=" << committed.size() << " v=" << v;
+    }
+    estimator.Update(next);
+    committed.push_back(next);
+  }
+}
+
+TEST(QueryServiceTest, TopKMatchesFreshGreedyMaxCoverageSolve) {
+  api::Session session;
+  serve::QueryService service(&session);
+  auto view = service.View(KarateUc01(), SpecAt(kTau));
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  auto instance = session.ResolveWorkload(KarateUc01());
+  ASSERT_TRUE(instance.ok());
+  RrCollection collection = DirectCollection(*instance.value().ig, kTau);
+
+  for (int k : {1, 4, 8}) {
+    serve::TopKResult topk = view.value().TopK(k);
+    MaxCoverageResult fresh = GreedyMaxCoverage(collection, k);
+    EXPECT_EQ(topk.seeds, fresh.seeds) << "k=" << k;
+    EXPECT_EQ(topk.covered, fresh.covered) << "k=" << k;
+
+    // The estimates column is the marginal at selection time: replay the
+    // seed order through a fresh estimator's Estimate/Update protocol.
+    RisEstimator estimator(instance.value().ig, kTau, kSeed);
+    estimator.Build();
+    ASSERT_EQ(topk.estimates.size(), topk.seeds.size());
+    for (std::size_t i = 0; i < topk.seeds.size(); ++i) {
+      EXPECT_DOUBLE_EQ(topk.estimates[i], estimator.Estimate(topk.seeds[i]))
+          << "k=" << k << " step " << i;
+      estimator.Update(topk.seeds[i]);
+    }
+  }
+}
+
+TEST(QueryServiceTest, ConcurrentHammerIsIdenticalToSingleThreaded) {
+  api::Session session;
+  serve::QueryService service(&session);
+  auto view_or = service.View(KarateUc01(), SpecAt(kTau));
+  ASSERT_TRUE(view_or.ok()) << view_or.status().ToString();
+  const serve::QueryView view = view_or.value();
+  const VertexId n = view.num_vertices();
+
+  // Deterministic mixed workload: spreads of 1..5 seeds and marginal
+  // gains against 2-seed bases.
+  const std::uint64_t kQueries = 4000;
+  struct Query {
+    bool gain = false;
+    std::vector<VertexId> seeds;
+    VertexId vertex = 0;
+  };
+  std::vector<Query> queries(kQueries);
+  SplitMix64 rng(99);
+  for (Query& q : queries) {
+    q.gain = rng.Next() % 3 == 0;
+    q.seeds.resize(1 + rng.Next() % (q.gain ? 2 : 5));
+    for (VertexId& v : q.seeds) v = static_cast<VertexId>(rng.Next() % n);
+    q.vertex = static_cast<VertexId>(rng.Next() % n);
+  }
+  auto answer = [&](const Query& q, serve::QueryScratch* scratch) {
+    return q.gain ? view.MarginalGain(q.seeds, q.vertex, scratch)
+                  : view.Spread(q.seeds, scratch);
+  };
+
+  std::vector<double> reference(kQueries);
+  serve::QueryScratch scratch;
+  for (std::uint64_t i = 0; i < kQueries; ++i) {
+    reference[i] = answer(queries[i], &scratch);
+  }
+
+  const int kThreads = 4;
+  std::vector<double> concurrent(kQueries);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      serve::QueryScratch local;
+      // Strided assignment: all threads interleave over the whole range.
+      for (std::uint64_t i = static_cast<std::uint64_t>(t); i < kQueries;
+           i += kThreads) {
+        concurrent[i] = answer(queries[i], &local);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(concurrent, reference);
+}
+
+TEST(QueryServiceTest, CacheHitsPrefixesAndCapacityUpgrades) {
+  api::Session session;
+  serve::QueryService service(&session);
+
+  auto small = service.View(KarateUc01(), SpecAt(200));
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(service.cache_stats().builds, 1u);
+
+  // Same τ again: pure hit. Smaller τ: still a hit (prefix serving).
+  ASSERT_TRUE(service.View(KarateUc01(), SpecAt(200)).ok());
+  ASSERT_TRUE(service.View(KarateUc01(), SpecAt(64)).ok());
+  EXPECT_EQ(service.cache_stats().builds, 1u);
+  EXPECT_EQ(service.cache_stats().hits, 2u);
+
+  const VertexId probe[] = {VertexId{0}};
+  const double before = small.value().Spread(probe);
+
+  // Larger τ: capacity upgrade (one rebuild), after which the small τ is
+  // again served as a prefix of the NEW arena with unchanged answers.
+  auto big = service.View(KarateUc01(), SpecAt(500));
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(service.cache_stats().builds, 2u);
+  auto small_again = service.View(KarateUc01(), SpecAt(200));
+  ASSERT_TRUE(small_again.ok());
+  EXPECT_EQ(service.cache_stats().builds, 2u);
+  EXPECT_DOUBLE_EQ(small_again.value().Spread(probe), before);
+  // The pre-upgrade view stays alive and valid through its shared arena.
+  EXPECT_DOUBLE_EQ(small.value().Spread(probe), before);
+}
+
+TEST(QueryServiceTest, CappedCacheEvictsAndRebuildsIdentically) {
+  // A 1-byte budget can hold nothing: every new key evicts the previous
+  // arena (always-admit keeps exactly the most recent one resident).
+  api::SessionOptions options;
+  options.arena_budget_bytes = 1;
+  api::Session session(options);
+  serve::QueryService service(&session);
+
+  api::WorkloadSpec workload_a = KarateUc01();
+  api::WorkloadSpec workload_b =
+      api::WorkloadSpec::Dataset("Karate").Probability(ProbabilityModel::kIwc);
+
+  auto a1 = service.View(workload_a, SpecAt(256));
+  ASSERT_TRUE(a1.ok());
+  const VertexId probe[] = {VertexId{2}};
+  const double a_spread = a1.value().Spread(probe);
+  EXPECT_EQ(service.cache_stats().resident_arenas, 1u);
+
+  auto b = service.View(workload_b, SpecAt(256));
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(service.cache_stats().evictions, 1u);
+  EXPECT_EQ(service.cache_stats().resident_arenas, 1u);
+
+  // The evicted arena must be rebuilt byte-identically on re-request...
+  auto a2 = service.View(workload_a, SpecAt(256));
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(service.cache_stats().builds, 3u);
+  EXPECT_DOUBLE_EQ(a2.value().Spread(probe), a_spread);
+  for (VertexId v = 0; v < a1.value().num_vertices(); ++v) {
+    ASSERT_EQ(a2.value().arena().InvertedAll(v).size(),
+              a1.value().arena().InvertedAll(v).size());
+  }
+  // ...and the evicted view itself stays queryable (shared ownership).
+  EXPECT_DOUBLE_EQ(a1.value().Spread(probe), a_spread);
+}
+
+TEST(QueryServiceTest, InvalidInputIsStatusNotAbort) {
+  api::Session session;
+  serve::QueryService service(&session);
+  EXPECT_FALSE(
+      service.View(api::WorkloadSpec::Dataset("NoSuchNetwork")).ok());
+  serve::QuerySpec zero;
+  zero.sample_number = 0;
+  EXPECT_FALSE(service.View(KarateUc01(), zero).ok());
+}
+
+}  // namespace
+}  // namespace soldist

@@ -222,6 +222,28 @@ TEST(RrArenaTest, PrefixViewMaxCoverageMatchesCollection) {
   }
 }
 
+TEST(RrArenaTest, InvertedPrefixMatchesPrefixViewCut) {
+  // The lazy point-query cut (one binary search on demand) must agree
+  // with the materialized RrPrefixView cut for every vertex and τ,
+  // including the full-capacity fast path (no search at all).
+  InfluenceGraph ig = KarateUc01();
+  RrArena arena = RrArena::SampleIc(ig, 21, 500, Threads(2, 64));
+  for (std::uint64_t tau : {1u, 63u, 257u, 500u}) {
+    RrPrefixView view = arena.Prefix(tau);
+    for (VertexId v = 0; v < arena.num_vertices(); ++v) {
+      std::span<const std::uint32_t> lazy = arena.InvertedPrefix(v, tau);
+      std::span<const std::uint32_t> cut = view.InvertedList(v);
+      ASSERT_EQ(std::vector<std::uint32_t>(lazy.begin(), lazy.end()),
+                std::vector<std::uint32_t>(cut.begin(), cut.end()))
+          << "vertex " << v << " tau " << tau;
+    }
+  }
+  for (VertexId v = 0; v < arena.num_vertices(); ++v) {
+    EXPECT_EQ(arena.InvertedPrefix(v, 1000).size(),
+              arena.InvertedAll(v).size());
+  }
+}
+
 TEST(RrArenaTest, PrefixCapacityIsChecked) {
   InfluenceGraph ig = KarateUc01();
   RrArena arena = RrArena::SampleIc(ig, 1, 8, SamplingOptions{});

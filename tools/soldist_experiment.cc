@@ -24,17 +24,30 @@
 // streams); under --model ic the sequential default (1) is a distinct
 // legacy stream family, so only counts >= 2 are mutually comparable.
 //
+// --query switches the binary into the serving REPL: one arena for the
+// (network, prob, model, seed) workload is built through
+// serve::QueryService at τ = --tau (cache budget --arena-budget-mb),
+// then stdin lines are answered as JSON lines on stdout:
+//   spread v1,v2,...   RIS spread estimate of the seed set
+//   gain v s1,s2,...   marginal gain of v on top of {s1,...} (base opt.)
+//   topk k             greedy top-k seeds with per-seed estimates
+//   stats              arena-cache statistics
+// Bad input is a {"type":"error"} line, never an abort.
+//
 // Usage:
 //   soldist_experiment --network Karate --prob iwc --model lt --k 2
 //                      --sample-threads 4
 //   soldist_experiment --model lt --verify-threads 1,2,4   # determinism
 //   soldist_experiment --json | jq .influence              # JSON records
+//   echo "spread 0,33" | soldist_experiment --query        # point query
 
 #include <cstdio>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
+#include "serve/query_service.h"
 #include "util/cli.h"
 #include "util/csv.h"
 #include "util/json.h"
@@ -227,6 +240,151 @@ StatusOr<std::string> RunExperiment(ExperimentContext* context,
   return serialized;
 }
 
+/// Parses "v1,v2,..." into vertex ids, validating against n. Returns a
+/// Status (user input, never a CHECK).
+Status ParseVertexList(const std::string& text, VertexId n,
+                       std::vector<VertexId>* out) {
+  out->clear();
+  for (const std::string& field : Split(text, ',')) {
+    const std::string trimmed(Trim(field));
+    if (trimmed.empty()) continue;
+    std::int64_t v = 0;
+    if (!ParseInt64(trimmed, &v)) {
+      return Status::InvalidArgument("bad vertex id '" + trimmed + "'");
+    }
+    if (v < 0 || static_cast<VertexId>(v) >= n) {
+      return Status::InvalidArgument(
+          "vertex " + trimmed + " out of range [0, " + std::to_string(n) +
+          ")");
+    }
+    out->push_back(static_cast<VertexId>(v));
+  }
+  return Status::OK();
+}
+
+void PrintErrorLine(const Status& status) {
+  JsonObject err;
+  err.Str("type", "error").Str("error", status.message());
+  std::printf("%s\n", err.ToString().c_str());
+  std::fflush(stdout);
+}
+
+/// The serving REPL behind --query: stdin lines in, JSON lines out.
+/// Every answer comes from one immutable QueryView minted by
+/// serve::QueryService — microsecond point queries, no re-solve.
+int RunQueryRepl(ExperimentContext* context, const HarnessParams& params,
+                 std::uint64_t tau) {
+  const ExperimentOptions& options = context->options();
+  serve::QueryService service(context->session());
+  serve::QuerySpec spec;
+  spec.sample_number = tau;
+  spec.seed = options.seed;
+  spec.sample_threads = options.sample_threads;
+  spec.chunk_size = static_cast<std::uint64_t>(options.chunk_size);
+  StatusOr<serve::QueryView> view = service.View(
+      context->Workload(params.network, params.prob), spec);
+  if (!view.ok()) return ExitWithError(view.status());
+  const VertexId n = view.value().num_vertices();
+
+  JsonObject ready;
+  ready.Str("type", "ready")
+      .Str("network", params.network)
+      .Str("prob", ProbabilityModelName(params.prob))
+      .Str("model", DiffusionModelName(options.model))
+      .UInt("tau", tau)
+      .UInt("n", n)
+      .UInt("arena_bytes", view.value().arena().MemoryBytes());
+  std::printf("%s\n", ready.ToString().c_str());
+  std::fflush(stdout);
+
+  std::vector<VertexId> seeds;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    const std::string input(Trim(line));
+    if (input.empty()) continue;
+    if (input == "quit" || input == "exit") break;
+    const std::size_t space = input.find(' ');
+    const std::string cmd = input.substr(0, space);
+    const std::string rest(
+        space == std::string::npos ? "" : Trim(input.substr(space + 1)));
+    if (cmd == "spread") {
+      Status parsed = ParseVertexList(rest, n, &seeds);
+      if (!parsed.ok()) {
+        PrintErrorLine(parsed);
+        continue;
+      }
+      JsonObject record;
+      record.Str("type", "spread")
+          .UIntArray("seeds", seeds)
+          .Real("spread", view.value().Spread(seeds));
+      std::printf("%s\n", record.ToString().c_str());
+    } else if (cmd == "gain") {
+      // "gain v s1,s2,...": v first, then the (optional) base seed set.
+      const std::size_t gap = rest.find(' ');
+      const std::string vertex_text(
+          Trim(gap == std::string::npos ? rest : rest.substr(0, gap)));
+      std::vector<VertexId> vertex;
+      Status parsed = ParseVertexList(vertex_text, n, &vertex);
+      if (parsed.ok() && vertex.size() != 1) {
+        parsed = Status::InvalidArgument(
+            "usage: gain <vertex> [s1,s2,...]");
+      }
+      if (parsed.ok()) {
+        parsed = ParseVertexList(
+            gap == std::string::npos
+                ? std::string()
+                : std::string(Trim(rest.substr(gap + 1))),
+            n, &seeds);
+      }
+      if (!parsed.ok()) {
+        PrintErrorLine(parsed);
+        continue;
+      }
+      JsonObject record;
+      record.Str("type", "gain")
+          .UInt("vertex", vertex[0])
+          .UIntArray("seeds", seeds)
+          .Real("gain", view.value().MarginalGain(seeds, vertex[0]));
+      std::printf("%s\n", record.ToString().c_str());
+    } else if (cmd == "topk") {
+      std::int64_t k = 0;
+      if (!ParseInt64(rest, &k) || k < 1 ||
+          static_cast<VertexId>(k) > n) {
+        PrintErrorLine(Status::InvalidArgument(
+            "usage: topk <k> with k in [1, " + std::to_string(n) + "]"));
+        continue;
+      }
+      serve::TopKResult top = view.value().TopK(static_cast<int>(k));
+      JsonObject record;
+      record.Str("type", "topk")
+          .Int("k", k)
+          .UIntArray("seeds", top.seeds)
+          .RealArray("estimates", top.estimates)
+          .UInt("covered", top.covered)
+          .Real("spread", top.spread);
+      std::printf("%s\n", record.ToString().c_str());
+    } else if (cmd == "stats") {
+      serve::ArenaCache::Stats stats = service.cache_stats();
+      JsonObject record;
+      record.Str("type", "stats")
+          .UInt("hits", stats.hits)
+          .UInt("builds", stats.builds)
+          .UInt("evictions", stats.evictions)
+          .UInt("resident_arenas", stats.resident_arenas)
+          .UInt("resident_bytes", stats.resident_bytes)
+          .UInt("budget_bytes", stats.budget_bytes);
+      std::printf("%s\n", record.ToString().c_str());
+    } else {
+      PrintErrorLine(Status::InvalidArgument(
+          "unknown command '" + cmd +
+          "' (expected spread | gain | topk | stats | quit)"));
+      continue;
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 int Run(int argc, const char* const* argv) {
   ArgParser args("soldist_experiment",
                  "Run the T-trial solution-distribution methodology for one "
@@ -250,6 +408,15 @@ int Run(int argc, const char* const* argv) {
                  "experiment per value and requires byte-identical seed "
                  "sets and stats (with --model ic, 1 is the legacy stream "
                  "family — include it only for lt)");
+  args.AddBool("query", false,
+               "serving REPL: build one arena for the workload via "
+               "serve::QueryService, answer stdin lines (spread v1,v2,... "
+               "| gain v s1,... | topk k | stats) as JSON lines");
+  args.AddInt64("tau", 65536,
+                "--query: RR sets behind the view (the paper-scale "
+                "default 2^16)");
+  args.AddInt64("arena-budget-mb", 0,
+                "--query: arena-cache byte budget in MiB (0 = unlimited)");
   int exit_code = 0;
   ExperimentOptions options;
   if (ShouldExitAfterParse(&args, argc, argv, &exit_code, &options)) {
@@ -280,6 +447,24 @@ int Run(int argc, const char* const* argv) {
   }
   params.min_exp = static_cast<int>(args.GetInt64("min-exp"));
   params.max_exp = static_cast<int>(args.GetInt64("max-exp"));
+
+  if (args.GetBool("query")) {
+    const std::int64_t tau = args.GetInt64("tau");
+    if (tau < 1) {
+      return ExitWithError(Status::InvalidArgument("--tau must be >= 1"));
+    }
+    const std::int64_t budget_mb = args.GetInt64("arena-budget-mb");
+    if (budget_mb < 0) {
+      return ExitWithError(
+          Status::InvalidArgument("--arena-budget-mb must be >= 0"));
+    }
+    ExperimentOptions query_options = options;
+    query_options.arena_budget_bytes =
+        static_cast<std::uint64_t>(budget_mb) << 20;
+    ExperimentContext query_context(query_options);
+    return RunQueryRepl(&query_context, params,
+                        static_cast<std::uint64_t>(tau));
+  }
 
   if (!params.json) {
     PrintBanner("soldist_experiment: " + params.network + " (" +
