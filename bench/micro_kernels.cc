@@ -23,6 +23,7 @@
 #include "sim/forward_sim.h"
 #include "sim/rr_arena.h"
 #include "sim/rr_sampler.h"
+#include "sim/snapshot_arena.h"
 #include "sim/snapshot_sampler.h"
 
 namespace soldist {
@@ -265,6 +266,103 @@ void BM_CoveragePopcountVectorWalk(benchmark::State& state) {
   state.SetLabel("per-vertex vector walk + byte markers (GreeDIMM shape)");
 }
 BENCHMARK(BM_CoveragePopcountVectorWalk);
+
+// ---- Sampled-world reachability probe: arena-view condensed DAG vs ----
+// ---- per-snapshot BFS re-walk over the raw live-edge CSRs          ----
+//
+// The serving question behind QueryService::SnapshotView's
+// ReachProbability(src, dst): in how many of τ sampled worlds does src
+// reach dst? The arena kernel answers over SCC-condensed DAGs with the
+// reverse-topological prune (same-component O(1) hit, comp(dst) >
+// comp(src) O(1) miss, early-exit DAG BFS otherwise); the baseline
+// re-walks each raw snapshot with a vertex-level BFS — the cost profile
+// a service without condensed worlds would pay. Same sampling streams,
+// same (src, dst) rotation.
+
+constexpr std::uint64_t kWorldReachTau = 256;
+
+const SnapshotArena& WorldReachArena() {
+  static const SnapshotArena* arena = new SnapshotArena(SnapshotArena::Sample(
+      BaDenseIg(ProbabilityModel::kIwc), /*seed=*/17, kWorldReachTau,
+      SamplingOptions()));
+  return *arena;
+}
+
+/// The raw snapshots behind the SAME worlds: legacy sequential stream
+/// from Rng(seed), exactly SnapshotArena::Sample's discipline.
+const std::vector<Snapshot>& WorldReachSnapshots() {
+  static const auto* snaps = [] {
+    auto* s = new std::vector<Snapshot>();
+    SnapshotSampler sampler(&BaDenseIg(ProbabilityModel::kIwc));
+    Rng rng(17);
+    TraversalCounters counters;
+    s->reserve(kWorldReachTau);
+    for (std::uint64_t i = 0; i < kWorldReachTau; ++i) {
+      s->push_back(sampler.Sample(&rng, &counters));
+    }
+    return s;
+  }();
+  return *snaps;
+}
+
+void BM_WorldReachArenaDag(benchmark::State& state) {
+  const SnapshotArena& arena = WorldReachArena();
+  // Non-owning shared_ptr: the static arena outlives the view.
+  serve::SnapshotQueryView view(
+      std::shared_ptr<const SnapshotArena>(&arena,
+                                           [](const SnapshotArena*) {}),
+      arena.capacity());
+  serve::WorldScratch scratch;
+  const VertexId n = arena.num_vertices();
+  VertexId src = 0, dst = n / 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(view.ReachProbability(src, dst, &scratch));
+    src = (src + 1) % n;
+    dst = (dst + 3) % n;
+  }
+  state.SetLabel("condensed-DAG probe over SnapshotArena views");
+}
+BENCHMARK(BM_WorldReachArenaDag);
+
+void BM_WorldReachSnapshotBfs(benchmark::State& state) {
+  const std::vector<Snapshot>& snaps = WorldReachSnapshots();
+  const VertexId n = WorldReachArena().num_vertices();
+  std::vector<std::uint8_t> visited(n, 0);
+  std::vector<VertexId> queue;
+  queue.reserve(n);
+  VertexId src = 0, dst = n / 2;
+  for (auto _ : state) {
+    std::uint64_t hits = 0;
+    for (const Snapshot& snap : snaps) {
+      std::fill(visited.begin(), visited.end(), 0);
+      queue.clear();
+      visited[src] = 1;
+      queue.push_back(src);
+      bool found = src == dst;
+      for (std::size_t head = 0; !found && head < queue.size(); ++head) {
+        const VertexId u = queue[head];
+        for (EdgeId e = snap.out_offsets[u]; e < snap.out_offsets[u + 1];
+             ++e) {
+          const VertexId w = snap.out_targets[e];
+          if (w == dst) {
+            found = true;
+            break;
+          }
+          if (!visited[w]) {
+            visited[w] = 1;
+            queue.push_back(w);
+          }
+        }
+      }
+      hits += found ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(hits);
+    src = (src + 1) % n;
+    dst = (dst + 3) % n;
+  }
+  state.SetLabel("per-snapshot live-edge BFS re-walk");
+}
+BENCHMARK(BM_WorldReachSnapshotBfs);
 
 void BM_Mt19937UnitReal(benchmark::State& state) {
   Rng rng(7);

@@ -1,12 +1,15 @@
 // The sweep-reuse shoot-out (the prefix-arena perf claim, recorded): runs
-// the SAME RIS sample-number ladder — same prefix-closed streams, same
+// the SAME sample-number ladder — same prefix-closed streams, same
 // trials, same oracle — once with --sweep-reuse off (fresh sampling +
-// index per cell, the pre-arena cost profile) and once with on (one RR
+// index per cell, the pre-arena cost profile) and once with on (one
 // arena per trial, every cell a prefix view), and records per-cell
 // seconds, arena bytes, and sampling-work saved as machine-readable JSON
-// (BENCH_sweep.json). Byte-identical seed sets across the two runs are
-// CHECKed cell by cell before anything is recorded, so the artifact can
-// never show a speedup obtained by changing the answer.
+// (BENCH_sweep.json). The fig* configs ladder RIS over an RrArena; the
+// snap-* configs ladder the condensed Snapshot approach over a
+// SnapshotArena of SCC-condensed sampled worlds. Byte-identical seed
+// sets across the two runs are CHECKed cell by cell before anything is
+// recorded, so the artifact can never show a speedup obtained by
+// changing the answer.
 //
 // Ladder shape: the paper's sweeps are powers of two, for which
 // Σ τ ≈ 2·τ_max caps the reuse win at 2x by arithmetic alone. Reuse's
@@ -39,6 +42,9 @@ struct SweepInstance {
   std::string network;
   ProbabilityModel prob;
   int k;
+  /// kRis ladders reuse an RrArena; kSnapshot ladders (forced to
+  /// Mode::kCondensed) reuse a SnapshotArena of condensed worlds.
+  Approach approach = Approach::kRis;
 };
 
 struct CellRecord {
@@ -58,7 +64,10 @@ int Run(int argc, const char* const* argv) {
   args.AddString("configs", "fig2-karate,fig2-physicians,fig5-uc,fig5-owc",
                  "comma-separated instances: fig2-karate (Karate iwc "
                  "k=4), fig2-physicians (Physicians iwc k=1), fig5-uc "
-                 "(ca-GrQc uc0.1 k=1), fig5-owc (ca-GrQc owc k=1)");
+                 "(ca-GrQc uc0.1 k=1), fig5-owc (ca-GrQc owc k=1), "
+                 "snap-karate (Karate iwc k=4, condensed Snapshot "
+                 "ladder), snap-physicians (Physicians iwc k=1, "
+                 "condensed Snapshot ladder)");
   args.AddInt64("min-exp", 0, "smallest ladder exponent");
   args.AddInt64("max-exp", -1,
                 "largest ladder exponent (-1 = the network's RIS grid "
@@ -93,6 +102,10 @@ int Run(int argc, const char* const* argv) {
       {"fig2-physicians", "Physicians", ProbabilityModel::kIwc, 1},
       {"fig5-uc", "ca-GrQc", ProbabilityModel::kUc01, 1},
       {"fig5-owc", "ca-GrQc", ProbabilityModel::kOwc, 1},
+      {"snap-karate", "Karate", ProbabilityModel::kIwc, 4,
+       Approach::kSnapshot},
+      {"snap-physicians", "Physicians", ProbabilityModel::kIwc, 1,
+       Approach::kSnapshot},
   };
   std::vector<SweepInstance> instances;
   for (const std::string& field : Split(args.GetString("configs"), ',')) {
@@ -108,7 +121,7 @@ int Run(int argc, const char* const* argv) {
       return ExitWithError(Status::InvalidArgument(
           "unknown --configs entry '" + name +
           "' (expected fig2-karate | fig2-physicians | fig5-uc | "
-          "fig5-owc)"));
+          "fig5-owc | snap-karate | snap-physicians)"));
     }
   }
   if (instances.empty()) {
@@ -129,11 +142,16 @@ int Run(int argc, const char* const* argv) {
     ModelInstance model = context.Model(inst.network, inst.prob);
     GridCaps caps = ScaledGridCaps(inst.network, options.full);
     int max_exp = static_cast<int>(args.GetInt64("max-exp"));
-    if (max_exp < 0) max_exp = caps.ris_max_exp;
+    if (max_exp < 0) max_exp = caps.MaxExp(inst.approach);
     if (max_exp < min_exp) max_exp = min_exp;
 
     TrialLadderConfig ladder;
-    ladder.approach = Approach::kRis;
+    ladder.approach = inst.approach;
+    // Snapshot ladders reuse through the condensed-world arena: force
+    // the one mode with an arena form (sim/snapshot_arena.h).
+    if (inst.approach == Approach::kSnapshot) {
+      ladder.snapshot_mode = SnapshotEstimator::Mode::kCondensed;
+    }
     for (int e = min_exp; e <= max_exp; ++e) {
       const std::uint64_t tau = 1ULL << e;
       if (ladder.sample_numbers.empty() ||
@@ -188,7 +206,9 @@ int Run(int argc, const char* const* argv) {
           << ": reuse changed the seed sets — refusing to record a bogus "
              "speedup";
       SOLDIST_CHECK(on[l].total_counters.sample_vertices ==
-                    off[l].total_counters.sample_vertices)
+                        off[l].total_counters.sample_vertices &&
+                    on[l].total_counters.sample_edges ==
+                        off[l].total_counters.sample_edges)
           << inst.name << " cell " << l << ": counter attribution differs";
       cells[l].tau = ladder.sample_numbers[l];
       cells[l].seconds_on = on[l].seconds;
@@ -240,6 +260,10 @@ int Run(int argc, const char* const* argv) {
     obj.Str("config", inst.name)
         .Str("network", inst.network)
         .Str("prob", ProbabilityModelName(inst.prob))
+        .Str("approach", ApproachName(inst.approach))
+        .Str("snapshot_mode", inst.approach == Approach::kSnapshot
+                                  ? SnapshotModeName(ladder.snapshot_mode)
+                                  : "")
         .Int("k", inst.k)
         .UInt("trials", ladder.trials)
         .UInt("tau_max", tau_max)

@@ -5,10 +5,10 @@
 #include <memory>
 #include <numeric>
 
-#include "graph/reach_sketch.h"
 #include "graph/traversal.h"
 #include "random/splitmix64.h"
 #include "sim/condensed_snapshot.h"
+#include "sim/snapshot_arena.h"
 
 namespace soldist {
 namespace {
@@ -189,67 +189,34 @@ class FullSnapshotBackend : public SnapshotEstimator::Backend {
   std::vector<VertexId> scratch_;
 };
 
-/// kCondensed: SCC DAGs with incrementally maintained marginal gains.
+/// \brief The condensed incremental-gain engine, shared by the fresh
+/// kCondensed backend (which owns its worlds) and ArenaSnapshotEstimator
+/// (which borrows a SnapshotArena prefix). Init consumes worlds +
+/// precomputed warmth (sim/snapshot_arena.h); Estimate/Update are the
+/// incrementally maintained marginal gains of PR 4, verbatim.
 ///
-/// Exactness argument, component by component:
-///  * Condensation preserves reachability, so r_i(v) = Σ sizes of the
-///    DAG components reachable from comp(v).
-///  * Every set removed by Update is a reachability set — closed under
-///    successors and a union of whole components (reaching one member of
-///    an SCC reaches all of it). Hence "removed" is component-granular
-///    and successor-closed, and a residual walk may skip removed
-///    components without missing live ones (a live component reachable
-///    only through removed ones would itself be removed).
-///  * Gains are cached per (snapshot, component); Update invalidates a
-///    conservative superset of the stale entries — the live DAG
-///    *ancestors* of the newly removed components (precise reverse walk)
-///    or, when the removal is large, every entry of the snapshot (O(1)
-///    generation bump). Invalidation can only cause recomputation, never
-///    change a value.
-///
-/// Layout, tuned for the access pattern (τ up to 2^16 snapshots means
-/// every per-snapshot indirection in Estimate is a cache miss):
-///  * comp_of is TRANSPOSED after Build into one vertex-major array —
-///    Estimate(v) streams its τ component ids sequentially;
-///  * per-component state is one packed 8-byte {value, gen} record in a
-///    single flat array (removed = sentinel generation), so the state
-///    lookup is one cache line, not three.
-class CondensedBackend : public SnapshotEstimator::Backend {
+/// Init is deterministic and counter-free: the warm cache entries and
+/// CELF bound totals are pure functions of the worlds (order-independent
+/// integer sums), so the same worlds + warmth always yield byte-identical
+/// state no matter who owns the worlds or how they were chunked.
+class CondensedGainCore {
  public:
-  CondensedBackend(const InfluenceGraph* ig, std::uint64_t tau,
-                   std::uint64_t seed, const SamplingOptions& sampling,
-                   TraversalCounters* counters)
-      : ig_(ig),
-        tau_(tau),
-        seed_(seed),
-        sampling_(sampling),
-        counters_(counters),
-        visited_(0) {}
+  CondensedGainCore() : visited_(0) {}
 
-  void Build() override {
-    snaps_.reserve(tau_);
-    if (sampling_.UseEngine()) {
-      SamplingEngine engine(sampling_);
-      std::vector<CondensedSnapshotShard> shards =
-          SampleCondensedSnapshotShards(*ig_, seed_, tau_, &engine);
-      for (CondensedSnapshotShard& shard : shards) {
-        *counters_ += shard.counters;
-        for (CondensedSnapshot& snap : shard.snapshots) {
-          snaps_.push_back(std::move(snap));
-        }
-      }
-    } else {
-      // Legacy single-stream path: same snapshot stream as kResidual,
-      // condensed one at a time so the raw CSR never accumulates.
-      Rng rng(seed_);
-      SnapshotSampler sampler(ig_);
-      SnapshotCondenser condenser(ig_->num_vertices());
-      Snapshot scratch;
-      for (std::uint64_t i = 0; i < tau_; ++i) {
-        sampler.SampleInto(&rng, counters_, &scratch);
-        snaps_.push_back(condenser.Condense(scratch));
-      }
-    }
+  /// Sizes the packed state, pre-seeds the gain cache from warmth's
+  /// exact entries, accumulates the per-vertex CELF bound totals, and
+  /// transposes comp_of vertex-major (comp_of_by_vertex_[v·τ + i]) so
+  /// the Estimate/Update hot loops stream their per-vertex component ids
+  /// sequentially instead of taking one cache miss per snapshot. The
+  /// caller may free each world's comp_of afterwards (the fresh backend
+  /// does; an arena keeps them for point queries).
+  void Init(std::span<const CondensedSnapshot> snaps, VertexId n,
+            std::span<const SnapshotWarmth> warmth,
+            TraversalCounters* counters) {
+    SOLDIST_CHECK(warmth.size() == snaps.size());
+    snaps_ = snaps;
+    tau_ = static_cast<std::uint64_t>(snaps.size());
+    counters_ = counters;
     std::uint32_t max_components = 0;
     state_offset_.resize(snaps_.size() + 1);
     for (std::size_t i = 0; i < snaps_.size(); ++i) {
@@ -257,8 +224,8 @@ class CondensedBackend : public SnapshotEstimator::Backend {
       state_offset_[i + 1] = state_offset_[i] + c;
       max_components = std::max(max_components, c);
     }
-    // gen 0 != generation 1: everything starts stale (then the sketch
-    // pass below warms the saturated components).
+    // gen 0 != generation 1: everything starts stale (then the warmth
+    // pass below pre-seeds the saturated components).
     state_.assign(state_offset_.back(), CompState{0, 0});
     generation_.assign(snaps_.size(), 1);
     live_.resize(snaps_.size());
@@ -270,10 +237,32 @@ class CondensedBackend : public SnapshotEstimator::Backend {
     visited_.Resize(max_components);
     queue_.reserve(max_components);
     rqueue_.reserve(max_components);
-    WarmAndTranspose();
+    comp_of_by_vertex_.resize(static_cast<std::uint64_t>(n) * tau_);
+    bound_total_.assign(n, 0);
+    for (std::size_t i = 0; i < snaps_.size(); ++i) {
+      const CondensedSnapshot& snap = snaps_[i];
+      const SnapshotWarmth& w = warmth[i];
+      CompState* state = state_.data() + state_offset_[i];
+      const std::uint32_t num_components = snap.num_components();
+      for (std::uint32_t c = 0; c < num_components; ++c) {
+        if (w.is_exact[c]) {
+          // Exact warmth IS the reachable count: pre-seed the gain
+          // cache so the first greedy iteration is a lookup for the
+          // long small-reach tail.
+          state[c].value = w.bound[c];
+          state[c].gen = 1;  // == the initial generation: warm
+        }
+      }
+      const std::uint32_t* comp_of = snap.comp_of.data();
+      std::uint32_t* transposed = comp_of_by_vertex_.data() + i;
+      for (VertexId v = 0; v < n; ++v) {
+        bound_total_[v] += w.bound[comp_of[v]];
+        transposed[static_cast<std::uint64_t>(v) * tau_] = comp_of[v];
+      }
+    }
   }
 
-  std::uint64_t EstimateTotal(VertexId v) override {
+  std::uint64_t EstimateTotal(VertexId v) {
     std::uint64_t total = 0;
     const std::uint32_t* comps =
         comp_of_by_vertex_.data() + static_cast<std::uint64_t>(v) * tau_;
@@ -290,7 +279,7 @@ class CondensedBackend : public SnapshotEstimator::Backend {
     return total;
   }
 
-  void Update(VertexId v) override {
+  void Update(VertexId v) {
     const std::uint32_t* comps =
         comp_of_by_vertex_.data() + static_cast<std::uint64_t>(v) * tau_;
     for (std::size_t i = 0; i < snaps_.size(); ++i) {
@@ -351,18 +340,17 @@ class CondensedBackend : public SnapshotEstimator::Backend {
     }
   }
 
-  std::uint64_t InitialBoundTotal(VertexId v) override {
+  std::uint64_t InitialBoundTotal(VertexId v) const {
     return bound_total_[v];
   }
 
-  std::uint64_t MemoryBytes() const override {
-    std::uint64_t bytes = VecBytes(bound_total_) + VecBytes(queue_) +
-                          VecBytes(rqueue_) + VecBytes(state_) +
-                          VecBytes(state_offset_) + VecBytes(generation_) +
-                          VecBytes(live_) + VecBytes(comp_of_by_vertex_) +
-                          static_cast<std::uint64_t>(visited_.size()) * 4;
-    for (const CondensedSnapshot& snap : snaps_) bytes += snap.MemoryBytes();
-    return bytes;
+  /// Bookkeeping bytes only — the worlds belong to the caller.
+  std::uint64_t MemoryBytes() const {
+    return VecBytes(bound_total_) + VecBytes(queue_) + VecBytes(rqueue_) +
+           VecBytes(state_) + VecBytes(state_offset_) +
+           VecBytes(generation_) + VecBytes(live_) +
+           VecBytes(comp_of_by_vertex_) +
+           static_cast<std::uint64_t>(visited_.size()) * 4;
   }
 
  private:
@@ -403,125 +391,9 @@ class CondensedBackend : public SnapshotEstimator::Backend {
     return static_cast<std::uint32_t>(total);
   }
 
-  /// The sketch-warm + transpose pass, run once at the end of Build and
-  /// chunked over snapshots through the SAME engine that sampled them
-  /// (sequential when sampling was; chunks touch disjoint snapshots and
-  /// per-slot bound partials merge as order-independent integer sums, so
-  /// the worker count never changes a byte).
-  ///
-  /// Per snapshot, a bottom-k DAG sketch over a random rank PERMUTATION
-  /// — distinct ranks, so a sketch that saturates below k holds the
-  /// EXACT reachable count. That exactness does double duty:
-  ///  * it pre-seeds the gain cache (CompState::value) for every
-  ///    saturated component, so the first greedy iteration — the
-  ///    descendant counting problem this machinery exists for — is a
-  ///    lookup for the long small-reach tail under BOTH drivers;
-  ///  * it makes the per-vertex CELF bounds tight there, with the
-  ///    topologically capped successor-sum for unsaturated components:
-  ///    bound(c) = min(size(c) + Σ bound(succ), Σ_{c' ≤ c} size(c')),
-  ///    both sound because Tarjan descendants carry smaller ids.
-  ///
-  /// The same pass transposes comp_of vertex-major
-  /// (comp_of_by_vertex_[v·τ + i]) so the Estimate/Update hot loops
-  /// stream their per-vertex component ids sequentially instead of
-  /// taking one cache miss per snapshot, then frees the per-snapshot
-  /// copies — a transpose, not a second copy.
-  void WarmAndTranspose() {
-    const VertexId n = ig_->num_vertices();
-    // ONE random permutation of ranks (perm[v]+1)/n shared by all τ
-    // sketches: only rank distinctness matters for exactness, and a
-    // fixed assignment keeps the per-snapshot cost at the merges. (The
-    // stream never touches results either way — caches and bounds hold
-    // exact values and sound bounds for ANY distinct ranks.)
-    Rng rng(DeriveSeed(seed_, tau_ + 1));  // off the sampler chunk streams
-    std::vector<VertexId> perm(n);
-    std::iota(perm.begin(), perm.end(), VertexId{0});
-    std::shuffle(perm.begin(), perm.end(), rng.engine());
-    std::vector<double> ranks(n);
-    std::vector<VertexId> by_rank(n);  // inverse permutation = rank order
-    for (VertexId v = 0; v < n; ++v) {
-      ranks[v] = static_cast<double>(perm[v] + 1) / static_cast<double>(n);
-      by_rank[perm[v]] = v;
-    }
-    comp_of_by_vertex_.resize(static_cast<std::uint64_t>(n) * tau_);
-
-    struct Slot {
-      DagSketcher sketcher;
-      DagSketches sketches;
-      std::vector<std::uint32_t> bound;
-      std::vector<std::uint64_t> bound_partial;
-      Slot(VertexId n, int k) : sketcher(n, k), bound_partial(n, 0) {}
-    };
-    auto warm_range = [&](std::uint64_t begin, std::uint64_t end,
-                          Slot* slot) {
-      for (std::uint64_t i = begin; i < end; ++i) {
-        const CondensedSnapshot& snap = snaps_[i];
-        CompState* state = state_.data() + state_offset_[i];
-        const std::uint32_t num_components = snap.num_components();
-        slot->sketcher.Sketch(snap.comp_of, n, snap.dag, ranks, by_rank,
-                              &slot->sketches);
-        slot->bound.resize(num_components);
-        std::uint64_t prefix = 0;  // Σ size over ids ≤ c ⊇ descendants
-        for (std::uint32_t c = 0; c < num_components; ++c) {
-          prefix += snap.comp_size[c];
-          if (slot->sketches.IsExact(c)) {
-            slot->bound[c] = slot->sketches.len[c];
-            state[c].value = slot->sketches.len[c];
-            state[c].gen = 1;  // == the initial generation: warm
-            continue;
-          }
-          std::uint64_t sum = snap.comp_size[c];
-          for (std::uint32_t succ : snap.dag.Successors(c)) {
-            sum += slot->bound[succ];
-            if (sum >= prefix) break;  // already at the cap
-          }
-          slot->bound[c] = static_cast<std::uint32_t>(std::min(sum, prefix));
-        }
-        const std::uint32_t* comp_of = snap.comp_of.data();
-        std::uint32_t* transposed = comp_of_by_vertex_.data() + i;
-        for (VertexId v = 0; v < n; ++v) {
-          slot->bound_partial[v] += slot->bound[comp_of[v]];
-          transposed[static_cast<std::uint64_t>(v) * tau_] = comp_of[v];
-        }
-        std::vector<std::uint32_t>().swap(snaps_[i].comp_of);
-      }
-    };
-
-    bound_total_.assign(n, 0);
-    if (sampling_.UseEngine()) {
-      SamplingEngine engine(sampling_);
-      std::vector<std::unique_ptr<Slot>> slots(engine.num_workers());
-      engine.Run(/*master_seed=*/0, tau_,
-                 [&](const SamplingEngine::Chunk& chunk, std::size_t idx) {
-        if (slots[idx] == nullptr) {
-          slots[idx] = std::make_unique<Slot>(n, kSketchK);
-        }
-        warm_range(chunk.begin, chunk.end, slots[idx].get());
-      });
-      for (const std::unique_ptr<Slot>& slot : slots) {
-        if (slot == nullptr) continue;
-        for (VertexId v = 0; v < n; ++v) {
-          bound_total_[v] += slot->bound_partial[v];
-        }
-      }
-    } else {
-      Slot slot(n, kSketchK);
-      warm_range(0, tau_, &slot);
-      bound_total_.swap(slot.bound_partial);
-    }
-  }
-
-  /// Sketch width: sketches saturating below k yield EXACT bounds, so k
-  /// trades bound tightness (fewer CELF refreshes) against τ per-sketch
-  /// merge cost. 8 already bounds the long subcritical tail exactly.
-  static constexpr int kSketchK = 8;
-
-  const InfluenceGraph* ig_;
-  std::uint64_t tau_;
-  std::uint64_t seed_;
-  SamplingOptions sampling_;
-  TraversalCounters* counters_;
-  std::vector<CondensedSnapshot> snaps_;
+  std::span<const CondensedSnapshot> snaps_;
+  std::uint64_t tau_ = 0;
+  TraversalCounters* counters_ = nullptr;
   /// comp_of_by_vertex_[v·τ + i] = component of v in snapshot i.
   std::vector<std::uint32_t> comp_of_by_vertex_;
   std::vector<CompState> state_;            // flat, all snapshots
@@ -532,6 +404,106 @@ class CondensedBackend : public SnapshotEstimator::Backend {
   VisitedMarker visited_;                   // component ids, max-C sized
   std::vector<std::uint32_t> queue_;
   std::vector<std::uint32_t> rqueue_;
+};
+
+/// kCondensed: SCC DAGs with incrementally maintained marginal gains.
+///
+/// Exactness argument, component by component:
+///  * Condensation preserves reachability, so r_i(v) = Σ sizes of the
+///    DAG components reachable from comp(v).
+///  * Every set removed by Update is a reachability set — closed under
+///    successors and a union of whole components (reaching one member of
+///    an SCC reaches all of it). Hence "removed" is component-granular
+///    and successor-closed, and a residual walk may skip removed
+///    components without missing live ones (a live component reachable
+///    only through removed ones would itself be removed).
+///  * Gains are cached per (snapshot, component); Update invalidates a
+///    conservative superset of the stale entries — the live DAG
+///    *ancestors* of the newly removed components (precise reverse walk)
+///    or, when the removal is large, every entry of the snapshot (O(1)
+///    generation bump). Invalidation can only cause recomputation, never
+///    change a value.
+///
+/// Layout, tuned for the access pattern (τ up to 2^16 snapshots means
+/// every per-snapshot indirection in Estimate is a cache miss):
+///  * comp_of is TRANSPOSED after Build into one vertex-major array —
+///    Estimate(v) streams its τ component ids sequentially;
+///  * per-component state is one packed 8-byte {value, gen} record in a
+///    single flat array (removed = sentinel generation), so the state
+///    lookup is one cache line, not three.
+class CondensedBackend : public SnapshotEstimator::Backend {
+ public:
+  CondensedBackend(const InfluenceGraph* ig, std::uint64_t tau,
+                   std::uint64_t seed, const SamplingOptions& sampling,
+                   TraversalCounters* counters)
+      : ig_(ig),
+        tau_(tau),
+        seed_(seed),
+        sampling_(sampling),
+        counters_(counters) {}
+
+  void Build() override {
+    snaps_.reserve(tau_);
+    if (sampling_.UseEngine()) {
+      SamplingEngine engine(sampling_);
+      std::vector<CondensedSnapshotShard> shards =
+          SampleCondensedSnapshotShards(*ig_, seed_, tau_, &engine);
+      for (CondensedSnapshotShard& shard : shards) {
+        *counters_ += shard.counters;
+        for (CondensedSnapshot& snap : shard.snapshots) {
+          snaps_.push_back(std::move(snap));
+        }
+      }
+    } else {
+      // Legacy single-stream path: same snapshot stream as kResidual,
+      // condensed one at a time so the raw CSR never accumulates.
+      Rng rng(seed_);
+      SnapshotSampler sampler(ig_);
+      SnapshotCondenser condenser(ig_->num_vertices());
+      Snapshot scratch;
+      for (std::uint64_t i = 0; i < tau_; ++i) {
+        sampler.SampleInto(&rng, counters_, &scratch);
+        snaps_.push_back(condenser.Condense(scratch));
+      }
+    }
+    // Warmth (sketch exact counts + CELF bounds) is a pure function of
+    // each snapshot — the permutation stream below only orders the
+    // sketch internals, never the results — so this matches a
+    // SnapshotArena's precomputed warmth byte for byte.
+    const std::vector<SnapshotWarmth> warmth = ComputeSnapshotWarmth(
+        snaps_, ig_->num_vertices(), DeriveSeed(seed_, tau_ + 1), sampling_);
+    core_.Init(snaps_, ig_->num_vertices(), warmth, counters_);
+    // comp_of now lives transposed inside the core; free the per-snapshot
+    // copies (a transpose, not a second copy).
+    for (CondensedSnapshot& snap : snaps_) {
+      std::vector<std::uint32_t>().swap(snap.comp_of);
+    }
+  }
+
+  std::uint64_t EstimateTotal(VertexId v) override {
+    return core_.EstimateTotal(v);
+  }
+
+  void Update(VertexId v) override { core_.Update(v); }
+
+  std::uint64_t InitialBoundTotal(VertexId v) override {
+    return core_.InitialBoundTotal(v);
+  }
+
+  std::uint64_t MemoryBytes() const override {
+    std::uint64_t bytes = core_.MemoryBytes();
+    for (const CondensedSnapshot& snap : snaps_) bytes += snap.MemoryBytes();
+    return bytes;
+  }
+
+ private:
+  const InfluenceGraph* ig_;
+  std::uint64_t tau_;
+  std::uint64_t seed_;
+  SamplingOptions sampling_;
+  TraversalCounters* counters_;
+  std::vector<CondensedSnapshot> snaps_;
+  CondensedGainCore core_;
 };
 
 }  // namespace
@@ -582,6 +554,57 @@ double SnapshotEstimator::InitialBound(VertexId v) {
 
 std::uint64_t SnapshotEstimator::MemoryBytes() const {
   return backend_ == nullptr ? 0 : backend_->MemoryBytes();
+}
+
+/// Pimpl wrapper: the shared gain core is file-local, so the header only
+/// forward-declares this.
+class ArenaSnapshotEstimator::Core {
+ public:
+  CondensedGainCore gain;
+};
+
+ArenaSnapshotEstimator::ArenaSnapshotEstimator(const SnapshotArena* arena,
+                                               std::uint64_t tau)
+    : arena_(arena), tau_(tau) {
+  SOLDIST_CHECK(arena_ != nullptr);
+  SOLDIST_CHECK(tau_ >= 1);
+  SOLDIST_CHECK(tau_ <= arena_->capacity())
+      << "prefix " << tau_ << " exceeds arena capacity "
+      << arena_->capacity();
+}
+
+ArenaSnapshotEstimator::~ArenaSnapshotEstimator() = default;
+
+void ArenaSnapshotEstimator::Build() {
+  SOLDIST_CHECK(!built_) << "Build() must be called exactly once";
+  built_ = true;
+  // The sampling cost of exactly the first τ worlds — identical to what
+  // a fresh build at τ would have accumulated.
+  counters_ = arena_->PrefixCounters(tau_);
+  core_ = std::make_unique<Core>();
+  core_->gain.Init(arena_->Worlds(tau_), arena_->num_vertices(),
+                   arena_->Warmths(tau_), &counters_);
+}
+
+double ArenaSnapshotEstimator::Estimate(VertexId v) {
+  SOLDIST_CHECK(built_);
+  return static_cast<double>(core_->gain.EstimateTotal(v)) /
+         static_cast<double>(tau_);
+}
+
+void ArenaSnapshotEstimator::Update(VertexId v) {
+  SOLDIST_CHECK(built_);
+  core_->gain.Update(v);
+}
+
+double ArenaSnapshotEstimator::InitialBound(VertexId v) {
+  SOLDIST_CHECK(built_);
+  return static_cast<double>(core_->gain.InitialBoundTotal(v)) /
+         static_cast<double>(tau_);
+}
+
+std::uint64_t ArenaSnapshotEstimator::MemoryBytes() const {
+  return core_ == nullptr ? 0 : core_->gain.MemoryBytes();
 }
 
 std::string SnapshotModeName(SnapshotEstimator::Mode mode) {

@@ -105,6 +105,49 @@ class SnapshotEstimator : public InfluenceEstimator {
   bool built_ = false;
 };
 
+class SnapshotArena;
+
+/// \brief The Snapshot estimator served zero-copy from a SnapshotArena
+/// prefix (sim/snapshot_arena.h) instead of sampling its own worlds.
+///
+/// Byte-identical contract: for an arena sampled with (ig, seed,
+/// capacity, sampling), ArenaSnapshotEstimator(arena, τ) with τ <=
+/// capacity produces the same Estimate/Update/InitialBound sequence —
+/// and the same counters() — as a fresh condensed
+/// SnapshotEstimator(ig, τ, seed, Mode::kCondensed, sampling), because
+/// the streams are prefix-closed and the precomputed warmth is a pure
+/// function of each world (ctest snapshot_arena_test). Build costs one
+/// warm-state init over the first τ worlds; sampling cost is charged to
+/// counters() via the arena's prefix counter table.
+class ArenaSnapshotEstimator : public InfluenceEstimator {
+ public:
+  ArenaSnapshotEstimator(const SnapshotArena* arena, std::uint64_t tau);
+  ~ArenaSnapshotEstimator() override;
+
+  void Build() override;
+  double Estimate(VertexId v) override;
+  void Update(VertexId v) override;
+  bool EstimatesAreMarginal() const override { return true; }
+  bool ProvidesInitialBounds() const override { return true; }
+  double InitialBound(VertexId v) override;
+  std::uint64_t sample_number() const override { return tau_; }
+  const TraversalCounters& counters() const override { return counters_; }
+  std::string name() const override { return "Snapshot"; }
+
+  /// Heap bytes of estimator-owned residual bookkeeping (the worlds
+  /// belong to the arena and are not counted here).
+  std::uint64_t MemoryBytes() const;
+
+ private:
+  class Core;  // wraps the shared condensed gain core (snapshot.cc)
+
+  const SnapshotArena* arena_;
+  std::uint64_t tau_;
+  std::unique_ptr<Core> core_;
+  TraversalCounters counters_;
+  bool built_ = false;
+};
+
 /// Canonical display name: "naive" / "residual" / "condensed".
 std::string SnapshotModeName(SnapshotEstimator::Mode mode);
 

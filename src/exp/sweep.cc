@@ -31,11 +31,13 @@ std::vector<SweepCell> RunSweep(const ModelInstance& instance,
   std::vector<SweepCell> cells;
   cells.reserve(config.max_exponent - config.min_exponent + 1);
 
-  // The RIS ladder path: one trial-major run over all exponents (and,
-  // with reuse on, one RR arena per trial serving every exponent as a
-  // prefix view) instead of an independent RunTrials per cell.
+  // The ladder path (RIS and Snapshot): one trial-major run over all
+  // exponents (and, with reuse on, one arena per trial — RrArena for
+  // RIS, SnapshotArena for Snapshot — serving every exponent as a
+  // prefix) instead of an independent RunTrials per cell.
   if (config.reuse != SweepReuse::kLegacy &&
-      config.approach == Approach::kRis) {
+      (config.approach == Approach::kRis ||
+       config.approach == Approach::kSnapshot)) {
     TrialLadderConfig ladder;
     ladder.approach = config.approach;
     for (int exp = config.min_exponent; exp <= config.max_exponent; ++exp) {
@@ -46,7 +48,15 @@ std::vector<SweepCell> RunSweep(const ModelInstance& instance,
     ladder.master_seed = config.master_seed;
     ladder.snapshot_mode = config.snapshot_mode;
     ladder.sampling = config.sampling;
-    ladder.reuse = config.reuse == SweepReuse::kOn;
+    // Snapshot arenas exist only for IC condensed worlds; other snapshot
+    // configurations gracefully run the same trial-major streams with
+    // fresh per-cell sampling (kOff mechanics, byte-identical to kOn
+    // where both exist) rather than aborting.
+    const bool reusable =
+        config.approach == Approach::kRis ||
+        (instance.model == DiffusionModel::kIc &&
+         config.snapshot_mode == SnapshotEstimator::Mode::kCondensed);
+    ladder.reuse = config.reuse == SweepReuse::kOn && reusable;
     std::vector<TrialResult> results =
         RunTrialLadder(instance, ladder, pool);
     for (std::size_t l = 0; l < results.size(); ++l) {

@@ -23,13 +23,15 @@ struct SweepConfig {
   SnapshotEstimator::Mode snapshot_mode = SnapshotEstimator::Mode::kResidual;
   /// Sample-level parallelism, forwarded to every cell's TrialConfig.
   SamplingOptions sampling;
-  /// RIS ladder policy (exp/trial_runner.h): kOn serves every RIS cell of
-  /// a trial as a prefix view of one per-trial RR arena, kOff runs the
-  /// same prefix-closed streams with fresh per-cell sampling
-  /// (byte-identical to kOn), kLegacy keeps the pre-arena cell-major
-  /// streams. Non-RIS approaches have no reusable sample collection and
-  /// always run kLegacy regardless of this field. The struct default
-  /// stays kLegacy so existing callers are byte-stable; the benches wire
+  /// Ladder policy (exp/trial_runner.h) for RIS and Snapshot sweeps: kOn
+  /// serves every cell of a trial as a prefix of one per-trial arena
+  /// (RrArena for RIS, SnapshotArena for IC condensed-mode Snapshot),
+  /// kOff runs the same trial-major prefix-closed streams with fresh
+  /// per-cell sampling (byte-identical to kOn), kLegacy keeps the
+  /// pre-arena cell-major streams. Snapshot configurations without an
+  /// arena form (LT, naive/residual modes) downgrade kOn to kOff
+  /// mechanics; Oneshot always runs kLegacy. The struct default stays
+  /// kLegacy so existing callers are byte-stable; the benches wire
   /// --sweep-reuse (default on) through it.
   SweepReuse reuse = SweepReuse::kLegacy;
 };

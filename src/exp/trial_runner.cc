@@ -7,6 +7,7 @@
 #include "core/greedy.h"
 #include "random/splitmix64.h"
 #include "sim/rr_arena.h"
+#include "sim/snapshot_arena.h"
 #include "util/timer.h"
 
 namespace soldist {
@@ -118,8 +119,12 @@ std::vector<TrialResult> RunTrialLadder(const ModelInstance& instance,
                   config.sample_numbers[l] > config.sample_numbers[l - 1])
         << "ladder sample numbers must be strictly ascending";
   }
-  SOLDIST_CHECK(!config.reuse || config.approach == Approach::kRis)
-      << "arena reuse only exists for RIS (RR-set collections)";
+  SOLDIST_CHECK(!config.reuse || config.approach == Approach::kRis ||
+                (config.approach == Approach::kSnapshot &&
+                 config.snapshot_mode == SnapshotEstimator::Mode::kCondensed &&
+                 instance.model == DiffusionModel::kIc))
+      << "arena reuse exists for RIS (RR-set collections) and IC "
+         "condensed-mode Snapshot (condensed sampled worlds)";
 
   const std::size_t num_cells = config.sample_numbers.size();
   const std::uint64_t capacity = config.sample_numbers.back();
@@ -153,22 +158,33 @@ std::vector<TrialResult> RunTrialLadder(const ModelInstance& instance,
     const std::uint64_t trial_master = DeriveSeed(config.master_seed, t);
     const std::uint64_t sample_seed = DeriveSeed(trial_master, 0);
     const std::uint64_t shuffle_master = DeriveSeed(trial_master, 1);
-    std::unique_ptr<RrArena> arena;
+    std::unique_ptr<RrArena> rr_arena;
+    std::unique_ptr<SnapshotArena> snap_arena;
     if (config.reuse) {
       WallTimer timer;
-      arena = std::make_unique<RrArena>(
-          RrArena::SampleFor(instance, sample_seed, capacity, sampling));
+      if (config.approach == Approach::kRis) {
+        rr_arena = std::make_unique<RrArena>(
+            RrArena::SampleFor(instance, sample_seed, capacity, sampling));
+      } else {
+        snap_arena = std::make_unique<SnapshotArena>(SnapshotArena::Sample(
+            *instance.ig, sample_seed, capacity, sampling));
+      }
       arena_seconds[t] = timer.Seconds();
       if (t == 0 && config.arena_bytes_out != nullptr) {
-        *config.arena_bytes_out = arena->MemoryBytes();
+        *config.arena_bytes_out = rr_arena != nullptr
+                                      ? rr_arena->MemoryBytes()
+                                      : snap_arena->MemoryBytes();
       }
     }
     for (std::size_t l = 0; l < num_cells; ++l) {
       const std::uint64_t tau = config.sample_numbers[l];
       WallTimer timer;
       std::unique_ptr<InfluenceEstimator> estimator;
-      if (arena != nullptr) {
-        estimator = std::make_unique<ArenaRisEstimator>(arena.get(), tau);
+      if (rr_arena != nullptr) {
+        estimator = std::make_unique<ArenaRisEstimator>(rr_arena.get(), tau);
+      } else if (snap_arena != nullptr) {
+        estimator =
+            std::make_unique<ArenaSnapshotEstimator>(snap_arena.get(), tau);
       } else {
         estimator =
             MakeEstimator(instance, config.approach, tau, sample_seed,

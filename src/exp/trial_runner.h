@@ -124,9 +124,12 @@ struct TrialLadderConfig {
   std::uint64_t master_seed = 1;
   SnapshotEstimator::Mode snapshot_mode = SnapshotEstimator::Mode::kResidual;
   SamplingOptions sampling;
-  /// Serve cells from a per-trial RrArena (kOn mechanics). Requires
-  /// approach == kRis — the only approach whose samples are a reusable
-  /// collection. false = kOff mechanics (same streams, fresh sampling).
+  /// Serve cells from a per-trial arena (kOn mechanics): an RrArena for
+  /// kRis, a SnapshotArena for kSnapshot (which requires IC +
+  /// Mode::kCondensed — the arena stores condensed worlds with
+  /// precomputed warmth, so only the condensed backend can consume it
+  /// byte-identically). false = kOff mechanics (same trial-major streams,
+  /// fresh per-cell sampling).
   bool reuse = true;
   /// Optional observability: when non-null and reuse is on, trial 0
   /// writes its arena's MemoryBytes here (one representative figure —

@@ -7,9 +7,9 @@
 namespace soldist {
 namespace serve {
 
-std::shared_ptr<const RrArena> ArenaCache::GetOrBuild(
-    const std::string& key, std::uint64_t min_capacity,
-    const Builder& build) {
+ArenaCache::ArenaPtr ArenaCache::GetOrBuild(const std::string& key,
+                                            std::uint64_t min_capacity,
+                                            const Builder& build) {
   SOLDIST_CHECK(min_capacity >= 1);
   std::shared_ptr<Slot> slot;
   {
@@ -40,7 +40,8 @@ std::shared_ptr<const RrArena> ArenaCache::GetOrBuild(
   // Build outside mu_: same-key requests rendezvous on the slot's
   // once_flag, different keys sample concurrently.
   std::call_once(slot->once, [&] {
-    slot->arena = std::make_shared<const RrArena>(build(slot->capacity));
+    slot->arena = build(slot->capacity);
+    SOLDIST_CHECK(slot->arena != nullptr);
     SOLDIST_CHECK(slot->arena->capacity() >= min_capacity);
   });
   {

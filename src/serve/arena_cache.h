@@ -1,10 +1,12 @@
-// Byte-budgeted RR-arena cache: the serving layer's answer to the
-// paper's Section 7 concern that RR-set storage is the binding
+// Byte-budgeted world-arena cache: the serving layer's answer to the
+// paper's Section 7 concern that sample storage is the binding
 // constraint at scale. The cache keeps at most `budget_bytes` of
-// RrArena::MemoryBytes resident (LRU eviction above it) and rebuilds
-// evicted arenas on demand — a correct trade because arena content is a
-// PURE FUNCTION of its cache key: the prefix-closed sampling streams
-// (sim/rr_arena.h) make a rebuild byte-identical to the evicted
+// WorldArena::MemoryBytes resident (LRU eviction above it) — RR-set
+// arenas and condensed-snapshot arenas share the one budget, keyed by
+// strings that carry the arena kind — and rebuilds evicted arenas on
+// demand: a correct trade because arena content is a PURE FUNCTION of
+// its cache key: the prefix-closed sampling streams (sim/rr_arena.h,
+// sim/snapshot_arena.h) make a rebuild byte-identical to the evicted
 // original, so eviction costs latency, never answers.
 //
 // Concurrency: slot lookup/insert and byte accounting run under one
@@ -26,7 +28,7 @@
 #include <mutex>
 #include <string>
 
-#include "sim/rr_arena.h"
+#include "sim/world_arena.h"
 
 namespace soldist {
 namespace serve {
@@ -36,27 +38,35 @@ namespace serve {
 /// Admission always succeeds (the freshly requested arena is never the
 /// eviction victim), so a single arena larger than the whole budget
 /// still serves — the cache degrades to hold-one instead of failing.
+///
+/// The cache stores arenas through the WorldArena base: the KEY decides
+/// what concrete arena a builder produces (QueryService prefixes every
+/// key with ArenaKindName), so a caller that minted a key knows the
+/// concrete type behind it and may static-cast the returned pointer.
 class ArenaCache {
  public:
-  /// \param budget_bytes total RrArena::MemoryBytes the cache may keep
-  /// resident; 0 = unlimited (never evicts).
+  /// \param budget_bytes total WorldArena::MemoryBytes the cache may
+  /// keep resident; 0 = unlimited (never evicts).
   explicit ArenaCache(std::uint64_t budget_bytes)
       : budget_bytes_(budget_bytes) {}
 
   ArenaCache(const ArenaCache&) = delete;
   ArenaCache& operator=(const ArenaCache&) = delete;
 
+  /// A cached arena, co-owned by every view minted from it.
+  using ArenaPtr = std::shared_ptr<const WorldArena>;
+
   /// Builds the arena for one key; receives the capacity to sample at.
-  using Builder = std::function<RrArena(std::uint64_t capacity)>;
+  /// Must return non-null with capacity() >= the requested capacity.
+  using Builder = std::function<ArenaPtr(std::uint64_t capacity)>;
 
   /// Returns the cached arena for `key` with capacity >= `min_capacity`,
   /// invoking `build(capacity)` on a miss. A cached arena with a SMALLER
   /// capacity is upgraded: it is retired (in-flight views keep it alive)
   /// and a fresh arena is built at `min_capacity` — byte-identical on
   /// the shared prefix, so answers never change across the upgrade.
-  std::shared_ptr<const RrArena> GetOrBuild(const std::string& key,
-                                            std::uint64_t min_capacity,
-                                            const Builder& build);
+  ArenaPtr GetOrBuild(const std::string& key, std::uint64_t min_capacity,
+                      const Builder& build);
 
   /// Counters for tests/benches and the CLI's `stats` query.
   struct Stats {
@@ -74,7 +84,7 @@ class ArenaCache {
   /// the arena materializes exactly once via `once`.
   struct Slot {
     std::once_flag once;
-    std::shared_ptr<const RrArena> arena;
+    ArenaPtr arena;
     std::uint64_t capacity = 0;
   };
 

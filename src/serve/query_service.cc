@@ -5,6 +5,9 @@
 #include <string>
 #include <utility>
 
+#include "core/greedy.h"
+#include "core/snapshot.h"
+#include "random/rng.h"
 #include "sim/max_coverage.h"
 #include "util/logging.h"
 
@@ -17,6 +20,11 @@ namespace {
 /// the hot path after warm-up).
 QueryScratch* LocalScratch() {
   thread_local QueryScratch scratch;
+  return &scratch;
+}
+
+WorldScratch* LocalWorldScratch() {
+  thread_local WorldScratch scratch;
   return &scratch;
 }
 
@@ -169,6 +177,157 @@ TopKResult QueryView::TopK(int k) const {
   return result;
 }
 
+SnapshotQueryView::SnapshotQueryView(
+    std::shared_ptr<const SnapshotArena> arena, std::uint64_t count)
+    : arena_(std::move(arena)), count_(count) {
+  SOLDIST_CHECK(arena_ != nullptr);
+  SOLDIST_CHECK(count_ >= 1);
+  SOLDIST_CHECK(count_ <= arena_->capacity())
+      << "view of " << count_ << " worlds exceeds arena capacity "
+      << arena_->capacity();
+}
+
+std::uint64_t SnapshotQueryView::ReachedInWorld(
+    std::uint64_t i, std::span<const VertexId> seeds,
+    WorldScratch* scratch) const {
+  const CondensedSnapshot& world = arena_->World(i);
+  std::uint64_t reached = 0;
+  // Process only what THIS walk enqueues: a caller that re-walks under
+  // the same generation (MarginalGain) extends the frontier from here.
+  std::size_t head = scratch->queue_.size();
+  for (VertexId s : seeds) {
+    SOLDIST_DCHECK(s < num_vertices());
+    const std::uint32_t c = world.comp_of[s];
+    if (scratch->Visit(c)) {
+      scratch->queue_.push_back(c);
+      reached += world.comp_size[c];
+    }
+  }
+  while (head < scratch->queue_.size()) {
+    const std::uint32_t c = scratch->queue_[head++];
+    for (std::uint32_t succ : world.dag.Successors(c)) {
+      if (scratch->Visit(succ)) {
+        scratch->queue_.push_back(succ);
+        reached += world.comp_size[succ];
+      }
+    }
+  }
+  return reached;
+}
+
+double SnapshotQueryView::Spread(std::span<const VertexId> seeds,
+                                 WorldScratch* scratch) const {
+  if (seeds.empty()) return 0.0;
+  std::uint64_t total = 0;
+  for (std::uint64_t i = 0; i < count_; ++i) {
+    scratch->NextVisit(arena_->max_components());
+    total += ReachedInWorld(i, seeds, scratch);
+  }
+  return static_cast<double>(total) / static_cast<double>(count_);
+}
+
+double SnapshotQueryView::Spread(std::span<const VertexId> seeds) const {
+  return Spread(seeds, LocalWorldScratch());
+}
+
+double SnapshotQueryView::MarginalGain(std::span<const VertexId> seeds,
+                                       VertexId v,
+                                       WorldScratch* scratch) const {
+  SOLDIST_DCHECK(v < num_vertices());
+  std::uint64_t gain = 0;
+  for (std::uint64_t i = 0; i < count_; ++i) {
+    scratch->NextVisit(arena_->max_components());
+    // Mark S's reachable components, then count only what v adds — the
+    // second walk runs under the SAME generation, so already-reached
+    // components contribute nothing.
+    ReachedInWorld(i, seeds, scratch);
+    gain += ReachedInWorld(i, {&v, 1}, scratch);
+  }
+  return static_cast<double>(gain) / static_cast<double>(count_);
+}
+
+double SnapshotQueryView::MarginalGain(std::span<const VertexId> seeds,
+                                       VertexId v) const {
+  return MarginalGain(seeds, v, LocalWorldScratch());
+}
+
+double SnapshotQueryView::ExpectedReach(VertexId v,
+                                        WorldScratch* scratch) const {
+  return Spread({&v, 1}, scratch);
+}
+
+double SnapshotQueryView::ExpectedReach(VertexId v) const {
+  return ExpectedReach(v, LocalWorldScratch());
+}
+
+double SnapshotQueryView::ReachProbability(VertexId src, VertexId dst,
+                                           WorldScratch* scratch) const {
+  SOLDIST_DCHECK(src < num_vertices());
+  SOLDIST_DCHECK(dst < num_vertices());
+  std::uint64_t hits = 0;
+  for (std::uint64_t i = 0; i < count_; ++i) {
+    const CondensedSnapshot& world = arena_->World(i);
+    const std::uint32_t cs = world.comp_of[src];
+    const std::uint32_t cd = world.comp_of[dst];
+    if (cs == cd) {
+      ++hits;
+      continue;
+    }
+    // Tarjan numbering is reverse-topological: ids strictly DECREASE
+    // along every DAG path, so cd > cs is unreachable without a walk,
+    // and any intermediate component on a cs→cd path lies in (cd, cs] —
+    // successors below cd are dead ends and are never enqueued.
+    if (cd > cs) continue;
+    scratch->NextVisit(arena_->max_components());
+    scratch->Visit(cs);
+    scratch->queue_.push_back(cs);
+    std::size_t head = 0;
+    bool found = false;
+    while (!found && head < scratch->queue_.size()) {
+      const std::uint32_t c = scratch->queue_[head++];
+      for (std::uint32_t succ : world.dag.Successors(c)) {
+        if (succ == cd) {
+          found = true;
+          break;
+        }
+        if (succ < cd) continue;
+        if (scratch->Visit(succ)) scratch->queue_.push_back(succ);
+      }
+    }
+    if (found) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(count_);
+}
+
+double SnapshotQueryView::ReachProbability(VertexId src, VertexId dst) const {
+  return ReachProbability(src, dst, LocalWorldScratch());
+}
+
+TopKResult SnapshotQueryView::TopK(int k, std::uint64_t tie_seed) const {
+  SOLDIST_CHECK(k >= 1);
+  // A fresh arena estimator + the production greedy loop: byte-identical
+  // seed sets to a fresh condensed SnapshotEstimator solve at τ with the
+  // same tie seed (the estimator serves warm state from the arena).
+  ArenaSnapshotEstimator estimator(arena_.get(), count_);
+  Rng tie_rng(tie_seed);
+  GreedyRunResult run =
+      RunGreedy(&estimator, num_vertices(), k, &tie_rng);
+  TopKResult result;
+  result.seeds = std::move(run.seeds);
+  result.estimates = std::move(run.estimates);
+  // The un-scaled numerator Σ_i |R_i(S)| and the scaled spread.
+  WorldScratch* scratch = LocalWorldScratch();
+  std::uint64_t covered = 0;
+  for (std::uint64_t i = 0; i < count_; ++i) {
+    scratch->NextVisit(arena_->max_components());
+    covered += ReachedInWorld(i, result.seeds, scratch);
+  }
+  result.covered = covered;
+  result.spread =
+      static_cast<double>(covered) / static_cast<double>(count_);
+  return result;
+}
+
 QueryService::QueryService(api::Session* session)
     : session_(session), cache_(session->options().arena_budget_bytes) {
   SOLDIST_CHECK(session_ != nullptr);
@@ -183,25 +342,71 @@ StatusOr<QueryView> QueryService::View(const api::WorkloadSpec& workload,
   SamplingOptions sampling =
       session_->SamplingFor(spec.sample_threads, spec.chunk_size);
   // The key is everything that shapes arena CONTENT except its capacity:
-  // workload label (network/prob/model), seed, and the stream family
-  // (legacy sequential vs chunked engine at a chunk size — see
+  // arena KIND (the shared cache holds RR-set and snapshot arenas side
+  // by side), workload label (network/prob/model), seed, and the stream
+  // family (legacy sequential vs chunked engine at a chunk size — see
   // sim/rr_arena.h). Capacity is a lower bound, not an identity, so one
   // arena at the largest τ seen serves every smaller τ as a prefix.
-  std::string key = workload.Label() + "#seed=" + std::to_string(spec.seed);
-  key += sampling.UseEngine()
-             ? "#engine/" + std::to_string(sampling.chunk_size)
-             : "#seq";
+  std::string key = CacheKey(ArenaKind::kRr, workload, spec, sampling);
   const ModelInstance resolved = instance.value();
-  std::shared_ptr<const RrArena> arena = cache_.GetOrBuild(
-      key, spec.sample_number, [&](std::uint64_t capacity) {
+  ArenaCache::ArenaPtr arena = cache_.GetOrBuild(
+      key, spec.sample_number,
+      [&](std::uint64_t capacity) -> ArenaCache::ArenaPtr {
         if (sampling.pool == nullptr) {
-          return RrArena::SampleFor(resolved, spec.seed, capacity, sampling);
+          return std::make_shared<const RrArena>(
+              RrArena::SampleFor(resolved, spec.seed, capacity, sampling));
         }
         // Pool-routed build: respect the pools' single-waiter contract.
         std::lock_guard<std::mutex> lock(build_mu_);
-        return RrArena::SampleFor(resolved, spec.seed, capacity, sampling);
+        return std::make_shared<const RrArena>(
+            RrArena::SampleFor(resolved, spec.seed, capacity, sampling));
       });
-  return QueryView(std::move(arena), spec.sample_number);
+  // The kind-prefixed key guarantees what stands behind it.
+  return QueryView(std::static_pointer_cast<const RrArena>(std::move(arena)),
+                   spec.sample_number);
+}
+
+StatusOr<SnapshotQueryView> QueryService::SnapshotView(
+    const api::WorkloadSpec& workload, const QuerySpec& spec) {
+  Status valid = spec.Validate();
+  if (!valid.ok()) return valid;
+  StatusOr<ModelInstance> instance = session_->ResolveWorkload(workload);
+  if (!instance.ok()) return instance.status();
+  if (instance.value().model != DiffusionModel::kIc) {
+    return Status::InvalidArgument(
+        "sampled-world views require the IC model: LT snapshots have no "
+        "condensed arena form (workload " + workload.Label() + ")");
+  }
+  SamplingOptions sampling =
+      session_->SamplingFor(spec.sample_threads, spec.chunk_size);
+  std::string key = CacheKey(ArenaKind::kSnapshot, workload, spec, sampling);
+  const ModelInstance resolved = instance.value();
+  ArenaCache::ArenaPtr arena = cache_.GetOrBuild(
+      key, spec.sample_number,
+      [&](std::uint64_t capacity) -> ArenaCache::ArenaPtr {
+        if (sampling.pool == nullptr) {
+          return std::make_shared<const SnapshotArena>(SnapshotArena::Sample(
+              *resolved.ig, spec.seed, capacity, sampling));
+        }
+        std::lock_guard<std::mutex> lock(build_mu_);
+        return std::make_shared<const SnapshotArena>(SnapshotArena::Sample(
+            *resolved.ig, spec.seed, capacity, sampling));
+      });
+  return SnapshotQueryView(
+      std::static_pointer_cast<const SnapshotArena>(std::move(arena)),
+      spec.sample_number);
+}
+
+std::string QueryService::CacheKey(ArenaKind kind,
+                                   const api::WorkloadSpec& workload,
+                                   const QuerySpec& spec,
+                                   const SamplingOptions& sampling) {
+  std::string key = std::string(ArenaKindName(kind)) + "#" +
+                    workload.Label() + "#seed=" + std::to_string(spec.seed);
+  key += sampling.UseEngine()
+             ? "#engine/" + std::to_string(sampling.chunk_size)
+             : "#seq";
+  return key;
 }
 
 }  // namespace serve

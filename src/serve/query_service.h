@@ -1,14 +1,20 @@
-// The influence-query service: microsecond point queries over an
-// immutable, word-packed RrArena — the ROADMAP's serving layer.
+// The influence-query service: microsecond point queries over immutable
+// sampled-world arenas — the ROADMAP's serving layer.
 //
 // Shape: QueryService (on top of api::Session) resolves a workload to a
-// per-(network, prob, model, seed, stream-family) RrArena held in a
-// byte-budgeted ArenaCache, then hands out immutable QueryViews. A view
-// answers Spread(S), MarginalGain(S, v), and TopK(k) directly from the
-// arena's 32-bit vertex-major inverted index — no re-solve, no locks:
-// every view method is const over shared immutable data, so any number
-// of threads query concurrently (each thread brings its own
-// QueryScratch; the convenience overloads use a thread_local one).
+// per-(kind, network, prob, model, seed, stream-family) WorldArena held
+// in one byte-budgeted ArenaCache — the cache key's leading component is
+// the arena KIND, so RR-set arenas (View) and condensed-snapshot arenas
+// (SnapshotView) share the budget without ever aliasing — then hands out
+// immutable views. A QueryView answers Spread(S), MarginalGain(S, v),
+// and TopK(k) directly from an RrArena's 32-bit vertex-major inverted
+// index; a SnapshotQueryView answers those plus the sampled-world
+// analytics RIS sketches cannot express — ReachProbability(src, dst) and
+// ExpectedReach(v) — by walking condensed per-snapshot DAGs. No
+// re-solve, no locks: every view method is const over shared immutable
+// data, so any number of threads query concurrently (each thread brings
+// its own QueryScratch/WorldScratch; convenience overloads use a
+// thread_local one).
 //
 // The query kernel keeps sim/max_coverage.cc's word-packed covered
 // bitmap (uint64 words, one bit per RR set) but resolves point queries
@@ -42,6 +48,7 @@
 #include "api/spec.h"
 #include "serve/arena_cache.h"
 #include "sim/rr_arena.h"
+#include "sim/snapshot_arena.h"
 #include "util/status.h"
 
 namespace soldist {
@@ -152,6 +159,110 @@ class QueryView {
   bool full_ = false;  ///< count_ == arena capacity: no cut needed
 };
 
+/// \brief Per-thread scratch for sampled-world DAG walks: a generation-
+/// stamped visited marker over component ids plus the BFS frontier.
+/// Stamping makes per-world resets O(1) — one generation bump instead of
+/// a clear — so a τ-world query pays traversal, never wiping.
+class WorldScratch {
+ public:
+  WorldScratch() = default;
+  WorldScratch(const WorldScratch&) = delete;
+  WorldScratch& operator=(const WorldScratch&) = delete;
+
+ private:
+  friend class SnapshotQueryView;
+
+  /// Ensures capacity and starts a fresh visit generation.
+  void NextVisit(std::uint32_t num_components) {
+    if (stamp_.size() < num_components) stamp_.resize(num_components, 0);
+    if (++gen_ == 0) {  // wrapped: all stamps are stale, restart at 1
+      std::fill(stamp_.begin(), stamp_.end(), 0);
+      gen_ = 1;
+    }
+    queue_.clear();
+  }
+  bool Visit(std::uint32_t c) {
+    if (stamp_[c] == gen_) return false;
+    stamp_[c] = gen_;
+    return true;
+  }
+  bool Visited(std::uint32_t c) const { return stamp_[c] == gen_; }
+
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t gen_ = 0;
+  std::vector<std::uint32_t> queue_;  ///< BFS frontier of component ids
+};
+
+/// \brief An immutable sampled-world analytics view over the first
+/// `sample_number` condensed snapshots of a shared SnapshotArena.
+/// Copyable (it co-owns the arena); every method is const and lock-free.
+///
+/// Estimates follow Snapshot scaling: Spread(S) = (1/τ) Σ_i |R_i(S)|
+/// where R_i(S) is the set of vertices reachable from S in sampled world
+/// i — exactly the estimate a fresh condensed SnapshotEstimator at τ
+/// would produce for the same seeds (ctest snapshot_arena_test enforces
+/// the cross-check). ReachProbability and ExpectedReach are the
+/// per-world analytics an RR-set collection cannot answer: they need the
+/// worlds themselves, which only this arena kind retains.
+class SnapshotQueryView {
+ public:
+  /// Views are normally minted by QueryService::SnapshotView; the public
+  /// ctor exists for benches/tests that bring their own arena.
+  SnapshotQueryView(std::shared_ptr<const SnapshotArena> arena,
+                    std::uint64_t count);
+
+  /// Empty placeholder (StatusOr's error arm); querying one is a
+  /// programmer error caught by SOLDIST_DCHECK.
+  SnapshotQueryView() = default;
+
+  VertexId num_vertices() const { return arena_->num_vertices(); }
+  std::uint64_t sample_number() const { return count_; }
+  const SnapshotArena& arena() const { return *arena_; }
+
+  /// Expected reached-vertex count of seed set S: (1/τ) Σ_i |R_i(S)|.
+  /// One multi-source DAG BFS per world, component-granular.
+  double Spread(std::span<const VertexId> seeds, WorldScratch* scratch) const;
+  double Spread(std::span<const VertexId> seeds) const;
+
+  /// Marginal spread of adding v to seeds:
+  /// (1/τ) Σ_i (|R_i(S ∪ {v})| − |R_i(S)|).
+  double MarginalGain(std::span<const VertexId> seeds, VertexId v,
+                      WorldScratch* scratch) const;
+  double MarginalGain(std::span<const VertexId> seeds, VertexId v) const;
+
+  /// Expected size of v's reachable set: (1/τ) Σ_i |R_i(v)| — the REPL's
+  /// `compsize` query. Equals Spread({v}).
+  double ExpectedReach(VertexId v, WorldScratch* scratch) const;
+  double ExpectedReach(VertexId v) const;
+
+  /// Fraction of sampled worlds in which dst is reachable from src — the
+  /// IC probability P[src influences dst], estimated over τ worlds.
+  /// Per world: same-component is an O(1) hit; Tarjan's reverse-
+  /// topological numbering (successor ids < component id) rejects
+  /// comp(dst) > comp(src) without walking; otherwise an early-exit DAG
+  /// BFS. The REPL's `reach` query.
+  double ReachProbability(VertexId src, VertexId dst,
+                          WorldScratch* scratch) const;
+  double ReachProbability(VertexId src, VertexId dst) const;
+
+  /// Greedy top-k seed selection over the view's worlds via a fresh
+  /// ArenaSnapshotEstimator + RunGreedy — byte-identical to a fresh
+  /// condensed SnapshotEstimator solve at τ with the same tie seed.
+  /// TopKResult::covered holds Σ_i |R_i(S)| (the un-scaled numerator).
+  TopKResult TopK(int k, std::uint64_t tie_seed = 1) const;
+
+ private:
+  /// Reached-vertex count of `seeds` in world i, marking visited
+  /// components under the scratch's current generation (so a follow-up
+  /// walk in the SAME generation counts only newly reached components).
+  std::uint64_t ReachedInWorld(std::uint64_t i,
+                               std::span<const VertexId> seeds,
+                               WorldScratch* scratch) const;
+
+  std::shared_ptr<const SnapshotArena> arena_;
+  std::uint64_t count_ = 0;
+};
+
 /// \brief The service: Session-resolved workloads → cached arenas →
 /// QueryViews. Thread-safe; see ArenaCache for the eviction contract.
 class QueryService {
@@ -173,9 +284,24 @@ class QueryService {
   StatusOr<QueryView> View(const api::WorkloadSpec& workload,
                            const QuerySpec& spec = {});
 
+  /// Sampled-world analytics view over τ = spec.sample_number condensed
+  /// snapshots. IC only — LT snapshots have no condensed arena form, and
+  /// asking for one is a Status, never an abort. Same τ-excluding key
+  /// discipline as View; the kind prefix keeps the two arena families
+  /// from ever aliasing in the shared cache.
+  StatusOr<SnapshotQueryView> SnapshotView(const api::WorkloadSpec& workload,
+                                           const QuerySpec& spec = {});
+
   ArenaCache::Stats cache_stats() const { return cache_.stats(); }
 
  private:
+  /// One key format for both arena families: kind # workload label #
+  /// seed # stream family. τ is deliberately absent (see View).
+  static std::string CacheKey(ArenaKind kind,
+                              const api::WorkloadSpec& workload,
+                              const QuerySpec& spec,
+                              const SamplingOptions& sampling);
+
   api::Session* session_;
   ArenaCache cache_;
   /// Serializes pool-routed arena builds: the session pools have a

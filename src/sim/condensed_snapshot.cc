@@ -77,7 +77,7 @@ CondensedSnapshot SnapshotCondenser::Condense(const Snapshot& snapshot) {
 
 std::vector<CondensedSnapshotShard> SampleCondensedSnapshotShards(
     const InfluenceGraph& ig, std::uint64_t master_seed, std::uint64_t count,
-    SamplingEngine* engine) {
+    SamplingEngine* engine, bool record_per_snapshot) {
   std::vector<CondensedSnapshotShard> shards(engine->NumChunks(count));
   // Per-worker-slot scratch (sampler, condenser, one reusable raw
   // snapshot): schedule-dependent but output-invisible — every chunk's
@@ -102,9 +102,21 @@ std::vector<CondensedSnapshotShard> SampleCondensedSnapshotShards(
     Rng rng(DeriveSeed(chunk.seed, 1));
     CondensedSnapshotShard& shard = shards[chunk.index];
     shard.snapshots.reserve(chunk.end - chunk.begin);
+    if (record_per_snapshot) shard.per_snapshot.reserve(chunk.end - chunk.begin);
     for (std::uint64_t i = chunk.begin; i < chunk.end; ++i) {
+      const TraversalCounters before = shard.counters;
       slots[slot]->sampler.SampleInto(&rng, &shard.counters,
                                       &slots[slot]->scratch);
+      if (record_per_snapshot) {
+        TraversalCounters delta;
+        delta.vertices = shard.counters.vertices - before.vertices;
+        delta.edges = shard.counters.edges - before.edges;
+        delta.sample_vertices =
+            shard.counters.sample_vertices - before.sample_vertices;
+        delta.sample_edges =
+            shard.counters.sample_edges - before.sample_edges;
+        shard.per_snapshot.push_back(delta);
+      }
       shard.snapshots.push_back(
           slots[slot]->condenser.Condense(slots[slot]->scratch));
     }

@@ -72,16 +72,21 @@ class SnapshotCondenser {
 struct CondensedSnapshotShard {
   std::vector<CondensedSnapshot> snapshots;
   TraversalCounters counters;
+  /// Per-snapshot counter deltas (only when sampled with
+  /// record_per_snapshot; feeds SnapshotArena's prefix counter table).
+  std::vector<TraversalCounters> per_snapshot;
 };
 
 /// Samples `count` snapshots through `engine` (same chunk streams as
 /// SampleSnapshotShards, so a condensed build sees byte-identical
 /// live-edge graphs) and condenses each inside its chunk worker; the raw
 /// CSR never outlives the chunk. Shard concatenation in chunk order is
-/// worker-count-independent.
+/// worker-count-independent. With `record_per_snapshot`, each shard also
+/// records per-snapshot counter deltas so any prefix's sampling cost is
+/// exactly attributable.
 std::vector<CondensedSnapshotShard> SampleCondensedSnapshotShards(
     const InfluenceGraph& ig, std::uint64_t master_seed, std::uint64_t count,
-    SamplingEngine* engine);
+    SamplingEngine* engine, bool record_per_snapshot = false);
 
 }  // namespace soldist
 

@@ -90,15 +90,13 @@ void RrArena::Finalize(std::vector<RrShard>&& shards,
       << "32-bit index offsets overflow: " << total_entries << " entries";
   set_offsets_.reserve(capacity + 1);
   set_offsets_.push_back(0);
-  cum_counters_.reserve(capacity + 1);
-  cum_counters_.push_back(TraversalCounters{});
+  counters_.Reserve(capacity);
   if (!shards.empty()) {
     // Adopt the first shard's flat buffer (cf. RrCollection::Merge's
     // rvalue overload); remaining shards append.
     flat_ = std::move(shards[0].flat);
     flat_.reserve(total_entries);
   }
-  TraversalCounters running;
   for (std::size_t s = 0; s < shards.size(); ++s) {
     RrShard& shard = shards[s];
     const std::uint64_t base =
@@ -110,8 +108,7 @@ void RrArena::Finalize(std::vector<RrShard>&& shards,
     SOLDIST_CHECK(shard.per_set.size() == shard.num_sets());
     for (std::uint64_t j = 1; j < shard.offsets.size(); ++j) {
       set_offsets_.push_back(base + shard.offsets[j]);
-      running += shard.per_set[j - 1];
-      cum_counters_.push_back(running);
+      counters_.Append(shard.per_set[j - 1]);
     }
   }
   SOLDIST_CHECK(this->capacity() == capacity)
@@ -148,17 +145,12 @@ std::span<const std::uint32_t> RrArena::InvertedPrefix(
       std::lower_bound(all.begin(), all.end(), bound) - all.begin()));
 }
 
-TraversalCounters RrArena::PrefixCounters(std::uint64_t count) const {
-  SOLDIST_DCHECK(count < cum_counters_.size());
-  return cum_counters_[count];
-}
-
 std::uint64_t RrArena::MemoryBytes() const {
   return flat_.size() * sizeof(VertexId) +
          set_offsets_.size() * sizeof(std::uint64_t) +
          index_ids_.size() * sizeof(std::uint32_t) +
          index_offsets_.size() * sizeof(std::uint32_t) +
-         cum_counters_.size() * sizeof(TraversalCounters);
+         counters_.MemoryBytes();
 }
 
 RrPrefixView RrArena::Prefix(std::uint64_t count) const {

@@ -25,7 +25,8 @@
 //   set_offsets_:  [0, |R₀|, |R₀|+|R₁|, ...]            (uint64)
 //   index_ids_:    [ ids of sets containing v=0, v=1, ... ] (uint32, asc)
 //   index_offsets_: n+1 cuts into index_ids_             (uint32)
-//   cum_counters_: capacity+1 running totals, cum[i] = cost of sets [0,i)
+//   counters_:     PrefixCounterTable (WorldArena base), Prefix(i) = cost
+//                  of sets [0,i)
 //
 // A prefix view at τ resolves InvertedList(v) by cutting v's ascending id
 // list at the first id >= τ (one binary search per vertex, cached in the
@@ -47,6 +48,7 @@
 #include "model/lt.h"
 #include "sim/rr_sampler.h"
 #include "sim/sampling_engine.h"
+#include "sim/world_arena.h"
 
 namespace soldist {
 
@@ -54,8 +56,10 @@ class RrPrefixView;
 
 /// \brief An immutable, index-complete RR-set store sampled once at the
 /// ladder maximum; all queries are const, so any number of threads may
-/// serve prefix views from one arena concurrently.
-class RrArena {
+/// serve prefix views from one arena concurrently. The prefix-closed
+/// lifecycle (capacity, prefix counter table, cache budgeting hooks)
+/// lives in the shared WorldArena substrate.
+class RrArena : public WorldArena {
  public:
   /// Samples `capacity` IC RR sets with RisEstimator::Build's exact
   /// stream discipline: the engine path (chunked deterministic streams)
@@ -77,13 +81,11 @@ class RrArena {
                            std::uint64_t capacity,
                            const SamplingOptions& sampling);
 
-  std::uint64_t capacity() const {
-    return static_cast<std::uint64_t>(set_offsets_.size()) - 1;
-  }
+  ArenaKind kind() const override { return ArenaKind::kRr; }
+
   std::uint64_t total_entries() const {
     return static_cast<std::uint64_t>(flat_.size());
   }
-  VertexId num_vertices() const { return num_vertices_; }
 
   std::span<const VertexId> Set(std::uint64_t i) const {
     return {flat_.data() + set_offsets_[i],
@@ -106,12 +108,8 @@ class RrArena {
   std::span<const std::uint32_t> InvertedPrefix(VertexId v,
                                                 std::uint64_t count) const;
 
-  /// Exact traversal/sample counters of the first `count` sets — equal to
-  /// the counters a direct build at `count` would have accumulated.
-  TraversalCounters PrefixCounters(std::uint64_t count) const;
-
   /// Heap bytes of the arena payloads (flat + offsets + index + counters).
-  std::uint64_t MemoryBytes() const;
+  std::uint64_t MemoryBytes() const override;
 
   RrPrefixView Prefix(std::uint64_t count) const;
 
@@ -120,12 +118,10 @@ class RrArena {
   void Finalize(std::vector<RrShard>&& shards, std::uint64_t capacity);
   void BuildIndex();
 
-  VertexId num_vertices_ = 0;
   std::vector<VertexId> flat_;
   std::vector<std::uint64_t> set_offsets_;      // capacity + 1
   std::vector<std::uint32_t> index_ids_;        // ascending per vertex
   std::vector<std::uint32_t> index_offsets_;    // n + 1
-  std::vector<TraversalCounters> cum_counters_; // capacity + 1
 };
 
 /// \brief A zero-copy view of the first `count` sets of an arena.

@@ -1,0 +1,150 @@
+#include "sim/snapshot_arena.h"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+
+#include "graph/reach_sketch.h"
+#include "random/splitmix64.h"
+#include "util/logging.h"
+
+namespace soldist {
+
+std::vector<SnapshotWarmth> ComputeSnapshotWarmth(
+    std::span<const CondensedSnapshot> snaps, VertexId num_vertices,
+    std::uint64_t perm_seed, const SamplingOptions& sampling) {
+  const VertexId n = num_vertices;
+  // ONE random permutation of ranks (perm[v]+1)/n shared by all
+  // sketches: only rank distinctness matters for exactness, and a fixed
+  // assignment keeps the per-snapshot cost at the merges. (The stream
+  // never touches results — see the permutation-independence note in the
+  // header.)
+  Rng rng(perm_seed);
+  std::vector<VertexId> perm(n);
+  std::iota(perm.begin(), perm.end(), VertexId{0});
+  std::shuffle(perm.begin(), perm.end(), rng.engine());
+  std::vector<double> ranks(n);
+  std::vector<VertexId> by_rank(n);  // inverse permutation = rank order
+  for (VertexId v = 0; v < n; ++v) {
+    ranks[v] = static_cast<double>(perm[v] + 1) / static_cast<double>(n);
+    by_rank[perm[v]] = v;
+  }
+
+  std::vector<SnapshotWarmth> warmth(snaps.size());
+  struct Slot {
+    DagSketcher sketcher;
+    DagSketches sketches;
+    Slot(VertexId n, int k) : sketcher(n, k) {}
+  };
+  auto warm_range = [&](std::uint64_t begin, std::uint64_t end, Slot* slot) {
+    for (std::uint64_t i = begin; i < end; ++i) {
+      const CondensedSnapshot& snap = snaps[i];
+      SOLDIST_CHECK(!snap.comp_of.empty())
+          << "snapshot " << i << " has no comp_of (already transposed?)";
+      const std::uint32_t num_components = snap.num_components();
+      slot->sketcher.Sketch(snap.comp_of, n, snap.dag, ranks, by_rank,
+                            &slot->sketches);
+      SnapshotWarmth& w = warmth[i];
+      w.bound.resize(num_components);
+      w.is_exact.assign(num_components, 0);
+      std::uint64_t prefix = 0;  // Σ size over ids ≤ c ⊇ descendants
+      for (std::uint32_t c = 0; c < num_components; ++c) {
+        prefix += snap.comp_size[c];
+        if (slot->sketches.IsExact(c)) {
+          // Saturated below k: len IS the exact reachable count.
+          w.bound[c] = slot->sketches.len[c];
+          w.is_exact[c] = 1;
+          continue;
+        }
+        std::uint64_t sum = snap.comp_size[c];
+        for (std::uint32_t succ : snap.dag.Successors(c)) {
+          sum += w.bound[succ];
+          if (sum >= prefix) break;  // already at the cap
+        }
+        w.bound[c] = static_cast<std::uint32_t>(std::min(sum, prefix));
+      }
+    }
+  };
+
+  const auto count = static_cast<std::uint64_t>(snaps.size());
+  if (sampling.UseEngine() && count > 0) {
+    SamplingEngine engine(sampling);
+    std::vector<std::unique_ptr<Slot>> slots(engine.num_workers());
+    engine.Run(/*master_seed=*/0, count,
+               [&](const SamplingEngine::Chunk& chunk, std::size_t idx) {
+      if (slots[idx] == nullptr) {
+        slots[idx] = std::make_unique<Slot>(n, kSnapshotSketchK);
+      }
+      warm_range(chunk.begin, chunk.end, slots[idx].get());
+    });
+  } else if (count > 0) {
+    Slot slot(n, kSnapshotSketchK);
+    warm_range(0, count, &slot);
+  }
+  return warmth;
+}
+
+SnapshotArena SnapshotArena::Sample(const InfluenceGraph& ig,
+                                    std::uint64_t seed,
+                                    std::uint64_t capacity,
+                                    const SamplingOptions& sampling) {
+  SOLDIST_CHECK(capacity >= 1);
+  SnapshotArena arena;
+  arena.num_vertices_ = ig.num_vertices();
+  arena.snaps_.reserve(capacity);
+  arena.counters_.Reserve(capacity);
+  if (sampling.UseEngine()) {
+    SamplingEngine engine(sampling);
+    std::vector<CondensedSnapshotShard> shards = SampleCondensedSnapshotShards(
+        ig, seed, capacity, &engine, /*record_per_snapshot=*/true);
+    for (CondensedSnapshotShard& shard : shards) {
+      SOLDIST_CHECK(shard.per_snapshot.size() == shard.snapshots.size());
+      for (std::size_t j = 0; j < shard.snapshots.size(); ++j) {
+        arena.counters_.Append(shard.per_snapshot[j]);
+        arena.snaps_.push_back(std::move(shard.snapshots[j]));
+      }
+    }
+  } else {
+    // Legacy single-stream path: same snapshot stream as the fresh
+    // condensed backend, condensed one at a time so the raw CSR never
+    // accumulates; per-snapshot counter deltas feed the prefix table.
+    Rng rng(seed);
+    SnapshotSampler sampler(&ig);
+    SnapshotCondenser condenser(ig.num_vertices());
+    Snapshot scratch;
+    TraversalCounters running;
+    for (std::uint64_t i = 0; i < capacity; ++i) {
+      const TraversalCounters before = running;
+      sampler.SampleInto(&rng, &running, &scratch);
+      TraversalCounters delta;
+      delta.vertices = running.vertices - before.vertices;
+      delta.edges = running.edges - before.edges;
+      delta.sample_vertices = running.sample_vertices - before.sample_vertices;
+      delta.sample_edges = running.sample_edges - before.sample_edges;
+      arena.counters_.Append(delta);
+      arena.snaps_.push_back(condenser.Condense(scratch));
+    }
+  }
+  SOLDIST_CHECK(arena.capacity() == capacity);
+  for (const CondensedSnapshot& snap : arena.snaps_) {
+    arena.max_components_ =
+        std::max(arena.max_components_, snap.num_components());
+  }
+  // Warmth permutation stream: off the sampler chunk streams, like the
+  // fresh backend's DeriveSeed(seed, τ + 1) — any distinct-rank
+  // permutation yields the same warmth (header note), so capacity vs τ
+  // in the derivation cannot change a byte.
+  arena.warmth_ = ComputeSnapshotWarmth(
+      arena.snaps_, ig.num_vertices(), DeriveSeed(seed, capacity + 1),
+      sampling);
+  return arena;
+}
+
+std::uint64_t SnapshotArena::MemoryBytes() const {
+  std::uint64_t bytes = counters_.MemoryBytes();
+  for (const CondensedSnapshot& snap : snaps_) bytes += snap.MemoryBytes();
+  for (const SnapshotWarmth& w : warmth_) bytes += w.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace soldist

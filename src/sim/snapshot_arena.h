@@ -1,0 +1,123 @@
+// Prefix-reusable arena of SCC-condensed sampled worlds: the Snapshot
+// counterpart of RrArena. Sample ONCE at the largest τ of a sweep ladder
+// and serve every smaller τ as a zero-copy prefix — plus point queries
+// over the sampled worlds themselves (reachability probability, expected
+// component size; serve/query_service.h).
+//
+// Why a prefix is exact: both snapshot stream disciplines are
+// prefix-closed in the master seed. The chunked engine gives chunk c its
+// randomness from DeriveSeed(master, c) alone and draws the chunk's
+// snapshots in order, so the first τ₁ snapshots of a τ₂ build are
+// byte-identical to a τ₁ build; the legacy sequential loop draws every
+// snapshot from ONE Rng(seed) stream, so its prefixes coincide
+// trivially. The arena samples with EXACTLY the stream discipline of
+// SnapshotEstimator's condensed backend, which is what makes an
+// arena-served sweep cell byte-identical to a freshly sampled one
+// (ctest snapshot_arena_test enforces this for worker counts 1/2/4).
+//
+// Warmth: the condensed gain backend pre-seeds its cache and CELF bounds
+// from bottom-k DAG sketches. Both the exactness test (len < k ⟺
+// reachable count < k) and every bound value are *permutation-
+// independent* — a pure function of the snapshot — so the arena can
+// precompute warmth once at build and every prefix estimator starts from
+// byte-identical warm state no matter which rank permutation seeded the
+// sketches (see ComputeSnapshotWarmth).
+
+#ifndef SOLDIST_SIM_SNAPSHOT_ARENA_H_
+#define SOLDIST_SIM_SNAPSHOT_ARENA_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "model/influence_graph.h"
+#include "sim/condensed_snapshot.h"
+#include "sim/sampling_engine.h"
+#include "sim/world_arena.h"
+
+namespace soldist {
+
+/// Sketch width shared by the condensed Snapshot backend and the arena
+/// warm pass: sketches saturating below k yield EXACT counts, so k trades
+/// bound tightness (fewer CELF refreshes) against per-sketch merge cost.
+/// 8 already bounds the long subcritical tail exactly.
+inline constexpr int kSnapshotSketchK = 8;
+
+/// \brief Precomputed warm state of one condensed snapshot: per
+/// component, a sound CELF upper bound on its reachable count, and
+/// whether that bound is EXACT (the sketch saturated below k — the gain
+/// cache can then be pre-seeded with bound[c] as the exact value).
+///
+/// Pure function of the snapshot: exactness is len < k ⟺ reachable
+/// count < k for ANY distinct-rank permutation, exact bounds are the
+/// exact counts, and non-exact bounds derive only from exact ones via
+/// the topologically capped successor-sum. ctest snapshot_arena_test
+/// relies on this to match arena warmth (one permutation at capacity)
+/// against fresh-build warmth (one permutation per τ) byte for byte.
+struct SnapshotWarmth {
+  std::vector<std::uint32_t> bound;    ///< per component, sound and tight
+  std::vector<std::uint8_t> is_exact;  ///< bound[c] is the exact count
+
+  std::uint64_t MemoryBytes() const {
+    return bound.capacity() * sizeof(std::uint32_t) +
+           is_exact.capacity() * sizeof(std::uint8_t);
+  }
+};
+
+/// Computes warmth for every snapshot: ONE distinct-rank permutation
+/// drawn from Rng(perm_seed), bottom-k sketches per DAG, then the capped
+/// successor-sum bounds. Chunked over snapshots through the engine when
+/// sampling.UseEngine() (per-slot sketcher scratch; each snapshot's
+/// warmth is a pure function of that snapshot, so the worker count never
+/// changes a byte), else sequential.
+std::vector<SnapshotWarmth> ComputeSnapshotWarmth(
+    std::span<const CondensedSnapshot> snaps, VertexId num_vertices,
+    std::uint64_t perm_seed, const SamplingOptions& sampling);
+
+/// \brief An immutable arena of `capacity` condensed sampled worlds with
+/// precomputed warmth and exact per-prefix sampling-cost attribution.
+/// All queries are const: any number of threads may serve estimator
+/// prefixes and point queries from one arena concurrently.
+class SnapshotArena : public WorldArena {
+ public:
+  /// Samples `capacity` snapshots with the condensed backend's exact
+  /// stream discipline (engine chunk streams when sampling.UseEngine(),
+  /// legacy sequential Rng(seed) loop otherwise), condensing each as it
+  /// is sampled, then precomputes warmth with the permutation stream
+  /// DeriveSeed(seed, capacity + 1). A fresh condensed
+  /// SnapshotEstimator(ig, τ, seed, sampling) for any τ <= capacity
+  /// consumes the byte-identical prefix of this arena.
+  static SnapshotArena Sample(const InfluenceGraph& ig, std::uint64_t seed,
+                              std::uint64_t capacity,
+                              const SamplingOptions& sampling);
+
+  ArenaKind kind() const override { return ArenaKind::kSnapshot; }
+
+  const CondensedSnapshot& World(std::uint64_t i) const { return snaps_[i]; }
+  const SnapshotWarmth& Warmth(std::uint64_t i) const { return warmth_[i]; }
+
+  /// The first `count` worlds / warmths, for prefix estimators.
+  std::span<const CondensedSnapshot> Worlds(std::uint64_t count) const {
+    return {snaps_.data(), count};
+  }
+  std::span<const SnapshotWarmth> Warmths(std::uint64_t count) const {
+    return {warmth_.data(), count};
+  }
+
+  /// Largest component count over all worlds (scratch sizing).
+  std::uint32_t max_components() const { return max_components_; }
+
+  /// Heap bytes of the arena payloads (worlds + warmth + counters).
+  std::uint64_t MemoryBytes() const override;
+
+ private:
+  SnapshotArena() = default;
+
+  std::vector<CondensedSnapshot> snaps_;
+  std::vector<SnapshotWarmth> warmth_;
+  std::uint32_t max_components_ = 0;
+};
+
+}  // namespace soldist
+
+#endif  // SOLDIST_SIM_SNAPSHOT_ARENA_H_

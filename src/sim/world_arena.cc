@@ -1,0 +1,15 @@
+#include "sim/world_arena.h"
+
+namespace soldist {
+
+const char* ArenaKindName(ArenaKind kind) {
+  switch (kind) {
+    case ArenaKind::kRr:
+      return "rr";
+    case ArenaKind::kSnapshot:
+      return "snapshot";
+  }
+  return "unknown";
+}
+
+}  // namespace soldist

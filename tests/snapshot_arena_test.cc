@@ -1,0 +1,222 @@
+// The SnapshotArena acceptance contract: an arena-served condensed
+// Snapshot estimator at any τ <= capacity is BYTE-IDENTICAL to a fresh
+// condensed SnapshotEstimator at that τ — greedy seeds, per-step
+// estimates, and full traversal counters — in BOTH stream families
+// (legacy sequential and chunked engine), at several prefix cuts, and
+// for any worker count. Plus the serving contracts: capacity upgrades
+// through the cache never change a prefix answer, a byte-budgeted cache
+// rebuilds evicted snapshot arenas identically, and invalid requests
+// (LT workloads, bad specs) are Status — never an abort.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "api/session.h"
+#include "api/spec.h"
+#include "core/factory.h"
+#include "core/greedy.h"
+#include "core/snapshot.h"
+#include "gen/datasets.h"
+#include "graph/builder.h"
+#include "model/probability.h"
+#include "serve/query_service.h"
+#include "sim/snapshot_arena.h"
+
+namespace soldist {
+namespace {
+
+constexpr std::uint64_t kSeed = 29;
+constexpr std::uint64_t kCapacity = 64;
+
+InfluenceGraph KarateIwc() {
+  Graph g = GraphBuilder::FromEdgeList(Datasets::Karate());
+  return MakeInfluenceGraph(std::move(g), ProbabilityModel::kIwc);
+}
+
+SamplingOptions Threads(int num_threads, std::uint64_t chunk_size = 32) {
+  SamplingOptions options;
+  options.num_threads = num_threads;
+  options.chunk_size = chunk_size;
+  return options;
+}
+
+void ExpectCountersEq(const TraversalCounters& a, const TraversalCounters& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.vertices, b.vertices) << label;
+  EXPECT_EQ(a.edges, b.edges) << label;
+  EXPECT_EQ(a.sample_vertices, b.sample_vertices) << label;
+  EXPECT_EQ(a.sample_edges, b.sample_edges) << label;
+}
+
+TEST(SnapshotArenaTest, PrefixMatchesFreshEstimatorBothStreamFamilies) {
+  InfluenceGraph ig = KarateIwc();
+  ModelInstance instance = ModelInstance::Ic(&ig);
+  // Family 1: legacy sequential Rng(seed). Family 2: chunked engine.
+  for (int threads : {1, 2}) {
+    const SamplingOptions sampling = Threads(threads);
+    SnapshotArena arena =
+        SnapshotArena::Sample(ig, kSeed, kCapacity, sampling);
+    ASSERT_EQ(arena.capacity(), kCapacity);
+    // Three cuts: a tiny prefix, a non-power-of-two interior cut, and
+    // the full arena.
+    for (std::uint64_t tau : {std::uint64_t{7}, std::uint64_t{23},
+                              kCapacity}) {
+      const std::string label = "threads=" + std::to_string(threads) +
+                                " tau=" + std::to_string(tau);
+      ArenaSnapshotEstimator from_arena(&arena, tau);
+      std::unique_ptr<InfluenceEstimator> fresh = MakeEstimator(
+          instance, Approach::kSnapshot, tau, kSeed,
+          SnapshotEstimator::Mode::kCondensed, sampling);
+      // Full greedy runs with the same tie stream: identical warm state
+      // and identical marginal gains force identical selections.
+      Rng tie_a(11), tie_b(11);
+      GreedyRunResult a =
+          RunGreedy(&from_arena, ig.num_vertices(), 3, &tie_a);
+      GreedyRunResult b = RunGreedy(fresh.get(), ig.num_vertices(), 3,
+                                    &tie_b);
+      EXPECT_EQ(a.seeds, b.seeds) << label;
+      EXPECT_EQ(a.estimates, b.estimates) << label;
+      ExpectCountersEq(from_arena.counters(), fresh->counters(), label);
+    }
+  }
+}
+
+TEST(SnapshotArenaTest, EngineBuildIsWorkerCountInvariant) {
+  InfluenceGraph ig = KarateIwc();
+  SnapshotArena a = SnapshotArena::Sample(ig, kSeed, kCapacity, Threads(2));
+  SnapshotArena b = SnapshotArena::Sample(ig, kSeed, kCapacity, Threads(4));
+  ASSERT_EQ(a.capacity(), b.capacity());
+  EXPECT_EQ(a.max_components(), b.max_components());
+  for (std::uint64_t i = 0; i < a.capacity(); ++i) {
+    const CondensedSnapshot& wa = a.World(i);
+    const CondensedSnapshot& wb = b.World(i);
+    EXPECT_EQ(wa.comp_of, wb.comp_of) << "world " << i;
+    EXPECT_EQ(wa.comp_size, wb.comp_size) << "world " << i;
+    EXPECT_EQ(wa.dag.offsets, wb.dag.offsets) << "world " << i;
+    EXPECT_EQ(wa.dag.targets, wb.dag.targets) << "world " << i;
+    EXPECT_EQ(a.Warmth(i).bound, b.Warmth(i).bound) << "world " << i;
+    EXPECT_EQ(a.Warmth(i).is_exact, b.Warmth(i).is_exact) << "world " << i;
+  }
+  for (std::uint64_t tau = 1; tau <= a.capacity(); ++tau) {
+    ExpectCountersEq(a.PrefixCounters(tau), b.PrefixCounters(tau),
+                     "prefix " + std::to_string(tau));
+  }
+}
+
+TEST(SnapshotArenaTest, ServiceUpgradeKeepsPrefixAnswersAndKindsApart) {
+  api::Session session;
+  serve::QueryService service(&session);
+  const api::WorkloadSpec workload =
+      api::WorkloadSpec::Dataset("Karate").Probability(
+          ProbabilityModel::kIwc);
+  serve::QuerySpec spec;
+  spec.seed = kSeed;
+
+  spec.sample_number = 64;
+  auto first = service.SnapshotView(workload, spec);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(service.cache_stats().builds, 1u);
+  const double reach_before = first.value().ReachProbability(0, 33);
+  const double comp_before = first.value().ExpectedReach(0);
+
+  // Smaller τ: prefix hit, no build.
+  spec.sample_number = 32;
+  ASSERT_TRUE(service.SnapshotView(workload, spec).ok());
+  EXPECT_EQ(service.cache_stats().builds, 1u);
+  EXPECT_EQ(service.cache_stats().hits, 1u);
+
+  // Larger τ: capacity upgrade — exactly one rebuild, and the τ=64
+  // answers are unchanged (prefix-closed streams).
+  spec.sample_number = 128;
+  auto upgraded = service.SnapshotView(workload, spec);
+  ASSERT_TRUE(upgraded.ok());
+  EXPECT_EQ(service.cache_stats().builds, 2u);
+  spec.sample_number = 64;
+  auto again = service.SnapshotView(workload, spec);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(service.cache_stats().builds, 2u);
+  EXPECT_DOUBLE_EQ(again.value().ReachProbability(0, 33), reach_before);
+  EXPECT_DOUBLE_EQ(again.value().ExpectedReach(0), comp_before);
+  // The pre-upgrade view stays alive through its shared arena.
+  EXPECT_DOUBLE_EQ(first.value().ReachProbability(0, 33), reach_before);
+
+  // The kind prefix keeps arena families apart: an RR view of the SAME
+  // workload/seed is a separate build, and the snapshot arena still
+  // serves as a hit afterwards.
+  ASSERT_TRUE(service.View(workload, spec).ok());
+  EXPECT_EQ(service.cache_stats().builds, 3u);
+  ASSERT_TRUE(service.SnapshotView(workload, spec).ok());
+  EXPECT_EQ(service.cache_stats().builds, 3u);
+}
+
+TEST(SnapshotArenaTest, CappedCacheEvictsAndRebuildsIdentically) {
+  // A 1-byte budget holds nothing: each new key evicts the previous
+  // arena; a rebuild must answer identically (arena content is a pure
+  // function of its key).
+  api::SessionOptions options;
+  options.arena_budget_bytes = 1;
+  api::Session session(options);
+  serve::QueryService service(&session);
+  const api::WorkloadSpec iwc =
+      api::WorkloadSpec::Dataset("Karate").Probability(
+          ProbabilityModel::kIwc);
+  const api::WorkloadSpec uc =
+      api::WorkloadSpec::Dataset("Karate").Probability(
+          ProbabilityModel::kUc01);
+  serve::QuerySpec spec;
+  spec.seed = kSeed;
+  spec.sample_number = 64;
+
+  auto a1 = service.SnapshotView(iwc, spec);
+  ASSERT_TRUE(a1.ok());
+  const double a_reach = a1.value().ReachProbability(2, 30);
+  const double a_comp = a1.value().ExpectedReach(2);
+
+  auto b1 = service.SnapshotView(uc, spec);
+  ASSERT_TRUE(b1.ok());
+  EXPECT_GE(service.cache_stats().evictions, 1u);
+
+  // The first workload was evicted: this is a rebuild, with answers
+  // byte-identical to the evicted original.
+  auto a2 = service.SnapshotView(iwc, spec);
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(service.cache_stats().builds, 3u);
+  EXPECT_DOUBLE_EQ(a2.value().ReachProbability(2, 30), a_reach);
+  EXPECT_DOUBLE_EQ(a2.value().ExpectedReach(2), a_comp);
+  // The evicted view's arena is still alive through its shared_ptr.
+  EXPECT_DOUBLE_EQ(a1.value().ReachProbability(2, 30), a_reach);
+}
+
+TEST(SnapshotArenaTest, InvalidRequestsReturnStatusNotAbort) {
+  api::Session session;
+  serve::QueryService service(&session);
+  serve::QuerySpec spec;
+  spec.sample_number = 16;
+
+  // LT workloads have no condensed arena form: Status, never a CHECK.
+  auto lt = service.SnapshotView(
+      api::WorkloadSpec::Dataset("Karate")
+          .Probability(ProbabilityModel::kIwc)
+          .Diffusion(DiffusionModel::kLt),
+      spec);
+  EXPECT_FALSE(lt.ok());
+
+  auto unknown = service.SnapshotView(
+      api::WorkloadSpec::Dataset("NoSuchNetwork")
+          .Probability(ProbabilityModel::kIwc),
+      spec);
+  EXPECT_FALSE(unknown.ok());
+
+  serve::QuerySpec bad;
+  bad.sample_number = 0;
+  auto zero = service.SnapshotView(
+      api::WorkloadSpec::Dataset("Karate").Probability(
+          ProbabilityModel::kIwc),
+      bad);
+  EXPECT_FALSE(zero.ok());
+}
+
+}  // namespace
+}  // namespace soldist

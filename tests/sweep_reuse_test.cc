@@ -130,13 +130,13 @@ TEST(SweepReuseTest, RunSweepReuseOnEqualsOff) {
   }
 }
 
-TEST(SweepReuseTest, NonRisApproachesIgnoreReuse) {
-  // Oneshot/Snapshot have no reusable RR collection: the reuse field must
-  // leave them on the legacy path (byte-identical to kLegacy).
+TEST(SweepReuseTest, OneshotIgnoresReuse) {
+  // Oneshot has no reusable sample collection: the reuse field must
+  // leave it on the legacy path (byte-identical to kLegacy).
   InfluenceGraph ig = KarateUc01();
   RrOracle oracle(&ig, 2000, 9);
   SweepConfig config;
-  config.approach = Approach::kSnapshot;
+  config.approach = Approach::kOneshot;
   config.k = 1;
   config.trials = 4;
   config.master_seed = 3;
@@ -148,6 +148,40 @@ TEST(SweepReuseTest, NonRisApproachesIgnoreReuse) {
   ASSERT_EQ(with_reuse.size(), legacy.size());
   for (std::size_t l = 0; l < legacy.size(); ++l) {
     EXPECT_EQ(with_reuse[l].result.seed_sets, legacy[l].result.seed_sets);
+  }
+}
+
+TEST(SweepReuseTest, SnapshotSweepReuseOnEqualsOff) {
+  // Snapshot sweeps take the trial-major ladder: condensed mode serves
+  // every cell from a per-trial SnapshotArena under kOn, the non-arena
+  // modes downgrade kOn to kOff mechanics — either way kOn must be
+  // byte-identical to kOff (fresh per-cell sampling, same streams).
+  InfluenceGraph ig = KarateUc01();
+  RrOracle oracle(&ig, 2000, 9);
+  for (SnapshotEstimator::Mode mode : {SnapshotEstimator::Mode::kResidual,
+                                       SnapshotEstimator::Mode::kCondensed}) {
+    SweepConfig config;
+    config.approach = Approach::kSnapshot;
+    config.k = 2;
+    config.trials = 4;
+    config.master_seed = 3;
+    config.max_exponent = 4;
+    config.snapshot_mode = mode;
+    config.reuse = SweepReuse::kOn;
+    auto on = RunSweep(ig, oracle, config, nullptr);
+    config.reuse = SweepReuse::kOff;
+    auto off = RunSweep(ig, oracle, config, nullptr);
+    ASSERT_EQ(on.size(), off.size());
+    for (std::size_t l = 0; l < on.size(); ++l) {
+      EXPECT_EQ(on[l].result.seed_sets, off[l].result.seed_sets)
+          << SnapshotModeName(mode) << " cell " << l;
+      EXPECT_EQ(on[l].result.total_counters.vertices,
+                off[l].result.total_counters.vertices);
+      EXPECT_EQ(on[l].result.total_counters.sample_edges,
+                off[l].result.total_counters.sample_edges);
+      EXPECT_EQ(on[l].entropy, off[l].entropy);
+      EXPECT_EQ(on[l].summary.mean_influence, off[l].summary.mean_influence);
+    }
   }
 }
 

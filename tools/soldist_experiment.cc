@@ -281,10 +281,27 @@ int RunQueryRepl(ExperimentContext* context, const HarnessParams& params,
   spec.seed = options.seed;
   spec.sample_threads = options.sample_threads;
   spec.chunk_size = static_cast<std::uint64_t>(options.chunk_size);
-  StatusOr<serve::QueryView> view = service.View(
-      context->Workload(params.network, params.prob), spec);
+  const api::WorkloadSpec workload =
+      context->Workload(params.network, params.prob);
+  StatusOr<serve::QueryView> view = service.View(workload, spec);
   if (!view.ok()) return ExitWithError(view.status());
   const VertexId n = view.value().num_vertices();
+
+  // The sampled-world view behind `reach`/`compsize` is minted lazily on
+  // first use: RR-only sessions never pay a snapshot arena build, and an
+  // LT workload answers those commands with a JSON error line (the
+  // service returns Status — never an abort).
+  serve::SnapshotQueryView world_view;
+  bool have_world_view = false;
+  auto mint_world_view = [&]() -> Status {
+    if (have_world_view) return Status::OK();
+    StatusOr<serve::SnapshotQueryView> minted =
+        service.SnapshotView(workload, spec);
+    if (!minted.ok()) return minted.status();
+    world_view = minted.value();
+    have_world_view = true;
+    return Status::OK();
+  };
 
   JsonObject ready;
   ready.Str("type", "ready")
@@ -363,6 +380,52 @@ int RunQueryRepl(ExperimentContext* context, const HarnessParams& params,
           .UInt("covered", top.covered)
           .Real("spread", top.spread);
       std::printf("%s\n", record.ToString().c_str());
+    } else if (cmd == "reach") {
+      // "reach <src> <dst>": fraction of sampled worlds in which dst is
+      // reachable from src (IC influence probability over τ worlds).
+      const std::size_t gap = rest.find(' ');
+      std::vector<VertexId> src, dst;
+      Status parsed =
+          gap == std::string::npos
+              ? Status::InvalidArgument("usage: reach <src> <dst>")
+              : ParseVertexList(std::string(Trim(rest.substr(0, gap))), n,
+                                &src);
+      if (parsed.ok()) {
+        parsed = ParseVertexList(std::string(Trim(rest.substr(gap + 1))), n,
+                                 &dst);
+      }
+      if (parsed.ok() && (src.size() != 1 || dst.size() != 1)) {
+        parsed = Status::InvalidArgument("usage: reach <src> <dst>");
+      }
+      if (parsed.ok()) parsed = mint_world_view();
+      if (!parsed.ok()) {
+        PrintErrorLine(parsed);
+        continue;
+      }
+      JsonObject record;
+      record.Str("type", "reach")
+          .UInt("src", src[0])
+          .UInt("dst", dst[0])
+          .Real("probability", world_view.ReachProbability(src[0], dst[0]));
+      std::printf("%s\n", record.ToString().c_str());
+    } else if (cmd == "compsize") {
+      // "compsize <v>": expected reachable-set size of v over the
+      // sampled worlds, (1/τ) Σ |R_i(v)|.
+      std::vector<VertexId> vertex;
+      Status parsed = ParseVertexList(rest, n, &vertex);
+      if (parsed.ok() && vertex.size() != 1) {
+        parsed = Status::InvalidArgument("usage: compsize <vertex>");
+      }
+      if (parsed.ok()) parsed = mint_world_view();
+      if (!parsed.ok()) {
+        PrintErrorLine(parsed);
+        continue;
+      }
+      JsonObject record;
+      record.Str("type", "compsize")
+          .UInt("vertex", vertex[0])
+          .Real("expected_reach", world_view.ExpectedReach(vertex[0]));
+      std::printf("%s\n", record.ToString().c_str());
     } else if (cmd == "stats") {
       serve::ArenaCache::Stats stats = service.cache_stats();
       JsonObject record;
@@ -377,7 +440,8 @@ int RunQueryRepl(ExperimentContext* context, const HarnessParams& params,
     } else {
       PrintErrorLine(Status::InvalidArgument(
           "unknown command '" + cmd +
-          "' (expected spread | gain | topk | stats | quit)"));
+          "' (expected spread | gain | topk | reach | compsize | stats | "
+          "quit)"));
       continue;
     }
     std::fflush(stdout);
