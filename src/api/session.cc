@@ -11,6 +11,7 @@
 #include "graph/builder.h"
 #include "graph/io.h"
 #include "random/splitmix64.h"
+#include "util/logging.h"
 #include "util/timer.h"
 
 namespace soldist {
@@ -26,7 +27,7 @@ Status SessionOptions::Validate() const {
     return Status::InvalidArgument(
         "SessionOptions: threads must be >= 0 (0 = hardware concurrency)");
   }
-  return Status::OK();
+  return arena_storage.Validate();
 }
 
 Session::Session(const SessionOptions& options)
@@ -200,6 +201,21 @@ SolveResult Session::RunResolved(const ResolvedSolve& resolved) {
       slot->arena = std::make_unique<RrArena>(
           RrArena::SampleFor(resolved.instance, DeriveSeed(spec.seed, 0),
                              slot->capacity, spec.sampling));
+      // The group shares one backend (it is part of the grouping key),
+      // so converting inside the call_once is race-free. Conversion
+      // never changes an answer; a failed conversion (e.g. spill dir
+      // vanished) degrades to the flat arena, never fails the solve.
+      const store::ArenaBackend backend =
+          spec.arena_backend.value_or(options_.arena_storage.backend);
+      if (backend != store::ArenaBackend::kFlat) {
+        store::StorageOptions storage = options_.arena_storage;
+        storage.backend = backend;
+        Status converted = slot->arena->ConvertStorage(storage);
+        if (!converted.ok()) {
+          SOLDIST_LOG(Warning)
+              << "ladder arena stays flat: " << converted.ToString();
+        }
+      }
     });
     estimator = std::make_unique<ArenaRisEstimator>(slot->arena.get(),
                                                     spec.sample_number);
@@ -273,14 +289,18 @@ StatusOr<std::vector<SolveResult>> Session::SolveBatch(
   // its largest θ and every member runs on a prefix view. Grouping only
   // ever changes mechanics, never bytes (see RunResolved).
   if (options_.batch_reuse) {
-    std::map<std::tuple<std::uint64_t, int, std::uint64_t, ThreadPool*>,
+    // The storage backend joins the key: specs that want different
+    // backends must not share a slot (the slot converts exactly once).
+    std::map<std::tuple<std::uint64_t, int, std::uint64_t, ThreadPool*, int>,
              std::vector<std::size_t>>
         ladder_groups;
     for (std::size_t i = 0; i < resolved.size(); ++i) {
       const SolveSpec& spec = resolved[i].spec;
       if (spec.approach != Approach::kRis) continue;
+      const auto backend = static_cast<int>(
+          spec.arena_backend.value_or(options_.arena_storage.backend));
       ladder_groups[{spec.seed, spec.sampling.num_threads,
-                     spec.sampling.chunk_size, spec.sampling.pool}]
+                     spec.sampling.chunk_size, spec.sampling.pool, backend}]
           .push_back(i);
     }
     for (auto& [key, members] : ladder_groups) {

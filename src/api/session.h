@@ -31,6 +31,7 @@
 #include "exp/instance_registry.h"
 #include "oracle/rr_oracle.h"
 #include "sim/rr_arena.h"
+#include "store/arena_storage.h"
 #include "util/thread_pool.h"
 
 namespace soldist {
@@ -62,6 +63,22 @@ struct SessionOptions {
   /// budget trades rebuild latency for memory, never correctness.
   /// 0 = unlimited.
   std::uint64_t arena_budget_bytes = 0;
+  /// How session-built world arenas store their sampled bytes: flat (the
+  /// default — today's zero-copy layout), compressed (delta+varint,
+  /// decode-on-demand) or mmap (chunk-granular spill to disk). Applies
+  /// to batch ladder arenas and serve::QueryService cache fills; every
+  /// backend answers byte-identically (store/arena_storage.h), so this
+  /// only trades decode latency for resident memory. For the mmap
+  /// backend, arena_storage.spill_dir must name a writable directory.
+  store::StorageOptions arena_storage;
+  /// When non-empty: the session-lifetime arena persistence root
+  /// (store/arena_io.h). serve::QueryService saves every arena it
+  /// samples under a key-derived subdirectory and reloads it on later
+  /// builds — including in LATER PROCESSES — so one sampling pass serves
+  /// many runs. Empty = no persistence. Safe to share across sessions:
+  /// files are identity-checked (workload/seed/stream/τ + checksum)
+  /// before use, and any mismatch or corruption is a plain rebuild.
+  std::string arena_dir;
 
   /// Validation for flag-derived options (the struct defaults are valid).
   Status Validate() const;

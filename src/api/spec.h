@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "model/probability.h"
 #include "sim/counters.h"
 #include "sim/sampling_engine.h"
+#include "store/arena_storage.h"
 #include "util/status.h"
 
 namespace soldist {
@@ -100,6 +102,11 @@ struct SolveSpec {
   /// (SolveResult::influence). Off: skip the oracle entirely — no oracle
   /// is built for the instance.
   bool evaluate_influence = true;
+  /// Storage backend for a batch ladder group's shared arena
+  /// (store/arena_storage.h). Unset = follow the session's
+  /// SessionOptions::arena_storage.backend. Backends never change a
+  /// result byte — only the memory/decode trade of holding the arena.
+  std::optional<store::ArenaBackend> arena_backend;
 
   SolveSpec& WithApproach(Approach a) {
     approach = a;
@@ -126,6 +133,12 @@ struct SolveSpec {
   /// SCC-condensed one (core/snapshot.h). No effect on other approaches.
   SolveSpec& WithSnapshotMode(SnapshotEstimator::Mode mode) {
     snapshot_mode = mode;
+    return *this;
+  }
+  /// Arena storage backend override for this run's ladder arena (see
+  /// arena_backend above).
+  SolveSpec& WithArenaBackend(store::ArenaBackend backend) {
+    arena_backend = backend;
     return *this;
   }
 

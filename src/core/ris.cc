@@ -102,7 +102,9 @@ void ArenaRisEstimator::Update(VertexId v) {
     const std::uint64_t bit = std::uint64_t{1} << (set_id & 63);
     if ((word & bit) == 0) continue;
     word &= ~bit;
-    for (VertexId w : arena_->Set(set_id)) {
+    // Through the view, not the arena: the view materializes sets for
+    // non-flat storage backends (membership identical, order-free here).
+    for (VertexId w : view_.Set(set_id)) {
       SOLDIST_DCHECK(cover_count_[w] > 0);
       --cover_count_[w];
     }

@@ -11,6 +11,13 @@ api::SessionOptions ExperimentOptions::SessionConfig() const {
   session.threads = threads;
   session.star_n = star_n;
   session.arena_budget_bytes = arena_budget_bytes;
+  session.arena_storage.backend = arena_backend;
+  session.arena_dir = arena_dir;
+  // The persistence root doubles as the spill home so one flag places
+  // every arena byte that leaves RAM; mmap with neither falls back to a
+  // tmp directory rather than failing Validate.
+  session.arena_storage.spill_dir =
+      !arena_dir.empty() ? arena_dir : std::string("/tmp/soldist-arena");
   return session;
 }
 
@@ -52,6 +59,16 @@ void AddExperimentFlags(ArgParser* args) {
                   "sampling (byte-identical to on, ~2x the sampling "
                   "work); legacy = pre-arena cell-major streams. Only "
                   "RIS sweeps are affected.");
+  args->AddString("arena-backend", "flat",
+                  "arena storage backend: flat | compressed (delta+varint "
+                  "decode-on-demand) | mmap (chunk-granular disk spill). "
+                  "Results are byte-identical across backends; the flag "
+                  "trades decode latency for resident memory.");
+  args->AddString("arena-dir", "",
+                  "arena persistence root: sampled arenas save here and "
+                  "reload across processes (identity-checked manifests); "
+                  "also the mmap backend's spill home. Empty = no "
+                  "persistence.");
 }
 
 namespace {
@@ -89,6 +106,9 @@ StatusOr<ExperimentOptions> ParseExperimentFlags(const ArgParser& args) {
   StatusOr<SweepReuse> sweep_reuse =
       ParseSweepReuse(args.GetString("sweep-reuse"));
   if (!sweep_reuse.ok()) return sweep_reuse.status();
+  StatusOr<store::ArenaBackend> arena_backend =
+      store::ParseArenaBackend(args.GetString("arena-backend"));
+  if (!arena_backend.ok()) return arena_backend.status();
 
   ExperimentOptions options;
   options.trials = static_cast<std::uint64_t>(args.GetInt64("trials"));
@@ -105,6 +125,8 @@ StatusOr<ExperimentOptions> ParseExperimentFlags(const ArgParser& args) {
   options.chunk_size = args.GetInt64("chunk-size");
   options.snapshot_mode = snapshot_mode.value();
   options.sweep_reuse = sweep_reuse.value();
+  options.arena_backend = arena_backend.value();
+  options.arena_dir = args.GetString("arena-dir");
   return options;
 }
 

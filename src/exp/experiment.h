@@ -18,6 +18,7 @@
 #include "exp/sweep.h"
 #include "oracle/rr_oracle.h"
 #include "sim/sampling_engine.h"
+#include "store/arena_storage.h"
 #include "util/args.h"
 #include "util/thread_pool.h"
 
@@ -57,6 +58,15 @@ struct ExperimentOptions {
   /// see api::SessionOptions::arena_budget_bytes. Set by binaries that
   /// mint a serve::QueryService (e.g. soldist_experiment --query).
   std::uint64_t arena_budget_bytes = 0;
+  /// Arena storage backend (--arena-backend flat|compressed|mmap); see
+  /// api::SessionOptions::arena_storage. Answers are byte-identical
+  /// across backends — the flag trades decode latency for memory.
+  store::ArenaBackend arena_backend = store::ArenaBackend::kFlat;
+  /// Arena persistence root (--arena-dir). Non-empty: session arenas
+  /// save under it and reload across processes; also the default mmap
+  /// spill directory. Empty: no persistence (mmap spills under
+  /// /tmp/soldist-arena).
+  std::string arena_dir;
 
   /// The api::Session configuration these options imply.
   api::SessionOptions SessionConfig() const;

@@ -26,7 +26,7 @@ ArenaCache::ArenaPtr ArenaCache::GetOrBuild(const std::string& key,
         // handed out keep it alive through their shared_ptr; the cache
         // only forgets it.
         if (it->second.accounted && it->second.slot->arena) {
-          resident_bytes_ -= it->second.slot->arena->MemoryBytes();
+          resident_bytes_ -= it->second.charged_bytes;
         }
         lru_.erase(it->second.lru_pos);
         entries_.erase(it);
@@ -52,7 +52,11 @@ ArenaCache::ArenaPtr ArenaCache::GetOrBuild(const std::string& key,
     if (it != entries_.end() && it->second.slot == slot &&
         !it->second.accounted) {
       it->second.accounted = true;
-      resident_bytes_ += slot->arena->MemoryBytes();
+      // Charge what the backend actually holds in RAM (== MemoryBytes
+      // for flat arenas); remember the charge so the refund on eviction
+      // is exact even if residency drifts afterwards.
+      it->second.charged_bytes = slot->arena->ResidentBytes();
+      resident_bytes_ += it->second.charged_bytes;
       EvictOverBudgetLocked(key);
     }
   }
@@ -76,7 +80,7 @@ void ArenaCache::EvictOverBudgetLocked(const std::string& keep) {
     }
     if (victim == lru_.rend()) return;  // nothing evictable: degrade
     auto it = entries_.find(*victim);
-    resident_bytes_ -= it->second.slot->arena->MemoryBytes();
+    resident_bytes_ -= it->second.charged_bytes;
     ++evictions_;
     lru_.erase(std::next(victim).base());
     entries_.erase(it);
@@ -92,10 +96,14 @@ ArenaCache::Stats ArenaCache::stats() const {
   stats.resident_bytes = resident_bytes_;
   stats.budget_bytes = budget_bytes_;
   std::uint64_t resident = 0;
+  std::uint64_t total_bytes = 0;
   for (const auto& [key, entry] : entries_) {
-    if (entry.accounted) ++resident;
+    if (!entry.accounted) continue;
+    ++resident;
+    total_bytes += entry.slot->arena->MemoryBytes();
   }
   stats.resident_arenas = resident;
+  stats.total_bytes = total_bytes;
   return stats;
 }
 

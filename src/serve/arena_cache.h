@@ -1,8 +1,11 @@
 // Byte-budgeted world-arena cache: the serving layer's answer to the
 // paper's Section 7 concern that sample storage is the binding
 // constraint at scale. The cache keeps at most `budget_bytes` of
-// WorldArena::MemoryBytes resident (LRU eviction above it) — RR-set
-// arenas and condensed-snapshot arenas share the one budget, keyed by
+// WorldArena::ResidentBytes resident (LRU eviction above it) — backends
+// that spill or compress (store/arena_storage.h) are charged what they
+// actually hold in RAM, not their logical footprint, so a spilled arena
+// never evicts live flat arenas prematurely. RR-set arenas and
+// condensed-snapshot arenas share the one budget, keyed by
 // strings that carry the arena kind — and rebuilds evicted arenas on
 // demand: a correct trade because arena content is a PURE FUNCTION of
 // its cache key: the prefix-closed sampling streams (sim/rr_arena.h,
@@ -45,7 +48,7 @@ namespace serve {
 /// concrete type behind it and may static-cast the returned pointer.
 class ArenaCache {
  public:
-  /// \param budget_bytes total WorldArena::MemoryBytes the cache may
+  /// \param budget_bytes total WorldArena::ResidentBytes the cache may
   /// keep resident; 0 = unlimited (never evicts).
   explicit ArenaCache(std::uint64_t budget_bytes)
       : budget_bytes_(budget_bytes) {}
@@ -74,7 +77,11 @@ class ArenaCache {
     std::uint64_t builds = 0;      ///< arena builds (misses + upgrades)
     std::uint64_t evictions = 0;   ///< budget-driven LRU removals
     std::uint64_t resident_arenas = 0;
+    /// Charged ResidentBytes (what counts against the budget).
     std::uint64_t resident_bytes = 0;
+    /// Logical MemoryBytes of the same arenas — the gap to
+    /// resident_bytes is what compression/spilling saved.
+    std::uint64_t total_bytes = 0;
     std::uint64_t budget_bytes = 0;
   };
   Stats stats() const;
@@ -94,6 +101,10 @@ class ArenaCache {
     /// Bytes are only known after the build completes; `accounted`
     /// guards double-counting and marks the entry evictable.
     bool accounted = false;
+    /// The ResidentBytes value charged at accounting time. Residency can
+    /// drift afterwards (mmap chunk churn, hot-list warmup), so eviction
+    /// refunds exactly what was charged to keep the ledger consistent.
+    std::uint64_t charged_bytes = 0;
   };
 
   /// Drops accounted LRU-tail entries (never `keep`) while over budget.

@@ -9,6 +9,7 @@
 #include "core/snapshot.h"
 #include "random/rng.h"
 #include "sim/max_coverage.h"
+#include "store/arena_io.h"
 #include "util/logging.h"
 
 namespace soldist {
@@ -26,6 +27,40 @@ QueryScratch* LocalScratch() {
 WorldScratch* LocalWorldScratch() {
   thread_local WorldScratch scratch;
   return &scratch;
+}
+
+/// The manifest's stream-family name — the same component CacheKey
+/// appends, so a persisted arena's identity mirrors its cache key.
+std::string StreamName(const SamplingOptions& sampling) {
+  return sampling.UseEngine()
+             ? "engine/" + std::to_string(sampling.chunk_size)
+             : "seq";
+}
+
+/// The persistence directory of one cache key under the session's
+/// arena_dir ("" = persistence off). Key characters outside
+/// [A-Za-z0-9._-] become '_' so the key is a safe single path segment;
+/// collisions are harmless — the manifest identity check catches them
+/// and the loser simply resamples.
+std::string ArenaDirFor(const std::string& root, const std::string& key) {
+  if (root.empty()) return "";
+  std::string segment;
+  segment.reserve(key.size());
+  for (char c : key) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                      c == '-';
+    segment.push_back(safe ? c : '_');
+  }
+  return root + "/" + segment;
+}
+
+/// A failed load is a rebuild, never an error — but say why when the
+/// file existed and did not serve (corruption, version skew, identity
+/// mismatch). A clean miss (kNotFound) stays silent.
+void WarnUnlessNotFound(const char* what, const Status& status) {
+  if (status.code() == StatusCode::kNotFound) return;
+  SOLDIST_LOG(Warning) << what << ": " << status.ToString();
 }
 
 }  // namespace
@@ -68,7 +103,7 @@ std::uint64_t QueryView::MarkAndCount(std::span<const VertexId> seeds,
     // run ~1 entry per 64-set word at point-query densities, so the
     // grouping loop costs more than the popcounts it saves (measured in
     // bench/micro_kernels.cc, coverage_popcount).
-    for (std::uint32_t id : List(v)) {
+    for (std::uint32_t id : List(v, scratch)) {
       std::uint64_t& word = words[id >> 6];
       const std::uint64_t bit = std::uint64_t{1} << (id & 63);
       newly_covered += static_cast<std::uint64_t>((word & bit) == 0);
@@ -82,7 +117,7 @@ void QueryView::ClearMarks(std::span<const VertexId> seeds,
                            QueryScratch* scratch) const {
   const std::size_t need = static_cast<std::size_t>((count_ + 63) / 64);
   std::uint64_t entries = 0;
-  for (VertexId v : seeds) entries += List(v).size();
+  for (VertexId v : seeds) entries += List(v, scratch).size();
   if (entries >= static_cast<std::uint64_t>(need / 8)) {
     // Dense mark: one contiguous fill of the view-sized bitmap beats
     // scattered stores (a fill retires many words per cycle).
@@ -92,7 +127,7 @@ void QueryView::ClearMarks(std::span<const VertexId> seeds,
   // Sparse mark on a large bitmap (big τ, short lists): re-walk exactly
   // the words the mark pass wrote instead of wiping the whole bitmap.
   for (VertexId v : seeds) {
-    for (std::uint32_t id : List(v)) scratch->words_[id >> 6] = 0;
+    for (std::uint32_t id : List(v, scratch)) scratch->words_[id >> 6] = 0;
   }
 }
 
@@ -103,7 +138,7 @@ std::uint64_t QueryView::CoveredCount(std::span<const VertexId> seeds,
     // The commonest point query needs no bitmap at all: one vertex's
     // covered count IS its inverted-prefix length.
     SOLDIST_DCHECK(seeds[0] < num_vertices());
-    return static_cast<std::uint64_t>(List(seeds[0]).size());
+    return static_cast<std::uint64_t>(List(seeds[0], scratch).size());
   }
   const std::uint64_t covered = MarkAndCount(seeds, scratch);
   ClearMarks(seeds, scratch);
@@ -126,14 +161,14 @@ double QueryView::MarginalGain(std::span<const VertexId> seeds, VertexId v,
   std::uint64_t gain;
   if (seeds.empty()) {
     SOLDIST_DCHECK(v < num_vertices());
-    gain = static_cast<std::uint64_t>(List(v).size());
+    gain = static_cast<std::uint64_t>(List(v, scratch).size());
   } else {
     SOLDIST_DCHECK(v < num_vertices());
     MarkAndCount(seeds, scratch);
     // Count v's not-yet-covered sets read-only — nothing new is marked,
     // so the clear pass only has to undo `seeds`.
     gain = 0;
-    for (std::uint32_t id : List(v)) {
+    for (std::uint32_t id : List(v, scratch)) {
       gain += static_cast<std::uint64_t>(
           (scratch->words_[id >> 6] >> (id & 63) & 1) == 0);
     }
@@ -352,14 +387,60 @@ StatusOr<QueryView> QueryService::View(const api::WorkloadSpec& workload,
   ArenaCache::ArenaPtr arena = cache_.GetOrBuild(
       key, spec.sample_number,
       [&](std::uint64_t capacity) -> ArenaCache::ArenaPtr {
-        if (sampling.pool == nullptr) {
-          return std::make_shared<const RrArena>(
-              RrArena::SampleFor(resolved, spec.seed, capacity, sampling));
+        // Persistence (session arena_dir set): load a saved arena whose
+        // identity matches this key, else sample and save for the next
+        // process. Load/save failures degrade to sampling/serving —
+        // persistence can never fail a query.
+        const std::string dir =
+            ArenaDirFor(session_->options().arena_dir, key);
+        store::ArenaManifest expected;
+        expected.kind = "rr";
+        expected.workload = workload.Label();
+        expected.seed = spec.seed;
+        expected.stream = StreamName(sampling);
+        expected.capacity = capacity;
+        std::shared_ptr<RrArena> built;
+        if (!dir.empty()) {
+          StatusOr<std::shared_ptr<RrArena>> loaded =
+              store::LoadRrArena(dir, expected);
+          if (loaded.ok()) {
+            built = std::move(loaded).value();
+          } else {
+            WarnUnlessNotFound("arena load failed (resampling)",
+                               loaded.status());
+          }
         }
-        // Pool-routed build: respect the pools' single-waiter contract.
-        std::lock_guard<std::mutex> lock(build_mu_);
-        return std::make_shared<const RrArena>(
-            RrArena::SampleFor(resolved, spec.seed, capacity, sampling));
+        if (built == nullptr) {
+          if (sampling.pool == nullptr) {
+            built = std::make_shared<RrArena>(
+                RrArena::SampleFor(resolved, spec.seed, capacity, sampling));
+          } else {
+            // Pool-routed build: respect the pools' single-waiter
+            // contract.
+            std::lock_guard<std::mutex> lock(build_mu_);
+            built = std::make_shared<RrArena>(
+                RrArena::SampleFor(resolved, spec.seed, capacity, sampling));
+          }
+          if (!dir.empty()) {
+            Status saved = store::SaveRrArena(*built, expected, dir);
+            if (!saved.ok()) {
+              SOLDIST_LOG(Warning) << "arena save failed (serving "
+                                      "unpersisted): " << saved.ToString();
+            }
+          }
+        }
+        // Convert AFTER save: payloads persist flat, backends reshape in
+        // RAM. Conversion never changes an answer; failure keeps flat.
+        const store::StorageOptions& storage =
+            session_->options().arena_storage;
+        if (storage.backend != store::ArenaBackend::kFlat) {
+          Status converted = built->ConvertStorage(storage);
+          if (!converted.ok()) {
+            SOLDIST_LOG(Warning)
+                << "cached arena stays flat: " << converted.ToString();
+          }
+        }
+        return built;
       });
   // The kind-prefixed key guarantees what stands behind it.
   return QueryView(std::static_pointer_cast<const RrArena>(std::move(arena)),
@@ -384,13 +465,40 @@ StatusOr<SnapshotQueryView> QueryService::SnapshotView(
   ArenaCache::ArenaPtr arena = cache_.GetOrBuild(
       key, spec.sample_number,
       [&](std::uint64_t capacity) -> ArenaCache::ArenaPtr {
+        // Same persistence discipline as the RR builder; snapshot arenas
+        // have no alternate storage backends, so no conversion step.
+        const std::string dir =
+            ArenaDirFor(session_->options().arena_dir, key);
+        store::ArenaManifest expected;
+        expected.kind = "snapshot";
+        expected.workload = workload.Label();
+        expected.seed = spec.seed;
+        expected.stream = StreamName(sampling);
+        expected.capacity = capacity;
+        if (!dir.empty()) {
+          StatusOr<std::shared_ptr<SnapshotArena>> loaded =
+              store::LoadSnapshotArena(dir, expected);
+          if (loaded.ok()) return std::move(loaded).value();
+          WarnUnlessNotFound("arena load failed (resampling)",
+                             loaded.status());
+        }
+        std::shared_ptr<SnapshotArena> built;
         if (sampling.pool == nullptr) {
-          return std::make_shared<const SnapshotArena>(SnapshotArena::Sample(
+          built = std::make_shared<SnapshotArena>(SnapshotArena::Sample(
+              *resolved.ig, spec.seed, capacity, sampling));
+        } else {
+          std::lock_guard<std::mutex> lock(build_mu_);
+          built = std::make_shared<SnapshotArena>(SnapshotArena::Sample(
               *resolved.ig, spec.seed, capacity, sampling));
         }
-        std::lock_guard<std::mutex> lock(build_mu_);
-        return std::make_shared<const SnapshotArena>(SnapshotArena::Sample(
-            *resolved.ig, spec.seed, capacity, sampling));
+        if (!dir.empty()) {
+          Status saved = store::SaveSnapshotArena(*built, expected, dir);
+          if (!saved.ok()) {
+            SOLDIST_LOG(Warning) << "arena save failed (serving "
+                                    "unpersisted): " << saved.ToString();
+          }
+        }
+        return built;
       });
   return SnapshotQueryView(
       std::static_pointer_cast<const SnapshotArena>(std::move(arena)),

@@ -49,6 +49,7 @@
 #include "serve/arena_cache.h"
 #include "sim/rr_arena.h"
 #include "sim/snapshot_arena.h"
+#include "store/arena_storage.h"
 #include "util/status.h"
 
 namespace soldist {
@@ -75,7 +76,10 @@ struct QuerySpec {
 
 /// \brief Per-thread query scratch: the covered bitmap, all-zero between
 /// queries (QueryView clears exactly what it marked), so NO query
-/// allocates after warm-up.
+/// allocates after warm-up. Also carries the storage decode buffer for
+/// non-flat arena backends (store/arena_storage.h) — compressed / mmap
+/// inverted lists decode into it, so point queries on those backends
+/// stay allocation-free after warm-up too.
 class QueryScratch {
  public:
   QueryScratch() = default;
@@ -85,6 +89,7 @@ class QueryScratch {
  private:
   friend class QueryView;
   std::vector<std::uint64_t> words_;  ///< covered bitmap, 1 bit/RR set
+  store::StorageScratch storage_;     ///< decode buffer (non-flat backends)
 };
 
 /// TopK(k) output: greedy seeds with the per-seed marginal spread
@@ -138,10 +143,18 @@ class QueryView {
  private:
   /// The lazily cut inverted list of v (satellite: no O(n log capacity)
   /// RrPrefixView materialization on the point-query path; the
-  /// full-arena case bypasses even the single binary search).
-  std::span<const std::uint32_t> List(VertexId v) const {
-    return full_ ? arena_->InvertedAll(v)
-                 : arena_->InvertedPrefix(v, count_);
+  /// full-arena case bypasses even the single binary search). Flat
+  /// arenas return a zero-copy span; compressed/mmap backends decode
+  /// into the caller's scratch (valid until its next List call — every
+  /// use below finishes with one list before fetching the next).
+  std::span<const std::uint32_t> List(VertexId v,
+                                      QueryScratch* scratch) const {
+    if (arena_->is_flat()) {
+      return full_ ? arena_->InvertedAll(v)
+                   : arena_->InvertedPrefix(v, count_);
+    }
+    return full_ ? arena_->InvertedAll(v, &scratch->storage_)
+                 : arena_->InvertedPrefix(v, count_, &scratch->storage_);
   }
 
   /// Marks seeds' RR sets in the scratch bitmap, returning how many were

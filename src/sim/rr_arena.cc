@@ -3,12 +3,42 @@
 #include <algorithm>
 #include <limits>
 #include <numeric>
+#include <utility>
 
 #include "random/splitmix64.h"
 #include "sim/lt_samplers.h"
 #include "util/logging.h"
 
 namespace soldist {
+namespace {
+
+/// Rebuilds the vertex-major ascending inverted index of a flat payload
+/// (counting sort over the flat array — deterministic, so save/load
+/// round-trips reproduce the index byte-for-byte).
+void BuildFlatIndex(store::RrFlatPayload* payload, VertexId num_vertices) {
+  const std::uint64_t n = num_vertices;
+  payload->index_offsets.assign(n + 1, 0);
+  for (VertexId v : payload->flat) {
+    ++payload->index_offsets[static_cast<std::size_t>(v) + 1];
+  }
+  std::partial_sum(payload->index_offsets.begin(),
+                   payload->index_offsets.end(),
+                   payload->index_offsets.begin());
+  payload->index_ids.resize(payload->flat.size());
+  std::vector<std::uint32_t> cursor(payload->index_offsets.begin(),
+                                    payload->index_offsets.end() - 1);
+  const std::uint64_t num_sets =
+      static_cast<std::uint64_t>(payload->set_offsets.size()) - 1;
+  for (std::uint64_t set_id = 0; set_id < num_sets; ++set_id) {
+    for (std::uint64_t k = payload->set_offsets[set_id];
+         k < payload->set_offsets[set_id + 1]; ++k) {
+      payload->index_ids[cursor[payload->flat[k]]++] =
+          static_cast<std::uint32_t>(set_id);
+    }
+  }
+}
+
+}  // namespace
 
 RrArena RrArena::SampleIc(const InfluenceGraph& ig, std::uint64_t seed,
                           std::uint64_t capacity,
@@ -80,6 +110,28 @@ RrArena RrArena::SampleFor(const ModelInstance& instance, std::uint64_t seed,
   return SampleIc(*instance.ig, seed, capacity, sampling);
 }
 
+RrArena RrArena::FromParts(VertexId num_vertices,
+                           std::vector<VertexId> flat,
+                           std::vector<std::uint64_t> set_offsets,
+                           const std::vector<TraversalCounters>& per_set) {
+  SOLDIST_CHECK(!set_offsets.empty());
+  SOLDIST_CHECK(set_offsets.size() == per_set.size() + 1);
+  SOLDIST_CHECK(set_offsets.back() ==
+                static_cast<std::uint64_t>(flat.size()));
+  RrArena arena;
+  arena.num_vertices_ = num_vertices;
+  arena.counters_.Reserve(per_set.size());
+  for (const TraversalCounters& delta : per_set) {
+    arena.counters_.Append(delta);
+  }
+  store::RrFlatPayload payload;
+  payload.flat = std::move(flat);
+  payload.set_offsets = std::move(set_offsets);
+  BuildFlatIndex(&payload, num_vertices);
+  arena.AdoptPayload(std::move(payload));
+  return arena;
+}
+
 void RrArena::Finalize(std::vector<RrShard>&& shards,
                        std::uint64_t capacity) {
   std::uint64_t total_entries = 0;
@@ -88,51 +140,64 @@ void RrArena::Finalize(std::vector<RrShard>&& shards,
       << "32-bit set ids overflow: arena capacity " << capacity;
   SOLDIST_CHECK(total_entries <= std::numeric_limits<std::uint32_t>::max())
       << "32-bit index offsets overflow: " << total_entries << " entries";
-  set_offsets_.reserve(capacity + 1);
-  set_offsets_.push_back(0);
+  store::RrFlatPayload payload;
+  payload.set_offsets.reserve(capacity + 1);
+  payload.set_offsets.push_back(0);
   counters_.Reserve(capacity);
   if (!shards.empty()) {
     // Adopt the first shard's flat buffer (cf. RrCollection::Merge's
     // rvalue overload); remaining shards append.
-    flat_ = std::move(shards[0].flat);
-    flat_.reserve(total_entries);
+    payload.flat = std::move(shards[0].flat);
+    payload.flat.reserve(total_entries);
   }
   for (std::size_t s = 0; s < shards.size(); ++s) {
     RrShard& shard = shards[s];
     const std::uint64_t base =
         s == 0 ? 0
-               : static_cast<std::uint64_t>(flat_.size());
+               : static_cast<std::uint64_t>(payload.flat.size());
     if (s > 0) {
-      flat_.insert(flat_.end(), shard.flat.begin(), shard.flat.end());
+      payload.flat.insert(payload.flat.end(), shard.flat.begin(),
+                          shard.flat.end());
     }
     SOLDIST_CHECK(shard.per_set.size() == shard.num_sets());
     for (std::uint64_t j = 1; j < shard.offsets.size(); ++j) {
-      set_offsets_.push_back(base + shard.offsets[j]);
+      payload.set_offsets.push_back(base + shard.offsets[j]);
       counters_.Append(shard.per_set[j - 1]);
     }
   }
   SOLDIST_CHECK(this->capacity() == capacity)
       << "shards produced " << this->capacity() << " sets, expected "
       << capacity;
-  BuildIndex();
+  BuildFlatIndex(&payload, num_vertices_);
+  AdoptPayload(std::move(payload));
 }
 
-void RrArena::BuildIndex() {
-  const std::uint64_t n = num_vertices_;
-  index_offsets_.assign(n + 1, 0);
-  for (VertexId v : flat_) {
-    ++index_offsets_[static_cast<std::size_t>(v) + 1];
+void RrArena::AdoptPayload(store::RrFlatPayload&& payload) {
+  auto flat = std::make_shared<store::FlatStorage>(std::move(payload),
+                                                   num_vertices_);
+  flat_ = flat->flat_payload();
+  storage_ = std::move(flat);
+}
+
+Status RrArena::ConvertStorage(const store::StorageOptions& options) {
+  SOLDIST_RETURN_IF_ERROR(options.Validate());
+  SOLDIST_CHECK(storage_ != nullptr);
+  if (options.backend == storage_->backend()) return Status::OK();
+  if (flat_ == nullptr) {
+    return Status::FailedPrecondition(
+        "ConvertStorage: only a flat arena can re-home its payload "
+        "(current backend: " +
+        std::string(store::ArenaBackendName(storage_->backend())) + ")");
   }
-  std::partial_sum(index_offsets_.begin(), index_offsets_.end(),
-                   index_offsets_.begin());
-  index_ids_.resize(flat_.size());
-  std::vector<std::uint32_t> cursor(index_offsets_.begin(),
-                                    index_offsets_.end() - 1);
-  for (std::uint64_t set_id = 0; set_id < capacity(); ++set_id) {
-    for (VertexId v : Set(set_id)) {
-      index_ids_[cursor[v]++] = static_cast<std::uint32_t>(set_id);
-    }
-  }
+  // Copy the payload out (the encoder reads it while the flat storage is
+  // still alive), then swap the handle.
+  store::RrFlatPayload payload = *flat_;
+  StatusOr<std::shared_ptr<const store::RrStorage>> next =
+      store::MakeRrStorage(std::move(payload), num_vertices_, options);
+  if (!next.ok()) return next.status();
+  storage_ = std::move(next).value();
+  flat_ = storage_->flat_payload();
+  return Status::OK();
 }
 
 std::span<const std::uint32_t> RrArena::InvertedPrefix(
@@ -145,12 +210,22 @@ std::span<const std::uint32_t> RrArena::InvertedPrefix(
       std::lower_bound(all.begin(), all.end(), bound) - all.begin()));
 }
 
+std::span<const std::uint32_t> RrArena::InvertedPrefix(
+    VertexId v, std::uint64_t count, store::StorageScratch* scratch) const {
+  SOLDIST_DCHECK(v < num_vertices_);
+  std::span<const std::uint32_t> all = InvertedAll(v, scratch);
+  if (count >= capacity()) return all;
+  const auto bound = static_cast<std::uint32_t>(count);
+  return all.first(static_cast<std::size_t>(
+      std::lower_bound(all.begin(), all.end(), bound) - all.begin()));
+}
+
 std::uint64_t RrArena::MemoryBytes() const {
-  return flat_.size() * sizeof(VertexId) +
-         set_offsets_.size() * sizeof(std::uint64_t) +
-         index_ids_.size() * sizeof(std::uint32_t) +
-         index_offsets_.size() * sizeof(std::uint32_t) +
-         counters_.MemoryBytes();
+  return storage_->MemoryBytes() + counters_.MemoryBytes();
+}
+
+std::uint64_t RrArena::ResidentBytes() const {
+  return storage_->ResidentBytes() + counters_.MemoryBytes();
 }
 
 RrPrefixView RrArena::Prefix(std::uint64_t count) const {
@@ -165,6 +240,39 @@ RrPrefixView::RrPrefixView(const RrArena* arena, std::uint64_t count)
       << arena_->capacity();
   const VertexId n = arena_->num_vertices();
   cut_.resize(n);
+  if (!arena_->is_flat()) {
+    // Encoded backend: materialize the prefix once so estimators and
+    // CELF run the identical access pattern they run on a flat arena.
+    // Sets come back sorted ascending (order-free consumers only);
+    // inverted lists decode to exactly the flat index, cut at count_.
+    materialized_ = true;
+    store::StorageScratch scratch;
+    own_set_offsets_.reserve(count_ + 1);
+    own_set_offsets_.push_back(0);
+    for (std::uint64_t i = 0; i < count_; ++i) {
+      std::span<const VertexId> set = arena_->Set(i, &scratch);
+      own_flat_.insert(own_flat_.end(), set.begin(), set.end());
+      own_set_offsets_.push_back(
+          static_cast<std::uint64_t>(own_flat_.size()));
+    }
+    const auto bound = static_cast<std::uint32_t>(count_);
+    own_index_offsets_.reserve(static_cast<std::size_t>(n) + 1);
+    own_index_offsets_.push_back(0);
+    for (VertexId v = 0; v < n; ++v) {
+      std::span<const std::uint32_t> all = arena_->InvertedAll(v, &scratch);
+      const std::size_t keep =
+          count_ == arena_->capacity()
+              ? all.size()
+              : static_cast<std::size_t>(
+                    std::lower_bound(all.begin(), all.end(), bound) -
+                    all.begin());
+      own_ids_.insert(own_ids_.end(), all.begin(), all.begin() + keep);
+      own_index_offsets_.push_back(
+          static_cast<std::uint32_t>(own_ids_.size()));
+      cut_[v] = static_cast<std::uint32_t>(keep);
+    }
+    return;
+  }
   if (count_ == arena_->capacity()) {
     // Full-arena view: every inverted list is already entirely in range,
     // so the cut is its length — no binary searches.

@@ -14,19 +14,23 @@
 // cell byte-identical to a freshly sampled one (ctest rr_arena_test
 // enforces this for worker counts 1/2/4, both models).
 //
-// Layout (all 32-bit ids): one flat vertex array in set order with
-// per-set offsets; one vertex-major inverted index (vertex -> ascending
-// ids of containing sets) with 32-bit ids and offsets; per-set cumulative
-// traversal counters so any prefix's sampling cost is exactly
-// attributable (a reuse-on sweep reports the same per-cell counters as a
-// reuse-off sweep).
+// Storage: the payload lives behind a pluggable store::RrStorage backend
+// (store/arena_storage.h). Arenas always SAMPLE into the flat layout —
 //
-//   flat_:         [ set 0 vertices | set 1 vertices | ... ]
-//   set_offsets_:  [0, |R₀|, |R₀|+|R₁|, ...]            (uint64)
-//   index_ids_:    [ ids of sets containing v=0, v=1, ... ] (uint32, asc)
-//   index_offsets_: n+1 cuts into index_ids_             (uint32)
+//   flat:          [ set 0 vertices | set 1 vertices | ... ]
+//   set_offsets:   [0, |R₀|, |R₀|+|R₁|, ...]            (uint64)
+//   index_ids:     [ ids of sets containing v=0, v=1, ... ] (uint32, asc)
+//   index_offsets: n+1 cuts into index_ids               (uint32)
 //   counters_:     PrefixCounterTable (WorldArena base), Prefix(i) = cost
 //                  of sets [0,i)
+//
+// — and ConvertStorage() can then re-home the payload into the
+// compressed (delta+varint, decode-on-demand) or mmap-spill backend.
+// The raw zero-copy accessors (Set / InvertedAll / InvertedPrefix
+// without a scratch) remain flat-only fast paths; backend-agnostic
+// callers use the StorageScratch overloads, and RrPrefixView
+// materializes the prefix for non-flat arenas so estimators and CELF
+// stay identical across backends at every cut.
 //
 // A prefix view at τ resolves InvertedList(v) by cutting v's ascending id
 // list at the first id >= τ (one binary search per vertex, cached in the
@@ -35,12 +39,15 @@
 // This header also hosts the delta+varint compressed collection (folded
 // in from the former sim/rr_compress.h): the paper's Section 7 question
 // about compressing reverse-reachable sets, answered with an
-// RrCollection-compatible query API over ~1-2 bytes/entry storage.
+// RrCollection-compatible query API over ~1-2 bytes/entry storage. Its
+// encoding is the one store::CompressedStorage promotes to a real arena
+// backend.
 
 #ifndef SOLDIST_SIM_RR_ARENA_H_
 #define SOLDIST_SIM_RR_ARENA_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -49,6 +56,8 @@
 #include "sim/rr_sampler.h"
 #include "sim/sampling_engine.h"
 #include "sim/world_arena.h"
+#include "store/arena_storage.h"
+#include "util/status.h"
 
 namespace soldist {
 
@@ -56,9 +65,11 @@ class RrPrefixView;
 
 /// \brief An immutable, index-complete RR-set store sampled once at the
 /// ladder maximum; all queries are const, so any number of threads may
-/// serve prefix views from one arena concurrently. The prefix-closed
+/// serve prefix views from one arena concurrently (non-flat backends
+/// need one store::StorageScratch per thread). The prefix-closed
 /// lifecycle (capacity, prefix counter table, cache budgeting hooks)
-/// lives in the shared WorldArena substrate.
+/// lives in the shared WorldArena substrate; the payload bytes live
+/// behind a store::RrStorage backend.
 class RrArena : public WorldArena {
  public:
   /// Samples `capacity` IC RR sets with RisEstimator::Build's exact
@@ -81,21 +92,47 @@ class RrArena : public WorldArena {
                            std::uint64_t capacity,
                            const SamplingOptions& sampling);
 
+  /// Rebuilds a FLAT arena from persisted parts (store/arena_io.h): the
+  /// flat set array, per-set offsets, and per-set counter deltas. The
+  /// inverted index is rebuilt deterministically, so a loaded arena is
+  /// byte-identical to the arena that was saved.
+  static RrArena FromParts(VertexId num_vertices,
+                           std::vector<VertexId> flat,
+                           std::vector<std::uint64_t> set_offsets,
+                           const std::vector<TraversalCounters>& per_set);
+
   ArenaKind kind() const override { return ArenaKind::kRr; }
 
-  std::uint64_t total_entries() const {
-    return static_cast<std::uint64_t>(flat_.size());
+  std::uint64_t total_entries() const { return storage_->total_entries(); }
+
+  /// Zero-copy FLAT fast path (traversal order). Non-flat arenas must use
+  /// the StorageScratch overload.
+  std::span<const VertexId> Set(std::uint64_t i) const {
+    SOLDIST_DCHECK(flat_ != nullptr) << "raw Set() on non-flat arena";
+    return {flat_->flat.data() + flat_->set_offsets[i],
+            flat_->flat.data() + flat_->set_offsets[i + 1]};
   }
 
-  std::span<const VertexId> Set(std::uint64_t i) const {
-    return {flat_.data() + set_offsets_[i],
-            flat_.data() + set_offsets_[i + 1]};
+  /// Backend-agnostic set decode; encoded backends return it sorted
+  /// ascending (membership identical to flat). The span is valid until
+  /// the next call on the same scratch.
+  std::span<const VertexId> Set(std::uint64_t i,
+                                store::StorageScratch* scratch) const {
+    return storage_->Set(i, scratch);
   }
 
   /// Ascending ids of ALL arena sets containing v (prefix views cut it).
+  /// Zero-copy FLAT fast path; non-flat arenas use the scratch overload.
   std::span<const std::uint32_t> InvertedAll(VertexId v) const {
-    return {index_ids_.data() + index_offsets_[v],
-            index_ids_.data() + index_offsets_[v + 1]};
+    SOLDIST_DCHECK(flat_ != nullptr) << "raw InvertedAll() on non-flat arena";
+    return {flat_->index_ids.data() + flat_->index_offsets[v],
+            flat_->index_ids.data() + flat_->index_offsets[v + 1]};
+  }
+
+  /// Backend-agnostic inverted list — identical across backends.
+  std::span<const std::uint32_t> InvertedAll(
+      VertexId v, store::StorageScratch* scratch) const {
+    return storage_->InvertedAll(v, scratch);
   }
 
   /// Lazy-cut inverted list: the ids < `count` of sets containing v,
@@ -104,31 +141,52 @@ class RrArena : public WorldArena {
   /// constructor cuts every vertex up front (O(n log capacity)) — a
   /// caller that only ever queries a handful of vertices pays
   /// O(log capacity) per queried vertex instead. `count == capacity()`
-  /// short-circuits to InvertedAll with no search at all.
+  /// short-circuits to InvertedAll with no search at all. FLAT only.
   std::span<const std::uint32_t> InvertedPrefix(VertexId v,
                                                 std::uint64_t count) const;
 
-  /// Heap bytes of the arena payloads (flat + offsets + index + counters).
+  /// Backend-agnostic lazy-cut inverted list.
+  std::span<const std::uint32_t> InvertedPrefix(
+      VertexId v, std::uint64_t count, store::StorageScratch* scratch) const;
+
+  /// Logical bytes of the arena payloads (flat + offsets + index +
+  /// counters) regardless of residency.
   std::uint64_t MemoryBytes() const override;
+
+  /// Bytes occupying RAM right now (backend-reported; == MemoryBytes for
+  /// flat). serve/ArenaCache budgets against this.
+  std::uint64_t ResidentBytes() const override;
+
+  bool is_flat() const { return flat_ != nullptr; }
+  store::ArenaBackend backend() const { return storage_->backend(); }
+  const store::RrStorage& storage() const { return *storage_; }
+  store::StorageStats storage_stats() const { return storage_->stats(); }
+
+  /// Re-homes the payload into `options.backend`. Only a flat arena can
+  /// convert (sampling always produces flat); converting to the current
+  /// backend is a no-op. Queries before and after answer identically.
+  Status ConvertStorage(const store::StorageOptions& options);
 
   RrPrefixView Prefix(std::uint64_t count) const;
 
  private:
   RrArena() = default;
   void Finalize(std::vector<RrShard>&& shards, std::uint64_t capacity);
-  void BuildIndex();
+  void AdoptPayload(store::RrFlatPayload&& payload);
 
-  std::vector<VertexId> flat_;
-  std::vector<std::uint64_t> set_offsets_;      // capacity + 1
-  std::vector<std::uint32_t> index_ids_;        // ascending per vertex
-  std::vector<std::uint32_t> index_offsets_;    // n + 1
+  std::shared_ptr<const store::RrStorage> storage_;
+  const store::RrFlatPayload* flat_ = nullptr;  // cached fast path, may be null
 };
 
-/// \brief A zero-copy view of the first `count` sets of an arena.
+/// \brief A view of the first `count` sets of an arena.
 ///
 /// Query-compatible with the slice of RrCollection the coverage engines
 /// need: Set / InvertedList / size / num_vertices, plus the per-vertex
-/// cover counts (cut lengths) that seed greedy state for free.
+/// cover counts (cut lengths) that seed greedy state for free. Over a
+/// flat arena the view is zero-copy; over an encoded backend the
+/// constructor materializes the prefix (sets + cut inverted lists) into
+/// owned arrays, so estimators and CELF run the identical access pattern
+/// — and produce identical results — on every backend.
 class RrPrefixView {
  public:
   RrPrefixView(const RrArena* arena, std::uint64_t count);
@@ -137,11 +195,19 @@ class RrPrefixView {
   VertexId num_vertices() const { return arena_->num_vertices(); }
 
   std::span<const VertexId> Set(std::uint64_t i) const {
+    if (materialized_) {
+      return {own_flat_.data() + own_set_offsets_[i],
+              own_flat_.data() + own_set_offsets_[i + 1]};
+    }
     return arena_->Set(i);
   }
 
   /// Ascending ids (< size()) of the viewed sets containing v.
   std::span<const std::uint32_t> InvertedList(VertexId v) const {
+    if (materialized_) {
+      return {own_ids_.data() + own_index_offsets_[v],
+              own_ids_.data() + own_index_offsets_[v + 1]};
+    }
     return arena_->InvertedAll(v).first(cut_[v]);
   }
 
@@ -164,6 +230,12 @@ class RrPrefixView {
   const RrArena* arena_;
   std::uint64_t count_;
   std::vector<std::uint32_t> cut_;  // per vertex: ids < count_
+  // Materialized prefix (non-flat arenas only).
+  bool materialized_ = false;
+  std::vector<VertexId> own_flat_;
+  std::vector<std::uint64_t> own_set_offsets_;
+  std::vector<std::uint32_t> own_ids_;
+  std::vector<std::uint32_t> own_index_offsets_;
 };
 
 // ---------------------------------------------------------------------

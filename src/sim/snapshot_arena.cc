@@ -140,6 +140,28 @@ SnapshotArena SnapshotArena::Sample(const InfluenceGraph& ig,
   return arena;
 }
 
+SnapshotArena SnapshotArena::Restore(
+    VertexId num_vertices, std::vector<CondensedSnapshot> snaps,
+    std::vector<SnapshotWarmth> warmth,
+    const std::vector<TraversalCounters>& per_snapshot) {
+  SOLDIST_CHECK(!snaps.empty());
+  SOLDIST_CHECK(snaps.size() == warmth.size());
+  SOLDIST_CHECK(snaps.size() == per_snapshot.size());
+  SnapshotArena arena;
+  arena.num_vertices_ = num_vertices;
+  arena.counters_.Reserve(per_snapshot.size());
+  for (const TraversalCounters& delta : per_snapshot) {
+    arena.counters_.Append(delta);
+  }
+  arena.snaps_ = std::move(snaps);
+  arena.warmth_ = std::move(warmth);
+  for (const CondensedSnapshot& snap : arena.snaps_) {
+    arena.max_components_ =
+        std::max(arena.max_components_, snap.num_components());
+  }
+  return arena;
+}
+
 std::uint64_t SnapshotArena::MemoryBytes() const {
   std::uint64_t bytes = counters_.MemoryBytes();
   for (const CondensedSnapshot& snap : snaps_) bytes += snap.MemoryBytes();

@@ -91,6 +91,16 @@ class SnapshotArena : public WorldArena {
                               std::uint64_t capacity,
                               const SamplingOptions& sampling);
 
+  /// Rebuilds an arena from persisted parts (store/arena_io.h): the
+  /// condensed worlds, their precomputed warmth (saved rather than
+  /// recomputed — the loader has no InfluenceGraph), and per-snapshot
+  /// counter deltas. max_components is recomputed; the result is
+  /// byte-identical to the arena that was saved.
+  static SnapshotArena Restore(VertexId num_vertices,
+                               std::vector<CondensedSnapshot> snaps,
+                               std::vector<SnapshotWarmth> warmth,
+                               const std::vector<TraversalCounters>& per_snapshot);
+
   ArenaKind kind() const override { return ArenaKind::kSnapshot; }
 
   const CondensedSnapshot& World(std::uint64_t i) const { return snaps_[i]; }

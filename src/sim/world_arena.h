@@ -12,7 +12,7 @@
 //
 // The base keeps the hot accessors (capacity / num_vertices /
 // PrefixCounters) non-virtual over protected data; only identity
-// (kind) and accounting (MemoryBytes) dispatch virtually.
+// (kind) and accounting (MemoryBytes / ResidentBytes) dispatch virtually.
 
 #ifndef SOLDIST_SIM_WORLD_ARENA_H_
 #define SOLDIST_SIM_WORLD_ARENA_H_
@@ -78,8 +78,14 @@ class WorldArena {
 
   virtual ArenaKind kind() const = 0;
 
-  /// Heap bytes of all arena payloads (used for cache budgeting).
+  /// Logical heap bytes of all arena payloads.
   virtual std::uint64_t MemoryBytes() const = 0;
+
+  /// Bytes actually occupying RAM right now — what serve/ArenaCache
+  /// budgets against, so a spilled (store::MmapSpillStorage) arena is
+  /// charged its resident chunks, not its logical footprint. Defaults to
+  /// MemoryBytes() for fully-resident arenas.
+  virtual std::uint64_t ResidentBytes() const { return MemoryBytes(); }
 
   std::uint64_t capacity() const { return counters_.size(); }
   VertexId num_vertices() const { return num_vertices_; }

@@ -1,0 +1,495 @@
+#include "store/arena_io.h"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace soldist {
+namespace store {
+namespace {
+
+// "SOLDARNA" as a native u64: written in host byte order, so a file
+// produced on an opposite-endian machine reads back as a different value
+// and the load fails cleanly instead of deserializing garbage.
+constexpr std::uint64_t kPayloadMagic = 0x534F4C4441524E41ull;
+constexpr std::uint32_t kKindRr = 0;
+constexpr std::uint32_t kKindSnapshot = 1;
+
+constexpr char kManifestFile[] = "/manifest.txt";
+constexpr char kPayloadFile[] = "/payload.bin";
+
+std::uint64_t Fnv1a(const std::uint8_t* data, std::size_t size,
+                    std::uint64_t hash = 0xcbf29ce484222325ull) {
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+/// Append-only payload writer: accumulates the byte stream in memory,
+/// then flushes it with its checksum in one pass. Arenas at the recorded
+/// bench scales are tens of MB, so the staging buffer is acceptable; a
+/// streaming writer can replace this without a format change.
+class PayloadWriter {
+ public:
+  void PutU32(std::uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(std::uint64_t v) { PutRaw(&v, sizeof(v)); }
+
+  template <typename T>
+  void PutVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (!v.empty()) PutRaw(v.data(), v.size() * sizeof(T));
+  }
+
+  void PutCounters(const TraversalCounters& c) {
+    PutU64(c.vertices);
+    PutU64(c.edges);
+    PutU64(c.sample_vertices);
+    PutU64(c.sample_edges);
+  }
+
+  Status Flush(const std::string& path, std::uint64_t* bytes,
+               std::uint64_t* checksum) const {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IoError("cannot open '" + path + "' for writing");
+    }
+    out.write(reinterpret_cast<const char*>(buffer_.data()),
+              static_cast<std::streamsize>(buffer_.size()));
+    out.flush();
+    if (!out) return Status::IoError("short write to '" + path + "'");
+    *bytes = buffer_.size();
+    *checksum = Fnv1a(buffer_.data(), buffer_.size());
+    return Status::OK();
+  }
+
+ private:
+  void PutRaw(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const std::uint8_t*>(data);
+    buffer_.insert(buffer_.end(), bytes, bytes + size);
+  }
+
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Bounds-checked payload reader: every Get returns false once the
+/// cursor would run past the end, so a truncated file surfaces as a
+/// Status from the caller, never an out-of-bounds read.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::vector<std::uint8_t> bytes)
+      : bytes_(std::move(bytes)) {}
+
+  bool GetU32(std::uint32_t* v) { return GetRaw(v, sizeof(*v)); }
+  bool GetU64(std::uint64_t* v) { return GetRaw(v, sizeof(*v)); }
+
+  template <typename T>
+  bool GetVector(std::uint64_t count, std::vector<T>* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    // Reject counts the remaining bytes cannot possibly hold BEFORE
+    // resizing, so a corrupt length cannot trigger a huge allocation.
+    if (count > (bytes_.size() - pos_) / sizeof(T)) return false;
+    v->resize(count);
+    return count == 0 || GetRaw(v->data(), count * sizeof(T));
+  }
+
+  bool GetCounters(TraversalCounters* c) {
+    return GetU64(&c->vertices) && GetU64(&c->edges) &&
+           GetU64(&c->sample_vertices) && GetU64(&c->sample_edges);
+  }
+
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  bool GetRaw(void* out, std::size_t size) {
+    if (size > bytes_.size() - pos_) return false;
+    std::memcpy(out, bytes_.data() + pos_, size);
+    pos_ += size;
+    return true;
+  }
+
+  std::vector<std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+Status WriteManifest(const ArenaManifest& manifest, const std::string& dir) {
+  const std::string path = dir + kManifestFile;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out << "format_version=" << manifest.version << "\n"
+      << "kind=" << manifest.kind << "\n"
+      << "workload=" << manifest.workload << "\n"
+      << "seed=" << manifest.seed << "\n"
+      << "stream=" << manifest.stream << "\n"
+      << "capacity=" << manifest.capacity << "\n"
+      << "num_vertices=" << manifest.num_vertices << "\n"
+      << "payload_bytes=" << manifest.payload_bytes << "\n"
+      << "checksum=" << manifest.checksum << "\n";
+  out.flush();
+  if (!out) return Status::IoError("short write to '" + path + "'");
+  return Status::OK();
+}
+
+bool ParseU64(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  for (char ch : text) {
+    if (ch < '0' || ch > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(ch - '0');
+  }
+  *out = value;
+  return true;
+}
+
+/// Checks the identity fields of a read manifest against the request.
+/// Capacity is a >= check: a bigger saved arena serves any smaller τ as
+/// a byte-identical prefix.
+Status MatchManifest(const ArenaManifest& found,
+                     const ArenaManifest& expected) {
+  if (found.version != kArenaFormatVersion) {
+    return Status::FailedPrecondition(
+        "arena format version " + std::to_string(found.version) +
+        " != " + std::to_string(kArenaFormatVersion));
+  }
+  if (found.kind != expected.kind || found.workload != expected.workload ||
+      found.seed != expected.seed || found.stream != expected.stream) {
+    return Status::FailedPrecondition(
+        "arena identity mismatch: saved (" + found.kind + ", " +
+        found.workload + ", seed=" + std::to_string(found.seed) + ", " +
+        found.stream + ") vs requested (" + expected.kind + ", " +
+        expected.workload + ", seed=" + std::to_string(expected.seed) +
+        ", " + expected.stream + ")");
+  }
+  if (found.capacity < expected.capacity) {
+    return Status::FailedPrecondition(
+        "saved arena capacity " + std::to_string(found.capacity) +
+        " < requested " + std::to_string(expected.capacity));
+  }
+  if (expected.num_vertices != 0 &&
+      found.num_vertices != expected.num_vertices) {
+    return Status::FailedPrecondition(
+        "saved arena has " + std::to_string(found.num_vertices) +
+        " vertices, requested " + std::to_string(expected.num_vertices));
+  }
+  return Status::OK();
+}
+
+/// Reads payload.bin, verifies size + checksum against the manifest, and
+/// checks the binary header (magic / version / kind / shape).
+StatusOr<std::shared_ptr<PayloadReader>> OpenPayload(
+    const std::string& dir, const ArenaManifest& manifest,
+    std::uint32_t expected_kind) {
+  const std::string path = dir + kPayloadFile;
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::NotFound("no arena payload at '" + path + "'");
+  const std::streamoff size = in.tellg();
+  if (static_cast<std::uint64_t>(size) != manifest.payload_bytes) {
+    return Status::IoError(
+        "arena payload '" + path + "' is " + std::to_string(size) +
+        " bytes, manifest says " + std::to_string(manifest.payload_bytes) +
+        " (truncated?)");
+  }
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in) return Status::IoError("short read from '" + path + "'");
+  if (Fnv1a(bytes.data(), bytes.size()) != manifest.checksum) {
+    return Status::IoError("arena payload '" + path +
+                           "' fails its checksum (corrupted)");
+  }
+  auto reader = std::make_shared<PayloadReader>(std::move(bytes));
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0, kind = 0, num_vertices = 0, reserved = 0;
+  std::uint64_t capacity = 0;
+  if (!reader->GetU64(&magic) || !reader->GetU32(&version) ||
+      !reader->GetU32(&kind) || !reader->GetU32(&num_vertices) ||
+      !reader->GetU32(&reserved) || !reader->GetU64(&capacity)) {
+    return Status::IoError("arena payload '" + path + "' header truncated");
+  }
+  if (magic != kPayloadMagic) {
+    return Status::FailedPrecondition(
+        "arena payload '" + path +
+        "' has a wrong magic (different endianness or not an arena file)");
+  }
+  if (version != kArenaFormatVersion) {
+    return Status::FailedPrecondition("arena payload version " +
+                                      std::to_string(version) +
+                                      " != " +
+                                      std::to_string(kArenaFormatVersion));
+  }
+  if (kind != expected_kind || num_vertices != manifest.num_vertices ||
+      capacity != manifest.capacity) {
+    return Status::IoError("arena payload '" + path +
+                           "' header disagrees with its manifest");
+  }
+  return reader;
+}
+
+void WriteHeader(PayloadWriter* writer, std::uint32_t kind,
+                 std::uint32_t num_vertices, std::uint64_t capacity) {
+  writer->PutU64(kPayloadMagic);
+  writer->PutU32(kArenaFormatVersion);
+  writer->PutU32(kind);
+  writer->PutU32(num_vertices);
+  writer->PutU32(0);  // reserved
+  writer->PutU64(capacity);
+}
+
+std::vector<TraversalCounters> PrefixDeltas(const WorldArena& arena) {
+  std::vector<TraversalCounters> deltas;
+  deltas.reserve(arena.capacity());
+  TraversalCounters prev;  // zero
+  for (std::uint64_t i = 1; i <= arena.capacity(); ++i) {
+    const TraversalCounters cum = arena.PrefixCounters(i);
+    TraversalCounters delta;
+    delta.vertices = cum.vertices - prev.vertices;
+    delta.edges = cum.edges - prev.edges;
+    delta.sample_vertices = cum.sample_vertices - prev.sample_vertices;
+    delta.sample_edges = cum.sample_edges - prev.sample_edges;
+    deltas.push_back(delta);
+    prev = cum;
+  }
+  return deltas;
+}
+
+Status FinishSave(PayloadWriter* writer, ArenaManifest* manifest,
+                  const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create arena dir '" + dir +
+                           "': " + ec.message());
+  }
+  manifest->version = kArenaFormatVersion;
+  SOLDIST_RETURN_IF_ERROR(writer->Flush(dir + kPayloadFile,
+                                        &manifest->payload_bytes,
+                                        &manifest->checksum));
+  // Manifest last: a crash mid-save leaves a manifest-less directory
+  // that reads as kNotFound, not as a corrupt hit.
+  return WriteManifest(*manifest, dir);
+}
+
+}  // namespace
+
+StatusOr<ArenaManifest> ReadArenaManifest(const std::string& dir) {
+  const std::string path = dir + kManifestFile;
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("no arena manifest at '" + path + "'");
+  ArenaManifest manifest;
+  manifest.version = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::IoError("malformed manifest line '" + line + "' in '" +
+                             path + "'");
+    }
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    std::uint64_t number = 0;
+    if (key == "kind") {
+      manifest.kind = value;
+    } else if (key == "workload") {
+      manifest.workload = value;
+    } else if (key == "stream") {
+      manifest.stream = value;
+    } else if (ParseU64(value, &number)) {
+      if (key == "format_version") {
+        manifest.version = static_cast<std::uint32_t>(number);
+      } else if (key == "seed") {
+        manifest.seed = number;
+      } else if (key == "capacity") {
+        manifest.capacity = number;
+      } else if (key == "num_vertices") {
+        manifest.num_vertices = number;
+      } else if (key == "payload_bytes") {
+        manifest.payload_bytes = number;
+      } else if (key == "checksum") {
+        manifest.checksum = number;
+      }  // unknown numeric keys: forward-compatible skip
+    } else {
+      return Status::IoError("malformed manifest value '" + line +
+                             "' in '" + path + "'");
+    }
+  }
+  if (manifest.kind.empty() || manifest.capacity == 0) {
+    return Status::IoError("incomplete arena manifest at '" + path + "'");
+  }
+  return manifest;
+}
+
+Status SaveRrArena(const RrArena& arena, ArenaManifest manifest,
+                   const std::string& dir) {
+  if (!arena.is_flat()) {
+    return Status::FailedPrecondition(
+        "SaveRrArena requires a flat arena (save before ConvertStorage)");
+  }
+  const store::RrFlatPayload* payload = arena.storage().flat_payload();
+  SOLDIST_CHECK(payload != nullptr);
+  manifest.kind = "rr";
+  manifest.capacity = arena.capacity();
+  manifest.num_vertices = arena.num_vertices();
+  PayloadWriter writer;
+  WriteHeader(&writer, kKindRr, arena.num_vertices(), arena.capacity());
+  writer.PutVector(payload->set_offsets);
+  writer.PutVector(payload->flat);
+  // The inverted index is NOT persisted — the load rebuilds it with the
+  // same counting sort, byte-identically, at half the file size.
+  for (const TraversalCounters& delta : PrefixDeltas(arena)) {
+    writer.PutCounters(delta);
+  }
+  return FinishSave(&writer, &manifest, dir);
+}
+
+StatusOr<std::shared_ptr<RrArena>> LoadRrArena(
+    const std::string& dir, const ArenaManifest& expected) {
+  StatusOr<ArenaManifest> manifest = ReadArenaManifest(dir);
+  if (!manifest.ok()) return manifest.status();
+  ArenaManifest want = expected;
+  want.kind = "rr";
+  SOLDIST_RETURN_IF_ERROR(MatchManifest(manifest.value(), want));
+  StatusOr<std::shared_ptr<PayloadReader>> opened =
+      OpenPayload(dir, manifest.value(), kKindRr);
+  if (!opened.ok()) return opened.status();
+  PayloadReader& reader = *opened.value();
+  const std::uint64_t capacity = manifest.value().capacity;
+  std::vector<std::uint64_t> set_offsets;
+  std::vector<VertexId> flat;
+  if (!reader.GetVector(capacity + 1, &set_offsets)) {
+    return Status::IoError("arena payload truncated in set offsets");
+  }
+  if (set_offsets.front() != 0) {
+    return Status::IoError("arena payload has corrupt set offsets");
+  }
+  for (std::uint64_t i = 0; i < capacity; ++i) {
+    if (set_offsets[i] > set_offsets[i + 1]) {
+      return Status::IoError("arena payload has non-monotone set offsets");
+    }
+  }
+  if (!reader.GetVector(set_offsets.back(), &flat)) {
+    return Status::IoError("arena payload truncated in the flat set array");
+  }
+  const auto num_vertices =
+      static_cast<VertexId>(manifest.value().num_vertices);
+  for (VertexId v : flat) {
+    if (v >= num_vertices) {
+      return Status::IoError("arena payload has out-of-range vertex ids");
+    }
+  }
+  std::vector<TraversalCounters> per_set(capacity);
+  for (std::uint64_t i = 0; i < capacity; ++i) {
+    if (!reader.GetCounters(&per_set[i])) {
+      return Status::IoError("arena payload truncated in counter deltas");
+    }
+  }
+  if (!reader.exhausted()) {
+    return Status::IoError("arena payload has trailing bytes");
+  }
+  return std::make_shared<RrArena>(RrArena::FromParts(
+      num_vertices, std::move(flat), std::move(set_offsets), per_set));
+}
+
+Status SaveSnapshotArena(const SnapshotArena& arena, ArenaManifest manifest,
+                         const std::string& dir) {
+  manifest.kind = "snapshot";
+  manifest.capacity = arena.capacity();
+  manifest.num_vertices = arena.num_vertices();
+  PayloadWriter writer;
+  WriteHeader(&writer, kKindSnapshot, arena.num_vertices(),
+              arena.capacity());
+  for (std::uint64_t i = 0; i < arena.capacity(); ++i) {
+    const CondensedSnapshot& snap = arena.World(i);
+    const SnapshotWarmth& warmth = arena.Warmth(i);
+    const std::uint32_t num_components = snap.num_components();
+    SOLDIST_CHECK(warmth.bound.size() == num_components);
+    writer.PutU32(num_components);
+    writer.PutVector(snap.comp_of);
+    writer.PutVector(snap.comp_size);
+    writer.PutVector(snap.dag.offsets);
+    writer.PutVector(snap.dag.targets);
+    writer.PutVector(snap.rev.offsets);
+    writer.PutVector(snap.rev.targets);
+    writer.PutVector(warmth.bound);
+    writer.PutVector(warmth.is_exact);
+  }
+  for (const TraversalCounters& delta : PrefixDeltas(arena)) {
+    writer.PutCounters(delta);
+  }
+  return FinishSave(&writer, &manifest, dir);
+}
+
+StatusOr<std::shared_ptr<SnapshotArena>> LoadSnapshotArena(
+    const std::string& dir, const ArenaManifest& expected) {
+  StatusOr<ArenaManifest> manifest = ReadArenaManifest(dir);
+  if (!manifest.ok()) return manifest.status();
+  ArenaManifest want = expected;
+  want.kind = "snapshot";
+  SOLDIST_RETURN_IF_ERROR(MatchManifest(manifest.value(), want));
+  StatusOr<std::shared_ptr<PayloadReader>> opened =
+      OpenPayload(dir, manifest.value(), kKindSnapshot);
+  if (!opened.ok()) return opened.status();
+  PayloadReader& reader = *opened.value();
+  const std::uint64_t capacity = manifest.value().capacity;
+  const auto num_vertices =
+      static_cast<VertexId>(manifest.value().num_vertices);
+  std::vector<CondensedSnapshot> snaps(capacity);
+  std::vector<SnapshotWarmth> warmth(capacity);
+  auto read_dag = [&](CondensationDag* dag, std::uint32_t num_components) {
+    if (!reader.GetVector(static_cast<std::uint64_t>(num_components) + 1,
+                          &dag->offsets)) {
+      return false;
+    }
+    if (dag->offsets.front() != 0) return false;
+    for (std::uint32_t c = 0; c < num_components; ++c) {
+      if (dag->offsets[c] > dag->offsets[c + 1]) return false;
+    }
+    if (!reader.GetVector(dag->offsets.back(), &dag->targets)) return false;
+    for (std::uint32_t t : dag->targets) {
+      if (t >= num_components) return false;
+    }
+    return true;
+  };
+  for (std::uint64_t i = 0; i < capacity; ++i) {
+    std::uint32_t num_components = 0;
+    CondensedSnapshot& snap = snaps[i];
+    const bool ok =
+        reader.GetU32(&num_components) && num_components >= 1 &&
+        num_components <= num_vertices &&
+        reader.GetVector(num_vertices, &snap.comp_of) &&
+        reader.GetVector(num_components, &snap.comp_size) &&
+        read_dag(&snap.dag, num_components) &&
+        read_dag(&snap.rev, num_components) &&
+        reader.GetVector(num_components, &warmth[i].bound) &&
+        reader.GetVector(num_components, &warmth[i].is_exact);
+    if (!ok) {
+      return Status::IoError("arena payload truncated or corrupt in world " +
+                             std::to_string(i));
+    }
+    for (std::uint32_t c : snap.comp_of) {
+      if (c >= num_components) {
+        return Status::IoError("arena payload has out-of-range components");
+      }
+    }
+  }
+  std::vector<TraversalCounters> per_snapshot(capacity);
+  for (std::uint64_t i = 0; i < capacity; ++i) {
+    if (!reader.GetCounters(&per_snapshot[i])) {
+      return Status::IoError("arena payload truncated in counter deltas");
+    }
+  }
+  if (!reader.exhausted()) {
+    return Status::IoError("arena payload has trailing bytes");
+  }
+  return std::make_shared<SnapshotArena>(SnapshotArena::Restore(
+      num_vertices, std::move(snaps), std::move(warmth), per_snapshot));
+}
+
+}  // namespace store
+}  // namespace soldist

@@ -1,0 +1,95 @@
+// Session-lifetime arena persistence: a versioned on-disk format so
+// api::Session, the shared oracle, benches and the --query REPL reuse ONE
+// sampled arena across processes instead of resampling 10^5-10^7 RR sets
+// each (ISSUE 8).
+//
+// Layout of an arena directory:
+//
+//   <dir>/manifest.txt   key=value identity + integrity record:
+//                        format_version, kind (rr|snapshot), workload
+//                        label, seed, stream family ("seq" or
+//                        "engine/<chunk>"), capacity, num_vertices,
+//                        payload_bytes, checksum (FNV-1a 64 over the
+//                        payload file).
+//   <dir>/payload.bin    binary payload. Starts with a u64 magic that
+//                        reads back wrong on an opposite-endian machine
+//                        (endianness guard), then version/kind/shape,
+//                        then the kind-specific sections. RR arenas
+//                        persist the flat set array + per-set offsets +
+//                        per-set counter deltas (the inverted index is
+//                        rebuilt deterministically on load, halving the
+//                        file); Snapshot arenas persist each condensed
+//                        world, its warmth (saved, not recomputed — the
+//                        loader has no InfluenceGraph) and the deltas.
+//
+// Everything fallible returns Status: a corrupted, truncated,
+// wrong-version, wrong-endian or identity-mismatched file is a load
+// MISS the caller falls back from (resample + save), never an abort —
+// ctest arena_store_test drives each failure mode.
+//
+// Determinism contract: Save(Load(x)) == x and Load(Save(arena)) serves
+// byte-identical queries to `arena` at every prefix cut, both stream
+// families, because the payload IS the sampled bytes (no re-encoding)
+// and the index rebuild is the same counting sort as the original build.
+
+#ifndef SOLDIST_STORE_ARENA_IO_H_
+#define SOLDIST_STORE_ARENA_IO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/rr_arena.h"
+#include "sim/snapshot_arena.h"
+#include "util/status.h"
+
+namespace soldist {
+namespace store {
+
+/// Bump when the payload layout changes; older files load as
+/// kFailedPrecondition (callers resample).
+inline constexpr std::uint32_t kArenaFormatVersion = 1;
+
+/// \brief The identity + integrity record of a persisted arena. The
+/// identity fields (kind, workload, seed, stream) say WHAT was sampled;
+/// a load only proceeds when they match the request exactly and the
+/// saved capacity covers the requested one.
+struct ArenaManifest {
+  std::uint32_t version = kArenaFormatVersion;
+  std::string kind;      // "rr" | "snapshot"
+  std::string workload;  // workload label (network/prob/model key)
+  std::uint64_t seed = 0;
+  std::string stream;    // "seq" | "engine/<chunk_size>"
+  std::uint64_t capacity = 0;
+  std::uint64_t num_vertices = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t checksum = 0;  // FNV-1a 64 of payload.bin
+};
+
+/// Parses `<dir>/manifest.txt`; kNotFound when absent.
+StatusOr<ArenaManifest> ReadArenaManifest(const std::string& dir);
+
+/// Persists a FLAT RR arena (kFailedPrecondition otherwise — save before
+/// ConvertStorage). `manifest` supplies the identity fields (workload,
+/// seed, stream); shape, checksum and version are filled in here. The
+/// payload is written before the manifest, so a crash mid-save leaves a
+/// directory that reads as kNotFound, not as a corrupt hit.
+Status SaveRrArena(const RrArena& arena, ArenaManifest manifest,
+                   const std::string& dir);
+
+/// Loads an RR arena whose manifest matches `expected`'s identity fields
+/// and has capacity >= expected.capacity. Always returns a flat arena
+/// (convert afterwards); byte-identical to the arena that was saved.
+StatusOr<std::shared_ptr<RrArena>> LoadRrArena(const std::string& dir,
+                                               const ArenaManifest& expected);
+
+Status SaveSnapshotArena(const SnapshotArena& arena, ArenaManifest manifest,
+                         const std::string& dir);
+
+StatusOr<std::shared_ptr<SnapshotArena>> LoadSnapshotArena(
+    const std::string& dir, const ArenaManifest& expected);
+
+}  // namespace store
+}  // namespace soldist
+
+#endif  // SOLDIST_STORE_ARENA_IO_H_

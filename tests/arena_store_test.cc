@@ -1,0 +1,585 @@
+// The store/ subsystem's ctest contract (ISSUE 8): persisted arenas
+// round-trip byte-identically (both stream families, prefix cuts, worker
+// counts 1/2/4), every corruption / identity-mismatch mode is a Status
+// the caller falls back from (never an abort), and the compressed / mmap
+// backends answer Solve / TopK / Spread byte-identically to flat. Plus
+// the serve-layer regressions: ArenaCache charges backend-reported
+// ResidentBytes with exact refunds, and QueryService reloads a persisted
+// arena across sessions instead of resampling.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/session.h"
+#include "api/spec.h"
+#include "gen/datasets.h"
+#include "graph/builder.h"
+#include "model/probability.h"
+#include "serve/arena_cache.h"
+#include "serve/query_service.h"
+#include "sim/max_coverage.h"
+#include "sim/rr_arena.h"
+#include "sim/sampling_engine.h"
+#include "sim/snapshot_arena.h"
+#include "store/arena_io.h"
+#include "store/arena_storage.h"
+#include "util/status.h"
+
+namespace soldist {
+namespace {
+
+InfluenceGraph KarateUc01() {
+  Graph g = GraphBuilder::FromEdgeList(Datasets::Karate());
+  return MakeInfluenceGraph(std::move(g), ProbabilityModel::kUc01);
+}
+
+SamplingOptions Threads(int num_threads, std::uint64_t chunk_size) {
+  SamplingOptions options;
+  options.num_threads = num_threads;
+  options.chunk_size = chunk_size;
+  return options;
+}
+
+void ExpectCountersEq(const TraversalCounters& a,
+                      const TraversalCounters& b) {
+  EXPECT_EQ(a.vertices, b.vertices);
+  EXPECT_EQ(a.edges, b.edges);
+  EXPECT_EQ(a.sample_vertices, b.sample_vertices);
+  EXPECT_EQ(a.sample_edges, b.sample_edges);
+}
+
+/// A fresh (removed-if-present) directory under the test temp root.
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/arena_store_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+store::ArenaManifest RrManifest(std::uint64_t seed, std::string stream,
+                                std::uint64_t capacity) {
+  store::ArenaManifest manifest;
+  manifest.kind = "rr";
+  manifest.workload = "Karate/uc0.1";
+  manifest.seed = seed;
+  manifest.stream = std::move(stream);
+  manifest.capacity = capacity;
+  return manifest;
+}
+
+/// Full byte-identity: shape, every set, every inverted list, and the
+/// prefix counters at the cuts the ladder actually serves.
+void ExpectRrArenasIdentical(const RrArena& a, const RrArena& b) {
+  ASSERT_EQ(a.capacity(), b.capacity());
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.total_entries(), b.total_entries());
+  for (std::uint64_t i = 0; i < a.capacity(); ++i) {
+    std::span<const VertexId> sa = a.Set(i);
+    std::span<const VertexId> sb = b.Set(i);
+    ASSERT_TRUE(std::equal(sa.begin(), sa.end(), sb.begin(), sb.end()))
+        << "set " << i;
+  }
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    std::span<const std::uint32_t> la = a.InvertedAll(v);
+    std::span<const std::uint32_t> lb = b.InvertedAll(v);
+    ASSERT_TRUE(std::equal(la.begin(), la.end(), lb.begin(), lb.end()))
+        << "inverted list of " << v;
+  }
+  for (std::uint64_t cut : {std::uint64_t{1}, a.capacity() / 2,
+                            a.capacity()}) {
+    ExpectCountersEq(a.PrefixCounters(cut), b.PrefixCounters(cut));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Save/load round trips: both stream families, workers 1/2/4.
+// ---------------------------------------------------------------------
+
+TEST(ArenaIoTest, RrRoundTripSeqFamily) {
+  InfluenceGraph ig = KarateUc01();
+  RrArena arena = RrArena::SampleIc(ig, 7, 96, Threads(1, 64));
+  std::string dir = FreshDir("rr_seq");
+  ASSERT_TRUE(store::SaveRrArena(arena, RrManifest(7, "seq", 96), dir).ok());
+  auto loaded = store::LoadRrArena(dir, RrManifest(7, "seq", 96));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectRrArenasIdentical(arena, *loaded.value());
+}
+
+TEST(ArenaIoTest, RrRoundTripEngineFamilyWorkers2And4) {
+  InfluenceGraph ig = KarateUc01();
+  std::vector<std::shared_ptr<RrArena>> reloaded;
+  for (int workers : {2, 4}) {
+    RrArena arena = RrArena::SampleIc(ig, 7, 96, Threads(workers, 32));
+    std::string dir =
+        FreshDir("rr_engine_w" + std::to_string(workers));
+    ASSERT_TRUE(
+        store::SaveRrArena(arena, RrManifest(7, "engine/32", 96), dir).ok());
+    auto loaded = store::LoadRrArena(dir, RrManifest(7, "engine/32", 96));
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    ExpectRrArenasIdentical(arena, *loaded.value());
+    reloaded.push_back(loaded.value());
+  }
+  // The engine family's thread-count invariance survives persistence.
+  ExpectRrArenasIdentical(*reloaded[0], *reloaded[1]);
+}
+
+TEST(ArenaIoTest, LoadServesSmallerCapacityAsExactPrefix) {
+  InfluenceGraph ig = KarateUc01();
+  RrArena arena = RrArena::SampleIc(ig, 9, 128, Threads(1, 64));
+  std::string dir = FreshDir("rr_prefix");
+  ASSERT_TRUE(
+      store::SaveRrArena(arena, RrManifest(9, "seq", 128), dir).ok());
+  // Requesting LESS than the saved capacity is a hit; the loaded arena
+  // keeps the full capacity and the prefix is byte-identical to a direct
+  // sample at the smaller τ.
+  auto loaded = store::LoadRrArena(dir, RrManifest(9, "seq", 64));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value()->capacity(), 128u);
+  RrArena direct = RrArena::SampleIc(ig, 9, 64, Threads(1, 64));
+  for (std::uint64_t cut : {std::uint64_t{1}, std::uint64_t{32},
+                            std::uint64_t{64}}) {
+    MaxCoverageResult a = GreedyMaxCoverage(loaded.value()->Prefix(cut), 3);
+    MaxCoverageResult b = GreedyMaxCoverage(direct.Prefix(cut), 3);
+    EXPECT_EQ(a.seeds, b.seeds);
+    EXPECT_EQ(a.covered, b.covered);
+  }
+}
+
+TEST(ArenaIoTest, SnapshotRoundTripBothFamilies) {
+  InfluenceGraph ig = KarateUc01();
+  for (int workers : {1, 2, 4}) {
+    SamplingOptions sampling = Threads(workers, 16);
+    SnapshotArena arena = SnapshotArena::Sample(ig, 11, 48, sampling);
+    store::ArenaManifest manifest;
+    manifest.kind = "snapshot";
+    manifest.workload = "Karate/uc0.1";
+    manifest.seed = 11;
+    manifest.stream = workers == 1 ? "seq" : "engine/16";
+    manifest.capacity = 48;
+    std::string dir =
+        FreshDir("snapshot_w" + std::to_string(workers));
+    ASSERT_TRUE(store::SaveSnapshotArena(arena, manifest, dir).ok());
+    auto loaded = store::LoadSnapshotArena(dir, manifest);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    const SnapshotArena& back = *loaded.value();
+    ASSERT_EQ(back.capacity(), arena.capacity());
+    ASSERT_EQ(back.num_vertices(), arena.num_vertices());
+    EXPECT_EQ(back.max_components(), arena.max_components());
+    for (std::uint64_t i = 0; i < arena.capacity(); ++i) {
+      const CondensedSnapshot& w = arena.World(i);
+      const CondensedSnapshot& r = back.World(i);
+      EXPECT_EQ(w.comp_of, r.comp_of) << "world " << i;
+      EXPECT_EQ(w.comp_size, r.comp_size) << "world " << i;
+      EXPECT_EQ(w.dag.offsets, r.dag.offsets) << "world " << i;
+      EXPECT_EQ(w.dag.targets, r.dag.targets) << "world " << i;
+      EXPECT_EQ(w.rev.offsets, r.rev.offsets) << "world " << i;
+      EXPECT_EQ(w.rev.targets, r.rev.targets) << "world " << i;
+      EXPECT_EQ(arena.Warmth(i).bound, back.Warmth(i).bound) << i;
+      EXPECT_EQ(arena.Warmth(i).is_exact, back.Warmth(i).is_exact) << i;
+    }
+    for (std::uint64_t cut : {std::uint64_t{1}, std::uint64_t{24},
+                              std::uint64_t{48}}) {
+      ExpectCountersEq(arena.PrefixCounters(cut), back.PrefixCounters(cut));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Every miss mode is a Status the caller falls back from — never an
+// abort, and each mode gets the code the fallback logic dispatches on.
+// ---------------------------------------------------------------------
+
+TEST(ArenaIoTest, MissingDirectoryIsNotFound) {
+  std::string dir = FreshDir("does_not_exist");
+  auto loaded = store::LoadRrArena(dir, RrManifest(1, "seq", 8));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ArenaIoTest, IdentityMismatchIsFailedPrecondition) {
+  InfluenceGraph ig = KarateUc01();
+  RrArena arena = RrArena::SampleIc(ig, 7, 32, Threads(1, 64));
+  std::string dir = FreshDir("rr_identity");
+  ASSERT_TRUE(store::SaveRrArena(arena, RrManifest(7, "seq", 32), dir).ok());
+
+  auto wrong_seed = store::LoadRrArena(dir, RrManifest(8, "seq", 32));
+  ASSERT_FALSE(wrong_seed.ok());
+  EXPECT_EQ(wrong_seed.status().code(), StatusCode::kFailedPrecondition);
+
+  auto wrong_stream =
+      store::LoadRrArena(dir, RrManifest(7, "engine/256", 32));
+  ASSERT_FALSE(wrong_stream.ok());
+  EXPECT_EQ(wrong_stream.status().code(), StatusCode::kFailedPrecondition);
+
+  store::ArenaManifest wrong_workload = RrManifest(7, "seq", 32);
+  wrong_workload.workload = "Karate/iwc";
+  auto mismatch = store::LoadRrArena(dir, wrong_workload);
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_EQ(mismatch.status().code(), StatusCode::kFailedPrecondition);
+
+  // A saved arena SMALLER than the request cannot serve it as a prefix.
+  auto too_small = store::LoadRrArena(dir, RrManifest(7, "seq", 64));
+  ASSERT_FALSE(too_small.ok());
+  EXPECT_EQ(too_small.status().code(), StatusCode::kFailedPrecondition);
+
+  // Kind cross-load: a snapshot loader pointed at an RR directory.
+  auto wrong_kind = store::LoadSnapshotArena(dir, RrManifest(7, "seq", 32));
+  ASSERT_FALSE(wrong_kind.ok());
+  EXPECT_EQ(wrong_kind.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ArenaIoTest, CorruptedPayloadIsStatusNotAbort) {
+  InfluenceGraph ig = KarateUc01();
+  RrArena arena = RrArena::SampleIc(ig, 7, 32, Threads(1, 64));
+  std::string dir = FreshDir("rr_corrupt");
+  ASSERT_TRUE(store::SaveRrArena(arena, RrManifest(7, "seq", 32), dir).ok());
+  const std::string payload = dir + "/payload.bin";
+  const auto original_size = std::filesystem::file_size(payload);
+
+  // Flip one byte past the header: the checksum must catch it.
+  {
+    std::fstream f(payload,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(static_cast<std::streamoff>(original_size / 2));
+    char byte = 0;
+    f.get(byte);
+    f.seekp(static_cast<std::streamoff>(original_size / 2));
+    f.put(static_cast<char>(byte ^ 0x5a));
+  }
+  auto flipped = store::LoadRrArena(dir, RrManifest(7, "seq", 32));
+  ASSERT_FALSE(flipped.ok());
+  EXPECT_EQ(flipped.status().code(), StatusCode::kIoError);
+
+  // Re-save, then truncate: the size guard must catch it.
+  ASSERT_TRUE(store::SaveRrArena(arena, RrManifest(7, "seq", 32), dir).ok());
+  std::filesystem::resize_file(payload, original_size - 8);
+  auto truncated = store::LoadRrArena(dir, RrManifest(7, "seq", 32));
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.status().code(), StatusCode::kIoError);
+}
+
+TEST(ArenaIoTest, WrongFormatVersionIsFailedPrecondition) {
+  InfluenceGraph ig = KarateUc01();
+  RrArena arena = RrArena::SampleIc(ig, 7, 32, Threads(1, 64));
+  std::string dir = FreshDir("rr_version");
+  ASSERT_TRUE(store::SaveRrArena(arena, RrManifest(7, "seq", 32), dir).ok());
+  // Rewrite the manifest claiming a future format version: the loader
+  // must refuse BEFORE touching the payload (callers resample).
+  const std::string manifest_path = dir + "/manifest.txt";
+  std::string text;
+  {
+    std::ifstream in(manifest_path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind("format_version=", 0) == 0) line = "format_version=99";
+      text += line;
+      text += '\n';
+    }
+  }
+  {
+    std::ofstream out(manifest_path, std::ios::trunc);
+    out << text;
+  }
+  auto loaded = store::LoadRrArena(dir, RrManifest(7, "seq", 32));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------
+// Backend identity: compressed and mmap answer Solve / TopK / Spread
+// byte-identically to flat at every prefix cut.
+// ---------------------------------------------------------------------
+
+TEST(ArenaStorageTest, BackendsAnswerIdentically) {
+  InfluenceGraph ig = KarateUc01();
+  auto flat = std::make_shared<RrArena>(
+      RrArena::SampleIc(ig, 3, 128, Threads(1, 64)));
+
+  auto compressed = std::make_shared<RrArena>(*flat);
+  store::StorageOptions compress_options;
+  compress_options.backend = store::ArenaBackend::kCompressed;
+  ASSERT_TRUE(compressed->ConvertStorage(compress_options).ok());
+  EXPECT_FALSE(compressed->is_flat());
+
+  auto mapped = std::make_shared<RrArena>(*flat);
+  store::StorageOptions mmap_options;
+  mmap_options.backend = store::ArenaBackend::kMmap;
+  mmap_options.spill_dir = FreshDir("backend_spill");
+  ASSERT_TRUE(mapped->ConvertStorage(mmap_options).ok());
+  EXPECT_FALSE(mapped->is_flat());
+
+  const VertexId n = flat->num_vertices();
+  for (const auto& other : {compressed, mapped}) {
+    // Membership identity: encoded sets come back sorted ascending, flat
+    // in traversal order — same multiset either way.
+    store::StorageScratch scratch;
+    for (std::uint64_t i = 0; i < flat->capacity(); ++i) {
+      std::span<const VertexId> raw = flat->Set(i);
+      std::vector<VertexId> sorted(raw.begin(), raw.end());
+      std::sort(sorted.begin(), sorted.end());
+      std::span<const VertexId> enc = other->Set(i, &scratch);
+      ASSERT_TRUE(
+          std::equal(sorted.begin(), sorted.end(), enc.begin(), enc.end()))
+          << "set " << i;
+    }
+    // Inverted lists decode to EXACTLY the flat index.
+    for (VertexId v = 0; v < n; ++v) {
+      std::span<const std::uint32_t> a = flat->InvertedAll(v);
+      std::span<const std::uint32_t> b = other->InvertedAll(v, &scratch);
+      ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+          << "inverted list of " << v;
+    }
+    // Solve (CELF greedy) at three cuts.
+    for (std::uint64_t cut : {std::uint64_t{1}, std::uint64_t{64},
+                              std::uint64_t{128}}) {
+      MaxCoverageResult want = GreedyMaxCoverage(flat->Prefix(cut), 3);
+      MaxCoverageResult got = GreedyMaxCoverage(other->Prefix(cut), 3);
+      EXPECT_EQ(want.seeds, got.seeds) << "cut " << cut;
+      EXPECT_EQ(want.covered, got.covered) << "cut " << cut;
+    }
+    // Point queries and TopK through the serving layer.
+    for (std::uint64_t cut : {std::uint64_t{64}, std::uint64_t{128}}) {
+      serve::QueryView want(flat, cut);
+      serve::QueryView got(other, cut);
+      for (VertexId v = 0; v < n; ++v) {
+        EXPECT_EQ(want.Spread({&v, 1}), got.Spread({&v, 1}))
+            << "spread of " << v << " at cut " << cut;
+      }
+      std::vector<VertexId> seeds{0, 5};
+      EXPECT_EQ(want.Spread(seeds), got.Spread(seeds));
+      EXPECT_EQ(want.MarginalGain(seeds, 33), got.MarginalGain(seeds, 33));
+      serve::TopKResult tw = want.TopK(3);
+      serve::TopKResult tg = got.TopK(3);
+      EXPECT_EQ(tw.seeds, tg.seeds);
+      EXPECT_EQ(tw.estimates, tg.estimates);
+      EXPECT_EQ(tw.covered, tg.covered);
+    }
+  }
+}
+
+TEST(ArenaStorageTest, LadderBackendOverrideMatchesFlat) {
+  api::WorkloadSpec workload = api::WorkloadSpec::Dataset("Karate")
+                                   .Probability(ProbabilityModel::kUc01);
+  auto make_specs = [] {
+    std::vector<api::SolveSpec> specs;
+    for (std::uint64_t tau : {std::uint64_t{256}, std::uint64_t{512}}) {
+      api::SolveSpec spec;
+      spec.approach = Approach::kRis;
+      spec.sample_number = tau;
+      spec.k = 3;
+      spec.seed = 5;
+      spec.evaluate_influence = false;
+      specs.push_back(spec);
+    }
+    return specs;
+  };
+
+  api::SessionOptions flat_options;
+  api::Session flat_session(flat_options);
+  auto want = flat_session.SolveBatch(workload, make_specs());
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+  for (store::ArenaBackend backend :
+       {store::ArenaBackend::kCompressed, store::ArenaBackend::kMmap}) {
+    api::SessionOptions options;
+    options.arena_storage.spill_dir = FreshDir("ladder_spill");
+    api::Session session(options);
+    std::vector<api::SolveSpec> specs = make_specs();
+    for (api::SolveSpec& spec : specs) spec.WithArenaBackend(backend);
+    auto got = session.SolveBatch(workload, specs);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ(want.value().size(), got.value().size());
+    for (std::size_t i = 0; i < want.value().size(); ++i) {
+      EXPECT_EQ(want.value()[i].seeds, got.value()[i].seeds);
+      EXPECT_EQ(want.value()[i].estimates, got.value()[i].estimates);
+      ExpectCountersEq(want.value()[i].counters, got.value()[i].counters);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// serve::ArenaCache charges backend-reported resident bytes.
+// ---------------------------------------------------------------------
+
+TEST(ArenaCacheTest, ChargesBackendResidentBytesWithExactRefund) {
+  InfluenceGraph ig = KarateUc01();
+  store::StorageOptions mmap_options;
+  mmap_options.backend = store::ArenaBackend::kMmap;
+  mmap_options.spill_dir = FreshDir("cache_spill");
+  // Tiny chunk budget so most of the mapped payload stays non-resident:
+  // the charge must be the RESIDENT number, not the logical one.
+  mmap_options.resident_chunk_bytes = 256;
+  mmap_options.resident_budget_bytes = 256;
+  mmap_options.hot_list_bytes = 1 << 10;
+
+  auto make_mmap_arena = [&](std::uint64_t seed) {
+    auto arena = std::make_shared<RrArena>(
+        RrArena::SampleIc(ig, seed, 2048, Threads(1, 64)));
+    SOLDIST_CHECK(arena->ConvertStorage(mmap_options).ok());
+    return arena;
+  };
+
+  auto arena1 = make_mmap_arena(1);
+  const std::uint64_t charge1 = arena1->ResidentBytes();
+  ASSERT_LT(charge1, arena1->MemoryBytes());
+
+  serve::ArenaCache cache(charge1);  // exactly one arena1 fits
+  cache.GetOrBuild("a", 2048, [&](std::uint64_t) { return arena1; });
+  {
+    serve::ArenaCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.resident_arenas, 1u);
+    EXPECT_EQ(stats.resident_bytes, charge1);
+    EXPECT_EQ(stats.total_bytes, arena1->MemoryBytes());
+    EXPECT_GT(stats.total_bytes, stats.resident_bytes);
+  }
+
+  // Drift arena1's residency upward (hot-list warmup + chunk churn): the
+  // later eviction must refund the CHARGED bytes, not today's reading.
+  serve::QueryView view(arena1, 2048);
+  for (VertexId v = 0; v < arena1->num_vertices(); ++v) {
+    view.Spread({&v, 1});
+  }
+
+  auto arena2 = make_mmap_arena(2);
+  const std::uint64_t charge2 = arena2->ResidentBytes();
+  cache.GetOrBuild("b", 2048, [&](std::uint64_t) { return arena2; });
+  serve::ArenaCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.resident_arenas, 1u);
+  EXPECT_EQ(stats.resident_bytes, charge2);
+  EXPECT_EQ(stats.builds, 2u);
+}
+
+// ---------------------------------------------------------------------
+// Flags and options surface.
+// ---------------------------------------------------------------------
+
+TEST(ArenaStorageTest, ParseArenaBackendRoundTrips) {
+  for (store::ArenaBackend backend :
+       {store::ArenaBackend::kFlat, store::ArenaBackend::kCompressed,
+        store::ArenaBackend::kMmap}) {
+    auto parsed = store::ParseArenaBackend(store::ArenaBackendName(backend));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), backend);
+  }
+  auto bogus = store::ParseArenaBackend("zstd");
+  ASSERT_FALSE(bogus.ok());
+  EXPECT_EQ(bogus.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ArenaStorageTest, MmapWithoutSpillDirFailsValidate) {
+  store::StorageOptions options;
+  options.backend = store::ArenaBackend::kMmap;
+  EXPECT_FALSE(options.Validate().ok());
+  options.spill_dir = "/tmp/somewhere";
+  EXPECT_TRUE(options.Validate().ok());
+  store::StorageOptions flat;
+  EXPECT_TRUE(flat.Validate().ok());  // flat never needs a spill dir
+}
+
+// ---------------------------------------------------------------------
+// Session-lifetime persistence through serve::QueryService.
+// ---------------------------------------------------------------------
+
+TEST(QueryServicePersistenceTest, ReloadsSavedArenaAcrossServices) {
+  std::string dir = FreshDir("service");
+  api::WorkloadSpec workload = api::WorkloadSpec::Dataset("Karate")
+                                   .Probability(ProbabilityModel::kUc01);
+  serve::QuerySpec query;
+  query.sample_number = 512;
+  query.seed = 17;
+
+  serve::TopKResult first;
+  {
+    api::SessionOptions options;
+    options.arena_dir = dir;
+    api::Session session(options);
+    serve::QueryService service(&session);
+    auto view = service.View(workload, query);
+    ASSERT_TRUE(view.ok()) << view.status().ToString();
+    first = view.value().TopK(3);
+  }
+  const std::string arena_dir = dir + "/rr_Karate_uc0.1_seed_17_seq";
+  auto manifest = store::ReadArenaManifest(arena_dir);
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+  EXPECT_EQ(manifest.value().capacity, 512u);
+  EXPECT_EQ(manifest.value().kind, "rr");
+  EXPECT_EQ(manifest.value().seed, 17u);
+  EXPECT_EQ(manifest.value().stream, "seq");
+
+  // A second process asking for a SMALLER τ must be served from the
+  // saved arena, byte-identically to a fresh build at that τ.
+  serve::QuerySpec smaller = query;
+  smaller.sample_number = 256;
+  serve::TopKResult persisted, fresh;
+  {
+    api::SessionOptions options;
+    options.arena_dir = dir;
+    api::Session session(options);
+    serve::QueryService service(&session);
+    auto view = service.View(workload, smaller);
+    ASSERT_TRUE(view.ok()) << view.status().ToString();
+    persisted = view.value().TopK(3);
+    // Served from disk: the arena keeps the saved capacity.
+    EXPECT_EQ(view.value().arena().capacity(), 512u);
+  }
+  {
+    api::Session session{api::SessionOptions{}};  // no persistence
+    serve::QueryService service(&session);
+    auto view = service.View(workload, smaller);
+    ASSERT_TRUE(view.ok()) << view.status().ToString();
+    fresh = view.value().TopK(3);
+  }
+  EXPECT_EQ(persisted.seeds, fresh.seeds);
+  EXPECT_EQ(persisted.estimates, fresh.estimates);
+  EXPECT_EQ(persisted.spread, fresh.spread);
+
+  // Still capacity 512 on disk: a load MISS would have resampled at 256
+  // and re-saved, so the unchanged manifest proves the hit.
+  auto after = store::ReadArenaManifest(arena_dir);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().capacity, 512u);
+}
+
+TEST(QueryServicePersistenceTest, NonFlatServiceBackendMatchesFlat) {
+  api::WorkloadSpec workload = api::WorkloadSpec::Dataset("Karate")
+                                   .Probability(ProbabilityModel::kUc01);
+  serve::QuerySpec query;
+  query.sample_number = 256;
+  query.seed = 23;
+
+  api::Session flat_session{api::SessionOptions{}};
+  serve::QueryService flat_service(&flat_session);
+  auto want = flat_service.View(workload, query);
+  ASSERT_TRUE(want.ok());
+
+  for (store::ArenaBackend backend :
+       {store::ArenaBackend::kCompressed, store::ArenaBackend::kMmap}) {
+    api::SessionOptions options;
+    options.arena_storage.backend = backend;
+    options.arena_storage.spill_dir = FreshDir("service_spill");
+    api::Session session(options);
+    serve::QueryService service(&session);
+    auto got = service.View(workload, query);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got.value().arena().backend(), backend);
+    serve::TopKResult tw = want.value().TopK(4);
+    serve::TopKResult tg = got.value().TopK(4);
+    EXPECT_EQ(tw.seeds, tg.seeds);
+    EXPECT_EQ(tw.estimates, tg.estimates);
+    for (VertexId v = 0; v < got.value().num_vertices(); ++v) {
+      EXPECT_EQ(want.value().Spread({&v, 1}), got.value().Spread({&v, 1}));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace soldist

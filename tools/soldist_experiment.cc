@@ -48,6 +48,7 @@
 
 #include "bench_common.h"
 #include "serve/query_service.h"
+#include "store/arena_storage.h"
 #include "util/cli.h"
 #include "util/csv.h"
 #include "util/json.h"
@@ -428,14 +429,32 @@ int RunQueryRepl(ExperimentContext* context, const HarnessParams& params,
       std::printf("%s\n", record.ToString().c_str());
     } else if (cmd == "stats") {
       serve::ArenaCache::Stats stats = service.cache_stats();
+      // Storage-backend telemetry of the REPL's own RR arena: resident
+      // vs logical bytes (the gap is what compression/spilling saves)
+      // and the decode-side cache counters.
+      const RrArena& arena = view.value().arena();
+      const store::StorageStats storage = arena.storage_stats();
+      const std::uint64_t hot_probes = storage.hot_hits + storage.hot_misses;
       JsonObject record;
       record.Str("type", "stats")
+          .Str("backend", store::ArenaBackendName(arena.backend()))
           .UInt("hits", stats.hits)
           .UInt("builds", stats.builds)
           .UInt("evictions", stats.evictions)
           .UInt("resident_arenas", stats.resident_arenas)
           .UInt("resident_bytes", stats.resident_bytes)
-          .UInt("budget_bytes", stats.budget_bytes);
+          .UInt("total_bytes", stats.total_bytes)
+          .UInt("budget_bytes", stats.budget_bytes)
+          .UInt("arena_total_bytes", arena.MemoryBytes())
+          .UInt("arena_resident_bytes", arena.ResidentBytes())
+          .UInt("hot_hits", storage.hot_hits)
+          .UInt("hot_misses", storage.hot_misses)
+          .Real("hot_hit_rate",
+                hot_probes == 0
+                    ? 0.0
+                    : static_cast<double>(storage.hot_hits) /
+                          static_cast<double>(hot_probes))
+          .UInt("chunk_loads", storage.chunk_loads);
       std::printf("%s\n", record.ToString().c_str());
     } else {
       PrintErrorLine(Status::InvalidArgument(
