@@ -1,0 +1,304 @@
+// Resilient-serving bench: the same deterministic point-query workload
+// is served through a persisting QueryService under injected IO-fault
+// storms of rate 0, 1% and 10%, recording per-rate p50/p99 query
+// latency, view-acquisition time, retry/degraded counters and the
+// degraded-answer rate of a tight-deadline probe — into
+// BENCH_resilience.json (ISSUE 9's resilience subsystem, measured).
+//
+// Refusal discipline: every NON-degraded view's answers are CHECKed
+// byte-identical to the fault-free reference — faults may slow a
+// request or degrade it to a smaller τ, but a served full-τ answer must
+// never differ from the clean run. Degraded probe views are CHECKed to
+// report served_tau <= requested (their byte-identity to direct smaller
+// builds is pinned by tests/query_service_test.cc).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "api/session.h"
+#include "api/spec.h"
+#include "bench_common.h"
+#include "random/splitmix64.h"
+#include "serve/query_service.h"
+#include "store/fault_injection.h"
+#include "util/cli.h"
+#include "util/json.h"
+#include "util/string_util.h"
+
+namespace soldist {
+namespace {
+
+struct Query {
+  std::vector<VertexId> seeds;
+  VertexId gain_vertex = 0;
+  bool is_gain = false;
+};
+
+/// Deterministic mixed point-query workload (same shape as
+/// bench/arena_store.cc): single-vertex spread, 4-seed spread, 3-seed
+/// marginal gain.
+std::vector<Query> MakeWorkload(std::uint64_t count, VertexId n,
+                                std::uint64_t seed) {
+  SplitMix64 rng(DeriveSeed(seed, 0x57a7e));
+  auto vertex = [&] { return static_cast<VertexId>(rng.Next() % n); };
+  std::vector<Query> queries(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Query& q = queries[i];
+    switch (i % 3) {
+      case 0:
+        q.seeds = {vertex()};
+        break;
+      case 1:
+        q.seeds = {vertex(), vertex(), vertex(), vertex()};
+        break;
+      default:
+        q.is_gain = true;
+        q.seeds = {vertex(), vertex(), vertex()};
+        q.gain_vertex = vertex();
+        break;
+    }
+  }
+  return queries;
+}
+
+struct RateRecord {
+  double rate = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double view_ms_mean = 0.0;   ///< full-τ view acquisition, per round
+  std::uint64_t probe_views = 0;
+  std::uint64_t probe_degraded = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t injected_errors = 0;
+};
+
+int Run(int argc, const char* const* argv) {
+  ArgParser args(
+      "bench_resilience",
+      "Serve one deterministic point-query workload through a persisting "
+      "QueryService under injected IO-error storms (rates 0 / 1% / 10%), "
+      "recording p50/p99 latency, retries and the degraded-answer rate "
+      "of a tight-deadline probe; emits BENCH_resilience.json. Every "
+      "non-degraded view's answers are CHECKed byte-identical to the "
+      "fault-free reference.");
+  AddExperimentFlags(&args);
+  args.AddString("network", "Karate", "network to sample");
+  args.AddString("prob", "uc0.1", "probability setting (uc0.1|owc|iwc|tri)");
+  args.AddInt64("tau", 4096, "RR sets behind the served view");
+  args.AddInt64("queries", 6000, "point queries per fault rate");
+  args.AddInt64("rounds", 3,
+                "service incarnations per rate: round 1 samples and "
+                "saves, later rounds reload through the faulted IO path");
+  args.AddInt64("probe-deadline-ms", 1,
+                "deadline for the degraded-answer probe at 16x tau");
+  args.AddString("store-dir", "/tmp/soldist-bench-resilience",
+                 "scratch root for the persisted arenas (one subdir per "
+                 "fault rate)");
+  args.AddString("json-out", "BENCH_resilience.json",
+                 "write the JSON record here (empty = stdout only)");
+  int exit_code = 0;
+  ExperimentOptions options;
+  if (ShouldExitAfterParse(&args, argc, argv, &exit_code, &options)) {
+    return exit_code;
+  }
+  RequireIcModel(options, "bench_resilience");
+  StatusOr<ProbabilityModel> prob =
+      ParseProbabilityModel(args.GetString("prob"));
+  if (!prob.ok()) return ExitWithError(prob.status());
+  const auto tau = static_cast<std::uint64_t>(args.GetInt64("tau"));
+  const auto num_queries =
+      static_cast<std::uint64_t>(args.GetInt64("queries"));
+  const auto rounds = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(1, args.GetInt64("rounds")));
+  if (num_queries < rounds) {
+    return ExitWithError(Status::InvalidArgument(
+        "--queries must be >= --rounds (each round needs at least one "
+        "point query)"));
+  }
+  const auto probe_deadline_ms =
+      static_cast<std::uint64_t>(args.GetInt64("probe-deadline-ms"));
+  const std::string store_dir = args.GetString("store-dir");
+  const std::string network = args.GetString("network");
+
+  PrintBanner("Resilient serving under injected IO-fault storms", options);
+  const api::WorkloadSpec workload =
+      api::WorkloadSpec::Dataset(network).Probability(prob.value());
+
+  const double kRates[] = {0.0, 0.01, 0.1};
+  std::vector<RateRecord> records;
+  // Per-query answers of the first fault-free view: the byte-identity
+  // reference every later NON-degraded view must reproduce exactly.
+  std::vector<double> reference;
+  std::vector<Query> queries;
+
+  for (const double rate : kRates) {
+    if (rate > 0.0) {
+      Status installed = store::InstallFaultInjector(
+          "error-rate=" + FormatDouble(rate, 4) + ",seed=7");
+      if (!installed.ok()) return ExitWithError(installed);
+    } else {
+      store::UninstallFaultInjector();
+    }
+    const std::string rate_dir =
+        store_dir + "/rate_" + FormatDouble(rate, 4);
+    std::filesystem::remove_all(rate_dir);
+
+    RateRecord record;
+    record.rate = rate;
+    std::vector<std::uint64_t> latency_ns;
+    latency_ns.reserve(num_queries);
+    double view_ms_total = 0.0;
+    const std::uint64_t per_round = num_queries / rounds;
+
+    for (std::uint64_t round = 0; round < rounds; ++round) {
+      api::SessionOptions session_options;
+      session_options.arena_dir = rate_dir;
+      api::Session session(session_options);
+      serve::QueryService service(&session);
+
+      serve::QuerySpec spec;
+      spec.sample_number = tau;
+      spec.seed = options.seed;
+      WallTimer view_timer;
+      StatusOr<serve::QueryView> view = service.View(workload, spec);
+      if (!view.ok()) return ExitWithError(view.status());
+      view_ms_total += view_timer.Seconds() * 1000.0;
+      // No deadline on the main view: faults may slow it (retries) but
+      // can never truncate it, so it must be full τ.
+      SOLDIST_CHECK(!view.value().degraded())
+          << "undeadlined view degraded at rate " << rate;
+
+      if (queries.empty()) {
+        queries = MakeWorkload(num_queries,
+                               view.value().num_vertices(), options.seed);
+      }
+      serve::QueryScratch scratch;
+      std::vector<double> answers;
+      answers.reserve(per_round);
+      const std::uint64_t begin = round * per_round;
+      for (std::uint64_t i = begin; i < begin + per_round; ++i) {
+        const Query& q = queries[i];
+        const auto start = std::chrono::steady_clock::now();
+        const double answer =
+            q.is_gain
+                ? view.value().MarginalGain(q.seeds, q.gain_vertex, &scratch)
+                : view.value().Spread(q.seeds, &scratch);
+        latency_ns.push_back(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count()));
+        answers.push_back(answer);
+      }
+      if (reference.size() < begin + per_round) {
+        // Fault-free first pass over this query range: record it.
+        reference.insert(reference.end(), answers.begin(), answers.end());
+      } else {
+        SOLDIST_CHECK(std::equal(answers.begin(), answers.end(),
+                                 reference.begin() + begin))
+            << "non-degraded answers differ from the fault-free "
+               "reference at rate "
+            << rate << " round " << round << " — refusing to record";
+      }
+
+      // Tight-deadline probe at 16x tau: the build is cancelled at the
+      // deadline and the view degrades to the completed prefix (or, on
+      // a fast round, completes — both legal; only the contract is
+      // checked).
+      serve::QuerySpec probe = spec;
+      probe.sample_number = tau * 16;
+      probe.deadline_ms = probe_deadline_ms;
+      StatusOr<serve::QueryView> probed = service.View(workload, probe);
+      if (!probed.ok()) return ExitWithError(probed.status());
+      ++record.probe_views;
+      SOLDIST_CHECK(probed.value().served_tau() <= probe.sample_number);
+      if (probed.value().degraded()) ++record.probe_degraded;
+
+      const serve::ResilienceStats stats = service.resilience_stats();
+      record.retries += stats.retries;
+      record.deadline_misses += stats.deadline_misses;
+    }
+
+    std::sort(latency_ns.begin(), latency_ns.end());
+    record.p50_us =
+        static_cast<double>(latency_ns[latency_ns.size() / 2]) / 1000.0;
+    record.p99_us =
+        static_cast<double>(latency_ns[latency_ns.size() * 99 / 100]) /
+        1000.0;
+    record.view_ms_mean = view_ms_total / static_cast<double>(rounds);
+    if (store::FaultInjector* injector = store::fault_injector()) {
+      record.injected_errors = injector->counters().injected_errors;
+    }
+    records.push_back(record);
+  }
+  store::UninstallFaultInjector();
+
+  TextTable table({"fault rate", "p50 us", "p99 us", "view ms",
+                   "retries", "probe degraded", "injected errors"});
+  std::string rates_json;
+  for (const RateRecord& record : records) {
+    table.AddRow({FormatDouble(record.rate, 2),
+                  FormatDouble(record.p50_us, 2),
+                  FormatDouble(record.p99_us, 2),
+                  FormatDouble(record.view_ms_mean, 2),
+                  std::to_string(record.retries),
+                  std::to_string(record.probe_degraded) + "/" +
+                      std::to_string(record.probe_views),
+                  std::to_string(record.injected_errors)});
+    JsonObject entry;
+    entry.Real("rate", record.rate)
+        .Real("p50_us", record.p50_us)
+        .Real("p99_us", record.p99_us)
+        .Real("view_ms_mean", record.view_ms_mean)
+        .UInt("retries", record.retries)
+        .UInt("deadline_misses", record.deadline_misses)
+        .UInt("probe_views", record.probe_views)
+        .UInt("probe_degraded", record.probe_degraded)
+        .Real("probe_degraded_rate",
+              static_cast<double>(record.probe_degraded) /
+                  static_cast<double>(record.probe_views))
+        .UInt("injected_errors", record.injected_errors)
+        .Bool("non_degraded_identical_to_fault_free", true);
+    if (!rates_json.empty()) rates_json += ",";
+    rates_json += entry.ToString();
+  }
+  PrintTable("resilient serving under IO-error storms (" +
+                 WithThousands(num_queries) + " point queries per rate; "
+                 "non-degraded answers CHECKed identical to fault-free)",
+             table);
+
+  JsonObject summary;
+  summary.Str("bench", "resilience")
+      .Str("network", network)
+      .Str("prob", ProbabilityModelName(prob.value()))
+      .UInt("seed", options.seed)
+      .UInt("tau", tau)
+      .UInt("queries", num_queries)
+      .UInt("rounds", rounds)
+      .UInt("probe_deadline_ms", probe_deadline_ms)
+      .UInt("peak_rss_kb", PeakRssKb())
+      .Raw("rates", "[" + rates_json + "]");
+  const std::string json = summary.ToString();
+  std::printf("%s\n", json.c_str());
+  const std::string json_out = args.GetString("json-out");
+  if (!json_out.empty()) {
+    std::FILE* f = std::fopen(json_out.c_str(), "w");
+    if (f == nullptr) {
+      return ExitWithError(
+          Status::Internal("cannot write --json-out " + json_out));
+    }
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", json_out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace soldist
+
+int main(int argc, char** argv) { return soldist::Run(argc, argv); }

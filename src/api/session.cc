@@ -27,6 +27,14 @@ Status SessionOptions::Validate() const {
     return Status::InvalidArgument(
         "SessionOptions: threads must be >= 0 (0 = hardware concurrency)");
   }
+  if (max_inflight_builds < 0) {
+    return Status::InvalidArgument(
+        "SessionOptions: max_inflight_builds must be >= 0 (0 = unlimited)");
+  }
+  if (max_queued_builds < 0) {
+    return Status::InvalidArgument(
+        "SessionOptions: max_queued_builds must be >= 0 (0 = no queue)");
+  }
   return arena_storage.Validate();
 }
 

@@ -79,6 +79,18 @@ struct SessionOptions {
   /// files are identity-checked (workload/seed/stream/τ + checksum)
   /// before use, and any mismatch or corruption is a plain rebuild.
   std::string arena_dir;
+  /// Serving-layer resilience budgets (serve/resilience.h):
+  /// default deadline applied to QuerySpecs that do not set their own
+  /// (milliseconds, 0 = unlimited) ...
+  std::uint64_t default_deadline_ms = 0;
+  /// ... maximum concurrent arena builds in serve::QueryService (0 =
+  /// unlimited; admission control off) ...
+  std::int64_t max_inflight_builds = 0;
+  /// ... and how many further requests may QUEUE for a build slot
+  /// (bounded by their deadline) before the service sheds with
+  /// kUnavailable. Only meaningful when max_inflight_builds > 0;
+  /// 0 = no queue, shed immediately once all slots are busy.
+  std::int64_t max_queued_builds = 0;
 
   /// Validation for flag-derived options (the struct defaults are valid).
   Status Validate() const;

@@ -1,6 +1,7 @@
 #include "exp/experiment.h"
 
 #include "gen/datasets.h"
+#include "store/fault_injection.h"
 
 namespace soldist {
 
@@ -18,6 +19,8 @@ api::SessionOptions ExperimentOptions::SessionConfig() const {
   // tmp directory rather than failing Validate.
   session.arena_storage.spill_dir =
       !arena_dir.empty() ? arena_dir : std::string("/tmp/soldist-arena");
+  session.default_deadline_ms = deadline_ms;
+  session.max_inflight_builds = max_inflight_builds;
   return session;
 }
 
@@ -69,6 +72,23 @@ void AddExperimentFlags(ArgParser* args) {
                   "reload across processes (identity-checked manifests); "
                   "also the mmap backend's spill home. Empty = no "
                   "persistence.");
+  args->AddInt64("deadline-ms", 0,
+                 "per-request deadline in milliseconds for serve-layer "
+                 "views: a build that outruns it is cancelled and the "
+                 "request answers DEGRADED from the largest resident "
+                 "τ prefix. Omit for unlimited (an explicit 0 is an "
+                 "error).");
+  args->AddInt64("max-inflight-builds", 0,
+                 "admission control: max concurrent serve-layer arena "
+                 "builds; excess requests shed with UNAVAILABLE (or "
+                 "answer degraded from a resident prefix). 0 = "
+                 "unlimited.");
+  args->AddString("fault-spec", "",
+                  "deterministic IO fault injection for every store/ IO "
+                  "boundary, e.g. 'error-rate=0.1,seed=7' or "
+                  "'torn-write,error-every=3' (keys: error-rate, "
+                  "error-every, seed, torn-write, short-read, "
+                  "slow-read-us). Empty = off.");
 }
 
 namespace {
@@ -109,6 +129,21 @@ StatusOr<ExperimentOptions> ParseExperimentFlags(const ArgParser& args) {
   StatusOr<store::ArenaBackend> arena_backend =
       store::ParseArenaBackend(args.GetString("arena-backend"));
   if (!arena_backend.ok()) return arena_backend.status();
+  // An EXPLICIT --deadline-ms 0 is almost certainly a confused attempt
+  // at "no deadline" — make the unlimited spelling (omit the flag)
+  // unambiguous instead of silently accepting both.
+  if (args.Provided("deadline-ms") && args.GetInt64("deadline-ms") == 0) {
+    return Status::InvalidArgument(
+        "--deadline-ms 0 is ambiguous: omit the flag for an unlimited "
+        "deadline, or pass a value >= 1");
+  }
+  SOLDIST_RETURN_IF_ERROR(RequireAtLeast(args, "deadline-ms", 0));
+  SOLDIST_RETURN_IF_ERROR(RequireAtLeast(args, "max-inflight-builds", 0));
+  // Validate AND install the fault spec here: the injector hooks sit
+  // below any session object, so flag handling is the one place every
+  // binary passes before its first IO.
+  const std::string fault_spec = args.GetString("fault-spec");
+  SOLDIST_RETURN_IF_ERROR(store::InstallFaultInjector(fault_spec));
 
   ExperimentOptions options;
   options.trials = static_cast<std::uint64_t>(args.GetInt64("trials"));
@@ -127,6 +162,10 @@ StatusOr<ExperimentOptions> ParseExperimentFlags(const ArgParser& args) {
   options.sweep_reuse = sweep_reuse.value();
   options.arena_backend = arena_backend.value();
   options.arena_dir = args.GetString("arena-dir");
+  options.deadline_ms =
+      static_cast<std::uint64_t>(args.GetInt64("deadline-ms"));
+  options.max_inflight_builds = args.GetInt64("max-inflight-builds");
+  options.fault_spec = fault_spec;
   return options;
 }
 

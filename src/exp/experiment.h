@@ -67,6 +67,18 @@ struct ExperimentOptions {
   /// spill directory. Empty: no persistence (mmap spills under
   /// /tmp/soldist-arena).
   std::string arena_dir;
+  /// Per-request deadline in ms (--deadline-ms; 0 = unlimited, and an
+  /// EXPLICIT --deadline-ms 0 is rejected — omit the flag instead).
+  /// Requests whose arena build outruns it get degraded τ-prefix
+  /// answers (serve/resilience.h).
+  std::uint64_t deadline_ms = 0;
+  /// Max concurrent serve-layer arena builds (--max-inflight-builds;
+  /// 0 = unlimited). Excess builds shed with UNAVAILABLE.
+  std::int64_t max_inflight_builds = 0;
+  /// Deterministic IO fault injection (--fault-spec; see
+  /// store/fault_injection.h for the grammar). Installed process-wide
+  /// by ParseExperimentFlags; empty = off.
+  std::string fault_spec;
 
   /// The api::Session configuration these options imply.
   api::SessionOptions SessionConfig() const;

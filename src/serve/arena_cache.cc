@@ -38,11 +38,13 @@ ArenaCache::ArenaPtr ArenaCache::GetOrBuild(const std::string& key,
     }
   }
   // Build outside mu_: same-key requests rendezvous on the slot's
-  // once_flag, different keys sample concurrently.
+  // once_flag, different keys sample concurrently. A deadline-cancelled
+  // build returns SHORT (capacity() < requested) — still a valid arena
+  // (prefix-closed streams), admitted below at its actual size.
   std::call_once(slot->once, [&] {
     slot->arena = build(slot->capacity);
     SOLDIST_CHECK(slot->arena != nullptr);
-    SOLDIST_CHECK(slot->arena->capacity() >= min_capacity);
+    SOLDIST_CHECK(slot->arena->capacity() >= 1);
   });
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -52,6 +54,12 @@ ArenaCache::ArenaPtr ArenaCache::GetOrBuild(const std::string& key,
     if (it != entries_.end() && it->second.slot == slot &&
         !it->second.accounted) {
       it->second.accounted = true;
+      if (slot->arena->capacity() < slot->capacity) {
+        // Cancelled build: downgrade the slot to what actually exists so
+        // a later full-τ request upgrades instead of false-hitting.
+        slot->capacity = slot->arena->capacity();
+        it->second.partial = true;
+      }
       // Charge what the backend actually holds in RAM (== MemoryBytes
       // for flat arenas); remember the charge so the refund on eviction
       // is exact even if residency drifts afterwards.
@@ -63,19 +71,50 @@ ArenaCache::ArenaPtr ArenaCache::GetOrBuild(const std::string& key,
   return slot->arena;
 }
 
+ArenaCache::ArenaPtr ArenaCache::TryGet(const std::string& key,
+                                        std::uint64_t min_capacity) {
+  SOLDIST_CHECK(min_capacity >= 1);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || !it->second.accounted ||
+      it->second.slot->capacity < min_capacity) {
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.slot->arena;
+}
+
+ArenaCache::ArenaPtr ArenaCache::LookupResident(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || !it->second.accounted) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.slot->arena;
+}
+
 void ArenaCache::EvictOverBudgetLocked(const std::string& keep) {
   if (budget_bytes_ == 0) return;
   while (resident_bytes_ > budget_bytes_) {
     // Walk from the LRU tail to the first evictable entry: accounted
     // (an in-build entry has unknown bytes) and not the one just served.
+    // Two passes: full arenas first — they rebuild byte-identically from
+    // their key and eviction actually frees their RAM — then partial
+    // prefixes, which live degraded views typically still pin (evicting
+    // one refunds the ledger without freeing memory, and strands the
+    // next degraded request with no prefix to answer from).
     auto victim = lru_.rend();
-    for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
-      if (*rit == keep) continue;
-      auto it = entries_.find(*rit);
-      SOLDIST_DCHECK(it != entries_.end());
-      if (it->second.accounted) {
-        victim = rit;
-        break;
+    for (int pass = 0; pass < 2 && victim == lru_.rend(); ++pass) {
+      const bool allow_partial = pass == 1;
+      for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
+        if (*rit == keep) continue;
+        auto it = entries_.find(*rit);
+        SOLDIST_DCHECK(it != entries_.end());
+        if (it->second.accounted &&
+            (allow_partial || !it->second.partial)) {
+          victim = rit;
+          break;
+        }
       }
     }
     if (victim == lru_.rend()) return;  // nothing evictable: degrade
@@ -97,13 +136,16 @@ ArenaCache::Stats ArenaCache::stats() const {
   stats.budget_bytes = budget_bytes_;
   std::uint64_t resident = 0;
   std::uint64_t total_bytes = 0;
+  std::uint64_t partial = 0;
   for (const auto& [key, entry] : entries_) {
     if (!entry.accounted) continue;
     ++resident;
     total_bytes += entry.slot->arena->MemoryBytes();
+    partial += entry.partial ? 1 : 0;
   }
   stats.resident_arenas = resident;
   stats.total_bytes = total_bytes;
+  stats.partial_arenas = partial;
   return stats;
 }
 

@@ -60,7 +60,11 @@ class ArenaCache {
   using ArenaPtr = std::shared_ptr<const WorldArena>;
 
   /// Builds the arena for one key; receives the capacity to sample at.
-  /// Must return non-null with capacity() >= the requested capacity.
+  /// Must return non-null with capacity() >= 1. A builder MAY come back
+  /// short (capacity() < requested) when its build was cancelled at a
+  /// deadline — the cache then admits the arena at its ACTUAL capacity
+  /// and marks the entry partial, so later requests at the full τ see a
+  /// miss (upgrade) rather than a silent short answer.
   using Builder = std::function<ArenaPtr(std::uint64_t capacity)>;
 
   /// Returns the cached arena for `key` with capacity >= `min_capacity`,
@@ -68,8 +72,24 @@ class ArenaCache {
   /// capacity is upgraded: it is retired (in-flight views keep it alive)
   /// and a fresh arena is built at `min_capacity` — byte-identical on
   /// the shared prefix, so answers never change across the upgrade.
+  /// NOTE: the returned arena can be SMALLER than `min_capacity` when
+  /// the builder was cancelled (see Builder) — callers that care must
+  /// check capacity() and degrade explicitly.
   ArenaPtr GetOrBuild(const std::string& key, std::uint64_t min_capacity,
                       const Builder& build);
+
+  /// Hit-only lookup: the resident arena for `key` iff it is fully
+  /// built, accounted, and has capacity >= `min_capacity`. Never builds,
+  /// never blocks on another thread's build. Counts as a hit when it
+  /// serves; a miss leaves every counter untouched.
+  ArenaPtr TryGet(const std::string& key, std::uint64_t min_capacity);
+
+  /// The largest already-resident arena for `key` at ANY capacity
+  /// (including a partial prefix admitted by a cancelled build), or null.
+  /// This is the degraded-answer source: when a deadline or shed stops a
+  /// fresh build, the service answers from whatever τ prefix is already
+  /// resident. Touches the LRU but no hit/build counters.
+  ArenaPtr LookupResident(const std::string& key);
 
   /// Counters for tests/benches and the CLI's `stats` query.
   struct Stats {
@@ -83,6 +103,9 @@ class ArenaCache {
     /// resident_bytes is what compression/spilling saved.
     std::uint64_t total_bytes = 0;
     std::uint64_t budget_bytes = 0;
+    /// Resident entries admitted below their requested τ (cancelled
+    /// builds serving as degraded prefixes).
+    std::uint64_t partial_arenas = 0;
   };
   Stats stats() const;
 
@@ -105,9 +128,20 @@ class ArenaCache {
     /// drift afterwards (mmap chunk churn, hot-list warmup), so eviction
     /// refunds exactly what was charged to keep the ledger consistent.
     std::uint64_t charged_bytes = 0;
+    /// True when the build came back short of its requested capacity
+    /// (deadline-cancelled). Eviction under pressure prefers FULL
+    /// arenas: a full arena rebuilds from its key byte-identically and
+    /// eviction genuinely frees its RAM, while a partial prefix is
+    /// typically freshly admitted with live degraded views still
+    /// pointing at it — evicting it refunds the ledger but frees
+    /// nothing until those views drain, and the next degraded request
+    /// would find no prefix to serve from.
+    bool partial = false;
   };
 
-  /// Drops accounted LRU-tail entries (never `keep`) while over budget.
+  /// Drops accounted LRU-tail entries (never `keep`) while over budget,
+  /// preferring full (non-partial) victims; partial prefixes go only
+  /// when no full victim remains.
   void EvictOverBudgetLocked(const std::string& keep);
 
   const std::uint64_t budget_bytes_;

@@ -80,14 +80,20 @@ Status QuerySpec::Validate() const {
 }
 
 QueryView::QueryView(std::shared_ptr<const RrArena> arena,
-                     std::uint64_t count)
-    : arena_(std::move(arena)), count_(count) {
+                     std::uint64_t count, std::uint64_t requested_tau)
+    : arena_(std::move(arena)),
+      count_(count),
+      requested_tau_(requested_tau == 0 ? count : requested_tau) {
   SOLDIST_CHECK(arena_ != nullptr);
   SOLDIST_CHECK(count_ >= 1);
   SOLDIST_CHECK(count_ <= arena_->capacity())
       << "view of " << count_ << " sets exceeds arena capacity "
       << arena_->capacity();
+  SOLDIST_CHECK(requested_tau_ >= count_)
+      << "requested_tau " << requested_tau_ << " below served count "
+      << count_;
   full_ = count_ == arena_->capacity();
+  degraded_ = count_ < requested_tau_;
 }
 
 std::uint64_t QueryView::MarkAndCount(std::span<const VertexId> seeds,
@@ -213,13 +219,20 @@ TopKResult QueryView::TopK(int k) const {
 }
 
 SnapshotQueryView::SnapshotQueryView(
-    std::shared_ptr<const SnapshotArena> arena, std::uint64_t count)
-    : arena_(std::move(arena)), count_(count) {
+    std::shared_ptr<const SnapshotArena> arena, std::uint64_t count,
+    std::uint64_t requested_tau)
+    : arena_(std::move(arena)),
+      count_(count),
+      requested_tau_(requested_tau == 0 ? count : requested_tau) {
   SOLDIST_CHECK(arena_ != nullptr);
   SOLDIST_CHECK(count_ >= 1);
   SOLDIST_CHECK(count_ <= arena_->capacity())
       << "view of " << count_ << " worlds exceeds arena capacity "
       << arena_->capacity();
+  SOLDIST_CHECK(requested_tau_ >= count_)
+      << "requested_tau " << requested_tau_ << " below served count "
+      << count_;
+  degraded_ = count_ < requested_tau_;
 }
 
 std::uint64_t SnapshotQueryView::ReachedInWorld(
@@ -364,8 +377,27 @@ TopKResult SnapshotQueryView::TopK(int k, std::uint64_t tie_seed) const {
 }
 
 QueryService::QueryService(api::Session* session)
-    : session_(session), cache_(session->options().arena_budget_bytes) {
+    : session_(session),
+      cache_(session->options().arena_budget_bytes),
+      admission_(session->options().max_inflight_builds,
+                 session->options().max_queued_builds) {
   SOLDIST_CHECK(session_ != nullptr);
+}
+
+Deadline QueryService::DeadlineFor(const QuerySpec& spec) const {
+  const std::uint64_t ms = spec.deadline_ms != 0
+                               ? spec.deadline_ms
+                               : session_->options().default_deadline_ms;
+  return ms == 0 ? Deadline() : Deadline::AfterMillis(ms);
+}
+
+ResilienceStats QueryService::resilience_stats() const {
+  ResilienceStats stats;
+  stats.degraded_answers = degraded_answers_.load(std::memory_order_relaxed);
+  stats.shed_requests = shed_requests_.load(std::memory_order_relaxed);
+  stats.retries = retries_.load(std::memory_order_relaxed);
+  stats.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 StatusOr<QueryView> QueryService::View(const api::WorkloadSpec& workload,
@@ -383,68 +415,125 @@ StatusOr<QueryView> QueryService::View(const api::WorkloadSpec& workload,
   // sim/rr_arena.h). Capacity is a lower bound, not an identity, so one
   // arena at the largest τ seen serves every smaller τ as a prefix.
   std::string key = CacheKey(ArenaKind::kRr, workload, spec, sampling);
+  const Deadline deadline = DeadlineFor(spec);
+  // Fast path: fully resident at τ — no admission, no deadline machinery.
+  if (ArenaCache::ArenaPtr hit = cache_.TryGet(key, spec.sample_number)) {
+    return QueryView(
+        std::static_pointer_cast<const RrArena>(std::move(hit)),
+        spec.sample_number);
+  }
+  // A build is needed: admission-control it so overload sheds instead of
+  // stacking builder threads. A shed or queue-timeout request still
+  // answers DEGRADED when any prefix of this stream is already resident.
+  StatusOr<AdmissionController::Ticket> ticket = admission_.Admit(deadline);
+  if (!ticket.ok()) {
+    if (ticket.status().code() == StatusCode::kUnavailable) {
+      shed_requests_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ArenaCache::ArenaPtr resident = cache_.LookupResident(key);
+    if (resident == nullptr) return ticket.status();
+    std::shared_ptr<const RrArena> rr =
+        std::static_pointer_cast<const RrArena>(std::move(resident));
+    const std::uint64_t served =
+        std::min<std::uint64_t>(spec.sample_number, rr->capacity());
+    if (served < spec.sample_number) {
+      degraded_answers_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return QueryView(std::move(rr), served, spec.sample_number);
+  }
   const ModelInstance resolved = instance.value();
-  ArenaCache::ArenaPtr arena = cache_.GetOrBuild(
-      key, spec.sample_number,
+  // Deadline-bound cooperative cancel: the sampler checks the token at
+  // chunk granularity and a cancelled build truncates to its completed
+  // prefix — a byte-identical direct smaller build (sim/rr_arena.h).
+  CancelToken cancel([deadline] { return deadline.expired(); });
+  if (!deadline.unlimited()) sampling.cancel = &cancel;
+  const ArenaCache::Builder builder =
       [&](std::uint64_t capacity) -> ArenaCache::ArenaPtr {
-        // Persistence (session arena_dir set): load a saved arena whose
-        // identity matches this key, else sample and save for the next
-        // process. Load/save failures degrade to sampling/serving —
-        // persistence can never fail a query.
-        const std::string dir =
-            ArenaDirFor(session_->options().arena_dir, key);
-        store::ArenaManifest expected;
-        expected.kind = "rr";
-        expected.workload = workload.Label();
-        expected.seed = spec.seed;
-        expected.stream = StreamName(sampling);
-        expected.capacity = capacity;
-        std::shared_ptr<RrArena> built;
-        if (!dir.empty()) {
-          StatusOr<std::shared_ptr<RrArena>> loaded =
-              store::LoadRrArena(dir, expected);
-          if (loaded.ok()) {
+    // Persistence (session arena_dir set): load a saved arena whose
+    // identity matches this key, else sample and save for the next
+    // process. Load/save failures degrade to sampling/serving —
+    // persistence can never fail a query — but transient IO errors
+    // (kIoError) retry under backoff first, clipped to the deadline.
+    const std::string dir = ArenaDirFor(session_->options().arena_dir, key);
+    store::ArenaManifest expected;
+    expected.kind = "rr";
+    expected.workload = workload.Label();
+    expected.seed = spec.seed;
+    expected.stream = StreamName(sampling);
+    expected.capacity = capacity;
+    std::shared_ptr<RrArena> built;
+    if (!dir.empty()) {
+      Status load = RetryWithBackoff(
+          retry_policy_, deadline,
+          [&]() -> Status {
+            StatusOr<std::shared_ptr<RrArena>> loaded =
+                store::LoadRrArena(dir, expected);
+            if (!loaded.ok()) return loaded.status();
             built = std::move(loaded).value();
-          } else {
-            WarnUnlessNotFound("arena load failed (resampling)",
-                               loaded.status());
-          }
+            return Status::OK();
+          },
+          &retries_);
+      if (!load.ok()) {
+        WarnUnlessNotFound("arena load failed (resampling)", load);
+      }
+    }
+    if (built == nullptr) {
+      if (sampling.pool == nullptr) {
+        built = std::make_shared<RrArena>(
+            RrArena::SampleFor(resolved, spec.seed, capacity, sampling));
+      } else {
+        // Pool-routed build: respect the pools' single-waiter
+        // contract.
+        std::lock_guard<std::mutex> lock(build_mu_);
+        built = std::make_shared<RrArena>(
+            RrArena::SampleFor(resolved, spec.seed, capacity, sampling));
+      }
+      // Persist only COMPLETE builds: a deadline-truncated prefix on
+      // disk would shadow the full arena for every later process.
+      if (!dir.empty() && built->capacity() == capacity) {
+        Status saved = RetryWithBackoff(
+            retry_policy_, deadline,
+            [&] { return store::SaveRrArena(*built, expected, dir); },
+            &retries_);
+        if (!saved.ok()) {
+          SOLDIST_LOG(Warning) << "arena save failed (serving "
+                                  "unpersisted): " << saved.ToString();
         }
-        if (built == nullptr) {
-          if (sampling.pool == nullptr) {
-            built = std::make_shared<RrArena>(
-                RrArena::SampleFor(resolved, spec.seed, capacity, sampling));
-          } else {
-            // Pool-routed build: respect the pools' single-waiter
-            // contract.
-            std::lock_guard<std::mutex> lock(build_mu_);
-            built = std::make_shared<RrArena>(
-                RrArena::SampleFor(resolved, spec.seed, capacity, sampling));
-          }
-          if (!dir.empty()) {
-            Status saved = store::SaveRrArena(*built, expected, dir);
-            if (!saved.ok()) {
-              SOLDIST_LOG(Warning) << "arena save failed (serving "
-                                      "unpersisted): " << saved.ToString();
-            }
-          }
-        }
-        // Convert AFTER save: payloads persist flat, backends reshape in
-        // RAM. Conversion never changes an answer; failure keeps flat.
-        const store::StorageOptions& storage =
-            session_->options().arena_storage;
-        if (storage.backend != store::ArenaBackend::kFlat) {
-          Status converted = built->ConvertStorage(storage);
-          if (!converted.ok()) {
-            SOLDIST_LOG(Warning)
-                << "cached arena stays flat: " << converted.ToString();
-          }
-        }
-        return built;
-      });
+      }
+    }
+    // Convert AFTER save: payloads persist flat, backends reshape in
+    // RAM. Conversion never changes an answer; failure keeps flat.
+    const store::StorageOptions& storage = session_->options().arena_storage;
+    if (storage.backend != store::ArenaBackend::kFlat) {
+      Status converted = built->ConvertStorage(storage);
+      if (!converted.ok()) {
+        SOLDIST_LOG(Warning)
+            << "cached arena stays flat: " << converted.ToString();
+      }
+    }
+    return built;
+  };
+  // Two attempts: a caller can rendezvous on ANOTHER request's build
+  // that was cancelled at ITS deadline; when this caller's own deadline
+  // still has time, the partial entry (admitted at its actual τ) is
+  // upgraded by a second build instead of answering short for no reason.
+  ArenaCache::ArenaPtr arena;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    arena = cache_.GetOrBuild(key, spec.sample_number, builder);
+    if (arena->capacity() >= spec.sample_number || deadline.expired()) break;
+  }
+  std::shared_ptr<const RrArena> rr =
+      std::static_pointer_cast<const RrArena>(std::move(arena));
+  const std::uint64_t served =
+      std::min<std::uint64_t>(spec.sample_number, rr->capacity());
+  if (served < spec.sample_number) {
+    degraded_answers_.fetch_add(1, std::memory_order_relaxed);
+    deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
   // The kind-prefixed key guarantees what stands behind it.
-  return QueryView(std::static_pointer_cast<const RrArena>(std::move(arena)),
-                   spec.sample_number);
+  return QueryView(std::move(rr), served, spec.sample_number);
 }
 
 StatusOr<SnapshotQueryView> QueryService::SnapshotView(
@@ -461,48 +550,96 @@ StatusOr<SnapshotQueryView> QueryService::SnapshotView(
   SamplingOptions sampling =
       session_->SamplingFor(spec.sample_threads, spec.chunk_size);
   std::string key = CacheKey(ArenaKind::kSnapshot, workload, spec, sampling);
+  const Deadline deadline = DeadlineFor(spec);
+  if (ArenaCache::ArenaPtr hit = cache_.TryGet(key, spec.sample_number)) {
+    return SnapshotQueryView(
+        std::static_pointer_cast<const SnapshotArena>(std::move(hit)),
+        spec.sample_number);
+  }
+  // Same admission / degraded-answer discipline as View.
+  StatusOr<AdmissionController::Ticket> ticket = admission_.Admit(deadline);
+  if (!ticket.ok()) {
+    if (ticket.status().code() == StatusCode::kUnavailable) {
+      shed_requests_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ArenaCache::ArenaPtr resident = cache_.LookupResident(key);
+    if (resident == nullptr) return ticket.status();
+    std::shared_ptr<const SnapshotArena> snap =
+        std::static_pointer_cast<const SnapshotArena>(std::move(resident));
+    const std::uint64_t served =
+        std::min<std::uint64_t>(spec.sample_number, snap->capacity());
+    if (served < spec.sample_number) {
+      degraded_answers_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return SnapshotQueryView(std::move(snap), served, spec.sample_number);
+  }
   const ModelInstance resolved = instance.value();
-  ArenaCache::ArenaPtr arena = cache_.GetOrBuild(
-      key, spec.sample_number,
+  CancelToken cancel([deadline] { return deadline.expired(); });
+  if (!deadline.unlimited()) sampling.cancel = &cancel;
+  const ArenaCache::Builder builder =
       [&](std::uint64_t capacity) -> ArenaCache::ArenaPtr {
-        // Same persistence discipline as the RR builder; snapshot arenas
-        // have no alternate storage backends, so no conversion step.
-        const std::string dir =
-            ArenaDirFor(session_->options().arena_dir, key);
-        store::ArenaManifest expected;
-        expected.kind = "snapshot";
-        expected.workload = workload.Label();
-        expected.seed = spec.seed;
-        expected.stream = StreamName(sampling);
-        expected.capacity = capacity;
-        if (!dir.empty()) {
-          StatusOr<std::shared_ptr<SnapshotArena>> loaded =
-              store::LoadSnapshotArena(dir, expected);
-          if (loaded.ok()) return std::move(loaded).value();
-          WarnUnlessNotFound("arena load failed (resampling)",
-                             loaded.status());
-        }
-        std::shared_ptr<SnapshotArena> built;
-        if (sampling.pool == nullptr) {
-          built = std::make_shared<SnapshotArena>(SnapshotArena::Sample(
-              *resolved.ig, spec.seed, capacity, sampling));
-        } else {
-          std::lock_guard<std::mutex> lock(build_mu_);
-          built = std::make_shared<SnapshotArena>(SnapshotArena::Sample(
-              *resolved.ig, spec.seed, capacity, sampling));
-        }
-        if (!dir.empty()) {
-          Status saved = store::SaveSnapshotArena(*built, expected, dir);
-          if (!saved.ok()) {
-            SOLDIST_LOG(Warning) << "arena save failed (serving "
-                                    "unpersisted): " << saved.ToString();
-          }
-        }
-        return built;
-      });
-  return SnapshotQueryView(
-      std::static_pointer_cast<const SnapshotArena>(std::move(arena)),
-      spec.sample_number);
+    // Same persistence discipline as the RR builder; snapshot arenas
+    // have no alternate storage backends, so no conversion step.
+    const std::string dir = ArenaDirFor(session_->options().arena_dir, key);
+    store::ArenaManifest expected;
+    expected.kind = "snapshot";
+    expected.workload = workload.Label();
+    expected.seed = spec.seed;
+    expected.stream = StreamName(sampling);
+    expected.capacity = capacity;
+    std::shared_ptr<SnapshotArena> built;
+    if (!dir.empty()) {
+      Status load = RetryWithBackoff(
+          retry_policy_, deadline,
+          [&]() -> Status {
+            StatusOr<std::shared_ptr<SnapshotArena>> loaded =
+                store::LoadSnapshotArena(dir, expected);
+            if (!loaded.ok()) return loaded.status();
+            built = std::move(loaded).value();
+            return Status::OK();
+          },
+          &retries_);
+      if (!load.ok()) {
+        WarnUnlessNotFound("arena load failed (resampling)", load);
+      }
+      if (built != nullptr) return built;
+    }
+    if (sampling.pool == nullptr) {
+      built = std::make_shared<SnapshotArena>(SnapshotArena::Sample(
+          *resolved.ig, spec.seed, capacity, sampling));
+    } else {
+      std::lock_guard<std::mutex> lock(build_mu_);
+      built = std::make_shared<SnapshotArena>(SnapshotArena::Sample(
+          *resolved.ig, spec.seed, capacity, sampling));
+    }
+    if (!dir.empty() && built->capacity() == capacity) {
+      Status saved = RetryWithBackoff(
+          retry_policy_, deadline,
+          [&] { return store::SaveSnapshotArena(*built, expected, dir); },
+          &retries_);
+      if (!saved.ok()) {
+        SOLDIST_LOG(Warning) << "arena save failed (serving "
+                                "unpersisted): " << saved.ToString();
+      }
+    }
+    return built;
+  };
+  ArenaCache::ArenaPtr arena;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    arena = cache_.GetOrBuild(key, spec.sample_number, builder);
+    if (arena->capacity() >= spec.sample_number || deadline.expired()) break;
+  }
+  std::shared_ptr<const SnapshotArena> snap =
+      std::static_pointer_cast<const SnapshotArena>(std::move(arena));
+  const std::uint64_t served =
+      std::min<std::uint64_t>(spec.sample_number, snap->capacity());
+  if (served < spec.sample_number) {
+    degraded_answers_.fetch_add(1, std::memory_order_relaxed);
+    deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return SnapshotQueryView(std::move(snap), served, spec.sample_number);
 }
 
 std::string QueryService::CacheKey(ArenaKind kind,

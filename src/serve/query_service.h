@@ -39,6 +39,7 @@
 #ifndef SOLDIST_SERVE_QUERY_SERVICE_H_
 #define SOLDIST_SERVE_QUERY_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -47,6 +48,7 @@
 #include "api/session.h"
 #include "api/spec.h"
 #include "serve/arena_cache.h"
+#include "serve/resilience.h"
 #include "sim/rr_arena.h"
 #include "sim/snapshot_arena.h"
 #include "store/arena_storage.h"
@@ -70,6 +72,12 @@ struct QuerySpec {
   std::int64_t sample_threads = 1;
   /// Chunk size of the deterministic engine streams.
   std::uint64_t chunk_size = 256;
+  /// Per-request deadline in milliseconds; 0 = use the session's
+  /// default_deadline_ms (which defaults to unlimited). A request whose
+  /// deadline expires mid-build is answered DEGRADED from the largest
+  /// already-resident τ prefix (see QueryView::degraded) instead of
+  /// blocking — serve/resilience.h documents the contract.
+  std::uint64_t deadline_ms = 0;
 
   Status Validate() const;
 };
@@ -108,7 +116,12 @@ class QueryView {
  public:
   /// Views are normally minted by QueryService::View; the public ctor
   /// exists for benches/tests that bring their own arena.
-  QueryView(std::shared_ptr<const RrArena> arena, std::uint64_t count);
+  /// `requested_tau` (0 = same as `count`) records what the caller asked
+  /// for: when count < requested_tau the view is DEGRADED — an exact
+  /// answer at the smaller τ it actually serves (prefix-closed streams),
+  /// tagged so callers can tell a full answer from a best-effort one.
+  QueryView(std::shared_ptr<const RrArena> arena, std::uint64_t count,
+            std::uint64_t requested_tau = 0);
 
   /// Empty placeholder (StatusOr's error arm); querying one is a
   /// programmer error caught by SOLDIST_DCHECK.
@@ -117,6 +130,15 @@ class QueryView {
   VertexId num_vertices() const { return arena_->num_vertices(); }
   std::uint64_t sample_number() const { return count_; }
   const RrArena& arena() const { return *arena_; }
+
+  /// True when this view serves fewer sets than the request asked for
+  /// (deadline miss or shed — see serve/resilience.h). Its answers are
+  /// still exact RIS estimates at served_tau().
+  bool degraded() const { return degraded_; }
+  /// The τ the view actually answers at (== sample_number()).
+  std::uint64_t served_tau() const { return count_; }
+  /// The τ the request asked for (>= served_tau()).
+  std::uint64_t requested_tau() const { return requested_tau_; }
 
   /// RIS spread estimate n · |covered(seeds)| / τ. O(Σ|list(v)| / 64)
   /// words touched; a single-seed query is O(log capacity) — the covered
@@ -169,7 +191,9 @@ class QueryView {
 
   std::shared_ptr<const RrArena> arena_;
   std::uint64_t count_ = 0;
-  bool full_ = false;  ///< count_ == arena capacity: no cut needed
+  std::uint64_t requested_tau_ = 0;
+  bool full_ = false;      ///< count_ == arena capacity: no cut needed
+  bool degraded_ = false;  ///< count_ < requested_tau_
 };
 
 /// \brief Per-thread scratch for sampled-world DAG walks: a generation-
@@ -221,8 +245,10 @@ class SnapshotQueryView {
  public:
   /// Views are normally minted by QueryService::SnapshotView; the public
   /// ctor exists for benches/tests that bring their own arena.
+  /// `requested_tau` as in QueryView: 0 = same as `count`, and a view
+  /// with count < requested_tau is tagged degraded.
   SnapshotQueryView(std::shared_ptr<const SnapshotArena> arena,
-                    std::uint64_t count);
+                    std::uint64_t count, std::uint64_t requested_tau = 0);
 
   /// Empty placeholder (StatusOr's error arm); querying one is a
   /// programmer error caught by SOLDIST_DCHECK.
@@ -231,6 +257,11 @@ class SnapshotQueryView {
   VertexId num_vertices() const { return arena_->num_vertices(); }
   std::uint64_t sample_number() const { return count_; }
   const SnapshotArena& arena() const { return *arena_; }
+
+  /// Degraded-answer tags; same contract as QueryView.
+  bool degraded() const { return degraded_; }
+  std::uint64_t served_tau() const { return count_; }
+  std::uint64_t requested_tau() const { return requested_tau_; }
 
   /// Expected reached-vertex count of seed set S: (1/τ) Σ_i |R_i(S)|.
   /// One multi-source DAG BFS per world, component-granular.
@@ -274,15 +305,34 @@ class SnapshotQueryView {
 
   std::shared_ptr<const SnapshotArena> arena_;
   std::uint64_t count_ = 0;
+  std::uint64_t requested_tau_ = 0;
+  bool degraded_ = false;  ///< count_ < requested_tau_
 };
 
 /// \brief The service: Session-resolved workloads → cached arenas →
-/// QueryViews. Thread-safe; see ArenaCache for the eviction contract.
+/// QueryViews. Thread-safe; see ArenaCache for the eviction contract
+/// and serve/resilience.h for the deadline / degraded-answer / shedding
+/// contract this service implements:
+///
+///  * A request whose deadline expires (or that is shed by admission
+///    control) while its arena is not yet resident is answered DEGRADED
+///    from the largest already-resident prefix of the same stream when
+///    one exists — exact at served_tau(), tagged degraded() — and only
+///    fails (kDeadlineExceeded / kUnavailable) when NOTHING is resident.
+///  * A deadline that expires mid-build cancels the build cooperatively
+///    (sim/ CancelToken); the truncated prefix is admitted to the cache
+///    at its actual τ and served degraded. Partial arenas are never
+///    persisted to disk.
+///  * Persistence IO (arena load/save) retries transient kIoError under
+///    a bounded-backoff RetryPolicy before degrading to resample /
+///    serve-unpersisted.
 class QueryService {
  public:
   /// The cache budget comes from the session's
-  /// SessionOptions::arena_budget_bytes (0 = unlimited). The session
-  /// must outlive the service.
+  /// SessionOptions::arena_budget_bytes (0 = unlimited); admission
+  /// bounds and the default deadline come from max_inflight_builds /
+  /// max_queued_builds / default_deadline_ms. The session must outlive
+  /// the service.
   explicit QueryService(api::Session* session);
 
   QueryService(const QueryService&) = delete;
@@ -307,6 +357,10 @@ class QueryService {
 
   ArenaCache::Stats cache_stats() const { return cache_.stats(); }
 
+  /// Snapshot of the degraded/shed/retry/deadline counters (REPL
+  /// `stats` surfaces these next to cache_stats).
+  ResilienceStats resilience_stats() const;
+
  private:
   /// One key format for both arena families: kind # workload label #
   /// seed # stream family. τ is deliberately absent (see View).
@@ -315,8 +369,18 @@ class QueryService {
                               const QuerySpec& spec,
                               const SamplingOptions& sampling);
 
+  /// The request deadline: spec.deadline_ms, else the session default,
+  /// else unlimited.
+  Deadline DeadlineFor(const QuerySpec& spec) const;
+
   api::Session* session_;
   ArenaCache cache_;
+  AdmissionController admission_;
+  RetryPolicy retry_policy_;
+  std::atomic<std::uint64_t> degraded_answers_{0};
+  std::atomic<std::uint64_t> shed_requests_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> deadline_misses_{0};
   /// Serializes pool-routed arena builds: the session pools have a
   /// single-waiter contract, so two concurrent engine builds may not
   /// fan out at once. Sequential (sample_threads == 1) builds skip it.

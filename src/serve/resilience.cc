@@ -1,0 +1,159 @@
+#include "serve/resilience.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "random/splitmix64.h"
+#include "util/logging.h"
+
+namespace soldist {
+namespace serve {
+
+std::uint64_t SteadyNowMicros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Deadline Deadline::AfterMillis(std::uint64_t millis, ClockMicrosFn clock) {
+  Deadline d;
+  d.clock_ = clock ? std::move(clock) : ClockMicrosFn(&SteadyNowMicros);
+  d.deadline_us_ = d.clock_() + millis * 1000;
+  d.armed_ = true;
+  return d;
+}
+
+bool Deadline::expired() const {
+  return armed_ && clock_() >= deadline_us_;
+}
+
+std::uint64_t Deadline::remaining_micros() const {
+  if (!armed_) return std::numeric_limits<std::uint64_t>::max();
+  const std::uint64_t now = clock_();
+  return now >= deadline_us_ ? 0 : deadline_us_ - now;
+}
+
+std::uint64_t RetryPolicy::BackoffMicros(int attempt) const {
+  double backoff = static_cast<double>(initial_backoff_us);
+  for (int i = 0; i < attempt; ++i) backoff *= multiplier;
+  backoff = std::min(backoff, static_cast<double>(max_backoff_us));
+  // Jitter in [0.5, 1.0): one seeded draw per (seed, attempt), so the
+  // schedule is a pure function of the policy.
+  SplitMix64 rng(DeriveSeed(jitter_seed, static_cast<std::uint64_t>(attempt)));
+  const double jitter =
+      0.5 + 0.5 * static_cast<double>(rng.Next() >> 11) *
+                (1.0 / 9007199254740992.0);  // 2^-53
+  return static_cast<std::uint64_t>(backoff * jitter);
+}
+
+Status RetryWithBackoff(const RetryPolicy& policy, const Deadline& deadline,
+                        const std::function<Status()>& op,
+                        std::atomic<std::uint64_t>* retries,
+                        const SleepMicrosFn& sleep) {
+  SOLDIST_CHECK(policy.max_attempts >= 1);
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      // Clip the backoff to the deadline: sleeping past it would turn a
+      // servable degraded answer into a guaranteed miss.
+      const std::uint64_t remaining = deadline.remaining_micros();
+      if (remaining == 0) break;
+      const std::uint64_t backoff =
+          std::min(policy.BackoffMicros(attempt - 1), remaining);
+      if (backoff > 0) {
+        if (sleep) {
+          sleep(backoff);
+        } else {
+          std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+        }
+      }
+      if (deadline.expired()) break;
+      if (retries != nullptr) {
+        retries->fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    last = op();
+    if (last.ok()) return last;
+    // Only kIoError is transient; everything else (corruption, identity
+    // mismatch, bad arguments) will fail identically on retry.
+    if (last.code() != StatusCode::kIoError) return last;
+  }
+  return last;
+}
+
+AdmissionController::AdmissionController(std::int64_t max_inflight,
+                                         std::int64_t max_queue)
+    : max_inflight_(max_inflight), max_queue_(max_queue) {
+  SOLDIST_CHECK(max_inflight_ >= 0);
+  SOLDIST_CHECK(max_queue_ >= 0);
+}
+
+StatusOr<AdmissionController::Ticket> AdmissionController::Admit(
+    const Deadline& deadline) {
+  if (max_inflight_ == 0) return Ticket(this);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (inflight_ < max_inflight_) {
+    ++inflight_;
+    return Ticket(this);
+  }
+  if (queued_ >= max_queue_) {
+    return Status::Unavailable(
+        "admission: " + std::to_string(inflight_) + " builds in flight and " +
+        std::to_string(queued_) + " queued (max-inflight-builds=" +
+        std::to_string(max_inflight_) + ", max-queued-builds=" +
+        std::to_string(max_queue_) + ") — shedding");
+  }
+  ++queued_;
+  // Wait in bounded slices so an injected clock's expiry is still
+  // honored even though the cv waits on the real clock.
+  bool admitted = false;
+  while (!admitted) {
+    if (inflight_ < max_inflight_) {
+      admitted = true;
+      break;
+    }
+    const std::uint64_t remaining = deadline.remaining_micros();
+    if (remaining == 0) break;
+    const std::uint64_t slice =
+        std::min<std::uint64_t>(remaining, 50 * 1000);
+    cv_.wait_for(lock, std::chrono::microseconds(slice));
+  }
+  --queued_;
+  if (!admitted) {
+    return Status::DeadlineExceeded(
+        "admission: deadline expired while queued for a build slot");
+  }
+  ++inflight_;
+  return Ticket(this);
+}
+
+std::int64_t AdmissionController::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+std::int64_t AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (max_inflight_ == 0) return;
+    --inflight_;
+  }
+  cv_.notify_one();
+}
+
+void AdmissionController::Ticket::Release() {
+  if (controller_ != nullptr) {
+    controller_->Release();
+    controller_ = nullptr;
+  }
+}
+
+}  // namespace serve
+}  // namespace soldist

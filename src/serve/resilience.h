@@ -1,0 +1,171 @@
+// Request-level resilience primitives for the serving layer: deadlines,
+// bounded retry with deterministic backoff, and admission control.
+//
+// The serving contract these implement (see README "Resilience"):
+//
+//  * A request carries a Deadline. A build that cannot finish in time is
+//    CANCELLED cooperatively (sim/ CancelToken) and the service answers
+//    from the largest already-resident τ prefix instead of blocking —
+//    a DEGRADED answer, tagged degraded=true with the served τ. Thanks
+//    to prefix-closed sampling streams, a truncated arena is
+//    byte-identical to a direct smaller build, so a degraded answer is
+//    an exact answer to a smaller-τ question, never an approximation of
+//    unknown quality.
+//  * Transient IO failures (StatusCode::kIoError — the code every
+//    injected and real disk fault surfaces as) are retried under a
+//    RetryPolicy with exponential backoff and deterministic jitter,
+//    never sleeping past the request deadline. Other codes (corruption,
+//    identity mismatch, invalid argument) are permanent and fail fast.
+//  * An AdmissionController bounds concurrent arena builds. Beyond
+//    max_inflight, up to max_queue requests wait (bounded by their
+//    deadline) for a slot; the rest are SHED with kUnavailable so an
+//    overload cannot pile unbounded builder threads onto the sampler.
+//
+// Clocks and sleeps are injectable so every policy is testable without
+// wall-clock waits.
+
+#ifndef SOLDIST_SERVE_RESILIENCE_H_
+#define SOLDIST_SERVE_RESILIENCE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <mutex>
+
+#include "util/status.h"
+
+namespace soldist {
+namespace serve {
+
+/// Monotonic clock reading in microseconds (std::chrono::steady_clock).
+std::uint64_t SteadyNowMicros();
+
+/// Injectable clock: returns "now" in microseconds on any monotonic
+/// scale. Defaults to SteadyNowMicros everywhere one is accepted.
+using ClockMicrosFn = std::function<std::uint64_t()>;
+
+/// Injectable sleep, in microseconds.
+using SleepMicrosFn = std::function<void(std::uint64_t)>;
+
+/// \brief A request deadline on a monotonic clock. Default-constructed
+/// = unlimited (never expires); copies share the clock and expiry, so a
+/// Deadline can be handed down through builders and cancel predicates.
+class Deadline {
+ public:
+  /// Unlimited: expired() is always false.
+  Deadline() = default;
+
+  /// Expires `millis` from now on `clock` (SteadyNowMicros when empty).
+  static Deadline AfterMillis(std::uint64_t millis, ClockMicrosFn clock = {});
+
+  bool unlimited() const { return !armed_; }
+
+  bool expired() const;
+
+  /// Microseconds left; 0 when expired, max() when unlimited.
+  std::uint64_t remaining_micros() const;
+
+ private:
+  ClockMicrosFn clock_;                 // empty only when !armed_
+  std::uint64_t deadline_us_ = 0;
+  bool armed_ = false;
+};
+
+/// \brief Bounded exponential backoff. Attempt k (0-based) sleeps
+/// min(initial * multiplier^k, max) scaled by a deterministic jitter in
+/// [0.5, 1.0) drawn from (jitter_seed, attempt) — reruns replay the
+/// exact schedule, and concurrent retriers with distinct seeds desync.
+struct RetryPolicy {
+  int max_attempts = 3;                    ///< total tries, >= 1
+  std::uint64_t initial_backoff_us = 1000;
+  double multiplier = 2.0;
+  std::uint64_t max_backoff_us = 100000;
+  std::uint64_t jitter_seed = 1;
+
+  /// The post-jitter sleep before retry number `attempt` (0-based).
+  std::uint64_t BackoffMicros(int attempt) const;
+};
+
+/// Runs `op` up to policy.max_attempts times. ONLY kIoError is retried
+/// (transient by contract — see the header comment); any other failure
+/// and the first success return immediately. Sleeps are clipped to the
+/// deadline's remaining time, and an expired deadline stops the loop
+/// with the last error rather than burning attempts that cannot be
+/// served. Each retry (not each attempt) bumps *retries when non-null.
+/// `sleep` defaults to std::this_thread::sleep_for.
+Status RetryWithBackoff(const RetryPolicy& policy, const Deadline& deadline,
+                        const std::function<Status()>& op,
+                        std::atomic<std::uint64_t>* retries = nullptr,
+                        const SleepMicrosFn& sleep = {});
+
+/// Monotone counters the service exposes through REPL `stats`.
+struct ResilienceStats {
+  std::uint64_t degraded_answers = 0;  ///< views served below requested τ
+  std::uint64_t shed_requests = 0;     ///< admissions refused (kUnavailable)
+  std::uint64_t retries = 0;           ///< IO retries that actually re-ran
+  std::uint64_t deadline_misses = 0;   ///< deadlines that expired in-flight
+};
+
+/// \brief Bounds concurrent arena builds. max_inflight == 0 disables
+/// admission entirely (every Admit succeeds immediately). Otherwise up
+/// to max_inflight tickets are out at once; up to max_queue further
+/// callers wait on a condition variable bounded by their deadline, and
+/// callers beyond the queue watermark are shed immediately with
+/// kUnavailable — overload sheds instead of stacking builder threads.
+class AdmissionController {
+ public:
+  AdmissionController(std::int64_t max_inflight, std::int64_t max_queue);
+
+  /// RAII build slot: releasing (destruction) wakes one queued waiter.
+  /// A default-constructed or moved-from Ticket releases nothing.
+  class Ticket {
+   public:
+    Ticket() = default;
+    ~Ticket() { Release(); }
+    Ticket(Ticket&& other) noexcept : controller_(other.controller_) {
+      other.controller_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        Release();
+        controller_ = other.controller_;
+        other.controller_ = nullptr;
+      }
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+
+   private:
+    friend class AdmissionController;
+    explicit Ticket(AdmissionController* controller)
+        : controller_(controller) {}
+    void Release();
+    AdmissionController* controller_ = nullptr;
+  };
+
+  /// Admits one build, queueing up to the deadline when all slots are
+  /// busy. Errors: kUnavailable when the queue is at its watermark
+  /// (shed), kDeadlineExceeded when the wait outlives the deadline.
+  StatusOr<Ticket> Admit(const Deadline& deadline);
+
+  std::int64_t inflight() const;
+  std::int64_t queued() const;
+
+ private:
+  void Release();
+
+  const std::int64_t max_inflight_;
+  const std::int64_t max_queue_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::int64_t inflight_ = 0;  // guarded by mu_
+  std::int64_t queued_ = 0;    // guarded by mu_
+};
+
+}  // namespace serve
+}  // namespace soldist
+
+#endif  // SOLDIST_SERVE_RESILIENCE_H_

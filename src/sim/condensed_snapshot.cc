@@ -91,8 +91,14 @@ std::vector<CondensedSnapshotShard> SampleCondensedSnapshotShards(
         : sampler(ig), condenser(ig->num_vertices()) {}
   };
   std::vector<std::unique_ptr<Slot>> slots(engine->num_workers());
+  const CancelToken* cancel = engine->cancel();
   engine->Run(master_seed, count,
               [&](const SamplingEngine::Chunk& chunk, std::size_t slot) {
+    // Cooperative cancel (see SampleRrShards): skip whole chunks past
+    // chunk 0 once the token fires; the empty shard marks the cut.
+    if (cancel != nullptr && chunk.index > 0 && cancel->cancelled()) {
+      return;
+    }
     if (slots[slot] == nullptr) {
       slots[slot] = std::make_unique<Slot>(&ig);
     }
@@ -104,6 +110,10 @@ std::vector<CondensedSnapshotShard> SampleCondensedSnapshotShards(
     shard.snapshots.reserve(chunk.end - chunk.begin);
     if (record_per_snapshot) shard.per_snapshot.reserve(chunk.end - chunk.begin);
     for (std::uint64_t i = chunk.begin; i < chunk.end; ++i) {
+      if (cancel != nullptr && (chunk.index > 0 || i > chunk.begin) &&
+          cancel->cancelled()) {
+        break;
+      }
       const TraversalCounters before = shard.counters;
       slots[slot]->sampler.SampleInto(&rng, &shard.counters,
                                       &slots[slot]->scratch);

@@ -88,8 +88,14 @@ std::vector<RrShard> SampleLtRrShards(const LtWeights& weights,
   // reused across chunks; scratch never affects output (every chunk's
   // randomness comes from its own derived streams).
   std::vector<std::unique_ptr<LtRrSampler>> samplers(engine->num_workers());
+  const CancelToken* cancel = engine->cancel();
   engine->Run(master_seed, count,
               [&](const SamplingEngine::Chunk& chunk, std::size_t slot) {
+    // Cooperative cancel (see SampleRrShards): skip whole chunks past
+    // chunk 0 once the token fires; the empty shard marks the cut.
+    if (cancel != nullptr && chunk.index > 0 && cancel->cancelled()) {
+      return;
+    }
     if (samplers[slot] == nullptr) {
       samplers[slot] = std::make_unique<LtRrSampler>(&weights);
     }
@@ -101,6 +107,10 @@ std::vector<RrShard> SampleLtRrShards(const LtWeights& weights,
     std::vector<VertexId> rr_set;
     if (record_per_set) shard.per_set.reserve(chunk.end - chunk.begin);
     for (std::uint64_t i = chunk.begin; i < chunk.end; ++i) {
+      if (cancel != nullptr && (chunk.index > 0 || i > chunk.begin) &&
+          cancel->cancelled()) {
+        break;
+      }
       const TraversalCounters before = shard.counters;
       samplers[slot]->Sample(&target_rng, &coin_rng, &rr_set,
                              &shard.counters);

@@ -38,6 +38,32 @@ void BuildFlatIndex(store::RrFlatPayload* payload, VertexId num_vertices) {
   }
 }
 
+/// Cuts a possibly-cancelled shard list to its longest contiguous
+/// completed prefix: an empty shard (skipped chunk) or a short shard
+/// (per-set cancel inside a chunk) marks the cut; a short shard's
+/// produced prefix is kept. Returns the number of surviving sets.
+/// Because chunk c draws only from DeriveSeed(master, c) and sets are
+/// drawn in order, the survivors are byte-identical to a direct build
+/// at the returned (smaller) capacity.
+std::uint64_t TruncateCancelledShards(std::vector<RrShard>* shards,
+                                      std::uint64_t chunk_size,
+                                      std::uint64_t capacity) {
+  std::uint64_t kept = 0;
+  std::size_t keep_shards = 0;
+  for (std::size_t s = 0; s < shards->size(); ++s) {
+    const RrShard& shard = (*shards)[s];
+    if (shard.offsets.empty()) break;
+    const std::uint64_t begin = s * chunk_size;
+    const std::uint64_t expected =
+        std::min(begin + chunk_size, capacity) - begin;
+    kept += shard.num_sets();
+    keep_shards = s + 1;
+    if (shard.num_sets() < expected) break;
+  }
+  shards->resize(keep_shards);
+  return kept;
+}
+
 }  // namespace
 
 RrArena RrArena::SampleIc(const InfluenceGraph& ig, std::uint64_t seed,
@@ -48,9 +74,13 @@ RrArena RrArena::SampleIc(const InfluenceGraph& ig, std::uint64_t seed,
   arena.num_vertices_ = ig.num_vertices();
   if (sampling.UseEngine()) {
     SamplingEngine engine(sampling);
-    arena.Finalize(SampleRrShards(ig, seed, capacity, &engine,
-                                  /*record_per_set=*/true),
-                   capacity);
+    std::vector<RrShard> shards = SampleRrShards(ig, seed, capacity, &engine,
+                                                 /*record_per_set=*/true);
+    const std::uint64_t actual =
+        sampling.cancel == nullptr
+            ? capacity
+            : TruncateCancelledShards(&shards, engine.chunk_size(), capacity);
+    arena.Finalize(std::move(shards), actual);
     return arena;
   }
   // Legacy sequential discipline (RisEstimator::Build's non-engine path):
@@ -66,6 +96,11 @@ RrArena RrArena::SampleIc(const InfluenceGraph& ig, std::uint64_t seed,
   shard.per_set.reserve(capacity);
   std::vector<VertexId> rr_set;
   for (std::uint64_t i = 0; i < capacity; ++i) {
+    // Cooperative cancel: the single-stream loop simply stops early; the
+    // produced prefix IS a direct smaller build (set 0 always lands).
+    if (sampling.cancel != nullptr && i > 0 && sampling.cancel->cancelled()) {
+      break;
+    }
     const TraversalCounters before = shard.counters;
     sampler.Sample(&target_rng, &coin_rng, &rr_set, &shard.counters);
     TraversalCounters delta;
@@ -78,7 +113,7 @@ RrArena RrArena::SampleIc(const InfluenceGraph& ig, std::uint64_t seed,
     shard.flat.insert(shard.flat.end(), rr_set.begin(), rr_set.end());
     shard.offsets.push_back(static_cast<std::uint64_t>(shard.flat.size()));
   }
-  arena.Finalize(std::move(shards), capacity);
+  arena.Finalize(std::move(shards), shard.num_sets());
   return arena;
 }
 
@@ -92,9 +127,14 @@ RrArena RrArena::SampleLt(const LtWeights& weights, std::uint64_t seed,
   // runs inline for the default SamplingOptions) — same as
   // LtRisEstimator::Build.
   SamplingEngine engine(sampling);
-  arena.Finalize(SampleLtRrShards(weights, seed, capacity, &engine,
-                                  /*record_per_set=*/true),
-                 capacity);
+  std::vector<RrShard> shards = SampleLtRrShards(weights, seed, capacity,
+                                                 &engine,
+                                                 /*record_per_set=*/true);
+  const std::uint64_t actual =
+      sampling.cancel == nullptr
+          ? capacity
+          : TruncateCancelledShards(&shards, engine.chunk_size(), capacity);
+  arena.Finalize(std::move(shards), actual);
   return arena;
 }
 

@@ -66,8 +66,16 @@ std::vector<RrShard> SampleRrShards(const InfluenceGraph& ig,
     std::uint64_t entries = 0;
   };
   std::vector<SlotStats> stats(engine->num_workers());
+  const CancelToken* cancel = engine->cancel();
   engine->Run(master_seed, count,
               [&](const SamplingEngine::Chunk& chunk, std::size_t slot) {
+    // Cooperative cancel: a fired token skips whole chunks (the empty
+    // shard marks the cut) — except chunk 0, so at least one set always
+    // lands. Completed-prefix content is untouched, so a cancelled
+    // build truncates to a byte-identical smaller arena.
+    if (cancel != nullptr && chunk.index > 0 && cancel->cancelled()) {
+      return;
+    }
     if (samplers[slot] == nullptr) {
       samplers[slot] = std::make_unique<RrSampler>(&ig);
     }
@@ -89,6 +97,12 @@ std::vector<RrShard> SampleRrShards(const InfluenceGraph& ig,
     std::vector<VertexId> rr_set;
     if (record_per_set) shard.per_set.reserve(chunk_sets);
     for (std::uint64_t i = chunk.begin; i < chunk.end; ++i) {
+      // Per-set cancel inside the chunk (guarded so the global first set
+      // always completes); a partial shard keeps its produced prefix.
+      if (cancel != nullptr && (chunk.index > 0 || i > chunk.begin) &&
+          cancel->cancelled()) {
+        break;
+      }
       const TraversalCounters before = shard.counters;
       samplers[slot]->Sample(&target_rng, &coin_rng, &rr_set,
                              &shard.counters);

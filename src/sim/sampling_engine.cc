@@ -9,7 +9,7 @@
 namespace soldist {
 
 SamplingEngine::SamplingEngine(const SamplingOptions& options)
-    : chunk_size_(options.chunk_size) {
+    : chunk_size_(options.chunk_size), cancel_(options.cancel) {
   SOLDIST_CHECK(chunk_size_ >= 1);
   SOLDIST_CHECK(options.num_threads >= 0);
   if (options.pool != nullptr) {

@@ -28,6 +28,7 @@
 #ifndef SOLDIST_SIM_SAMPLING_ENGINE_H_
 #define SOLDIST_SIM_SAMPLING_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -35,6 +36,46 @@
 #include "util/thread_pool.h"
 
 namespace soldist {
+
+/// \brief Cooperative cancellation flag for in-flight sampling builds.
+///
+/// Samplers poll `cancelled()` at chunk boundaries (and optionally per
+/// set) and stop producing further work once it flips. Because every
+/// sampling stream is prefix-closed, a cancelled build is not garbage:
+/// the contiguous prefix of chunks that completed before the flip is
+/// byte-identical to a direct build at that smaller capacity, which is
+/// exactly what the serving layer hands out as a degraded answer.
+///
+/// A token may carry an optional deadline predicate (e.g. a
+/// serve::Deadline) so builds self-cancel when a request budget runs
+/// out without the caller having to watch from another thread. The
+/// predicate must be thread-safe; once it fires the token latches.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  explicit CancelToken(std::function<bool()> expired)
+      : expired_(std::move(expired)) {}
+
+  /// Latches the token; all future cancelled() calls return true.
+  void Cancel() { flag_.store(true, std::memory_order_relaxed); }
+
+  /// True once Cancel() was called or the deadline predicate fired.
+  /// Relaxed ordering: samplers only use it to stop producing work, and
+  /// the result is made deterministic downstream by truncating to the
+  /// contiguous completed prefix.
+  bool cancelled() const {
+    if (flag_.load(std::memory_order_relaxed)) return true;
+    if (expired_ && expired_()) {
+      flag_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  mutable std::atomic<bool> flag_{false};
+  std::function<bool()> expired_;
+};
 
 /// \brief Sampling parallelism knob threaded through the estimator factory.
 struct SamplingOptions {
@@ -54,6 +95,12 @@ struct SamplingOptions {
   /// Optional shared pool (not owned). When null and the engine path is
   /// selected, each SamplingEngine owns a private pool of `num_threads`.
   ThreadPool* pool = nullptr;
+
+  /// Optional cooperative cancel token (not owned). Samplers that honor
+  /// it skip whole chunks (never chunk 0, so at least one set always
+  /// lands) once it fires; the build then finalizes at the contiguous
+  /// completed prefix. Null = never cancelled.
+  CancelToken* cancel = nullptr;
 
   /// True when sampling should route through SamplingEngine.
   bool UseEngine() const { return num_threads != 1 || pool != nullptr; }
@@ -97,6 +144,10 @@ class SamplingEngine {
 
   std::uint64_t chunk_size() const { return chunk_size_; }
 
+  /// The cancel token carried in from SamplingOptions (may be null).
+  /// Chunk fns poll it to skip work once a request budget expires.
+  const CancelToken* cancel() const { return cancel_; }
+
   /// Worker count of the underlying pool (1 when running inline).
   std::size_t num_workers() const {
     return pool_ != nullptr ? pool_->num_threads() : 1;
@@ -109,6 +160,7 @@ class SamplingEngine {
   std::uint64_t chunk_size_;
   std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_;  // borrowed or owned_pool_.get(); null = inline
+  const CancelToken* cancel_ = nullptr;  // borrowed, may be null
 };
 
 }  // namespace soldist

@@ -93,10 +93,29 @@ SnapshotArena SnapshotArena::Sample(const InfluenceGraph& ig,
   arena.num_vertices_ = ig.num_vertices();
   arena.snaps_.reserve(capacity);
   arena.counters_.Reserve(capacity);
+  std::uint64_t actual = capacity;
   if (sampling.UseEngine()) {
     SamplingEngine engine(sampling);
     std::vector<CondensedSnapshotShard> shards = SampleCondensedSnapshotShards(
         ig, seed, capacity, &engine, /*record_per_snapshot=*/true);
+    if (sampling.cancel != nullptr) {
+      // Truncate a cancelled build to its contiguous completed prefix:
+      // an empty shard (skipped chunk) or a short shard marks the cut;
+      // the survivors are byte-identical to a direct smaller build
+      // (chunk c draws only from DeriveSeed(seed, c)).
+      std::size_t keep = 0;
+      actual = 0;
+      for (std::size_t s = 0; s < shards.size(); ++s) {
+        if (shards[s].snapshots.empty()) break;
+        const std::uint64_t begin = s * engine.chunk_size();
+        const std::uint64_t expected =
+            std::min(begin + engine.chunk_size(), capacity) - begin;
+        actual += shards[s].snapshots.size();
+        keep = s + 1;
+        if (shards[s].snapshots.size() < expected) break;
+      }
+      shards.resize(keep);
+    }
     for (CondensedSnapshotShard& shard : shards) {
       SOLDIST_CHECK(shard.per_snapshot.size() == shard.snapshots.size());
       for (std::size_t j = 0; j < shard.snapshots.size(); ++j) {
@@ -114,6 +133,13 @@ SnapshotArena SnapshotArena::Sample(const InfluenceGraph& ig,
     Snapshot scratch;
     TraversalCounters running;
     for (std::uint64_t i = 0; i < capacity; ++i) {
+      // Cooperative cancel: stop early; the produced prefix IS a direct
+      // smaller build (snapshot 0 always lands).
+      if (sampling.cancel != nullptr && i > 0 &&
+          sampling.cancel->cancelled()) {
+        actual = i;
+        break;
+      }
       const TraversalCounters before = running;
       sampler.SampleInto(&rng, &running, &scratch);
       TraversalCounters delta;
@@ -125,7 +151,7 @@ SnapshotArena SnapshotArena::Sample(const InfluenceGraph& ig,
       arena.snaps_.push_back(condenser.Condense(scratch));
     }
   }
-  SOLDIST_CHECK(arena.capacity() == capacity);
+  SOLDIST_CHECK(arena.capacity() == actual);
   for (const CondensedSnapshot& snap : arena.snaps_) {
     arena.max_components_ =
         std::max(arena.max_components_, snap.num_components());

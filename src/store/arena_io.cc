@@ -1,5 +1,9 @@
 #include "store/arena_io.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -7,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "store/fault_injection.h"
 #include "util/logging.h"
 
 namespace soldist {
@@ -54,16 +59,62 @@ class PayloadWriter {
     PutU64(c.sample_edges);
   }
 
+  /// POSIX write path with an fsync BEFORE the caller writes the
+  /// manifest: the "payload before manifest" crash ordering is only
+  /// real once the payload bytes are durable when the manifest names
+  /// them — a buffered ofstream could leave a valid-looking manifest
+  /// over a torn payload after a crash.
   Status Flush(const std::string& path, std::uint64_t* bytes,
                std::uint64_t* checksum) const {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return Status::IoError("cannot open '" + path + "' for writing");
+    FaultInjector* inject = fault_injector();
+    if (inject != nullptr) {
+      SOLDIST_RETURN_IF_ERROR(inject->Check(FaultOp::kOpen, path));
     }
-    out.write(reinterpret_cast<const char*>(buffer_.data()),
-              static_cast<std::streamsize>(buffer_.size()));
-    out.flush();
-    if (!out) return Status::IoError("short write to '" + path + "'");
+    const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+    if (fd < 0) {
+      return Status::IoError("cannot open '" + path + "' for writing: " +
+                             std::strerror(errno));
+    }
+    std::size_t write_size = buffer_.size();
+    if (inject != nullptr) {
+      Status faulted = inject->Check(FaultOp::kWrite, path);
+      if (!faulted.ok()) {
+        ::close(fd);
+        return faulted;
+      }
+      // A torn write persists only a prefix but still REPORTS success
+      // (bytes/checksum below describe the full buffer): the read-side
+      // size/checksum guards are what must catch the damage.
+      write_size = inject->MutilateWriteSize(write_size);
+    }
+    std::size_t written = 0;
+    while (written < write_size) {
+      const ssize_t n =
+          ::write(fd, buffer_.data() + written, write_size - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const std::string err = std::strerror(errno);
+        ::close(fd);
+        return Status::IoError("write to '" + path + "' failed: " + err);
+      }
+      written += static_cast<std::size_t>(n);
+    }
+    if (inject != nullptr) {
+      Status faulted = inject->Check(FaultOp::kSync, path);
+      if (!faulted.ok()) {
+        ::close(fd);
+        return faulted;
+      }
+    }
+    if (::fsync(fd) != 0) {
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return Status::IoError("fsync of '" + path + "' failed: " + err);
+    }
+    if (::close(fd) != 0) {
+      return Status::IoError("close of '" + path +
+                             "' failed: " + std::strerror(errno));
+    }
     *bytes = buffer_.size();
     *checksum = Fnv1a(buffer_.data(), buffer_.size());
     return Status::OK();
@@ -120,6 +171,10 @@ class PayloadReader {
 
 Status WriteManifest(const ArenaManifest& manifest, const std::string& dir) {
   const std::string path = dir + kManifestFile;
+  FaultInjector* inject = fault_injector();
+  if (inject != nullptr) {
+    SOLDIST_RETURN_IF_ERROR(inject->Check(FaultOp::kWrite, path));
+  }
   std::ofstream out(path, std::ios::trunc);
   if (!out) return Status::IoError("cannot open '" + path + "' for writing");
   out << "format_version=" << manifest.version << "\n"
@@ -186,6 +241,10 @@ StatusOr<std::shared_ptr<PayloadReader>> OpenPayload(
     const std::string& dir, const ArenaManifest& manifest,
     std::uint32_t expected_kind) {
   const std::string path = dir + kPayloadFile;
+  FaultInjector* inject = fault_injector();
+  if (inject != nullptr) {
+    SOLDIST_RETURN_IF_ERROR(inject->Check(FaultOp::kOpen, path));
+  }
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) return Status::NotFound("no arena payload at '" + path + "'");
   const std::streamoff size = in.tellg();
@@ -199,6 +258,12 @@ StatusOr<std::shared_ptr<PayloadReader>> OpenPayload(
   std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
   in.read(reinterpret_cast<char*>(bytes.data()), size);
   if (!in) return Status::IoError("short read from '" + path + "'");
+  if (inject != nullptr) {
+    SOLDIST_RETURN_IF_ERROR(inject->Check(FaultOp::kRead, path));
+    if (inject->MutilateReadSize(bytes.size()) < bytes.size()) {
+      return Status::IoError("short read from '" + path + "' (injected)");
+    }
+  }
   if (Fnv1a(bytes.data(), bytes.size()) != manifest.checksum) {
     return Status::IoError("arena payload '" + path +
                            "' fails its checksum (corrupted)");
@@ -279,6 +344,10 @@ Status FinishSave(PayloadWriter* writer, ArenaManifest* manifest,
 
 StatusOr<ArenaManifest> ReadArenaManifest(const std::string& dir) {
   const std::string path = dir + kManifestFile;
+  FaultInjector* inject = fault_injector();
+  if (inject != nullptr) {
+    SOLDIST_RETURN_IF_ERROR(inject->Check(FaultOp::kOpen, path));
+  }
   std::ifstream in(path);
   if (!in) return Status::NotFound("no arena manifest at '" + path + "'");
   ArenaManifest manifest;

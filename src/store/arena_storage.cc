@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "store/fault_injection.h"
 #include "util/logging.h"
 
 namespace soldist {
@@ -318,6 +319,13 @@ StatusOr<std::shared_ptr<MmapSpillStorage>> MmapSpillStorage::Create(
   storage->path_ = options.spill_dir + "/soldist-spill-" +
                    std::to_string(static_cast<long>(::getpid())) + "-" +
                    std::to_string(sequence.fetch_add(1)) + ".bin";
+  // Fault hooks: spill bytes carry no checksum (the mmap serves them
+  // raw), so only hard errors are injected here — never torn/short
+  // mutilation, which would silently change answers.
+  FaultInjector* inject = fault_injector();
+  if (inject != nullptr) {
+    SOLDIST_RETURN_IF_ERROR(inject->Check(FaultOp::kOpen, storage->path_));
+  }
   const int fd =
       ::open(storage->path_.c_str(), O_CREAT | O_TRUNC | O_RDWR, 0644);
   if (fd < 0) {
@@ -325,6 +333,9 @@ StatusOr<std::shared_ptr<MmapSpillStorage>> MmapSpillStorage::Create(
                            "'");
   }
   storage->fd_ = fd;
+  if (inject != nullptr) {
+    SOLDIST_RETURN_IF_ERROR(inject->Check(FaultOp::kWrite, storage->path_));
+  }
   auto write_all = [fd](const std::uint8_t* data, std::size_t size) {
     std::size_t done = 0;
     while (done < size) {
@@ -404,6 +415,13 @@ const std::uint8_t* MmapSpillStorage::TouchRange(std::uint64_t begin,
     chunk_lru_.push_front(c);
     chunk_map_.emplace(c, chunk_lru_.begin());
     ++chunk_loads_;
+    // Chunk fault-in is the mmap backend's read boundary; it cannot
+    // surface a Status (the kernel serves the page either way), so the
+    // injector contributes latency only — enough to drive deadline and
+    // degraded-answer paths under --fault-spec slow-read-us=N.
+    if (FaultInjector* inject = fault_injector()) {
+      inject->DelaySlowRead();
+    }
   }
   while (chunk_map_.size() > chunk_budget_) {
     const std::uint64_t victim = chunk_lru_.back();

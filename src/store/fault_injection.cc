@@ -1,0 +1,218 @@
+#include "store/fault_injection.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "random/splitmix64.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace soldist {
+namespace store {
+namespace {
+
+/// Uniform double in [0, 1) from one seeded draw (53 mantissa bits).
+double UnitDraw(std::uint64_t seed, std::uint64_t index) {
+  SplitMix64 rng(DeriveSeed(seed, index));
+  return static_cast<double>(rng.Next() >> 11) *
+         (1.0 / 9007199254740992.0);  // 2^-53
+}
+
+std::mutex g_install_mu;
+std::unique_ptr<FaultInjector> g_owned;         // guarded by g_install_mu
+std::atomic<FaultInjector*> g_injector{nullptr};  // hot-path view
+std::once_flag g_env_once;
+
+}  // namespace
+
+const char* FaultOpName(FaultOp op) {
+  switch (op) {
+    case FaultOp::kOpen:
+      return "open";
+    case FaultOp::kRead:
+      return "read";
+    case FaultOp::kWrite:
+      return "write";
+    case FaultOp::kSync:
+      return "sync";
+    case FaultOp::kMmapChunk:
+      return "mmap-chunk";
+  }
+  return "unknown";
+}
+
+StatusOr<FaultSpec> FaultSpec::Parse(const std::string& text) {
+  FaultSpec spec;
+  if (Trim(text).empty()) {
+    return Status::InvalidArgument(
+        "fault-spec: empty spec (omit the flag to disable injection)");
+  }
+  for (const std::string& raw : Split(text, ',')) {
+    const std::string token(Trim(raw));
+    if (token.empty()) {
+      return Status::InvalidArgument("fault-spec: empty token in '" + text +
+                                     "'");
+    }
+    const std::size_t eq = token.find('=');
+    const std::string key = token.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : token.substr(eq + 1);
+    if (key == "torn-write" || key == "short-read") {
+      if (eq != std::string::npos) {
+        return Status::InvalidArgument("fault-spec: '" + key +
+                                       "' is a bare flag, got '" + token +
+                                       "'");
+      }
+      (key == "torn-write" ? spec.torn_write : spec.short_read) = true;
+      continue;
+    }
+    if (eq == std::string::npos || value.empty()) {
+      return Status::InvalidArgument("fault-spec: '" + token +
+                                     "' needs a value (key=value)");
+    }
+    if (key == "error-rate") {
+      double rate = 0.0;
+      if (!ParseDouble(value, &rate) || rate < 0.0 || rate > 1.0) {
+        return Status::InvalidArgument(
+            "fault-spec: error-rate must be a number in [0, 1], got '" +
+            value + "'");
+      }
+      spec.error_rate = rate;
+    } else if (key == "error-every") {
+      std::uint64_t n = 0;
+      if (!ParseUint64(value, &n) || n == 0) {
+        return Status::InvalidArgument(
+            "fault-spec: error-every must be a positive integer, got '" +
+            value + "'");
+      }
+      spec.error_every = n;
+    } else if (key == "seed") {
+      std::uint64_t s = 0;
+      if (!ParseUint64(value, &s)) {
+        return Status::InvalidArgument(
+            "fault-spec: seed must be a non-negative integer, got '" + value +
+            "'");
+      }
+      spec.seed = s;
+    } else if (key == "slow-read-us") {
+      std::uint64_t us = 0;
+      if (!ParseUint64(value, &us)) {
+        return Status::InvalidArgument(
+            "fault-spec: slow-read-us must be a non-negative integer, "
+            "got '" +
+            value + "'");
+      }
+      spec.slow_read_us = us;
+    } else {
+      return Status::InvalidArgument(
+          "fault-spec: unknown key '" + key +
+          "' (want error-rate, error-every, seed, torn-write, short-read, "
+          "slow-read-us)");
+    }
+  }
+  return spec;
+}
+
+std::string FaultSpec::ToString() const {
+  std::vector<std::string> parts;
+  if (error_rate > 0.0) {
+    parts.push_back("error-rate=" + FormatDouble(error_rate, 6));
+  }
+  if (error_every > 0) {
+    parts.push_back("error-every=" + std::to_string(error_every));
+  }
+  if (seed != 1) parts.push_back("seed=" + std::to_string(seed));
+  if (torn_write) parts.push_back("torn-write");
+  if (short_read) parts.push_back("short-read");
+  if (slow_read_us > 0) {
+    parts.push_back("slow-read-us=" + std::to_string(slow_read_us));
+  }
+  return Join(parts, ",");
+}
+
+Status FaultInjector::Check(FaultOp op, const std::string& what) {
+  const std::uint64_t index = op_counter_.fetch_add(1,
+                                                    std::memory_order_relaxed);
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  if (spec_.slow_read_us > 0 &&
+      (op == FaultOp::kRead || op == FaultOp::kMmapChunk)) {
+    delays_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::microseconds(spec_.slow_read_us));
+  }
+  bool fail = false;
+  if (spec_.error_every > 0 && (index + 1) % spec_.error_every == 0) {
+    fail = true;
+  }
+  if (!fail && spec_.error_rate > 0.0 &&
+      UnitDraw(spec_.seed, index) < spec_.error_rate) {
+    fail = true;
+  }
+  if (fail) {
+    injected_errors_.fetch_add(1, std::memory_order_relaxed);
+    return Status::IoError("injected fault (" + std::string(FaultOpName(op)) +
+                           " #" + std::to_string(index + 1) + "): " + what);
+  }
+  return Status::OK();
+}
+
+std::size_t FaultInjector::MutilateWriteSize(std::size_t size) {
+  if (!spec_.torn_write || size <= 1) return size;
+  torn_writes_.fetch_add(1, std::memory_order_relaxed);
+  return size / 2;
+}
+
+std::size_t FaultInjector::MutilateReadSize(std::size_t size) {
+  if (!spec_.short_read || size <= 1) return size;
+  short_reads_.fetch_add(1, std::memory_order_relaxed);
+  return size / 2;
+}
+
+void FaultInjector::DelaySlowRead() {
+  if (spec_.slow_read_us == 0) return;
+  delays_.fetch_add(1, std::memory_order_relaxed);
+  std::this_thread::sleep_for(std::chrono::microseconds(spec_.slow_read_us));
+}
+
+FaultInjector* fault_injector() {
+  std::call_once(g_env_once, [] {
+    const char* env = std::getenv("SOLDIST_FAULT_SPEC");
+    if (env == nullptr || *env == '\0') return;
+    Status installed = InstallFaultInjector(env);
+    if (!installed.ok()) {
+      SOLDIST_LOG(Warning) << "SOLDIST_FAULT_SPEC ignored: "
+                           << installed.ToString();
+    }
+  });
+  return g_injector.load(std::memory_order_acquire);
+}
+
+Status InstallFaultInjector(const std::string& spec_text) {
+  // An explicit install outranks the SOLDIST_FAULT_SPEC environment
+  // preset: consume the env once-flag so a later first-IO call of
+  // fault_injector() cannot replace what was installed here (tests that
+  // install their own spec must win over a CI-wide preset).
+  std::call_once(g_env_once, [] {});
+  if (Trim(spec_text).empty()) {
+    UninstallFaultInjector();
+    return Status::OK();
+  }
+  StatusOr<FaultSpec> spec = FaultSpec::Parse(spec_text);
+  if (!spec.ok()) return spec.status();
+  std::lock_guard<std::mutex> lock(g_install_mu);
+  g_injector.store(nullptr, std::memory_order_release);
+  g_owned = std::make_unique<FaultInjector>(spec.value());
+  g_injector.store(g_owned.get(), std::memory_order_release);
+  return Status::OK();
+}
+
+void UninstallFaultInjector() {
+  std::call_once(g_env_once, [] {});  // explicit uninstall outranks the env
+  std::lock_guard<std::mutex> lock(g_install_mu);
+  g_injector.store(nullptr, std::memory_order_release);
+  g_owned.reset();
+}
+
+}  // namespace store
+}  // namespace soldist

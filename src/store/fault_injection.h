@@ -1,0 +1,150 @@
+// Deterministic, seed-driven IO fault injection for the store/ layer.
+//
+// Every RrStorage / arena_io IO boundary (file open, payload read/write,
+// fsync, mmap chunk fault-in) consults the process-global FaultInjector
+// before touching the real filesystem. With no injector installed the
+// hooks are a single relaxed atomic load — the production path pays one
+// branch. With an injector installed (`--fault-spec` on the tools, the
+// SOLDIST_FAULT_SPEC environment variable for test binaries), every
+// corruption/timeout path in store/ becomes reproducibly reachable in
+// ctest and CI instead of only by real disk failures.
+//
+// Fault-spec grammar: comma-separated `key=value` / bare-flag tokens —
+//
+//   error-rate=0.1      inject Status::IoError on ~10% of ops (seeded draw)
+//   error-every=N       deterministically fail every Nth op (1-based)
+//   seed=S              stream seed for the error-rate draw (default 1)
+//   torn-write          write ops persist only a prefix of their bytes
+//   short-read          read ops return truncated data
+//   slow-read-us=N      add N microseconds of latency to read/chunk ops
+//
+// e.g. "error-rate=0.1,seed=7" or "torn-write,error-every=3". Decisions
+// are a pure function of (seed, per-injector op counter), so a
+// single-threaded run replays exactly; concurrent runs draw from the
+// same decision sequence in arrival order.
+
+#ifndef SOLDIST_STORE_FAULT_INJECTION_H_
+#define SOLDIST_STORE_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace soldist {
+namespace store {
+
+/// IO boundary classes a fault can target.
+enum class FaultOp {
+  kOpen,       ///< opening a payload/manifest/spill file
+  kRead,       ///< reading payload bytes
+  kWrite,      ///< writing payload bytes
+  kSync,       ///< fsync of a written payload
+  kMmapChunk,  ///< faulting in an mmap-spill chunk
+};
+
+const char* FaultOpName(FaultOp op);
+
+/// Parsed --fault-spec (see the grammar above). Default-constructed =
+/// no faults.
+struct FaultSpec {
+  double error_rate = 0.0;
+  std::uint64_t error_every = 0;  ///< 0 = off; N = every Nth op fails
+  std::uint64_t seed = 1;
+  bool torn_write = false;
+  bool short_read = false;
+  std::uint64_t slow_read_us = 0;
+
+  bool Enabled() const {
+    return error_rate > 0.0 || error_every > 0 || torn_write || short_read ||
+           slow_read_us > 0;
+  }
+
+  /// Parses the grammar; rejects unknown keys, bad values, and
+  /// error-rate outside [0, 1].
+  static StatusOr<FaultSpec> Parse(const std::string& text);
+
+  /// Canonical re-rendering of the spec (round-trips through Parse).
+  std::string ToString() const;
+};
+
+/// Monotone counters of what the injector actually did.
+struct FaultCounterSnapshot {
+  std::uint64_t ops = 0;
+  std::uint64_t injected_errors = 0;
+  std::uint64_t torn_writes = 0;
+  std::uint64_t short_reads = 0;
+  std::uint64_t delays = 0;
+};
+
+/// \brief Seed-driven fault decision engine. Thread-safe; all state is
+/// atomic. One instance is installed process-globally (see
+/// fault_injector() below) because the IO boundaries it hooks sit below
+/// any per-session object.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultSpec& spec) : spec_(spec) {}
+
+  const FaultSpec& spec() const { return spec_; }
+
+  /// Draws the next fault decision for `op`. Returns Status::IoError
+  /// ("injected fault ...") when this op should fail, OK otherwise.
+  /// Also applies the slow-read delay to read-class ops.
+  Status Check(FaultOp op, const std::string& what);
+
+  /// Torn write: the number of bytes the caller should actually persist
+  /// (a strict non-empty prefix when enabled and size > 1). The caller
+  /// then reports success — the checksum/size guards on the read side
+  /// are what must catch the damage.
+  std::size_t MutilateWriteSize(std::size_t size);
+
+  /// Short read: the number of bytes the caller should pretend were
+  /// read (a strict prefix when enabled and size > 1).
+  std::size_t MutilateReadSize(std::size_t size);
+
+  /// Applies ONLY the slow-read latency (no error draw): for boundaries
+  /// that cannot surface a Status (mmap chunk fault-in returns a
+  /// pointer) but should still exercise timeout/deadline paths.
+  void DelaySlowRead();
+
+  FaultCounterSnapshot counters() const {
+    FaultCounterSnapshot snap;
+    snap.ops = ops_.load(std::memory_order_relaxed);
+    snap.injected_errors = injected_errors_.load(std::memory_order_relaxed);
+    snap.torn_writes = torn_writes_.load(std::memory_order_relaxed);
+    snap.short_reads = short_reads_.load(std::memory_order_relaxed);
+    snap.delays = delays_.load(std::memory_order_relaxed);
+    return snap;
+  }
+
+ private:
+  FaultSpec spec_;
+  std::atomic<std::uint64_t> op_counter_{0};
+  std::atomic<std::uint64_t> ops_{0};
+  std::atomic<std::uint64_t> injected_errors_{0};
+  std::atomic<std::uint64_t> torn_writes_{0};
+  std::atomic<std::uint64_t> short_reads_{0};
+  std::atomic<std::uint64_t> delays_{0};
+};
+
+/// The installed injector, or null when fault injection is off. On the
+/// very first call the SOLDIST_FAULT_SPEC environment variable is
+/// consulted (and installed if set and valid), so test binaries run
+/// under CI fault presets without flag plumbing.
+FaultInjector* fault_injector();
+
+/// Parses `spec_text` and installs it process-globally (replacing any
+/// previous injector). An empty spec uninstalls. NOT thread-safe
+/// against concurrent IO — install before serving starts (tools do this
+/// during flag handling; tests between cases).
+Status InstallFaultInjector(const std::string& spec_text);
+
+/// Removes the installed injector (idempotent).
+void UninstallFaultInjector();
+
+}  // namespace store
+}  // namespace soldist
+
+#endif  // SOLDIST_STORE_FAULT_INJECTION_H_

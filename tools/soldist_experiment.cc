@@ -31,8 +31,13 @@
 //   spread v1,v2,...   RIS spread estimate of the seed set
 //   gain v s1,s2,...   marginal gain of v on top of {s1,...} (base opt.)
 //   topk k             greedy top-k seeds with per-seed estimates
-//   stats              arena-cache statistics
-// Bad input is a {"type":"error"} line, never an abort.
+//   stats              arena-cache + resilience statistics
+// Bad input is a {"type":"error"} line, never an abort. Under
+// --deadline-ms / --max-inflight-builds / --fault-spec the REPL serves
+// the resilience contract (serve/resilience.h): deadline-missed builds
+// answer DEGRADED from the largest resident τ prefix (tagged
+// degraded/served_tau), and `stats` exposes the degraded_answers /
+// shed_requests / retries / deadline_misses counters.
 //
 // Usage:
 //   soldist_experiment --network Karate --prob iwc --model lt --k 2
@@ -312,8 +317,23 @@ int RunQueryRepl(ExperimentContext* context, const HarnessParams& params,
       .UInt("tau", tau)
       .UInt("n", n)
       .UInt("arena_bytes", view.value().arena().MemoryBytes());
+  // A deadline that expired mid-build leaves a DEGRADED view: exact
+  // answers at the smaller served τ (serve/resilience.h). Tag the
+  // session so scripted consumers can tell.
+  if (view.value().degraded()) {
+    ready.Bool("degraded", true).UInt("served_tau", view.value().served_tau());
+  }
   std::printf("%s\n", ready.ToString().c_str());
   std::fflush(stdout);
+
+  // Every answer minted from a degraded view carries the tag, so a
+  // consumer never mistakes a τ' < τ estimate for the full-τ one.
+  auto tag_degraded = [&](JsonObject* record) {
+    if (view.value().degraded()) {
+      record->Bool("degraded", true)
+          .UInt("served_tau", view.value().served_tau());
+    }
+  };
 
   std::vector<VertexId> seeds;
   std::string line;
@@ -335,6 +355,7 @@ int RunQueryRepl(ExperimentContext* context, const HarnessParams& params,
       record.Str("type", "spread")
           .UIntArray("seeds", seeds)
           .Real("spread", view.value().Spread(seeds));
+      tag_degraded(&record);
       std::printf("%s\n", record.ToString().c_str());
     } else if (cmd == "gain") {
       // "gain v s1,s2,...": v first, then the (optional) base seed set.
@@ -363,6 +384,7 @@ int RunQueryRepl(ExperimentContext* context, const HarnessParams& params,
           .UInt("vertex", vertex[0])
           .UIntArray("seeds", seeds)
           .Real("gain", view.value().MarginalGain(seeds, vertex[0]));
+      tag_degraded(&record);
       std::printf("%s\n", record.ToString().c_str());
     } else if (cmd == "topk") {
       std::int64_t k = 0;
@@ -380,6 +402,7 @@ int RunQueryRepl(ExperimentContext* context, const HarnessParams& params,
           .RealArray("estimates", top.estimates)
           .UInt("covered", top.covered)
           .Real("spread", top.spread);
+      tag_degraded(&record);
       std::printf("%s\n", record.ToString().c_str());
     } else if (cmd == "reach") {
       // "reach <src> <dst>": fraction of sampled worlds in which dst is
@@ -429,6 +452,7 @@ int RunQueryRepl(ExperimentContext* context, const HarnessParams& params,
       std::printf("%s\n", record.ToString().c_str());
     } else if (cmd == "stats") {
       serve::ArenaCache::Stats stats = service.cache_stats();
+      serve::ResilienceStats res = service.resilience_stats();
       // Storage-backend telemetry of the REPL's own RR arena: resident
       // vs logical bytes (the gap is what compression/spilling saves)
       // and the decode-side cache counters.
@@ -454,7 +478,12 @@ int RunQueryRepl(ExperimentContext* context, const HarnessParams& params,
                     ? 0.0
                     : static_cast<double>(storage.hot_hits) /
                           static_cast<double>(hot_probes))
-          .UInt("chunk_loads", storage.chunk_loads);
+          .UInt("chunk_loads", storage.chunk_loads)
+          .UInt("partial_arenas", stats.partial_arenas)
+          .UInt("degraded_answers", res.degraded_answers)
+          .UInt("shed_requests", res.shed_requests)
+          .UInt("retries", res.retries)
+          .UInt("deadline_misses", res.deadline_misses);
       std::printf("%s\n", record.ToString().c_str());
     } else {
       PrintErrorLine(Status::InvalidArgument(
