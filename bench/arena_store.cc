@@ -15,6 +15,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -24,6 +26,7 @@
 #include "serve/query_service.h"
 #include "store/arena_io.h"
 #include "store/arena_storage.h"
+#include "store/recovery.h"
 #include "util/cli.h"
 #include "util/json.h"
 #include "util/string_util.h"
@@ -200,6 +203,31 @@ int Run(int argc, const char* const* argv) {
   if (!warm.ok()) return ExitWithError(warm.status());
   std::shared_ptr<RrArena> flat_arena = cold.value();
 
+  // Integrity-layer costs (ISSUE 10): VerifyArena is the per-entry price
+  // of the scrubber's disk pass; the startup sweep is what QueryService
+  // pays once per boot. The sweep runs over its own scratch root (one
+  // saved entry + seeded tmp debris) so its work — and the CHECK that it
+  // cleans exactly the debris — is independent of the serving copy.
+  timer.Restart();
+  Status verified = store::VerifyArena(store_dir);
+  const double verify_seconds = timer.Seconds();
+  if (!verified.ok()) return ExitWithError(verified);
+  const std::string sweep_root = store_dir + "_recovery_root";
+  std::filesystem::remove_all(sweep_root);
+  Status sweep_saved =
+      store::SaveRrArena(sampled, manifest, sweep_root + "/entry");
+  if (!sweep_saved.ok()) return ExitWithError(sweep_saved);
+  std::ofstream(sweep_root + "/payload.bin.tmp") << "debris";
+  timer.Restart();
+  StatusOr<store::RecoveryReport> swept = store::RecoverArenaDir(sweep_root);
+  const double sweep_seconds = timer.Seconds();
+  if (!swept.ok()) return ExitWithError(swept.status());
+  SOLDIST_CHECK(swept.value().cleaned_tmp_files == 1 &&
+                swept.value().healthy_entries == 1 &&
+                swept.value().quarantined_entries == 0)
+      << "recovery sweep misclassified the scratch tree: "
+      << swept.value().ToJson();
+
   // Byte-identity of the round trip: every set, every inverted list,
   // every prefix counter.
   SOLDIST_CHECK(flat_arena->capacity() == sampled.capacity());
@@ -222,9 +250,10 @@ int Run(int argc, const char* const* argv) {
                                flat_arena->PrefixCounters(cut)));
   }
   std::printf("# arena: n=%u tau=%llu sample=%.3fs save=%.3fs "
-              "cold_load=%.3fs warm_load=%.3fs\n",
+              "cold_load=%.3fs warm_load=%.3fs verify=%.3fs sweep=%.3fs\n",
               n, static_cast<unsigned long long>(tau), sample_seconds,
-              save_seconds, cold_load_seconds, warm_load_seconds);
+              save_seconds, cold_load_seconds, warm_load_seconds,
+              verify_seconds, sweep_seconds);
 
   const std::vector<Query> queries =
       MakeWorkload(num_queries, n, options.seed);
@@ -318,6 +347,8 @@ int Run(int argc, const char* const* argv) {
       .Real("save_seconds", save_seconds)
       .Real("cold_load_seconds", cold_load_seconds)
       .Real("warm_load_seconds", warm_load_seconds)
+      .Real("verify_seconds", verify_seconds)
+      .Real("recovery_sweep_seconds", sweep_seconds)
       .Real("compression_ratio", ratio)
       .Bool("reload_byte_identical", true)
       .UIntArray("topk_seeds", topk_reference)

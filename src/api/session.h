@@ -91,6 +91,13 @@ struct SessionOptions {
   /// kUnavailable. Only meaningful when max_inflight_builds > 0;
   /// 0 = no queue, shed immediately once all slots are busy.
   std::int64_t max_queued_builds = 0;
+  /// Cadence of serve::QueryService's background integrity scrubber
+  /// (serve/scrubber.h): every scrub_interval_ms one resident arena is
+  /// re-hashed against its admitted checksum (mismatch = evict and
+  /// rebuild) and one persisted arena_dir entry is re-verified (failure
+  /// = quarantine). 0 = time-driven scrubbing off; the REPL `scrub`
+  /// command still runs a full rotation on demand.
+  std::uint64_t scrub_interval_ms = 0;
 
   /// Validation for flag-derived options (the struct defaults are valid).
   Status Validate() const;

@@ -21,6 +21,7 @@ api::SessionOptions ExperimentOptions::SessionConfig() const {
       !arena_dir.empty() ? arena_dir : std::string("/tmp/soldist-arena");
   session.default_deadline_ms = deadline_ms;
   session.max_inflight_builds = max_inflight_builds;
+  session.scrub_interval_ms = scrub_interval_ms;
   return session;
 }
 
@@ -83,12 +84,19 @@ void AddExperimentFlags(ArgParser* args) {
                  "builds; excess requests shed with UNAVAILABLE (or "
                  "answer degraded from a resident prefix). 0 = "
                  "unlimited.");
+  args->AddInt64("scrub-interval-ms", 0,
+                 "background integrity scrubber cadence: every interval "
+                 "one resident arena is re-hashed against its admitted "
+                 "checksum (mismatch = evict and rebuild) and one "
+                 "persisted --arena-dir entry re-verified (failure = "
+                 "quarantine). 0 = off; the REPL `scrub` command still "
+                 "runs a full rotation on demand.");
   args->AddString("fault-spec", "",
                   "deterministic IO fault injection for every store/ IO "
-                  "boundary, e.g. 'error-rate=0.1,seed=7' or "
-                  "'torn-write,error-every=3' (keys: error-rate, "
-                  "error-every, seed, torn-write, short-read, "
-                  "slow-read-us). Empty = off.");
+                  "boundary, e.g. 'error-rate=0.1,seed=7', "
+                  "'torn-write,error-every=3', or 'crash-at=rename:2' "
+                  "(keys: error-rate, error-every, seed, torn-write, "
+                  "short-read, slow-read-us, crash-at). Empty = off.");
 }
 
 namespace {
@@ -139,6 +147,7 @@ StatusOr<ExperimentOptions> ParseExperimentFlags(const ArgParser& args) {
   }
   SOLDIST_RETURN_IF_ERROR(RequireAtLeast(args, "deadline-ms", 0));
   SOLDIST_RETURN_IF_ERROR(RequireAtLeast(args, "max-inflight-builds", 0));
+  SOLDIST_RETURN_IF_ERROR(RequireAtLeast(args, "scrub-interval-ms", 0));
   // Validate AND install the fault spec here: the injector hooks sit
   // below any session object, so flag handling is the one place every
   // binary passes before its first IO.
@@ -165,6 +174,8 @@ StatusOr<ExperimentOptions> ParseExperimentFlags(const ArgParser& args) {
   options.deadline_ms =
       static_cast<std::uint64_t>(args.GetInt64("deadline-ms"));
   options.max_inflight_builds = args.GetInt64("max-inflight-builds");
+  options.scrub_interval_ms =
+      static_cast<std::uint64_t>(args.GetInt64("scrub-interval-ms"));
   options.fault_spec = fault_spec;
   return options;
 }

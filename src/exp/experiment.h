@@ -75,6 +75,10 @@ struct ExperimentOptions {
   /// Max concurrent serve-layer arena builds (--max-inflight-builds;
   /// 0 = unlimited). Excess builds shed with UNAVAILABLE.
   std::int64_t max_inflight_builds = 0;
+  /// Background scrubber cadence in ms (--scrub-interval-ms; 0 = off).
+  /// Each cycle re-verifies one resident arena checksum and one
+  /// persisted --arena-dir entry (serve/scrubber.h).
+  std::uint64_t scrub_interval_ms = 0;
   /// Deterministic IO fault injection (--fault-spec; see
   /// store/fault_injection.h for the grammar). Installed process-wide
   /// by ParseExperimentFlags; empty = off.

@@ -45,6 +45,13 @@ ArenaCache::ArenaPtr ArenaCache::GetOrBuild(const std::string& key,
     slot->arena = build(slot->capacity);
     SOLDIST_CHECK(slot->arena != nullptr);
     SOLDIST_CHECK(slot->arena->capacity() >= 1);
+    // Charge the as-built residency: the checksum walk below perturbs
+    // spilling backends (chunk faults, hot-list warmup), and the budget
+    // must reflect what the build itself left resident.
+    slot->admitted_resident_bytes = slot->arena->ResidentBytes();
+    // Reference checksum for the scrubber, taken while the arena is
+    // provably pristine (and outside mu_ — it walks the content).
+    slot->checksum = slot->arena->ContentChecksum();
   });
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -63,7 +70,7 @@ ArenaCache::ArenaPtr ArenaCache::GetOrBuild(const std::string& key,
       // Charge what the backend actually holds in RAM (== MemoryBytes
       // for flat arenas); remember the charge so the refund on eviction
       // is exact even if residency drifts afterwards.
-      it->second.charged_bytes = slot->arena->ResidentBytes();
+      it->second.charged_bytes = slot->admitted_resident_bytes;
       resident_bytes_ += it->second.charged_bytes;
       EvictOverBudgetLocked(key);
     }
@@ -91,6 +98,27 @@ ArenaCache::ArenaPtr ArenaCache::LookupResident(const std::string& key) {
   if (it == entries_.end() || !it->second.accounted) return nullptr;
   lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
   return it->second.slot->arena;
+}
+
+std::vector<ArenaCache::ResidentEntry> ArenaCache::ResidentEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ResidentEntry> resident;
+  for (const auto& [key, entry] : entries_) {
+    if (!entry.accounted) continue;
+    resident.push_back({key, entry.slot->arena, entry.slot->checksum});
+  }
+  return resident;
+}
+
+bool ArenaCache::Invalidate(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || !it->second.accounted) return false;
+  resident_bytes_ -= it->second.charged_bytes;
+  ++invalidations_;
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+  return true;
 }
 
 void ArenaCache::EvictOverBudgetLocked(const std::string& keep) {
@@ -132,6 +160,7 @@ ArenaCache::Stats ArenaCache::stats() const {
   stats.hits = hits_;
   stats.builds = builds_;
   stats.evictions = evictions_;
+  stats.invalidations = invalidations_;
   stats.resident_bytes = resident_bytes_;
   stats.budget_bytes = budget_bytes_;
   std::uint64_t resident = 0;

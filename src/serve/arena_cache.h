@@ -30,6 +30,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "sim/world_arena.h"
 
@@ -91,6 +92,26 @@ class ArenaCache {
   /// resident. Touches the LRU but no hit/build counters.
   ArenaPtr LookupResident(const std::string& key);
 
+  /// One fully-built resident entry as the scrubber sees it: the arena
+  /// plus the ContentChecksum recorded when the build was admitted.
+  struct ResidentEntry {
+    std::string key;
+    ArenaPtr arena;
+    std::uint64_t admitted_checksum = 0;
+  };
+
+  /// Snapshot of every accounted entry in key order. Touches no LRU
+  /// state and no counters — a scrub pass must not perturb eviction.
+  std::vector<ResidentEntry> ResidentEntries() const;
+
+  /// Forcibly drops `key` (scrubber: the resident arena no longer
+  /// hashes to its admitted checksum — it rotted in RAM and must never
+  /// be served again). Charged bytes are refunded exactly; in-flight
+  /// views keep the arena alive but the next request rebuilds from the
+  /// key, byte-identically to the original. Returns false when the key
+  /// is not resident (already evicted/upgraded — not an error).
+  bool Invalidate(const std::string& key);
+
   /// Counters for tests/benches and the CLI's `stats` query.
   struct Stats {
     std::uint64_t hits = 0;        ///< served from a resident arena
@@ -106,6 +127,8 @@ class ArenaCache {
     /// Resident entries admitted below their requested τ (cancelled
     /// builds serving as degraded prefixes).
     std::uint64_t partial_arenas = 0;
+    /// Entries force-dropped by Invalidate (scrubber-detected rot).
+    std::uint64_t invalidations = 0;
   };
   Stats stats() const;
 
@@ -116,6 +139,13 @@ class ArenaCache {
     std::once_flag once;
     ArenaPtr arena;
     std::uint64_t capacity = 0;
+    /// ContentChecksum taken right after the build, inside the
+    /// once-section (outside mu_) — the scrubber's reference value.
+    std::uint64_t checksum = 0;
+    /// ResidentBytes snapshotted BEFORE the checksum walk: hashing a
+    /// spilling backend faults chunks and warms hot lists, so charging
+    /// must use the as-built residency, not the post-walk one.
+    std::uint64_t admitted_resident_bytes = 0;
   };
 
   struct Entry {
@@ -151,6 +181,7 @@ class ArenaCache {
   std::uint64_t hits_ = 0;
   std::uint64_t builds_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t invalidations_ = 0;
   std::uint64_t resident_bytes_ = 0;
 };
 

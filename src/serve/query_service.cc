@@ -189,12 +189,13 @@ double QueryView::MarginalGain(std::span<const VertexId> seeds,
   return MarginalGain(seeds, v, LocalScratch());
 }
 
-TopKResult QueryView::TopK(int k) const {
+TopKResult QueryView::TopK(int k, const CancelToken* cancel) const {
   SOLDIST_CHECK(k >= 1);
   // Selection runs the production bucket-CELF engine over a prefix view
   // (its ctor seeds the queue from the cut lengths / CoverCounts).
-  MaxCoverageResult mc = GreedyMaxCoverage(arena_->Prefix(count_), k);
+  MaxCoverageResult mc = GreedyMaxCoverage(arena_->Prefix(count_), k, cancel);
   TopKResult result;
+  result.completed = mc.completed;
   result.covered = mc.covered;
   result.spread = static_cast<double>(num_vertices()) *
                   static_cast<double>(mc.covered) /
@@ -382,7 +383,28 @@ QueryService::QueryService(api::Session* session)
       admission_(session->options().max_inflight_builds,
                  session->options().max_queued_builds) {
   SOLDIST_CHECK(session_ != nullptr);
+  const std::string& arena_dir = session_->options().arena_dir;
+  if (!arena_dir.empty()) {
+    // Crash-consistency startup sweep: clear interrupted-save debris and
+    // quarantine corrupt entries BEFORE the first load can see them. A
+    // failed sweep is logged, never fatal — persistence cannot fail a
+    // query, and every load still verifies what it reads.
+    StatusOr<store::RecoveryReport> swept = store::RecoverArenaDir(arena_dir);
+    if (swept.ok()) {
+      recovery_report_ = std::move(swept).value();
+    } else {
+      SOLDIST_LOG(Warning) << "arena-dir recovery sweep failed: "
+                           << swept.status().ToString();
+    }
+  }
+  scrubber_ = std::make_unique<Scrubber>(
+      &cache_, arena_dir, session_->options().scrub_interval_ms);
+  scrubber_->Start();
 }
+
+ScrubStats QueryService::scrub_stats() const { return scrubber_->stats(); }
+
+void QueryService::RunScrubCycle() { scrubber_->ScrubAll(); }
 
 Deadline QueryService::DeadlineFor(const QuerySpec& spec) const {
   const std::uint64_t ms = spec.deadline_ms != 0
@@ -449,6 +471,12 @@ StatusOr<QueryView> QueryService::View(const api::WorkloadSpec& workload,
   // prefix — a byte-identical direct smaller build (sim/rr_arena.h).
   CancelToken cancel([deadline] { return deadline.expired(); });
   if (!deadline.unlimited()) sampling.cancel = &cancel;
+  // One request-shared IO attempt pool: the builder's load AND save draw
+  // from it, so the request's worst-case IO stall is bounded once, not
+  // per operation (RetryPolicy::request_budget).
+  RetryBudget io_budget(retry_policy_.request_budget);
+  RetryBudget* const budget =
+      retry_policy_.request_budget > 0 ? &io_budget : nullptr;
   const ArenaCache::Builder builder =
       [&](std::uint64_t capacity) -> ArenaCache::ArenaPtr {
     // Persistence (session arena_dir set): load a saved arena whose
@@ -474,7 +502,7 @@ StatusOr<QueryView> QueryService::View(const api::WorkloadSpec& workload,
             built = std::move(loaded).value();
             return Status::OK();
           },
-          &retries_);
+          &retries_, /*sleep=*/{}, budget);
       if (!load.ok()) {
         WarnUnlessNotFound("arena load failed (resampling)", load);
       }
@@ -496,7 +524,7 @@ StatusOr<QueryView> QueryService::View(const api::WorkloadSpec& workload,
         Status saved = RetryWithBackoff(
             retry_policy_, deadline,
             [&] { return store::SaveRrArena(*built, expected, dir); },
-            &retries_);
+            &retries_, /*sleep=*/{}, budget);
         if (!saved.ok()) {
           SOLDIST_LOG(Warning) << "arena save failed (serving "
                                   "unpersisted): " << saved.ToString();
@@ -578,6 +606,10 @@ StatusOr<SnapshotQueryView> QueryService::SnapshotView(
   const ModelInstance resolved = instance.value();
   CancelToken cancel([deadline] { return deadline.expired(); });
   if (!deadline.unlimited()) sampling.cancel = &cancel;
+  // Request-shared IO attempt pool, exactly as in View.
+  RetryBudget io_budget(retry_policy_.request_budget);
+  RetryBudget* const budget =
+      retry_policy_.request_budget > 0 ? &io_budget : nullptr;
   const ArenaCache::Builder builder =
       [&](std::uint64_t capacity) -> ArenaCache::ArenaPtr {
     // Same persistence discipline as the RR builder; snapshot arenas
@@ -600,7 +632,7 @@ StatusOr<SnapshotQueryView> QueryService::SnapshotView(
             built = std::move(loaded).value();
             return Status::OK();
           },
-          &retries_);
+          &retries_, /*sleep=*/{}, budget);
       if (!load.ok()) {
         WarnUnlessNotFound("arena load failed (resampling)", load);
       }
@@ -618,7 +650,7 @@ StatusOr<SnapshotQueryView> QueryService::SnapshotView(
       Status saved = RetryWithBackoff(
           retry_policy_, deadline,
           [&] { return store::SaveSnapshotArena(*built, expected, dir); },
-          &retries_);
+          &retries_, /*sleep=*/{}, budget);
       if (!saved.ok()) {
         SOLDIST_LOG(Warning) << "arena save failed (serving "
                                 "unpersisted): " << saved.ToString();

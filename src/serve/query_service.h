@@ -49,9 +49,11 @@
 #include "api/spec.h"
 #include "serve/arena_cache.h"
 #include "serve/resilience.h"
+#include "serve/scrubber.h"
 #include "sim/rr_arena.h"
 #include "sim/snapshot_arena.h"
 #include "store/arena_storage.h"
+#include "store/recovery.h"
 #include "util/status.h"
 
 namespace soldist {
@@ -107,6 +109,11 @@ struct TopKResult {
   std::vector<double> estimates;
   std::uint64_t covered = 0;
   double spread = 0.0;
+  /// False when a deadline CancelToken stopped CELF between rounds:
+  /// seeds holds the completed prefix (>= 1 seed), byte-identical to a
+  /// direct smaller-k solve — a DEGRADED answer in the serve/resilience.h
+  /// sense, exact for the k it actually answers.
+  bool completed = true;
 };
 
 /// \brief An immutable point-query view over the first `sample_number`
@@ -159,8 +166,11 @@ class QueryView {
   /// Greedy top-k seed selection over the view via the bucket-CELF
   /// word-packed engine (GreedyMaxCoverage), byte-identical to a fresh
   /// solve at τ. O(view) — reach for it when the ANSWER is a seed set;
-  /// point queries stay on Spread/MarginalGain.
-  TopKResult TopK(int k) const;
+  /// point queries stay on Spread/MarginalGain. `cancel` (usually armed
+  /// from the request Deadline) is checked between CELF rounds: a fired
+  /// token returns the completed seed prefix with completed = false —
+  /// byte-identical to a direct smaller-k solve, never a partial round.
+  TopKResult TopK(int k, const CancelToken* cancel = nullptr) const;
 
  private:
   /// The lazily cut inverted list of v (satellite: no O(n log capacity)
@@ -361,6 +371,24 @@ class QueryService {
   /// `stats` surfaces these next to cache_stats).
   ResilienceStats resilience_stats() const;
 
+  /// What the crash-consistency startup sweep (store/recovery.h) found
+  /// and did in the session's arena_dir when this service came up. An
+  /// all-zero report when arena_dir is unset or the sweep itself failed
+  /// (the failure is logged — serving proceeds either way; persistence
+  /// never fails a query).
+  const store::RecoveryReport& recovery_report() const {
+    return recovery_report_;
+  }
+
+  /// Monotone counters of the background integrity scrubber
+  /// (serve/scrubber.h; cadence = SessionOptions::scrub_interval_ms,
+  /// 0 = time-driven scrubbing off).
+  ScrubStats scrub_stats() const;
+
+  /// One full synchronous scrub rotation — every resident arena re-
+  /// hashed, every persisted entry re-verified (REPL `scrub`; tests).
+  void RunScrubCycle();
+
  private:
   /// One key format for both arena families: kind # workload label #
   /// seed # stream family. τ is deliberately absent (see View).
@@ -377,6 +405,12 @@ class QueryService {
   ArenaCache cache_;
   AdmissionController admission_;
   RetryPolicy retry_policy_;
+  /// Startup-sweep outcome (empty when arena_dir is unset).
+  store::RecoveryReport recovery_report_;
+  /// Always constructed (the resident pass needs no directory); its
+  /// timer thread only starts when scrub_interval_ms > 0. Declared after
+  /// cache_ so it is destroyed FIRST — no scrub touches a dead cache.
+  std::unique_ptr<Scrubber> scrubber_;
   std::atomic<std::uint64_t> degraded_answers_{0};
   std::atomic<std::uint64_t> shed_requests_{0};
   std::atomic<std::uint64_t> retries_{0};

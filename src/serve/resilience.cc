@@ -51,10 +51,21 @@ std::uint64_t RetryPolicy::BackoffMicros(int attempt) const {
 Status RetryWithBackoff(const RetryPolicy& policy, const Deadline& deadline,
                         const std::function<Status()>& op,
                         std::atomic<std::uint64_t>* retries,
-                        const SleepMicrosFn& sleep) {
+                        const SleepMicrosFn& sleep,
+                        RetryBudget* budget) {
   SOLDIST_CHECK(policy.max_attempts >= 1);
   Status last = Status::OK();
   for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    // The request-shared pool gates every attempt, the first included:
+    // a request whose earlier IO burned the allowance must not start
+    // more (its worst-case stall is bounded once, across ops).
+    if (budget != nullptr && !budget->TryConsume()) {
+      if (attempt == 0) {
+        return Status::Unavailable(
+            "retry budget exhausted before the first attempt");
+      }
+      break;
+    }
     if (attempt > 0) {
       // Clip the backoff to the deadline: sleeping past it would turn a
       // servable degraded answer into a guaranteed miss.

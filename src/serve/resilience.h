@@ -83,9 +83,50 @@ struct RetryPolicy {
   double multiplier = 2.0;
   std::uint64_t max_backoff_us = 100000;
   std::uint64_t jitter_seed = 1;
+  /// Attempt budget shared across EVERY retryable IO op of one request
+  /// (a build's arena load and save draw from the same RetryBudget pool,
+  /// so a load that burns its full max_attempts leaves the save exactly
+  /// budget − max_attempts tries instead of a fresh allowance — a
+  /// request's worst-case IO stall is bounded once, not per op). The
+  /// default, max_attempts + 1, guarantees the second op of a pair at
+  /// least one try. 0 = no shared budget (per-op max_attempts only).
+  int request_budget = 4;
 
   /// The post-jitter sleep before retry number `attempt` (0-based).
   std::uint64_t BackoffMicros(int attempt) const;
+};
+
+/// \brief The shared attempt pool behind RetryPolicy::request_budget:
+/// one instance per REQUEST, passed to every RetryWithBackoff the
+/// request performs. Each attempt (including firsts) consumes one unit;
+/// an op that finds the pool empty fails with kUnavailable immediately
+/// instead of piling more IO onto a request that already spent its
+/// allowance. Thread-safe (ops of one request may run on pool workers).
+class RetryBudget {
+ public:
+  explicit RetryBudget(int attempts) : remaining_(attempts) {}
+
+  RetryBudget(const RetryBudget&) = delete;
+  RetryBudget& operator=(const RetryBudget&) = delete;
+
+  /// Consumes one attempt; false when the pool is spent.
+  bool TryConsume() {
+    int current = remaining_.load(std::memory_order_relaxed);
+    while (current > 0) {
+      if (remaining_.compare_exchange_weak(current, current - 1,
+                                           std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  int remaining() const {
+    return remaining_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int> remaining_;
 };
 
 /// Runs `op` up to policy.max_attempts times. ONLY kIoError is retried
@@ -94,11 +135,15 @@ struct RetryPolicy {
 /// deadline's remaining time, and an expired deadline stops the loop
 /// with the last error rather than burning attempts that cannot be
 /// served. Each retry (not each attempt) bumps *retries when non-null.
-/// `sleep` defaults to std::this_thread::sleep_for.
+/// `sleep` defaults to std::this_thread::sleep_for. When `budget` is
+/// non-null every attempt additionally draws from the request-shared
+/// pool; an empty pool stops the loop (kUnavailable when not even the
+/// first attempt ran).
 Status RetryWithBackoff(const RetryPolicy& policy, const Deadline& deadline,
                         const std::function<Status()>& op,
                         std::atomic<std::uint64_t>* retries = nullptr,
-                        const SleepMicrosFn& sleep = {});
+                        const SleepMicrosFn& sleep = {},
+                        RetryBudget* budget = nullptr);
 
 /// Monotone counters the service exposes through REPL `stats`.
 struct ResilienceStats {

@@ -61,7 +61,8 @@ std::uint64_t ClearCovered(std::span<const std::uint32_t> list,
 /// hits zero every remaining gain is zero for good ("exhausted") and the
 /// remaining rounds fill with the smallest unselected ids.
 template <typename View>
-MaxCoverageResult PackedGreedyMaxCoverage(const View& view, int k) {
+MaxCoverageResult PackedGreedyMaxCoverage(const View& view, int k,
+                                          const CancelToken* cancel) {
   SOLDIST_CHECK(k >= 1);
   const VertexId n = view.num_vertices();
   SOLDIST_CHECK(static_cast<VertexId>(k) <= n);
@@ -99,6 +100,13 @@ MaxCoverageResult PackedGreedyMaxCoverage(const View& view, int k) {
   bool exhausted = false;
   std::uint32_t cur = max_gain;
   for (int round = 0; round < k; ++round) {
+    // Deadline-aware CELF: stop at a round boundary so the seeds picked
+    // so far ARE a direct smaller-k solve. Round 0 always runs — the
+    // most degraded answer is still one seed, never zero.
+    if (cancel != nullptr && round > 0 && cancel->cancelled()) {
+      result.completed = false;
+      break;
+    }
     VertexId pick = kInvalidVertex;
     while (!exhausted) {
       while (cur > 0 && buckets[cur].empty()) --cur;
@@ -157,7 +165,8 @@ MaxCoverageResult PackedGreedyMaxCoverage(const View& view, int k) {
 /// The pre-word-packed heap implementation, kept verbatim as the
 /// differential-test baseline (MaxCoverageImpl::kReferenceForTest).
 MaxCoverageResult ReferenceGreedyMaxCoverage(const RrCollection& collection,
-                                             int k) {
+                                             int k,
+                                             const CancelToken* cancel) {
   SOLDIST_CHECK(k >= 1);
   const VertexId n = collection.num_vertices();
   SOLDIST_CHECK(static_cast<VertexId>(k) <= n);
@@ -188,6 +197,12 @@ MaxCoverageResult ReferenceGreedyMaxCoverage(const RrCollection& collection,
   VertexId fill_cursor = 0;
   bool exhausted = false;  // every remaining gain is 0 for good
   for (int round = 0; round < k; ++round) {
+    // Same round-boundary cancel as the packed engine, so differential
+    // tests stay valid under a firing token.
+    if (cancel != nullptr && round > 0 && cancel->cancelled()) {
+      result.completed = false;
+      break;
+    }
     bool selected = false;
     while (!exhausted && !heap.empty()) {
       Entry top = heap.top();
@@ -222,15 +237,17 @@ MaxCoverageResult ReferenceGreedyMaxCoverage(const RrCollection& collection,
 }  // namespace
 
 MaxCoverageResult GreedyMaxCoverage(const RrCollection& collection, int k,
-                                    MaxCoverageImpl impl) {
+                                    MaxCoverageImpl impl,
+                                    const CancelToken* cancel) {
   if (impl == MaxCoverageImpl::kReferenceForTest) {
-    return ReferenceGreedyMaxCoverage(collection, k);
+    return ReferenceGreedyMaxCoverage(collection, k, cancel);
   }
-  return PackedGreedyMaxCoverage(collection, k);
+  return PackedGreedyMaxCoverage(collection, k, cancel);
 }
 
-MaxCoverageResult GreedyMaxCoverage(const RrPrefixView& view, int k) {
-  return PackedGreedyMaxCoverage(view, k);
+MaxCoverageResult GreedyMaxCoverage(const RrPrefixView& view, int k,
+                                    const CancelToken* cancel) {
+  return PackedGreedyMaxCoverage(view, k, cancel);
 }
 
 }  // namespace soldist

@@ -22,6 +22,7 @@
 
 #include "sim/rr_arena.h"
 #include "sim/rr_sampler.h"
+#include "sim/sampling_engine.h"
 
 namespace soldist {
 
@@ -31,6 +32,11 @@ struct MaxCoverageResult {
   std::vector<VertexId> seeds;
   /// Number of RR sets covered by the full selection.
   std::uint64_t covered = 0;
+  /// False when a CancelToken stopped the run between rounds: seeds
+  /// holds the completed r-round prefix (r >= 1) — byte-identical to a
+  /// direct k = r solve, because greedy selection is prefix-consistent
+  /// (round i depends only on rounds < i).
+  bool completed = true;
 
   /// Fraction of the collection covered: F_R(seeds).
   double Fraction(std::uint64_t collection_size) const {
@@ -51,13 +57,21 @@ enum class MaxCoverageImpl { kWordPacked, kReferenceForTest };
 /// Deterministic: ties break toward the smaller vertex id; once every
 /// remaining gain is zero the rest of the seed set is filled with the
 /// smallest unselected ids. Requires collection.BuildIndex().
+///
+/// `cancel` (deadline-aware CELF — serve/resilience.h): the token is
+/// checked BETWEEN rounds, so a fired deadline stops selection at a
+/// round boundary with the completed prefix (at least round 0 always
+/// lands) and MaxCoverageResult::completed = false. Both engines honor
+/// it identically, keeping the differential tests valid under cancel.
 MaxCoverageResult GreedyMaxCoverage(
     const RrCollection& collection, int k,
-    MaxCoverageImpl impl = MaxCoverageImpl::kWordPacked);
+    MaxCoverageImpl impl = MaxCoverageImpl::kWordPacked,
+    const CancelToken* cancel = nullptr);
 
 /// Same greedy over a zero-copy arena prefix view (the sweep-reuse path):
 /// byte-identical to running it on an equal collection.
-MaxCoverageResult GreedyMaxCoverage(const RrPrefixView& view, int k);
+MaxCoverageResult GreedyMaxCoverage(const RrPrefixView& view, int k,
+                                    const CancelToken* cancel = nullptr);
 
 }  // namespace soldist
 

@@ -268,6 +268,24 @@ std::uint64_t RrArena::ResidentBytes() const {
   return storage_->ResidentBytes() + counters_.MemoryBytes();
 }
 
+std::uint64_t RrArena::ContentChecksum() const {
+  const std::uint64_t cap = capacity();
+  const std::uint64_t n = num_vertices_;
+  std::uint64_t hash = Fnv1a64(&cap, sizeof(cap));
+  hash = Fnv1a64(&n, sizeof(n), hash);
+  // The inverted lists are identical across backends and fully determine
+  // set membership, so hashing them (not the backend's physical bytes)
+  // keeps the checksum stable under ConvertStorage and save/load.
+  store::StorageScratch scratch;
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    const std::span<const std::uint32_t> ids = InvertedAll(v, &scratch);
+    const std::uint64_t len = ids.size();
+    hash = Fnv1a64(&len, sizeof(len), hash);
+    if (!ids.empty()) hash = Fnv1a64(ids.data(), ids.size_bytes(), hash);
+  }
+  return hash;
+}
+
 RrPrefixView RrArena::Prefix(std::uint64_t count) const {
   return RrPrefixView(this, count);
 }

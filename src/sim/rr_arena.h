@@ -157,6 +157,13 @@ class RrArena : public WorldArena {
   /// flat). serve/ArenaCache budgets against this.
   std::uint64_t ResidentBytes() const override;
 
+  /// Backend-stable content hash: FNV-1a over the inverted lists (which
+  /// are documented identical across flat/compressed/mmap and fully
+  /// determine set membership — the thing every query answers from),
+  /// plus the shape. Same sampled data => same checksum on any backend
+  /// and across a save/load round-trip.
+  std::uint64_t ContentChecksum() const override;
+
   bool is_flat() const { return flat_ != nullptr; }
   store::ArenaBackend backend() const { return storage_->backend(); }
   const store::RrStorage& storage() const { return *storage_; }

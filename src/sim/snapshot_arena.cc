@@ -195,4 +195,30 @@ std::uint64_t SnapshotArena::MemoryBytes() const {
   return bytes;
 }
 
+std::uint64_t SnapshotArena::ContentChecksum() const {
+  const std::uint64_t cap = capacity();
+  const std::uint64_t n = num_vertices_;
+  std::uint64_t hash = Fnv1a64(&cap, sizeof(cap));
+  hash = Fnv1a64(&n, sizeof(n), hash);
+  const auto mix = [&hash](const auto& vec) {
+    const std::uint64_t len = vec.size();
+    hash = Fnv1a64(&len, sizeof(len), hash);
+    if (!vec.empty()) {
+      hash = Fnv1a64(vec.data(), vec.size() * sizeof(vec[0]), hash);
+    }
+  };
+  for (std::uint64_t i = 0; i < cap; ++i) {
+    const CondensedSnapshot& snap = snaps_[i];
+    mix(snap.comp_of);
+    mix(snap.comp_size);
+    mix(snap.dag.offsets);
+    mix(snap.dag.targets);
+    mix(snap.rev.offsets);
+    mix(snap.rev.targets);
+    mix(warmth_[i].bound);
+    mix(warmth_[i].is_exact);
+  }
+  return hash;
+}
+
 }  // namespace soldist

@@ -120,6 +120,10 @@ class SnapshotArena : public WorldArena {
   /// Heap bytes of the arena payloads (worlds + warmth + counters).
   std::uint64_t MemoryBytes() const override;
 
+  /// Content hash over every world's condensation + warmth (FNV-1a;
+  /// see WorldArena::ContentChecksum). Stable across save/load.
+  std::uint64_t ContentChecksum() const override;
+
  private:
   SnapshotArena() = default;
 

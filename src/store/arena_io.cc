@@ -37,6 +37,98 @@ std::uint64_t Fnv1a(const std::uint8_t* data, std::size_t size,
   return hash;
 }
 
+/// fsyncs the directory containing `path` so a just-committed rename
+/// survives a crash (the rename updates the directory entry; without
+/// this the entry itself can be lost even though the inode is durable).
+Status SyncParentDir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IoError("cannot open dir '" + dir +
+                           "' for fsync: " + std::strerror(errno));
+  }
+  if (::fsync(fd) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("fsync of dir '" + dir + "' failed: " + err);
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+/// Atomically publishes `tmp` as `path` (the COMMIT POINT of every
+/// store/ file write) and makes the directory entry durable. A crash
+/// before the rename leaves only `*.tmp` debris; after it, the complete
+/// file — never a half-written file under its final name.
+Status CommitFile(const std::string& tmp, const std::string& path) {
+  FaultInjector* inject = fault_injector();
+  if (inject != nullptr) {
+    SOLDIST_RETURN_IF_ERROR(inject->Check(FaultOp::kRename, path));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("rename '" + tmp + "' -> '" + path +
+                           "' failed: " + std::strerror(errno));
+  }
+  return SyncParentDir(path);
+}
+
+/// Durably writes `size` bytes through the tmp + atomic-rename protocol:
+/// open/write/fsync `path + ".tmp"` (each an injectable fault boundary;
+/// a torn write persists a prefix of the TMP file and still commits it —
+/// the read-side checksum guards are what must catch the damage), then
+/// CommitFile renames it over `path`.
+Status WriteFileDurably(const std::string& path, const std::uint8_t* data,
+                        std::size_t size) {
+  const std::string tmp = path + ".tmp";
+  FaultInjector* inject = fault_injector();
+  if (inject != nullptr) {
+    SOLDIST_RETURN_IF_ERROR(inject->Check(FaultOp::kOpen, tmp));
+  }
+  const int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open '" + tmp + "' for writing: " +
+                           std::strerror(errno));
+  }
+  std::size_t write_size = size;
+  if (inject != nullptr) {
+    Status faulted = inject->Check(FaultOp::kWrite, tmp);
+    if (!faulted.ok()) {
+      ::close(fd);
+      return faulted;
+    }
+    write_size = inject->MutilateWriteSize(write_size);
+  }
+  std::size_t written = 0;
+  while (written < write_size) {
+    const ssize_t n = ::write(fd, data + written, write_size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return Status::IoError("write to '" + tmp + "' failed: " + err);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (inject != nullptr) {
+    Status faulted = inject->Check(FaultOp::kSync, tmp);
+    if (!faulted.ok()) {
+      ::close(fd);
+      return faulted;
+    }
+  }
+  if (::fsync(fd) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("fsync of '" + tmp + "' failed: " + err);
+  }
+  if (::close(fd) != 0) {
+    return Status::IoError("close of '" + tmp +
+                           "' failed: " + std::strerror(errno));
+  }
+  return CommitFile(tmp, path);
+}
+
 /// Append-only payload writer: accumulates the byte stream in memory,
 /// then flushes it with its checksum in one pass. Arenas at the recorded
 /// bench scales are tens of MB, so the staging buffer is acceptable; a
@@ -59,62 +151,17 @@ class PayloadWriter {
     PutU64(c.sample_edges);
   }
 
-  /// POSIX write path with an fsync BEFORE the caller writes the
-  /// manifest: the "payload before manifest" crash ordering is only
-  /// real once the payload bytes are durable when the manifest names
-  /// them — a buffered ofstream could leave a valid-looking manifest
-  /// over a torn payload after a crash.
+  /// Durable tmp+rename write with an fsync BEFORE the caller writes
+  /// the manifest: the "payload before manifest" crash ordering is only
+  /// real once the payload bytes are durable (and committed under their
+  /// final name) when the manifest names them. A torn write persists
+  /// only a prefix but still REPORTS success (bytes/checksum below
+  /// describe the full buffer): the read-side size/checksum guards are
+  /// what must catch the damage.
   Status Flush(const std::string& path, std::uint64_t* bytes,
                std::uint64_t* checksum) const {
-    FaultInjector* inject = fault_injector();
-    if (inject != nullptr) {
-      SOLDIST_RETURN_IF_ERROR(inject->Check(FaultOp::kOpen, path));
-    }
-    const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
-    if (fd < 0) {
-      return Status::IoError("cannot open '" + path + "' for writing: " +
-                             std::strerror(errno));
-    }
-    std::size_t write_size = buffer_.size();
-    if (inject != nullptr) {
-      Status faulted = inject->Check(FaultOp::kWrite, path);
-      if (!faulted.ok()) {
-        ::close(fd);
-        return faulted;
-      }
-      // A torn write persists only a prefix but still REPORTS success
-      // (bytes/checksum below describe the full buffer): the read-side
-      // size/checksum guards are what must catch the damage.
-      write_size = inject->MutilateWriteSize(write_size);
-    }
-    std::size_t written = 0;
-    while (written < write_size) {
-      const ssize_t n =
-          ::write(fd, buffer_.data() + written, write_size - written);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        const std::string err = std::strerror(errno);
-        ::close(fd);
-        return Status::IoError("write to '" + path + "' failed: " + err);
-      }
-      written += static_cast<std::size_t>(n);
-    }
-    if (inject != nullptr) {
-      Status faulted = inject->Check(FaultOp::kSync, path);
-      if (!faulted.ok()) {
-        ::close(fd);
-        return faulted;
-      }
-    }
-    if (::fsync(fd) != 0) {
-      const std::string err = std::strerror(errno);
-      ::close(fd);
-      return Status::IoError("fsync of '" + path + "' failed: " + err);
-    }
-    if (::close(fd) != 0) {
-      return Status::IoError("close of '" + path +
-                             "' failed: " + std::strerror(errno));
-    }
+    SOLDIST_RETURN_IF_ERROR(
+        WriteFileDurably(path, buffer_.data(), buffer_.size()));
     *bytes = buffer_.size();
     *checksum = Fnv1a(buffer_.data(), buffer_.size());
     return Status::OK();
@@ -171,24 +218,22 @@ class PayloadReader {
 
 Status WriteManifest(const ArenaManifest& manifest, const std::string& dir) {
   const std::string path = dir + kManifestFile;
-  FaultInjector* inject = fault_injector();
-  if (inject != nullptr) {
-    SOLDIST_RETURN_IF_ERROR(inject->Check(FaultOp::kWrite, path));
-  }
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
-  out << "format_version=" << manifest.version << "\n"
-      << "kind=" << manifest.kind << "\n"
-      << "workload=" << manifest.workload << "\n"
-      << "seed=" << manifest.seed << "\n"
-      << "stream=" << manifest.stream << "\n"
-      << "capacity=" << manifest.capacity << "\n"
-      << "num_vertices=" << manifest.num_vertices << "\n"
-      << "payload_bytes=" << manifest.payload_bytes << "\n"
-      << "checksum=" << manifest.checksum << "\n";
-  out.flush();
-  if (!out) return Status::IoError("short write to '" + path + "'");
-  return Status::OK();
+  std::string text;
+  text += "format_version=" + std::to_string(manifest.version) + "\n";
+  text += "kind=" + manifest.kind + "\n";
+  text += "workload=" + manifest.workload + "\n";
+  text += "seed=" + std::to_string(manifest.seed) + "\n";
+  text += "stream=" + manifest.stream + "\n";
+  text += "capacity=" + std::to_string(manifest.capacity) + "\n";
+  text += "num_vertices=" + std::to_string(manifest.num_vertices) + "\n";
+  text += "payload_bytes=" + std::to_string(manifest.payload_bytes) + "\n";
+  text += "checksum=" + std::to_string(manifest.checksum) + "\n";
+  // Same tmp+rename protocol as the payload: the manifest rename is the
+  // commit point of the WHOLE save (a directory becomes a loadable hit
+  // at exactly this instant and never before).
+  return WriteFileDurably(path,
+                          reinterpret_cast<const std::uint8_t*>(text.data()),
+                          text.size());
 }
 
 bool ParseU64(const std::string& text, std::uint64_t* out) {
@@ -392,6 +437,34 @@ StatusOr<ArenaManifest> ReadArenaManifest(const std::string& dir) {
     return Status::IoError("incomplete arena manifest at '" + path + "'");
   }
   return manifest;
+}
+
+Status VerifyArena(const std::string& dir) {
+  StatusOr<ArenaManifest> manifest = ReadArenaManifest(dir);
+  if (!manifest.ok()) return manifest.status();
+  if (manifest.value().version != kArenaFormatVersion) {
+    return Status::FailedPrecondition(
+        "arena format version " + std::to_string(manifest.value().version) +
+        " != " + std::to_string(kArenaFormatVersion));
+  }
+  std::uint32_t expected_kind = 0;
+  if (manifest.value().kind == "rr") {
+    expected_kind = kKindRr;
+  } else if (manifest.value().kind == "snapshot") {
+    expected_kind = kKindSnapshot;
+  } else {
+    return Status::FailedPrecondition("unknown arena kind '" +
+                                      manifest.value().kind + "'");
+  }
+  // OpenPayload verifies size, whole-file checksum, and the binary
+  // header (magic / version / kind / shape vs manifest). Deeper
+  // structural damage inside the sections is impossible past the
+  // checksum unless the save itself was buggy — LoadArena still
+  // validates structure at load time.
+  StatusOr<std::shared_ptr<PayloadReader>> opened =
+      OpenPayload(dir, manifest.value(), expected_kind);
+  if (!opened.ok()) return opened.status();
+  return Status::OK();
 }
 
 Status SaveRrArena(const RrArena& arena, ArenaManifest manifest,

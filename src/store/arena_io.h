@@ -22,6 +22,16 @@
 //                        world, its warmth (saved, not recomputed — the
 //                        loader has no InfluenceGraph) and the deltas.
 //
+// Crash consistency: both files are written through a `*.tmp` +
+// atomic-rename protocol (write tmp, fsync, rename, fsync dir), payload
+// committed before manifest — the manifest rename is the commit point
+// of the whole save. A process killed at ANY point mid-save therefore
+// leaves either (a) `*.tmp` debris and/or a payload without a manifest
+// (both cleaned unambiguously by store/recovery) reading as kNotFound,
+// or (b) the complete entry — never a half-entry under final names.
+// ctest crash_recovery_test forks a child per crash-at boundary and
+// proves the reload is byte-identical or a clean miss.
+//
 // Everything fallible returns Status: a corrupted, truncated,
 // wrong-version, wrong-endian or identity-mismatched file is a load
 // MISS the caller falls back from (resample + save), never an abort —
@@ -68,6 +78,15 @@ struct ArenaManifest {
 
 /// Parses `<dir>/manifest.txt`; kNotFound when absent.
 StatusOr<ArenaManifest> ReadArenaManifest(const std::string& dir);
+
+/// Integrity check of a persisted arena entry WITHOUT materializing it:
+/// manifest present and well-formed, format version current, kind
+/// known, payload present with the manifest's exact size, whole-file
+/// FNV-1a checksum, and a consistent binary header. kNotFound when the
+/// directory holds no manifest (debris, not corruption); any other
+/// non-OK Status names what is broken. Used by the startup recovery
+/// sweep, the background scrubber, and soldist_fsck.
+Status VerifyArena(const std::string& dir);
 
 /// Persists a FLAT RR arena (kFailedPrecondition otherwise — save before
 /// ConvertStorage). `manifest` supplies the identity fields (workload,

@@ -1,5 +1,7 @@
 #include "store/fault_injection.h"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdlib>
 #include <mutex>
@@ -39,8 +41,23 @@ const char* FaultOpName(FaultOp op) {
       return "sync";
     case FaultOp::kMmapChunk:
       return "mmap-chunk";
+    case FaultOp::kRename:
+      return "rename";
   }
   return "unknown";
+}
+
+bool ParseFaultOpName(const std::string& name, FaultOp* op) {
+  static constexpr FaultOp kAll[] = {FaultOp::kOpen,  FaultOp::kRead,
+                                     FaultOp::kWrite, FaultOp::kSync,
+                                     FaultOp::kMmapChunk, FaultOp::kRename};
+  for (FaultOp candidate : kAll) {
+    if (name == FaultOpName(candidate)) {
+      *op = candidate;
+      return true;
+    }
+  }
+  return false;
 }
 
 StatusOr<FaultSpec> FaultSpec::Parse(const std::string& text) {
@@ -105,11 +122,36 @@ StatusOr<FaultSpec> FaultSpec::Parse(const std::string& text) {
             value + "'");
       }
       spec.slow_read_us = us;
+    } else if (key == "crash-at") {
+      const std::size_t colon = value.find(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 >= value.size()) {
+        return Status::InvalidArgument(
+            "fault-spec: crash-at wants <boundary>:<n>, got '" + value + "'");
+      }
+      const std::string boundary = value.substr(0, colon);
+      const std::string count = value.substr(colon + 1);
+      FaultOp op = FaultOp::kWrite;
+      if (!ParseFaultOpName(boundary, &op)) {
+        return Status::InvalidArgument(
+            "fault-spec: crash-at boundary must be one of open, read, "
+            "write, sync, mmap-chunk, rename; got '" +
+            boundary + "'");
+      }
+      std::uint64_t n = 0;
+      if (!ParseUint64(count, &n) || n == 0) {
+        return Status::InvalidArgument(
+            "fault-spec: crash-at occurrence must be a positive integer "
+            "(1-based), got '" +
+            count + "'");
+      }
+      spec.crash_at_op = op;
+      spec.crash_at_n = n;
     } else {
       return Status::InvalidArgument(
           "fault-spec: unknown key '" + key +
           "' (want error-rate, error-every, seed, torn-write, short-read, "
-          "slow-read-us)");
+          "slow-read-us, crash-at)");
     }
   }
   return spec;
@@ -129,10 +171,28 @@ std::string FaultSpec::ToString() const {
   if (slow_read_us > 0) {
     parts.push_back("slow-read-us=" + std::to_string(slow_read_us));
   }
+  if (crash_at_n > 0) {
+    parts.push_back("crash-at=" + std::string(FaultOpName(crash_at_op)) + ":" +
+                    std::to_string(crash_at_n));
+  }
   return Join(parts, ",");
 }
 
+void FaultInjector::MaybeCrash(FaultOp op) {
+  if (spec_.crash_at_n == 0) return;
+  const std::uint64_t occurrence =
+      boundary_ops_[static_cast<int>(op)].fetch_add(
+          1, std::memory_order_relaxed) +
+      1;
+  if (op != spec_.crash_at_op || occurrence != spec_.crash_at_n) return;
+  // _exit, not exit/abort: no atexit handlers, no stdio flush, no stack
+  // unwinding — whatever bytes the kernel already has are all that
+  // survives, exactly like a power cut at this boundary.
+  ::_exit(kCrashExitCode);
+}
+
 Status FaultInjector::Check(FaultOp op, const std::string& what) {
+  MaybeCrash(op);
   const std::uint64_t index = op_counter_.fetch_add(1,
                                                     std::memory_order_relaxed);
   ops_.fetch_add(1, std::memory_order_relaxed);

@@ -17,11 +17,19 @@
 //   torn-write          write ops persist only a prefix of their bytes
 //   short-read          read ops return truncated data
 //   slow-read-us=N      add N microseconds of latency to read/chunk ops
+//   crash-at=B:N        hard-kill the process (_exit, no unwinding, no
+//                       buffer flush — the moral equivalent of SIGKILL
+//                       mid-syscall) at the Nth occurrence (1-based) of
+//                       boundary B, where B is one of open | read |
+//                       write | sync | mmap-chunk | rename
 //
-// e.g. "error-rate=0.1,seed=7" or "torn-write,error-every=3". Decisions
-// are a pure function of (seed, per-injector op counter), so a
-// single-threaded run replays exactly; concurrent runs draw from the
-// same decision sequence in arrival order.
+// e.g. "error-rate=0.1,seed=7" or "torn-write,error-every=3" or
+// "crash-at=rename:1". Decisions are a pure function of (seed,
+// per-injector op counter), so a single-threaded run replays exactly;
+// concurrent runs draw from the same decision sequence in arrival
+// order. Crash points count occurrences PER BOUNDARY (the 2nd fsync is
+// crash-at=sync:2 regardless of how many writes preceded it), which
+// keeps crash matrices stable when unrelated IO is added.
 
 #ifndef SOLDIST_STORE_FAULT_INJECTION_H_
 #define SOLDIST_STORE_FAULT_INJECTION_H_
@@ -43,9 +51,22 @@ enum class FaultOp {
   kWrite,      ///< writing payload bytes
   kSync,       ///< fsync of a written payload
   kMmapChunk,  ///< faulting in an mmap-spill chunk
+  kRename,     ///< the atomic-rename commit of a tmp file
 };
 
+/// Number of FaultOp values (for per-boundary counter arrays).
+inline constexpr int kNumFaultOps = 6;
+
+/// Exit code of a process killed by an injected crash point. Fork-based
+/// crash harnesses treat this — and only this — child exit status as an
+/// intentional crash; any other abnormal exit is a real bug.
+inline constexpr int kCrashExitCode = 42;
+
 const char* FaultOpName(FaultOp op);
+
+/// Reverse of FaultOpName: parses "open" / "read" / "write" / "sync" /
+/// "mmap-chunk" / "rename". Returns false on unknown names.
+bool ParseFaultOpName(const std::string& name, FaultOp* op);
 
 /// Parsed --fault-spec (see the grammar above). Default-constructed =
 /// no faults.
@@ -56,10 +77,12 @@ struct FaultSpec {
   bool torn_write = false;
   bool short_read = false;
   std::uint64_t slow_read_us = 0;
+  FaultOp crash_at_op = FaultOp::kWrite;  ///< boundary of the crash point
+  std::uint64_t crash_at_n = 0;  ///< 0 = off; N = die at Nth occurrence
 
   bool Enabled() const {
     return error_rate > 0.0 || error_every > 0 || torn_write || short_read ||
-           slow_read_us > 0;
+           slow_read_us > 0 || crash_at_n > 0;
   }
 
   /// Parses the grammar; rejects unknown keys, bad values, and
@@ -77,6 +100,10 @@ struct FaultCounterSnapshot {
   std::uint64_t torn_writes = 0;
   std::uint64_t short_reads = 0;
   std::uint64_t delays = 0;
+  /// Per-boundary occurrence counts (indexed by FaultOp), maintained
+  /// only while a crash point is armed — the crash decision needs them,
+  /// and they let a parent harness see how far a child got.
+  std::uint64_t boundary_ops[kNumFaultOps] = {0, 0, 0, 0, 0, 0};
 };
 
 /// \brief Seed-driven fault decision engine. Thread-safe; all state is
@@ -91,7 +118,10 @@ class FaultInjector {
 
   /// Draws the next fault decision for `op`. Returns Status::IoError
   /// ("injected fault ...") when this op should fail, OK otherwise.
-  /// Also applies the slow-read delay to read-class ops.
+  /// Also applies the slow-read delay to read-class ops. When a crash
+  /// point is armed and this is its Nth occurrence of the boundary, the
+  /// process dies here with _exit(kCrashExitCode) — the op it gates
+  /// never executes, exactly like a power cut before the syscall.
   Status Check(FaultOp op, const std::string& what);
 
   /// Torn write: the number of bytes the caller should actually persist
@@ -116,10 +146,16 @@ class FaultInjector {
     snap.torn_writes = torn_writes_.load(std::memory_order_relaxed);
     snap.short_reads = short_reads_.load(std::memory_order_relaxed);
     snap.delays = delays_.load(std::memory_order_relaxed);
+    for (int i = 0; i < kNumFaultOps; ++i) {
+      snap.boundary_ops[i] = boundary_ops_[i].load(std::memory_order_relaxed);
+    }
     return snap;
   }
 
  private:
+  /// Dies at the crash point if `op` is its Nth boundary occurrence.
+  void MaybeCrash(FaultOp op);
+
   FaultSpec spec_;
   std::atomic<std::uint64_t> op_counter_{0};
   std::atomic<std::uint64_t> ops_{0};
@@ -127,6 +163,7 @@ class FaultInjector {
   std::atomic<std::uint64_t> torn_writes_{0};
   std::atomic<std::uint64_t> short_reads_{0};
   std::atomic<std::uint64_t> delays_{0};
+  std::atomic<std::uint64_t> boundary_ops_[kNumFaultOps] = {};
 };
 
 /// The installed injector, or null when fault injection is off. On the

@@ -1,0 +1,202 @@
+#include "store/recovery.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "store/arena_io.h"
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace soldist {
+namespace store {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kQuarantineDirName[] = "quarantine";
+
+bool IsTmpFile(const fs::path& path) {
+  const std::string name = path.filename().string();
+  return name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0;
+}
+
+/// Children of `dir`, sorted by path so sweep order (and therefore the
+/// actions log) is deterministic across filesystems.
+std::vector<fs::path> SortedChildren(const fs::path& dir, std::error_code* ec) {
+  std::vector<fs::path> children;
+  fs::directory_iterator it(dir, *ec);
+  if (*ec) return children;
+  for (const fs::directory_entry& entry : it) children.push_back(entry.path());
+  std::sort(children.begin(), children.end());
+  return children;
+}
+
+void Act(RecoveryReport* report, const std::string& line) {
+  report->actions.push_back(line);
+}
+
+void SweepError(RecoveryReport* report, const std::string& what,
+                const std::error_code& ec) {
+  ++report->sweep_errors;
+  Act(report, "error: " + what + " (" + ec.message() + ")");
+}
+
+/// Deletes *.tmp files directly inside `dir`. Returns whether any
+/// non-tmp content remains.
+bool CleanTmpFiles(const fs::path& dir, RecoveryReport* report) {
+  std::error_code ec;
+  bool remains = false;
+  for (const fs::path& child : SortedChildren(dir, &ec)) {
+    if (IsTmpFile(child)) {
+      std::error_code rm;
+      fs::remove(child, rm);
+      if (rm) {
+        SweepError(report, "deleting '" + child.string() + "'", rm);
+        remains = true;
+      } else {
+        ++report->cleaned_tmp_files;
+        Act(report, "deleted: " + child.string() + " (uncommitted tmp)");
+      }
+    } else {
+      remains = true;
+    }
+  }
+  if (ec) SweepError(report, "listing '" + dir.string() + "'", ec);
+  return remains;
+}
+
+void SweepEntryDir(const fs::path& root, const fs::path& dir,
+                   RecoveryReport* report) {
+  ++report->scanned_entries;
+  const bool remains = CleanTmpFiles(dir, report);
+  std::error_code ec;
+  if (!remains) {
+    fs::remove(dir, ec);
+    if (ec) {
+      SweepError(report, "removing '" + dir.string() + "'", ec);
+    } else {
+      ++report->removed_empty_dirs;
+      Act(report, "removed: " + dir.string() + " (empty after tmp cleanup)");
+    }
+    return;
+  }
+  if (!fs::exists(dir / "manifest.txt", ec)) {
+    // No committed manifest: the save never committed as a whole, so
+    // nothing in here can be a valid entry — but only delete shapes the
+    // protocol explains (a committed payload). Anything else is not
+    // ours to destroy.
+    if (fs::exists(dir / "payload.bin", ec)) {
+      std::error_code rm;
+      fs::remove_all(dir, rm);
+      if (rm) {
+        SweepError(report, "removing '" + dir.string() + "'", rm);
+      } else {
+        ++report->orphaned_payloads;
+        Act(report,
+            "deleted: " + dir.string() + " (payload without manifest)");
+      }
+    } else {
+      Act(report, "skipped: " + dir.string() +
+                      " (no manifest, no payload — not an arena entry)");
+    }
+    return;
+  }
+  const Status verified = VerifyArena(dir.string());
+  if (verified.ok()) {
+    ++report->healthy_entries;
+    return;
+  }
+  std::string moved_to;
+  const Status moved = QuarantineEntry(root.string(), dir.string(), &moved_to);
+  if (!moved.ok()) {
+    ++report->sweep_errors;
+    Act(report, "error: quarantining '" + dir.string() +
+                    "' failed (" + moved.ToString() + ")");
+    return;
+  }
+  ++report->quarantined_entries;
+  Act(report, "quarantined: " + dir.string() + " -> " + moved_to + " (" +
+                  verified.ToString() + ")");
+}
+
+}  // namespace
+
+std::string RecoveryReport::ToJson() const {
+  JsonObject obj;
+  obj.UInt("scanned_entries", scanned_entries)
+      .UInt("healthy_entries", healthy_entries)
+      .UInt("cleaned_tmp_files", cleaned_tmp_files)
+      .UInt("orphaned_payloads", orphaned_payloads)
+      .UInt("quarantined_entries", quarantined_entries)
+      .UInt("removed_empty_dirs", removed_empty_dirs)
+      .UInt("sweep_errors", sweep_errors)
+      .Bool("clean", Clean());
+  std::string array = "[";
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    if (i > 0) array += ",";
+    array += JsonQuote(actions[i]);
+  }
+  array += "]";
+  obj.Raw("actions", array);
+  return obj.ToString();
+}
+
+Status QuarantineEntry(const std::string& root, const std::string& entry_dir,
+                       std::string* moved_to) {
+  const fs::path quarantine = fs::path(root) / kQuarantineDirName;
+  std::error_code ec;
+  fs::create_directories(quarantine, ec);
+  if (ec) {
+    return Status::IoError("cannot create '" + quarantine.string() +
+                           "': " + ec.message());
+  }
+  const std::string base = fs::path(entry_dir).filename().string();
+  fs::path target = quarantine / base;
+  for (int suffix = 1; fs::exists(target, ec); ++suffix) {
+    target = quarantine / (base + "." + std::to_string(suffix));
+  }
+  fs::rename(entry_dir, target, ec);
+  if (ec) {
+    return Status::IoError("cannot move '" + entry_dir + "' to '" +
+                           target.string() + "': " + ec.message());
+  }
+  if (moved_to != nullptr) *moved_to = target.string();
+  return Status::OK();
+}
+
+StatusOr<RecoveryReport> RecoverArenaDir(const std::string& root) {
+  RecoveryReport report;
+  std::error_code ec;
+  const fs::path root_path(root);
+  if (!fs::exists(root_path, ec)) return report;  // nothing ever saved
+  if (!fs::is_directory(root_path, ec)) {
+    return Status::InvalidArgument("arena dir '" + root +
+                                   "' is not a directory");
+  }
+  for (const fs::path& child : SortedChildren(root_path, &ec)) {
+    std::error_code type_ec;
+    if (fs::is_directory(child, type_ec)) {
+      if (child.filename().string() == kQuarantineDirName) continue;
+      SweepEntryDir(root_path, child, &report);
+    } else if (IsTmpFile(child)) {
+      std::error_code rm;
+      fs::remove(child, rm);
+      if (rm) {
+        SweepError(&report, "deleting '" + child.string() + "'", rm);
+      } else {
+        ++report.cleaned_tmp_files;
+        Act(&report, "deleted: " + child.string() + " (uncommitted tmp)");
+      }
+    }
+    // Other stray files at the root (e.g. a user's notes) are ignored.
+  }
+  if (ec) SweepError(&report, "listing '" + root + "'", ec);
+  if (!report.Clean()) {
+    SOLDIST_LOG(Warning) << "arena recovery swept '" << root << "': "
+                         << report.ToJson();
+  }
+  return report;
+}
+
+}  // namespace store
+}  // namespace soldist

@@ -1,0 +1,80 @@
+// Startup recovery sweep for an --arena-dir tree: turns whatever a
+// crashed (or byte-flipped) predecessor left behind into a directory the
+// serving layer can trust blindly.
+//
+// The arena_io tmp + atomic-rename protocol makes classification
+// unambiguous:
+//
+//   *.tmp file                      uncommitted write — always debris,
+//                                   deleted (the rename never happened).
+//   payload.bin without manifest    crash between the payload commit and
+//                                   the manifest commit — orphan, deleted
+//                                   (the save as a whole never committed).
+//   manifest + payload failing      bit rot / tampering after a clean
+//   VerifyArena                     commit — QUARANTINED (moved into
+//                                   <root>/quarantine/) so the bytes
+//                                   survive for forensics but can never
+//                                   be served.
+//   manifest + payload verifying    healthy — untouched.
+//
+// The sweep is idempotent (a second pass over a recovered tree is a
+// no-op) and conservative: nothing that passes verification is ever
+// modified. QueryService runs it once at startup when --arena-dir is
+// set; `soldist_fsck repair` runs the same code standalone; the
+// background scrubber reuses QuarantineEntry for entries that rot while
+// the service is up.
+
+#ifndef SOLDIST_STORE_RECOVERY_H_
+#define SOLDIST_STORE_RECOVERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace soldist {
+namespace store {
+
+/// What one recovery sweep saw and did. All counts are for this sweep
+/// only (the sweep is stateless between runs).
+struct RecoveryReport {
+  std::uint64_t scanned_entries = 0;     ///< entry directories visited
+  std::uint64_t healthy_entries = 0;     ///< passed VerifyArena
+  std::uint64_t cleaned_tmp_files = 0;   ///< *.tmp debris deleted
+  std::uint64_t orphaned_payloads = 0;   ///< payload-without-manifest dirs deleted
+  std::uint64_t quarantined_entries = 0; ///< corrupt entries moved aside
+  std::uint64_t removed_empty_dirs = 0;  ///< entry dirs left empty after cleanup
+  std::uint64_t sweep_errors = 0;        ///< filesystem ops that failed mid-sweep
+  /// Human-readable "<action>: <path> (<why>)" lines, in sweep order —
+  /// what soldist_fsck prints and the CI artifact records.
+  std::vector<std::string> actions;
+
+  /// True when the tree needed no intervention.
+  bool Clean() const {
+    return cleaned_tmp_files == 0 && orphaned_payloads == 0 &&
+           quarantined_entries == 0 && removed_empty_dirs == 0 &&
+           sweep_errors == 0;
+  }
+
+  /// One-object JSON rendering (counts + actions array).
+  std::string ToJson() const;
+};
+
+/// Moves `entry_dir` (an immediate subdirectory of `root`) into
+/// `<root>/quarantine/`, creating it on demand and suffixing the target
+/// name (".1", ".2", ...) if a previous quarantine of the same entry
+/// exists. On success `*moved_to` (optional) receives the final path.
+Status QuarantineEntry(const std::string& root, const std::string& entry_dir,
+                       std::string* moved_to);
+
+/// Sweeps one arena root (the --arena-dir): classifies every immediate
+/// child per the table above and repairs in place. Missing root is not
+/// an error (nothing was ever saved — report comes back empty). The
+/// `<root>/quarantine/` subtree is never scanned.
+StatusOr<RecoveryReport> RecoverArenaDir(const std::string& root);
+
+}  // namespace store
+}  // namespace soldist
+
+#endif  // SOLDIST_STORE_RECOVERY_H_

@@ -180,5 +180,72 @@ TEST(MaxCoverageTest, IncrementalIndexMatchesFullRebuild) {
   for (int k : {1, 3, 12}) ExpectImplsAgree(incremental, k, "incremental");
 }
 
+// ---------------------------------------------------------------------
+// Deadline-aware CELF (ISSUE 10): a CancelToken stops selection BETWEEN
+// rounds; the completed r-round prefix is byte-identical to a direct
+// k = r solve because greedy selection is prefix-consistent.
+// ---------------------------------------------------------------------
+
+RrCollection CancelFixture() {
+  Rng rng(99);
+  std::vector<std::vector<VertexId>> sets;
+  for (int i = 0; i < 40; ++i) {
+    std::vector<VertexId> set;
+    for (VertexId v = 0; v < 16; ++v) {
+      if (rng.UniformInt(10) < 3) set.push_back(v);
+    }
+    if (set.empty()) set.push_back(static_cast<VertexId>(rng.UniformInt(16)));
+    sets.push_back(set);
+  }
+  return MakeCollection(16, std::move(sets));
+}
+
+TEST(MaxCoverageCancelTest, CancelBetweenRoundsIsAByteIdenticalPrefix) {
+  RrCollection collection = CancelFixture();
+  for (int fire_after : {1, 2, 4}) {
+    for (MaxCoverageImpl impl :
+         {MaxCoverageImpl::kWordPacked, MaxCoverageImpl::kReferenceForTest}) {
+      int checks = 0;
+      CancelToken cancel([&] { return ++checks >= fire_after; });
+      MaxCoverageResult cancelled =
+          GreedyMaxCoverage(collection, 8, impl, &cancel);
+      EXPECT_FALSE(cancelled.completed);
+      ASSERT_EQ(cancelled.seeds.size(),
+                static_cast<std::size_t>(fire_after));
+      MaxCoverageResult direct =
+          GreedyMaxCoverage(collection, fire_after, impl);
+      EXPECT_TRUE(direct.completed);
+      EXPECT_EQ(cancelled.seeds, direct.seeds)
+          << "fire_after=" << fire_after;
+      EXPECT_EQ(cancelled.covered, direct.covered)
+          << "fire_after=" << fire_after;
+    }
+  }
+}
+
+TEST(MaxCoverageCancelTest, PreFiredTokenStillSelectsTheFirstSeed) {
+  RrCollection collection = CancelFixture();
+  CancelToken cancel;
+  cancel.Cancel();
+  MaxCoverageResult result = GreedyMaxCoverage(
+      collection, 5, MaxCoverageImpl::kWordPacked, &cancel);
+  EXPECT_FALSE(result.completed);
+  ASSERT_EQ(result.seeds.size(), 1u) << "round 0 always lands";
+  MaxCoverageResult direct = GreedyMaxCoverage(collection, 1);
+  EXPECT_EQ(result.seeds, direct.seeds);
+  EXPECT_EQ(result.covered, direct.covered);
+}
+
+TEST(MaxCoverageCancelTest, UnfiredTokenChangesNothing) {
+  RrCollection collection = CancelFixture();
+  CancelToken cancel;
+  MaxCoverageResult with = GreedyMaxCoverage(
+      collection, 6, MaxCoverageImpl::kWordPacked, &cancel);
+  MaxCoverageResult without = GreedyMaxCoverage(collection, 6);
+  EXPECT_TRUE(with.completed);
+  EXPECT_EQ(with.seeds, without.seeds);
+  EXPECT_EQ(with.covered, without.covered);
+}
+
 }  // namespace
 }  // namespace soldist

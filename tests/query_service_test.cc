@@ -160,6 +160,37 @@ TEST(QueryServiceTest, TopKMatchesFreshGreedyMaxCoverageSolve) {
   }
 }
 
+TEST(QueryServiceTest, DeadlineCancelledTopKIsAByteIdenticalPrefix) {
+  api::Session session;
+  serve::QueryService service(&session);
+  auto view = service.View(KarateUc01(), SpecAt(kTau));
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+
+  // A token that fires after r cancelled() draws stops CELF at round r;
+  // the served prefix must equal the direct k = r answer in every
+  // column (seeds, estimates, covered) — degraded means SHORTER, never
+  // DIFFERENT.
+  for (int fire_after : {1, 3}) {
+    int checks = 0;
+    CancelToken cancel([&] { return ++checks >= fire_after; });
+    serve::TopKResult degraded = view.value().TopK(8, &cancel);
+    EXPECT_FALSE(degraded.completed);
+    ASSERT_EQ(degraded.seeds.size(), static_cast<std::size_t>(fire_after));
+    serve::TopKResult direct = view.value().TopK(fire_after);
+    EXPECT_TRUE(direct.completed);
+    EXPECT_EQ(degraded.seeds, direct.seeds);
+    EXPECT_EQ(degraded.estimates, direct.estimates);
+    EXPECT_EQ(degraded.covered, direct.covered);
+  }
+
+  // An unfired token is invisible.
+  CancelToken idle;
+  serve::TopKResult with = view.value().TopK(5, &idle);
+  serve::TopKResult without = view.value().TopK(5);
+  EXPECT_TRUE(with.completed);
+  EXPECT_EQ(with.seeds, without.seeds);
+}
+
 TEST(QueryServiceTest, ConcurrentHammerIsIdenticalToSingleThreaded) {
   api::Session session;
   serve::QueryService service(&session);

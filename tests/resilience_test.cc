@@ -178,6 +178,94 @@ TEST(RetryTest, NeverSleepsPastTheDeadline) {
   EXPECT_LE(slept, 10000u);  // each sleep was clipped to remaining time
 }
 
+// ---------------------------------------------------------------------
+// RetryBudget (ISSUE 10): one attempt pool shared across every
+// retryable IO op of a request, so a request whose load burned its
+// retries cannot burn them all AGAIN on its save.
+// ---------------------------------------------------------------------
+
+TEST(RetryBudgetTest, SharedPoolCapsAttemptsAcrossAnOpPair) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  auto no_sleep = [](std::uint64_t) {};
+  serve::RetryBudget budget(policy.request_budget);  // default: 3 + 1
+
+  // First op of the request: down hard, burns its full 3 attempts.
+  int first_calls = 0;
+  Status first = RetryWithBackoff(
+      policy, Deadline(),
+      [&] {
+        ++first_calls;
+        return Status::IoError("load path down");
+      },
+      nullptr, no_sleep, &budget);
+  EXPECT_EQ(first.code(), StatusCode::kIoError);
+  EXPECT_EQ(first_calls, 3);
+  EXPECT_EQ(budget.remaining(), 1);
+
+  // Second op of the SAME request: the pool guarantees exactly one
+  // attempt — it runs (and here succeeds) but cannot retry.
+  int second_calls = 0;
+  Status second = RetryWithBackoff(
+      policy, Deadline(),
+      [&] {
+        ++second_calls;
+        return Status::OK();
+      },
+      nullptr, no_sleep, &budget);
+  EXPECT_TRUE(second.ok());
+  EXPECT_EQ(second_calls, 1);
+  EXPECT_EQ(budget.remaining(), 0);
+
+  // A third op finds the pool empty before its first attempt: an
+  // explicit Unavailable, never a silent zero-attempt "success".
+  int third_calls = 0;
+  Status third = RetryWithBackoff(
+      policy, Deadline(),
+      [&] {
+        ++third_calls;
+        return Status::OK();
+      },
+      nullptr, no_sleep, &budget);
+  EXPECT_EQ(third.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(third_calls, 0);
+}
+
+TEST(RetryBudgetTest, ExhaustionMidOpReturnsTheLastRealError) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  auto no_sleep = [](std::uint64_t) {};
+  serve::RetryBudget budget(2);
+  int calls = 0;
+  // Fails forever; the budget (not max_attempts) stops the loop, and
+  // the caller sees the op's own error, not a budget artifact.
+  Status status = RetryWithBackoff(
+      policy, Deadline(),
+      [&] {
+        ++calls;
+        return Status::IoError("still down");
+      },
+      nullptr, no_sleep, &budget);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(RetryBudgetTest, NullBudgetLeavesRetryBehaviorUnchanged) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  auto no_sleep = [](std::uint64_t) {};
+  int calls = 0;
+  Status status = RetryWithBackoff(
+      policy, Deadline(),
+      [&] {
+        ++calls;
+        return calls < 3 ? Status::IoError("flaky") : Status::OK();
+      },
+      nullptr, no_sleep, /*budget=*/nullptr);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+}
+
 TEST(AdmissionTest, BoundsInflightShedsBeyondQueueAndReleasesOnDrop) {
   AdmissionController admission(/*max_inflight=*/2, /*max_queue=*/0);
   auto t1 = admission.Admit(Deadline());

@@ -31,13 +31,18 @@
 //   spread v1,v2,...   RIS spread estimate of the seed set
 //   gain v s1,s2,...   marginal gain of v on top of {s1,...} (base opt.)
 //   topk k             greedy top-k seeds with per-seed estimates
-//   stats              arena-cache + resilience statistics
+//   stats              arena-cache + resilience + recovery/scrub stats
+//   scrub              full synchronous scrub rotation, then totals
 // Bad input is a {"type":"error"} line, never an abort. Under
 // --deadline-ms / --max-inflight-builds / --fault-spec the REPL serves
 // the resilience contract (serve/resilience.h): deadline-missed builds
 // answer DEGRADED from the largest resident τ prefix (tagged
-// degraded/served_tau), and `stats` exposes the degraded_answers /
-// shed_requests / retries / deadline_misses counters.
+// degraded/served_tau), deadline-bounded `topk` returns the completed
+// CELF prefix (tagged completed=false/served_k), and `stats` exposes the
+// degraded_answers / shed_requests / retries / deadline_misses counters
+// plus the startup RecoveryReport and scrubber totals
+// (--scrub-interval-ms drives the background cadence; `scrub` runs a
+// rotation on demand).
 //
 // Usage:
 //   soldist_experiment --network Karate --prob iwc --model lt --k 2
@@ -394,7 +399,19 @@ int RunQueryRepl(ExperimentContext* context, const HarnessParams& params,
             "usage: topk <k> with k in [1, " + std::to_string(n) + "]"));
         continue;
       }
-      serve::TopKResult top = view.value().TopK(static_cast<int>(k));
+      // Deadline-aware CELF: the same per-request deadline that governs
+      // builds also bounds selection — a fired token returns the
+      // completed seed prefix (= a direct smaller-k solve), tagged.
+      const serve::Deadline topk_deadline =
+          options.deadline_ms == 0
+              ? serve::Deadline()
+              : serve::Deadline::AfterMillis(options.deadline_ms);
+      CancelToken topk_cancel([topk_deadline] {
+        return topk_deadline.expired();
+      });
+      serve::TopKResult top = view.value().TopK(
+          static_cast<int>(k),
+          topk_deadline.unlimited() ? nullptr : &topk_cancel);
       JsonObject record;
       record.Str("type", "topk")
           .Int("k", k)
@@ -402,6 +419,10 @@ int RunQueryRepl(ExperimentContext* context, const HarnessParams& params,
           .RealArray("estimates", top.estimates)
           .UInt("covered", top.covered)
           .Real("spread", top.spread);
+      if (!top.completed) {
+        record.Bool("completed", false)
+            .UInt("served_k", top.seeds.size());
+      }
       tag_degraded(&record);
       std::printf("%s\n", record.ToString().c_str());
     } else if (cmd == "reach") {
@@ -480,16 +501,44 @@ int RunQueryRepl(ExperimentContext* context, const HarnessParams& params,
                           static_cast<double>(hot_probes))
           .UInt("chunk_loads", storage.chunk_loads)
           .UInt("partial_arenas", stats.partial_arenas)
+          .UInt("invalidations", stats.invalidations)
           .UInt("degraded_answers", res.degraded_answers)
           .UInt("shed_requests", res.shed_requests)
           .UInt("retries", res.retries)
           .UInt("deadline_misses", res.deadline_misses);
+      // Crash-consistency telemetry: what the startup sweep found in
+      // --arena-dir and what the scrubber has verified since.
+      const store::RecoveryReport& recovery = service.recovery_report();
+      const serve::ScrubStats scrub = service.scrub_stats();
+      record.Raw("recovery", recovery.ToJson())
+          .UInt("scrub_cycles", scrub.cycles)
+          .UInt("scrub_resident_checked", scrub.resident_checked)
+          .UInt("scrub_resident_corruptions", scrub.resident_corruptions)
+          .UInt("scrub_disk_checked", scrub.disk_checked)
+          .UInt("scrub_disk_corruptions", scrub.disk_corruptions)
+          .UInt("scrub_quarantined", scrub.quarantined);
+      std::printf("%s\n", record.ToString().c_str());
+    } else if (cmd == "scrub") {
+      // One full synchronous rotation: every resident arena re-hashed,
+      // every persisted entry re-verified. The JSON line reports the
+      // monotone totals after the pass.
+      service.RunScrubCycle();
+      const serve::ScrubStats scrub = service.scrub_stats();
+      JsonObject record;
+      record.Str("type", "scrub")
+          .UInt("cycles", scrub.cycles)
+          .UInt("resident_checked", scrub.resident_checked)
+          .UInt("resident_corruptions", scrub.resident_corruptions)
+          .UInt("invalidations", scrub.invalidations)
+          .UInt("disk_checked", scrub.disk_checked)
+          .UInt("disk_corruptions", scrub.disk_corruptions)
+          .UInt("quarantined", scrub.quarantined);
       std::printf("%s\n", record.ToString().c_str());
     } else {
       PrintErrorLine(Status::InvalidArgument(
           "unknown command '" + cmd +
           "' (expected spread | gain | topk | reach | compsize | stats | "
-          "quit)"));
+          "scrub | quit)"));
       continue;
     }
     std::fflush(stdout);
@@ -523,7 +572,7 @@ int Run(int argc, const char* const* argv) {
   args.AddBool("query", false,
                "serving REPL: build one arena for the workload via "
                "serve::QueryService, answer stdin lines (spread v1,v2,... "
-               "| gain v s1,... | topk k | stats) as JSON lines");
+               "| gain v s1,... | topk k | stats | scrub) as JSON lines");
   args.AddInt64("tau", 65536,
                 "--query: RR sets behind the view (the paper-scale "
                 "default 2^16)");
